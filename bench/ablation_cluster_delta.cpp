@@ -1,0 +1,66 @@
+// Ablation: the bisecting k-means quality threshold delta (Sec. IV-D).
+// Sweeps delta and reports how many clusters / representative routes
+// survive, and how well the representatives cover the full Pareto set
+// (max Manhattan distance from any dropped route to its nearest kept
+// route in normalized criteria space).
+#include <cstdio>
+#include <limits>
+
+#include "paper_world.h"
+
+using namespace sunchase;
+
+int main() {
+  bench::banner("Ablation: clustering threshold delta",
+                "Sec. IV-D: bisect k-means terminates when all q(C) < delta");
+  const bench::PaperWorld world;
+  const solar::SolarInputMap map = world.map_at(Watts{200.0});
+
+  // A trip with a rich Pareto set.
+  core::MlcOptions mlc;
+  mlc.max_time_factor = 1.6;
+  const core::MultiLabelCorrecting solver(map, world.lv(), mlc);
+  const auto od = world.routing_pairs()[1];  // the one-way-heavy pair
+  const TimeOfDay dep = TimeOfDay::hms(10, 0);
+  const auto pareto = solver.search(od.origin, od.destination, dep).routes;
+  std::printf("Pareto set for %s: %zu routes\n\n", od.label, pareto.size());
+
+  std::vector<core::LabelVector> points;
+  for (const auto& r : pareto)
+    points.push_back({r.cost.travel_time.value(), r.cost.shaded_time.value(),
+                      r.cost.energy_out.value()});
+  const auto normalized = core::normalize_dimensions(points);
+
+  std::printf("%-8s %10s %16s %18s\n", "delta", "clusters",
+              "representatives", "max coverage gap");
+  for (const double delta : {0.5, 0.25, 0.12, 0.08, 0.04, 0.02}) {
+    core::SelectionOptions sel;
+    sel.clustering.quality_threshold = delta;
+    sel.require_positive_energy_extra = false;
+    const auto result = core::select_representative_routes(
+        pareto, map, world.lv(), dep, sel);
+
+    // Coverage: worst-case distance from any Pareto route to the
+    // nearest selected representative.
+    double worst = 0.0;
+    for (std::size_t i = 0; i < pareto.size(); ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      for (const auto& cand : result.candidates) {
+        for (std::size_t j = 0; j < pareto.size(); ++j) {
+          if (pareto[j].path.edges == cand.route.path.edges)
+            best = std::min(best, core::manhattan(normalized[i],
+                                                  normalized[j]));
+        }
+      }
+      worst = std::max(worst, best);
+    }
+    std::printf("%-8.2f %10zu %16zu %18.3f\n", delta, result.cluster_count,
+                result.representative_count, worst);
+  }
+  std::printf(
+      "\nReading: smaller delta keeps more representatives and shrinks the\n"
+      "coverage gap; past the knee extra clusters add near-duplicates (the\n"
+      "paper's motivation for merging: many Pareto routes share ~90%% of\n"
+      "their edges).\n");
+  return 0;
+}

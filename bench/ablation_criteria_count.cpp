@@ -1,0 +1,47 @@
+// Ablation: why three criteria? The paper models (travel time, solar
+// input, energy consumption). Dropping a criterion shrinks the Pareto
+// set; this bench measures what the third dimension adds: searching
+// with an (effectively) flat consumption criterion vs the full model,
+// and how often the chosen better-solar route changes.
+#include <cstdio>
+
+#include "paper_world.h"
+
+using namespace sunchase;
+
+int main() {
+  bench::banner("Ablation: 2-criteria (tt, solar) vs 3-criteria search",
+                "Sec. III-B: k = 3 criteria model");
+  const bench::PaperWorld world;
+  const solar::SolarInputMap map = world.map_at(Watts{200.0});
+  const TimeOfDay dep = TimeOfDay::hms(10, 0);
+
+  // An (almost) consumption-blind vehicle collapses the third
+  // dimension: its quadratic consumption is flat and negligible.
+  const ev::QuadraticConsumption flat(0.0, 1e-6, "criteria-ablation");
+
+  core::MlcOptions mlc;
+  mlc.max_time_factor = 1.3;
+  const core::MultiLabelCorrecting full(map, world.lv(), mlc);
+  const core::MultiLabelCorrecting reduced(map, flat, mlc);
+
+  std::printf("%-10s | %10s %10s | %12s %14s\n", "trip", "3-crit", "2-crit",
+              "labels 3c", "labels 2c");
+  std::size_t total3 = 0, total2 = 0;
+  for (const bench::OdPair& od : world.routing_pairs()) {
+    const auto r3 = full.search(od.origin, od.destination, dep);
+    const auto r2 = reduced.search(od.origin, od.destination, dep);
+    std::printf("%-10s | %10zu %10zu | %12zu %14zu\n", od.label,
+                r3.routes.size(), r2.routes.size(),
+                r3.stats.labels_created, r2.stats.labels_created);
+    total3 += r3.routes.size();
+    total2 += r2.routes.size();
+  }
+  std::printf(
+      "\nReading: the consumption criterion inflates the Pareto frontier\n"
+      "(%zu vs %zu routes total) and the label workload, but it is what\n"
+      "lets Eq. 5 distinguish vehicles — the same frontier prices a Tesla\n"
+      "and Lv's prototype differently (Tables R-I..III).\n",
+      total3, total2);
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Extension: crowd-sensed solar map (paper Sec. VI). Reality diverges
+// from the 3D database in ways the paper names explicitly: "the
+// shadows caused by trees will be larger during summer time due to
+// overgrowth leaves", plus temporary obstructions (construction). The
+// static model map therefore carries a systematic error; probe
+// vehicles observing actual shadows correct it where traffic flows.
+// Sweeps fleet size and reports each map's error against ground truth,
+// both over the whole map and over the crowd-covered cells.
+#include <cstdio>
+
+#include "paper_world.h"
+#include "sunchase/crowd/fleet.h"
+#include "sunchase/shadow/scenegen.h"
+
+using namespace sunchase;
+
+int main() {
+  bench::banner("Extension: crowdsensed solar map vs static 3D model",
+                "Sec. VI: smartphone crowdsensing future work");
+  const bench::PaperWorld world;
+
+  // Reality: the same city surveyed in winter, now in mid-summer —
+  // every tree canopy has overgrown (double radius, taller), and a few
+  // construction scaffolds appeared. None of this is in the database.
+  shadow::Scene reality(world.projection(),
+                        world.scene().road_half_width());
+  for (const shadow::Building& b : world.scene().buildings())
+    reality.add_building(b);
+  for (const shadow::Tree& t : world.scene().trees())
+    reality.add_tree(shadow::Tree{t.center, t.radius_m * 2.2,
+                                  t.height_m * 1.3});
+  Rng rng(4242);
+  for (int i = 0; i < 12; ++i) {
+    const double x = rng.uniform(100.0, 1000.0);
+    const double y = rng.uniform(100.0, 800.0);
+    reality.add_building(shadow::Building{
+        geo::rectangle({x, y}, {x + 30.0, y + 14.0}), rng.uniform(16.0, 30.0)});
+  }
+
+  const auto truth = shadow::make_exact_estimator(world.graph(), reality,
+                                                  geo::DayOfYear{196});
+  // The static model knows only the survey-time scene.
+  const auto model = shadow::make_exact_estimator(world.graph(), world.scene(),
+                                                  geo::DayOfYear{196});
+
+  constexpr int kFirstSlot = 36, kLastSlot = 68;
+  const auto mae_of = [&](const shadow::ShadedFractionFn& estimate,
+                          const crowd::CrowdSolarMap* covered_by) {
+    double err = 0.0;
+    long cells = 0;
+    for (roadnet::EdgeId e = 0; e < world.graph().edge_count(); ++e) {
+      for (int slot = kFirstSlot; slot <= kLastSlot; slot += 2) {
+        const TimeOfDay t = TimeOfDay::slot_start(slot);
+        if (covered_by) {
+          // Restrict to cells where the crowd overrides the prior.
+          const double crowd_value = covered_by->shaded_fraction(e, t);
+          const double prior_value = model(e, t);
+          if (crowd_value == prior_value) continue;  // prior cell
+        }
+        err += std::abs(estimate(e, t) - truth(e, t));
+        ++cells;
+      }
+    }
+    return cells > 0 ? err / static_cast<double>(cells) : 0.0;
+  };
+
+  const double model_mae = mae_of(model, nullptr);
+  std::printf("Static 3D-model map MAE vs summer reality : %.4f\n\n",
+              model_mae);
+  std::printf("%-10s %13s %10s %12s | %22s\n", "vehicles", "observations",
+              "coverage", "map MAE", "covered cells: model vs crowd");
+  for (const int vehicles : {5, 20, 80, 300}) {
+    crowd::FleetOptions fopt;
+    fopt.vehicles = vehicles;
+    fopt.trips_per_vehicle = 6;
+    fopt.observation_noise_std = 0.04;
+    const auto observations =
+        crowd::simulate_fleet(world.graph(), reality, world.traffic(), fopt);
+    crowd::CrowdSolarMap::Options mopt;
+    mopt.first_slot = kFirstSlot;
+    mopt.last_slot = kLastSlot;
+    mopt.min_observations = 2;
+    crowd::CrowdSolarMap map(world.graph().edge_count(), model, mopt);
+    for (const auto& o : observations) map.report(o);
+    const auto estimator = map.estimator();
+    std::printf("%-10d %13zu %9.1f%% %12.4f | %10.4f vs %.4f\n", vehicles,
+                map.observation_count(), 100.0 * map.coverage(),
+                mae_of(estimator, nullptr), mae_of(model, &map),
+                mae_of(estimator, &map));
+  }
+  std::printf(
+      "\nReading: wherever probe vehicles actually drove, the crowd layer\n"
+      "replaces the stale winter-survey estimate with near-truth; whole-map\n"
+      "error falls as the fleet grows — the accuracy gap (overgrown trees,\n"
+      "construction) the paper proposes crowdsensing to close.\n");
+  return 0;
+}

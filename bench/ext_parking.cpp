@@ -1,0 +1,54 @@
+// Extension: parking-spot solar optimization. The paper's premise —
+// panels "convert the solar energy into electricity not only at
+// parking but also travelling on the road" (Sec. I) — cuts both ways:
+// a work day parked in the wrong shadow forfeits far more energy than
+// any route can recover. This bench quantifies the spread between the
+// best and worst curbside spots near one destination across arrival
+// times, and compares a full parked day against the driving gains of
+// the one-day scenario.
+#include <cstdio>
+
+#include "paper_world.h"
+#include "sunchase/solar/parking.h"
+
+using namespace sunchase;
+
+int main() {
+  bench::banner("Extension: parking-spot solar ranking",
+                "Sec. I: harvesting at parking; Sec. VI obstruction errors");
+  const bench::PaperWorld world;
+  const auto panel = solar::paper_daytime_panel_power();
+  const roadnet::NodeId office = world.city().node_at(6, 6);
+
+  std::printf("Workday parking near the office (250 m walk radius)\n\n");
+  std::printf("%-22s %10s %10s %10s %8s\n", "window", "best (Wh)",
+              "median", "worst", "spots");
+  for (const auto& [label, from, to] :
+       {std::tuple{"08:45 - 17:15 (full)", TimeOfDay::hms(8, 45),
+                   TimeOfDay::hms(17, 15)},
+        std::tuple{"09:00 - 12:00 (am)", TimeOfDay::hms(9, 0),
+                   TimeOfDay::hms(12, 0)},
+        std::tuple{"13:00 - 17:00 (pm)", TimeOfDay::hms(13, 0),
+                   TimeOfDay::hms(17, 0)}}) {
+    const auto spots = solar::rank_parking_spots(
+        world.graph(), world.shading(), panel, office, from, to);
+    if (spots.empty()) continue;
+    std::printf("%-22s %10.1f %10.1f %10.1f %8zu\n", label,
+                spots.front().expected_harvest.value(),
+                spots[spots.size() / 2].expected_harvest.value(),
+                spots.back().expected_harvest.value(), spots.size());
+  }
+
+  const auto full = solar::rank_parking_spots(
+      world.graph(), world.shading(), panel, office, TimeOfDay::hms(8, 45),
+      TimeOfDay::hms(17, 15));
+  const double spread = full.front().expected_harvest.value() -
+                        full.back().expected_harvest.value();
+  std::printf(
+      "\nReading: choosing the sunniest legal spot instead of the most\n"
+      "shaded one is worth %.0f Wh over a work day — an order of magnitude\n"
+      "more than the ~20-40 Wh the one-day routing scenario collects while\n"
+      "driving (Figs. 9-10). Route planning and parking planning compound.\n",
+      spread);
+  return 0;
+}

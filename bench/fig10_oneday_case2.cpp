@@ -1,0 +1,40 @@
+// Reproduces Fig. 10: one-day driving scenario, case 2 — the same
+// protocol as Fig. 9 but with longer trips. The paper's headline: the
+// longer trips raise extra solar energy much faster (+42.7% for Lv's
+// EV, +109.7% for the Tesla) than extra travel time (+18.6% / +36.3%).
+// This bench recomputes case 1 to report the same ratios.
+#include "oneday.h"
+
+int main() {
+  using namespace sunchase;
+  bench::banner("Fig. 10: one-day driving scenario, case 2 (longer trips)",
+                "Fig. 10a/10b, Sec. V-B2");
+  const bench::PaperWorld world;
+  const solar::SolarInputMap map = world.daytime_map();
+
+  const auto short_trips = bench::one_day_trips(world, 10, 901);  // case 1
+  const auto long_trips = bench::one_day_trips(world, 16, 902);   // case 2
+
+  const auto lv2 = bench::run_one_day(map, world.lv(), long_trips);
+  const auto tesla2 =
+      bench::run_one_day(map, world.tesla(), long_trips);
+  bench::print_series("Case 2 per-trip extras", lv2, tesla2);
+
+  const auto lv1 = bench::run_one_day(map, world.lv(), short_trips);
+  const auto tesla1 =
+      bench::run_one_day(map, world.tesla(), short_trips);
+
+  auto pct = [](double now, double before) {
+    return before > 0.0 ? (now - before) / before * 100.0 : 0.0;
+  };
+  std::printf("Case 2 vs case 1 (paper: energy grows much faster than time):\n");
+  std::printf("  Lv extra energy   : %+7.1f%%   [paper: +42.7%%]\n",
+              pct(lv2.total_energy(), lv1.total_energy()));
+  std::printf("  Tesla extra energy: %+7.1f%%   [paper: +109.7%%]\n",
+              pct(tesla2.total_energy(), tesla1.total_energy()));
+  std::printf("  Lv extra time     : %+7.1f%%   [paper: +18.6%%]\n",
+              pct(lv2.total_time(), lv1.total_time()));
+  std::printf("  Tesla extra time  : %+7.1f%%   [paper: +36.3%%]\n",
+              pct(tesla2.total_time(), tesla1.total_time()));
+  return 0;
+}

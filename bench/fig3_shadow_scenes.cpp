@@ -1,0 +1,71 @@
+// Reproduces Fig. 3: shading scenes on urban roads at 9:15 AM vs
+// 3:15 PM. Renders the two top-down images the paper shows (written as
+// PGM files) and quantifies the shadow rotation: how per-street shaded
+// fractions flip between morning and afternoon as the sun crosses the
+// sky.
+#include <cmath>
+#include <cstdio>
+
+#include "paper_world.h"
+#include "sunchase/shadow/vision.h"
+
+int main() {
+  using namespace sunchase;
+  bench::banner("Fig. 3: on-road shading scenes, 9:15 AM vs 3:15 PM",
+                "Fig. 3a/3b, Sec. IV-B1");
+  const bench::PaperWorld world;
+
+  shadow::VisionOptions vopt;
+  vopt.meters_per_px = 1.0;
+  const shadow::VisionPipeline pipeline(world.graph(), world.scene(), vopt);
+
+  const auto morning_sun =
+      geo::sun_position(world.projection().origin(), geo::DayOfYear{196},
+                        TimeOfDay::hms(9, 15));
+  const auto afternoon_sun =
+      geo::sun_position(world.projection().origin(), geo::DayOfYear{196},
+                        TimeOfDay::hms(15, 15));
+
+  pipeline.render(morning_sun).write_pgm("fig3a_0915.pgm");
+  pipeline.render(afternoon_sun).write_pgm("fig3b_1515.pgm");
+  std::printf("Wrote fig3a_0915.pgm and fig3b_1515.pgm\n\n");
+
+  std::printf("Sun geometry:\n");
+  std::printf("  9:15 AM: elevation %4.1f deg, azimuth %5.1f deg (east)\n",
+              morning_sun.elevation_rad * 180.0 / M_PI,
+              morning_sun.azimuth_rad * 180.0 / M_PI);
+  std::printf("  3:15 PM: elevation %4.1f deg, azimuth %5.1f deg (west)\n\n",
+              afternoon_sun.elevation_rad * 180.0 / M_PI,
+              afternoon_sun.azimuth_rad * 180.0 / M_PI);
+
+  // Shaded fraction per street at both times; aggregate by heading.
+  const auto morning = pipeline.estimate_shaded_fractions(morning_sun);
+  const auto afternoon = pipeline.estimate_shaded_fractions(afternoon_sun);
+  double ew_m = 0, ew_a = 0, ns_m = 0, ns_a = 0, moved = 0;
+  int ew_n = 0, ns_n = 0;
+  for (roadnet::EdgeId e = 0; e < world.graph().edge_count(); ++e) {
+    const geo::Segment seg = world.scene().edge_segment(world.graph(), e);
+    const geo::Vec2 d = seg.direction();
+    if (std::abs(d.x) > std::abs(d.y)) {
+      ew_m += morning[e];
+      ew_a += afternoon[e];
+      ++ew_n;
+    } else {
+      ns_m += morning[e];
+      ns_a += afternoon[e];
+      ++ns_n;
+    }
+    moved += std::abs(afternoon[e] - morning[e]);
+  }
+  std::printf("Mean shaded fraction by street heading:\n");
+  std::printf("  %-12s %10s %10s\n", "heading", "9:15 AM", "3:15 PM");
+  std::printf("  %-12s %9.1f%% %9.1f%%\n", "east-west", 100.0 * ew_m / ew_n,
+              100.0 * ew_a / ew_n);
+  std::printf("  %-12s %9.1f%% %9.1f%%\n", "north-south", 100.0 * ns_m / ns_n,
+              100.0 * ns_a / ns_n);
+  std::printf(
+      "\nMean |shaded-fraction change| per street: %.1f%% — shadows rotate\n"
+      "around the buildings that cast them (Fig. 3a vs Fig. 3b).\n",
+      100.0 * moved / static_cast<double>(world.graph().edge_count()));
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Shared driver for the one-day driving scenario (paper Figs. 9-10):
+// 20 trips spread over 9:00-17:00, panel power following the measured
+// daily profile (160-210 W). For every trip the route that maximizes
+// extra solar energy input is selected (the paper's choice, showing
+// the worst-case extra travel time); trips with no better route fall
+// back to the shortest-time path with zero extras.
+#pragma once
+
+#include <cstdio>
+#include <vector>
+
+#include "paper_world.h"
+
+namespace sunchase::bench {
+
+struct OneDaySeries {
+  std::vector<double> extra_energy_wh;
+  std::vector<double> extra_time_s;
+
+  [[nodiscard]] double total_energy() const {
+    double sum = 0.0;
+    for (const double v : extra_energy_wh) sum += v;
+    return sum;
+  }
+  [[nodiscard]] double total_time() const {
+    double sum = 0.0;
+    for (const double v : extra_time_s) sum += v;
+    return sum;
+  }
+};
+
+/// 20 OD pairs whose lattice (Manhattan) span is ~`span_blocks` blocks,
+/// deterministic from the seed. Case 1 uses shorter trips than case 2.
+inline std::vector<OdPair> one_day_trips(const PaperWorld& world,
+                                         int span_blocks,
+                                         std::uint64_t seed) {
+  const auto& options = world.city().options();
+  Rng rng(seed);
+  std::vector<OdPair> trips;
+  while (trips.size() < 20) {
+    const int r0 = static_cast<int>(rng.uniform_int(0, options.rows - 1));
+    const int c0 = static_cast<int>(rng.uniform_int(0, options.cols - 1));
+    const int r1 = static_cast<int>(rng.uniform_int(0, options.rows - 1));
+    const int c1 = static_cast<int>(rng.uniform_int(0, options.cols - 1));
+    const int span = std::abs(r1 - r0) + std::abs(c1 - c0);
+    if (span < span_blocks || span > span_blocks + 3) continue;
+    trips.push_back(OdPair{"", world.city().node_at(r0, c0),
+                           world.city().node_at(r1, c1)});
+  }
+  return trips;
+}
+
+/// Runs the 20 trips for one vehicle; trip i departs at 9:00 + i*24 min.
+inline OneDaySeries run_one_day(const solar::SolarInputMap& map,
+                                const ev::ConsumptionModel& vehicle,
+                                const std::vector<OdPair>& trips) {
+  const core::SunChasePlanner planner(map, vehicle);
+  OneDaySeries series;
+  int i = 0;
+  for (const OdPair& od : trips) {
+    const TimeOfDay departure =
+        TimeOfDay::hms(9, 0).advanced_by(minutes(24.0 * i++));
+    const core::PlanResult plan =
+        planner.plan(od.origin, od.destination, departure);
+    const auto& chosen = plan.recommended();
+    series.extra_energy_wh.push_back(
+        chosen.is_shortest_time ? 0.0 : chosen.extra_energy.value());
+    series.extra_time_s.push_back(
+        chosen.is_shortest_time ? 0.0 : chosen.extra_time.value());
+  }
+  return series;
+}
+
+inline void print_series(const char* fig_label, const OneDaySeries& lv,
+                         const OneDaySeries& tesla) {
+  std::printf("%s\n", fig_label);
+  std::printf("%-6s %-7s %14s %14s %14s %14s\n", "trip", "depart",
+              "Lv +E (Wh)", "Lv +t (s)", "Tesla +E (Wh)", "Tesla +t (s)");
+  for (std::size_t i = 0; i < lv.extra_energy_wh.size(); ++i) {
+    const TimeOfDay dep = TimeOfDay::hms(9, 0).advanced_by(
+        minutes(24.0 * static_cast<double>(i)));
+    std::printf("%-6zu %-7s %14.2f %14.1f %14.2f %14.1f\n", i + 1,
+                dep.to_string().substr(0, 5).c_str(), lv.extra_energy_wh[i],
+                lv.extra_time_s[i], tesla.extra_energy_wh[i],
+                tesla.extra_time_s[i]);
+  }
+  double lv_max_t = 0.0, tesla_max_t = 0.0;
+  for (const double t : lv.extra_time_s) lv_max_t = std::max(lv_max_t, t);
+  for (const double t : tesla.extra_time_s)
+    tesla_max_t = std::max(tesla_max_t, t);
+  std::printf("\n  totals: Lv %+.2f Wh / %+.0f s  |  Tesla %+.2f Wh / %+.0f s"
+              "  |  max extra time %.0f s / %.0f s\n\n",
+              lv.total_energy(), lv.total_time(), tesla.total_energy(),
+              tesla.total_time(), lv_max_t, tesla_max_t);
+}
+
+}  // namespace sunchase::bench

@@ -1,0 +1,114 @@
+// The standard experiment world shared by every reproduction bench:
+// a downtown-Montreal-style grid, a procedurally generated 3D scene,
+// the exact 15-minute shading profile over the paper's test window
+// (8:00-18:30), urban traffic in the 14-17 km/h band, and the paper's
+// four origin/destination pairs (1.4-2 km trips; A2->B2 is the reverse
+// of A1->B1, as in Table R-I).
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "sunchase/core/planner.h"
+#include "sunchase/ev/consumption.h"
+#include "sunchase/roadnet/citygen.h"
+#include "sunchase/roadnet/traffic.h"
+#include "sunchase/shadow/scenegen.h"
+#include "sunchase/solar/input_map.h"
+
+namespace sunchase::bench {
+
+struct OdPair {
+  const char* label;
+  roadnet::NodeId origin;
+  roadnet::NodeId destination;
+};
+
+class PaperWorld {
+ public:
+  PaperWorld()
+      : city_(city_options()),
+        projection_(city_.options().origin),
+        scene_(generate_scene(city_.graph(), projection_,
+                              shadow::SceneGenOptions{})),
+        shading_(shadow::ShadingProfile::compute_exact(
+            city_.graph(), scene_, geo::DayOfYear{196}, TimeOfDay::hms(8, 0),
+            TimeOfDay::hms(18, 30))),
+        traffic_(roadnet::UrbanTraffic::Options{}),
+        lv_(ev::make_lv_prototype()),
+        tesla_(ev::make_tesla_model_s()) {}
+
+  static roadnet::GridCityOptions city_options() {
+    roadnet::GridCityOptions opt;
+    opt.rows = 12;
+    opt.cols = 12;
+    return opt;
+  }
+
+  /// The four trips of the routing tables. A1->B1 and its reverse
+  /// A2->B2 share endpoints; one-way streets make them distinct
+  /// problems (the paper: "A2-B2 has a larger number of one-way road
+  /// segments than A1-B1").
+  [[nodiscard]] std::vector<OdPair> routing_pairs() const {
+    return {{"A1 to B1", city_.node_at(1, 1), city_.node_at(9, 10)},
+            {"A2 to B2", city_.node_at(9, 10), city_.node_at(1, 1)},
+            {"A3 to B3", city_.node_at(2, 9), city_.node_at(9, 2)},
+            {"A4 to B4", city_.node_at(3, 3), city_.node_at(9, 8)}};
+  }
+
+  /// Solar input map with a fixed panel power C (the paper's
+  /// 200/210/160 W settings).
+  [[nodiscard]] solar::SolarInputMap map_at(Watts c) const {
+    return solar::SolarInputMap(city_.graph(), shading_, traffic_,
+                                solar::constant_panel_power(c));
+  }
+
+  /// Solar input map with the paper's one-day panel-power profile.
+  [[nodiscard]] solar::SolarInputMap daytime_map() const {
+    return solar::SolarInputMap(city_.graph(), shading_, traffic_,
+                                solar::paper_daytime_panel_power());
+  }
+
+  [[nodiscard]] const roadnet::GridCity& city() const noexcept {
+    return city_;
+  }
+  [[nodiscard]] const roadnet::RoadGraph& graph() const noexcept {
+    return city_.graph();
+  }
+  [[nodiscard]] const geo::LocalProjection& projection() const noexcept {
+    return projection_;
+  }
+  [[nodiscard]] const shadow::Scene& scene() const noexcept { return scene_; }
+  [[nodiscard]] const shadow::ShadingProfile& shading() const noexcept {
+    return shading_;
+  }
+  [[nodiscard]] const roadnet::TrafficModel& traffic() const noexcept {
+    return traffic_;
+  }
+  [[nodiscard]] const ev::ConsumptionModel& lv() const noexcept {
+    return *lv_;
+  }
+  [[nodiscard]] const ev::ConsumptionModel& tesla() const noexcept {
+    return *tesla_;
+  }
+
+ private:
+  roadnet::GridCity city_;
+  geo::LocalProjection projection_;
+  shadow::Scene scene_;
+  shadow::ShadingProfile shading_;
+  roadnet::UrbanTraffic traffic_;
+  std::unique_ptr<ev::ConsumptionModel> lv_;
+  std::unique_ptr<ev::ConsumptionModel> tesla_;
+};
+
+/// Prints the standard bench banner.
+inline void banner(const char* experiment, const char* paper_ref) {
+  std::printf("==============================================================\n");
+  std::printf("SunChase reproduction — %s\n", experiment);
+  std::printf("Paper reference: %s\n", paper_ref);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace sunchase::bench

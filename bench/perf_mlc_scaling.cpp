@@ -1,0 +1,146 @@
+// Microbenchmarks (google-benchmark): cost of the multi-label
+// correcting search vs city size and time budget, the Dijkstra
+// baseline, shading-profile construction, and the selection pipeline.
+// The paper notes the Pareto search is the expensive step its route
+// merging exists to tame.
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "paper_world.h"
+
+#include "sunchase/core/astar.h"
+#include "sunchase/core/dijkstra.h"
+
+using namespace sunchase;
+
+namespace {
+
+struct ScalingWorld {
+  explicit ScalingWorld(int n) : city(options_for(n)), proj(city.options().origin) {
+    profile = std::make_unique<shadow::ShadingProfile>(
+        shadow::ShadingProfile::compute(
+            city.graph(),
+            [](roadnet::EdgeId e, TimeOfDay when) {
+              const auto h = static_cast<std::uint64_t>(e) * 2654435761u +
+                             static_cast<std::uint64_t>(when.slot_index());
+              return static_cast<double>(h % 900) / 1000.0;
+            },
+            TimeOfDay::hms(8, 0), TimeOfDay::hms(18, 0)));
+    traffic = std::make_unique<roadnet::UrbanTraffic>(
+        roadnet::UrbanTraffic::Options{});
+    map = std::make_unique<solar::SolarInputMap>(
+        city.graph(), *profile, *traffic,
+        solar::constant_panel_power(Watts{200.0}));
+    lv = ev::make_lv_prototype();
+  }
+
+  static roadnet::GridCityOptions options_for(int n) {
+    roadnet::GridCityOptions opt;
+    opt.rows = n;
+    opt.cols = n;
+    return opt;
+  }
+
+  roadnet::GridCity city;
+  geo::LocalProjection proj;
+  std::unique_ptr<shadow::ShadingProfile> profile;
+  std::unique_ptr<roadnet::UrbanTraffic> traffic;
+  std::unique_ptr<solar::SolarInputMap> map;
+  std::unique_ptr<ev::ConsumptionModel> lv;
+};
+
+ScalingWorld& world_of(int n) {
+  static std::map<int, std::unique_ptr<ScalingWorld>> cache;
+  auto& slot = cache[n];
+  if (!slot) slot = std::make_unique<ScalingWorld>(n);
+  return *slot;
+}
+
+void BM_MlcSearch(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const double factor = static_cast<double>(state.range(1)) / 10.0;
+  ScalingWorld& w = world_of(n);
+  core::MlcOptions opt;
+  opt.max_time_factor = factor;
+  const core::MultiLabelCorrecting solver(*w.map, *w.lv, opt);
+  std::size_t labels = 0, pareto = 0;
+  for (auto _ : state) {
+    const auto result = solver.search(w.city.node_at(0, 0),
+                                      w.city.node_at(n - 1, n - 1),
+                                      TimeOfDay::hms(10, 0));
+    labels = result.stats.labels_created;
+    pareto = result.routes.size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["labels"] = static_cast<double>(labels);
+  state.counters["pareto"] = static_cast<double>(pareto);
+}
+BENCHMARK(BM_MlcSearch)
+    ->ArgsProduct({{6, 8, 10, 12}, {11, 15, 20}})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DijkstraBaseline(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  ScalingWorld& w = world_of(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::shortest_time_path(
+        w.city.graph(), *w.traffic, w.city.node_at(0, 0),
+        w.city.node_at(n - 1, n - 1), TimeOfDay::hms(10, 0)));
+  }
+}
+BENCHMARK(BM_DijkstraBaseline)->Arg(6)->Arg(12)->Unit(benchmark::kMicrosecond);
+
+void BM_AStarBaseline(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  ScalingWorld& w = world_of(n);
+  std::size_t settled = 0;
+  for (auto _ : state) {
+    const auto result = core::shortest_time_path_astar(
+        w.city.graph(), *w.traffic, w.city.node_at(0, 0),
+        w.city.node_at(n - 1, n - 1), TimeOfDay::hms(10, 0), kmh(17.0));
+    settled = result ? result->nodes_settled : 0;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["settled"] = static_cast<double>(settled);
+}
+BENCHMARK(BM_AStarBaseline)->Arg(6)->Arg(12)->Unit(benchmark::kMicrosecond);
+
+void BM_SelectionPipeline(benchmark::State& state) {
+  ScalingWorld& w = world_of(10);
+  core::MlcOptions opt;
+  opt.max_time_factor = 1.5;
+  const core::MultiLabelCorrecting solver(*w.map, *w.lv, opt);
+  const auto pareto = solver
+                          .search(w.city.node_at(0, 0), w.city.node_at(9, 9),
+                                  TimeOfDay::hms(10, 0))
+                          .routes;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::select_representative_routes(
+        pareto, *w.map, *w.lv, TimeOfDay::hms(10, 0)));
+  }
+  state.counters["pareto_in"] = static_cast<double>(pareto.size());
+}
+BENCHMARK(BM_SelectionPipeline)->Unit(benchmark::kMicrosecond);
+
+void BM_ExactShadingSlot(benchmark::State& state) {
+  // Cost of one 15-minute solar-map refresh (all edges, one sun
+  // position) on the full paper world scene.
+  static const bench::PaperWorld paper;
+  const auto estimator = shadow::make_exact_estimator(
+      paper.graph(), paper.scene(), geo::DayOfYear{196});
+  int slot = 40;
+  for (auto _ : state) {
+    double sum = 0.0;
+    const TimeOfDay t = TimeOfDay::slot_start(slot);
+    for (roadnet::EdgeId e = 0; e < paper.graph().edge_count(); ++e)
+      sum += estimator(e, t);
+    benchmark::DoNotOptimize(sum);
+    slot = 40 + (slot + 1) % 8;  // defeat the per-slot memoization
+  }
+}
+BENCHMARK(BM_ExactShadingSlot)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

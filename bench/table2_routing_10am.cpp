@@ -1,0 +1,12 @@
+// Reproduces Table R-I: routing simulation at 10:00 AM, C = 200 W.
+#include "routing_table.h"
+
+int main() {
+  using namespace sunchase;
+  bench::banner("Table R-I: routing simulation, 10:00 AM",
+                "Table I (routing), Sec. V-B1; C = 200 W");
+  const bench::PaperWorld world;
+  bench::run_routing_table(world, "10:00 AM", TimeOfDay::hms(10, 0),
+                           Watts{200.0});
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Reproduces Table R-II: routing simulation at 12:00 PM, C = 210 W.
+#include "routing_table.h"
+
+int main() {
+  using namespace sunchase;
+  bench::banner("Table R-II: routing simulation, 12:00 PM",
+                "Table II (routing), Sec. V-B1; C = 210 W");
+  const bench::PaperWorld world;
+  bench::run_routing_table(world, "12:00 PM", TimeOfDay::hms(12, 0),
+                           Watts{210.0});
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Reproduces Table R-III: routing simulation at 4:00 PM, C = 160 W.
+#include "routing_table.h"
+
+int main() {
+  using namespace sunchase;
+  bench::banner("Table R-III: routing simulation, 4:00 PM",
+                "Table III (routing), Sec. V-B1; C = 160 W");
+  const bench::PaperWorld world;
+  bench::run_routing_table(world, "4:00 PM", TimeOfDay::hms(16, 0),
+                           Watts{160.0});
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Commute planner: the paper's "normal driving scenario" from the
+// driver's seat. Plans the same home->work trip at 10:00, 12:00 and
+// 16:00 (the paper's three cases, C = 200/210/160 W) for both EV
+// models, and shows how solar position + panel power change which
+// route is worth driving.
+//
+// Build & run:  ./build/examples/commute_planner
+#include <cstdio>
+#include <memory>
+
+#include "sunchase/core/planner.h"
+#include "sunchase/roadnet/citygen.h"
+#include "sunchase/roadnet/traffic.h"
+#include "sunchase/shadow/scenegen.h"
+#include "sunchase/solar/input_map.h"
+
+using namespace sunchase;
+
+namespace {
+
+struct Case {
+  const char* label;
+  TimeOfDay departure;
+  Watts panel_power;
+};
+
+void plan_and_print(const solar::SolarInputMap& map,
+                    const ev::ConsumptionModel& vehicle, roadnet::NodeId home,
+                    roadnet::NodeId work, TimeOfDay departure) {
+  const core::SunChasePlanner planner(map, vehicle);
+  const core::PlanResult plan = planner.plan(home, work, departure);
+  const auto& base = plan.candidates.front().metrics;
+  std::printf("  %-14s: shortest %4.0f m / %5.1f s / EI %5.2f Wh",
+              vehicle.name().c_str(), base.total_length.value(),
+              base.travel_time.value(), base.energy_in.value());
+  if (plan.has_better_solar()) {
+    const auto& best = plan.recommended();
+    std::printf("  |  better-solar +%4.2f Wh for +%4.1f s (%zu candidates)\n",
+                best.extra_energy.value(), best.extra_time.value(),
+                plan.candidates.size() - 1);
+  } else {
+    std::printf("  |  no better route — drive the shortest-time path\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  roadnet::GridCityOptions city_options;
+  city_options.rows = 10;
+  city_options.cols = 10;
+  const roadnet::GridCity city(city_options);
+  const geo::LocalProjection projection(city_options.origin);
+  const shadow::Scene scene =
+      generate_scene(city.graph(), projection, shadow::SceneGenOptions{});
+  const shadow::ShadingProfile shading =
+      shadow::ShadingProfile::compute_exact(
+          city.graph(), scene, geo::DayOfYear{196}, TimeOfDay::hms(8, 0),
+          TimeOfDay::hms(18, 30));
+  const roadnet::UrbanTraffic traffic{roadnet::UrbanTraffic::Options{}};
+
+  const auto lv = ev::make_lv_prototype();
+  const auto tesla = ev::make_tesla_model_s();
+  const roadnet::NodeId home = city.node_at(1, 2);
+  const roadnet::NodeId work = city.node_at(8, 8);
+
+  // The paper's three cases: solar input depends on the time of day.
+  const Case cases[] = {
+      {"10:00 (C=200W)", TimeOfDay::hms(10, 0), Watts{200.0}},
+      {"12:00 (C=210W)", TimeOfDay::hms(12, 0), Watts{210.0}},
+      {"16:00 (C=160W)", TimeOfDay::hms(16, 0), Watts{160.0}},
+  };
+
+  std::printf("Commute home -> work across the day\n");
+  std::printf("===================================\n");
+  for (const Case& c : cases) {
+    std::printf("%s\n", c.label);
+    const solar::SolarInputMap map(
+        city.graph(), shading, traffic,
+        solar::constant_panel_power(c.panel_power));
+    plan_and_print(map, *lv, home, work, c.departure);
+    plan_and_print(map, *tesla, home, work, c.departure);
+  }
+  std::printf(
+      "\nNote how the heavy Tesla passes the Eq. 5 test less often, and\n"
+      "how the weak 16:00 sun leaves fewer better-solar candidates —\n"
+      "both observations from the paper's Tables R-I..R-III.\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Delivery day: the paper's one-day driving scenario (food/mail
+// delivery, taxi) as an application. A courier runs back-to-back trips
+// from 9:00 to 17:00; every trip uses the SunChase-recommended route,
+// the battery integrates consumption and harvest, and the report shows
+// the extra solar energy banked versus always driving the fastest way.
+//
+// Build & run:  ./build/examples/delivery_day
+#include <cstdio>
+#include <vector>
+
+#include "sunchase/core/planner.h"
+#include "sunchase/ev/battery.h"
+#include "sunchase/roadnet/citygen.h"
+#include "sunchase/roadnet/traffic.h"
+#include "sunchase/shadow/scenegen.h"
+#include "sunchase/solar/input_map.h"
+
+using namespace sunchase;
+
+int main() {
+  roadnet::GridCityOptions city_options;
+  city_options.rows = 12;
+  city_options.cols = 12;
+  const roadnet::GridCity city(city_options);
+  const geo::LocalProjection projection(city_options.origin);
+  const shadow::Scene scene =
+      generate_scene(city.graph(), projection, shadow::SceneGenOptions{});
+  const shadow::ShadingProfile shading =
+      shadow::ShadingProfile::compute_exact(
+          city.graph(), scene, geo::DayOfYear{196}, TimeOfDay::hms(8, 0),
+          TimeOfDay::hms(18, 30));
+  const roadnet::UrbanTraffic traffic{roadnet::UrbanTraffic::Options{}};
+  // Panel power follows the paper's one-day profile (160 W at the
+  // edges of the day, 210 W at the 13:00 peak).
+  const solar::SolarInputMap map(city.graph(), shading, traffic,
+                                 solar::paper_daytime_panel_power());
+
+  const auto vehicle = ev::make_lv_prototype();
+  const core::SunChasePlanner planner(map, *vehicle);
+
+  // A pseudo-random but fixed delivery manifest across downtown.
+  Rng rng(20170601);
+  std::vector<std::pair<roadnet::NodeId, roadnet::NodeId>> manifest;
+  roadnet::NodeId at = city.node_at(5, 5);  // depot
+  for (int i = 0; i < 16; ++i) {
+    const roadnet::NodeId next = city.node_at(
+        static_cast<int>(rng.uniform_int(0, city_options.rows - 1)),
+        static_cast<int>(rng.uniform_int(0, city_options.cols - 1)));
+    if (next == at) continue;
+    manifest.emplace_back(at, next);
+    at = next;
+  }
+
+  ev::Battery battery(WattHours{1500.0}, WattHours{900.0});
+  TimeOfDay clock = TimeOfDay::hms(9, 0);
+  double banked_extra = 0.0;
+  double extra_seconds = 0.0;
+
+  std::printf("%-5s %-9s %6s %7s %7s %8s %9s %9s\n", "trip", "depart",
+              "TL(m)", "EI(Wh)", "EC(Wh)", "+E(Wh)", "+t(s)", "SOC(%)");
+  int trip_no = 1;
+  for (const auto& [from, to] : manifest) {
+    if (clock > TimeOfDay::hms(17, 0)) break;
+    const core::PlanResult plan = planner.plan(from, to, clock);
+    const auto& chosen = plan.recommended();
+    battery.discharge_by(chosen.metrics.energy_out);
+    battery.charge_by(chosen.metrics.energy_in);
+    if (!chosen.is_shortest_time) {
+      banked_extra += chosen.extra_energy.value();
+      extra_seconds += chosen.extra_time.value();
+    }
+    std::printf("%-5d %-9s %6.0f %7.2f %7.2f %8.2f %9.1f %9.1f\n", trip_no++,
+                clock.to_string().c_str(),
+                chosen.metrics.total_length.value(),
+                chosen.metrics.energy_in.value(),
+                chosen.metrics.energy_out.value(),
+                chosen.is_shortest_time ? 0.0 : chosen.extra_energy.value(),
+                chosen.is_shortest_time ? 0.0 : chosen.extra_time.value(),
+                battery.state_of_charge() * 100.0);
+    // Drive, then 20 minutes of handling before the next pickup.
+    clock = clock.advanced_by(chosen.metrics.travel_time)
+                .advanced_by(minutes(20.0));
+  }
+
+  std::printf(
+      "\nDay summary: %.2f Wh of extra solar banked for %.0f s of extra "
+      "driving;\nfinal state of charge %.1f%%.\n",
+      banked_extra, extra_seconds, battery.state_of_charge() * 100.0);
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Shadow mapper: renders the paper's Fig. 3 imagery for the synthetic
+// downtown — top-down scenes at 9:15 AM and 3:15 PM showing how
+// shadows rotate around the buildings that cast them — and prints a
+// per-street solar-access table for both times.
+//
+// Writes shadow_0915.pgm and shadow_1515.pgm into the working
+// directory (viewable with any image tool).
+//
+// Build & run:  ./build/examples/shadow_mapper
+#include <cstdio>
+
+#include "sunchase/roadnet/citygen.h"
+#include "sunchase/shadow/scenegen.h"
+#include "sunchase/shadow/vision.h"
+
+using namespace sunchase;
+
+int main() {
+  roadnet::GridCityOptions city_options;
+  city_options.rows = 6;
+  city_options.cols = 6;
+  const roadnet::GridCity city(city_options);
+  const geo::LocalProjection projection(city_options.origin);
+  const shadow::Scene scene =
+      generate_scene(city.graph(), projection, shadow::SceneGenOptions{});
+
+  shadow::VisionOptions vision_options;
+  vision_options.meters_per_px = 0.5;  // crisp imagery
+  const shadow::VisionPipeline pipeline(city.graph(), scene, vision_options);
+
+  const geo::DayOfYear july{196};
+  const auto morning_sun = geo::sun_position(
+      projection.origin(), july, TimeOfDay::hms(9, 15));
+  const auto afternoon_sun = geo::sun_position(
+      projection.origin(), july, TimeOfDay::hms(15, 15));
+
+  pipeline.render(morning_sun).write_pgm("shadow_0915.pgm");
+  pipeline.render(afternoon_sun).write_pgm("shadow_1515.pgm");
+  std::printf("Wrote shadow_0915.pgm and shadow_1515.pgm (Fig. 3 scenes)\n\n");
+
+  const auto morning = pipeline.estimate_shaded_fractions(morning_sun);
+  const auto afternoon = pipeline.estimate_shaded_fractions(afternoon_sun);
+
+  std::printf("Per-street shaded fraction (vision estimate)\n");
+  std::printf("%-6s %-10s %10s %10s %10s\n", "edge", "direction", "9:15 AM",
+              "3:15 PM", "rotation");
+  double moved = 0.0;
+  for (roadnet::EdgeId e = 0; e < city.graph().edge_count(); ++e) {
+    const auto& edge = city.graph().edge(e);
+    if (edge.from > edge.to) continue;  // one row per street
+    const geo::Segment seg = scene.edge_segment(city.graph(), e);
+    const geo::Vec2 d = seg.direction();
+    const char* heading = std::abs(d.x) > std::abs(d.y) ? "east-west"
+                                                        : "north-south";
+    const double delta = afternoon[e] - morning[e];
+    moved += std::abs(delta);
+    std::printf("%-6u %-10s %9.0f%% %9.0f%% %+9.0f%%\n", e, heading,
+                morning[e] * 100.0, afternoon[e] * 100.0, delta * 100.0);
+  }
+  std::printf(
+      "\nMean |rotation| across streets: %.1f%% of street length — the\n"
+      "morning shadows fall on different roads than the afternoon ones\n"
+      "(the paper's Fig. 3a vs 3b).\n",
+      moved / static_cast<double>(city.graph().edge_count()) * 100.0);
+  return 0;
+}

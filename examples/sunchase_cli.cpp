@@ -1,0 +1,167 @@
+// sunchase_cli — a small command-line front end over the public API:
+// generate (or load) a city, plan a trip, print the candidate table
+// and optionally dump GeoJSON.
+//
+//   sunchase_cli [options]
+//     --rows N --cols N        city size (default 10x10)
+//     --seed S                 city seed (default 7)
+//     --from R,C --to R,C      lattice coordinates of the trip
+//     --time HH:MM             departure (default 10:00)
+//     --ev lv|tesla            vehicle model (default lv)
+//     --panel W                panel power C in watts (default 200)
+//     --time-budget F          max_time_factor (default 1.5)
+//     --geojson FILE           write the plan as GeoJSON
+//     --graph-out FILE         write the road graph (text format)
+//     --scene-out FILE         write the scene (text format)
+//
+// Example:
+//   sunchase_cli --rows 12 --cols 12 --from 1,1 --to 9,10 --time 10:00
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "sunchase/core/planner.h"
+#include "sunchase/exporter/geojson.h"
+#include "sunchase/roadnet/citygen.h"
+#include "sunchase/roadnet/io.h"
+#include "sunchase/roadnet/traffic.h"
+#include "sunchase/shadow/scene_io.h"
+#include "sunchase/shadow/scenegen.h"
+#include "sunchase/solar/input_map.h"
+
+using namespace sunchase;
+
+namespace {
+
+struct CliOptions {
+  int rows = 10;
+  int cols = 10;
+  std::uint64_t seed = 7;
+  int from_row = 1, from_col = 1;
+  int to_row = 8, to_col = 8;
+  std::string time = "10:00";
+  std::string ev = "lv";
+  double panel_w = 200.0;
+  double time_budget = 1.5;
+  std::string geojson_path;
+  std::string graph_out;
+  std::string scene_out;
+};
+
+bool parse_pair(const char* text, int& a, int& b) {
+  return std::sscanf(text, "%d,%d", &a, &b) == 2;
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--rows N] [--cols N] [--seed S] [--from R,C] "
+               "[--to R,C]\n"
+               "          [--time HH:MM] [--ev lv|tesla] [--panel W]\n"
+               "          [--time-budget F] [--geojson FILE] "
+               "[--graph-out FILE] [--scene-out FILE]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (arg == "--rows" && (v = next()))
+      opt.rows = std::atoi(v);
+    else if (arg == "--cols" && (v = next()))
+      opt.cols = std::atoi(v);
+    else if (arg == "--seed" && (v = next()))
+      opt.seed = std::strtoull(v, nullptr, 10);
+    else if (arg == "--from" && (v = next())) {
+      if (!parse_pair(v, opt.from_row, opt.from_col)) return usage(argv[0]);
+    } else if (arg == "--to" && (v = next())) {
+      if (!parse_pair(v, opt.to_row, opt.to_col)) return usage(argv[0]);
+    } else if (arg == "--time" && (v = next()))
+      opt.time = v;
+    else if (arg == "--ev" && (v = next()))
+      opt.ev = v;
+    else if (arg == "--panel" && (v = next()))
+      opt.panel_w = std::atof(v);
+    else if (arg == "--time-budget" && (v = next()))
+      opt.time_budget = std::atof(v);
+    else if (arg == "--geojson" && (v = next()))
+      opt.geojson_path = v;
+    else if (arg == "--graph-out" && (v = next()))
+      opt.graph_out = v;
+    else if (arg == "--scene-out" && (v = next()))
+      opt.scene_out = v;
+    else
+      return usage(argv[0]);
+  }
+
+  try {
+    roadnet::GridCityOptions city_options;
+    city_options.rows = opt.rows;
+    city_options.cols = opt.cols;
+    city_options.seed = opt.seed;
+    const roadnet::GridCity city(city_options);
+    const geo::LocalProjection projection(city_options.origin);
+    const shadow::Scene scene =
+        generate_scene(city.graph(), projection, shadow::SceneGenOptions{});
+    const shadow::ShadingProfile shading =
+        shadow::ShadingProfile::compute_exact(
+            city.graph(), scene, geo::DayOfYear{196}, TimeOfDay::hms(8, 0),
+            TimeOfDay::hms(18, 30));
+    const roadnet::UrbanTraffic traffic{roadnet::UrbanTraffic::Options{}};
+    const solar::SolarInputMap map(
+        city.graph(), shading, traffic,
+        solar::constant_panel_power(Watts{opt.panel_w}));
+
+    const auto vehicle =
+        opt.ev == "tesla" ? ev::make_tesla_model_s() : ev::make_lv_prototype();
+    core::PlannerOptions planner_options;
+    planner_options.mlc.max_time_factor = opt.time_budget;
+    const core::SunChasePlanner planner(map, *vehicle, planner_options);
+
+    const TimeOfDay departure = TimeOfDay::parse(opt.time);
+    const core::PlanResult plan =
+        planner.plan(city.node_at(opt.from_row, opt.from_col),
+                     city.node_at(opt.to_row, opt.to_col), departure);
+
+    std::printf("%s, departing %s, C = %.0f W — %zu Pareto routes\n",
+                vehicle->name().c_str(), departure.to_string().c_str(),
+                opt.panel_w, plan.pareto_route_count);
+    std::printf("%-14s %8s %8s %8s %8s %10s\n", "route", "TL (m)", "TT (s)",
+                "EI (Wh)", "EC (Wh)", "extra(Wh)");
+    for (const auto& cand : plan.candidates) {
+      std::printf("%-14s %8.0f %8.1f %8.2f %8.2f %+10.2f\n",
+                  cand.is_shortest_time ? "shortest-time" : "better-solar",
+                  cand.metrics.total_length.value(),
+                  cand.metrics.travel_time.value(),
+                  cand.metrics.energy_in.value(),
+                  cand.metrics.energy_out.value(),
+                  cand.is_shortest_time ? 0.0 : cand.extra_energy.value());
+    }
+
+    if (!opt.geojson_path.empty()) {
+      std::ofstream(opt.geojson_path)
+          << exporter::geojson_plan(city.graph(), plan);
+      std::printf("wrote %s\n", opt.geojson_path.c_str());
+    }
+    if (!opt.graph_out.empty()) {
+      roadnet::write_graph_file(opt.graph_out, city.graph());
+      std::printf("wrote %s\n", opt.graph_out.c_str());
+    }
+    if (!opt.scene_out.empty()) {
+      shadow::write_scene_file(opt.scene_out, scene);
+      std::printf("wrote %s\n", opt.scene_out.c_str());
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

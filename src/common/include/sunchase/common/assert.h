@@ -1,0 +1,47 @@
+// Contract-checking macros in the spirit of the GSL's Expects/Ensures
+// (C++ Core Guidelines I.6/I.8). Violations throw `ContractViolation` so
+// tests can assert on them; they are never compiled out, because every
+// caller of this library is either a test, a bench, or an example where
+// the cost is negligible compared to the routing search itself.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace sunchase {
+
+/// Thrown when a precondition (`SUNCHASE_EXPECTS`) or postcondition
+/// (`SUNCHASE_ENSURES`) is violated. Carries the failing expression and
+/// source location in `what()`.
+class ContractViolation : public std::logic_error {
+ public:
+  ContractViolation(const char* kind, const char* expr, const char* file,
+                    int line)
+      : std::logic_error(std::string(kind) + " failed: `" + expr + "` at " +
+                         file + ":" + std::to_string(line)) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line) {
+  throw ContractViolation(kind, expr, file, line);
+}
+}  // namespace detail
+
+}  // namespace sunchase
+
+/// Precondition check: document and enforce what a function requires.
+#define SUNCHASE_EXPECTS(cond)                                            \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::sunchase::detail::contract_fail("precondition", #cond, __FILE__,  \
+                                        __LINE__);                        \
+  } while (false)
+
+/// Postcondition check: document and enforce what a function guarantees.
+#define SUNCHASE_ENSURES(cond)                                            \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::sunchase::detail::contract_fail("postcondition", #cond, __FILE__, \
+                                        __LINE__);                        \
+  } while (false)

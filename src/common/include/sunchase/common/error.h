@@ -1,0 +1,40 @@
+// Exception hierarchy for the SunChase library (Core Guidelines I.10:
+// use exceptions to signal a failure to perform a required task).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace sunchase {
+
+/// Base class of every error the library throws deliberately.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A caller passed an argument outside the documented domain.
+class InvalidArgument : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A file or stream could not be read/written or failed to parse.
+class IoError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// The road graph is malformed (dangling edge, unknown node, ...).
+class GraphError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A route query cannot be satisfied (e.g. destination unreachable).
+class RoutingError : public Error {
+ public:
+  using Error::Error;
+};
+
+}  // namespace sunchase

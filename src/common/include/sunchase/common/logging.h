@@ -1,0 +1,43 @@
+// Minimal leveled logger. Benches and examples print their own report
+// tables; the logger exists for diagnostics (search statistics, model
+// warnings) and defaults to Warning so library output stays quiet.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace sunchase {
+
+enum class LogLevel { Debug = 0, Info = 1, Warning = 2, Error = 3, Off = 4 };
+
+/// Process-wide minimum level; messages below it are discarded.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Emit one line to stderr as "[LEVEL] message" if `level` passes the filter.
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+/// Stream-style one-shot log line: builds the message in its destructor.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) noexcept : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { log_message(level_, stream_.str()); }
+
+  template <class T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace sunchase
+
+#define SUNCHASE_LOG(level) ::sunchase::detail::LogLine(::sunchase::LogLevel::level)

@@ -1,0 +1,76 @@
+// Local clock time within one day. All solar geometry, shading profiles
+// and traffic speeds in SunChase are keyed by time-of-day; the paper's
+// solar-input map is refreshed every 15 minutes, which defines the slot
+// granularity used throughout.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "sunchase/common/units.h"
+
+namespace sunchase {
+
+/// A local time of day, stored as seconds since midnight [0, 86400).
+/// Arithmetic saturates at the day boundaries rather than wrapping: a trip
+/// in this system never crosses midnight (the paper plans daytime trips).
+class TimeOfDay {
+ public:
+  static constexpr int kSecondsPerDay = 86400;
+  /// The paper updates the solar-input map every 15 minutes.
+  static constexpr int kSlotSeconds = 15 * 60;
+  static constexpr int kSlotsPerDay = kSecondsPerDay / kSlotSeconds;
+
+  constexpr TimeOfDay() noexcept = default;
+
+  /// From hour/minute/second; throws InvalidArgument when out of range.
+  static TimeOfDay hms(int hour, int minute = 0, int second = 0);
+
+  /// From seconds since midnight, clamped into [0, 86400).
+  static constexpr TimeOfDay from_seconds(double s) noexcept {
+    if (s < 0) s = 0;
+    if (s >= kSecondsPerDay) s = kSecondsPerDay - 1;
+    return TimeOfDay{s};
+  }
+
+  /// Parses "HH:MM" or "HH:MM:SS"; throws IoError on malformed input.
+  static TimeOfDay parse(const std::string& text);
+
+  [[nodiscard]] constexpr double seconds_since_midnight() const noexcept {
+    return seconds_;
+  }
+  [[nodiscard]] constexpr double hours_since_midnight() const noexcept {
+    return seconds_ / 3600.0;
+  }
+
+  /// Index of the enclosing 15-minute solar-map slot, in [0, 96).
+  [[nodiscard]] constexpr int slot_index() const noexcept {
+    return static_cast<int>(seconds_) / kSlotSeconds;
+  }
+
+  /// Start of slot `i`; precondition 0 <= i < kSlotsPerDay.
+  static TimeOfDay slot_start(int i);
+
+  /// This time advanced by `dt` (saturating at end of day).
+  [[nodiscard]] constexpr TimeOfDay advanced_by(Seconds dt) const noexcept {
+    return from_seconds(seconds_ + dt.value());
+  }
+
+  /// Elapsed time from `earlier` to this time.
+  [[nodiscard]] constexpr Seconds since(TimeOfDay earlier) const noexcept {
+    return Seconds{seconds_ - earlier.seconds_};
+  }
+
+  /// "HH:MM:SS" rendering for reports.
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(TimeOfDay a, TimeOfDay b) noexcept =
+      default;
+
+ private:
+  constexpr explicit TimeOfDay(double s) noexcept : seconds_(s) {}
+  double seconds_ = 0.0;
+};
+
+}  // namespace sunchase

@@ -1,0 +1,150 @@
+// Strong physical-unit types. A `Quantity<Tag>` wraps a double and only
+// mixes with other units through the explicitly defined cross-unit
+// operators below, so "seconds where meters were meant" is a compile
+// error instead of a silent routing bug.
+#pragma once
+
+#include <compare>
+#include <cmath>
+
+namespace sunchase {
+
+/// A strongly-typed scalar quantity. `Tag` is an empty struct naming the
+/// physical dimension; all arithmetic within one dimension is provided,
+/// cross-dimension arithmetic is provided as free functions below.
+template <class Tag>
+class Quantity {
+ public:
+  constexpr Quantity() noexcept = default;
+  constexpr explicit Quantity(double value) noexcept : value_(value) {}
+
+  /// The raw magnitude in this unit's canonical scale.
+  [[nodiscard]] constexpr double value() const noexcept { return value_; }
+
+  constexpr Quantity& operator+=(Quantity rhs) noexcept {
+    value_ += rhs.value_;
+    return *this;
+  }
+  constexpr Quantity& operator-=(Quantity rhs) noexcept {
+    value_ -= rhs.value_;
+    return *this;
+  }
+  constexpr Quantity& operator*=(double s) noexcept {
+    value_ *= s;
+    return *this;
+  }
+  constexpr Quantity& operator/=(double s) noexcept {
+    value_ /= s;
+    return *this;
+  }
+
+  friend constexpr Quantity operator+(Quantity a, Quantity b) noexcept {
+    return Quantity{a.value_ + b.value_};
+  }
+  friend constexpr Quantity operator-(Quantity a, Quantity b) noexcept {
+    return Quantity{a.value_ - b.value_};
+  }
+  friend constexpr Quantity operator-(Quantity a) noexcept {
+    return Quantity{-a.value_};
+  }
+  friend constexpr Quantity operator*(Quantity a, double s) noexcept {
+    return Quantity{a.value_ * s};
+  }
+  friend constexpr Quantity operator*(double s, Quantity a) noexcept {
+    return Quantity{s * a.value_};
+  }
+  friend constexpr Quantity operator/(Quantity a, double s) noexcept {
+    return Quantity{a.value_ / s};
+  }
+  /// Ratio of two like quantities is a dimensionless double.
+  friend constexpr double operator/(Quantity a, Quantity b) noexcept {
+    return a.value_ / b.value_;
+  }
+  friend constexpr auto operator<=>(Quantity a, Quantity b) noexcept = default;
+
+ private:
+  double value_ = 0.0;
+};
+
+using Meters = Quantity<struct MeterTag>;
+using SquareMeters = Quantity<struct SquareMeterTag>;
+using Seconds = Quantity<struct SecondTag>;
+using MetersPerSecond = Quantity<struct MetersPerSecondTag>;
+using Watts = Quantity<struct WattTag>;
+using WattHours = Quantity<struct WattHourTag>;
+using WattsPerSquareMeter = Quantity<struct WattsPerSquareMeterTag>;
+
+// --- Cross-unit arithmetic -------------------------------------------------
+
+/// distance / time = speed
+constexpr MetersPerSecond operator/(Meters d, Seconds t) noexcept {
+  return MetersPerSecond{d.value() / t.value()};
+}
+/// distance / speed = travel time
+constexpr Seconds operator/(Meters d, MetersPerSecond v) noexcept {
+  return Seconds{d.value() / v.value()};
+}
+/// speed * time = distance
+constexpr Meters operator*(MetersPerSecond v, Seconds t) noexcept {
+  return Meters{v.value() * t.value()};
+}
+constexpr Meters operator*(Seconds t, MetersPerSecond v) noexcept {
+  return v * t;
+}
+/// irradiance * area = power
+constexpr Watts operator*(WattsPerSquareMeter g, SquareMeters a) noexcept {
+  return Watts{g.value() * a.value()};
+}
+constexpr Watts operator*(SquareMeters a, WattsPerSquareMeter g) noexcept {
+  return g * a;
+}
+
+/// power sustained for a duration, in watt-hours (the paper's EI/EC unit).
+constexpr WattHours energy(Watts p, Seconds t) noexcept {
+  return WattHours{p.value() * t.value() / 3600.0};
+}
+
+/// Convenience conversions.
+constexpr Seconds hours(double h) noexcept { return Seconds{h * 3600.0}; }
+constexpr Seconds minutes(double m) noexcept { return Seconds{m * 60.0}; }
+constexpr Meters kilometers(double km) noexcept { return Meters{km * 1000.0}; }
+constexpr MetersPerSecond kmh(double v) noexcept {
+  return MetersPerSecond{v / 3.6};
+}
+/// Speed expressed back in km/h, for reporting.
+constexpr double to_kmh(MetersPerSecond v) noexcept { return v.value() * 3.6; }
+
+namespace literals {
+constexpr Meters operator""_m(long double v) {
+  return Meters{static_cast<double>(v)};
+}
+constexpr Meters operator""_m(unsigned long long v) {
+  return Meters{static_cast<double>(v)};
+}
+constexpr Meters operator""_km(long double v) {
+  return kilometers(static_cast<double>(v));
+}
+constexpr Seconds operator""_s(long double v) {
+  return Seconds{static_cast<double>(v)};
+}
+constexpr Seconds operator""_s(unsigned long long v) {
+  return Seconds{static_cast<double>(v)};
+}
+constexpr Watts operator""_W(long double v) {
+  return Watts{static_cast<double>(v)};
+}
+constexpr Watts operator""_W(unsigned long long v) {
+  return Watts{static_cast<double>(v)};
+}
+constexpr WattHours operator""_Wh(long double v) {
+  return WattHours{static_cast<double>(v)};
+}
+constexpr MetersPerSecond operator""_kmh(long double v) {
+  return kmh(static_cast<double>(v));
+}
+constexpr MetersPerSecond operator""_kmh(unsigned long long v) {
+  return kmh(static_cast<double>(v));
+}
+}  // namespace literals
+
+}  // namespace sunchase

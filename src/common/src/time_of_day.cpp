@@ -1,0 +1,44 @@
+#include "sunchase/common/time_of_day.h"
+
+#include <cstdio>
+
+#include "sunchase/common/assert.h"
+#include "sunchase/common/error.h"
+
+namespace sunchase {
+
+TimeOfDay TimeOfDay::hms(int hour, int minute, int second) {
+  if (hour < 0 || hour > 23 || minute < 0 || minute > 59 || second < 0 ||
+      second > 59) {
+    throw InvalidArgument("TimeOfDay::hms: out-of-range time " +
+                          std::to_string(hour) + ":" + std::to_string(minute) +
+                          ":" + std::to_string(second));
+  }
+  return TimeOfDay{static_cast<double>(hour * 3600 + minute * 60 + second)};
+}
+
+TimeOfDay TimeOfDay::parse(const std::string& text) {
+  int h = 0, m = 0, s = 0;
+  const int n = std::sscanf(text.c_str(), "%d:%d:%d", &h, &m, &s);
+  if (n < 2) throw IoError("TimeOfDay::parse: malformed time '" + text + "'");
+  try {
+    return hms(h, m, n == 3 ? s : 0);
+  } catch (const InvalidArgument&) {
+    throw IoError("TimeOfDay::parse: out-of-range time '" + text + "'");
+  }
+}
+
+TimeOfDay TimeOfDay::slot_start(int i) {
+  SUNCHASE_EXPECTS(i >= 0 && i < kSlotsPerDay);
+  return TimeOfDay{static_cast<double>(i * kSlotSeconds)};
+}
+
+std::string TimeOfDay::to_string() const {
+  const int total = static_cast<int>(seconds_);
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%02d:%02d:%02d", total / 3600,
+                (total / 60) % 60, total % 60);
+  return buf;
+}
+
+}  // namespace sunchase

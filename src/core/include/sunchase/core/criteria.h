@@ -1,0 +1,47 @@
+// The k = 3 criteria vector of the multi-criteria routing model
+// (Sec. III-B): travel time, solar input, and EV energy consumption.
+// All three are minimized — solar input enters as *shaded travel time*,
+// following the paper: "We compute the csi(v) by calculating the EV
+// travel time on shaded road segments. Since less shadows means more
+// solar input."
+#pragma once
+
+#include "sunchase/common/units.h"
+
+namespace sunchase::core {
+
+/// Additive route cost vector (c_tt, c_si, c_ec).
+struct Criteria {
+  Seconds travel_time{0.0};
+  Seconds shaded_time{0.0};
+  WattHours energy_out{0.0};
+
+  Criteria& operator+=(const Criteria& o) noexcept {
+    travel_time += o.travel_time;
+    shaded_time += o.shaded_time;
+    energy_out += o.energy_out;
+    return *this;
+  }
+  friend Criteria operator+(Criteria a, const Criteria& b) noexcept {
+    return a += b;
+  }
+  friend bool operator==(const Criteria&, const Criteria&) noexcept = default;
+};
+
+/// Comparison tolerance: differences below this are treated as ties so
+/// floating-point dust cannot inflate the Pareto set.
+inline constexpr double kCriteriaEpsilon = 1e-9;
+
+/// Pareto dominance: a dominates b iff a <= b in every criterion and
+/// a < b in at least one (Sec. III-B), with epsilon tolerance.
+[[nodiscard]] bool dominates(const Criteria& a, const Criteria& b) noexcept;
+
+/// True when the two vectors are equal within tolerance.
+[[nodiscard]] bool equivalent(const Criteria& a, const Criteria& b) noexcept;
+
+/// Lexicographic order (travel time, then shaded time, then energy):
+/// the priority-queue order of the multi-label correcting algorithm
+/// ("extract the minimum label (in lexicographic order)").
+[[nodiscard]] bool lex_less(const Criteria& a, const Criteria& b) noexcept;
+
+}  // namespace sunchase::core

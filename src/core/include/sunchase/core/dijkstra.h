@@ -1,0 +1,29 @@
+// Time-dependent shortest-travel-time search: the paper's baseline
+// ("the shortest-path (shortest travel time) algorithm") and the source
+// of the arrival-time bound that makes longer candidate routes
+// "acceptable".
+#pragma once
+
+#include <optional>
+
+#include "sunchase/common/time_of_day.h"
+#include "sunchase/roadnet/path.h"
+#include "sunchase/roadnet/traffic.h"
+
+namespace sunchase::core {
+
+struct ShortestTimeResult {
+  roadnet::Path path;
+  Seconds travel_time{0.0};
+};
+
+/// Dijkstra over travel time, with each edge's speed evaluated at the
+/// clock time the vehicle enters it (departure + elapsed). Travel times
+/// are positive, so label-settling optimality holds (FIFO network).
+/// Returns nullopt when `destination` is unreachable from `origin`.
+/// Throws GraphError for unknown nodes.
+[[nodiscard]] std::optional<ShortestTimeResult> shortest_time_path(
+    const roadnet::RoadGraph& graph, const roadnet::TrafficModel& traffic,
+    roadnet::NodeId origin, roadnet::NodeId destination, TimeOfDay departure);
+
+}  // namespace sunchase::core

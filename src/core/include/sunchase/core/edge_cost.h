@@ -1,0 +1,16 @@
+// Bridges the solar input map and an EV consumption model into the
+// criteria vector the router searches over.
+#pragma once
+
+#include "sunchase/core/criteria.h"
+#include "sunchase/ev/consumption.h"
+#include "sunchase/solar/input_map.h"
+
+namespace sunchase::core {
+
+/// Criteria accrued by entering `edge` at `when` with the given EV.
+[[nodiscard]] Criteria edge_criteria(const solar::SolarInputMap& map,
+                                     const ev::ConsumptionModel& vehicle,
+                                     roadnet::EdgeId edge, TimeOfDay when);
+
+}  // namespace sunchase::core

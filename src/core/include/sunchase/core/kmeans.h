@@ -1,0 +1,57 @@
+// Bisecting k-means over route label vectors (Sec. IV-D): starts with
+// one cluster of all routes, repeatedly splits the worst-quality
+// cluster in two, and stops when every cluster's quality q(C) — the
+// mean Manhattan distance to the cluster centroid — falls below the
+// threshold delta.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace sunchase::core {
+
+/// A route's label vector in criteria space (travel time, shaded time,
+/// energy), typically normalized before clustering.
+using LabelVector = std::array<double, 3>;
+
+/// Manhattan distance — the paper's distance measure.
+[[nodiscard]] double manhattan(const LabelVector& a,
+                               const LabelVector& b) noexcept;
+
+/// Component-wise mean of the members' vectors.
+[[nodiscard]] LabelVector centroid(const std::vector<LabelVector>& points,
+                                   const std::vector<std::size_t>& members);
+
+/// q(C) = (1/n) sum |x_i - c| : smaller is better. Empty cluster -> 0.
+[[nodiscard]] double cluster_quality(const std::vector<LabelVector>& points,
+                                     const std::vector<std::size_t>& members);
+
+struct BisectKMeansOptions {
+  /// delta, in normalized units. The default targets the paper's
+  /// "small set of candidate routes (e.g., 2-3 routes)" per trip;
+  /// bench/ablation_cluster_delta quantifies the trade-off.
+  double quality_threshold = 0.3;
+  int kmeans_iterations = 25;       ///< Lloyd iterations per split
+  int split_attempts = 4;           ///< random restarts per split
+  std::uint64_t seed = 13;
+};
+
+/// Result: each cluster is a list of indices into the input points.
+struct Clustering {
+  std::vector<std::vector<std::size_t>> clusters;
+};
+
+/// Bisecting k-means with Manhattan distance. Clusters of size 1 are
+/// never split; the algorithm always terminates. Empty input yields an
+/// empty clustering.
+[[nodiscard]] Clustering bisecting_kmeans(
+    const std::vector<LabelVector>& points,
+    const BisectKMeansOptions& options = BisectKMeansOptions{});
+
+/// Min-max normalization of each dimension to [0,1] (constant
+/// dimensions map to 0), so delta is scale-free across trips.
+[[nodiscard]] std::vector<LabelVector> normalize_dimensions(
+    std::vector<LabelVector> points);
+
+}  // namespace sunchase::core

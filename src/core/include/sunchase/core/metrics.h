@@ -1,0 +1,32 @@
+// Route-level accounting: the TL / TT / EI / EC columns of the paper's
+// routing tables, and the EnergyExtra feasibility test of Eq. 5.
+#pragma once
+
+#include "sunchase/core/edge_cost.h"
+#include "sunchase/roadnet/path.h"
+
+namespace sunchase::core {
+
+/// Everything the paper reports per route.
+struct RouteMetrics {
+  Meters total_length{0.0};   ///< TL
+  Seconds travel_time{0.0};   ///< TT
+  Seconds solar_time{0.0};    ///< time on illuminated segments (Eq. 3)
+  Seconds shaded_time{0.0};
+  WattHours energy_in{0.0};   ///< EI (Eq. 2, summed per edge)
+  WattHours energy_out{0.0};  ///< EC for the evaluated vehicle (Eq. 6)
+};
+
+/// Walks the path with a running clock (edge criteria at entry time)
+/// and accumulates the metrics. Empty path -> all-zero metrics.
+[[nodiscard]] RouteMetrics evaluate_route(const solar::SolarInputMap& map,
+                                          const ev::ConsumptionModel& vehicle,
+                                          const roadnet::Path& path,
+                                          TimeOfDay departure);
+
+/// Eq. 5: extra solar input of `candidate` over `baseline` minus its
+/// extra consumption. A candidate is worth driving iff this is > 0.
+[[nodiscard]] WattHours energy_extra(const RouteMetrics& candidate,
+                                     const RouteMetrics& baseline) noexcept;
+
+}  // namespace sunchase::core

@@ -1,0 +1,79 @@
+// The multi-label correcting algorithm (paper Algorithm 1): computes
+// the full Pareto set of routes under the three criteria. Labels carry
+// one cost per criterion; a priority queue pops the lexicographic
+// minimum; per-node bags keep only non-dominated labels; dominated
+// labels are removed (lazily) from the queue.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sunchase/core/criteria.h"
+#include "sunchase/core/edge_cost.h"
+#include "sunchase/roadnet/path.h"
+
+namespace sunchase::core {
+
+struct MlcOptions {
+  /// Time budget as a multiple of the shortest travel time: labels whose
+  /// travel time exceeds factor * T_shortest are pruned — the paper's
+  /// "acceptable arrival time" constraint. Set to 0 to disable (the
+  /// full, unconstrained Pareto set; can be large).
+  double max_time_factor = 1.5;
+  /// Hard safety cap on created labels; RoutingError beyond it.
+  std::size_t max_labels = 5'000'000;
+  /// When true (default), edge criteria are evaluated at the clock time
+  /// the label enters the edge (departure + accumulated travel time),
+  /// so a route crossing a 15-minute boundary sees the shading/panel
+  /// state change mid-route. When false, all edges are priced at the
+  /// departure instant (the static approximation).
+  bool time_dependent = true;
+};
+
+/// One non-dominated route with its criteria vector.
+struct ParetoRoute {
+  roadnet::Path path;
+  Criteria cost;
+};
+
+/// Search instrumentation (scalability benches report these).
+struct MlcStats {
+  std::size_t labels_created = 0;
+  std::size_t labels_dominated = 0;
+  std::size_t queue_pops = 0;
+  std::size_t pareto_size = 0;
+  Seconds shortest_travel_time{0.0};
+};
+
+struct MlcResult {
+  std::vector<ParetoRoute> routes;  ///< full Pareto set at the target
+  MlcStats stats;
+};
+
+/// The solver. Borrows the solar input map and the vehicle model;
+/// callers keep both alive for the planner's lifetime.
+class MultiLabelCorrecting {
+ public:
+  MultiLabelCorrecting(const solar::SolarInputMap& map,
+                       const ev::ConsumptionModel& vehicle,
+                       MlcOptions options = MlcOptions{});
+
+  /// Full Pareto set from `origin` to `destination` leaving at
+  /// `departure`, sorted lexicographically. Throws RoutingError when
+  /// the destination is unreachable or the label budget is exhausted;
+  /// GraphError for unknown nodes.
+  [[nodiscard]] MlcResult search(roadnet::NodeId origin,
+                                 roadnet::NodeId destination,
+                                 TimeOfDay departure) const;
+
+  [[nodiscard]] const MlcOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  const solar::SolarInputMap& map_;
+  const ev::ConsumptionModel& vehicle_;
+  MlcOptions options_;
+};
+
+}  // namespace sunchase::core

@@ -1,0 +1,61 @@
+// The SunChase planner facade: one call from (origin, destination,
+// departure, vehicle) to the paper's output — the shortest-time route
+// plus the better-solar candidates that pass the Eq. 5 test.
+#pragma once
+
+#include "sunchase/core/mlc.h"
+#include "sunchase/core/selection.h"
+
+namespace sunchase::core {
+
+struct PlannerOptions {
+  MlcOptions mlc{};
+  SelectionOptions selection{};
+};
+
+/// A complete plan for one trip.
+struct PlanResult {
+  /// candidates[0]: shortest-time route; the rest: better-solar routes
+  /// (positive EnergyExtra), best first.
+  std::vector<CandidateRoute> candidates;
+  std::size_t pareto_route_count = 0;  ///< "N candidate Pareto routes"
+  std::size_t cluster_count = 0;
+  MlcStats search_stats;
+
+  /// The recommended route: the best better-solar candidate when one
+  /// exists, otherwise the shortest-time path — exactly the paper's
+  /// "if there is no better route, we selected the shortest-time path".
+  [[nodiscard]] const CandidateRoute& recommended() const;
+  [[nodiscard]] bool has_better_solar() const noexcept {
+    return candidates.size() > 1;
+  }
+};
+
+class SunChasePlanner {
+ public:
+  /// Borrows the map and vehicle; keep them alive while planning.
+  SunChasePlanner(const solar::SolarInputMap& map,
+                  const ev::ConsumptionModel& vehicle,
+                  PlannerOptions options = PlannerOptions{});
+
+  /// Plans a trip. Throws RoutingError when the destination is
+  /// unreachable within the time budget.
+  [[nodiscard]] PlanResult plan(roadnet::NodeId origin,
+                                roadnet::NodeId destination,
+                                TimeOfDay departure) const;
+
+  [[nodiscard]] const PlannerOptions& options() const noexcept {
+    return options_;
+  }
+  [[nodiscard]] const ev::ConsumptionModel& vehicle() const noexcept {
+    return vehicle_;
+  }
+
+ private:
+  const solar::SolarInputMap& map_;
+  const ev::ConsumptionModel& vehicle_;
+  PlannerOptions options_;
+  MultiLabelCorrecting solver_;
+};
+
+}  // namespace sunchase::core

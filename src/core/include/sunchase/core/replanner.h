@@ -1,0 +1,56 @@
+// En-route dynamic replanning. The paper notes that "passing by clouds
+// will change the solar radiation in a specific area and reduce the
+// power input efficiency. However, such real-time information is not
+// accessible via public databases" (Sec. VI) — so a live plan can go
+// stale mid-trip. This module drives a planned route edge by edge
+// against *live* panel power and re-plans the remainder at
+// intersections whenever the live power has drifted from the forecast
+// the current plan was built on.
+#pragma once
+
+#include "sunchase/core/planner.h"
+
+namespace sunchase::core {
+
+struct ReplanOptions {
+  PlannerOptions planner{};
+  /// Re-plan when |live - forecast| / forecast exceeds this (0 = every
+  /// node; set huge to disable).
+  double power_drift_threshold = 0.15;
+  /// Never re-plan more often than this.
+  Seconds min_replan_interval{60.0};
+};
+
+/// What actually happened on the drive.
+struct DriveOutcome {
+  roadnet::Path driven;         ///< edges actually traversed
+  Seconds total_time{0.0};
+  WattHours energy_in{0.0};     ///< harvested under *live* power
+  WattHours energy_out{0.0};
+  int replans = 0;
+};
+
+/// Drives from `origin` to `destination`: plans with a constant-power
+/// forecast (the live power sampled at each (re)planning instant),
+/// then follows the recommended route, accruing harvest under
+/// `live_power`. At each intersection, if the live power has drifted
+/// beyond the threshold since the plan was made, the remainder is
+/// re-planned. Throws RoutingError when no route exists.
+[[nodiscard]] DriveOutcome drive_with_replanning(
+    const roadnet::RoadGraph& graph, const shadow::ShadingProfile& shading,
+    const roadnet::TrafficModel& traffic, const solar::PanelPowerFn& live_power,
+    const ev::ConsumptionModel& vehicle, roadnet::NodeId origin,
+    roadnet::NodeId destination, TimeOfDay departure,
+    const ReplanOptions& options = ReplanOptions{});
+
+/// The baseline: plan once at departure (forecast = live power at
+/// departure), never re-plan, but still accrue harvest under the live
+/// power. Same outcome type for comparison.
+[[nodiscard]] DriveOutcome drive_without_replanning(
+    const roadnet::RoadGraph& graph, const shadow::ShadingProfile& shading,
+    const roadnet::TrafficModel& traffic, const solar::PanelPowerFn& live_power,
+    const ev::ConsumptionModel& vehicle, roadnet::NodeId origin,
+    roadnet::NodeId destination, TimeOfDay departure,
+    const PlannerOptions& planner_options = PlannerOptions{});
+
+}  // namespace sunchase::core

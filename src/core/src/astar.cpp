@@ -1,0 +1,70 @@
+#include "sunchase/core/astar.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "sunchase/common/error.h"
+
+namespace sunchase::core {
+
+std::optional<AStarResult> shortest_time_path_astar(
+    const roadnet::RoadGraph& graph, const roadnet::TrafficModel& traffic,
+    roadnet::NodeId origin, roadnet::NodeId destination, TimeOfDay departure,
+    MetersPerSecond speed_upper_bound) {
+  const std::size_t n = graph.node_count();
+  if (origin >= n || destination >= n)
+    throw GraphError("shortest_time_path_astar: unknown node");
+  if (speed_upper_bound.value() <= 0.0)
+    throw InvalidArgument("shortest_time_path_astar: non-positive bound");
+
+  const geo::LatLon goal = graph.node(destination).position;
+  auto heuristic = [&](roadnet::NodeId u) {
+    return geo::haversine_distance(graph.node(u).position, goal).value() /
+           speed_upper_bound.value();
+  };
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> g(n, kInf);
+  std::vector<roadnet::EdgeId> via(n, roadnet::kInvalidEdge);
+  std::vector<bool> settled(n, false);
+
+  using QueueItem = std::pair<double, roadnet::NodeId>;  // (f, node)
+  std::priority_queue<QueueItem, std::vector<QueueItem>, std::greater<>> open;
+  g[origin] = 0.0;
+  open.emplace(heuristic(origin), origin);
+
+  AStarResult result;
+  while (!open.empty()) {
+    const auto [f, u] = open.top();
+    open.pop();
+    if (settled[u]) continue;
+    settled[u] = true;
+    ++result.nodes_settled;
+    if (u == destination) break;
+    const TimeOfDay now = departure.advanced_by(Seconds{g[u]});
+    for (const roadnet::EdgeId e : graph.out_edges(u)) {
+      const roadnet::NodeId v = graph.edge(e).to;
+      if (settled[v]) continue;
+      const double candidate = g[u] + traffic.travel_time(graph, e, now).value();
+      if (candidate < g[v]) {
+        g[v] = candidate;
+        via[v] = e;
+        open.emplace(candidate + heuristic(v), v);
+      }
+    }
+  }
+
+  if (g[destination] == kInf) return std::nullopt;
+  result.travel_time = Seconds{g[destination]};
+  for (roadnet::NodeId u = destination; u != origin;) {
+    const roadnet::EdgeId e = via[u];
+    result.path.edges.push_back(e);
+    u = graph.edge(e).from;
+  }
+  std::reverse(result.path.edges.begin(), result.path.edges.end());
+  return result;
+}
+
+}  // namespace sunchase::core

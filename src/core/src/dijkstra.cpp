@@ -1,0 +1,61 @@
+#include "sunchase/core/dijkstra.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "sunchase/common/error.h"
+
+namespace sunchase::core {
+
+std::optional<ShortestTimeResult> shortest_time_path(
+    const roadnet::RoadGraph& graph, const roadnet::TrafficModel& traffic,
+    roadnet::NodeId origin, roadnet::NodeId destination, TimeOfDay departure) {
+  const std::size_t n = graph.node_count();
+  if (origin >= n || destination >= n)
+    throw GraphError("shortest_time_path: unknown node");
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(n, kInf);
+  std::vector<roadnet::EdgeId> via(n, roadnet::kInvalidEdge);
+  std::vector<bool> settled(n, false);
+
+  using QueueItem = std::pair<double, roadnet::NodeId>;  // (elapsed s, node)
+  std::priority_queue<QueueItem, std::vector<QueueItem>, std::greater<>> queue;
+  dist[origin] = 0.0;
+  queue.emplace(0.0, origin);
+
+  while (!queue.empty()) {
+    const auto [d, u] = queue.top();
+    queue.pop();
+    if (settled[u]) continue;
+    settled[u] = true;
+    if (u == destination) break;
+    const TimeOfDay now = departure.advanced_by(Seconds{d});
+    for (const roadnet::EdgeId e : graph.out_edges(u)) {
+      const roadnet::NodeId v = graph.edge(e).to;
+      if (settled[v]) continue;
+      const double nd = d + traffic.travel_time(graph, e, now).value();
+      if (nd < dist[v]) {
+        dist[v] = nd;
+        via[v] = e;
+        queue.emplace(nd, v);
+      }
+    }
+  }
+
+  if (dist[destination] == kInf) return std::nullopt;
+
+  ShortestTimeResult result;
+  result.travel_time = Seconds{dist[destination]};
+  for (roadnet::NodeId u = destination; u != origin;) {
+    const roadnet::EdgeId e = via[u];
+    result.path.edges.push_back(e);
+    u = graph.edge(e).from;
+  }
+  std::reverse(result.path.edges.begin(), result.path.edges.end());
+  return result;
+}
+
+}  // namespace sunchase::core

@@ -1,0 +1,142 @@
+#include "sunchase/core/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "sunchase/common/assert.h"
+#include "sunchase/common/rng.h"
+
+namespace sunchase::core {
+
+double manhattan(const LabelVector& a, const LabelVector& b) noexcept {
+  return std::abs(a[0] - b[0]) + std::abs(a[1] - b[1]) + std::abs(a[2] - b[2]);
+}
+
+LabelVector centroid(const std::vector<LabelVector>& points,
+                     const std::vector<std::size_t>& members) {
+  SUNCHASE_EXPECTS(!members.empty());
+  LabelVector c{0.0, 0.0, 0.0};
+  for (const std::size_t i : members)
+    for (std::size_t d = 0; d < 3; ++d) c[d] += points[i][d];
+  for (std::size_t d = 0; d < 3; ++d)
+    c[d] /= static_cast<double>(members.size());
+  return c;
+}
+
+double cluster_quality(const std::vector<LabelVector>& points,
+                       const std::vector<std::size_t>& members) {
+  if (members.empty()) return 0.0;
+  const LabelVector c = centroid(points, members);
+  double sum = 0.0;
+  for (const std::size_t i : members) sum += manhattan(points[i], c);
+  return sum / static_cast<double>(members.size());
+}
+
+namespace {
+
+/// One 2-means split (Lloyd with Manhattan distance, mean centroids as
+/// the paper specifies). Returns the two member lists; either may be
+/// empty if the points coincide.
+std::pair<std::vector<std::size_t>, std::vector<std::size_t>> two_means(
+    const std::vector<LabelVector>& points,
+    const std::vector<std::size_t>& members,
+    const BisectKMeansOptions& options, Rng& rng) {
+  std::pair<std::vector<std::size_t>, std::vector<std::size_t>> best;
+  double best_sse = std::numeric_limits<double>::infinity();
+
+  for (int attempt = 0; attempt < options.split_attempts; ++attempt) {
+    // Seed with two distinct random members.
+    const std::size_t ia = members[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(members.size()) - 1))];
+    std::size_t ib = ia;
+    for (int tries = 0; tries < 16 && ib == ia; ++tries)
+      ib = members[static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(members.size()) - 1))];
+    LabelVector ca = points[ia];
+    LabelVector cb = points[ib];
+
+    std::vector<std::size_t> a, b;
+    for (int iter = 0; iter < options.kmeans_iterations; ++iter) {
+      a.clear();
+      b.clear();
+      for (const std::size_t i : members) {
+        (manhattan(points[i], ca) <= manhattan(points[i], cb) ? a : b)
+            .push_back(i);
+      }
+      if (a.empty() || b.empty()) break;
+      const LabelVector na = centroid(points, a);
+      const LabelVector nb = centroid(points, b);
+      if (na == ca && nb == cb) break;
+      ca = na;
+      cb = nb;
+    }
+    if (a.empty() || b.empty()) continue;
+    double sse = 0.0;
+    for (const std::size_t i : a) sse += manhattan(points[i], ca);
+    for (const std::size_t i : b) sse += manhattan(points[i], cb);
+    if (sse < best_sse) {
+      best_sse = sse;
+      best = {a, b};
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+Clustering bisecting_kmeans(const std::vector<LabelVector>& points,
+                            const BisectKMeansOptions& options) {
+  Clustering result;
+  if (points.empty()) return result;
+
+  Rng rng(options.seed);
+  std::vector<std::size_t> all(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) all[i] = i;
+  result.clusters.push_back(std::move(all));
+  std::vector<bool> unsplittable{false};
+
+  while (true) {
+    // Pick the worst-quality splittable cluster.
+    double worst_q = options.quality_threshold;
+    std::size_t worst = result.clusters.size();
+    for (std::size_t c = 0; c < result.clusters.size(); ++c) {
+      if (result.clusters[c].size() < 2 || unsplittable[c]) continue;
+      const double q = cluster_quality(points, result.clusters[c]);
+      if (q >= worst_q) {  // >= so exactly-at-threshold still splits
+        worst_q = q;
+        worst = c;
+      }
+    }
+    if (worst == result.clusters.size()) break;  // all clusters good
+
+    auto [a, b] = two_means(points, result.clusters[worst], options, rng);
+    if (a.empty() || b.empty()) {
+      // Degenerate split (e.g. coincident member vectors): leave the
+      // cluster whole and never retry it.
+      unsplittable[worst] = true;
+      continue;
+    }
+    result.clusters[worst] = std::move(a);
+    result.clusters.push_back(std::move(b));
+    unsplittable.push_back(false);
+  }
+  return result;
+}
+
+std::vector<LabelVector> normalize_dimensions(std::vector<LabelVector> points) {
+  if (points.empty()) return points;
+  for (std::size_t d = 0; d < 3; ++d) {
+    double lo = points[0][d], hi = points[0][d];
+    for (const LabelVector& p : points) {
+      lo = std::min(lo, p[d]);
+      hi = std::max(hi, p[d]);
+    }
+    const double span = hi - lo;
+    for (LabelVector& p : points)
+      p[d] = span > 0.0 ? (p[d] - lo) / span : 0.0;
+  }
+  return points;
+}
+
+}  // namespace sunchase::core

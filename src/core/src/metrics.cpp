@@ -1,0 +1,42 @@
+#include "sunchase/core/metrics.h"
+
+namespace sunchase::core {
+
+Criteria edge_criteria(const solar::SolarInputMap& map,
+                       const ev::ConsumptionModel& vehicle,
+                       roadnet::EdgeId edge, TimeOfDay when) {
+  const solar::EdgeSolar es = map.evaluate(edge, when);
+  const auto& graph = map.graph();
+  const MetersPerSecond v = map.traffic().speed(graph, edge, when);
+  return Criteria{es.travel_time, es.shaded_time,
+                  vehicle.consumption(graph.edge(edge).length, v)};
+}
+
+RouteMetrics evaluate_route(const solar::SolarInputMap& map,
+                            const ev::ConsumptionModel& vehicle,
+                            const roadnet::Path& path, TimeOfDay departure) {
+  RouteMetrics m;
+  TimeOfDay clock = departure;
+  const auto& graph = map.graph();
+  for (const roadnet::EdgeId e : path.edges) {
+    const solar::EdgeSolar es = map.evaluate(e, clock);
+    const MetersPerSecond v = map.traffic().speed(graph, e, clock);
+    m.total_length += graph.edge(e).length;
+    m.travel_time += es.travel_time;
+    m.solar_time += es.solar_time;
+    m.shaded_time += es.shaded_time;
+    m.energy_in += es.energy_in;
+    m.energy_out += vehicle.consumption(graph.edge(e).length, v);
+    clock = clock.advanced_by(es.travel_time);
+  }
+  return m;
+}
+
+WattHours energy_extra(const RouteMetrics& candidate,
+                       const RouteMetrics& baseline) noexcept {
+  // Eq. 5: (EI_i - EI_1) - (EC_i - EC_1) > 0.
+  return (candidate.energy_in - baseline.energy_in) -
+         (candidate.energy_out - baseline.energy_out);
+}
+
+}  // namespace sunchase::core

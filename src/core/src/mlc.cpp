@@ -1,0 +1,156 @@
+#include "sunchase/core/mlc.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "sunchase/common/error.h"
+#include "sunchase/core/dijkstra.h"
+
+namespace sunchase::core {
+
+namespace {
+
+/// A search label: cost vector at `node`, reached via `via_edge` from
+/// the label at index `parent` (-1 for the origin label).
+struct Label {
+  Criteria cost;
+  roadnet::NodeId node = roadnet::kInvalidNode;
+  roadnet::EdgeId via_edge = roadnet::kInvalidEdge;
+  std::int32_t parent = -1;
+  bool alive = true;  ///< false once dominated (lazy queue deletion)
+};
+
+struct QueueEntry {
+  Criteria cost;  ///< snapshot for ordering
+  std::uint32_t label;
+};
+
+struct LexGreater {
+  bool operator()(const QueueEntry& a, const QueueEntry& b) const noexcept {
+    return lex_less(b.cost, a.cost);
+  }
+};
+
+}  // namespace
+
+MultiLabelCorrecting::MultiLabelCorrecting(const solar::SolarInputMap& map,
+                                           const ev::ConsumptionModel& vehicle,
+                                           MlcOptions options)
+    : map_(map), vehicle_(vehicle), options_(options) {
+  if (options.max_time_factor < 0.0)
+    throw InvalidArgument("MultiLabelCorrecting: negative time factor");
+  if (options.max_time_factor > 0.0 && options.max_time_factor < 1.0)
+    throw InvalidArgument(
+        "MultiLabelCorrecting: time factor below 1 excludes the shortest "
+        "path itself");
+}
+
+MlcResult MultiLabelCorrecting::search(roadnet::NodeId origin,
+                                       roadnet::NodeId destination,
+                                       TimeOfDay departure) const {
+  const auto& graph = map_.graph();
+  if (origin >= graph.node_count() || destination >= graph.node_count())
+    throw GraphError("MultiLabelCorrecting::search: unknown node");
+
+  MlcResult result;
+
+  // Time bound from the shortest-time baseline (also proves
+  // reachability before the multi-criteria expansion starts).
+  const auto shortest =
+      shortest_time_path(graph, map_.traffic(), origin, destination,
+                         departure);
+  if (!shortest)
+    throw RoutingError("MultiLabelCorrecting::search: destination unreachable");
+  result.stats.shortest_travel_time = shortest->travel_time;
+  const double time_bound =
+      options_.max_time_factor > 0.0
+          ? shortest->travel_time.value() * options_.max_time_factor
+          : 0.0;
+
+  std::vector<Label> arena;
+  arena.reserve(1024);
+  std::vector<std::vector<std::uint32_t>> bags(graph.node_count());
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, LexGreater> queue;
+
+  // Initialization: L(origin) = (origin, (0,0,0), NULL).
+  arena.push_back(Label{Criteria{}, origin, roadnet::kInvalidEdge, -1, true});
+  bags[origin].push_back(0);
+  queue.push(QueueEntry{Criteria{}, 0});
+  result.stats.labels_created = 1;
+
+  // Inserts `cost` at node v if non-dominated; prunes the bag.
+  auto try_insert = [&](roadnet::NodeId v, const Criteria& cost,
+                        roadnet::EdgeId via, std::int32_t parent) {
+    auto& bag = bags[v];
+    for (const std::uint32_t idx : bag) {
+      const Criteria& existing = arena[idx].cost;
+      if (equivalent(existing, cost) || dominates(existing, cost)) return;
+    }
+    // Remove bag labels the new cost dominates (step 2c of Algorithm 1;
+    // queue entries die lazily via the alive flag).
+    std::erase_if(bag, [&](std::uint32_t idx) {
+      if (dominates(cost, arena[idx].cost)) {
+        arena[idx].alive = false;
+        ++result.stats.labels_dominated;
+        return true;
+      }
+      return false;
+    });
+    if (arena.size() >= options_.max_labels)
+      throw RoutingError("MultiLabelCorrecting::search: label budget of " +
+                         std::to_string(options_.max_labels) + " exhausted");
+    const auto idx = static_cast<std::uint32_t>(arena.size());
+    arena.push_back(Label{cost, v, via, parent, true});
+    ++result.stats.labels_created;
+    bag.push_back(idx);
+    queue.push(QueueEntry{cost, idx});
+  };
+
+  while (!queue.empty()) {
+    const QueueEntry entry = queue.top();
+    queue.pop();
+    ++result.stats.queue_pops;
+    const Label current = arena[entry.label];  // copy: arena may grow
+    if (!current.alive) continue;  // lazily deleted
+    // Expanding from the destination only finds cycles back to it, and
+    // every cycle is dominated (criteria are non-negative additive).
+    if (current.node == destination) continue;
+
+    const TimeOfDay now =
+        options_.time_dependent
+            ? departure.advanced_by(current.cost.travel_time)
+            : departure;
+    for (const roadnet::EdgeId e : graph.out_edges(current.node)) {
+      const Criteria next =
+          current.cost + edge_criteria(map_, vehicle_, e, now);
+      if (time_bound > 0.0 && next.travel_time.value() > time_bound)
+        continue;  // beyond the acceptable arrival time
+      try_insert(graph.edge(e).to, next, e,
+                 static_cast<std::int32_t>(entry.label));
+    }
+  }
+
+  // Harvest the destination bag and rebuild paths parent-by-parent.
+  for (const std::uint32_t idx : bags[destination]) {
+    if (origin == destination && arena[idx].parent == -1) {
+      result.routes.push_back(ParetoRoute{{}, arena[idx].cost});
+      continue;
+    }
+    ParetoRoute route;
+    route.cost = arena[idx].cost;
+    for (std::int32_t i = static_cast<std::int32_t>(idx);
+         arena[static_cast<std::uint32_t>(i)].parent != -1;
+         i = arena[static_cast<std::uint32_t>(i)].parent)
+      route.path.edges.push_back(arena[static_cast<std::uint32_t>(i)].via_edge);
+    std::reverse(route.path.edges.begin(), route.path.edges.end());
+    result.routes.push_back(std::move(route));
+  }
+  std::sort(result.routes.begin(), result.routes.end(),
+            [](const ParetoRoute& a, const ParetoRoute& b) {
+              return lex_less(a.cost, b.cost);
+            });
+  result.stats.pareto_size = result.routes.size();
+  return result;
+}
+
+}  // namespace sunchase::core

@@ -1,0 +1,37 @@
+#include "sunchase/core/planner.h"
+
+#include "sunchase/common/error.h"
+
+namespace sunchase::core {
+
+const CandidateRoute& PlanResult::recommended() const {
+  if (candidates.empty())
+    throw RoutingError("PlanResult::recommended: empty plan");
+  return candidates.size() > 1 ? candidates[1] : candidates[0];
+}
+
+SunChasePlanner::SunChasePlanner(const solar::SolarInputMap& map,
+                                 const ev::ConsumptionModel& vehicle,
+                                 PlannerOptions options)
+    : map_(map),
+      vehicle_(vehicle),
+      options_(options),
+      solver_(map, vehicle, options.mlc) {}
+
+PlanResult SunChasePlanner::plan(roadnet::NodeId origin,
+                                 roadnet::NodeId destination,
+                                 TimeOfDay departure) const {
+  const MlcResult search = solver_.search(origin, destination, departure);
+
+  SelectionResult selection = select_representative_routes(
+      search.routes, map_, vehicle_, departure, options_.selection);
+
+  PlanResult plan;
+  plan.candidates = std::move(selection.candidates);
+  plan.pareto_route_count = search.routes.size();
+  plan.cluster_count = selection.cluster_count;
+  plan.search_stats = search.stats;
+  return plan;
+}
+
+}  // namespace sunchase::core

@@ -1,0 +1,113 @@
+#include "sunchase/core/replanner.h"
+
+#include <cmath>
+
+#include "sunchase/common/error.h"
+
+namespace sunchase::core {
+
+namespace {
+
+/// Follows `path` from the current clock, accruing live-power harvest,
+/// until either the path ends or `stop_at_node` says to break (used to
+/// pause for replanning decisions). Returns the index of the first
+/// unfollowed edge.
+struct FollowState {
+  TimeOfDay clock;
+  DriveOutcome* outcome;
+};
+
+void traverse_edge(const roadnet::RoadGraph& graph,
+                   const shadow::ShadingProfile& shading,
+                   const roadnet::TrafficModel& traffic,
+                   const solar::PanelPowerFn& live_power,
+                   const ev::ConsumptionModel& vehicle, roadnet::EdgeId e,
+                   FollowState& state) {
+  const MetersPerSecond v = traffic.speed(graph, e, state.clock);
+  const Meters length = graph.edge(e).length;
+  const Meters solar_len = shading.solar_length(graph, e, state.clock);
+  const Seconds tt = length / v;
+  const Seconds solar_time = solar_len / v;
+  state.outcome->driven.edges.push_back(e);
+  state.outcome->total_time += tt;
+  state.outcome->energy_in += energy(live_power(state.clock), solar_time);
+  state.outcome->energy_out += vehicle.consumption(length, v);
+  state.clock = state.clock.advanced_by(tt);
+}
+
+}  // namespace
+
+DriveOutcome drive_with_replanning(const roadnet::RoadGraph& graph,
+                                   const shadow::ShadingProfile& shading,
+                                   const roadnet::TrafficModel& traffic,
+                                   const solar::PanelPowerFn& live_power,
+                                   const ev::ConsumptionModel& vehicle,
+                                   roadnet::NodeId origin,
+                                   roadnet::NodeId destination,
+                                   TimeOfDay departure,
+                                   const ReplanOptions& options) {
+  if (!live_power)
+    throw InvalidArgument("drive_with_replanning: null live power");
+  DriveOutcome outcome;
+  FollowState state{departure, &outcome};
+  roadnet::NodeId at = origin;
+  double forecast_w = live_power(departure).value();
+  TimeOfDay last_plan_time = departure;
+  bool first_plan = true;
+
+  while (at != destination) {
+    // (Re)plan from the current position with the current forecast.
+    const solar::SolarInputMap map(
+        graph, shading, traffic,
+        solar::constant_panel_power(Watts{forecast_w}));
+    const SunChasePlanner planner(map, vehicle, options.planner);
+    const PlanResult plan = planner.plan(at, destination, state.clock);
+    const roadnet::Path& route = plan.recommended().route.path;
+    if (!first_plan) ++outcome.replans;
+    first_plan = false;
+
+    // Follow until the live power drifts off the forecast (checked at
+    // every intersection) or the route completes.
+    for (const roadnet::EdgeId e : route.edges) {
+      traverse_edge(graph, shading, traffic, live_power, vehicle, e, state);
+      at = graph.edge(e).to;
+      if (at == destination) break;
+      const double live_w = live_power(state.clock).value();
+      const double drift =
+          forecast_w > 0.0 ? std::abs(live_w - forecast_w) / forecast_w
+                           : (live_w > 0.0 ? 1e9 : 0.0);
+      const bool cooled_down =
+          state.clock.since(last_plan_time) >= options.min_replan_interval;
+      if (drift > options.power_drift_threshold && cooled_down) {
+        forecast_w = live_w;
+        last_plan_time = state.clock;
+        break;  // re-enter the planning loop from `at`
+      }
+    }
+  }
+  return outcome;
+}
+
+DriveOutcome drive_without_replanning(
+    const roadnet::RoadGraph& graph, const shadow::ShadingProfile& shading,
+    const roadnet::TrafficModel& traffic,
+    const solar::PanelPowerFn& live_power,
+    const ev::ConsumptionModel& vehicle, roadnet::NodeId origin,
+    roadnet::NodeId destination, TimeOfDay departure,
+    const PlannerOptions& planner_options) {
+  if (!live_power)
+    throw InvalidArgument("drive_without_replanning: null live power");
+  const solar::SolarInputMap map(
+      graph, shading, traffic,
+      solar::constant_panel_power(live_power(departure)));
+  const SunChasePlanner planner(map, vehicle, planner_options);
+  const PlanResult plan = planner.plan(origin, destination, departure);
+
+  DriveOutcome outcome;
+  FollowState state{departure, &outcome};
+  for (const roadnet::EdgeId e : plan.recommended().route.path.edges)
+    traverse_edge(graph, shading, traffic, live_power, vehicle, e, state);
+  return outcome;
+}
+
+}  // namespace sunchase::core

@@ -1,0 +1,37 @@
+// Probe-fleet simulation: vehicles drive ordinary trips through the
+// day and their windshield cameras report the shadow state of every
+// street they traverse. Substitutes the paper's envisioned "thousands
+// of phones in moving vehicles".
+#pragma once
+
+#include <vector>
+
+#include "sunchase/crowd/crowd_map.h"
+#include "sunchase/roadnet/traffic.h"
+#include "sunchase/shadow/scene.h"
+
+namespace sunchase::crowd {
+
+struct FleetOptions {
+  int vehicles = 50;
+  int trips_per_vehicle = 6;
+  /// Standard deviation of the camera's shaded-fraction estimate.
+  double observation_noise_std = 0.06;
+  /// Probability a traversal produces a usable report (cameras miss
+  /// frames, uploads fail).
+  double report_probability = 0.9;
+  TimeOfDay day_start = TimeOfDay::hms(9, 0);
+  TimeOfDay day_end = TimeOfDay::hms(17, 0);
+  std::uint64_t seed = 777;
+};
+
+/// Simulates the fleet against ground truth from `scene` (shadows are
+/// what reality casts, not what any model predicts): each vehicle runs
+/// `trips_per_vehicle` shortest-time trips between random intersections
+/// at random times of day and reports a noisy shaded fraction for each
+/// traversed edge. Deterministic from the seed.
+[[nodiscard]] std::vector<Observation> simulate_fleet(
+    const roadnet::RoadGraph& graph, const shadow::Scene& scene,
+    const roadnet::TrafficModel& traffic, const FleetOptions& options);
+
+}  // namespace sunchase::crowd

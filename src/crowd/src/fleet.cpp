@@ -1,0 +1,61 @@
+#include "sunchase/crowd/fleet.h"
+
+#include <algorithm>
+
+#include "sunchase/common/error.h"
+#include "sunchase/common/rng.h"
+#include "sunchase/core/dijkstra.h"
+
+namespace sunchase::crowd {
+
+std::vector<Observation> simulate_fleet(const roadnet::RoadGraph& graph,
+                                        const shadow::Scene& scene,
+                                        const roadnet::TrafficModel& traffic,
+                                        const FleetOptions& options) {
+  if (options.vehicles < 1 || options.trips_per_vehicle < 1)
+    throw InvalidArgument("simulate_fleet: need >= 1 vehicle and trip");
+  if (options.day_end <= options.day_start)
+    throw InvalidArgument("simulate_fleet: empty day window");
+  if (options.observation_noise_std < 0.0)
+    throw InvalidArgument("simulate_fleet: negative noise");
+  if (options.report_probability < 0.0 || options.report_probability > 1.0)
+    throw InvalidArgument("simulate_fleet: report probability outside [0,1]");
+
+  Rng rng(options.seed);
+  // Ground truth: reality's shadows (slot-quantized like any consumer).
+  const auto truth =
+      shadow::make_exact_estimator(graph, scene, geo::DayOfYear{196});
+
+  std::vector<Observation> observations;
+  const auto nodes = static_cast<std::int64_t>(graph.node_count());
+  for (int vehicle = 0; vehicle < options.vehicles; ++vehicle) {
+    const auto vehicle_id = static_cast<std::uint64_t>(vehicle + 1);
+    for (int trip = 0; trip < options.trips_per_vehicle; ++trip) {
+      const auto origin =
+          static_cast<roadnet::NodeId>(rng.uniform_int(0, nodes - 1));
+      const auto destination =
+          static_cast<roadnet::NodeId>(rng.uniform_int(0, nodes - 1));
+      if (origin == destination) continue;
+      const double window = options.day_end.since(options.day_start).value();
+      TimeOfDay clock = options.day_start.advanced_by(
+          Seconds{rng.uniform(0.0, window)});
+      const auto route =
+          core::shortest_time_path(graph, traffic, origin, destination, clock);
+      if (!route) continue;
+      for (const roadnet::EdgeId e : route->path.edges) {
+        if (rng.bernoulli(options.report_probability)) {
+          const double observed = std::clamp(
+              truth(e, clock) +
+                  rng.normal(0.0, options.observation_noise_std),
+              0.0, 1.0);
+          observations.push_back(
+              Observation{e, clock.slot_index(), observed, vehicle_id});
+        }
+        clock = clock.advanced_by(traffic.travel_time(graph, e, clock));
+      }
+    }
+  }
+  return observations;
+}
+
+}  // namespace sunchase::crowd

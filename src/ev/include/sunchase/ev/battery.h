@@ -1,0 +1,39 @@
+// Battery state-of-charge bookkeeping for multi-trip scenarios (the
+// paper's one-day driving evaluation). Solar input charges, driving
+// discharges; both clamp at the physical limits.
+#pragma once
+
+#include "sunchase/common/units.h"
+
+namespace sunchase::ev {
+
+/// A battery with capacity and current state of charge in watt-hours.
+class Battery {
+ public:
+  /// Starts at `initial` (defaults to full). Throws InvalidArgument
+  /// unless 0 < capacity and 0 <= initial <= capacity.
+  explicit Battery(WattHours capacity);
+  Battery(WattHours capacity, WattHours initial);
+
+  [[nodiscard]] WattHours capacity() const noexcept { return capacity_; }
+  [[nodiscard]] WattHours charge() const noexcept { return charge_; }
+  [[nodiscard]] double state_of_charge() const noexcept {
+    return charge_ / capacity_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return charge_.value() <= 0.0; }
+
+  /// Adds energy; returns the amount actually stored (clamped at
+  /// capacity). Negative amounts are rejected with InvalidArgument.
+  WattHours charge_by(WattHours amount);
+
+  /// Removes energy; returns the amount actually delivered (clamped at
+  /// zero — the vehicle strands rather than going negative). Negative
+  /// amounts are rejected with InvalidArgument.
+  WattHours discharge_by(WattHours amount);
+
+ private:
+  WattHours capacity_;
+  WattHours charge_;
+};
+
+}  // namespace sunchase::ev

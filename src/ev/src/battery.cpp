@@ -1,0 +1,36 @@
+#include "sunchase/ev/battery.h"
+
+#include <algorithm>
+
+#include "sunchase/common/error.h"
+
+namespace sunchase::ev {
+
+Battery::Battery(WattHours capacity) : Battery(capacity, capacity) {}
+
+Battery::Battery(WattHours capacity, WattHours initial)
+    : capacity_(capacity), charge_(initial) {
+  if (capacity.value() <= 0.0)
+    throw InvalidArgument("Battery: non-positive capacity");
+  if (initial.value() < 0.0 || initial > capacity)
+    throw InvalidArgument("Battery: initial charge outside [0, capacity]");
+}
+
+WattHours Battery::charge_by(WattHours amount) {
+  if (amount.value() < 0.0)
+    throw InvalidArgument("Battery::charge_by: negative amount");
+  const WattHours stored =
+      std::min(amount, capacity_ - charge_);
+  charge_ += stored;
+  return stored;
+}
+
+WattHours Battery::discharge_by(WattHours amount) {
+  if (amount.value() < 0.0)
+    throw InvalidArgument("Battery::discharge_by: negative amount");
+  const WattHours delivered = std::min(amount, charge_);
+  charge_ -= delivered;
+  return delivered;
+}
+
+}  // namespace sunchase::ev

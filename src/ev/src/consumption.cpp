@@ -1,0 +1,34 @@
+#include "sunchase/ev/consumption.h"
+
+#include "sunchase/common/error.h"
+
+namespace sunchase::ev {
+
+QuadraticConsumption::QuadraticConsumption(double a, double b,
+                                           std::string name)
+    : a_(a), b_(b), name_(std::move(name)) {
+  if (a < 0.0 || b <= 0.0)
+    throw InvalidArgument("QuadraticConsumption: need a >= 0, b > 0");
+}
+
+WattHours QuadraticConsumption::consumption(Meters distance,
+                                            MetersPerSecond speed) const {
+  if (speed.value() <= 0.0)
+    throw InvalidArgument("consumption: non-positive speed");
+  if (distance.value() < 0.0)
+    throw InvalidArgument("consumption: negative distance");
+  const double s_km = distance.value() / 1000.0;
+  const double v_kmh = to_kmh(speed);
+  return WattHours{s_km * (a_ * v_kmh * v_kmh + b_)};
+}
+
+std::unique_ptr<ConsumptionModel> make_lv_prototype() {
+  return std::make_unique<QuadraticConsumption>(0.01, 33.0, "Lv prototype");
+}
+
+std::unique_ptr<ConsumptionModel> make_tesla_model_s() {
+  return std::make_unique<QuadraticConsumption>(0.0266, 87.8,
+                                                "Tesla Model S");
+}
+
+}  // namespace sunchase::ev

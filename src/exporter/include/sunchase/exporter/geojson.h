@@ -1,0 +1,40 @@
+// GeoJSON export: routes, road graphs, plans and scenes as
+// FeatureCollections that drop straight into geojson.io / QGIS /
+// Leaflet — the practical way to eyeball a SunChase plan on a map.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "sunchase/core/planner.h"
+#include "sunchase/roadnet/path.h"
+#include "sunchase/shadow/scene.h"
+
+namespace sunchase::exporter {
+
+/// String-valued feature properties.
+using Properties = std::map<std::string, std::string>;
+
+/// One LineString feature following the path's node chain. Throws
+/// GraphError for unknown edges; an empty path yields an empty
+/// LineString.
+[[nodiscard]] std::string geojson_route(const roadnet::RoadGraph& graph,
+                                        const roadnet::Path& path,
+                                        const Properties& properties = {});
+
+/// Every directed edge as a LineString feature (properties: edge id,
+/// from, to, length_m).
+[[nodiscard]] std::string geojson_graph(const roadnet::RoadGraph& graph);
+
+/// Building footprints and tree canopies as Polygon features
+/// (properties: kind, height_m), georeferenced via the scene's
+/// projection.
+[[nodiscard]] std::string geojson_scene(const shadow::Scene& scene);
+
+/// A whole plan: the shortest-time route plus every better-solar
+/// candidate, each with its metrics as properties (kind,
+/// travel_time_s, energy_in_wh, energy_out_wh, extra_energy_wh).
+[[nodiscard]] std::string geojson_plan(const roadnet::RoadGraph& graph,
+                                       const core::PlanResult& plan);
+
+}  // namespace sunchase::exporter

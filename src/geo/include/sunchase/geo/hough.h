@@ -1,0 +1,48 @@
+// Probabilistic Hough line transform. The paper locates road
+// center-lines and intersection nodes in the binarized scene imagery
+// with a probabilistic Hough transform (Sec. IV-B2); this is that
+// detector, operating on a binary Raster.
+#pragma once
+
+#include <vector>
+
+#include "sunchase/common/rng.h"
+#include "sunchase/geo/raster.h"
+#include "sunchase/geo/segment.h"
+
+namespace sunchase::geo {
+
+/// A detected line in Hesse normal form plus its supporting pixel count.
+/// rho is the signed distance (pixels) from the image origin, theta the
+/// normal angle in [0, pi).
+struct HoughLine {
+  double rho_px = 0.0;
+  double theta_rad = 0.0;
+  int votes = 0;
+};
+
+struct HoughParams {
+  double rho_resolution_px = 1.0;
+  double theta_resolution_rad = 0.01745;  ///< 1 degree
+  int vote_threshold = 50;       ///< min accumulator votes to accept a line
+  double sample_fraction = 0.5;  ///< fraction of foreground pixels voted
+  int max_lines = 64;
+  double suppression_rho_px = 8.0;     ///< non-max suppression window
+  double suppression_theta_rad = 0.1;  ///< ~6 degrees
+};
+
+/// Runs the probabilistic Hough transform over foreground (255) pixels
+/// of a binary raster. Votes from a random `sample_fraction` subset of
+/// foreground pixels fill a (rho, theta) accumulator; peaks above the
+/// vote threshold are returned strongest-first after non-maximum
+/// suppression.
+[[nodiscard]] std::vector<HoughLine> hough_lines(const Raster& binary,
+                                                 const HoughParams& params,
+                                                 Rng& rng);
+
+/// World-space segment obtained by clipping a detected Hough line to the
+/// raster frame. Useful for snapping detections onto known road edges.
+[[nodiscard]] Segment line_to_world_segment(const HoughLine& line,
+                                            const Raster& raster);
+
+}  // namespace sunchase::geo

@@ -1,0 +1,53 @@
+// Geographic coordinates and the Haversine great-circle distance the
+// paper uses for edge lengths (Eq. 7), plus a local tangent-plane
+// projection for the shadow geometry.
+#pragma once
+
+#include "sunchase/common/units.h"
+#include "sunchase/geo/vec2.h"
+
+namespace sunchase::geo {
+
+/// WGS84 mean Earth radius, the `r` of the paper's Eq. 7.
+inline constexpr double kEarthRadiusMeters = 6371008.8;
+
+/// A geographic coordinate in degrees. Latitude in [-90, 90], longitude
+/// in [-180, 180]; construction does not validate (aggregate), the
+/// validation helper is `is_valid`.
+struct LatLon {
+  double lat_deg = 0.0;
+  double lon_deg = 0.0;
+
+  friend constexpr bool operator==(LatLon a, LatLon b) noexcept = default;
+};
+
+[[nodiscard]] constexpr bool is_valid(LatLon p) noexcept {
+  return p.lat_deg >= -90.0 && p.lat_deg <= 90.0 && p.lon_deg >= -180.0 &&
+         p.lon_deg <= 180.0;
+}
+
+/// Great-circle distance between two coordinates by the Haversine
+/// formula (paper Eq. 7).
+[[nodiscard]] Meters haversine_distance(LatLon a, LatLon b) noexcept;
+
+/// Equirectangular local projection around an origin: good to centimeter
+/// error over the few-kilometer extents of the paper's downtown scenes,
+/// and exactly invertible, which the tests verify.
+class LocalProjection {
+ public:
+  explicit LocalProjection(LatLon origin) noexcept;
+
+  /// Geographic -> local planar meters (east = +x, north = +y).
+  [[nodiscard]] Vec2 to_local(LatLon p) const noexcept;
+  /// Local planar meters -> geographic.
+  [[nodiscard]] LatLon to_geo(Vec2 v) const noexcept;
+
+  [[nodiscard]] LatLon origin() const noexcept { return origin_; }
+
+ private:
+  LatLon origin_;
+  double meters_per_deg_lat_;
+  double meters_per_deg_lon_;
+};
+
+}  // namespace sunchase::geo

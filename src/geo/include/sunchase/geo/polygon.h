@@ -1,0 +1,63 @@
+// Simple polygons in local planar coordinates: areas, containment,
+// convex hulls, and the convex clipping used to intersect road segments
+// with shadow polygons.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "sunchase/geo/segment.h"
+#include "sunchase/geo/vec2.h"
+
+namespace sunchase::geo {
+
+/// A simple polygon stored as a CCW or CW ring of vertices (no explicit
+/// closure vertex). Invariant-free aggregate per Core Guidelines C.2:
+/// helpers below validate/normalize as needed.
+struct Polygon {
+  std::vector<Vec2> vertices;
+
+  [[nodiscard]] std::size_t size() const noexcept { return vertices.size(); }
+  [[nodiscard]] bool empty() const noexcept { return vertices.empty(); }
+};
+
+/// Signed area (> 0 for CCW rings), by the shoelace formula.
+[[nodiscard]] double signed_area(const Polygon& poly) noexcept;
+
+/// Absolute enclosed area.
+[[nodiscard]] double area(const Polygon& poly) noexcept;
+
+/// Reverses the ring if needed so that it winds counter-clockwise.
+void make_ccw(Polygon& poly) noexcept;
+
+/// Point-in-polygon by the crossing-number rule; boundary points count
+/// as inside (tolerant of rasterization round-off).
+[[nodiscard]] bool contains(const Polygon& poly, Vec2 p) noexcept;
+
+/// Axis-aligned bounding box (min, max); precondition: non-empty.
+[[nodiscard]] std::pair<Vec2, Vec2> bounding_box(const Polygon& poly);
+
+/// Convex hull (Andrew monotone chain), returned CCW. Duplicates and
+/// collinear boundary points are dropped.
+[[nodiscard]] Polygon convex_hull(std::vector<Vec2> points);
+
+/// True when the ring is convex (assumes CCW orientation).
+[[nodiscard]] bool is_convex(const Polygon& poly) noexcept;
+
+/// Clips segment `s` against a *convex* CCW polygon (Cyrus–Beck) and
+/// returns the parameter interval of `s` inside the polygon, or nullopt
+/// when the segment misses it. Precondition: polygon has >= 3 vertices.
+[[nodiscard]] std::optional<Interval> clip_segment_to_convex(
+    const Segment& s, const Polygon& convex_ccw);
+
+/// Polygon translated by `offset` (used to slide building footprints
+/// along the sun direction when building shadow volumes).
+[[nodiscard]] Polygon translated(const Polygon& poly, Vec2 offset);
+
+/// Regular n-gon approximation of a disc (tree canopies).
+[[nodiscard]] Polygon regular_polygon(Vec2 center, double radius, int sides);
+
+/// Axis-aligned rectangle from min/max corners.
+[[nodiscard]] Polygon rectangle(Vec2 min_corner, Vec2 max_corner);
+
+}  // namespace sunchase::geo

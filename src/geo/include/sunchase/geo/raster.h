@@ -1,0 +1,89 @@
+// A top-down grayscale raster over a local planar scene. This is the
+// "2D imagery of 3D scenes" of the paper's vision pipeline: the shadow
+// substrate renders roads/shadows into it, then binarization and
+// area-ratio counting estimate shaded road lengths (paper Eq. 8-9).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sunchase/geo/polygon.h"
+#include "sunchase/geo/vec2.h"
+
+namespace sunchase::geo {
+
+/// Mapping between world meters and pixel indices. Pixel (0,0) is the
+/// *top-left* of the image (north-west corner of the scene), matching
+/// image conventions: world y decreases as the row index grows.
+struct RasterFrame {
+  Vec2 world_min;        ///< south-west corner of the imaged area
+  Vec2 world_max;        ///< north-east corner
+  double meters_per_px;  ///< square pixels
+
+  [[nodiscard]] int width_px() const noexcept;
+  [[nodiscard]] int height_px() const noexcept;
+};
+
+/// 8-bit grayscale image with a world frame.
+class Raster {
+ public:
+  /// Creates an image covering `frame`, cleared to `background`.
+  /// Throws InvalidArgument if the frame is degenerate or enormous.
+  Raster(RasterFrame frame, std::uint8_t background = 0);
+
+  [[nodiscard]] int width() const noexcept { return width_; }
+  [[nodiscard]] int height() const noexcept { return height_; }
+  [[nodiscard]] const RasterFrame& frame() const noexcept { return frame_; }
+
+  /// Pixel accessors; precondition: in bounds.
+  [[nodiscard]] std::uint8_t at(int x, int y) const;
+  void set(int x, int y, std::uint8_t v);
+
+  /// World coordinate of a pixel center / pixel containing a world point.
+  [[nodiscard]] Vec2 pixel_center(int x, int y) const noexcept;
+  [[nodiscard]] std::pair<int, int> to_pixel(Vec2 world) const noexcept;
+  [[nodiscard]] bool in_bounds(int x, int y) const noexcept {
+    return x >= 0 && x < width_ && y >= 0 && y < height_;
+  }
+
+  /// Paints every pixel whose center lies inside `poly` with `value`.
+  void fill_polygon(const Polygon& poly, std::uint8_t value);
+
+  /// Like fill_polygon but keeps the darker of existing/new value —
+  /// overlapping shadows do not brighten each other.
+  void darken_polygon(const Polygon& poly, std::uint8_t value);
+
+  /// Paints a road corridor: all pixels within `half_width` meters of
+  /// the segment get `value`.
+  void fill_corridor(const Segment& s, double half_width_m,
+                     std::uint8_t value);
+
+  /// Counts pixels within `half_width` of the segment satisfying `pred`.
+  [[nodiscard]] long count_corridor(
+      const Segment& s, double half_width_m,
+      const std::function<bool(std::uint8_t)>& pred) const;
+
+  /// In-place threshold: >= threshold -> 255, else 0 (binarization step).
+  void binarize(std::uint8_t threshold);
+
+  /// Writes a binary PGM (P5) image for visual inspection.
+  void write_pgm(const std::string& path) const;
+
+  /// Raw row-major pixel store (read-only), for tests and Hough.
+  [[nodiscard]] const std::vector<std::uint8_t>& pixels() const noexcept {
+    return data_;
+  }
+
+ private:
+  void for_each_pixel_in_box(Vec2 lo, Vec2 hi,
+                             const std::function<void(int, int)>& fn) const;
+
+  RasterFrame frame_;
+  int width_;
+  int height_;
+  std::vector<std::uint8_t> data_;
+};
+
+}  // namespace sunchase::geo

@@ -1,0 +1,53 @@
+// Line segments in local planar coordinates, plus the interval algebra
+// used to turn "segment ∩ shadow polygons" into a shaded length.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "sunchase/geo/vec2.h"
+
+namespace sunchase::geo {
+
+/// Directed line segment from `a` to `b`.
+struct Segment {
+  Vec2 a;
+  Vec2 b;
+
+  [[nodiscard]] double length() const noexcept { return distance(a, b); }
+  /// Point at parameter t in [0,1] along the segment.
+  [[nodiscard]] Vec2 point_at(double t) const noexcept {
+    return a + (b - a) * t;
+  }
+  [[nodiscard]] Vec2 direction() const noexcept { return normalized(b - a); }
+};
+
+/// Shortest distance from point `p` to the segment.
+[[nodiscard]] double distance_to_segment(Vec2 p, const Segment& s) noexcept;
+
+/// Parameter of the point on `s` closest to `p`, clamped to [0,1].
+[[nodiscard]] double project_onto_segment(Vec2 p, const Segment& s) noexcept;
+
+/// Intersection parameter pair (t on s1, u on s2) if the two segments
+/// properly intersect (including touching endpoints); nullopt if
+/// parallel or disjoint.
+[[nodiscard]] std::optional<std::pair<double, double>> intersect(
+    const Segment& s1, const Segment& s2) noexcept;
+
+/// A half-open parameter interval [lo, hi] within [0,1] along a segment.
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+  [[nodiscard]] double length() const noexcept { return hi - lo; }
+  friend constexpr bool operator==(Interval, Interval) noexcept = default;
+};
+
+/// Sorts and merges overlapping/adjacent intervals in place; returns the
+/// merged list. Total covered length = sum of merged lengths.
+[[nodiscard]] std::vector<Interval> merge_intervals(
+    std::vector<Interval> intervals) noexcept;
+
+/// Total length covered by the (possibly overlapping) intervals.
+[[nodiscard]] double covered_length(std::vector<Interval> intervals) noexcept;
+
+}  // namespace sunchase::geo

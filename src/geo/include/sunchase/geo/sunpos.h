@@ -1,0 +1,55 @@
+// Solar geometry: where is the sun, and which way (and how far) do
+// shadows fall. Replaces the ArcGIS 3D-scene sunlight simulation the
+// paper uses, with the standard NOAA solar-position approximations.
+#pragma once
+
+#include "sunchase/common/time_of_day.h"
+#include "sunchase/geo/latlon.h"
+#include "sunchase/geo/vec2.h"
+
+namespace sunchase::geo {
+
+/// Sun direction at an instant. Azimuth is measured clockwise from true
+/// north (0 = north, pi/2 = east); elevation from the horizon plane.
+struct SunPosition {
+  double elevation_rad = 0.0;
+  double azimuth_rad = 0.0;
+
+  /// True when the sun is above the horizon.
+  [[nodiscard]] bool is_up() const noexcept { return elevation_rad > 0.0; }
+};
+
+/// Calendar date within a year; only the day-of-year matters for solar
+/// declination. July 15 (day 196) is the default test day, matching the
+/// paper's July experiments in Montreal.
+struct DayOfYear {
+  int day = 196;
+};
+
+/// Computes the sun position from the NOAA general solar position
+/// approximation: fractional year -> equation of time + declination ->
+/// true solar time -> hour angle -> elevation/azimuth.
+///
+/// `utc_offset_hours` is the local clock's offset from UTC (Montreal in
+/// July: -4 for EDT).
+[[nodiscard]] SunPosition sun_position(LatLon where, DayOfYear day,
+                                       TimeOfDay local_time,
+                                       double utc_offset_hours = -4.0) noexcept;
+
+/// Unit ground vector pointing *away* from the sun — the direction a
+/// shadow extends from the object that casts it.
+[[nodiscard]] Vec2 shadow_direction(const SunPosition& sun) noexcept;
+
+/// Ground-shadow length of an object of height `h` (meters): h / tan(el).
+/// Clamped at `max_factor * h` near sunrise/sunset where tan(el) -> 0,
+/// mirroring the finite scene extent of the paper's 3D renders.
+[[nodiscard]] double shadow_length(const SunPosition& sun, double height_m,
+                                   double max_factor = 20.0) noexcept;
+
+/// Solar declination (radians) for the day, exposed for tests.
+[[nodiscard]] double solar_declination(DayOfYear day) noexcept;
+
+/// Equation of time (minutes) for the day, exposed for tests.
+[[nodiscard]] double equation_of_time_minutes(DayOfYear day) noexcept;
+
+}  // namespace sunchase::geo

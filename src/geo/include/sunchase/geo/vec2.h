@@ -1,0 +1,57 @@
+// Plain 2D vector in local planar (east, north) meters. Used for all
+// shadow geometry after projecting lat/lon through a LocalProjection.
+#pragma once
+
+#include <cmath>
+
+namespace sunchase::geo {
+
+/// 2D point/vector; x = meters east, y = meters north of a local origin.
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2 operator+(Vec2 o) const noexcept { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(Vec2 o) const noexcept { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double s) const noexcept { return {x * s, y * s}; }
+  constexpr Vec2 operator/(double s) const noexcept { return {x / s, y / s}; }
+  constexpr Vec2 operator-() const noexcept { return {-x, -y}; }
+  constexpr Vec2& operator+=(Vec2 o) noexcept {
+    x += o.x;
+    y += o.y;
+    return *this;
+  }
+  constexpr Vec2& operator-=(Vec2 o) noexcept {
+    x -= o.x;
+    y -= o.y;
+    return *this;
+  }
+  friend constexpr bool operator==(Vec2 a, Vec2 b) noexcept = default;
+};
+
+constexpr Vec2 operator*(double s, Vec2 v) noexcept { return v * s; }
+
+constexpr double dot(Vec2 a, Vec2 b) noexcept { return a.x * b.x + a.y * b.y; }
+/// z-component of the 3D cross product; > 0 when b is CCW of a.
+constexpr double cross(Vec2 a, Vec2 b) noexcept { return a.x * b.y - a.y * b.x; }
+inline double norm(Vec2 v) noexcept { return std::hypot(v.x, v.y); }
+constexpr double norm_squared(Vec2 v) noexcept { return dot(v, v); }
+
+/// Unit vector in v's direction; returns {0,0} for a zero vector.
+inline Vec2 normalized(Vec2 v) noexcept {
+  const double n = norm(v);
+  return n > 0.0 ? v / n : Vec2{};
+}
+
+/// v rotated CCW by `radians`.
+inline Vec2 rotated(Vec2 v, double radians) noexcept {
+  const double c = std::cos(radians), s = std::sin(radians);
+  return {c * v.x - s * v.y, s * v.x + c * v.y};
+}
+
+/// Perpendicular (CCW 90°).
+constexpr Vec2 perp(Vec2 v) noexcept { return {-v.y, v.x}; }
+
+inline double distance(Vec2 a, Vec2 b) noexcept { return norm(b - a); }
+
+}  // namespace sunchase::geo

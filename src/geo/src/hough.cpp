@@ -1,0 +1,120 @@
+#include "sunchase/geo/hough.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "sunchase/common/assert.h"
+
+namespace sunchase::geo {
+
+namespace {
+constexpr double kPi = std::numbers::pi;
+}
+
+std::vector<HoughLine> hough_lines(const Raster& binary,
+                                   const HoughParams& params, Rng& rng) {
+  SUNCHASE_EXPECTS(params.rho_resolution_px > 0.0);
+  SUNCHASE_EXPECTS(params.theta_resolution_rad > 0.0);
+  SUNCHASE_EXPECTS(params.sample_fraction > 0.0 &&
+                   params.sample_fraction <= 1.0);
+
+  // Collect foreground pixel coordinates.
+  std::vector<std::pair<int, int>> fg;
+  for (int y = 0; y < binary.height(); ++y)
+    for (int x = 0; x < binary.width(); ++x)
+      if (binary.at(x, y) == 255) fg.emplace_back(x, y);
+  if (fg.empty()) return {};
+
+  const double diag = std::hypot(binary.width(), binary.height());
+  const int n_rho =
+      static_cast<int>(std::ceil(2.0 * diag / params.rho_resolution_px)) + 1;
+  const int n_theta =
+      static_cast<int>(std::ceil(kPi / params.theta_resolution_rad));
+
+  // Precompute the theta table once; the accumulator is rho-major.
+  std::vector<double> cos_t(static_cast<std::size_t>(n_theta));
+  std::vector<double> sin_t(static_cast<std::size_t>(n_theta));
+  for (int t = 0; t < n_theta; ++t) {
+    const double theta = t * params.theta_resolution_rad;
+    cos_t[static_cast<std::size_t>(t)] = std::cos(theta);
+    sin_t[static_cast<std::size_t>(t)] = std::sin(theta);
+  }
+
+  std::vector<int> acc(static_cast<std::size_t>(n_rho) *
+                       static_cast<std::size_t>(n_theta));
+  // Probabilistic part: vote with a random subset of foreground pixels.
+  for (const auto& [x, y] : fg) {
+    if (!rng.bernoulli(params.sample_fraction)) continue;
+    for (int t = 0; t < n_theta; ++t) {
+      const double rho = x * cos_t[static_cast<std::size_t>(t)] +
+                         y * sin_t[static_cast<std::size_t>(t)];
+      const int r = static_cast<int>(
+          std::lround((rho + diag) / params.rho_resolution_px));
+      if (r >= 0 && r < n_rho)
+        ++acc[static_cast<std::size_t>(r) * static_cast<std::size_t>(n_theta) +
+              static_cast<std::size_t>(t)];
+    }
+  }
+
+  // Peak extraction with greedy non-maximum suppression.
+  struct Peak {
+    int r, t, votes;
+  };
+  std::vector<Peak> peaks;
+  for (int r = 0; r < n_rho; ++r)
+    for (int t = 0; t < n_theta; ++t) {
+      const int v = acc[static_cast<std::size_t>(r) *
+                            static_cast<std::size_t>(n_theta) +
+                        static_cast<std::size_t>(t)];
+      if (v >= params.vote_threshold) peaks.push_back({r, t, v});
+    }
+  std::sort(peaks.begin(), peaks.end(),
+            [](const Peak& a, const Peak& b) { return a.votes > b.votes; });
+
+  std::vector<HoughLine> lines;
+  const double sup_r = params.suppression_rho_px / params.rho_resolution_px;
+  const double sup_t =
+      params.suppression_theta_rad / params.theta_resolution_rad;
+  for (const Peak& p : peaks) {
+    if (static_cast<int>(lines.size()) >= params.max_lines) break;
+    const double rho = p.r * params.rho_resolution_px - diag;
+    const double theta = p.t * params.theta_resolution_rad;
+    bool suppressed = false;
+    for (const HoughLine& kept : lines) {
+      const double dr =
+          std::abs(kept.rho_px - rho) / params.rho_resolution_px;
+      // Theta wraps at pi (rho flips sign); compare circularly.
+      double dt = std::abs(kept.theta_rad - theta);
+      dt = std::min(dt, kPi - dt) / params.theta_resolution_rad;
+      if (dr < sup_r && dt < sup_t) {
+        suppressed = true;
+        break;
+      }
+    }
+    if (!suppressed) lines.push_back({rho, theta, p.votes});
+  }
+  return lines;
+}
+
+Segment line_to_world_segment(const HoughLine& line, const Raster& raster) {
+  // The line is x cos(theta) + y sin(theta) = rho in *pixel* space.
+  // Walk it across the image and convert the two border crossings.
+  const double c = std::cos(line.theta_rad);
+  const double s = std::sin(line.theta_rad);
+  // Point on the line closest to the pixel origin, plus the direction.
+  const Vec2 p0{line.rho_px * c, line.rho_px * s};
+  const Vec2 dir{-s, c};
+  const double diag = std::hypot(raster.width(), raster.height());
+  const Vec2 a_px = p0 - dir * diag;
+  const Vec2 b_px = p0 + dir * diag;
+
+  auto px_to_world = [&](Vec2 px) {
+    const auto& f = raster.frame();
+    return Vec2{f.world_min.x + px.x * f.meters_per_px,
+                f.world_max.y - px.y * f.meters_per_px};
+  };
+  return Segment{px_to_world(a_px), px_to_world(b_px)};
+}
+
+}  // namespace sunchase::geo

@@ -1,0 +1,47 @@
+#include "sunchase/geo/latlon.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace sunchase::geo {
+
+namespace {
+constexpr double kDegToRad = std::numbers::pi / 180.0;
+constexpr double kRadToDeg = 180.0 / std::numbers::pi;
+}  // namespace
+
+Meters haversine_distance(LatLon a, LatLon b) noexcept {
+  // Paper Eq. 7: d = 2 r asin( sqrt(A + B) ) with
+  // A = sin^2((phi2-phi1)/2), B = cos(phi1) cos(phi2) sin^2((lam2-lam1)/2).
+  const double phi1 = a.lat_deg * kDegToRad;
+  const double phi2 = b.lat_deg * kDegToRad;
+  const double dphi = (b.lat_deg - a.lat_deg) * kDegToRad;
+  const double dlam = (b.lon_deg - a.lon_deg) * kDegToRad;
+  const double sin_dphi = std::sin(dphi / 2.0);
+  const double sin_dlam = std::sin(dlam / 2.0);
+  const double h =
+      sin_dphi * sin_dphi + std::cos(phi1) * std::cos(phi2) * sin_dlam * sin_dlam;
+  // Clamp against rounding drift before the square root.
+  const double root = std::sqrt(h < 0.0 ? 0.0 : (h > 1.0 ? 1.0 : h));
+  return Meters{2.0 * kEarthRadiusMeters * std::asin(root)};
+}
+
+LocalProjection::LocalProjection(LatLon origin) noexcept
+    : origin_(origin),
+      // One degree of latitude is very nearly constant; one degree of
+      // longitude shrinks by cos(latitude).
+      meters_per_deg_lat_(kEarthRadiusMeters * kDegToRad),
+      meters_per_deg_lon_(kEarthRadiusMeters * kDegToRad *
+                          std::cos(origin.lat_deg * kDegToRad)) {}
+
+Vec2 LocalProjection::to_local(LatLon p) const noexcept {
+  return {(p.lon_deg - origin_.lon_deg) * meters_per_deg_lon_,
+          (p.lat_deg - origin_.lat_deg) * meters_per_deg_lat_};
+}
+
+LatLon LocalProjection::to_geo(Vec2 v) const noexcept {
+  return {origin_.lat_deg + v.y / meters_per_deg_lat_,
+          origin_.lon_deg + v.x / meters_per_deg_lon_};
+}
+
+}  // namespace sunchase::geo

@@ -1,0 +1,159 @@
+#include "sunchase/geo/polygon.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sunchase/common/assert.h"
+
+namespace sunchase::geo {
+
+double signed_area(const Polygon& poly) noexcept {
+  const auto& v = poly.vertices;
+  if (v.size() < 3) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    const Vec2& p = v[i];
+    const Vec2& q = v[(i + 1) % v.size()];
+    sum += cross(p, q);
+  }
+  return sum / 2.0;
+}
+
+double area(const Polygon& poly) noexcept { return std::abs(signed_area(poly)); }
+
+void make_ccw(Polygon& poly) noexcept {
+  if (signed_area(poly) < 0.0)
+    std::reverse(poly.vertices.begin(), poly.vertices.end());
+}
+
+bool contains(const Polygon& poly, Vec2 p) noexcept {
+  const auto& v = poly.vertices;
+  if (v.size() < 3) return false;
+  // Boundary tolerance: a point within eps of an edge counts as inside.
+  constexpr double eps = 1e-9;
+  bool inside = false;
+  for (std::size_t i = 0, j = v.size() - 1; i < v.size(); j = i++) {
+    if (distance_to_segment(p, Segment{v[j], v[i]}) < eps) return true;
+    const bool crosses = (v[i].y > p.y) != (v[j].y > p.y);
+    if (crosses) {
+      const double x_at =
+          v[j].x + (v[i].x - v[j].x) * (p.y - v[j].y) / (v[i].y - v[j].y);
+      if (p.x < x_at) inside = !inside;
+    }
+  }
+  return inside;
+}
+
+std::pair<Vec2, Vec2> bounding_box(const Polygon& poly) {
+  SUNCHASE_EXPECTS(!poly.empty());
+  Vec2 lo = poly.vertices.front();
+  Vec2 hi = lo;
+  for (const Vec2& v : poly.vertices) {
+    lo.x = std::min(lo.x, v.x);
+    lo.y = std::min(lo.y, v.y);
+    hi.x = std::max(hi.x, v.x);
+    hi.y = std::max(hi.y, v.y);
+  }
+  return {lo, hi};
+}
+
+Polygon convex_hull(std::vector<Vec2> points) {
+  if (points.size() < 3) return Polygon{std::move(points)};
+  std::sort(points.begin(), points.end(), [](Vec2 a, Vec2 b) {
+    return a.x < b.x || (a.x == b.x && a.y < b.y);
+  });
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+  if (points.size() < 3) return Polygon{std::move(points)};
+
+  std::vector<Vec2> hull(2 * points.size());
+  std::size_t k = 0;
+  // Lower hull.
+  for (const Vec2& p : points) {
+    while (k >= 2 && cross(hull[k - 1] - hull[k - 2], p - hull[k - 2]) <= 0)
+      --k;
+    hull[k++] = p;
+  }
+  // Upper hull.
+  const std::size_t lower = k + 1;
+  for (auto it = points.rbegin() + 1; it != points.rend(); ++it) {
+    while (k >= lower &&
+           cross(hull[k - 1] - hull[k - 2], *it - hull[k - 2]) <= 0)
+      --k;
+    hull[k++] = *it;
+  }
+  hull.resize(k - 1);  // last point repeats the first
+  return Polygon{std::move(hull)};
+}
+
+bool is_convex(const Polygon& poly) noexcept {
+  const auto& v = poly.vertices;
+  if (v.size() < 3) return false;
+  constexpr double eps = 1e-9;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    const Vec2 a = v[i];
+    const Vec2 b = v[(i + 1) % v.size()];
+    const Vec2 c = v[(i + 2) % v.size()];
+    if (cross(b - a, c - b) < -eps) return false;
+  }
+  return true;
+}
+
+std::optional<Interval> clip_segment_to_convex(const Segment& s,
+                                               const Polygon& convex_ccw) {
+  SUNCHASE_EXPECTS(convex_ccw.size() >= 3);
+  // Cyrus–Beck: intersect the parameter range [0,1] with the half-plane
+  // of every polygon edge (inward normal = left of a CCW edge).
+  const auto& v = convex_ccw.vertices;
+  double t_enter = 0.0;
+  double t_exit = 1.0;
+  const Vec2 d = s.b - s.a;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    const Vec2 e = v[(i + 1) % v.size()] - v[i];
+    const Vec2 inward = perp(e);
+    const double denom = dot(inward, d);
+    const double num = dot(inward, v[i] - s.a);
+    if (std::abs(denom) < 1e-12) {
+      // Segment parallel to this edge: inside the half-plane iff
+      // dot(inward, a - v_i) >= 0, i.e. num <= 0.
+      if (num > 0.0) return std::nullopt;
+      continue;
+    }
+    const double t = num / denom;
+    if (denom > 0.0) {
+      t_enter = std::max(t_enter, t);  // entering the half-plane
+    } else {
+      t_exit = std::min(t_exit, t);  // leaving the half-plane
+    }
+    if (t_enter > t_exit) return std::nullopt;
+  }
+  if (t_exit - t_enter <= 1e-12) return std::nullopt;
+  return Interval{t_enter, t_exit};
+}
+
+Polygon translated(const Polygon& poly, Vec2 offset) {
+  Polygon out = poly;
+  for (Vec2& v : out.vertices) v += offset;
+  return out;
+}
+
+Polygon regular_polygon(Vec2 center, double radius, int sides) {
+  SUNCHASE_EXPECTS(radius > 0.0 && sides >= 3);
+  Polygon poly;
+  poly.vertices.reserve(static_cast<std::size_t>(sides));
+  for (int i = 0; i < sides; ++i) {
+    const double angle = 2.0 * 3.14159265358979323846 * i / sides;
+    poly.vertices.push_back(
+        center + Vec2{radius * std::cos(angle), radius * std::sin(angle)});
+  }
+  return poly;
+}
+
+Polygon rectangle(Vec2 min_corner, Vec2 max_corner) {
+  SUNCHASE_EXPECTS(min_corner.x < max_corner.x && min_corner.y < max_corner.y);
+  return Polygon{{min_corner,
+                  {max_corner.x, min_corner.y},
+                  max_corner,
+                  {min_corner.x, max_corner.y}}};
+}
+
+}  // namespace sunchase::geo

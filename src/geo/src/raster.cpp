@@ -1,0 +1,127 @@
+#include "sunchase/geo/raster.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+#include "sunchase/common/assert.h"
+#include "sunchase/common/error.h"
+
+namespace sunchase::geo {
+
+int RasterFrame::width_px() const noexcept {
+  return static_cast<int>(
+      std::ceil((world_max.x - world_min.x) / meters_per_px));
+}
+
+int RasterFrame::height_px() const noexcept {
+  return static_cast<int>(
+      std::ceil((world_max.y - world_min.y) / meters_per_px));
+}
+
+Raster::Raster(RasterFrame frame, std::uint8_t background)
+    : frame_(frame), width_(frame.width_px()), height_(frame.height_px()) {
+  if (frame.meters_per_px <= 0.0 || width_ <= 0 || height_ <= 0)
+    throw InvalidArgument("Raster: degenerate frame");
+  if (static_cast<long>(width_) * height_ > 64L * 1024 * 1024)
+    throw InvalidArgument("Raster: frame exceeds 64 Mpixel safety limit");
+  data_.assign(static_cast<std::size_t>(width_) *
+                   static_cast<std::size_t>(height_),
+               background);
+}
+
+std::uint8_t Raster::at(int x, int y) const {
+  SUNCHASE_EXPECTS(in_bounds(x, y));
+  return data_[static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+               static_cast<std::size_t>(x)];
+}
+
+void Raster::set(int x, int y, std::uint8_t v) {
+  SUNCHASE_EXPECTS(in_bounds(x, y));
+  data_[static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+        static_cast<std::size_t>(x)] = v;
+}
+
+Vec2 Raster::pixel_center(int x, int y) const noexcept {
+  return {frame_.world_min.x + (x + 0.5) * frame_.meters_per_px,
+          frame_.world_max.y - (y + 0.5) * frame_.meters_per_px};
+}
+
+std::pair<int, int> Raster::to_pixel(Vec2 world) const noexcept {
+  const int x = static_cast<int>(
+      std::floor((world.x - frame_.world_min.x) / frame_.meters_per_px));
+  const int y = static_cast<int>(
+      std::floor((frame_.world_max.y - world.y) / frame_.meters_per_px));
+  return {x, y};
+}
+
+void Raster::for_each_pixel_in_box(
+    Vec2 lo, Vec2 hi, const std::function<void(int, int)>& fn) const {
+  auto [x0, y1] = to_pixel(lo);  // low world y -> high pixel row
+  auto [x1, y0] = to_pixel(hi);
+  x0 = std::max(x0, 0);
+  y0 = std::max(y0, 0);
+  x1 = std::min(x1, width_ - 1);
+  y1 = std::min(y1, height_ - 1);
+  for (int y = y0; y <= y1; ++y)
+    for (int x = x0; x <= x1; ++x) fn(x, y);
+}
+
+void Raster::fill_polygon(const Polygon& poly, std::uint8_t value) {
+  if (poly.size() < 3) return;
+  const auto [lo, hi] = bounding_box(poly);
+  for_each_pixel_in_box(lo, hi, [&](int x, int y) {
+    if (contains(poly, pixel_center(x, y))) set(x, y, value);
+  });
+}
+
+void Raster::darken_polygon(const Polygon& poly, std::uint8_t value) {
+  if (poly.size() < 3) return;
+  const auto [lo, hi] = bounding_box(poly);
+  for_each_pixel_in_box(lo, hi, [&](int x, int y) {
+    if (at(x, y) > value && contains(poly, pixel_center(x, y)))
+      set(x, y, value);
+  });
+}
+
+void Raster::fill_corridor(const Segment& s, double half_width_m,
+                           std::uint8_t value) {
+  SUNCHASE_EXPECTS(half_width_m > 0.0);
+  const Vec2 pad{half_width_m, half_width_m};
+  const Vec2 lo{std::min(s.a.x, s.b.x), std::min(s.a.y, s.b.y)};
+  const Vec2 hi{std::max(s.a.x, s.b.x), std::max(s.a.y, s.b.y)};
+  for_each_pixel_in_box(lo - pad, hi + pad, [&](int x, int y) {
+    if (distance_to_segment(pixel_center(x, y), s) <= half_width_m)
+      set(x, y, value);
+  });
+}
+
+long Raster::count_corridor(const Segment& s, double half_width_m,
+                            const std::function<bool(std::uint8_t)>& pred) const {
+  SUNCHASE_EXPECTS(half_width_m > 0.0);
+  long count = 0;
+  const Vec2 pad{half_width_m, half_width_m};
+  const Vec2 lo{std::min(s.a.x, s.b.x), std::min(s.a.y, s.b.y)};
+  const Vec2 hi{std::max(s.a.x, s.b.x), std::max(s.a.y, s.b.y)};
+  for_each_pixel_in_box(lo - pad, hi + pad, [&](int x, int y) {
+    if (distance_to_segment(pixel_center(x, y), s) <= half_width_m &&
+        pred(at(x, y)))
+      ++count;
+  });
+  return count;
+}
+
+void Raster::binarize(std::uint8_t threshold) {
+  for (std::uint8_t& px : data_) px = (px >= threshold) ? 255 : 0;
+}
+
+void Raster::write_pgm(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw IoError("Raster::write_pgm: cannot open '" + path + "'");
+  out << "P5\n" << width_ << ' ' << height_ << "\n255\n";
+  out.write(reinterpret_cast<const char*>(data_.data()),
+            static_cast<std::streamsize>(data_.size()));
+  if (!out) throw IoError("Raster::write_pgm: write failed for '" + path + "'");
+}
+
+}  // namespace sunchase::geo

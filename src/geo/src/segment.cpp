@@ -1,0 +1,60 @@
+#include "sunchase/geo/segment.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sunchase::geo {
+
+double project_onto_segment(Vec2 p, const Segment& s) noexcept {
+  const Vec2 d = s.b - s.a;
+  const double len2 = norm_squared(d);
+  if (len2 <= 0.0) return 0.0;
+  const double t = dot(p - s.a, d) / len2;
+  return std::clamp(t, 0.0, 1.0);
+}
+
+double distance_to_segment(Vec2 p, const Segment& s) noexcept {
+  return distance(p, s.point_at(project_onto_segment(p, s)));
+}
+
+std::optional<std::pair<double, double>> intersect(const Segment& s1,
+                                                   const Segment& s2) noexcept {
+  const Vec2 r = s1.b - s1.a;
+  const Vec2 q = s2.b - s2.a;
+  const double denom = cross(r, q);
+  if (std::abs(denom) < 1e-12) return std::nullopt;  // parallel / degenerate
+  const Vec2 w = s2.a - s1.a;
+  const double t = cross(w, q) / denom;
+  const double u = cross(w, r) / denom;
+  constexpr double eps = 1e-9;
+  if (t < -eps || t > 1.0 + eps || u < -eps || u > 1.0 + eps)
+    return std::nullopt;
+  return std::make_pair(std::clamp(t, 0.0, 1.0), std::clamp(u, 0.0, 1.0));
+}
+
+std::vector<Interval> merge_intervals(std::vector<Interval> intervals) noexcept {
+  if (intervals.empty()) return intervals;
+  std::sort(intervals.begin(), intervals.end(),
+            [](const Interval& a, const Interval& b) { return a.lo < b.lo; });
+  std::vector<Interval> merged;
+  merged.reserve(intervals.size());
+  merged.push_back(intervals.front());
+  for (std::size_t i = 1; i < intervals.size(); ++i) {
+    Interval& last = merged.back();
+    if (intervals[i].lo <= last.hi) {
+      last.hi = std::max(last.hi, intervals[i].hi);
+    } else {
+      merged.push_back(intervals[i]);
+    }
+  }
+  return merged;
+}
+
+double covered_length(std::vector<Interval> intervals) noexcept {
+  double total = 0.0;
+  for (const Interval& iv : merge_intervals(std::move(intervals)))
+    total += iv.length();
+  return total;
+}
+
+}  // namespace sunchase::geo

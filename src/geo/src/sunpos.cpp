@@ -1,0 +1,76 @@
+#include "sunchase/geo/sunpos.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace sunchase::geo {
+
+namespace {
+constexpr double kPi = std::numbers::pi;
+
+/// NOAA "fractional year" in radians at local solar noon of the day.
+double fractional_year(DayOfYear day, double hour) noexcept {
+  return 2.0 * kPi / 365.0 * (day.day - 1 + (hour - 12.0) / 24.0);
+}
+}  // namespace
+
+double solar_declination(DayOfYear day) noexcept {
+  const double g = fractional_year(day, 12.0);
+  // NOAA Fourier-series approximation of declination (radians).
+  return 0.006918 - 0.399912 * std::cos(g) + 0.070257 * std::sin(g) -
+         0.006758 * std::cos(2 * g) + 0.000907 * std::sin(2 * g) -
+         0.002697 * std::cos(3 * g) + 0.00148 * std::sin(3 * g);
+}
+
+double equation_of_time_minutes(DayOfYear day) noexcept {
+  const double g = fractional_year(day, 12.0);
+  return 229.18 * (0.000075 + 0.001868 * std::cos(g) - 0.032077 * std::sin(g) -
+                   0.014615 * std::cos(2 * g) - 0.040849 * std::sin(2 * g));
+}
+
+SunPosition sun_position(LatLon where, DayOfYear day, TimeOfDay local_time,
+                         double utc_offset_hours) noexcept {
+  const double lat = where.lat_deg * kPi / 180.0;
+  const double decl = solar_declination(day);
+  const double eot = equation_of_time_minutes(day);
+
+  // True solar time in minutes: local clock + equation of time
+  // + 4 minutes per degree of longitude east of the zone meridian.
+  const double clock_minutes = local_time.seconds_since_midnight() / 60.0;
+  const double time_offset = eot + 4.0 * where.lon_deg - 60.0 * utc_offset_hours;
+  const double true_solar_minutes = clock_minutes + time_offset;
+
+  // Hour angle: 0 at solar noon, negative mornings (radians).
+  const double hour_angle = (true_solar_minutes / 4.0 - 180.0) * kPi / 180.0;
+
+  const double sin_el = std::sin(lat) * std::sin(decl) +
+                        std::cos(lat) * std::cos(decl) * std::cos(hour_angle);
+  const double elevation = std::asin(std::clamp(sin_el, -1.0, 1.0));
+
+  // Azimuth clockwise from north via atan2 of the sun vector's
+  // east/north components (stable at all elevations).
+  const double east = -std::cos(decl) * std::sin(hour_angle);
+  const double north = std::sin(decl) * std::cos(lat) -
+                       std::cos(decl) * std::sin(lat) * std::cos(hour_angle);
+  double azimuth = std::atan2(east, north);
+  if (azimuth < 0.0) azimuth += 2.0 * kPi;
+
+  return SunPosition{elevation, azimuth};
+}
+
+Vec2 shadow_direction(const SunPosition& sun) noexcept {
+  // Sun at azimuth A (clockwise from north) -> ground direction toward
+  // the sun is (sin A, cos A); shadows extend the opposite way.
+  return {-std::sin(sun.azimuth_rad), -std::cos(sun.azimuth_rad)};
+}
+
+double shadow_length(const SunPosition& sun, double height_m,
+                     double max_factor) noexcept {
+  if (!sun.is_up() || height_m <= 0.0) return 0.0;
+  const double t = std::tan(sun.elevation_rad);
+  if (t <= 0.0) return height_m * max_factor;
+  return std::min(height_m / t, height_m * max_factor);
+}
+
+}  // namespace sunchase::geo

@@ -1,0 +1,63 @@
+// Synthetic downtown generator. Substitutes the paper's
+// OpenStreetMap/downtown-Montreal extract with a reproducible
+// Montreal-style grid: rectangular blocks, alternating one-way streets,
+// slight node jitter. Trip lengths and street patterns match the
+// paper's simulation scale (1-2.5 km trips).
+#pragma once
+
+#include <cstdint>
+
+#include "sunchase/geo/latlon.h"
+#include "sunchase/roadnet/graph.h"
+
+namespace sunchase::roadnet {
+
+/// One-way layout of a generated street.
+enum class StreetFlow : std::uint8_t {
+  TwoWay,
+  OneWayForward,   ///< increasing row/column index only
+  OneWayBackward,  ///< decreasing row/column index only
+};
+
+struct GridCityOptions {
+  int rows = 12;           ///< east-west streets
+  int cols = 12;           ///< north-south streets
+  double block_east_m = 110.0;   ///< Montreal-ish short block
+  double block_north_m = 90.0;
+  /// Fraction of streets that are one-way (alternating direction), as
+  /// in downtown grids; drives the A1->B1 vs A2->B2 asymmetry of
+  /// Table R-I.
+  double one_way_fraction = 0.5;
+  double node_jitter_m = 4.0;  ///< intersection position noise
+  geo::LatLon origin{45.4995, -73.5700};  ///< downtown Montreal
+  std::uint64_t seed = 7;
+};
+
+/// A generated city: the road graph plus the row/column lattice mapping
+/// needed by scene generators and experiment scripts.
+class GridCity {
+ public:
+  explicit GridCity(const GridCityOptions& options);
+
+  [[nodiscard]] const RoadGraph& graph() const noexcept { return graph_; }
+  [[nodiscard]] const GridCityOptions& options() const noexcept {
+    return options_;
+  }
+
+  /// Node at lattice coordinates; throws InvalidArgument out of range.
+  [[nodiscard]] NodeId node_at(int row, int col) const;
+
+  /// Flow direction assigned to an east-west street (row) or a
+  /// north-south street (column).
+  [[nodiscard]] StreetFlow row_flow(int row) const;
+  [[nodiscard]] StreetFlow col_flow(int col) const;
+
+ private:
+  GridCityOptions options_;
+  RoadGraph graph_;
+  std::vector<NodeId> lattice_;     // rows*cols node ids
+  std::vector<StreetFlow> row_flow_;
+  std::vector<StreetFlow> col_flow_;
+};
+
+}  // namespace sunchase::roadnet

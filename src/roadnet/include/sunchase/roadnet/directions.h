@@ -1,0 +1,52 @@
+// Turn-by-turn directions for a routed path: compass bearings and turn
+// classification at every intersection, so a plan can be read to a
+// driver instead of as an edge list.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sunchase/roadnet/path.h"
+
+namespace sunchase::roadnet {
+
+enum class Turn : std::uint8_t {
+  Depart,      ///< first instruction
+  Straight,    ///< |heading change| < 30 degrees
+  SlightLeft,  ///< 30..60 left
+  Left,        ///< 60..135 left
+  SharpLeft,   ///< > 135 left
+  SlightRight,
+  Right,
+  SharpRight,
+  UTurn,  ///< ~reverse (> 165 either way)
+  Arrive,
+};
+
+/// One instruction: the maneuver, then continue `distance` along
+/// `bearing` (degrees clockwise from north).
+struct Direction {
+  Turn turn = Turn::Straight;
+  Meters distance{0.0};
+  double bearing_deg = 0.0;
+  NodeId at_node = kInvalidNode;  ///< where the maneuver happens
+};
+
+/// Compass bearing of an edge (degrees clockwise from north, [0, 360)).
+[[nodiscard]] double edge_bearing_deg(const RoadGraph& graph, EdgeId edge);
+
+/// Turn classification for a heading change in degrees (signed,
+/// positive = right/clockwise, normalized to (-180, 180]).
+[[nodiscard]] Turn classify_turn(double heading_change_deg) noexcept;
+
+/// Full instruction list for a path. Consecutive near-straight edges
+/// merge into one instruction. Throws GraphError for a disconnected
+/// path; an empty path yields only an Arrive instruction.
+[[nodiscard]] std::vector<Direction> directions_for(const RoadGraph& graph,
+                                                    const Path& path);
+
+/// Human-readable rendering ("turn left, continue 210 m heading east").
+[[nodiscard]] std::string to_string(const Direction& direction);
+[[nodiscard]] std::string to_string(Turn turn);
+
+}  // namespace sunchase::roadnet

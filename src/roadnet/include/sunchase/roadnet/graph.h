@@ -1,0 +1,90 @@
+// The directed weighted road graph of Sec. III-B: nodes are
+// intersections with geographic coordinates, edges are road segments,
+// and edge lengths come from the Haversine formula (Eq. 7).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sunchase/common/units.h"
+#include "sunchase/geo/latlon.h"
+
+namespace sunchase::roadnet {
+
+using NodeId = std::uint32_t;
+using EdgeId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+inline constexpr EdgeId kInvalidEdge = std::numeric_limits<EdgeId>::max();
+
+/// An intersection.
+struct Node {
+  geo::LatLon position;
+};
+
+/// A directed road segment between two intersections.
+struct Edge {
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+  Meters length{0.0};
+};
+
+/// Directed road graph with CSR-style adjacency built lazily: edges can
+/// be appended freely; the first adjacency query (or an explicit
+/// `finalize()`) freezes the index, and later mutation rebuilds it.
+class RoadGraph {
+ public:
+  /// Adds an intersection; returns its id (dense, starting at 0).
+  NodeId add_node(geo::LatLon position);
+
+  /// Adds a directed edge; length defaults to the Haversine distance
+  /// between the endpoints (Eq. 7). Throws GraphError on unknown nodes
+  /// or a self-loop.
+  EdgeId add_edge(NodeId from, NodeId to);
+  EdgeId add_edge(NodeId from, NodeId to, Meters length);
+
+  /// Adds the pair of directed edges of a two-way street; returns the
+  /// forward edge id (the reverse is the next id).
+  EdgeId add_two_way(NodeId u, NodeId v);
+
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return nodes_.size();
+  }
+  [[nodiscard]] std::size_t edge_count() const noexcept {
+    return edges_.size();
+  }
+
+  /// Accessors; throw GraphError on out-of-range ids.
+  [[nodiscard]] const Node& node(NodeId id) const;
+  [[nodiscard]] const Edge& edge(EdgeId id) const;
+
+  /// Outgoing edge ids of a node (triggers finalize on first use).
+  [[nodiscard]] std::span<const EdgeId> out_edges(NodeId id) const;
+
+  /// The edge from `u` to `v`, or kInvalidEdge when absent.
+  [[nodiscard]] EdgeId find_edge(NodeId u, NodeId v) const;
+
+  /// Node nearest to a coordinate (linear scan; graphs here are small).
+  /// Throws GraphError on an empty graph.
+  [[nodiscard]] NodeId nearest_node(geo::LatLon p) const;
+
+  /// Structural checks: every edge endpoint exists, no zero/negative
+  /// lengths, no duplicate directed edges. Throws GraphError.
+  void validate() const;
+
+  /// Builds the adjacency index now (otherwise built on first query).
+  void finalize() const;
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<Edge> edges_;
+  // Lazy CSR adjacency: offsets_[n]..offsets_[n+1] index into sorted_.
+  mutable std::vector<std::uint32_t> offsets_;
+  mutable std::vector<EdgeId> sorted_;
+  mutable bool index_valid_ = false;
+};
+
+}  // namespace sunchase::roadnet

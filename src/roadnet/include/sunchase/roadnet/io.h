@@ -1,0 +1,31 @@
+// Text serialization of road graphs: a small line-oriented format in
+// the spirit of an OSM extract, so scenarios can be shipped as data
+// files and inspected by hand.
+//
+//   # comment
+//   node <lat> <lon>
+//   edge <from-index> <to-index> [oneway]
+//
+// `edge` without `oneway` emits both directions. Node indices refer to
+// the order of `node` lines (0-based).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sunchase/roadnet/graph.h"
+
+namespace sunchase::roadnet {
+
+/// Parses the text format; throws IoError with a line number on any
+/// malformed input.
+[[nodiscard]] RoadGraph read_graph(std::istream& in);
+[[nodiscard]] RoadGraph read_graph_file(const std::string& path);
+
+/// Writes the graph in the same format. Two opposite directed edges are
+/// not merged back into a single `edge` line — every directed edge
+/// becomes one `oneway` line, which round-trips exactly.
+void write_graph(std::ostream& out, const RoadGraph& graph);
+void write_graph_file(const std::string& path, const RoadGraph& graph);
+
+}  // namespace sunchase::roadnet

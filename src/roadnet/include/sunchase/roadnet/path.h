@@ -1,0 +1,39 @@
+// A path is the paper's P(A,B) = <S_start, S_1, ..., S_n, S_end>: a
+// sequence of consecutive directed edges. Helpers compute lengths and
+// check connectivity.
+#pragma once
+
+#include <vector>
+
+#include "sunchase/roadnet/graph.h"
+
+namespace sunchase::roadnet {
+
+/// An ordered sequence of edge ids forming a walk through the graph.
+struct Path {
+  std::vector<EdgeId> edges;
+
+  [[nodiscard]] bool empty() const noexcept { return edges.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return edges.size(); }
+};
+
+/// True when consecutive edges share endpoints (a valid walk).
+[[nodiscard]] bool is_connected(const Path& path, const RoadGraph& graph);
+
+/// Sum of edge lengths. Throws GraphError for unknown edges.
+[[nodiscard]] Meters path_length(const Path& path, const RoadGraph& graph);
+
+/// The node sequence visited, origin first. Empty path -> empty vector.
+[[nodiscard]] std::vector<NodeId> path_nodes(const Path& path,
+                                             const RoadGraph& graph);
+
+/// Origin / destination nodes; throw GraphError for an empty path.
+[[nodiscard]] NodeId path_origin(const Path& path, const RoadGraph& graph);
+[[nodiscard]] NodeId path_destination(const Path& path,
+                                      const RoadGraph& graph);
+
+/// Fraction of edge ids shared between two paths (Jaccard index); the
+/// paper notes many Pareto routes share ~90% of nodes and edges.
+[[nodiscard]] double edge_overlap(const Path& a, const Path& b);
+
+}  // namespace sunchase::roadnet

@@ -1,0 +1,70 @@
+// Traffic flow model. The paper reads current traffic speed from
+// Google Maps and assumes constant speed per road segment (Sec. III-A);
+// its simulations use an urban 14-17 km/h band. This module substitutes
+// a deterministic per-edge, time-of-day speed model.
+#pragma once
+
+#include <cstdint>
+
+#include "sunchase/common/time_of_day.h"
+#include "sunchase/common/units.h"
+#include "sunchase/roadnet/graph.h"
+
+namespace sunchase::roadnet {
+
+/// Interface: expected cruising speed on an edge at a time of day.
+/// Implementations must return strictly positive speeds.
+class TrafficModel {
+ public:
+  virtual ~TrafficModel() = default;
+  [[nodiscard]] virtual MetersPerSecond speed(const RoadGraph& graph,
+                                              EdgeId edge,
+                                              TimeOfDay when) const = 0;
+
+  /// Travel time on an edge = length / speed (paper: constant speed per
+  /// segment, time driven by traffic flow and length).
+  [[nodiscard]] Seconds travel_time(const RoadGraph& graph, EdgeId edge,
+                                    TimeOfDay when) const;
+};
+
+/// Same speed on every edge at every time. Useful for tests and for
+/// isolating solar effects in ablations.
+class UniformTraffic final : public TrafficModel {
+ public:
+  explicit UniformTraffic(MetersPerSecond speed);
+  [[nodiscard]] MetersPerSecond speed(const RoadGraph&, EdgeId,
+                                      TimeOfDay) const override;
+
+ private:
+  MetersPerSecond speed_;
+};
+
+/// Urban traffic: each edge gets a stable free-flow speed drawn
+/// deterministically from [min, max] (seed + edge id), then modulated by
+/// a rush-hour profile (slower 7:30-9:30 and 16:00-18:30). The default
+/// band reproduces the paper's simulated 14-17 km/h range across the
+/// day: free flow near 16.2-17 km/h, rush hour pulling it toward
+/// ~13.8 km/h. The per-street spread at any single instant is kept
+/// narrow so that consumption differences between candidate routes are
+/// driven by route length, as in the paper's tables.
+class UrbanTraffic final : public TrafficModel {
+ public:
+  struct Options {
+    MetersPerSecond min_speed = kmh(16.2);
+    MetersPerSecond max_speed = kmh(17.0);
+    double rush_hour_slowdown = 0.85;  ///< multiplier at rush-hour peak
+    std::uint64_t seed = 42;
+  };
+
+  explicit UrbanTraffic(Options options);
+  [[nodiscard]] MetersPerSecond speed(const RoadGraph& graph, EdgeId edge,
+                                      TimeOfDay when) const override;
+
+  /// The time-of-day congestion multiplier in (0, 1], exposed for tests.
+  [[nodiscard]] double congestion_factor(TimeOfDay when) const noexcept;
+
+ private:
+  Options options_;
+};
+
+}  // namespace sunchase::roadnet

@@ -1,0 +1,109 @@
+#include "sunchase/roadnet/citygen.h"
+
+#include "sunchase/common/error.h"
+#include "sunchase/common/rng.h"
+
+namespace sunchase::roadnet {
+
+GridCity::GridCity(const GridCityOptions& options) : options_(options) {
+  if (options.rows < 2 || options.cols < 2)
+    throw InvalidArgument("GridCity: need at least a 2x2 lattice");
+  if (options.block_east_m <= 0.0 || options.block_north_m <= 0.0)
+    throw InvalidArgument("GridCity: non-positive block size");
+  if (options.one_way_fraction < 0.0 || options.one_way_fraction > 1.0)
+    throw InvalidArgument("GridCity: one_way_fraction outside [0,1]");
+
+  Rng rng(options.seed);
+  const geo::LocalProjection proj(options.origin);
+
+  // Place jittered intersections on the lattice.
+  lattice_.reserve(static_cast<std::size_t>(options.rows) *
+                   static_cast<std::size_t>(options.cols));
+  for (int r = 0; r < options.rows; ++r) {
+    for (int c = 0; c < options.cols; ++c) {
+      const double jx = options.node_jitter_m > 0.0
+                            ? rng.uniform(-options.node_jitter_m,
+                                          options.node_jitter_m)
+                            : 0.0;
+      const double jy = options.node_jitter_m > 0.0
+                            ? rng.uniform(-options.node_jitter_m,
+                                          options.node_jitter_m)
+                            : 0.0;
+      const geo::Vec2 local{c * options.block_east_m + jx,
+                            r * options.block_north_m + jy};
+      lattice_.push_back(graph_.add_node(proj.to_geo(local)));
+    }
+  }
+
+  // Assign flow directions: one-way streets alternate direction with
+  // their neighbours, as downtown grids do. Boundary streets stay
+  // two-way so no corner intersection can degenerate into a pure
+  // source or sink (which would break strong connectivity).
+  auto assign_flows = [&](int count) {
+    std::vector<StreetFlow> flows(static_cast<std::size_t>(count));
+    bool forward = rng.bernoulli(0.5);
+    for (int i = 0; i < count; ++i) {
+      const bool boundary = (i == 0 || i == count - 1);
+      if (!boundary && rng.bernoulli(options_.one_way_fraction)) {
+        flows[static_cast<std::size_t>(i)] =
+            forward ? StreetFlow::OneWayForward : StreetFlow::OneWayBackward;
+        forward = !forward;
+      } else {
+        flows[static_cast<std::size_t>(i)] = StreetFlow::TwoWay;
+      }
+    }
+    return flows;
+  };
+  row_flow_ = assign_flows(options.rows);
+  col_flow_ = assign_flows(options.cols);
+
+  auto connect = [&](NodeId a, NodeId b, StreetFlow flow) {
+    switch (flow) {
+      case StreetFlow::TwoWay:
+        graph_.add_two_way(a, b);
+        break;
+      case StreetFlow::OneWayForward:
+        graph_.add_edge(a, b);
+        break;
+      case StreetFlow::OneWayBackward:
+        graph_.add_edge(b, a);
+        break;
+    }
+  };
+
+  // East-west streets (within a row, increasing column index).
+  for (int r = 0; r < options.rows; ++r)
+    for (int c = 0; c + 1 < options.cols; ++c)
+      connect(node_at(r, c), node_at(r, c + 1),
+              row_flow_[static_cast<std::size_t>(r)]);
+  // North-south streets (within a column, increasing row index).
+  for (int c = 0; c < options.cols; ++c)
+    for (int r = 0; r + 1 < options.rows; ++r)
+      connect(node_at(r, c), node_at(r + 1, c),
+              col_flow_[static_cast<std::size_t>(c)]);
+
+  graph_.validate();
+  graph_.finalize();
+}
+
+NodeId GridCity::node_at(int row, int col) const {
+  if (row < 0 || row >= options_.rows || col < 0 || col >= options_.cols)
+    throw InvalidArgument("GridCity::node_at: lattice index out of range");
+  return lattice_[static_cast<std::size_t>(row) *
+                      static_cast<std::size_t>(options_.cols) +
+                  static_cast<std::size_t>(col)];
+}
+
+StreetFlow GridCity::row_flow(int row) const {
+  if (row < 0 || row >= options_.rows)
+    throw InvalidArgument("GridCity::row_flow: out of range");
+  return row_flow_[static_cast<std::size_t>(row)];
+}
+
+StreetFlow GridCity::col_flow(int col) const {
+  if (col < 0 || col >= options_.cols)
+    throw InvalidArgument("GridCity::col_flow: out of range");
+  return col_flow_[static_cast<std::size_t>(col)];
+}
+
+}  // namespace sunchase::roadnet

@@ -1,0 +1,124 @@
+#include "sunchase/roadnet/directions.h"
+
+#include <cmath>
+#include <cstdio>
+#include <numbers>
+
+#include "sunchase/common/error.h"
+
+namespace sunchase::roadnet {
+
+namespace {
+
+/// Normalizes an angle difference to (-180, 180].
+double normalize_deg(double deg) noexcept {
+  while (deg > 180.0) deg -= 360.0;
+  while (deg <= -180.0) deg += 360.0;
+  return deg;
+}
+
+const char* cardinal(double bearing_deg) noexcept {
+  static const char* const names[] = {"north", "north-east", "east",
+                                      "south-east", "south", "south-west",
+                                      "west", "north-west"};
+  const int idx =
+      static_cast<int>(std::lround(bearing_deg / 45.0)) % 8;
+  return names[(idx + 8) % 8];
+}
+
+}  // namespace
+
+double edge_bearing_deg(const RoadGraph& graph, EdgeId edge) {
+  const auto& e = graph.edge(edge);
+  const geo::LatLon a = graph.node(e.from).position;
+  const geo::LatLon b = graph.node(e.to).position;
+  // Local planar approximation is ample at street scale.
+  const double east = (b.lon_deg - a.lon_deg) *
+                      std::cos(a.lat_deg * std::numbers::pi / 180.0);
+  const double north = b.lat_deg - a.lat_deg;
+  double bearing = std::atan2(east, north) * 180.0 / std::numbers::pi;
+  if (bearing < 0.0) bearing += 360.0;
+  return bearing;
+}
+
+Turn classify_turn(double heading_change_deg) noexcept {
+  const double d = normalize_deg(heading_change_deg);
+  const double mag = std::abs(d);
+  if (mag > 165.0) return Turn::UTurn;
+  if (mag < 30.0) return Turn::Straight;
+  if (d > 0.0) {  // clockwise = right
+    if (mag < 60.0) return Turn::SlightRight;
+    return mag < 135.0 ? Turn::Right : Turn::SharpRight;
+  }
+  if (mag < 60.0) return Turn::SlightLeft;
+  return mag < 135.0 ? Turn::Left : Turn::SharpLeft;
+}
+
+std::vector<Direction> directions_for(const RoadGraph& graph,
+                                      const Path& path) {
+  std::vector<Direction> out;
+  if (path.empty()) {
+    out.push_back(Direction{Turn::Arrive, Meters{0.0}, 0.0, kInvalidNode});
+    return out;
+  }
+  if (!is_connected(path, graph))
+    throw GraphError("directions_for: path is not connected");
+
+  double prev_bearing = edge_bearing_deg(graph, path.edges.front());
+  Direction current{Turn::Depart, graph.edge(path.edges.front()).length,
+                    prev_bearing, graph.edge(path.edges.front()).from};
+  for (std::size_t i = 1; i < path.edges.size(); ++i) {
+    const EdgeId e = path.edges[i];
+    const double bearing = edge_bearing_deg(graph, e);
+    const Turn turn = classify_turn(bearing - prev_bearing);
+    if (turn == Turn::Straight) {
+      current.distance += graph.edge(e).length;  // merge
+    } else {
+      out.push_back(current);
+      current = Direction{turn, graph.edge(e).length, bearing,
+                          graph.edge(e).from};
+    }
+    prev_bearing = bearing;
+  }
+  out.push_back(current);
+  out.push_back(Direction{Turn::Arrive, Meters{0.0}, prev_bearing,
+                          graph.edge(path.edges.back()).to});
+  return out;
+}
+
+std::string to_string(Turn turn) {
+  switch (turn) {
+    case Turn::Depart:
+      return "depart";
+    case Turn::Straight:
+      return "continue straight";
+    case Turn::SlightLeft:
+      return "bear left";
+    case Turn::Left:
+      return "turn left";
+    case Turn::SharpLeft:
+      return "turn sharply left";
+    case Turn::SlightRight:
+      return "bear right";
+    case Turn::Right:
+      return "turn right";
+    case Turn::SharpRight:
+      return "turn sharply right";
+    case Turn::UTurn:
+      return "make a U-turn";
+    case Turn::Arrive:
+      return "arrive at your destination";
+  }
+  return "?";
+}
+
+std::string to_string(const Direction& direction) {
+  if (direction.turn == Turn::Arrive) return to_string(direction.turn);
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "%s, continue %.0f m heading %s",
+                to_string(direction.turn).c_str(),
+                direction.distance.value(), cardinal(direction.bearing_deg));
+  return buf;
+}
+
+}  // namespace sunchase::roadnet

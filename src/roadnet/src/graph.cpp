@@ -1,0 +1,110 @@
+#include "sunchase/roadnet/graph.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "sunchase/common/error.h"
+
+namespace sunchase::roadnet {
+
+NodeId RoadGraph::add_node(geo::LatLon position) {
+  if (!geo::is_valid(position))
+    throw GraphError("add_node: invalid coordinate");
+  nodes_.push_back(Node{position});
+  index_valid_ = false;
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+EdgeId RoadGraph::add_edge(NodeId from, NodeId to) {
+  if (from >= nodes_.size() || to >= nodes_.size())
+    throw GraphError("add_edge: unknown endpoint node");
+  return add_edge(from, to,
+                  geo::haversine_distance(nodes_[from].position,
+                                          nodes_[to].position));
+}
+
+EdgeId RoadGraph::add_edge(NodeId from, NodeId to, Meters length) {
+  if (from >= nodes_.size() || to >= nodes_.size())
+    throw GraphError("add_edge: unknown endpoint node");
+  if (from == to) throw GraphError("add_edge: self-loop");
+  if (length.value() <= 0.0)
+    throw GraphError("add_edge: non-positive length");
+  edges_.push_back(Edge{from, to, length});
+  index_valid_ = false;
+  return static_cast<EdgeId>(edges_.size() - 1);
+}
+
+EdgeId RoadGraph::add_two_way(NodeId u, NodeId v) {
+  const EdgeId forward = add_edge(u, v);
+  add_edge(v, u);
+  return forward;
+}
+
+const Node& RoadGraph::node(NodeId id) const {
+  if (id >= nodes_.size()) throw GraphError("node: id out of range");
+  return nodes_[id];
+}
+
+const Edge& RoadGraph::edge(EdgeId id) const {
+  if (id >= edges_.size()) throw GraphError("edge: id out of range");
+  return edges_[id];
+}
+
+void RoadGraph::finalize() const {
+  if (index_valid_) return;
+  sorted_.resize(edges_.size());
+  for (EdgeId e = 0; e < edges_.size(); ++e) sorted_[e] = e;
+  std::sort(sorted_.begin(), sorted_.end(), [this](EdgeId a, EdgeId b) {
+    return edges_[a].from < edges_[b].from;
+  });
+  offsets_.assign(nodes_.size() + 1, 0);
+  for (const Edge& e : edges_) ++offsets_[e.from + 1];
+  for (std::size_t n = 1; n < offsets_.size(); ++n)
+    offsets_[n] += offsets_[n - 1];
+  index_valid_ = true;
+}
+
+std::span<const EdgeId> RoadGraph::out_edges(NodeId id) const {
+  if (id >= nodes_.size()) throw GraphError("out_edges: id out of range");
+  finalize();
+  return {sorted_.data() + offsets_[id], offsets_[id + 1] - offsets_[id]};
+}
+
+EdgeId RoadGraph::find_edge(NodeId u, NodeId v) const {
+  for (const EdgeId e : out_edges(u))
+    if (edges_[e].to == v) return e;
+  return kInvalidEdge;
+}
+
+NodeId RoadGraph::nearest_node(geo::LatLon p) const {
+  if (nodes_.empty()) throw GraphError("nearest_node: empty graph");
+  NodeId best = 0;
+  Meters best_d = geo::haversine_distance(p, nodes_[0].position);
+  for (NodeId n = 1; n < nodes_.size(); ++n) {
+    const Meters d = geo::haversine_distance(p, nodes_[n].position);
+    if (d < best_d) {
+      best_d = d;
+      best = n;
+    }
+  }
+  return best;
+}
+
+void RoadGraph::validate() const {
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(edges_.size());
+  for (const Edge& e : edges_) {
+    if (e.from >= nodes_.size() || e.to >= nodes_.size())
+      throw GraphError("validate: edge references unknown node");
+    if (e.from == e.to) throw GraphError("validate: self-loop");
+    if (e.length.value() <= 0.0)
+      throw GraphError("validate: non-positive edge length");
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(e.from) << 32) | e.to;
+    if (!seen.insert(key).second)
+      throw GraphError("validate: duplicate directed edge " +
+                       std::to_string(e.from) + "->" + std::to_string(e.to));
+  }
+}
+
+}  // namespace sunchase::roadnet

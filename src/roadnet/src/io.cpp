@@ -1,0 +1,77 @@
+#include "sunchase/roadnet/io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "sunchase/common/error.h"
+
+namespace sunchase::roadnet {
+
+RoadGraph read_graph(std::istream& in) {
+  RoadGraph graph;
+  std::string line;
+  int line_no = 0;
+  auto fail = [&](const std::string& why) {
+    throw IoError("read_graph: line " + std::to_string(line_no) + ": " + why);
+  };
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::istringstream tokens(line);
+    std::string kind;
+    if (!(tokens >> kind) || kind[0] == '#') continue;
+    if (kind == "node") {
+      double lat = 0.0, lon = 0.0;
+      if (!(tokens >> lat >> lon)) fail("expected 'node <lat> <lon>'");
+      try {
+        graph.add_node({lat, lon});
+      } catch (const GraphError& e) {
+        fail(e.what());
+      }
+    } else if (kind == "edge") {
+      NodeId from = 0, to = 0;
+      if (!(tokens >> from >> to)) fail("expected 'edge <from> <to>'");
+      std::string flag;
+      const bool oneway = (tokens >> flag) && flag == "oneway";
+      try {
+        if (oneway)
+          graph.add_edge(from, to);
+        else
+          graph.add_two_way(from, to);
+      } catch (const GraphError& e) {
+        fail(e.what());
+      }
+    } else {
+      fail("unknown directive '" + kind + "'");
+    }
+  }
+  return graph;
+}
+
+RoadGraph read_graph_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw IoError("read_graph_file: cannot open '" + path + "'");
+  return read_graph(in);
+}
+
+void write_graph(std::ostream& out, const RoadGraph& graph) {
+  out << "# sunchase road graph: " << graph.node_count() << " nodes, "
+      << graph.edge_count() << " directed edges\n";
+  out.precision(10);
+  for (NodeId n = 0; n < graph.node_count(); ++n) {
+    const auto& p = graph.node(n).position;
+    out << "node " << p.lat_deg << ' ' << p.lon_deg << '\n';
+  }
+  for (EdgeId e = 0; e < graph.edge_count(); ++e) {
+    const auto& edge = graph.edge(e);
+    out << "edge " << edge.from << ' ' << edge.to << " oneway\n";
+  }
+}
+
+void write_graph_file(const std::string& path, const RoadGraph& graph) {
+  std::ofstream out(path);
+  if (!out) throw IoError("write_graph_file: cannot open '" + path + "'");
+  write_graph(out, graph);
+  if (!out) throw IoError("write_graph_file: write failed for '" + path + "'");
+}
+
+}  // namespace sunchase::roadnet

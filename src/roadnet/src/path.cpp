@@ -1,0 +1,59 @@
+#include "sunchase/roadnet/path.h"
+
+#include <algorithm>
+
+#include "sunchase/common/error.h"
+
+namespace sunchase::roadnet {
+
+bool is_connected(const Path& path, const RoadGraph& graph) {
+  for (std::size_t i = 0; i + 1 < path.edges.size(); ++i) {
+    if (graph.edge(path.edges[i]).to != graph.edge(path.edges[i + 1]).from)
+      return false;
+  }
+  return true;
+}
+
+Meters path_length(const Path& path, const RoadGraph& graph) {
+  Meters total{0.0};
+  for (const EdgeId e : path.edges) total += graph.edge(e).length;
+  return total;
+}
+
+std::vector<NodeId> path_nodes(const Path& path, const RoadGraph& graph) {
+  std::vector<NodeId> nodes;
+  if (path.empty()) return nodes;
+  nodes.reserve(path.size() + 1);
+  nodes.push_back(graph.edge(path.edges.front()).from);
+  for (const EdgeId e : path.edges) nodes.push_back(graph.edge(e).to);
+  return nodes;
+}
+
+NodeId path_origin(const Path& path, const RoadGraph& graph) {
+  if (path.empty()) throw GraphError("path_origin: empty path");
+  return graph.edge(path.edges.front()).from;
+}
+
+NodeId path_destination(const Path& path, const RoadGraph& graph) {
+  if (path.empty()) throw GraphError("path_destination: empty path");
+  return graph.edge(path.edges.back()).to;
+}
+
+double edge_overlap(const Path& a, const Path& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  std::vector<EdgeId> sa = a.edges;
+  std::vector<EdgeId> sb = b.edges;
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+  std::vector<EdgeId> common;
+  std::set_intersection(sa.begin(), sa.end(), sb.begin(), sb.end(),
+                        std::back_inserter(common));
+  std::vector<EdgeId> all;
+  std::set_union(sa.begin(), sa.end(), sb.begin(), sb.end(),
+                 std::back_inserter(all));
+  return all.empty() ? 1.0
+                     : static_cast<double>(common.size()) /
+                           static_cast<double>(all.size());
+}
+
+}  // namespace sunchase::roadnet

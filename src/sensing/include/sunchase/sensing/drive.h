@@ -1,0 +1,64 @@
+// Drive simulation: moves a virtual petrol car along a planned path
+// through the shadow field and records what the two phones and the GPS
+// would log — the "real-road" side of the paper's validation. Driver
+// behaviour deviates from the predicted traffic speed (the paper
+// observes real travel times consistently below the model estimate).
+#pragma once
+
+#include <vector>
+
+#include "sunchase/common/rng.h"
+#include "sunchase/common/time_of_day.h"
+#include "sunchase/roadnet/path.h"
+#include "sunchase/roadnet/traffic.h"
+#include "sunchase/sensing/sensors.h"
+#include "sunchase/shadow/caster.h"
+#include "sunchase/shadow/scene.h"
+
+namespace sunchase::sensing {
+
+/// One 1 Hz log record of the validation drive.
+struct DriveSample {
+  TimeOfDay when;
+  geo::Vec2 true_position;
+  geo::Vec2 gps_position;
+  bool truly_shaded = false;   ///< ground truth at the true position
+  double lux_windshield = 0.0; ///< phone 1 reading
+  double lux_sunroof = 0.0;    ///< phone 2 reading
+};
+
+struct DriveLog {
+  std::vector<DriveSample> samples;
+  Seconds total_time{0.0};
+};
+
+struct DriveOptions {
+  /// Mean multiple of the predicted traffic speed the driver actually
+  /// holds; > 1 reproduces the paper's "drivers beat the prediction".
+  double driver_speed_mean = 1.07;
+  double driver_speed_std = 0.05;
+  /// Ground-truth shadow field refresh; finer than the model's
+  /// 15-minute slots, since reality moves continuously.
+  Seconds shadow_refresh{300.0};
+  Seconds sample_period{1.0};
+  geo::DayOfYear day{196};
+  double utc_offset_hours = -4.0;
+  LightSensor::Options windshield{};
+  LightSensor::Options sunroof{.mount_attenuation = 0.95,
+                               .noise_rel_std = 0.04,
+                               .glitch_probability = 0.008};
+  std::uint64_t seed = 31;
+};
+
+/// Simulates driving `path` starting at `departure`. The per-segment
+/// cruising speed is the traffic model's prediction scaled by a random
+/// driver factor (redrawn each segment). Throws InvalidArgument for an
+/// empty path.
+[[nodiscard]] DriveLog simulate_drive(const roadnet::RoadGraph& graph,
+                                      const shadow::Scene& scene,
+                                      const roadnet::TrafficModel& traffic,
+                                      const roadnet::Path& path,
+                                      TimeOfDay departure,
+                                      const DriveOptions& options);
+
+}  // namespace sunchase::sensing

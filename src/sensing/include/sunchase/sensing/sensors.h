@@ -1,0 +1,62 @@
+// Sensor models for the validation platform (Sec. V): two smartphone
+// ambient-light sensors at different mounting positions (windshield and
+// sunroof) plus GPS. The paper averages the two light readings to
+// decide illuminated vs shaded, and notes view-angle variance and
+// glitches as the reason for using two phones.
+#pragma once
+
+#include "sunchase/common/rng.h"
+#include "sunchase/common/units.h"
+#include "sunchase/geo/vec2.h"
+
+namespace sunchase::sensing {
+
+/// A smartphone ambient-light sensor behind glass.
+class LightSensor {
+ public:
+  struct Options {
+    /// Optical attenuation of the mounting position (tinted glass,
+    /// oblique view angle): multiplies the incoming illuminance.
+    double mount_attenuation = 0.8;
+    /// Relative Gaussian noise of a reading.
+    double noise_rel_std = 0.05;
+    /// Probability a reading is a glitch (random junk), the artifact
+    /// the paper's dual-phone averaging suppresses.
+    double glitch_probability = 0.01;
+    /// Illuminance seen in full sun vs in building shade; direct
+    /// sunlight is ~100k lux, open shade ~10k lux.
+    double sun_lux = 100000.0;
+    double shade_lux = 10000.0;
+  };
+
+  LightSensor(Options options, Rng rng);
+
+  /// One reading given ground truth: whether the car is in shadow and
+  /// the current clear-sky irradiance fraction (0..1 of midday peak)
+  /// which scales ambient light through the day.
+  [[nodiscard]] double read(bool in_shadow, double irradiance_fraction);
+
+ private:
+  Options options_;
+  Rng rng_;
+};
+
+/// GPS with isotropic Gaussian position error (the paper blames part
+/// of the solar-distance gap on "GPS errors on real road").
+class GpsSensor {
+ public:
+  struct Options {
+    double sigma_m = 4.0;  ///< typical urban-canyon GPS error
+  };
+
+  GpsSensor(Options options, Rng rng);
+
+  /// Noisy fix of a true local position.
+  [[nodiscard]] geo::Vec2 fix(geo::Vec2 true_position);
+
+ private:
+  Options options_;
+  Rng rng_;
+};
+
+}  // namespace sunchase::sensing

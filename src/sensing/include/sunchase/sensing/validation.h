@@ -1,0 +1,54 @@
+// The validation experiment of Sec. V-A / Table V-I: drive a path,
+// detect illuminated intervals from the dual-phone light readings,
+// map-match the GPS track, and compare the measured solar distance and
+// solar travel time (RSD/RSTT) against the model estimates (MSD/MSTT).
+#pragma once
+
+#include "sunchase/sensing/drive.h"
+#include "sunchase/shadow/shading.h"
+
+namespace sunchase::sensing {
+
+/// One row of the paper's Table V-I.
+struct PathValidation {
+  Meters real_solar_distance{0.0};    ///< RSD (measured)
+  Meters model_solar_distance{0.0};   ///< MSD (estimated)
+  Seconds real_solar_time{0.0};       ///< RSTT (measured)
+  Seconds model_solar_time{0.0};      ///< MSTT (estimated)
+  Seconds real_total_time{0.0};
+  Seconds model_total_time{0.0};
+  MetersPerSecond traffic_speed{0.0}; ///< TS (predicted average)
+};
+
+struct ValidationOptions {
+  DriveOptions drive{};
+  /// Illuminated iff the dual-phone average exceeds this fraction of
+  /// the brightest reading seen in the log.
+  double lux_threshold_fraction = 0.45;
+  /// The paper averages three experiment runs per path.
+  int runs = 3;
+};
+
+/// Detected illuminated flags per sample (dual-phone average vs the
+/// adaptive threshold) — exposed for tests of the detector itself.
+[[nodiscard]] std::vector<bool> detect_illumination(
+    const DriveLog& log, double threshold_fraction);
+
+/// Measured solar distance: the GPS track is map-matched onto the path
+/// geometry and along-path arc length is accumulated over illuminated
+/// samples (raw GPS step sums would random-walk upward).
+[[nodiscard]] Meters measured_solar_distance(
+    const roadnet::RoadGraph& graph, const shadow::Scene& scene,
+    const roadnet::Path& path, const DriveLog& log,
+    const std::vector<bool>& illuminated);
+
+/// Runs the full validation for one path: `runs` simulated drives
+/// (different seeds) averaged, against the model's estimate from the
+/// shading profile and predicted traffic speeds.
+[[nodiscard]] PathValidation validate_path(
+    const roadnet::RoadGraph& graph, const shadow::Scene& scene,
+    const shadow::ShadingProfile& profile,
+    const roadnet::TrafficModel& traffic, const roadnet::Path& path,
+    TimeOfDay departure, const ValidationOptions& options);
+
+}  // namespace sunchase::sensing

@@ -1,0 +1,124 @@
+#include "sunchase/sensing/drive.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sunchase/common/error.h"
+#include "sunchase/geo/sunpos.h"
+#include "sunchase/solar/irradiance.h"
+
+namespace sunchase::sensing {
+
+namespace {
+
+/// Ground-truth shadow polygons, refreshed every `refresh` seconds.
+class ShadowField {
+ public:
+  ShadowField(const shadow::Scene& scene, geo::DayOfYear day,
+              double utc_offset_hours, Seconds refresh)
+      : scene_(scene),
+        day_(day),
+        utc_offset_(utc_offset_hours),
+        refresh_(refresh) {}
+
+  [[nodiscard]] bool shaded(geo::Vec2 p, TimeOfDay when) {
+    maybe_refresh(when);
+    for (const shadow::ShadowPolygon& s : shadows_) {
+      if (p.x < s.bbox_min.x || p.x > s.bbox_max.x || p.y < s.bbox_min.y ||
+          p.y > s.bbox_max.y)
+        continue;
+      if (geo::contains(s.outline, p)) return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] double elevation(TimeOfDay when) const {
+    return geo::sun_position(scene_.projection().origin(), day_, when,
+                             utc_offset_)
+        .elevation_rad;
+  }
+
+ private:
+  void maybe_refresh(TimeOfDay when) {
+    const double t = when.seconds_since_midnight();
+    if (have_shadows_ && std::abs(t - computed_at_s_) < refresh_.value())
+      return;
+    const auto sun = geo::sun_position(scene_.projection().origin(), day_,
+                                       when, utc_offset_);
+    shadows_ = cast_shadows(scene_, sun);
+    computed_at_s_ = t;
+    have_shadows_ = true;
+  }
+
+  const shadow::Scene& scene_;
+  geo::DayOfYear day_;
+  double utc_offset_;
+  Seconds refresh_;
+  std::vector<shadow::ShadowPolygon> shadows_;
+  double computed_at_s_ = 0.0;
+  bool have_shadows_ = false;
+};
+
+}  // namespace
+
+DriveLog simulate_drive(const roadnet::RoadGraph& graph,
+                        const shadow::Scene& scene,
+                        const roadnet::TrafficModel& traffic,
+                        const roadnet::Path& path, TimeOfDay departure,
+                        const DriveOptions& options) {
+  if (path.empty()) throw InvalidArgument("simulate_drive: empty path");
+  if (options.sample_period.value() <= 0.0)
+    throw InvalidArgument("simulate_drive: non-positive sample period");
+
+  Rng rng(options.seed);
+  LightSensor windshield(options.windshield, rng.split());
+  LightSensor sunroof(options.sunroof, rng.split());
+  GpsSensor gps(GpsSensor::Options{}, rng.split());
+  ShadowField field(scene, options.day, options.utc_offset_hours,
+                    options.shadow_refresh);
+  // Scale ambient light by how high the sun is relative to midday.
+  const solar::ClearSkyModel clear_sky;
+  const double peak =
+      clear_sky.irradiance_at_elevation(1.2).value();  // ~midday elevation
+
+  DriveLog log;
+  TimeOfDay clock = departure;
+  double leftover = 0.0;  // time carried into the next segment
+
+  for (const roadnet::EdgeId e : path.edges) {
+    const geo::Segment seg = scene.edge_segment(graph, e);
+    const double predicted = traffic.speed(graph, e, clock).value();
+    const double factor = std::clamp(
+        rng.normal(options.driver_speed_mean, options.driver_speed_std), 0.8,
+        1.3);
+    const double v = predicted * factor;
+    const double seg_time = seg.length() / v;
+
+    // Sample along this edge on the global 1 Hz grid.
+    for (double t = leftover; t < seg_time;
+         t += options.sample_period.value()) {
+      const geo::Vec2 pos = seg.point_at(t / seg_time);
+      const TimeOfDay when = clock.advanced_by(Seconds{t});
+      const bool shaded = field.shaded(pos, when);
+      const double irr_frac = std::clamp(
+          clear_sky.irradiance_at_elevation(field.elevation(when)).value() /
+              peak,
+          0.0, 1.0);
+      DriveSample sample;
+      sample.when = when;
+      sample.true_position = pos;
+      sample.gps_position = gps.fix(pos);
+      sample.truly_shaded = shaded;
+      sample.lux_windshield = windshield.read(shaded, irr_frac);
+      sample.lux_sunroof = sunroof.read(shaded, irr_frac);
+      log.samples.push_back(sample);
+    }
+    leftover = std::fmod(leftover - seg_time, options.sample_period.value());
+    if (leftover < 0.0) leftover += options.sample_period.value();
+    clock = clock.advanced_by(Seconds{seg_time});
+    log.total_time += Seconds{seg_time};
+  }
+  return log;
+}
+
+}  // namespace sunchase::sensing

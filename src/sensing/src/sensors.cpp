@@ -1,0 +1,41 @@
+#include "sunchase/sensing/sensors.h"
+
+#include <algorithm>
+
+#include "sunchase/common/error.h"
+
+namespace sunchase::sensing {
+
+LightSensor::LightSensor(Options options, Rng rng)
+    : options_(options), rng_(rng) {
+  if (options.mount_attenuation <= 0.0 || options.mount_attenuation > 1.0)
+    throw InvalidArgument("LightSensor: attenuation outside (0,1]");
+  if (options.sun_lux <= options.shade_lux)
+    throw InvalidArgument("LightSensor: sun_lux must exceed shade_lux");
+  if (options.glitch_probability < 0.0 || options.glitch_probability > 1.0)
+    throw InvalidArgument("LightSensor: glitch probability outside [0,1]");
+}
+
+double LightSensor::read(bool in_shadow, double irradiance_fraction) {
+  const double frac = std::clamp(irradiance_fraction, 0.0, 1.0);
+  if (rng_.bernoulli(options_.glitch_probability)) {
+    // A glitch: the sensor reports an arbitrary value in its range.
+    return rng_.uniform(0.0, options_.sun_lux);
+  }
+  const double base = in_shadow ? options_.shade_lux : options_.sun_lux;
+  const double lux = base * frac * options_.mount_attenuation *
+                     (1.0 + options_.noise_rel_std * rng_.normal());
+  return std::max(lux, 0.0);
+}
+
+GpsSensor::GpsSensor(Options options, Rng rng) : options_(options), rng_(rng) {
+  if (options.sigma_m < 0.0)
+    throw InvalidArgument("GpsSensor: negative sigma");
+}
+
+geo::Vec2 GpsSensor::fix(geo::Vec2 true_position) {
+  return true_position + geo::Vec2{rng_.normal(0.0, options_.sigma_m),
+                                   rng_.normal(0.0, options_.sigma_m)};
+}
+
+}  // namespace sunchase::sensing

@@ -1,0 +1,132 @@
+#include "sunchase/sensing/validation.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "sunchase/common/error.h"
+
+namespace sunchase::sensing {
+
+std::vector<bool> detect_illumination(const DriveLog& log,
+                                      double threshold_fraction) {
+  if (threshold_fraction <= 0.0 || threshold_fraction >= 1.0)
+    throw InvalidArgument("detect_illumination: fraction outside (0,1)");
+  double max_avg = 0.0;
+  std::vector<double> averages;
+  averages.reserve(log.samples.size());
+  for (const DriveSample& s : log.samples) {
+    const double avg = (s.lux_windshield + s.lux_sunroof) / 2.0;
+    averages.push_back(avg);
+    max_avg = std::max(max_avg, avg);
+  }
+  const double threshold = threshold_fraction * max_avg;
+  std::vector<bool> illuminated(log.samples.size());
+  for (std::size_t i = 0; i < averages.size(); ++i)
+    illuminated[i] = averages[i] > threshold;
+  return illuminated;
+}
+
+Meters measured_solar_distance(const roadnet::RoadGraph& graph,
+                               const shadow::Scene& scene,
+                               const roadnet::Path& path, const DriveLog& log,
+                               const std::vector<bool>& illuminated) {
+  if (illuminated.size() != log.samples.size())
+    throw InvalidArgument("measured_solar_distance: size mismatch");
+
+  // Path geometry with cumulative arc length per edge.
+  std::vector<geo::Segment> segments;
+  std::vector<double> seg_start;
+  double total = 0.0;
+  for (const roadnet::EdgeId e : path.edges) {
+    const geo::Segment seg = scene.edge_segment(graph, e);
+    segments.push_back(seg);
+    seg_start.push_back(total);
+    total += seg.length();
+  }
+
+  // Map-match a GPS fix to along-path arc length (nearest segment).
+  auto match = [&](geo::Vec2 p) {
+    double best_d = std::numeric_limits<double>::infinity();
+    double best_s = 0.0;
+    for (std::size_t i = 0; i < segments.size(); ++i) {
+      const double t = geo::project_onto_segment(p, segments[i]);
+      const double d = geo::distance(p, segments[i].point_at(t));
+      if (d < best_d) {
+        best_d = d;
+        best_s = seg_start[i] + t * segments[i].length();
+      }
+    }
+    return best_s;
+  };
+
+  double solar = 0.0;
+  double prev_s = 0.0;
+  bool have_prev = false;
+  for (std::size_t i = 0; i < log.samples.size(); ++i) {
+    const double s = match(log.samples[i].gps_position);
+    if (have_prev && illuminated[i]) {
+      // Signed increments: GPS noise makes individual steps jitter
+      // forward and back, but the telescoped sum stays unbiased.
+      // One-sided clamping would systematically inflate the distance.
+      const double ds = s - prev_s;
+      // Guard against wrong-segment matches (large jumps).
+      if (std::abs(ds) < 25.0) solar += ds;
+    }
+    prev_s = s;
+    have_prev = true;
+  }
+  return Meters{std::max(solar, 0.0)};
+}
+
+PathValidation validate_path(const roadnet::RoadGraph& graph,
+                             const shadow::Scene& scene,
+                             const shadow::ShadingProfile& profile,
+                             const roadnet::TrafficModel& traffic,
+                             const roadnet::Path& path, TimeOfDay departure,
+                             const ValidationOptions& options) {
+  if (path.empty()) throw InvalidArgument("validate_path: empty path");
+  if (options.runs < 1) throw InvalidArgument("validate_path: runs < 1");
+
+  PathValidation row;
+
+  // --- Model side (MSD / MSTT / TS): predicted speeds + solar map.
+  TimeOfDay clock = departure;
+  double speed_sum = 0.0;
+  for (const roadnet::EdgeId e : path.edges) {
+    const MetersPerSecond v = traffic.speed(graph, e, clock);
+    const Meters solar_len = profile.solar_length(graph, e, clock);
+    const Seconds tt = graph.edge(e).length / v;
+    row.model_solar_distance += solar_len;
+    row.model_solar_time += solar_len / v;
+    row.model_total_time += tt;
+    speed_sum += v.value();
+    clock = clock.advanced_by(tt);
+  }
+  row.traffic_speed =
+      MetersPerSecond{speed_sum / static_cast<double>(path.size())};
+
+  // --- Measured side: average of `runs` independent drives.
+  for (int run = 0; run < options.runs; ++run) {
+    DriveOptions drive_options = options.drive;
+    drive_options.seed =
+        options.drive.seed + static_cast<std::uint64_t>(run + 1) * 1000;
+    const DriveLog log = simulate_drive(graph, scene, traffic, path,
+                                        departure, drive_options);
+    const std::vector<bool> illuminated =
+        detect_illumination(log, options.lux_threshold_fraction);
+    row.real_solar_distance +=
+        measured_solar_distance(graph, scene, path, log, illuminated);
+    const auto lit =
+        std::count(illuminated.begin(), illuminated.end(), true);
+    row.real_solar_time += Seconds{static_cast<double>(lit) *
+                                   drive_options.sample_period.value()};
+    row.real_total_time += log.total_time;
+  }
+  const double n = options.runs;
+  row.real_solar_distance /= n;
+  row.real_solar_time /= n;
+  row.real_total_time /= n;
+  return row;
+}
+
+}  // namespace sunchase::sensing

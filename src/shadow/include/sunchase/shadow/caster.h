@@ -1,0 +1,39 @@
+// Shadow casting: projects every obstruction in a Scene onto the
+// ground plane for a given sun position. The ground shadow of a convex
+// prism of height h is the convex hull of its footprint and the
+// footprint translated by shadow_length(h) along the shadow direction —
+// exactly the geometry ArcGIS renders in the paper's Fig. 3.
+#pragma once
+
+#include <vector>
+
+#include "sunchase/geo/polygon.h"
+#include "sunchase/geo/sunpos.h"
+#include "sunchase/shadow/scene.h"
+
+namespace sunchase::shadow {
+
+/// A ground shadow polygon (convex, CCW) with its precomputed bounding
+/// box for fast segment-overlap rejection.
+struct ShadowPolygon {
+  geo::Polygon outline;
+  geo::Vec2 bbox_min;
+  geo::Vec2 bbox_max;
+};
+
+/// Ground shadow of one building at the given sun position; empty
+/// polygon when the sun is down.
+[[nodiscard]] geo::Polygon building_shadow(const Building& building,
+                                           const geo::SunPosition& sun);
+
+/// Ground shadow of a tree canopy (disc at height h, approximated by an
+/// octagon) — the hull of the canopy and its offset image.
+[[nodiscard]] geo::Polygon tree_shadow(const Tree& tree,
+                                       const geo::SunPosition& sun);
+
+/// All ground shadows in the scene at the given sun position, with
+/// bounding boxes. Empty when the sun is below the horizon.
+[[nodiscard]] std::vector<ShadowPolygon> cast_shadows(
+    const Scene& scene, const geo::SunPosition& sun);
+
+}  // namespace sunchase::shadow

@@ -1,0 +1,71 @@
+// The 3D city scene: building prisms and trees around a road graph.
+// Substitutes the ArcGIS 3D local scene (building layer + daylight) the
+// paper renders for Montreal.
+#pragma once
+
+#include <vector>
+
+#include "sunchase/geo/latlon.h"
+#include "sunchase/geo/polygon.h"
+#include "sunchase/roadnet/graph.h"
+
+namespace sunchase::shadow {
+
+/// A building: a convex footprint (local planar meters, CCW) extruded
+/// to `height_m`.
+struct Building {
+  geo::Polygon footprint;
+  double height_m = 0.0;
+};
+
+/// A road-side tree: canopy approximated by a disc at `center` with
+/// `radius_m`, at `height_m` above ground.
+struct Tree {
+  geo::Vec2 center;
+  double radius_m = 0.0;
+  double height_m = 0.0;
+};
+
+/// A complete scene: obstructions plus the projection binding local
+/// planar coordinates to the road graph's geographic frame.
+class Scene {
+ public:
+  Scene(geo::LocalProjection projection, double road_half_width_m = 5.0);
+
+  /// Adds a building; the footprint is normalized to CCW. Throws
+  /// InvalidArgument for degenerate/non-convex footprints or
+  /// non-positive heights.
+  void add_building(Building building);
+
+  /// Adds a tree; throws InvalidArgument for non-positive dimensions.
+  void add_tree(Tree tree);
+
+  [[nodiscard]] const std::vector<Building>& buildings() const noexcept {
+    return buildings_;
+  }
+  [[nodiscard]] const std::vector<Tree>& trees() const noexcept {
+    return trees_;
+  }
+  [[nodiscard]] const geo::LocalProjection& projection() const noexcept {
+    return projection_;
+  }
+  [[nodiscard]] double road_half_width() const noexcept {
+    return road_half_width_m_;
+  }
+
+  /// Local planar segment of a graph edge (center-line).
+  [[nodiscard]] geo::Segment edge_segment(const roadnet::RoadGraph& graph,
+                                          roadnet::EdgeId edge) const;
+
+  /// Bounding box of everything in the scene (obstructions only);
+  /// throws InvalidArgument when the scene is empty.
+  [[nodiscard]] std::pair<geo::Vec2, geo::Vec2> bounds() const;
+
+ private:
+  geo::LocalProjection projection_;
+  double road_half_width_m_;
+  std::vector<Building> buildings_;
+  std::vector<Tree> trees_;
+};
+
+}  // namespace sunchase::shadow

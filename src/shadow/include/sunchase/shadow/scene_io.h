@@ -1,0 +1,31 @@
+// Text serialization of 3D scenes, so shading environments can be
+// shipped as data files alongside road graphs (the substitute for the
+// paper's ArcGIS scene database).
+//
+//   # comment
+//   origin <lat> <lon>
+//   roadhalfwidth <meters>
+//   building <height> <n> <x1> <y1> ... <xn> <yn>
+//   tree <x> <y> <radius> <height>
+//
+// Coordinates are local planar meters relative to the origin line,
+// which must appear before any building or tree.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sunchase/shadow/scene.h"
+
+namespace sunchase::shadow {
+
+/// Parses the scene format; throws IoError (with a line number) on
+/// malformed input, including a missing origin line.
+[[nodiscard]] Scene read_scene(std::istream& in);
+[[nodiscard]] Scene read_scene_file(const std::string& path);
+
+/// Writes a scene in the same format; round-trips exactly.
+void write_scene(std::ostream& out, const Scene& scene);
+void write_scene_file(const std::string& path, const Scene& scene);
+
+}  // namespace sunchase::shadow

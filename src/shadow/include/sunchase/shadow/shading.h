@@ -1,0 +1,80 @@
+// Shaded-length computation and the per-edge, per-15-minute shading
+// profile that backs the solar input map (paper Sec. IV-B).
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "sunchase/common/time_of_day.h"
+#include "sunchase/roadnet/graph.h"
+#include "sunchase/shadow/caster.h"
+#include "sunchase/shadow/scene.h"
+
+namespace sunchase::shadow {
+
+/// Exact shaded fraction of `segment` under the given shadow polygons:
+/// clips the segment against every overlapping shadow and merges the
+/// resulting parameter intervals (union, so overlapping shadows are not
+/// double counted). Returns a value in [0, 1].
+[[nodiscard]] double shaded_fraction(
+    const geo::Segment& segment, std::span<const ShadowPolygon> shadows);
+
+/// Per-edge estimator signature: shaded fraction of an edge at a time.
+using ShadedFractionFn =
+    std::function<double(roadnet::EdgeId, TimeOfDay)>;
+
+/// Precomputed shading profile: for every edge and every 15-minute slot
+/// in [first, last], the fraction of the edge's length in shadow. This
+/// is the paper's "solar map": L_shaded(i) ~ L_i * r_area (Eq. 9).
+class ShadingProfile {
+ public:
+  /// Samples `estimator` for every edge at every slot start. Throws
+  /// InvalidArgument when the window is empty.
+  static ShadingProfile compute(const roadnet::RoadGraph& graph,
+                                const ShadedFractionFn& estimator,
+                                TimeOfDay first, TimeOfDay last);
+
+  /// Exact geometric profile from a scene (ground-truth path).
+  static ShadingProfile compute_exact(const roadnet::RoadGraph& graph,
+                                      const Scene& scene, geo::DayOfYear day,
+                                      TimeOfDay first, TimeOfDay last,
+                                      double utc_offset_hours = -4.0);
+
+  /// Shaded fraction of an edge at `when`; times outside the sampled
+  /// window clamp to the nearest sampled slot.
+  [[nodiscard]] double shaded_fraction(roadnet::EdgeId edge,
+                                       TimeOfDay when) const;
+
+  /// Illuminated ("solar") length of the edge at `when` (paper: the
+  /// s_solar_n of Eq. 4).
+  [[nodiscard]] Meters solar_length(const roadnet::RoadGraph& graph,
+                                    roadnet::EdgeId edge,
+                                    TimeOfDay when) const;
+
+  [[nodiscard]] int first_slot() const noexcept { return first_slot_; }
+  [[nodiscard]] int last_slot() const noexcept { return last_slot_; }
+  [[nodiscard]] std::size_t edge_count() const noexcept { return edges_; }
+
+  /// Mean absolute difference in shaded fraction against another
+  /// profile of the same shape (used by the vision-error ablation).
+  [[nodiscard]] double mean_absolute_difference(
+      const ShadingProfile& other) const;
+
+ private:
+  ShadingProfile() = default;
+  std::size_t edges_ = 0;
+  int first_slot_ = 0;
+  int last_slot_ = -1;
+  std::vector<float> fractions_;  // edges_ x (last-first+1), edge-major
+
+  [[nodiscard]] std::size_t index_of(roadnet::EdgeId edge, int slot) const;
+};
+
+/// Exact estimator bound to a scene: recomputes shadows per distinct
+/// slot on demand (memoized).
+[[nodiscard]] ShadedFractionFn make_exact_estimator(
+    const roadnet::RoadGraph& graph, const Scene& scene, geo::DayOfYear day,
+    double utc_offset_hours = -4.0);
+
+}  // namespace sunchase::shadow

@@ -1,0 +1,53 @@
+#include "sunchase/shadow/caster.h"
+
+namespace sunchase::shadow {
+
+geo::Polygon building_shadow(const Building& building,
+                             const geo::SunPosition& sun) {
+  if (!sun.is_up()) return {};
+  const double len = geo::shadow_length(sun, building.height_m);
+  const geo::Vec2 offset = geo::shadow_direction(sun) * len;
+  // Hull of footprint and the roof outline projected to the ground.
+  std::vector<geo::Vec2> points = building.footprint.vertices;
+  for (const geo::Vec2& v : building.footprint.vertices)
+    points.push_back(v + offset);
+  return geo::convex_hull(std::move(points));
+}
+
+geo::Polygon tree_shadow(const Tree& tree, const geo::SunPosition& sun) {
+  if (!sun.is_up()) return {};
+  // The canopy disc floats at tree height on a thin trunk: its shadow is
+  // the disc displaced along the shadow direction, not a hull from the
+  // base. Canopy thickness ~ radius adds a short smear.
+  const geo::Vec2 dir = geo::shadow_direction(sun);
+  const double top_len = geo::shadow_length(sun, tree.height_m);
+  const double bottom_height =
+      tree.height_m > tree.radius_m ? tree.height_m - tree.radius_m : 0.0;
+  const double bottom_len = geo::shadow_length(sun, bottom_height);
+  const geo::Polygon canopy =
+      geo::regular_polygon(tree.center, tree.radius_m, 8);
+  std::vector<geo::Vec2> points;
+  points.reserve(canopy.size() * 2);
+  for (const geo::Vec2& v : canopy.vertices) {
+    points.push_back(v + dir * top_len);
+    points.push_back(v + dir * bottom_len);
+  }
+  return geo::convex_hull(std::move(points));
+}
+
+std::vector<ShadowPolygon> cast_shadows(const Scene& scene,
+                                        const geo::SunPosition& sun) {
+  std::vector<ShadowPolygon> shadows;
+  if (!sun.is_up()) return shadows;
+  shadows.reserve(scene.buildings().size() + scene.trees().size());
+  auto push = [&](geo::Polygon poly) {
+    if (poly.size() < 3) return;
+    const auto [lo, hi] = geo::bounding_box(poly);
+    shadows.push_back(ShadowPolygon{std::move(poly), lo, hi});
+  };
+  for (const Building& b : scene.buildings()) push(building_shadow(b, sun));
+  for (const Tree& t : scene.trees()) push(tree_shadow(t, sun));
+  return shadows;
+}
+
+}  // namespace sunchase::shadow

@@ -1,0 +1,58 @@
+#include "sunchase/shadow/scene.h"
+
+#include <algorithm>
+
+#include "sunchase/common/error.h"
+
+namespace sunchase::shadow {
+
+Scene::Scene(geo::LocalProjection projection, double road_half_width_m)
+    : projection_(projection), road_half_width_m_(road_half_width_m) {
+  if (road_half_width_m <= 0.0)
+    throw InvalidArgument("Scene: non-positive road half-width");
+}
+
+void Scene::add_building(Building building) {
+  if (building.footprint.size() < 3)
+    throw InvalidArgument("add_building: footprint needs >= 3 vertices");
+  if (building.height_m <= 0.0)
+    throw InvalidArgument("add_building: non-positive height");
+  geo::make_ccw(building.footprint);
+  if (!geo::is_convex(building.footprint))
+    throw InvalidArgument("add_building: footprint must be convex");
+  buildings_.push_back(std::move(building));
+}
+
+void Scene::add_tree(Tree tree) {
+  if (tree.radius_m <= 0.0 || tree.height_m <= 0.0)
+    throw InvalidArgument("add_tree: non-positive dimensions");
+  trees_.push_back(tree);
+}
+
+geo::Segment Scene::edge_segment(const roadnet::RoadGraph& graph,
+                                 roadnet::EdgeId edge) const {
+  const auto& e = graph.edge(edge);
+  return {projection_.to_local(graph.node(e.from).position),
+          projection_.to_local(graph.node(e.to).position)};
+}
+
+std::pair<geo::Vec2, geo::Vec2> Scene::bounds() const {
+  if (buildings_.empty() && trees_.empty())
+    throw InvalidArgument("Scene::bounds: empty scene");
+  geo::Vec2 lo{1e18, 1e18}, hi{-1e18, -1e18};
+  auto extend = [&](geo::Vec2 p) {
+    lo.x = std::min(lo.x, p.x);
+    lo.y = std::min(lo.y, p.y);
+    hi.x = std::max(hi.x, p.x);
+    hi.y = std::max(hi.y, p.y);
+  };
+  for (const Building& b : buildings_)
+    for (const geo::Vec2& v : b.footprint.vertices) extend(v);
+  for (const Tree& t : trees_) {
+    extend(t.center + geo::Vec2{t.radius_m, t.radius_m});
+    extend(t.center - geo::Vec2{t.radius_m, t.radius_m});
+  }
+  return {lo, hi};
+}
+
+}  // namespace sunchase::shadow

@@ -1,0 +1,110 @@
+#include "sunchase/shadow/scene_io.h"
+
+#include <fstream>
+#include <optional>
+#include <sstream>
+
+#include "sunchase/common/error.h"
+
+namespace sunchase::shadow {
+
+Scene read_scene(std::istream& in) {
+  std::optional<Scene> scene;
+  double road_half_width = 5.0;
+  std::string line;
+  int line_no = 0;
+  auto fail = [&](const std::string& why) {
+    throw IoError("read_scene: line " + std::to_string(line_no) + ": " + why);
+  };
+  // Buffered until the origin line arrives (roadhalfwidth may precede it).
+  std::optional<geo::LatLon> origin;
+
+  auto ensure_scene = [&]() -> Scene& {
+    if (!scene) {
+      if (!origin) fail("building/tree before the origin line");
+      scene.emplace(geo::LocalProjection{*origin}, road_half_width);
+    }
+    return *scene;
+  };
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::istringstream tokens(line);
+    std::string kind;
+    if (!(tokens >> kind) || kind[0] == '#') continue;
+    if (kind == "origin") {
+      double lat = 0.0, lon = 0.0;
+      if (!(tokens >> lat >> lon)) fail("expected 'origin <lat> <lon>'");
+      if (origin) fail("duplicate origin line");
+      origin = geo::LatLon{lat, lon};
+    } else if (kind == "roadhalfwidth") {
+      if (!(tokens >> road_half_width) || road_half_width <= 0.0)
+        fail("expected 'roadhalfwidth <positive meters>'");
+      if (scene) fail("roadhalfwidth must precede buildings/trees");
+    } else if (kind == "building") {
+      double height = 0.0;
+      int n = 0;
+      if (!(tokens >> height >> n) || n < 3)
+        fail("expected 'building <height> <n >= 3> <coords...>'");
+      geo::Polygon footprint;
+      for (int i = 0; i < n; ++i) {
+        double x = 0.0, y = 0.0;
+        if (!(tokens >> x >> y)) fail("building: too few coordinates");
+        footprint.vertices.push_back({x, y});
+      }
+      try {
+        ensure_scene().add_building(Building{std::move(footprint), height});
+      } catch (const InvalidArgument& e) {
+        fail(e.what());
+      }
+    } else if (kind == "tree") {
+      double x = 0.0, y = 0.0, radius = 0.0, height = 0.0;
+      if (!(tokens >> x >> y >> radius >> height))
+        fail("expected 'tree <x> <y> <radius> <height>'");
+      try {
+        ensure_scene().add_tree(Tree{{x, y}, radius, height});
+      } catch (const InvalidArgument& e) {
+        fail(e.what());
+      }
+    } else {
+      fail("unknown directive '" + kind + "'");
+    }
+  }
+  if (!origin) throw IoError("read_scene: missing origin line");
+  if (!scene) scene.emplace(geo::LocalProjection{*origin}, road_half_width);
+  return std::move(*scene);
+}
+
+Scene read_scene_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw IoError("read_scene_file: cannot open '" + path + "'");
+  return read_scene(in);
+}
+
+void write_scene(std::ostream& out, const Scene& scene) {
+  out.precision(10);
+  out << "# sunchase scene: " << scene.buildings().size() << " buildings, "
+      << scene.trees().size() << " trees\n";
+  const geo::LatLon origin = scene.projection().origin();
+  out << "roadhalfwidth " << scene.road_half_width() << '\n';
+  out << "origin " << origin.lat_deg << ' ' << origin.lon_deg << '\n';
+  for (const Building& b : scene.buildings()) {
+    out << "building " << b.height_m << ' ' << b.footprint.size();
+    for (const geo::Vec2& v : b.footprint.vertices)
+      out << ' ' << v.x << ' ' << v.y;
+    out << '\n';
+  }
+  for (const Tree& t : scene.trees())
+    out << "tree " << t.center.x << ' ' << t.center.y << ' ' << t.radius_m
+        << ' ' << t.height_m << '\n';
+}
+
+void write_scene_file(const std::string& path, const Scene& scene) {
+  std::ofstream out(path);
+  if (!out) throw IoError("write_scene_file: cannot open '" + path + "'");
+  write_scene(out, scene);
+  if (!out)
+    throw IoError("write_scene_file: write failed for '" + path + "'");
+}
+
+}  // namespace sunchase::shadow

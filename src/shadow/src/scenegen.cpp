@@ -1,0 +1,88 @@
+#include "sunchase/shadow/scenegen.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "sunchase/common/error.h"
+#include "sunchase/common/rng.h"
+
+namespace sunchase::shadow {
+
+namespace {
+
+/// Builds one rectangular lot footprint beside a street.
+geo::Polygon lot_footprint(geo::Vec2 lot_start, geo::Vec2 dir, geo::Vec2 side,
+                           double frontage, double offset, double depth) {
+  const geo::Vec2 a = lot_start + side * offset;
+  const geo::Vec2 b = a + dir * frontage;
+  const geo::Vec2 c = b + side * depth;
+  const geo::Vec2 d = a + side * depth;
+  return geo::Polygon{{a, b, c, d}};
+}
+
+}  // namespace
+
+Scene generate_scene(const roadnet::RoadGraph& graph,
+                     const geo::LocalProjection& projection,
+                     const SceneGenOptions& options) {
+  if (options.lot_length_m <= 0.0 || options.tree_spacing_m <= 0.0)
+    throw InvalidArgument("generate_scene: non-positive spacing");
+
+  Scene scene(projection, options.road_half_width_m);
+  Rng rng(options.seed);
+
+  // Deduplicate the two directions of a two-way street.
+  std::unordered_set<std::uint64_t> seen;
+  for (roadnet::EdgeId e = 0; e < graph.edge_count(); ++e) {
+    const auto& edge = graph.edge(e);
+    const auto lo = std::min(edge.from, edge.to);
+    const auto hi = std::max(edge.from, edge.to);
+    if (!seen.insert((static_cast<std::uint64_t>(lo) << 32) | hi).second)
+      continue;
+
+    const geo::Segment street = scene.edge_segment(graph, e);
+    const double street_len = street.length();
+    const geo::Vec2 dir = street.direction();
+    const double lot_pitch = options.lot_length_m + options.lot_gap_m;
+    const double offset =
+        options.road_half_width_m + options.building_setback_m;
+
+    for (const double side_sign : {+1.0, -1.0}) {
+      const geo::Vec2 side = geo::perp(dir) * side_sign;
+      // Leave a clear zone near intersections so corner shadows come
+      // from mid-block buildings, as in real blocks.
+      const double corner_margin = options.road_half_width_m + 4.0;
+      for (double s = corner_margin;
+           s + options.lot_length_m + corner_margin <= street_len;
+           s += lot_pitch) {
+        if (!rng.bernoulli(options.building_probability)) continue;
+        const double depth =
+            rng.uniform(options.min_depth_m, options.max_depth_m);
+        const double height =
+            rng.bernoulli(options.tower_probability)
+                ? rng.uniform(options.tower_min_m, options.tower_max_m)
+                : rng.uniform(options.lowrise_min_m, options.lowrise_max_m);
+        scene.add_building(
+            Building{lot_footprint(street.a + dir * s, dir, side,
+                                   options.lot_length_m, offset, depth),
+                     height});
+      }
+      // Trees along the curb (between road edge and building line).
+      for (double s = corner_margin; s <= street_len - corner_margin;
+           s += options.tree_spacing_m) {
+        if (!rng.bernoulli(options.tree_probability)) continue;
+        const double radius =
+            rng.uniform(options.tree_min_radius_m, options.tree_max_radius_m);
+        scene.add_tree(
+            Tree{street.a + dir * s +
+                     side * (options.road_half_width_m + 1.0 + radius),
+                 radius,
+                 rng.uniform(options.tree_min_height_m,
+                             options.tree_max_height_m)});
+      }
+    }
+  }
+  return scene;
+}
+
+}  // namespace sunchase::shadow

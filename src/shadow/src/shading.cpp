@@ -1,0 +1,129 @@
+#include "sunchase/shadow/shading.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <memory>
+
+#include "sunchase/common/assert.h"
+#include "sunchase/common/error.h"
+
+namespace sunchase::shadow {
+
+double shaded_fraction(const geo::Segment& segment,
+                       std::span<const ShadowPolygon> shadows) {
+  if (segment.length() <= 0.0) return 0.0;
+  const geo::Vec2 seg_lo{std::min(segment.a.x, segment.b.x),
+                         std::min(segment.a.y, segment.b.y)};
+  const geo::Vec2 seg_hi{std::max(segment.a.x, segment.b.x),
+                         std::max(segment.a.y, segment.b.y)};
+  std::vector<geo::Interval> covered;
+  for (const ShadowPolygon& shadow : shadows) {
+    // Cheap bounding-box rejection before the exact clip.
+    if (shadow.bbox_max.x < seg_lo.x || shadow.bbox_min.x > seg_hi.x ||
+        shadow.bbox_max.y < seg_lo.y || shadow.bbox_min.y > seg_hi.y)
+      continue;
+    if (const auto interval =
+            geo::clip_segment_to_convex(segment, shadow.outline))
+      covered.push_back(*interval);
+  }
+  const double frac = geo::covered_length(std::move(covered));
+  return std::clamp(frac, 0.0, 1.0);
+}
+
+ShadingProfile ShadingProfile::compute(const roadnet::RoadGraph& graph,
+                                       const ShadedFractionFn& estimator,
+                                       TimeOfDay first, TimeOfDay last) {
+  if (last < first)
+    throw InvalidArgument("ShadingProfile::compute: empty time window");
+  ShadingProfile profile;
+  profile.edges_ = graph.edge_count();
+  profile.first_slot_ = first.slot_index();
+  profile.last_slot_ = last.slot_index();
+  const int slots = profile.last_slot_ - profile.first_slot_ + 1;
+  profile.fractions_.assign(
+      profile.edges_ * static_cast<std::size_t>(slots), 0.0f);
+  for (int slot = profile.first_slot_; slot <= profile.last_slot_; ++slot) {
+    const TimeOfDay when = TimeOfDay::slot_start(slot);
+    for (roadnet::EdgeId e = 0; e < profile.edges_; ++e) {
+      const double f = estimator(e, when);
+      SUNCHASE_ENSURES(f >= 0.0 && f <= 1.0);
+      profile.fractions_[profile.index_of(e, slot)] = static_cast<float>(f);
+    }
+  }
+  return profile;
+}
+
+ShadingProfile ShadingProfile::compute_exact(const roadnet::RoadGraph& graph,
+                                             const Scene& scene,
+                                             geo::DayOfYear day,
+                                             TimeOfDay first, TimeOfDay last,
+                                             double utc_offset_hours) {
+  return compute(graph,
+                 make_exact_estimator(graph, scene, day, utc_offset_hours),
+                 first, last);
+}
+
+std::size_t ShadingProfile::index_of(roadnet::EdgeId edge, int slot) const {
+  SUNCHASE_EXPECTS(edge < edges_);
+  const int slots = last_slot_ - first_slot_ + 1;
+  return static_cast<std::size_t>(edge) * static_cast<std::size_t>(slots) +
+         static_cast<std::size_t>(slot - first_slot_);
+}
+
+double ShadingProfile::shaded_fraction(roadnet::EdgeId edge,
+                                       TimeOfDay when) const {
+  const int slot =
+      std::clamp(when.slot_index(), first_slot_, last_slot_);
+  return fractions_[index_of(edge, slot)];
+}
+
+Meters ShadingProfile::solar_length(const roadnet::RoadGraph& graph,
+                                    roadnet::EdgeId edge,
+                                    TimeOfDay when) const {
+  const Meters len = graph.edge(edge).length;
+  return len * (1.0 - shaded_fraction(edge, when));
+}
+
+double ShadingProfile::mean_absolute_difference(
+    const ShadingProfile& other) const {
+  if (edges_ != other.edges_ || first_slot_ != other.first_slot_ ||
+      last_slot_ != other.last_slot_)
+    throw InvalidArgument("mean_absolute_difference: shape mismatch");
+  if (fractions_.empty()) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < fractions_.size(); ++i)
+    sum += std::abs(static_cast<double>(fractions_[i]) -
+                    static_cast<double>(other.fractions_[i]));
+  return sum / static_cast<double>(fractions_.size());
+}
+
+ShadedFractionFn make_exact_estimator(const roadnet::RoadGraph& graph,
+                                      const Scene& scene, geo::DayOfYear day,
+                                      double utc_offset_hours) {
+  // Shadows per slot are expensive; memoize them across edges. The
+  // cache is shared by copies of the returned function object.
+  auto cache =
+      std::make_shared<std::map<int, std::vector<ShadowPolygon>>>();
+  return [&graph, &scene, day, utc_offset_hours,
+          cache](roadnet::EdgeId edge, TimeOfDay when) -> double {
+    const int slot = when.slot_index();
+    auto it = cache->find(slot);
+    if (it == cache->end()) {
+      const auto sun =
+          geo::sun_position(scene.projection().origin(), day,
+                            TimeOfDay::slot_start(slot), utc_offset_hours);
+      it = cache->emplace(slot, cast_shadows(scene, sun)).first;
+    }
+    // Sun below horizon: the whole road is "shaded" (no solar input).
+    if (it->second.empty()) {
+      const auto sun =
+          geo::sun_position(scene.projection().origin(), day,
+                            TimeOfDay::slot_start(slot), utc_offset_hours);
+      if (!sun.is_up()) return 1.0;
+    }
+    return shaded_fraction(scene.edge_segment(graph, edge), it->second);
+  };
+}
+
+}  // namespace sunchase::shadow

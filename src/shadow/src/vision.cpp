@@ -1,0 +1,141 @@
+#include "sunchase/shadow/vision.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <numbers>
+
+#include "sunchase/common/error.h"
+
+namespace sunchase::shadow {
+
+VisionPipeline::VisionPipeline(const roadnet::RoadGraph& graph,
+                               const Scene& scene, VisionOptions options)
+    : graph_(graph), scene_(scene), options_(options) {
+  if (options.meters_per_px <= 0.0)
+    throw InvalidArgument("VisionPipeline: non-positive resolution");
+  if (options.binarize_threshold <= options.shadow_value ||
+      options.binarize_threshold >= options.road_value)
+    throw InvalidArgument(
+        "VisionPipeline: threshold must separate shadow and road values");
+  // Frame the whole scene plus every road, with a margin.
+  geo::Vec2 lo{1e18, 1e18}, hi{-1e18, -1e18};
+  auto extend = [&](geo::Vec2 p) {
+    lo.x = std::min(lo.x, p.x);
+    lo.y = std::min(lo.y, p.y);
+    hi.x = std::max(hi.x, p.x);
+    hi.y = std::max(hi.y, p.y);
+  };
+  for (roadnet::NodeId n = 0; n < graph.node_count(); ++n)
+    extend(scene.projection().to_local(graph.node(n).position));
+  try {
+    const auto [slo, shi] = scene.bounds();
+    extend(slo);
+    extend(shi);
+  } catch (const InvalidArgument&) {
+    // Empty scene: frame the roads alone.
+  }
+  if (lo.x > hi.x)
+    throw InvalidArgument("VisionPipeline: nothing to image");
+  const geo::Vec2 margin{options.margin_m, options.margin_m};
+  frame_ = geo::RasterFrame{lo - margin, hi + margin, options.meters_per_px};
+}
+
+geo::Raster VisionPipeline::render(const geo::SunPosition& sun) const {
+  geo::Raster image(frame_, options_.background);
+  // Road surfaces first.
+  for (roadnet::EdgeId e = 0; e < graph_.edge_count(); ++e)
+    image.fill_corridor(scene_.edge_segment(graph_, e),
+                        scene_.road_half_width(), options_.road_value);
+  // Ground shadows darken whatever they fall on.
+  for (const ShadowPolygon& s : cast_shadows(scene_, sun))
+    image.darken_polygon(s.outline, options_.shadow_value);
+  // Roofs on top: illuminated, but not road surface.
+  for (const Building& b : scene_.buildings())
+    image.fill_polygon(b.footprint, options_.building_value);
+  return image;
+}
+
+std::vector<double> VisionPipeline::estimate_shaded_fractions(
+    const geo::SunPosition& sun) const {
+  geo::Raster image = render(sun);
+  image.binarize(options_.binarize_threshold);  // dark -> 0, lit -> 255
+
+  std::vector<double> fractions(graph_.edge_count(), 0.0);
+  if (!sun.is_up()) {
+    std::fill(fractions.begin(), fractions.end(), 1.0);
+    return fractions;
+  }
+  for (roadnet::EdgeId e = 0; e < graph_.edge_count(); ++e) {
+    const geo::Segment seg = scene_.edge_segment(graph_, e);
+    const long shaded = image.count_corridor(
+        seg, scene_.road_half_width(),
+        [](std::uint8_t v) { return v == 0; });
+    const long total = image.count_corridor(
+        seg, scene_.road_half_width(), [](std::uint8_t) { return true; });
+    fractions[e] =
+        total > 0 ? static_cast<double>(shaded) / static_cast<double>(total)
+                  : 0.0;
+  }
+  return fractions;
+}
+
+ShadedFractionFn VisionPipeline::make_estimator(
+    geo::DayOfYear day, double utc_offset_hours) const {
+  auto cache = std::make_shared<std::map<int, std::vector<double>>>();
+  return [this, day, utc_offset_hours,
+          cache](roadnet::EdgeId edge, TimeOfDay when) -> double {
+    const int slot = when.slot_index();
+    auto it = cache->find(slot);
+    if (it == cache->end()) {
+      const auto sun =
+          geo::sun_position(scene_.projection().origin(), day,
+                            TimeOfDay::slot_start(slot), utc_offset_hours);
+      it = cache->emplace(slot, estimate_shaded_fractions(sun)).first;
+    }
+    return it->second[edge];
+  };
+}
+
+geo::Raster VisionPipeline::road_mask() const {
+  geo::Raster mask(frame_, 0);
+  for (roadnet::EdgeId e = 0; e < graph_.edge_count(); ++e)
+    mask.fill_corridor(scene_.edge_segment(graph_, e),
+                       scene_.road_half_width(), 255);
+  return mask;
+}
+
+std::vector<geo::HoughLine> VisionPipeline::detect_road_lines(
+    const geo::HoughParams& params, Rng& rng) const {
+  return geo::hough_lines(road_mask(), params, rng);
+}
+
+double VisionPipeline::road_detection_recall(
+    const std::vector<geo::HoughLine>& lines, double tolerance_m) const {
+  if (graph_.edge_count() == 0) return 1.0;
+  geo::Raster probe(frame_, 0);  // only used for line_to_world_segment
+  std::vector<geo::Segment> detected;
+  detected.reserve(lines.size());
+  for (const auto& line : lines)
+    detected.push_back(geo::line_to_world_segment(line, probe));
+
+  std::size_t matched = 0;
+  for (roadnet::EdgeId e = 0; e < graph_.edge_count(); ++e) {
+    const geo::Segment seg = scene_.edge_segment(graph_, e);
+    const geo::Vec2 mid = seg.point_at(0.5);
+    const geo::Vec2 dir = seg.direction();
+    for (const geo::Segment& d : detected) {
+      if (geo::distance_to_segment(mid, d) > tolerance_m) continue;
+      const double align = std::abs(geo::dot(dir, d.direction()));
+      if (align > std::cos(5.0 * std::numbers::pi / 180.0)) {
+        ++matched;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(matched) /
+         static_cast<double>(graph_.edge_count());
+}
+
+}  // namespace sunchase::shadow

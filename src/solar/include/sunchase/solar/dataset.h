@@ -1,0 +1,75 @@
+// Simulated high-resolution irradiance dataset. The paper reads a
+// 17-unit NRCan sensor network sampled at up to 10 ms, with "surges ...
+// mainly caused by obstructions (e.g., birds) passing over or variable
+// cloud cover conditions" (Fig. 4). This module synthesizes an
+// equivalent measured-irradiance time series: clear-sky base curve,
+// cloud passages, momentary obstruction dips, and cloud-edge
+// enhancement surges — all deterministic from a seed.
+#pragma once
+
+#include <vector>
+
+#include "sunchase/common/rng.h"
+#include "sunchase/solar/irradiance.h"
+
+namespace sunchase::solar {
+
+struct DatasetOptions {
+  ClearSkyModel::Options clear_sky{};
+  /// Cloud passages: Poisson arrivals through the day.
+  double clouds_per_hour = 1.2;
+  double cloud_min_duration_s = 40.0;
+  double cloud_max_duration_s = 600.0;
+  double cloud_min_attenuation = 0.25;  ///< fraction of GHI let through
+  double cloud_max_attenuation = 0.75;
+  /// Momentary obstructions (birds, debris): deep but very short.
+  double obstructions_per_hour = 3.0;
+  double obstruction_duration_s = 1.5;
+  double obstruction_attenuation = 0.1;
+  /// Cloud-edge enhancement: brief surges above clear sky.
+  double surges_per_hour = 1.0;
+  double surge_duration_s = 20.0;
+  double surge_gain = 1.12;
+  /// Sensor noise (relative standard deviation).
+  double noise_rel_std = 0.01;
+  std::uint64_t seed = 2017;
+};
+
+/// One simulated ground-station day of irradiance.
+class IrradianceDataset {
+ public:
+  /// Default: the standard simulated July day (seed 2017).
+  IrradianceDataset();
+  explicit IrradianceDataset(DatasetOptions options);
+
+  /// Instantaneous measured irradiance at a local clock time.
+  [[nodiscard]] WattsPerSquareMeter sample(TimeOfDay when) const;
+
+  /// Mean irradiance over [start, start+duration], integrating at 1 s
+  /// resolution — this is what refreshes the panel power C every
+  /// 15 minutes in the paper.
+  [[nodiscard]] WattsPerSquareMeter average(TimeOfDay start,
+                                            Seconds duration) const;
+
+  /// Mean over the enclosing 15-minute solar-map slot.
+  [[nodiscard]] WattsPerSquareMeter slot_average(TimeOfDay when) const;
+
+  [[nodiscard]] const ClearSkyModel& clear_sky() const noexcept {
+    return clear_sky_;
+  }
+
+ private:
+  struct Event {
+    double start_s;   ///< seconds since midnight
+    double end_s;
+    double factor;    ///< multiplier applied to clear-sky GHI
+  };
+
+  [[nodiscard]] double event_factor(double t_s) const noexcept;
+
+  DatasetOptions options_;
+  ClearSkyModel clear_sky_;
+  std::vector<Event> events_;  ///< sorted by start time
+};
+
+}  // namespace sunchase::solar

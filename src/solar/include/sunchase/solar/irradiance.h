@@ -1,0 +1,45 @@
+// Clear-sky ground irradiance on a horizontal surface (the EV's flat
+// roof panel). Reproduces the shape of the paper's Fig. 4 (NRCan
+// Quebec, July): low morning/evening, ~1150 W/m^2 midday peak.
+#pragma once
+
+#include "sunchase/common/time_of_day.h"
+#include "sunchase/common/units.h"
+#include "sunchase/geo/latlon.h"
+#include "sunchase/geo/sunpos.h"
+
+namespace sunchase::solar {
+
+/// Haurwitz-style clear-sky model scaled so that a July Montreal noon
+/// reaches the ~1150 W/m^2 the NRCan measurements in the paper show
+/// (ground data includes slight cloud-edge enhancement over the pure
+/// clear-sky value).
+class ClearSkyModel {
+ public:
+  struct Options {
+    geo::LatLon site{45.4995, -73.5700};  ///< Montreal
+    geo::DayOfYear day{196};              ///< mid-July
+    double utc_offset_hours = -4.0;
+    double scale = 1.22;  ///< calibration to the measured noon peak
+  };
+
+  /// Default: Montreal, mid-July, calibrated scale.
+  ClearSkyModel();
+  explicit ClearSkyModel(Options options);
+
+  /// Global horizontal irradiance at a local clock time; zero when the
+  /// sun is below the horizon.
+  [[nodiscard]] WattsPerSquareMeter irradiance(TimeOfDay when) const noexcept;
+
+  /// Irradiance for an explicit solar elevation (radians), exposed so
+  /// tests can probe the attenuation curve directly.
+  [[nodiscard]] WattsPerSquareMeter irradiance_at_elevation(
+      double elevation_rad) const noexcept;
+
+  [[nodiscard]] const Options& options() const noexcept { return options_; }
+
+ private:
+  Options options_;
+};
+
+}  // namespace sunchase::solar

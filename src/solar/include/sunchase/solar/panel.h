@@ -1,0 +1,49 @@
+// The EV's roof-mounted solar panel. The paper estimates the panel
+// input power C from the ~20% cell efficiency of commercial panels and
+// holds it constant within each 15-minute interval (Sec. III-C2).
+#pragma once
+
+#include <functional>
+
+#include "sunchase/common/time_of_day.h"
+#include "sunchase/common/units.h"
+#include "sunchase/solar/dataset.h"
+
+namespace sunchase::solar {
+
+/// A flat panel: output power = irradiance x area x efficiency.
+class SolarPanel {
+ public:
+  /// Throws InvalidArgument unless area > 0 and efficiency in (0, 1].
+  SolarPanel(SquareMeters area, double efficiency);
+
+  [[nodiscard]] Watts output(WattsPerSquareMeter irradiance) const noexcept;
+  [[nodiscard]] SquareMeters area() const noexcept { return area_; }
+  [[nodiscard]] double efficiency() const noexcept { return efficiency_; }
+
+ private:
+  SquareMeters area_;
+  double efficiency_;
+};
+
+/// Panel input power C as a function of time — the paper's
+/// "value update every 15 minutes".
+using PanelPowerFn = std::function<Watts(TimeOfDay)>;
+
+/// A constant C (the routing simulations fix C = 200/210/160 W at
+/// 10:00/12:00/16:00).
+[[nodiscard]] PanelPowerFn constant_panel_power(Watts c);
+
+/// C from a simulated irradiance dataset: the 15-minute slot average
+/// through a panel. The dataset and panel are captured by value.
+[[nodiscard]] PanelPowerFn dataset_panel_power(IrradianceDataset dataset,
+                                               SolarPanel panel);
+
+/// Piecewise-constant C per 15-minute slot over a window, linearly
+/// matching the paper's one-day scenario ("from 160 W to 210 W based on
+/// the datasets"): rises from `edge` at 9:00 to `peak` at 13:00 and
+/// back by 17:00.
+[[nodiscard]] PanelPowerFn paper_daytime_panel_power(Watts edge = Watts{160.0},
+                                                     Watts peak = Watts{210.0});
+
+}  // namespace sunchase::solar

@@ -1,0 +1,42 @@
+// Parking-spot solar ranking. The paper's premise includes harvesting
+// "not only at parking but also travelling on the road" — and parked
+// hours dwarf driving minutes, so where the car sits matters more than
+// how it got there. This ranks curbside spots near a destination by
+// the energy a panel would collect over the parked window, as shadows
+// sweep across the streets.
+#pragma once
+
+#include <vector>
+
+#include "sunchase/roadnet/graph.h"
+#include "sunchase/shadow/shading.h"
+#include "sunchase/solar/panel.h"
+
+namespace sunchase::solar {
+
+struct ParkingOptions {
+  /// Maximum walking distance from the destination intersection to the
+  /// parking street.
+  Meters search_radius{250.0};
+};
+
+/// One candidate curbside spot (an edge of the road graph).
+struct ParkingSpot {
+  roadnet::EdgeId edge = roadnet::kInvalidEdge;
+  WattHours expected_harvest{0.0};  ///< over the whole parked window
+  double mean_shaded_fraction = 0.0;
+  Meters walk_distance{0.0};  ///< destination to the nearer street end
+};
+
+/// Ranks every street within walking distance of `destination` by the
+/// solar energy a parked panel would collect from `arrival` to
+/// `departure`, integrating the 15-minute shading profile and panel
+/// power. Best spot first. Throws InvalidArgument for an empty window
+/// and GraphError for an unknown destination.
+[[nodiscard]] std::vector<ParkingSpot> rank_parking_spots(
+    const roadnet::RoadGraph& graph, const shadow::ShadingProfile& shading,
+    const PanelPowerFn& panel_power, roadnet::NodeId destination,
+    TimeOfDay arrival, TimeOfDay departure,
+    const ParkingOptions& options = ParkingOptions{});
+
+}  // namespace sunchase::solar

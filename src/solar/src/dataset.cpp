@@ -1,0 +1,88 @@
+#include "sunchase/solar/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sunchase/common/error.h"
+
+namespace sunchase::solar {
+
+IrradianceDataset::IrradianceDataset() : IrradianceDataset(DatasetOptions{}) {}
+
+IrradianceDataset::IrradianceDataset(DatasetOptions options)
+    : options_(options), clear_sky_(options.clear_sky) {
+  if (options.noise_rel_std < 0.0)
+    throw InvalidArgument("IrradianceDataset: negative noise");
+
+  Rng rng(options.seed);
+  auto add_poisson_events = [&](double per_hour, auto make_event) {
+    if (per_hour <= 0.0) return;
+    double t = 0.0;
+    while (true) {
+      t += rng.exponential(3600.0 / per_hour);
+      if (t >= TimeOfDay::kSecondsPerDay) break;
+      events_.push_back(make_event(t, rng));
+    }
+  };
+
+  add_poisson_events(options.clouds_per_hour, [&](double t, Rng& r) {
+    const double dur =
+        r.uniform(options_.cloud_min_duration_s, options_.cloud_max_duration_s);
+    const double att = r.uniform(options_.cloud_min_attenuation,
+                                 options_.cloud_max_attenuation);
+    return Event{t, t + dur, att};
+  });
+  add_poisson_events(options.obstructions_per_hour, [&](double t, Rng&) {
+    return Event{t, t + options_.obstruction_duration_s,
+                 options_.obstruction_attenuation};
+  });
+  add_poisson_events(options.surges_per_hour, [&](double t, Rng&) {
+    return Event{t, t + options_.surge_duration_s, options_.surge_gain};
+  });
+  std::sort(events_.begin(), events_.end(),
+            [](const Event& a, const Event& b) { return a.start_s < b.start_s; });
+}
+
+double IrradianceDataset::event_factor(double t_s) const noexcept {
+  // Overlapping events multiply (a bird under a cloud dims further);
+  // the event list is small (tens per day), linear scan with early-out.
+  double factor = 1.0;
+  for (const Event& e : events_) {
+    if (e.start_s > t_s) break;
+    if (t_s < e.end_s) factor *= e.factor;
+  }
+  return factor;
+}
+
+WattsPerSquareMeter IrradianceDataset::sample(TimeOfDay when) const {
+  const double t = when.seconds_since_midnight();
+  const double base = clear_sky_.irradiance(when).value();
+  if (base <= 0.0) return WattsPerSquareMeter{0.0};
+  // Deterministic per-instant noise: hash the integer millisecond.
+  Rng noise_rng(options_.seed ^ static_cast<std::uint64_t>(t * 1000.0));
+  const double noisy =
+      base * event_factor(t) *
+      (1.0 + options_.noise_rel_std * noise_rng.normal());
+  return WattsPerSquareMeter{std::max(noisy, 0.0)};
+}
+
+WattsPerSquareMeter IrradianceDataset::average(TimeOfDay start,
+                                               Seconds duration) const {
+  if (duration.value() <= 0.0)
+    throw InvalidArgument("IrradianceDataset::average: non-positive window");
+  const int steps = std::max(1, static_cast<int>(duration.value()));
+  double sum = 0.0;
+  for (int i = 0; i < steps; ++i) {
+    const TimeOfDay t = start.advanced_by(
+        Seconds{(i + 0.5) * duration.value() / steps});
+    sum += sample(t).value();
+  }
+  return WattsPerSquareMeter{sum / steps};
+}
+
+WattsPerSquareMeter IrradianceDataset::slot_average(TimeOfDay when) const {
+  const TimeOfDay start = TimeOfDay::slot_start(when.slot_index());
+  return average(start, Seconds{TimeOfDay::kSlotSeconds});
+}
+
+}  // namespace sunchase::solar

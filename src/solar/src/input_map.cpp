@@ -1,0 +1,39 @@
+#include "sunchase/solar/input_map.h"
+
+#include "sunchase/common/error.h"
+
+namespace sunchase::solar {
+
+SolarInputMap::SolarInputMap(const roadnet::RoadGraph& graph,
+                             const shadow::ShadingProfile& shading,
+                             const roadnet::TrafficModel& traffic,
+                             PanelPowerFn panel_power)
+    : graph_(graph),
+      shading_(shading),
+      traffic_(traffic),
+      panel_power_(std::move(panel_power)) {
+  if (!panel_power_)
+    throw InvalidArgument("SolarInputMap: null panel power function");
+  if (shading.edge_count() != graph.edge_count())
+    throw InvalidArgument(
+        "SolarInputMap: shading profile does not match the graph");
+}
+
+EdgeSolar SolarInputMap::evaluate(roadnet::EdgeId edge, TimeOfDay when) const {
+  const MetersPerSecond v = traffic_.speed(graph_, edge, when);
+  const Meters length = graph_.edge(edge).length;
+  const Meters solar_len = shading_.solar_length(graph_, edge, when);
+
+  EdgeSolar out;
+  out.travel_time = length / v;
+  out.solar_time = solar_len / v;
+  out.shaded_time = out.travel_time - out.solar_time;
+  out.energy_in = energy(panel_power_(when), out.solar_time);
+  return out;
+}
+
+Watts SolarInputMap::panel_power(TimeOfDay when) const {
+  return panel_power_(when);
+}
+
+}  // namespace sunchase::solar

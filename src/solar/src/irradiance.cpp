@@ -1,0 +1,31 @@
+#include "sunchase/solar/irradiance.h"
+
+#include <cmath>
+
+#include "sunchase/common/error.h"
+
+namespace sunchase::solar {
+
+ClearSkyModel::ClearSkyModel() : ClearSkyModel(Options{}) {}
+
+ClearSkyModel::ClearSkyModel(Options options) : options_(options) {
+  if (options.scale <= 0.0)
+    throw InvalidArgument("ClearSkyModel: non-positive scale");
+}
+
+WattsPerSquareMeter ClearSkyModel::irradiance_at_elevation(
+    double elevation_rad) const noexcept {
+  if (elevation_rad <= 0.0) return WattsPerSquareMeter{0.0};
+  const double s = std::sin(elevation_rad);
+  // Haurwitz (1945): GHI = 1098 * sin(el) * exp(-0.057 / sin(el)).
+  const double ghi = 1098.0 * s * std::exp(-0.057 / s);
+  return WattsPerSquareMeter{options_.scale * ghi};
+}
+
+WattsPerSquareMeter ClearSkyModel::irradiance(TimeOfDay when) const noexcept {
+  const auto sun = geo::sun_position(options_.site, options_.day, when,
+                                     options_.utc_offset_hours);
+  return irradiance_at_elevation(sun.elevation_rad);
+}
+
+}  // namespace sunchase::solar

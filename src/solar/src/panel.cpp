@@ -1,0 +1,47 @@
+#include "sunchase/solar/panel.h"
+
+#include <cmath>
+
+#include "sunchase/common/error.h"
+
+namespace sunchase::solar {
+
+SolarPanel::SolarPanel(SquareMeters area, double efficiency)
+    : area_(area), efficiency_(efficiency) {
+  if (area.value() <= 0.0)
+    throw InvalidArgument("SolarPanel: non-positive area");
+  if (efficiency <= 0.0 || efficiency > 1.0)
+    throw InvalidArgument("SolarPanel: efficiency outside (0,1]");
+}
+
+Watts SolarPanel::output(WattsPerSquareMeter irradiance) const noexcept {
+  if (irradiance.value() <= 0.0) return Watts{0.0};
+  return Watts{irradiance.value() * area_.value() * efficiency_};
+}
+
+PanelPowerFn constant_panel_power(Watts c) {
+  if (c.value() < 0.0)
+    throw InvalidArgument("constant_panel_power: negative power");
+  return [c](TimeOfDay) { return c; };
+}
+
+PanelPowerFn dataset_panel_power(IrradianceDataset dataset, SolarPanel panel) {
+  return [dataset = std::move(dataset), panel](TimeOfDay when) {
+    return panel.output(dataset.slot_average(when));
+  };
+}
+
+PanelPowerFn paper_daytime_panel_power(Watts edge, Watts peak) {
+  if (peak < edge)
+    throw InvalidArgument("paper_daytime_panel_power: peak below edge");
+  return [edge, peak](TimeOfDay when) {
+    // Triangle profile over 9:00-17:00 peaking at 13:00, evaluated at
+    // the enclosing slot start so C is constant within a slot.
+    const double h =
+        TimeOfDay::slot_start(when.slot_index()).hours_since_midnight();
+    const double ramp = 1.0 - std::min(std::abs(h - 13.0) / 4.0, 1.0);
+    return Watts{edge.value() + (peak.value() - edge.value()) * ramp};
+  };
+}
+
+}  // namespace sunchase::solar

@@ -1,0 +1,63 @@
+#include "sunchase/solar/parking.h"
+
+#include <algorithm>
+
+#include "sunchase/common/error.h"
+
+namespace sunchase::solar {
+
+std::vector<ParkingSpot> rank_parking_spots(
+    const roadnet::RoadGraph& graph, const shadow::ShadingProfile& shading,
+    const PanelPowerFn& panel_power, roadnet::NodeId destination,
+    TimeOfDay arrival, TimeOfDay departure, const ParkingOptions& options) {
+  if (departure <= arrival)
+    throw InvalidArgument("rank_parking_spots: empty parking window");
+  if (!panel_power)
+    throw InvalidArgument("rank_parking_spots: null panel power");
+  if (options.search_radius.value() <= 0.0)
+    throw InvalidArgument("rank_parking_spots: non-positive radius");
+  const geo::LatLon dest = graph.node(destination).position;
+
+  std::vector<ParkingSpot> spots;
+  for (roadnet::EdgeId e = 0; e < graph.edge_count(); ++e) {
+    const auto& edge = graph.edge(e);
+    const Meters walk =
+        std::min(geo::haversine_distance(dest, graph.node(edge.from).position),
+                 geo::haversine_distance(dest, graph.node(edge.to).position));
+    if (walk > options.search_radius) continue;
+
+    // Integrate slot by slot across the parked window.
+    double harvest_wh = 0.0;
+    double shade_time_weighted = 0.0;
+    double total_s = 0.0;
+    const int first = arrival.slot_index();
+    const int last = departure.slot_index();
+    for (int slot = first; slot <= last; ++slot) {
+      const TimeOfDay slot_begin = TimeOfDay::slot_start(slot);
+      const double begin_s =
+          std::max(arrival.seconds_since_midnight(),
+                   slot_begin.seconds_since_midnight());
+      const double end_s =
+          std::min(departure.seconds_since_midnight(),
+                   slot_begin.seconds_since_midnight() +
+                       TimeOfDay::kSlotSeconds);
+      const double dt = end_s - begin_s;
+      if (dt <= 0.0) continue;
+      const double shaded = shading.shaded_fraction(e, slot_begin);
+      harvest_wh +=
+          panel_power(slot_begin).value() * (1.0 - shaded) * dt / 3600.0;
+      shade_time_weighted += shaded * dt;
+      total_s += dt;
+    }
+    spots.push_back(ParkingSpot{
+        e, WattHours{harvest_wh},
+        total_s > 0.0 ? shade_time_weighted / total_s : 0.0, walk});
+  }
+  std::sort(spots.begin(), spots.end(),
+            [](const ParkingSpot& a, const ParkingSpot& b) {
+              return a.expected_harvest > b.expected_harvest;
+            });
+  return spots;
+}
+
+}  // namespace sunchase::solar

@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "sunchase/common/assert.h"
+#include "sunchase/common/error.h"
+#include "sunchase/common/logging.h"
+
+namespace sunchase {
+namespace {
+
+TEST(Contracts, ExpectsPassesOnTrue) {
+  EXPECT_NO_THROW(SUNCHASE_EXPECTS(1 + 1 == 2));
+}
+
+TEST(Contracts, ExpectsThrowsOnFalse) {
+  EXPECT_THROW(SUNCHASE_EXPECTS(false), ContractViolation);
+}
+
+TEST(Contracts, EnsuresThrowsOnFalse) {
+  EXPECT_THROW(SUNCHASE_ENSURES(2 > 3), ContractViolation);
+}
+
+TEST(Contracts, MessageNamesExpressionAndLocation) {
+  try {
+    SUNCHASE_EXPECTS(42 < 0);
+    FAIL() << "should have thrown";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("42 < 0"), std::string::npos);
+    EXPECT_NE(what.find("test_assert_logging.cpp"), std::string::npos);
+    EXPECT_NE(what.find("precondition"), std::string::npos);
+  }
+}
+
+TEST(Errors, HierarchyIsCatchableAsBase) {
+  try {
+    throw RoutingError("no route");
+  } catch (const Error& e) {
+    EXPECT_STREQ(e.what(), "no route");
+  }
+}
+
+TEST(Errors, DistinctTypesAreDistinct) {
+  EXPECT_THROW(throw InvalidArgument("x"), InvalidArgument);
+  EXPECT_THROW(throw IoError("x"), IoError);
+  EXPECT_THROW(throw GraphError("x"), GraphError);
+}
+
+TEST(Logging, LevelFilterRoundTrip) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::Error);
+  EXPECT_EQ(log_level(), LogLevel::Error);
+  set_log_level(before);
+}
+
+TEST(Logging, EmitBelowLevelIsSilentlyDropped) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::Off);
+  // Must not crash or throw; output is suppressed.
+  EXPECT_NO_THROW(log_message(LogLevel::Error, "dropped"));
+  EXPECT_NO_THROW(SUNCHASE_LOG(Warning) << "also dropped " << 42);
+  set_log_level(before);
+}
+
+}  // namespace
+}  // namespace sunchase

@@ -1,0 +1,87 @@
+#include "sunchase/common/time_of_day.h"
+
+#include <gtest/gtest.h>
+
+#include "sunchase/common/assert.h"
+#include "sunchase/common/error.h"
+
+namespace sunchase {
+namespace {
+
+TEST(TimeOfDay, HmsConstruction) {
+  const TimeOfDay t = TimeOfDay::hms(10, 30, 15);
+  EXPECT_DOUBLE_EQ(t.seconds_since_midnight(), 10 * 3600 + 30 * 60 + 15);
+  EXPECT_NEAR(t.hours_since_midnight(), 10.504, 1e-3);
+}
+
+TEST(TimeOfDay, HmsRejectsOutOfRange) {
+  EXPECT_THROW(TimeOfDay::hms(24, 0, 0), InvalidArgument);
+  EXPECT_THROW(TimeOfDay::hms(-1, 0, 0), InvalidArgument);
+  EXPECT_THROW(TimeOfDay::hms(10, 60, 0), InvalidArgument);
+  EXPECT_THROW(TimeOfDay::hms(10, 0, 60), InvalidArgument);
+}
+
+TEST(TimeOfDay, ParseFormats) {
+  EXPECT_EQ(TimeOfDay::parse("09:15"), TimeOfDay::hms(9, 15));
+  EXPECT_EQ(TimeOfDay::parse("16:00:30"), TimeOfDay::hms(16, 0, 30));
+}
+
+TEST(TimeOfDay, ParseRejectsMalformed) {
+  EXPECT_THROW(TimeOfDay::parse("nonsense"), IoError);
+  EXPECT_THROW(TimeOfDay::parse("25:00"), IoError);
+  EXPECT_THROW(TimeOfDay::parse(""), IoError);
+  EXPECT_THROW(TimeOfDay::parse("12"), IoError);
+}
+
+TEST(TimeOfDay, SlotIndexing) {
+  // 96 slots of 15 minutes; 10:00 is slot 40.
+  EXPECT_EQ(TimeOfDay::hms(0, 0).slot_index(), 0);
+  EXPECT_EQ(TimeOfDay::hms(10, 0).slot_index(), 40);
+  EXPECT_EQ(TimeOfDay::hms(10, 14, 59).slot_index(), 40);
+  EXPECT_EQ(TimeOfDay::hms(10, 15).slot_index(), 41);
+  EXPECT_EQ(TimeOfDay::hms(23, 59, 59).slot_index(), 95);
+}
+
+TEST(TimeOfDay, SlotStartRoundTrip) {
+  for (int slot = 0; slot < TimeOfDay::kSlotsPerDay; ++slot)
+    EXPECT_EQ(TimeOfDay::slot_start(slot).slot_index(), slot);
+}
+
+TEST(TimeOfDay, SlotStartRejectsOutOfRange) {
+  EXPECT_THROW(TimeOfDay::slot_start(-1), ContractViolation);
+  EXPECT_THROW(TimeOfDay::slot_start(96), ContractViolation);
+}
+
+TEST(TimeOfDay, AdvanceAndSince) {
+  const TimeOfDay t = TimeOfDay::hms(10, 0);
+  const TimeOfDay later = t.advanced_by(minutes(20.0));
+  EXPECT_EQ(later, TimeOfDay::hms(10, 20));
+  EXPECT_DOUBLE_EQ(later.since(t).value(), 1200.0);
+}
+
+TEST(TimeOfDay, AdvanceSaturatesAtEndOfDay) {
+  const TimeOfDay t = TimeOfDay::hms(23, 50);
+  const TimeOfDay later = t.advanced_by(hours(2.0));
+  EXPECT_LT(later.seconds_since_midnight(), TimeOfDay::kSecondsPerDay);
+  EXPECT_GE(later, t);
+}
+
+TEST(TimeOfDay, FromSecondsClamps) {
+  EXPECT_DOUBLE_EQ(TimeOfDay::from_seconds(-5.0).seconds_since_midnight(),
+                   0.0);
+  EXPECT_LT(TimeOfDay::from_seconds(1e9).seconds_since_midnight(),
+            TimeOfDay::kSecondsPerDay);
+}
+
+TEST(TimeOfDay, Ordering) {
+  EXPECT_LT(TimeOfDay::hms(9, 0), TimeOfDay::hms(10, 0));
+  EXPECT_EQ(TimeOfDay::hms(12, 0), TimeOfDay::hms(12, 0));
+}
+
+TEST(TimeOfDay, ToString) {
+  EXPECT_EQ(TimeOfDay::hms(9, 5, 7).to_string(), "09:05:07");
+  EXPECT_EQ(TimeOfDay::hms(16, 0).to_string(), "16:00:00");
+}
+
+}  // namespace
+}  // namespace sunchase

@@ -1,0 +1,91 @@
+#include "sunchase/common/units.h"
+
+#include <gtest/gtest.h>
+
+namespace sunchase {
+namespace {
+
+using namespace sunchase::literals;
+
+TEST(Units, SameDimensionArithmetic) {
+  const Meters a{100.0};
+  const Meters b{50.0};
+  EXPECT_DOUBLE_EQ((a + b).value(), 150.0);
+  EXPECT_DOUBLE_EQ((a - b).value(), 50.0);
+  EXPECT_DOUBLE_EQ((-a).value(), -100.0);
+  EXPECT_DOUBLE_EQ((a * 2.0).value(), 200.0);
+  EXPECT_DOUBLE_EQ((3.0 * b).value(), 150.0);
+  EXPECT_DOUBLE_EQ((a / 4.0).value(), 25.0);
+}
+
+TEST(Units, CompoundAssignment) {
+  Meters m{10.0};
+  m += Meters{5.0};
+  EXPECT_DOUBLE_EQ(m.value(), 15.0);
+  m -= Meters{3.0};
+  EXPECT_DOUBLE_EQ(m.value(), 12.0);
+  m *= 2.0;
+  EXPECT_DOUBLE_EQ(m.value(), 24.0);
+  m /= 4.0;
+  EXPECT_DOUBLE_EQ(m.value(), 6.0);
+}
+
+TEST(Units, RatioIsDimensionless) {
+  const double r = Meters{150.0} / Meters{50.0};
+  EXPECT_DOUBLE_EQ(r, 3.0);
+}
+
+TEST(Units, Comparisons) {
+  EXPECT_LT(Seconds{1.0}, Seconds{2.0});
+  EXPECT_GE(Seconds{2.0}, Seconds{2.0});
+  EXPECT_EQ(Watts{5.0}, Watts{5.0});
+  EXPECT_NE(Watts{5.0}, Watts{6.0});
+}
+
+TEST(Units, SpeedDistanceTimeTriangle) {
+  const Meters d{300.0};
+  const Seconds t{20.0};
+  const MetersPerSecond v = d / t;
+  EXPECT_DOUBLE_EQ(v.value(), 15.0);
+  EXPECT_DOUBLE_EQ((d / v).value(), 20.0);
+  EXPECT_DOUBLE_EQ((v * t).value(), 300.0);
+  EXPECT_DOUBLE_EQ((t * v).value(), 300.0);
+}
+
+TEST(Units, IrradianceTimesAreaIsPower) {
+  const Watts p = WattsPerSquareMeter{1000.0} * SquareMeters{1.5};
+  EXPECT_DOUBLE_EQ(p.value(), 1500.0);
+  const Watts q = SquareMeters{2.0} * WattsPerSquareMeter{500.0};
+  EXPECT_DOUBLE_EQ(q.value(), 1000.0);
+}
+
+TEST(Units, EnergyWattHours) {
+  // 200 W for half an hour = 100 Wh (the paper's EI bookkeeping).
+  EXPECT_DOUBLE_EQ(energy(Watts{200.0}, Seconds{1800.0}).value(), 100.0);
+  EXPECT_DOUBLE_EQ(energy(Watts{0.0}, Seconds{1800.0}).value(), 0.0);
+}
+
+TEST(Units, ConvenienceConversions) {
+  EXPECT_DOUBLE_EQ(hours(2.0).value(), 7200.0);
+  EXPECT_DOUBLE_EQ(minutes(15.0).value(), 900.0);
+  EXPECT_DOUBLE_EQ(kilometers(2.5).value(), 2500.0);
+  EXPECT_NEAR(kmh(36.0).value(), 10.0, 1e-12);
+  EXPECT_NEAR(to_kmh(MetersPerSecond{10.0}), 36.0, 1e-12);
+}
+
+TEST(Units, Literals) {
+  EXPECT_DOUBLE_EQ((1.5_km).value(), 1500.0);
+  EXPECT_DOUBLE_EQ((250_m).value(), 250.0);
+  EXPECT_DOUBLE_EQ((90_s).value(), 90.0);
+  EXPECT_DOUBLE_EQ((200_W).value(), 200.0);
+  EXPECT_DOUBLE_EQ((15.5_Wh).value(), 15.5);
+  EXPECT_NEAR((36_kmh).value(), 10.0, 1e-12);
+}
+
+TEST(Units, DefaultConstructedIsZero) {
+  EXPECT_DOUBLE_EQ(Meters{}.value(), 0.0);
+  EXPECT_DOUBLE_EQ(WattHours{}.value(), 0.0);
+}
+
+}  // namespace
+}  // namespace sunchase

@@ -1,0 +1,102 @@
+// Shared fixture for the core routing tests: a small graph with a
+// deterministic synthetic shading profile and everything the planner
+// needs, plus a brute-force Pareto enumerator to validate the
+// multi-label correcting search against.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "sunchase/core/edge_cost.h"
+#include "sunchase/core/metrics.h"
+#include "sunchase/core/mlc.h"
+#include "sunchase/ev/consumption.h"
+#include "sunchase/roadnet/citygen.h"
+#include "sunchase/roadnet/traffic.h"
+#include "sunchase/solar/input_map.h"
+#include "test_helpers.h"
+
+namespace sunchase::test {
+
+/// Deterministic per-edge shading: edge e is shaded by a fraction that
+/// depends on (e, slot) through a hash — stable, varied, in [0, 0.9].
+inline shadow::ShadedFractionFn hashed_shading() {
+  return [](roadnet::EdgeId e, TimeOfDay when) {
+    const auto h = static_cast<std::uint64_t>(e) * 2654435761u +
+                   static_cast<std::uint64_t>(when.slot_index()) * 97u;
+    return static_cast<double>(h % 900) / 1000.0;
+  };
+}
+
+/// A ready-to-route environment around any graph.
+struct RoutingEnv {
+  explicit RoutingEnv(const roadnet::RoadGraph& g,
+                      MetersPerSecond uniform_speed = kmh(15.0))
+      : graph(g),
+        traffic(uniform_speed),
+        profile(shadow::ShadingProfile::compute(g, hashed_shading(),
+                                                TimeOfDay::hms(8, 0),
+                                                TimeOfDay::hms(18, 0))),
+        map(g, profile, traffic, solar::constant_panel_power(Watts{200.0})),
+        lv(ev::make_lv_prototype()),
+        tesla(ev::make_tesla_model_s()) {}
+
+  const roadnet::RoadGraph& graph;
+  roadnet::UniformTraffic traffic;
+  shadow::ShadingProfile profile;
+  solar::SolarInputMap map;
+  std::unique_ptr<ev::ConsumptionModel> lv;
+  std::unique_ptr<ev::ConsumptionModel> tesla;
+};
+
+/// Enumerates every simple path origin->destination (DFS) and prices it
+/// with *static* edge criteria at `departure`, then filters to the
+/// Pareto frontier. Ground truth for MLC with time_dependent = false.
+inline std::vector<core::ParetoRoute> brute_force_pareto(
+    const solar::SolarInputMap& map, const ev::ConsumptionModel& vehicle,
+    roadnet::NodeId origin, roadnet::NodeId destination,
+    TimeOfDay departure) {
+  const auto& graph = map.graph();
+  std::vector<core::ParetoRoute> all;
+  std::vector<roadnet::EdgeId> stack;
+  std::vector<bool> visited(graph.node_count(), false);
+
+  std::function<void(roadnet::NodeId, core::Criteria)> dfs =
+      [&](roadnet::NodeId u, core::Criteria cost) {
+        if (u == destination) {
+          all.push_back(core::ParetoRoute{roadnet::Path{stack}, cost});
+          return;
+        }
+        visited[u] = true;
+        for (const roadnet::EdgeId e : graph.out_edges(u)) {
+          const roadnet::NodeId v = graph.edge(e).to;
+          if (visited[v]) continue;
+          stack.push_back(e);
+          dfs(v, cost + core::edge_criteria(map, vehicle, e, departure));
+          stack.pop_back();
+        }
+        visited[u] = false;
+      };
+  dfs(origin, core::Criteria{});
+
+  std::vector<core::ParetoRoute> frontier;
+  for (const auto& candidate : all) {
+    bool dominated = false;
+    for (const auto& other : all) {
+      if (core::dominates(other.cost, candidate.cost)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (dominated) continue;
+    // Drop duplicates with equivalent cost (MLC also keeps one each).
+    const bool duplicate = std::any_of(
+        frontier.begin(), frontier.end(), [&](const core::ParetoRoute& kept) {
+          return core::equivalent(kept.cost, candidate.cost);
+        });
+    if (!duplicate) frontier.push_back(candidate);
+  }
+  return frontier;
+}
+
+}  // namespace sunchase::test

@@ -1,0 +1,107 @@
+#include "sunchase/core/astar.h"
+
+#include <gtest/gtest.h>
+
+#include "sunchase/common/error.h"
+#include "sunchase/common/rng.h"
+#include "sunchase/roadnet/citygen.h"
+#include "test_helpers.h"
+
+namespace sunchase::core {
+namespace {
+
+TEST(AStar, MatchesDijkstraOnSquare) {
+  test::SquareGraph sq;
+  const roadnet::UniformTraffic traffic(kmh(15.0));
+  const auto d = shortest_time_path(sq.graph, traffic, 0, 3,
+                                    TimeOfDay::hms(10, 0));
+  const auto a = shortest_time_path_astar(sq.graph, traffic, 0, 3,
+                                          TimeOfDay::hms(10, 0), kmh(15.0));
+  ASSERT_TRUE(d && a);
+  EXPECT_NEAR(a->travel_time.value(), d->travel_time.value(), 1e-9);
+}
+
+TEST(AStar, UnreachableAndErrors) {
+  roadnet::RoadGraph g;
+  g.add_node({45.50, -73.57});
+  g.add_node({45.51, -73.57});
+  g.add_node({45.52, -73.57});
+  g.add_edge(0, 1);
+  const roadnet::UniformTraffic traffic(kmh(15.0));
+  EXPECT_FALSE(shortest_time_path_astar(g, traffic, 0, 2,
+                                        TimeOfDay::hms(9, 0), kmh(15.0)));
+  EXPECT_THROW((void)shortest_time_path_astar(g, traffic, 0, 9,
+                                              TimeOfDay::hms(9, 0),
+                                              kmh(15.0)),
+               GraphError);
+  EXPECT_THROW((void)shortest_time_path_astar(g, traffic, 0, 1,
+                                              TimeOfDay::hms(9, 0),
+                                              MetersPerSecond{0.0}),
+               InvalidArgument);
+}
+
+TEST(AStar, SettlesFewerNodesThanFullSearch) {
+  roadnet::GridCityOptions opt;
+  opt.rows = 14;
+  opt.cols = 14;
+  const roadnet::GridCity city(opt);
+  const roadnet::UrbanTraffic traffic{roadnet::UrbanTraffic::Options{}};
+  // Destination adjacent to the origin's corner: A* should home in.
+  const auto a = shortest_time_path_astar(
+      city.graph(), traffic, city.node_at(0, 0), city.node_at(2, 2),
+      TimeOfDay::hms(10, 0), kmh(17.0));
+  ASSERT_TRUE(a.has_value());
+  EXPECT_LT(a->nodes_settled, city.graph().node_count() / 2);
+}
+
+TEST(AStar, OriginEqualsDestination) {
+  test::SquareGraph sq;
+  const roadnet::UniformTraffic traffic(kmh(15.0));
+  const auto a = shortest_time_path_astar(sq.graph, traffic, 1, 1,
+                                          TimeOfDay::hms(9, 0), kmh(15.0));
+  ASSERT_TRUE(a.has_value());
+  EXPECT_TRUE(a->path.empty());
+  EXPECT_DOUBLE_EQ(a->travel_time.value(), 0.0);
+}
+
+// Property: A* with an admissible bound equals Dijkstra's travel time
+// across random grid cities, OD pairs and departure times.
+class AStarEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AStarEquivalence, SameOptimalTime) {
+  roadnet::GridCityOptions opt;
+  opt.rows = 9;
+  opt.cols = 9;
+  opt.seed = GetParam();
+  const roadnet::GridCity city(opt);
+  roadnet::UrbanTraffic::Options topt;
+  topt.seed = GetParam() * 3 + 1;
+  const roadnet::UrbanTraffic traffic{topt};
+
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 6; ++trial) {
+    const auto o = static_cast<roadnet::NodeId>(
+        rng.uniform_int(0, static_cast<std::int64_t>(
+                               city.graph().node_count()) - 1));
+    const auto d = static_cast<roadnet::NodeId>(
+        rng.uniform_int(0, static_cast<std::int64_t>(
+                               city.graph().node_count()) - 1));
+    const TimeOfDay dep = TimeOfDay::hms(
+        static_cast<int>(rng.uniform_int(8, 17)), 0);
+    const auto dj = shortest_time_path(city.graph(), traffic, o, d, dep);
+    // The admissible bound: nothing drives faster than max free flow.
+    const auto as = shortest_time_path_astar(city.graph(), traffic, o, d,
+                                             dep, kmh(17.0));
+    ASSERT_EQ(dj.has_value(), as.has_value());
+    if (dj) {
+      EXPECT_NEAR(as->travel_time.value(), dj->travel_time.value(), 1e-6);
+      EXPECT_TRUE(is_connected(as->path, city.graph()));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AStarEquivalence,
+                         ::testing::Values(3, 17, 29, 71, 113));
+
+}  // namespace
+}  // namespace sunchase::core

@@ -1,0 +1,127 @@
+#include "sunchase/core/dijkstra.h"
+
+#include <gtest/gtest.h>
+
+#include "sunchase/common/error.h"
+#include "sunchase/roadnet/citygen.h"
+#include "test_helpers.h"
+
+namespace sunchase::core {
+namespace {
+
+TEST(Dijkstra, FindsDirectShortestPath) {
+  test::SquareGraph sq;
+  roadnet::UniformTraffic traffic(MetersPerSecond{10.0});
+  const auto result = shortest_time_path(sq.graph, traffic, 0, 3,
+                                         TimeOfDay::hms(10, 0));
+  ASSERT_TRUE(result.has_value());
+  // Either 0->1->3 or 0->2->3: both ~200 m -> ~20 s at 10 m/s.
+  EXPECT_EQ(result->path.size(), 2u);
+  EXPECT_NEAR(result->travel_time.value(), 20.0, 0.5);
+  EXPECT_TRUE(is_connected(result->path, sq.graph));
+  EXPECT_EQ(path_origin(result->path, sq.graph), 0u);
+  EXPECT_EQ(path_destination(result->path, sq.graph), 3u);
+}
+
+TEST(Dijkstra, PrefersFasterDetourOverSlowDirect) {
+  // Two-node pair with a slow direct edge and a fast 2-hop detour.
+  roadnet::RoadGraph g;
+  const auto proj = test::montreal_projection();
+  g.add_node(proj.to_geo({0, 0}));     // 0
+  g.add_node(proj.to_geo({1000, 0}));  // 1
+  g.add_node(proj.to_geo({500, 10}));  // 2
+  g.add_edge(0, 1, kilometers(5.0));   // long way round marked as direct
+  g.add_edge(0, 2, Meters{510.0});
+  g.add_edge(2, 1, Meters{510.0});
+  roadnet::UniformTraffic traffic(MetersPerSecond{10.0});
+  const auto result =
+      shortest_time_path(g, traffic, 0, 1, TimeOfDay::hms(10, 0));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->path.size(), 2u);
+  EXPECT_NEAR(result->travel_time.value(), 102.0, 0.1);
+}
+
+TEST(Dijkstra, UnreachableReturnsNullopt) {
+  roadnet::RoadGraph g;
+  g.add_node({45.50, -73.57});
+  g.add_node({45.51, -73.57});
+  g.add_node({45.52, -73.57});
+  g.add_edge(0, 1);  // node 2 is isolated
+  roadnet::UniformTraffic traffic(MetersPerSecond{10.0});
+  EXPECT_FALSE(
+      shortest_time_path(g, traffic, 0, 2, TimeOfDay::hms(10, 0)));
+}
+
+TEST(Dijkstra, OneWayDirectionRespected) {
+  roadnet::RoadGraph g;
+  g.add_node({45.50, -73.57});
+  g.add_node({45.51, -73.57});
+  g.add_edge(0, 1);  // one-way only
+  roadnet::UniformTraffic traffic(MetersPerSecond{10.0});
+  EXPECT_TRUE(shortest_time_path(g, traffic, 0, 1, TimeOfDay::hms(9, 0)));
+  EXPECT_FALSE(shortest_time_path(g, traffic, 1, 0, TimeOfDay::hms(9, 0)));
+}
+
+TEST(Dijkstra, OriginEqualsDestination) {
+  test::SquareGraph sq;
+  roadnet::UniformTraffic traffic(MetersPerSecond{10.0});
+  const auto result =
+      shortest_time_path(sq.graph, traffic, 2, 2, TimeOfDay::hms(9, 0));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->path.empty());
+  EXPECT_DOUBLE_EQ(result->travel_time.value(), 0.0);
+}
+
+TEST(Dijkstra, UnknownNodesThrow) {
+  test::SquareGraph sq;
+  roadnet::UniformTraffic traffic(MetersPerSecond{10.0});
+  EXPECT_THROW((void)shortest_time_path(sq.graph, traffic, 0, 99,
+                                        TimeOfDay::hms(9, 0)),
+               GraphError);
+}
+
+TEST(Dijkstra, TimeDependentSpeedsAffectChoice) {
+  // Grid city with rush-hour congestion: the route exists at both
+  // times; rush hour must not be faster than midday.
+  const roadnet::GridCity city{roadnet::GridCityOptions{}};
+  const roadnet::UrbanTraffic traffic{roadnet::UrbanTraffic::Options{}};
+  const roadnet::NodeId o = city.node_at(1, 1);
+  const roadnet::NodeId d = city.node_at(8, 9);
+  const auto rush =
+      shortest_time_path(city.graph(), traffic, o, d, TimeOfDay::hms(8, 30));
+  const auto midday =
+      shortest_time_path(city.graph(), traffic, o, d, TimeOfDay::hms(12, 30));
+  ASSERT_TRUE(rush.has_value());
+  ASSERT_TRUE(midday.has_value());
+  EXPECT_GT(rush->travel_time.value(), midday->travel_time.value());
+}
+
+// Property: on the grid city, Dijkstra from corner to corner always
+// produces a connected path whose recomputed travel time matches.
+class DijkstraGridProperty : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(DijkstraGridProperty, PathTimeConsistent) {
+  roadnet::GridCityOptions opt;
+  opt.rows = 6;
+  opt.cols = 6;
+  opt.seed = GetParam();
+  const roadnet::GridCity city(opt);
+  const roadnet::UniformTraffic traffic(kmh(15.0));
+  const auto result =
+      shortest_time_path(city.graph(), traffic, city.node_at(0, 0),
+                         city.node_at(5, 5), TimeOfDay::hms(10, 0));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(is_connected(result->path, city.graph()));
+  double recomputed = 0.0;
+  for (const roadnet::EdgeId e : result->path.edges)
+    recomputed +=
+        traffic.travel_time(city.graph(), e, TimeOfDay::hms(10, 0)).value();
+  EXPECT_NEAR(recomputed, result->travel_time.value(), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DijkstraGridProperty,
+                         ::testing::Values(1, 7, 42, 99, 1234));
+
+}  // namespace
+}  // namespace sunchase::core

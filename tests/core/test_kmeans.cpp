@@ -1,0 +1,159 @@
+#include "sunchase/core/kmeans.h"
+
+#include <gtest/gtest.h>
+
+#include "sunchase/common/assert.h"
+
+namespace sunchase::core {
+namespace {
+
+TEST(Manhattan, KnownDistances) {
+  EXPECT_DOUBLE_EQ(manhattan({0, 0, 0}, {1, 2, 3}), 6.0);
+  EXPECT_DOUBLE_EQ(manhattan({1, 1, 1}, {1, 1, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(manhattan({-1, 0, 0}, {1, 0, 0}), 2.0);
+}
+
+TEST(Centroid, MeanOfMembers) {
+  const std::vector<LabelVector> pts{{0, 0, 0}, {2, 4, 6}, {4, 2, 0}};
+  const LabelVector c = centroid(pts, {0, 1, 2});
+  EXPECT_DOUBLE_EQ(c[0], 2.0);
+  EXPECT_DOUBLE_EQ(c[1], 2.0);
+  EXPECT_DOUBLE_EQ(c[2], 2.0);
+}
+
+TEST(Centroid, SubsetOnly) {
+  const std::vector<LabelVector> pts{{0, 0, 0}, {2, 2, 2}, {100, 100, 100}};
+  const LabelVector c = centroid(pts, {0, 1});
+  EXPECT_DOUBLE_EQ(c[0], 1.0);
+}
+
+TEST(Centroid, EmptyMembersViolatesContract) {
+  const std::vector<LabelVector> pts{{0, 0, 0}};
+  EXPECT_THROW((void)centroid(pts, {}), ContractViolation);
+}
+
+TEST(ClusterQuality, ZeroForIdenticalPoints) {
+  const std::vector<LabelVector> pts{{1, 1, 1}, {1, 1, 1}, {1, 1, 1}};
+  EXPECT_DOUBLE_EQ(cluster_quality(pts, {0, 1, 2}), 0.0);
+}
+
+TEST(ClusterQuality, MeanDistanceToCentroid) {
+  // Two points at +-1 along one axis: centroid 0, mean distance 1.
+  const std::vector<LabelVector> pts{{-1, 0, 0}, {1, 0, 0}};
+  EXPECT_DOUBLE_EQ(cluster_quality(pts, {0, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(cluster_quality(pts, {}), 0.0);
+}
+
+TEST(BisectingKMeans, EmptyInput) {
+  EXPECT_TRUE(bisecting_kmeans({}).clusters.empty());
+}
+
+TEST(BisectingKMeans, SingletonStaysWhole) {
+  const Clustering c = bisecting_kmeans({{0.5, 0.5, 0.5}});
+  ASSERT_EQ(c.clusters.size(), 1u);
+  EXPECT_EQ(c.clusters[0].size(), 1u);
+}
+
+TEST(BisectingKMeans, SeparatesTwoObviousGroups) {
+  // Tight group near origin, tight group near (1,1,1).
+  std::vector<LabelVector> pts;
+  for (int i = 0; i < 5; ++i) {
+    const double j = i * 0.004;
+    pts.push_back({j, j, j});
+    pts.push_back({1.0 - j, 1.0 - j, 1.0 - j});
+  }
+  BisectKMeansOptions opt;
+  opt.quality_threshold = 0.1;
+  const Clustering c = bisecting_kmeans(pts, opt);
+  ASSERT_EQ(c.clusters.size(), 2u);
+  // Each cluster must be pure: all members on the same side of 0.5.
+  for (const auto& cluster : c.clusters) {
+    const bool low_side = pts[cluster.front()][0] < 0.5;
+    for (const std::size_t i : cluster)
+      EXPECT_EQ(pts[i][0] < 0.5, low_side);
+  }
+}
+
+TEST(BisectingKMeans, QualityThresholdControlsGranularity) {
+  std::vector<LabelVector> pts;
+  for (int i = 0; i < 20; ++i)
+    pts.push_back({i / 19.0, (19 - i) / 19.0, 0.5});
+  BisectKMeansOptions coarse;
+  coarse.quality_threshold = 0.8;
+  BisectKMeansOptions fine;
+  fine.quality_threshold = 0.05;
+  EXPECT_LE(bisecting_kmeans(pts, coarse).clusters.size(),
+            bisecting_kmeans(pts, fine).clusters.size());
+}
+
+TEST(BisectingKMeans, AllClustersMeetThresholdOrAreSingletons) {
+  std::vector<LabelVector> pts;
+  unsigned state = 12345u;
+  auto next = [&]() {
+    state = state * 1664525u + 1013904223u;
+    return (state >> 8) / 16777216.0;
+  };
+  for (int i = 0; i < 40; ++i) pts.push_back({next(), next(), next()});
+  BisectKMeansOptions opt;
+  opt.quality_threshold = 0.15;
+  const Clustering c = bisecting_kmeans(pts, opt);
+  for (const auto& cluster : c.clusters) {
+    if (cluster.size() > 1) {
+      EXPECT_LT(cluster_quality(pts, cluster), opt.quality_threshold);
+    }
+  }
+}
+
+TEST(BisectingKMeans, PartitionCoversAllPointsExactlyOnce) {
+  std::vector<LabelVector> pts;
+  for (int i = 0; i < 25; ++i)
+    pts.push_back({i * 0.04, (i % 5) * 0.2, (i % 3) * 0.33});
+  const Clustering c = bisecting_kmeans(pts);
+  std::vector<int> seen(pts.size(), 0);
+  for (const auto& cluster : c.clusters)
+    for (const std::size_t i : cluster) ++seen[i];
+  for (const int count : seen) EXPECT_EQ(count, 1);
+}
+
+TEST(BisectingKMeans, IdenticalPointsDoNotLoopForever) {
+  // Coincident points with a quality threshold of zero would split
+  // forever if degenerate splits were retried.
+  std::vector<LabelVector> pts(10, LabelVector{0.3, 0.3, 0.3});
+  BisectKMeansOptions opt;
+  opt.quality_threshold = 0.0;
+  const Clustering c = bisecting_kmeans(pts, opt);
+  std::size_t total = 0;
+  for (const auto& cluster : c.clusters) total += cluster.size();
+  EXPECT_EQ(total, pts.size());
+}
+
+TEST(BisectingKMeans, DeterministicForSeed) {
+  std::vector<LabelVector> pts;
+  for (int i = 0; i < 30; ++i)
+    pts.push_back({i * 0.033, 1.0 - i * 0.033, (i % 7) * 0.14});
+  const Clustering a = bisecting_kmeans(pts);
+  const Clustering b = bisecting_kmeans(pts);
+  ASSERT_EQ(a.clusters.size(), b.clusters.size());
+  for (std::size_t i = 0; i < a.clusters.size(); ++i)
+    EXPECT_EQ(a.clusters[i], b.clusters[i]);
+}
+
+TEST(NormalizeDimensions, MapsToUnitBox) {
+  const auto norm = normalize_dimensions({{10, 100, 5}, {20, 300, 5},
+                                          {15, 200, 5}});
+  EXPECT_DOUBLE_EQ(norm[0][0], 0.0);
+  EXPECT_DOUBLE_EQ(norm[1][0], 1.0);
+  EXPECT_DOUBLE_EQ(norm[2][0], 0.5);
+  EXPECT_DOUBLE_EQ(norm[0][1], 0.0);
+  EXPECT_DOUBLE_EQ(norm[1][1], 1.0);
+  // Constant dimension maps to zero, not NaN.
+  EXPECT_DOUBLE_EQ(norm[0][2], 0.0);
+  EXPECT_DOUBLE_EQ(norm[2][2], 0.0);
+}
+
+TEST(NormalizeDimensions, EmptyInput) {
+  EXPECT_TRUE(normalize_dimensions({}).empty());
+}
+
+}  // namespace
+}  // namespace sunchase::core

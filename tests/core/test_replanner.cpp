@@ -1,0 +1,122 @@
+#include "sunchase/core/replanner.h"
+
+#include <gtest/gtest.h>
+
+#include "core_fixture.h"
+#include "sunchase/common/error.h"
+
+namespace sunchase::core {
+namespace {
+
+class ReplannerTest : public ::testing::Test {
+ protected:
+  ReplannerTest() : city_(roadnet::GridCityOptions{}), env_(city_.graph()) {}
+
+  /// Live power: 200 W until `cloud_at`, then `after` W.
+  static solar::PanelPowerFn cloud_front(TimeOfDay cloud_at, double after) {
+    return [cloud_at, after](TimeOfDay t) {
+      return t < cloud_at ? Watts{200.0} : Watts{after};
+    };
+  }
+
+  roadnet::GridCity city_;
+  test::RoutingEnv env_;
+};
+
+TEST_F(ReplannerTest, StablePowerNeverReplans) {
+  const auto outcome = drive_with_replanning(
+      city_.graph(), env_.profile, env_.traffic,
+      solar::constant_panel_power(Watts{200.0}), *env_.lv,
+      city_.node_at(1, 1), city_.node_at(8, 8), TimeOfDay::hms(10, 0));
+  EXPECT_EQ(outcome.replans, 0);
+  EXPECT_EQ(path_destination(outcome.driven, city_.graph()),
+            city_.node_at(8, 8));
+  EXPECT_TRUE(is_connected(outcome.driven, city_.graph()));
+}
+
+TEST_F(ReplannerTest, CloudFrontTriggersReplanning) {
+  // Power collapses 90 s into the trip: the replanner must notice at
+  // the next intersection.
+  const TimeOfDay dep = TimeOfDay::hms(10, 0);
+  const auto live = cloud_front(dep.advanced_by(Seconds{90.0}), 60.0);
+  const auto outcome = drive_with_replanning(
+      city_.graph(), env_.profile, env_.traffic, live, *env_.lv,
+      city_.node_at(1, 1), city_.node_at(8, 8), dep);
+  EXPECT_GE(outcome.replans, 1);
+  EXPECT_EQ(path_destination(outcome.driven, city_.graph()),
+            city_.node_at(8, 8));
+}
+
+TEST_F(ReplannerTest, OutcomesAgreeWhenNothingChanges) {
+  const auto power = solar::constant_panel_power(Watts{200.0});
+  const auto with = drive_with_replanning(
+      city_.graph(), env_.profile, env_.traffic, power, *env_.lv,
+      city_.node_at(2, 2), city_.node_at(7, 7), TimeOfDay::hms(11, 0));
+  const auto without = drive_without_replanning(
+      city_.graph(), env_.profile, env_.traffic, power, *env_.lv,
+      city_.node_at(2, 2), city_.node_at(7, 7), TimeOfDay::hms(11, 0));
+  EXPECT_EQ(with.driven.edges, without.driven.edges);
+  EXPECT_NEAR(with.energy_in.value(), without.energy_in.value(), 1e-9);
+  EXPECT_NEAR(with.total_time.value(), without.total_time.value(), 1e-9);
+}
+
+TEST_F(ReplannerTest, ReplanningNeverLosesToStalePlanOnNet) {
+  // Under a mid-trip power collapse, the replanner's net energy must
+  // not be worse than blindly following the stale plan (both pay real
+  // consumption; the replanner stops detouring for sun that is gone).
+  const TimeOfDay dep = TimeOfDay::hms(10, 0);
+  const auto live = cloud_front(dep.advanced_by(Seconds{60.0}), 40.0);
+  const auto with = drive_with_replanning(
+      city_.graph(), env_.profile, env_.traffic, live, *env_.lv,
+      city_.node_at(1, 1), city_.node_at(8, 8), dep);
+  const auto without = drive_without_replanning(
+      city_.graph(), env_.profile, env_.traffic, live, *env_.lv,
+      city_.node_at(1, 1), city_.node_at(8, 8), dep);
+  const double net_with = with.energy_in.value() - with.energy_out.value();
+  const double net_without =
+      without.energy_in.value() - without.energy_out.value();
+  EXPECT_GE(net_with, net_without - 0.2);  // small slack: grid is benign
+}
+
+TEST_F(ReplannerTest, MinIntervalThrottlesReplans) {
+  // Power oscillating every call would otherwise replan at every node.
+  int calls = 0;
+  const solar::PanelPowerFn flapping = [&calls](TimeOfDay) {
+    return Watts{(calls++ % 2 == 0) ? 200.0 : 80.0};
+  };
+  ReplanOptions opt;
+  opt.min_replan_interval = Seconds{3600.0};  // once per hour max
+  const auto outcome = drive_with_replanning(
+      city_.graph(), env_.profile, env_.traffic, flapping, *env_.lv,
+      city_.node_at(1, 1), city_.node_at(8, 8), TimeOfDay::hms(10, 0), opt);
+  EXPECT_LE(outcome.replans, 1);
+}
+
+TEST_F(ReplannerTest, NullPowerRejected) {
+  EXPECT_THROW(
+      (void)drive_with_replanning(city_.graph(), env_.profile, env_.traffic,
+                                  nullptr, *env_.lv, 0, 1,
+                                  TimeOfDay::hms(10, 0)),
+      InvalidArgument);
+  EXPECT_THROW((void)drive_without_replanning(
+                   city_.graph(), env_.profile, env_.traffic, nullptr,
+                   *env_.lv, 0, 1, TimeOfDay::hms(10, 0)),
+               InvalidArgument);
+}
+
+TEST_F(ReplannerTest, UnreachableThrows) {
+  roadnet::RoadGraph g;
+  g.add_node({45.50, -73.57});
+  g.add_node({45.51, -73.57});
+  g.add_node({45.52, -73.57});
+  g.add_edge(0, 1);
+  test::RoutingEnv env(g);
+  EXPECT_THROW(
+      (void)drive_with_replanning(g, env.profile, env.traffic,
+                                  solar::constant_panel_power(Watts{200.0}),
+                                  *env.lv, 0, 2, TimeOfDay::hms(10, 0)),
+      RoutingError);
+}
+
+}  // namespace
+}  // namespace sunchase::core

@@ -1,0 +1,148 @@
+#include "sunchase/crowd/fleet.h"
+
+#include <gtest/gtest.h>
+
+#include "sunchase/common/error.h"
+#include "sunchase/roadnet/citygen.h"
+#include "sunchase/shadow/scenegen.h"
+#include "test_helpers.h"
+
+namespace sunchase::crowd {
+namespace {
+
+class FleetTest : public ::testing::Test {
+ protected:
+  FleetTest()
+      : city_(city_options()),
+        proj_(city_.options().origin),
+        scene_(generate_scene(city_.graph(), proj_,
+                              shadow::SceneGenOptions{})),
+        traffic_(roadnet::UrbanTraffic::Options{}) {}
+
+  static roadnet::GridCityOptions city_options() {
+    roadnet::GridCityOptions opt;
+    opt.rows = 6;
+    opt.cols = 6;
+    return opt;
+  }
+
+  roadnet::GridCity city_;
+  geo::LocalProjection proj_;
+  shadow::Scene scene_;
+  roadnet::UrbanTraffic traffic_;
+};
+
+TEST_F(FleetTest, ProducesObservationsWithinBounds) {
+  FleetOptions opt;
+  opt.vehicles = 10;
+  const auto obs = simulate_fleet(city_.graph(), scene_, traffic_, opt);
+  ASSERT_FALSE(obs.empty());
+  for (const Observation& o : obs) {
+    EXPECT_LT(o.edge, city_.graph().edge_count());
+    EXPECT_GE(o.shaded_fraction, 0.0);
+    EXPECT_LE(o.shaded_fraction, 1.0);
+    EXPECT_GE(o.slot, opt.day_start.slot_index());
+    // Trips may run past day_end; observations stay within the day.
+    EXPECT_LT(o.slot, TimeOfDay::kSlotsPerDay);
+    EXPECT_GE(o.vehicle_id, 1u);
+    EXPECT_LE(o.vehicle_id, 10u);
+  }
+}
+
+TEST_F(FleetTest, DeterministicForSeed) {
+  FleetOptions opt;
+  opt.vehicles = 5;
+  const auto a = simulate_fleet(city_.graph(), scene_, traffic_, opt);
+  const auto b = simulate_fleet(city_.graph(), scene_, traffic_, opt);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].edge, b[i].edge);
+    EXPECT_EQ(a[i].shaded_fraction, b[i].shaded_fraction);
+  }
+}
+
+TEST_F(FleetTest, MoreVehiclesMoreCoverage) {
+  auto coverage_with = [&](int vehicles) {
+    FleetOptions opt;
+    opt.vehicles = vehicles;
+    const auto obs = simulate_fleet(city_.graph(), scene_, traffic_, opt);
+    CrowdSolarMap::Options mopt;
+    mopt.first_slot = opt.day_start.slot_index();
+    mopt.last_slot = 74;
+    CrowdSolarMap map(city_.graph().edge_count(),
+                      [](roadnet::EdgeId, TimeOfDay) { return 0.5; }, mopt);
+    for (const Observation& o : obs) map.report(o);
+    return map.coverage();
+  };
+  EXPECT_LT(coverage_with(3), coverage_with(40));
+}
+
+TEST_F(FleetTest, CrowdMapTracksGroundTruth) {
+  FleetOptions opt;
+  opt.vehicles = 120;
+  opt.trips_per_vehicle = 8;
+  opt.observation_noise_std = 0.03;
+  const auto obs = simulate_fleet(city_.graph(), scene_, traffic_, opt);
+
+  CrowdSolarMap::Options mopt;
+  mopt.first_slot = opt.day_start.slot_index();
+  mopt.last_slot = TimeOfDay::hms(17, 0).slot_index();
+  mopt.min_observations = 3;
+  CrowdSolarMap map(city_.graph().edge_count(),
+                    [](roadnet::EdgeId, TimeOfDay) { return 0.5; }, mopt);
+  for (const Observation& o : obs) map.report(o);
+  EXPECT_GT(map.coverage(), 0.1);
+
+  // The crowd map must beat the flat prior against ground truth, and
+  // covered cells must track the truth closely.
+  const auto truth = shadow::make_exact_estimator(city_.graph(), scene_,
+                                                  geo::DayOfYear{196});
+  double err_crowd = 0.0, err_prior = 0.0;
+  int cells = 0;
+  for (roadnet::EdgeId e = 0; e < city_.graph().edge_count(); e += 3) {
+    for (int slot = mopt.first_slot; slot <= mopt.last_slot; slot += 4) {
+      const TimeOfDay t = TimeOfDay::slot_start(slot);
+      err_crowd += std::abs(map.shaded_fraction(e, t) - truth(e, t));
+      err_prior += std::abs(0.5 - truth(e, t));
+      ++cells;
+    }
+  }
+  EXPECT_LT(err_crowd, err_prior);
+  EXPECT_LT(err_crowd / cells, 0.35);
+}
+
+TEST_F(FleetTest, Validation) {
+  FleetOptions bad;
+  bad.vehicles = 0;
+  EXPECT_THROW((void)simulate_fleet(city_.graph(), scene_, traffic_, bad),
+               InvalidArgument);
+  bad = FleetOptions{};
+  bad.day_end = bad.day_start;
+  EXPECT_THROW((void)simulate_fleet(city_.graph(), scene_, traffic_, bad),
+               InvalidArgument);
+  bad = FleetOptions{};
+  bad.report_probability = 1.5;
+  EXPECT_THROW((void)simulate_fleet(city_.graph(), scene_, traffic_, bad),
+               InvalidArgument);
+  bad = FleetOptions{};
+  bad.observation_noise_std = -0.1;
+  EXPECT_THROW((void)simulate_fleet(city_.graph(), scene_, traffic_, bad),
+               InvalidArgument);
+}
+
+TEST_F(FleetTest, ReportProbabilityThinsObservations) {
+  FleetOptions always;
+  always.vehicles = 10;
+  always.report_probability = 1.0;
+  FleetOptions sometimes = always;
+  sometimes.report_probability = 0.3;
+  const auto all =
+      simulate_fleet(city_.graph(), scene_, traffic_, always);
+  const auto some =
+      simulate_fleet(city_.graph(), scene_, traffic_, sometimes);
+  EXPECT_LT(some.size(), all.size());
+  EXPECT_GT(some.size(), all.size() / 10);
+}
+
+}  // namespace
+}  // namespace sunchase::crowd

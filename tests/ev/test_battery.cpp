@@ -1,0 +1,67 @@
+#include "sunchase/ev/battery.h"
+
+#include <gtest/gtest.h>
+
+#include "sunchase/common/error.h"
+
+namespace sunchase::ev {
+namespace {
+
+TEST(Battery, StartsFullByDefault) {
+  const Battery b(WattHours{85000.0});  // Tesla Model S 85 kWh
+  EXPECT_DOUBLE_EQ(b.charge().value(), 85000.0);
+  EXPECT_DOUBLE_EQ(b.state_of_charge(), 1.0);
+  EXPECT_FALSE(b.empty());
+}
+
+TEST(Battery, ExplicitInitialCharge) {
+  const Battery b(WattHours{1000.0}, WattHours{250.0});
+  EXPECT_DOUBLE_EQ(b.state_of_charge(), 0.25);
+}
+
+TEST(Battery, Validation) {
+  EXPECT_THROW(Battery(WattHours{0.0}), InvalidArgument);
+  EXPECT_THROW(Battery(WattHours{100.0}, WattHours{-1.0}), InvalidArgument);
+  EXPECT_THROW(Battery(WattHours{100.0}, WattHours{101.0}), InvalidArgument);
+}
+
+TEST(Battery, ChargeClampsAtCapacity) {
+  Battery b(WattHours{100.0}, WattHours{90.0});
+  const WattHours stored = b.charge_by(WattHours{25.0});
+  EXPECT_DOUBLE_EQ(stored.value(), 10.0);
+  EXPECT_DOUBLE_EQ(b.charge().value(), 100.0);
+}
+
+TEST(Battery, DischargeClampsAtZero) {
+  Battery b(WattHours{100.0}, WattHours{15.0});
+  const WattHours delivered = b.discharge_by(WattHours{40.0});
+  EXPECT_DOUBLE_EQ(delivered.value(), 15.0);
+  EXPECT_TRUE(b.empty());
+}
+
+TEST(Battery, NormalChargeDischargeCycle) {
+  Battery b(WattHours{100.0}, WattHours{50.0});
+  EXPECT_DOUBLE_EQ(b.discharge_by(WattHours{20.0}).value(), 20.0);
+  EXPECT_DOUBLE_EQ(b.charge_by(WattHours{5.0}).value(), 5.0);
+  EXPECT_DOUBLE_EQ(b.charge().value(), 35.0);
+}
+
+TEST(Battery, RejectsNegativeAmounts) {
+  Battery b(WattHours{100.0});
+  EXPECT_THROW(b.charge_by(WattHours{-1.0}), InvalidArgument);
+  EXPECT_THROW(b.discharge_by(WattHours{-1.0}), InvalidArgument);
+}
+
+TEST(Battery, SolarTripBookkeeping) {
+  // A day of trips: drive (discharge EC), harvest (charge EI); SOC
+  // drifts by the net.
+  Battery b(WattHours{1000.0}, WattHours{500.0});
+  for (int trip = 0; trip < 5; ++trip) {
+    b.discharge_by(WattHours{60.0});
+    b.charge_by(WattHours{18.0});
+  }
+  EXPECT_NEAR(b.charge().value(), 500.0 - 5 * (60.0 - 18.0), 1e-9);
+}
+
+}  // namespace
+}  // namespace sunchase::ev

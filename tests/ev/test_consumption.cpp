@@ -1,0 +1,96 @@
+#include "sunchase/ev/consumption.h"
+
+#include <gtest/gtest.h>
+
+#include "sunchase/common/error.h"
+
+namespace sunchase::ev {
+namespace {
+
+TEST(QuadraticConsumption, MatchesEquationSix) {
+  // E[Wh] = S[km] * (a V^2 + b): 2 km at 20 km/h with a=0.01, b=33
+  // -> 2 * (4 + 33) = 74 Wh.
+  const QuadraticConsumption model(0.01, 33.0, "test");
+  const WattHours e = model.consumption(kilometers(2.0), kmh(20.0));
+  EXPECT_NEAR(e.value(), 74.0, 1e-9);
+}
+
+TEST(QuadraticConsumption, Validation) {
+  EXPECT_THROW(QuadraticConsumption(-0.1, 33.0, "x"), InvalidArgument);
+  EXPECT_THROW(QuadraticConsumption(0.01, 0.0, "x"), InvalidArgument);
+  const QuadraticConsumption ok(0.0, 10.0, "x");
+  EXPECT_DOUBLE_EQ(ok.consumption(kilometers(1.0), kmh(50.0)).value(), 10.0);
+}
+
+TEST(QuadraticConsumption, RejectsBadArguments) {
+  const QuadraticConsumption model(0.01, 33.0, "x");
+  EXPECT_THROW((void)model.consumption(kilometers(1.0), kmh(0.0)),
+               InvalidArgument);
+  EXPECT_THROW((void)model.consumption(Meters{-5.0}, kmh(15.0)),
+               InvalidArgument);
+}
+
+TEST(QuadraticConsumption, ZeroDistanceIsZeroEnergy) {
+  const QuadraticConsumption model(0.01, 33.0, "x");
+  EXPECT_DOUBLE_EQ(model.consumption(Meters{0.0}, kmh(15.0)).value(), 0.0);
+}
+
+TEST(LvPrototype, ReproducesPaperTableValues) {
+  // Table R-I row A1-B1: 1852 m in 441.7 s -> 15.095 km/h, EC1 = 65.28 Wh.
+  const auto lv = make_lv_prototype();
+  const MetersPerSecond v = Meters{1852.0} / Seconds{441.7};
+  const WattHours e = lv->consumption(Meters{1852.0}, v);
+  EXPECT_NEAR(e.value(), 65.28, 0.5);
+  EXPECT_EQ(lv->name(), "Lv prototype");
+}
+
+TEST(LvPrototype, SecondPaperRow) {
+  // Table R-I row A4-B4: 1433 m in 341.2 s, EC1 = 50.51 Wh.
+  const auto lv = make_lv_prototype();
+  const MetersPerSecond v = Meters{1433.0} / Seconds{341.2};
+  EXPECT_NEAR(lv->consumption(Meters{1433.0}, v).value(), 50.51, 0.5);
+}
+
+TEST(TeslaModelS, ReproducesPaperTableValues) {
+  // Table R-I row A1-B1: EC2 = 173.63 Wh over 1852 m at ~15.1 km/h.
+  const auto tesla = make_tesla_model_s();
+  const MetersPerSecond v = Meters{1852.0} / Seconds{441.7};
+  EXPECT_NEAR(tesla->consumption(Meters{1852.0}, v).value(), 173.63, 3.0);
+  EXPECT_EQ(tesla->name(), "Tesla Model S");
+}
+
+TEST(TeslaModelS, ConsumesRoughly2point7TimesLv) {
+  const auto lv = make_lv_prototype();
+  const auto tesla = make_tesla_model_s();
+  const MetersPerSecond v = kmh(15.0);
+  const double ratio = tesla->consumption(kilometers(2.0), v).value() /
+                       lv->consumption(kilometers(2.0), v).value();
+  EXPECT_NEAR(ratio, 2.66, 0.15);
+}
+
+TEST(Consumption, MonotoneInSpeedAndDistance) {
+  const auto lv = make_lv_prototype();
+  EXPECT_LT(lv->consumption(kilometers(1.0), kmh(15.0)).value(),
+            lv->consumption(kilometers(1.0), kmh(40.0)).value());
+  EXPECT_LT(lv->consumption(kilometers(1.0), kmh(15.0)).value(),
+            lv->consumption(kilometers(2.0), kmh(15.0)).value());
+}
+
+// Property: energy is additive over distance splits.
+class ConsumptionAdditivity : public ::testing::TestWithParam<double> {};
+
+TEST_P(ConsumptionAdditivity, SplitDistanceSumsExactly) {
+  const double split_km = GetParam();
+  const auto lv = make_lv_prototype();
+  const MetersPerSecond v = kmh(16.0);
+  const WattHours whole = lv->consumption(kilometers(2.0), v);
+  const WattHours first = lv->consumption(kilometers(split_km), v);
+  const WattHours second = lv->consumption(kilometers(2.0 - split_km), v);
+  EXPECT_NEAR(whole.value(), (first + second).value(), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Splits, ConsumptionAdditivity,
+                         ::testing::Values(0.1, 0.5, 1.0, 1.5, 1.9));
+
+}  // namespace
+}  // namespace sunchase::ev

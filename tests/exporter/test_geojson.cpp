@@ -1,0 +1,104 @@
+#include "sunchase/exporter/geojson.h"
+
+#include <gtest/gtest.h>
+
+#include "core/core_fixture.h"
+#include "sunchase/roadnet/citygen.h"
+#include "sunchase/shadow/scenegen.h"
+
+namespace sunchase::exporter {
+namespace {
+
+/// Crude but effective structural checks: balanced braces/brackets and
+/// expected substrings. (No JSON library in the toolchain; benches and
+/// users feed this straight to geojson.io.)
+void expect_balanced(const std::string& json) {
+  long braces = 0, brackets = 0;
+  for (const char c : json) {
+    if (c == '{') ++braces;
+    if (c == '}') --braces;
+    if (c == '[') ++brackets;
+    if (c == ']') --brackets;
+    EXPECT_GE(braces, 0);
+    EXPECT_GE(brackets, 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST(GeoJson, RouteLineString) {
+  test::SquareGraph sq;
+  roadnet::Path p;
+  p.edges = {sq.graph.find_edge(0, 1), sq.graph.find_edge(1, 3)};
+  const std::string json =
+      geojson_route(sq.graph, p, {{"name", "demo route"}});
+  expect_balanced(json);
+  EXPECT_NE(json.find("\"FeatureCollection\""), std::string::npos);
+  EXPECT_NE(json.find("\"LineString\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"demo route\""), std::string::npos);
+  // Three nodes -> three coordinate pairs: count '[' of coords region.
+  EXPECT_NE(json.find("-73.5"), std::string::npos);  // Montreal longitude
+}
+
+TEST(GeoJson, EmptyRouteIsStillValid) {
+  test::SquareGraph sq;
+  const std::string json = geojson_route(sq.graph, roadnet::Path{});
+  expect_balanced(json);
+  EXPECT_NE(json.find("\"coordinates\":[]"), std::string::npos);
+}
+
+TEST(GeoJson, PropertyEscaping) {
+  test::SquareGraph sq;
+  const std::string json = geojson_route(
+      sq.graph, roadnet::Path{}, {{"note", "say \"hi\"\\\nnewline"}});
+  expect_balanced(json);
+  EXPECT_NE(json.find("\\\"hi\\\""), std::string::npos);
+  EXPECT_NE(json.find("\\n"), std::string::npos);
+  EXPECT_EQ(json.find('\n'), std::string::npos);  // single line out
+}
+
+TEST(GeoJson, GraphExportsEveryEdge) {
+  test::SquareGraph sq;
+  const std::string json = geojson_graph(sq.graph);
+  expect_balanced(json);
+  std::size_t count = 0;
+  for (std::size_t pos = json.find("\"edge\""); pos != std::string::npos;
+       pos = json.find("\"edge\"", pos + 1))
+    ++count;
+  EXPECT_EQ(count, sq.graph.edge_count());
+  EXPECT_NE(json.find("\"length_m\""), std::string::npos);
+}
+
+TEST(GeoJson, SceneExportsBuildingsAndTrees) {
+  test::SquareGraph sq;
+  shadow::Scene scene(sq.proj, 5.0);
+  scene.add_building(
+      shadow::Building{geo::rectangle({0, 0}, {10, 10}), 22.5});
+  scene.add_tree(shadow::Tree{{30, 5}, 2.0, 8.0});
+  const std::string json = geojson_scene(scene);
+  expect_balanced(json);
+  EXPECT_NE(json.find("\"kind\":\"building\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"tree\""), std::string::npos);
+  EXPECT_NE(json.find("\"height_m\":\"22.5\""), std::string::npos);
+  EXPECT_NE(json.find("\"Polygon\""), std::string::npos);
+}
+
+TEST(GeoJson, PlanCarriesMetricsAsProperties) {
+  const roadnet::GridCity city{roadnet::GridCityOptions{}};
+  test::RoutingEnv env(city.graph());
+  const core::SunChasePlanner planner(env.map, *env.lv);
+  const core::PlanResult plan = planner.plan(
+      city.node_at(1, 1), city.node_at(7, 7), TimeOfDay::hms(10, 0));
+  const std::string json = geojson_plan(city.graph(), plan);
+  expect_balanced(json);
+  EXPECT_NE(json.find("\"kind\":\"shortest-time\""), std::string::npos);
+  EXPECT_NE(json.find("\"travel_time_s\""), std::string::npos);
+  EXPECT_NE(json.find("\"energy_in_wh\""), std::string::npos);
+  if (plan.has_better_solar()) {
+    EXPECT_NE(json.find("\"kind\":\"better-solar\""), std::string::npos);
+    EXPECT_NE(json.find("\"extra_energy_wh\""), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace sunchase::exporter

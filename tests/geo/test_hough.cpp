@@ -1,0 +1,127 @@
+#include "sunchase/geo/hough.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "sunchase/common/assert.h"
+
+namespace sunchase::geo {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+Raster blank(int size = 120) {
+  return Raster(
+      RasterFrame{{0, 0},
+                  {static_cast<double>(size), static_cast<double>(size)},
+                  1.0},
+      0);
+}
+
+HoughParams lenient_params() {
+  HoughParams p;
+  p.vote_threshold = 30;
+  p.sample_fraction = 1.0;  // deterministic voting for unit tests
+  return p;
+}
+
+TEST(Hough, EmptyImageYieldsNoLines) {
+  const Raster img = blank();
+  Rng rng(1);
+  EXPECT_TRUE(hough_lines(img, lenient_params(), rng).empty());
+}
+
+TEST(Hough, DetectsHorizontalLine) {
+  Raster img = blank();
+  img.fill_corridor({{10, 60}, {110, 60}}, 1.0, 255);
+  Rng rng(2);
+  const auto lines = hough_lines(img, lenient_params(), rng);
+  ASSERT_FALSE(lines.empty());
+  // A horizontal image line has theta ~ pi/2 (normal points up).
+  EXPECT_NEAR(lines[0].theta_rad, kPi / 2.0, 0.06);
+}
+
+TEST(Hough, DetectsVerticalLine) {
+  Raster img = blank();
+  img.fill_corridor({{60, 10}, {60, 110}}, 1.0, 255);
+  Rng rng(3);
+  const auto lines = hough_lines(img, lenient_params(), rng);
+  ASSERT_FALSE(lines.empty());
+  // Vertical line: theta ~ 0 (normal horizontal).
+  const double t = lines[0].theta_rad;
+  EXPECT_TRUE(t < 0.06 || t > kPi - 0.06) << "theta " << t;
+}
+
+TEST(Hough, DetectsBothLinesOfACross) {
+  Raster img = blank();
+  img.fill_corridor({{10, 60}, {110, 60}}, 1.0, 255);
+  img.fill_corridor({{60, 10}, {60, 110}}, 1.0, 255);
+  Rng rng(4);
+  const auto lines = hough_lines(img, lenient_params(), rng);
+  ASSERT_GE(lines.size(), 2u);
+  bool horizontal = false, vertical = false;
+  for (const auto& line : lines) {
+    if (std::abs(line.theta_rad - kPi / 2.0) < 0.1) horizontal = true;
+    if (line.theta_rad < 0.1 || line.theta_rad > kPi - 0.1) vertical = true;
+  }
+  EXPECT_TRUE(horizontal);
+  EXPECT_TRUE(vertical);
+}
+
+TEST(Hough, VotesOrderedStrongestFirst) {
+  Raster img = blank();
+  img.fill_corridor({{10, 30}, {110, 30}}, 1.0, 255);   // long line
+  img.fill_corridor({{40, 90}, {80, 90}}, 1.0, 255);    // short line
+  Rng rng(5);
+  const auto lines = hough_lines(img, lenient_params(), rng);
+  ASSERT_GE(lines.size(), 2u);
+  EXPECT_GE(lines[0].votes, lines[1].votes);
+}
+
+TEST(Hough, NonMaxSuppressionAvoidsDuplicates) {
+  Raster img = blank();
+  img.fill_corridor({{10, 60}, {110, 60}}, 2.0, 255);  // thick line
+  Rng rng(6);
+  const auto lines = hough_lines(img, lenient_params(), rng);
+  // A 4 px thick line must not explode into many detections.
+  EXPECT_LE(lines.size(), 3u);
+}
+
+TEST(Hough, SampleFractionStillFindsStrongLine) {
+  Raster img = blank();
+  img.fill_corridor({{10, 60}, {110, 60}}, 1.5, 255);
+  HoughParams p = lenient_params();
+  p.sample_fraction = 0.4;
+  p.vote_threshold = 15;
+  Rng rng(7);
+  const auto lines = hough_lines(img, p, rng);
+  ASSERT_FALSE(lines.empty());
+  EXPECT_NEAR(lines[0].theta_rad, kPi / 2.0, 0.1);
+}
+
+TEST(Hough, RejectsBadParameters) {
+  const Raster img = blank();
+  Rng rng(8);
+  HoughParams p = lenient_params();
+  p.rho_resolution_px = 0.0;
+  EXPECT_THROW(hough_lines(img, p, rng), ContractViolation);
+  p = lenient_params();
+  p.sample_fraction = 0.0;
+  EXPECT_THROW(hough_lines(img, p, rng), ContractViolation);
+}
+
+TEST(Hough, LineToWorldSegmentRecoversGeometry) {
+  Raster img = blank();
+  img.fill_corridor({{10, 60}, {110, 60}}, 1.0, 255);
+  Rng rng(9);
+  const auto lines = hough_lines(img, lenient_params(), rng);
+  ASSERT_FALSE(lines.empty());
+  const Segment world = line_to_world_segment(lines[0], img);
+  // The recovered world line passes near world point (60, 60).
+  EXPECT_LT(distance_to_segment({60.0, 60.0}, world), 2.5);
+}
+
+}  // namespace
+}  // namespace sunchase::geo

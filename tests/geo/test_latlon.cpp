@@ -1,0 +1,89 @@
+#include "sunchase/geo/latlon.h"
+
+#include <gtest/gtest.h>
+
+namespace sunchase::geo {
+namespace {
+
+TEST(Haversine, ZeroForIdenticalPoints) {
+  const LatLon p{45.5, -73.57};
+  EXPECT_DOUBLE_EQ(haversine_distance(p, p).value(), 0.0);
+}
+
+TEST(Haversine, OneDegreeLatitudeIsAbout111km) {
+  const Meters d =
+      haversine_distance(LatLon{45.0, -73.0}, LatLon{46.0, -73.0});
+  EXPECT_NEAR(d.value(), 111195.0, 200.0);
+}
+
+TEST(Haversine, LongitudeShrinksWithLatitude) {
+  const Meters at_equator =
+      haversine_distance(LatLon{0.0, 10.0}, LatLon{0.0, 11.0});
+  const Meters at_60n =
+      haversine_distance(LatLon{60.0, 10.0}, LatLon{60.0, 11.0});
+  EXPECT_NEAR(at_60n.value() / at_equator.value(), 0.5, 0.01);
+}
+
+TEST(Haversine, Symmetric) {
+  const LatLon a{45.4995, -73.5700};
+  const LatLon b{45.5080, -73.5617};
+  EXPECT_DOUBLE_EQ(haversine_distance(a, b).value(),
+                   haversine_distance(b, a).value());
+}
+
+TEST(Haversine, KnownCityPairSanity) {
+  // Montreal <-> Quebec City: ~233 km great-circle.
+  const Meters d = haversine_distance(LatLon{45.5019, -73.5674},
+                                      LatLon{46.8131, -71.2075});
+  EXPECT_NEAR(d.value(), 233000.0, 3000.0);
+}
+
+TEST(LatLonValidity, AcceptsRangeAndRejectsOutside) {
+  EXPECT_TRUE(is_valid(LatLon{90.0, 180.0}));
+  EXPECT_TRUE(is_valid(LatLon{-90.0, -180.0}));
+  EXPECT_FALSE(is_valid(LatLon{90.1, 0.0}));
+  EXPECT_FALSE(is_valid(LatLon{0.0, 180.5}));
+}
+
+TEST(LocalProjection, OriginMapsToZero) {
+  const LocalProjection proj(LatLon{45.4995, -73.5700});
+  const Vec2 v = proj.to_local(proj.origin());
+  EXPECT_NEAR(v.x, 0.0, 1e-9);
+  EXPECT_NEAR(v.y, 0.0, 1e-9);
+}
+
+TEST(LocalProjection, RoundTripIsExact) {
+  const LocalProjection proj(LatLon{45.4995, -73.5700});
+  for (const Vec2 v : {Vec2{120.0, -80.0}, Vec2{-950.0, 430.0},
+                       Vec2{2500.0, 2500.0}}) {
+    const Vec2 back = proj.to_local(proj.to_geo(v));
+    EXPECT_NEAR(back.x, v.x, 1e-6);
+    EXPECT_NEAR(back.y, v.y, 1e-6);
+  }
+}
+
+TEST(LocalProjection, AgreesWithHaversineLocally) {
+  const LocalProjection proj(LatLon{45.4995, -73.5700});
+  const LatLon p = proj.to_geo(Vec2{500.0, 300.0});
+  const Meters true_d = haversine_distance(proj.origin(), p);
+  const double planar_d = norm(proj.to_local(p));
+  // Centimeter-level agreement over half a kilometer.
+  EXPECT_NEAR(planar_d, true_d.value(), 0.05);
+}
+
+TEST(LocalProjection, NorthIsPositiveY) {
+  const LocalProjection proj(LatLon{45.4995, -73.5700});
+  const Vec2 north = proj.to_local(LatLon{45.5095, -73.5700});
+  EXPECT_GT(north.y, 0.0);
+  EXPECT_NEAR(north.x, 0.0, 1e-9);
+}
+
+TEST(LocalProjection, EastIsPositiveX) {
+  const LocalProjection proj(LatLon{45.4995, -73.5700});
+  const Vec2 east = proj.to_local(LatLon{45.4995, -73.5600});
+  EXPECT_GT(east.x, 0.0);
+  EXPECT_NEAR(east.y, 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace sunchase::geo

@@ -1,0 +1,148 @@
+#include "sunchase/geo/raster.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "sunchase/common/assert.h"
+#include "sunchase/common/error.h"
+
+namespace sunchase::geo {
+namespace {
+
+RasterFrame small_frame() {
+  return RasterFrame{{0.0, 0.0}, {100.0, 50.0}, 1.0};
+}
+
+TEST(RasterFrame, PixelDimensions) {
+  const RasterFrame f = small_frame();
+  EXPECT_EQ(f.width_px(), 100);
+  EXPECT_EQ(f.height_px(), 50);
+  const RasterFrame coarse{{0.0, 0.0}, {100.0, 50.0}, 2.0};
+  EXPECT_EQ(coarse.width_px(), 50);
+  EXPECT_EQ(coarse.height_px(), 25);
+}
+
+TEST(Raster, ConstructionAndBackground) {
+  const Raster r(small_frame(), 7);
+  EXPECT_EQ(r.width(), 100);
+  EXPECT_EQ(r.height(), 50);
+  EXPECT_EQ(r.at(0, 0), 7);
+  EXPECT_EQ(r.at(99, 49), 7);
+}
+
+TEST(Raster, RejectsDegenerateFrames) {
+  EXPECT_THROW(Raster(RasterFrame{{0, 0}, {10, 10}, 0.0}), InvalidArgument);
+  EXPECT_THROW(Raster(RasterFrame{{10, 10}, {0, 0}, 1.0}), InvalidArgument);
+  EXPECT_THROW(Raster(RasterFrame{{0, 0}, {100000, 100000}, 0.1}),
+               InvalidArgument);
+}
+
+TEST(Raster, OutOfBoundsAccessThrows) {
+  Raster r(small_frame());
+  EXPECT_THROW((void)r.at(-1, 0), ContractViolation);
+  EXPECT_THROW((void)r.at(100, 0), ContractViolation);
+  EXPECT_THROW(r.set(0, 50, 1), ContractViolation);
+}
+
+TEST(Raster, WorldPixelMappingTopLeftIsNorthWest) {
+  const Raster r(small_frame());
+  // World (0.5, 49.5) = north-west corner pixel center -> pixel (0, 0).
+  const auto [x, y] = r.to_pixel({0.5, 49.5});
+  EXPECT_EQ(x, 0);
+  EXPECT_EQ(y, 0);
+  const Vec2 c = r.pixel_center(0, 0);
+  EXPECT_DOUBLE_EQ(c.x, 0.5);
+  EXPECT_DOUBLE_EQ(c.y, 49.5);
+}
+
+TEST(Raster, PixelRoundTrip) {
+  const Raster r(small_frame());
+  for (int x : {0, 13, 99})
+    for (int y : {0, 27, 49}) {
+      const auto [px, py] = r.to_pixel(r.pixel_center(x, y));
+      EXPECT_EQ(px, x);
+      EXPECT_EQ(py, y);
+    }
+}
+
+TEST(Raster, FillPolygonCoversExpectedArea) {
+  Raster r(small_frame(), 0);
+  r.fill_polygon(rectangle({10, 10}, {30, 30}), 255);
+  long painted = 0;
+  for (int y = 0; y < r.height(); ++y)
+    for (int x = 0; x < r.width(); ++x)
+      if (r.at(x, y) == 255) ++painted;
+  EXPECT_NEAR(static_cast<double>(painted), 400.0, 45.0);  // 20x20 m at 1 m/px
+}
+
+TEST(Raster, DarkenPolygonOnlyDarkens) {
+  Raster r(small_frame(), 100);
+  r.darken_polygon(rectangle({10, 10}, {20, 20}), 40);
+  EXPECT_EQ(r.at(15, r.height() - 16), 40);
+  r.darken_polygon(rectangle({10, 10}, {20, 20}), 80);  // lighter: no-op
+  EXPECT_EQ(r.at(15, r.height() - 16), 40);
+}
+
+TEST(Raster, CorridorFillAndCount) {
+  Raster r(small_frame(), 0);
+  const Segment road{{10, 25}, {90, 25}};
+  r.fill_corridor(road, 3.0, 200);
+  const long total = r.count_corridor(road, 3.0,
+                                      [](std::uint8_t v) { return v == 200; });
+  // ~80 m x 6 m corridor plus rounded caps.
+  EXPECT_GT(total, 400);
+  EXPECT_LT(total, 620);
+  // Everything inside the corridor was painted.
+  const long unpainted = r.count_corridor(
+      road, 3.0, [](std::uint8_t v) { return v != 200; });
+  EXPECT_EQ(unpainted, 0);
+}
+
+TEST(Raster, CorridorRequiresPositiveWidth) {
+  Raster r(small_frame());
+  EXPECT_THROW(r.fill_corridor({{0, 0}, {10, 0}}, 0.0, 1), ContractViolation);
+  EXPECT_THROW(
+      (void)r.count_corridor({{0, 0}, {10, 0}}, -1.0, [](std::uint8_t) {
+        return true;
+      }),
+      ContractViolation);
+}
+
+TEST(Raster, BinarizeThreshold) {
+  Raster r(small_frame(), 100);
+  r.set(0, 0, 200);
+  r.set(1, 0, 127);
+  r.binarize(128);
+  EXPECT_EQ(r.at(0, 0), 255);
+  EXPECT_EQ(r.at(1, 0), 0);
+  EXPECT_EQ(r.at(5, 5), 0);  // background 100 < 128
+}
+
+TEST(Raster, WritePgmProducesValidHeader) {
+  Raster r(RasterFrame{{0, 0}, {4, 2}, 1.0}, 9);
+  const std::string path = ::testing::TempDir() + "/sunchase_test.pgm";
+  r.write_pgm(path);
+  std::ifstream in(path, std::ios::binary);
+  std::string magic;
+  int w = 0, h = 0, maxval = 0;
+  in >> magic >> w >> h >> maxval;
+  EXPECT_EQ(magic, "P5");
+  EXPECT_EQ(w, 4);
+  EXPECT_EQ(h, 2);
+  EXPECT_EQ(maxval, 255);
+  in.get();  // single whitespace after header
+  char first = 0;
+  in.get(first);
+  EXPECT_EQ(static_cast<unsigned char>(first), 9);
+  std::remove(path.c_str());
+}
+
+TEST(Raster, WritePgmBadPathThrows) {
+  const Raster r(small_frame());
+  EXPECT_THROW(r.write_pgm("/nonexistent_dir_xyz/file.pgm"), IoError);
+}
+
+}  // namespace
+}  // namespace sunchase::geo

@@ -1,0 +1,138 @@
+#include "sunchase/geo/sunpos.h"
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+namespace sunchase::geo {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+const LatLon kMontreal{45.4995, -73.5700};
+const DayOfYear kJuly{196};  // ~July 15
+
+double deg(double rad) { return rad * 180.0 / kPi; }
+
+TEST(SolarDeclination, JulyIsSummerNorth) {
+  // Mid-July declination ~ +21.5 degrees.
+  EXPECT_NEAR(deg(solar_declination(kJuly)), 21.5, 1.0);
+}
+
+TEST(SolarDeclination, EquinoxNearZero) {
+  // ~March 21 (day 80).
+  EXPECT_NEAR(deg(solar_declination(DayOfYear{80})), 0.0, 1.5);
+}
+
+TEST(SolarDeclination, DecemberSolsticeNegative) {
+  EXPECT_NEAR(deg(solar_declination(DayOfYear{355})), -23.4, 0.5);
+}
+
+TEST(EquationOfTime, JulyIsSmallNegative) {
+  // Mid-July EoT ~ -6 minutes.
+  EXPECT_NEAR(equation_of_time_minutes(kJuly), -6.0, 2.0);
+}
+
+TEST(SunPosition, NightBeforeDawn) {
+  const auto sun = sun_position(kMontreal, kJuly, TimeOfDay::hms(3, 0));
+  EXPECT_FALSE(sun.is_up());
+}
+
+TEST(SunPosition, MiddayElevationMontrealJuly) {
+  // Solar noon elevation = 90 - |lat - decl| ~ 90 - 24 = 66 degrees.
+  const auto sun = sun_position(kMontreal, kJuly, TimeOfDay::hms(13, 10));
+  EXPECT_NEAR(deg(sun.elevation_rad), 66.0, 2.0);
+}
+
+TEST(SunPosition, MorningSunInEast) {
+  const auto sun = sun_position(kMontreal, kJuly, TimeOfDay::hms(8, 0));
+  EXPECT_TRUE(sun.is_up());
+  EXPECT_GT(deg(sun.azimuth_rad), 60.0);
+  EXPECT_LT(deg(sun.azimuth_rad), 120.0);  // roughly east
+}
+
+TEST(SunPosition, AfternoonSunInWest) {
+  const auto sun = sun_position(kMontreal, kJuly, TimeOfDay::hms(18, 0));
+  EXPECT_TRUE(sun.is_up());
+  EXPECT_GT(deg(sun.azimuth_rad), 240.0);
+  EXPECT_LT(deg(sun.azimuth_rad), 300.0);  // roughly west
+}
+
+TEST(SunPosition, ElevationRisesTowardNoon) {
+  double prev = -1.0;
+  for (int h = 6; h <= 13; ++h) {
+    const auto sun = sun_position(kMontreal, kJuly, TimeOfDay::hms(h, 0));
+    EXPECT_GT(sun.elevation_rad, prev);
+    prev = sun.elevation_rad;
+  }
+}
+
+TEST(SunPosition, SouthernHemisphereNoonSunIsNorth) {
+  const LatLon sydney{-33.87, 151.21};
+  // Local noon in Sydney (UTC+10), January (southern summer).
+  const auto sun =
+      sun_position(sydney, DayOfYear{15}, TimeOfDay::hms(12, 0), 10.0);
+  EXPECT_TRUE(sun.is_up());
+  const double az = deg(sun.azimuth_rad);
+  EXPECT_TRUE(az < 60.0 || az > 300.0) << "azimuth " << az;
+}
+
+TEST(ShadowDirection, MorningShadowsPointWestward) {
+  const auto sun = sun_position(kMontreal, kJuly, TimeOfDay::hms(9, 0));
+  const Vec2 d = shadow_direction(sun);
+  EXPECT_LT(d.x, 0.0);  // away from an eastern sun = toward west
+  EXPECT_NEAR(norm(d), 1.0, 1e-12);
+}
+
+TEST(ShadowDirection, NoonShadowsPointNorth) {
+  // True solar noon in Montreal (EDT) is ~13:10.
+  const auto sun = sun_position(kMontreal, kJuly, TimeOfDay::hms(13, 10));
+  const Vec2 d = shadow_direction(sun);
+  EXPECT_GT(d.y, 0.9);  // almost due north
+}
+
+TEST(ShadowLength, FortyFiveDegreesEqualsHeight) {
+  const SunPosition sun{kPi / 4.0, kPi};
+  EXPECT_NEAR(shadow_length(sun, 20.0), 20.0, 1e-9);
+}
+
+TEST(ShadowLength, LowSunIsClampedNotInfinite) {
+  const SunPosition sun{0.001, kPi};
+  EXPECT_DOUBLE_EQ(shadow_length(sun, 10.0), 200.0);  // 20x height cap
+}
+
+TEST(ShadowLength, SunDownOrZeroHeightIsZero) {
+  EXPECT_DOUBLE_EQ(shadow_length(SunPosition{-0.1, 0.0}, 10.0), 0.0);
+  EXPECT_DOUBLE_EQ(shadow_length(SunPosition{0.5, 0.0}, 0.0), 0.0);
+}
+
+TEST(ShadowLength, HigherSunShorterShadow) {
+  const double low = shadow_length(SunPosition{0.3, 0.0}, 10.0);
+  const double high = shadow_length(SunPosition{1.0, 0.0}, 10.0);
+  EXPECT_GT(low, high);
+}
+
+// Property sweep: through the whole paper test day the sun stays below
+// 90 degrees, azimuth wraps 0..360, and shadows always have the
+// opposite heading to the sun.
+class SunDayProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SunDayProperty, GeometryInvariants) {
+  const int minutes_since_8am = GetParam() * 30;
+  const TimeOfDay t = TimeOfDay::hms(8, 0).advanced_by(
+      Seconds{static_cast<double>(minutes_since_8am) * 60.0});
+  const auto sun = sun_position(kMontreal, kJuly, t);
+  EXPECT_LT(sun.elevation_rad, kPi / 2.0);
+  EXPECT_GE(sun.azimuth_rad, 0.0);
+  EXPECT_LT(sun.azimuth_rad, 2.0 * kPi);
+  if (sun.is_up()) {
+    const Vec2 toward_sun{std::sin(sun.azimuth_rad),
+                          std::cos(sun.azimuth_rad)};
+    EXPECT_NEAR(dot(shadow_direction(sun), toward_sun), -1.0, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(HalfHourSteps, SunDayProperty,
+                         ::testing::Range(0, 21));  // 8:00 .. 18:00
+
+}  // namespace
+}  // namespace sunchase::geo

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "sunchase/geo/segment.h"
+#include "sunchase/geo/vec2.h"
+
+namespace sunchase::geo {
+namespace {
+
+TEST(Vec2, BasicArithmetic) {
+  const Vec2 a{1.0, 2.0};
+  const Vec2 b{3.0, -1.0};
+  EXPECT_EQ(a + b, (Vec2{4.0, 1.0}));
+  EXPECT_EQ(a - b, (Vec2{-2.0, 3.0}));
+  EXPECT_EQ(a * 2.0, (Vec2{2.0, 4.0}));
+  EXPECT_EQ(2.0 * a, (Vec2{2.0, 4.0}));
+  EXPECT_EQ(a / 2.0, (Vec2{0.5, 1.0}));
+  EXPECT_EQ(-a, (Vec2{-1.0, -2.0}));
+}
+
+TEST(Vec2, DotAndCross) {
+  EXPECT_DOUBLE_EQ(dot(Vec2{1, 0}, Vec2{0, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(dot(Vec2{2, 3}, Vec2{4, 5}), 23.0);
+  EXPECT_DOUBLE_EQ(cross(Vec2{1, 0}, Vec2{0, 1}), 1.0);   // CCW positive
+  EXPECT_DOUBLE_EQ(cross(Vec2{0, 1}, Vec2{1, 0}), -1.0);  // CW negative
+}
+
+TEST(Vec2, NormAndNormalize) {
+  EXPECT_DOUBLE_EQ(norm(Vec2{3, 4}), 5.0);
+  const Vec2 u = normalized(Vec2{3, 4});
+  EXPECT_NEAR(u.x, 0.6, 1e-12);
+  EXPECT_NEAR(u.y, 0.8, 1e-12);
+  EXPECT_EQ(normalized(Vec2{0, 0}), (Vec2{0, 0}));
+}
+
+TEST(Vec2, RotationQuarterTurn) {
+  const Vec2 r = rotated(Vec2{1, 0}, 3.14159265358979323846 / 2.0);
+  EXPECT_NEAR(r.x, 0.0, 1e-12);
+  EXPECT_NEAR(r.y, 1.0, 1e-12);
+}
+
+TEST(Vec2, PerpIsCcwNormal) {
+  EXPECT_EQ(perp(Vec2{1, 0}), (Vec2{0, 1}));
+  EXPECT_EQ(perp(Vec2{0, 1}), (Vec2{-1, 0}));
+}
+
+TEST(Segment, LengthAndPointAt) {
+  const Segment s{{0, 0}, {10, 0}};
+  EXPECT_DOUBLE_EQ(s.length(), 10.0);
+  EXPECT_EQ(s.point_at(0.0), (Vec2{0, 0}));
+  EXPECT_EQ(s.point_at(0.5), (Vec2{5, 0}));
+  EXPECT_EQ(s.point_at(1.0), (Vec2{10, 0}));
+}
+
+TEST(Segment, ProjectionClampsToEndpoints) {
+  const Segment s{{0, 0}, {10, 0}};
+  EXPECT_DOUBLE_EQ(project_onto_segment(Vec2{-5, 3}, s), 0.0);
+  EXPECT_DOUBLE_EQ(project_onto_segment(Vec2{15, 3}, s), 1.0);
+  EXPECT_DOUBLE_EQ(project_onto_segment(Vec2{4, 3}, s), 0.4);
+}
+
+TEST(Segment, DistanceToSegment) {
+  const Segment s{{0, 0}, {10, 0}};
+  EXPECT_DOUBLE_EQ(distance_to_segment(Vec2{5, 3}, s), 3.0);
+  EXPECT_DOUBLE_EQ(distance_to_segment(Vec2{-3, 4}, s), 5.0);
+  EXPECT_DOUBLE_EQ(distance_to_segment(Vec2{5, 0}, s), 0.0);
+}
+
+TEST(Segment, DegenerateSegmentActsAsPoint) {
+  const Segment s{{2, 2}, {2, 2}};
+  EXPECT_DOUBLE_EQ(project_onto_segment(Vec2{9, 9}, s), 0.0);
+  EXPECT_NEAR(distance_to_segment(Vec2{5, 6}, s), 5.0, 1e-12);
+}
+
+TEST(SegmentIntersect, CrossingSegments) {
+  const auto hit =
+      intersect(Segment{{0, 0}, {10, 10}}, Segment{{0, 10}, {10, 0}});
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_NEAR(hit->first, 0.5, 1e-12);
+  EXPECT_NEAR(hit->second, 0.5, 1e-12);
+}
+
+TEST(SegmentIntersect, ParallelReturnsNullopt) {
+  EXPECT_FALSE(
+      intersect(Segment{{0, 0}, {10, 0}}, Segment{{0, 1}, {10, 1}}));
+}
+
+TEST(SegmentIntersect, DisjointReturnsNullopt) {
+  EXPECT_FALSE(
+      intersect(Segment{{0, 0}, {1, 1}}, Segment{{5, 0}, {6, 1}}));
+}
+
+TEST(SegmentIntersect, TouchingEndpointsCounts) {
+  const auto hit =
+      intersect(Segment{{0, 0}, {5, 5}}, Segment{{5, 5}, {10, 0}});
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_NEAR(hit->first, 1.0, 1e-9);
+  EXPECT_NEAR(hit->second, 0.0, 1e-9);
+}
+
+TEST(Intervals, MergeOverlapping) {
+  const auto merged =
+      merge_intervals({{0.0, 0.4}, {0.3, 0.6}, {0.8, 0.9}});
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged[0], (Interval{0.0, 0.6}));
+  EXPECT_EQ(merged[1], (Interval{0.8, 0.9}));
+}
+
+TEST(Intervals, MergeTouchingIntervalsJoins) {
+  const auto merged = merge_intervals({{0.0, 0.5}, {0.5, 1.0}});
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0], (Interval{0.0, 1.0}));
+}
+
+TEST(Intervals, CoveredLengthHandlesNesting) {
+  EXPECT_DOUBLE_EQ(covered_length({{0.0, 1.0}, {0.2, 0.5}}), 1.0);
+  EXPECT_DOUBLE_EQ(covered_length({{0.1, 0.2}, {0.4, 0.6}}), 0.3);
+  EXPECT_DOUBLE_EQ(covered_length({}), 0.0);
+}
+
+// Property sweep: covered length of k random sub-intervals never
+// exceeds 1 and never falls below the longest single interval.
+class CoveredLengthProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(CoveredLengthProperty, BoundsHold) {
+  const int seed = GetParam();
+  // Simple deterministic pseudo-random intervals from the seed.
+  std::vector<Interval> intervals;
+  double longest = 0.0;
+  unsigned state = static_cast<unsigned>(seed) * 2654435761u + 1u;
+  auto next = [&]() {
+    state = state * 1664525u + 1013904223u;
+    return (state >> 8) / 16777216.0;  // [0,1)
+  };
+  for (int i = 0; i < 10; ++i) {
+    double a = next(), b = next();
+    if (a > b) std::swap(a, b);
+    intervals.push_back({a, b});
+    longest = std::max(longest, b - a);
+  }
+  const double covered = covered_length(intervals);
+  EXPECT_LE(covered, 1.0 + 1e-12);
+  EXPECT_GE(covered, longest - 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, CoveredLengthProperty,
+                         ::testing::Range(1, 25));
+
+}  // namespace
+}  // namespace sunchase::geo

@@ -1,0 +1,55 @@
+// The shipped sample scenario in data/ must stay loadable and usable
+// end-to-end (users start from these files).
+#include <gtest/gtest.h>
+
+#include "sunchase/core/planner.h"
+#include "sunchase/roadnet/io.h"
+#include "sunchase/roadnet/traffic.h"
+#include "sunchase/shadow/scene_io.h"
+#include "sunchase/solar/input_map.h"
+
+#ifndef SUNCHASE_DATA_DIR
+#define SUNCHASE_DATA_DIR "data"
+#endif
+
+namespace sunchase {
+namespace {
+
+TEST(DataFiles, DemoGraphLoadsAndValidates) {
+  const auto graph =
+      roadnet::read_graph_file(SUNCHASE_DATA_DIR "/demo_downtown.graph");
+  EXPECT_EQ(graph.node_count(), 64u);  // 8x8 lattice
+  EXPECT_GT(graph.edge_count(), 100u);
+  EXPECT_NO_THROW(graph.validate());
+}
+
+TEST(DataFiles, DemoSceneLoads) {
+  const auto scene =
+      shadow::read_scene_file(SUNCHASE_DATA_DIR "/demo_downtown.scene");
+  EXPECT_GT(scene.buildings().size(), 30u);
+  EXPECT_GT(scene.trees().size(), 5u);
+  EXPECT_NEAR(scene.projection().origin().lat_deg, 45.4995, 1e-3);
+}
+
+TEST(DataFiles, DemoScenarioPlansEndToEnd) {
+  const auto graph =
+      roadnet::read_graph_file(SUNCHASE_DATA_DIR "/demo_downtown.graph");
+  const auto scene =
+      shadow::read_scene_file(SUNCHASE_DATA_DIR "/demo_downtown.scene");
+  const auto shading = shadow::ShadingProfile::compute_exact(
+      graph, scene, geo::DayOfYear{196}, TimeOfDay::hms(9, 0),
+      TimeOfDay::hms(17, 0));
+  const roadnet::UrbanTraffic traffic{roadnet::UrbanTraffic::Options{}};
+  const solar::SolarInputMap map(graph, shading, traffic,
+                                 solar::constant_panel_power(Watts{200.0}));
+  const auto lv = ev::make_lv_prototype();
+  const core::SunChasePlanner planner(map, *lv);
+  const auto plan = planner.plan(0, static_cast<roadnet::NodeId>(
+                                        graph.node_count() - 1),
+                                 TimeOfDay::hms(10, 0));
+  ASSERT_FALSE(plan.candidates.empty());
+  EXPECT_TRUE(is_connected(plan.candidates.front().route.path, graph));
+}
+
+}  // namespace
+}  // namespace sunchase

@@ -1,0 +1,194 @@
+#include "sunchase/roadnet/citygen.h"
+
+#include <gtest/gtest.h>
+
+#include <queue>
+
+#include "sunchase/common/error.h"
+
+namespace sunchase::roadnet {
+namespace {
+
+/// Count of nodes reachable from `start` by BFS.
+std::size_t reachable_count(const RoadGraph& g, NodeId start) {
+  std::vector<bool> seen(g.node_count(), false);
+  std::queue<NodeId> frontier;
+  frontier.push(start);
+  seen[start] = true;
+  std::size_t count = 1;
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    for (const EdgeId e : g.out_edges(u)) {
+      const NodeId v = g.edge(e).to;
+      if (!seen[v]) {
+        seen[v] = true;
+        ++count;
+        frontier.push(v);
+      }
+    }
+  }
+  return count;
+}
+
+TEST(GridCity, NodeCountMatchesLattice) {
+  GridCityOptions opt;
+  opt.rows = 5;
+  opt.cols = 7;
+  const GridCity city(opt);
+  EXPECT_EQ(city.graph().node_count(), 35u);
+}
+
+TEST(GridCity, AllTwoWayEdgeCount) {
+  GridCityOptions opt;
+  opt.rows = 4;
+  opt.cols = 4;
+  opt.one_way_fraction = 0.0;
+  const GridCity city(opt);
+  // Streets: 4 rows x 3 segments + 4 cols x 3 segments = 24 undirected
+  // = 48 directed edges.
+  EXPECT_EQ(city.graph().edge_count(), 48u);
+}
+
+TEST(GridCity, AllOneWayEdgeCount) {
+  GridCityOptions opt;
+  opt.rows = 4;
+  opt.cols = 4;
+  opt.one_way_fraction = 1.0;
+  const GridCity city(opt);
+  // Boundary streets stay two-way by contract: 2 interior rows + 2
+  // interior cols are one-way (2*3 segments each = 12 directed edges),
+  // 4 boundary streets are two-way (4*3 segments = 24 directed edges).
+  EXPECT_EQ(city.graph().edge_count(), 36u);
+}
+
+TEST(GridCity, GraphValidates) {
+  const GridCity city(GridCityOptions{});
+  EXPECT_NO_THROW(city.graph().validate());
+}
+
+TEST(GridCity, FullyConnectedEvenWithOneWays) {
+  GridCityOptions opt;
+  opt.rows = 8;
+  opt.cols = 8;
+  opt.one_way_fraction = 0.6;
+  const GridCity city(opt);
+  // Alternating one-way directions keep a downtown grid strongly
+  // connected; verify from a few start nodes.
+  for (const NodeId start : {city.node_at(0, 0), city.node_at(7, 7),
+                             city.node_at(3, 4)})
+    EXPECT_EQ(reachable_count(city.graph(), start),
+              city.graph().node_count());
+}
+
+TEST(GridCity, DeterministicForSameSeed) {
+  const GridCity a(GridCityOptions{});
+  const GridCity b(GridCityOptions{});
+  ASSERT_EQ(a.graph().node_count(), b.graph().node_count());
+  ASSERT_EQ(a.graph().edge_count(), b.graph().edge_count());
+  for (NodeId n = 0; n < a.graph().node_count(); ++n)
+    EXPECT_EQ(a.graph().node(n).position, b.graph().node(n).position);
+}
+
+TEST(GridCity, DifferentSeedsDiffer) {
+  GridCityOptions opt_b;
+  opt_b.seed = 12345;
+  const GridCity a(GridCityOptions{});
+  const GridCity b(opt_b);
+  bool any_diff = false;
+  for (NodeId n = 0; n < a.graph().node_count() && !any_diff; ++n)
+    any_diff = !(a.graph().node(n).position == b.graph().node(n).position);
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(GridCity, BlockSizesRespected) {
+  GridCityOptions opt;
+  opt.node_jitter_m = 0.0;
+  const GridCity city(opt);
+  const EdgeId east = city.graph().find_edge(city.node_at(0, 0),
+                                             city.node_at(0, 1));
+  if (east != kInvalidEdge) {
+    EXPECT_NEAR(city.graph().edge(east).length.value(), opt.block_east_m,
+                1.0);
+  }
+  const EdgeId north = city.graph().find_edge(city.node_at(0, 0),
+                                              city.node_at(1, 0));
+  if (north != kInvalidEdge) {
+    EXPECT_NEAR(city.graph().edge(north).length.value(), opt.block_north_m,
+                1.0);
+  }
+}
+
+TEST(GridCity, BoundaryStreetsAreTwoWay) {
+  GridCityOptions opt;
+  opt.one_way_fraction = 1.0;
+  opt.rows = 5;
+  opt.cols = 5;
+  const GridCity city(opt);
+  EXPECT_EQ(city.row_flow(0), StreetFlow::TwoWay);
+  EXPECT_EQ(city.row_flow(4), StreetFlow::TwoWay);
+  EXPECT_EQ(city.col_flow(0), StreetFlow::TwoWay);
+  EXPECT_EQ(city.col_flow(4), StreetFlow::TwoWay);
+}
+
+TEST(GridCity, OneWayStreetsHaveNoReverseEdge) {
+  GridCityOptions opt;
+  opt.one_way_fraction = 1.0;
+  opt.rows = 4;
+  opt.cols = 4;
+  const GridCity city(opt);
+  for (int r = 1; r < 3; ++r) {  // interior rows: one-way by contract
+    const NodeId a = city.node_at(r, 0);
+    const NodeId b = city.node_at(r, 1);
+    const bool fwd = city.graph().find_edge(a, b) != kInvalidEdge;
+    const bool rev = city.graph().find_edge(b, a) != kInvalidEdge;
+    EXPECT_NE(fwd, rev) << "row " << r << " should be strictly one-way";
+    const StreetFlow flow = city.row_flow(r);
+    EXPECT_EQ(fwd, flow == StreetFlow::OneWayForward);
+  }
+}
+
+TEST(GridCity, NodeAtRangeChecks) {
+  const GridCity city(GridCityOptions{});
+  EXPECT_THROW((void)city.node_at(-1, 0), InvalidArgument);
+  EXPECT_THROW((void)city.node_at(0, 99), InvalidArgument);
+  EXPECT_THROW((void)city.row_flow(99), InvalidArgument);
+  EXPECT_THROW((void)city.col_flow(-1), InvalidArgument);
+}
+
+TEST(GridCity, RejectsBadOptions) {
+  GridCityOptions bad;
+  bad.rows = 1;
+  EXPECT_THROW(GridCity{bad}, InvalidArgument);
+  bad = GridCityOptions{};
+  bad.block_east_m = 0.0;
+  EXPECT_THROW(GridCity{bad}, InvalidArgument);
+  bad = GridCityOptions{};
+  bad.one_way_fraction = 1.5;
+  EXPECT_THROW(GridCity{bad}, InvalidArgument);
+}
+
+// Property sweep over seeds: every generated city is valid and
+// strongly connected from its corners.
+class CityConnectivity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CityConnectivity, StronglyConnected) {
+  GridCityOptions opt;
+  opt.rows = 6;
+  opt.cols = 6;
+  opt.one_way_fraction = 0.5;
+  opt.seed = GetParam();
+  const GridCity city(opt);
+  city.graph().validate();
+  EXPECT_EQ(reachable_count(city.graph(), city.node_at(0, 0)),
+            city.graph().node_count());
+  EXPECT_EQ(reachable_count(city.graph(), city.node_at(5, 5)),
+            city.graph().node_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CityConnectivity,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55,
+                                           89));
+
+}  // namespace
+}  // namespace sunchase::roadnet

@@ -1,0 +1,122 @@
+#include "sunchase/roadnet/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "sunchase/common/error.h"
+#include "test_helpers.h"
+
+namespace sunchase::roadnet {
+namespace {
+
+TEST(RoadGraph, AddNodesAndEdges) {
+  RoadGraph g;
+  const NodeId a = g.add_node({45.50, -73.57});
+  const NodeId b = g.add_node({45.51, -73.57});
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  const EdgeId e = g.add_edge(a, b);
+  EXPECT_EQ(g.node_count(), 2u);
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_EQ(g.edge(e).from, a);
+  EXPECT_EQ(g.edge(e).to, b);
+}
+
+TEST(RoadGraph, EdgeLengthDefaultsToHaversine) {
+  RoadGraph g;
+  const NodeId a = g.add_node({45.50, -73.57});
+  const NodeId b = g.add_node({45.51, -73.57});
+  const EdgeId e = g.add_edge(a, b);
+  const Meters expected =
+      geo::haversine_distance({45.50, -73.57}, {45.51, -73.57});
+  EXPECT_DOUBLE_EQ(g.edge(e).length.value(), expected.value());
+}
+
+TEST(RoadGraph, ExplicitLengthIsRespected) {
+  RoadGraph g;
+  g.add_node({45.50, -73.57});
+  g.add_node({45.51, -73.57});
+  const EdgeId e = g.add_edge(0, 1, Meters{1234.5});
+  EXPECT_DOUBLE_EQ(g.edge(e).length.value(), 1234.5);
+}
+
+TEST(RoadGraph, TwoWayAddsBothDirections) {
+  RoadGraph g;
+  g.add_node({45.50, -73.57});
+  g.add_node({45.51, -73.57});
+  const EdgeId fwd = g.add_two_way(0, 1);
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_EQ(g.edge(fwd).from, 0u);
+  EXPECT_EQ(g.edge(fwd + 1).from, 1u);
+}
+
+TEST(RoadGraph, RejectsBadEdges) {
+  RoadGraph g;
+  g.add_node({45.50, -73.57});
+  g.add_node({45.51, -73.57});
+  EXPECT_THROW(g.add_edge(0, 5), GraphError);
+  EXPECT_THROW(g.add_edge(0, 0), GraphError);
+  EXPECT_THROW(g.add_edge(0, 1, Meters{0.0}), GraphError);
+  EXPECT_THROW(g.add_edge(0, 1, Meters{-3.0}), GraphError);
+}
+
+TEST(RoadGraph, RejectsInvalidCoordinates) {
+  RoadGraph g;
+  EXPECT_THROW(g.add_node({95.0, 0.0}), GraphError);
+}
+
+TEST(RoadGraph, AccessorsRangeCheck) {
+  RoadGraph g;
+  g.add_node({45.5, -73.6});
+  EXPECT_THROW((void)g.node(1), GraphError);
+  EXPECT_THROW((void)g.edge(0), GraphError);
+  EXPECT_THROW((void)g.out_edges(7), GraphError);
+}
+
+TEST(RoadGraph, OutEdgesListsExactlyOutgoing) {
+  test::SquareGraph sq;
+  const auto edges = sq.graph.out_edges(0);
+  EXPECT_EQ(edges.size(), 2u);  // to node 1 and node 2
+  for (const EdgeId e : edges) EXPECT_EQ(sq.graph.edge(e).from, 0u);
+}
+
+TEST(RoadGraph, OutEdgesAfterMutationRebuildsIndex) {
+  test::SquareGraph sq;
+  EXPECT_EQ(sq.graph.out_edges(0).size(), 2u);
+  // Diagonal 0 -> 3 added after the index was built.
+  sq.graph.add_edge(0, 3);
+  EXPECT_EQ(sq.graph.out_edges(0).size(), 3u);
+}
+
+TEST(RoadGraph, FindEdge) {
+  test::SquareGraph sq;
+  const EdgeId e = sq.graph.find_edge(0, 1);
+  ASSERT_NE(e, kInvalidEdge);
+  EXPECT_EQ(sq.graph.edge(e).to, 1u);
+  EXPECT_EQ(sq.graph.find_edge(0, 3), kInvalidEdge);
+}
+
+TEST(RoadGraph, NearestNode) {
+  test::SquareGraph sq;
+  // A point near local (95, 95) should snap to node 3 at (100, 100).
+  const geo::LatLon probe = sq.proj.to_geo({95.0, 95.0});
+  EXPECT_EQ(sq.graph.nearest_node(probe), 3u);
+  RoadGraph empty;
+  EXPECT_THROW((void)empty.nearest_node({45.5, -73.6}), GraphError);
+}
+
+TEST(RoadGraph, ValidateAcceptsSquare) {
+  const test::SquareGraph sq;
+  EXPECT_NO_THROW(sq.graph.validate());
+}
+
+TEST(RoadGraph, ValidateRejectsDuplicateDirectedEdge) {
+  RoadGraph g;
+  g.add_node({45.50, -73.57});
+  g.add_node({45.51, -73.57});
+  g.add_edge(0, 1);
+  g.add_edge(0, 1);  // duplicate
+  EXPECT_THROW(g.validate(), GraphError);
+}
+
+}  // namespace
+}  // namespace sunchase::roadnet

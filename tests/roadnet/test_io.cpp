@@ -1,0 +1,104 @@
+#include "sunchase/roadnet/io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sunchase/common/error.h"
+#include "sunchase/roadnet/citygen.h"
+
+namespace sunchase::roadnet {
+namespace {
+
+TEST(RoadnetIo, ParsesNodesAndEdges) {
+  std::istringstream in(
+      "# demo\n"
+      "node 45.50 -73.57\n"
+      "node 45.51 -73.57\n"
+      "node 45.51 -73.56\n"
+      "edge 0 1\n"
+      "edge 1 2 oneway\n");
+  const RoadGraph g = read_graph(in);
+  EXPECT_EQ(g.node_count(), 3u);
+  EXPECT_EQ(g.edge_count(), 3u);  // two-way expands to 2 + 1 oneway
+  EXPECT_NE(g.find_edge(0, 1), kInvalidEdge);
+  EXPECT_NE(g.find_edge(1, 0), kInvalidEdge);
+  EXPECT_NE(g.find_edge(1, 2), kInvalidEdge);
+  EXPECT_EQ(g.find_edge(2, 1), kInvalidEdge);
+}
+
+TEST(RoadnetIo, SkipsCommentsAndBlankLines) {
+  std::istringstream in(
+      "\n# header\nnode 45.5 -73.5\n\n# middle\nnode 45.6 -73.5\nedge 0 1\n");
+  EXPECT_EQ(read_graph(in).node_count(), 2u);
+}
+
+TEST(RoadnetIo, MalformedLineReportsLineNumber) {
+  std::istringstream in("node 45.5 -73.5\nnode oops\n");
+  try {
+    (void)read_graph(in);
+    FAIL() << "should have thrown";
+  } catch (const IoError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(RoadnetIo, UnknownDirectiveThrows) {
+  std::istringstream in("vertex 45.5 -73.5\n");
+  EXPECT_THROW((void)read_graph(in), IoError);
+}
+
+TEST(RoadnetIo, EdgeBeforeNodesThrows) {
+  std::istringstream in("edge 0 1\n");
+  EXPECT_THROW((void)read_graph(in), IoError);
+}
+
+TEST(RoadnetIo, MissingFileThrows) {
+  EXPECT_THROW((void)read_graph_file("/nonexistent/graph.txt"), IoError);
+}
+
+TEST(RoadnetIo, RoundTripPreservesStructure) {
+  GridCityOptions opt;
+  opt.rows = 4;
+  opt.cols = 5;
+  const GridCity city(opt);
+  std::ostringstream out;
+  write_graph(out, city.graph());
+  std::istringstream in(out.str());
+  const RoadGraph copy = read_graph(in);
+
+  ASSERT_EQ(copy.node_count(), city.graph().node_count());
+  ASSERT_EQ(copy.edge_count(), city.graph().edge_count());
+  for (NodeId n = 0; n < copy.node_count(); ++n) {
+    EXPECT_NEAR(copy.node(n).position.lat_deg,
+                city.graph().node(n).position.lat_deg, 1e-8);
+    EXPECT_NEAR(copy.node(n).position.lon_deg,
+                city.graph().node(n).position.lon_deg, 1e-8);
+  }
+  for (EdgeId e = 0; e < copy.edge_count(); ++e) {
+    EXPECT_EQ(copy.edge(e).from, city.graph().edge(e).from);
+    EXPECT_EQ(copy.edge(e).to, city.graph().edge(e).to);
+  }
+}
+
+TEST(RoadnetIo, FileRoundTrip) {
+  GridCityOptions opt;
+  opt.rows = 3;
+  opt.cols = 3;
+  const GridCity city(opt);
+  const std::string path = ::testing::TempDir() + "/sunchase_graph.txt";
+  write_graph_file(path, city.graph());
+  const RoadGraph copy = read_graph_file(path);
+  EXPECT_EQ(copy.node_count(), city.graph().node_count());
+  EXPECT_EQ(copy.edge_count(), city.graph().edge_count());
+  std::remove(path.c_str());
+}
+
+TEST(RoadnetIo, WriteToBadPathThrows) {
+  const GridCity city(GridCityOptions{});
+  EXPECT_THROW(write_graph_file("/nonexistent_dir/g.txt", city.graph()),
+               IoError);
+}
+
+}  // namespace
+}  // namespace sunchase::roadnet

@@ -1,0 +1,79 @@
+#include "sunchase/roadnet/path.h"
+
+#include <gtest/gtest.h>
+
+#include "sunchase/common/error.h"
+#include "test_helpers.h"
+
+namespace sunchase::roadnet {
+namespace {
+
+Path walk(const RoadGraph& g, std::initializer_list<NodeId> nodes) {
+  Path p;
+  auto it = nodes.begin();
+  for (NodeId prev = *it++; it != nodes.end(); prev = *it++) {
+    const EdgeId e = g.find_edge(prev, *it);
+    EXPECT_NE(e, kInvalidEdge);
+    p.edges.push_back(e);
+  }
+  return p;
+}
+
+TEST(Path, ConnectivityDetection) {
+  const test::SquareGraph sq;
+  const Path good = walk(sq.graph, {0, 1, 3});
+  EXPECT_TRUE(is_connected(good, sq.graph));
+
+  Path broken;
+  broken.edges = {sq.graph.find_edge(0, 1), sq.graph.find_edge(2, 3)};
+  EXPECT_FALSE(is_connected(broken, sq.graph));
+}
+
+TEST(Path, EmptyPathIsConnected) {
+  const test::SquareGraph sq;
+  EXPECT_TRUE(is_connected(Path{}, sq.graph));
+}
+
+TEST(Path, LengthSumsEdges) {
+  const test::SquareGraph sq;
+  const Path p = walk(sq.graph, {0, 1, 3});
+  EXPECT_NEAR(path_length(p, sq.graph).value(), 200.0, 0.5);
+  EXPECT_DOUBLE_EQ(path_length(Path{}, sq.graph).value(), 0.0);
+}
+
+TEST(Path, NodeSequence) {
+  const test::SquareGraph sq;
+  const Path p = walk(sq.graph, {0, 2, 3, 1});
+  const std::vector<NodeId> nodes = path_nodes(p, sq.graph);
+  EXPECT_EQ(nodes, (std::vector<NodeId>{0, 2, 3, 1}));
+  EXPECT_TRUE(path_nodes(Path{}, sq.graph).empty());
+}
+
+TEST(Path, OriginAndDestination) {
+  const test::SquareGraph sq;
+  const Path p = walk(sq.graph, {0, 1, 3});
+  EXPECT_EQ(path_origin(p, sq.graph), 0u);
+  EXPECT_EQ(path_destination(p, sq.graph), 3u);
+  EXPECT_THROW((void)path_origin(Path{}, sq.graph), GraphError);
+  EXPECT_THROW((void)path_destination(Path{}, sq.graph), GraphError);
+}
+
+TEST(Path, EdgeOverlapJaccard) {
+  const test::SquareGraph sq;
+  const Path a = walk(sq.graph, {0, 1, 3});
+  const Path b = walk(sq.graph, {0, 1, 3});
+  EXPECT_DOUBLE_EQ(edge_overlap(a, b), 1.0);
+  const Path c = walk(sq.graph, {0, 2, 3});
+  EXPECT_DOUBLE_EQ(edge_overlap(a, c), 0.0);
+  // Shares the first edge only: |∩| = 1, |∪| = 3.
+  Path d;
+  d.edges = {a.edges[0]};
+  EXPECT_NEAR(edge_overlap(a, d), 1.0 / 2.0, 1e-12);
+}
+
+TEST(Path, EdgeOverlapEmptyPaths) {
+  EXPECT_DOUBLE_EQ(edge_overlap(Path{}, Path{}), 1.0);
+}
+
+}  // namespace
+}  // namespace sunchase::roadnet

@@ -1,0 +1,117 @@
+#include "sunchase/roadnet/traffic.h"
+
+#include <gtest/gtest.h>
+
+#include "sunchase/common/error.h"
+#include "test_helpers.h"
+
+namespace sunchase::roadnet {
+namespace {
+
+TEST(UniformTraffic, ConstantEverywhere) {
+  const test::SquareGraph sq;
+  const UniformTraffic traffic(kmh(15.0));
+  for (EdgeId e = 0; e < sq.graph.edge_count(); ++e) {
+    EXPECT_DOUBLE_EQ(
+        traffic.speed(sq.graph, e, TimeOfDay::hms(8, 0)).value(),
+        kmh(15.0).value());
+    EXPECT_DOUBLE_EQ(
+        traffic.speed(sq.graph, e, TimeOfDay::hms(17, 0)).value(),
+        kmh(15.0).value());
+  }
+}
+
+TEST(UniformTraffic, RejectsNonPositiveSpeed) {
+  EXPECT_THROW(UniformTraffic(MetersPerSecond{0.0}), InvalidArgument);
+  EXPECT_THROW(UniformTraffic(MetersPerSecond{-1.0}), InvalidArgument);
+}
+
+TEST(TravelTime, LengthOverSpeed) {
+  const test::SquareGraph sq;
+  const UniformTraffic traffic(MetersPerSecond{10.0});
+  const EdgeId e = sq.graph.find_edge(0, 1);  // ~100 m
+  EXPECT_NEAR(traffic.travel_time(sq.graph, e, TimeOfDay::hms(10, 0)).value(),
+              10.0, 0.1);
+}
+
+TEST(UrbanTraffic, SpeedsStayInConfiguredBand) {
+  const test::SquareGraph sq;
+  const UrbanTraffic traffic(UrbanTraffic::Options{});
+  for (EdgeId e = 0; e < sq.graph.edge_count(); ++e) {
+    // Across the day the defaults span the paper's ~14-17 km/h band.
+    for (const int hour : {8, 12, 17}) {
+      const double v =
+          to_kmh(traffic.speed(sq.graph, e, TimeOfDay::hms(hour, 0)));
+      EXPECT_GE(v, 16.2 * 0.85 - 1e-9);  // congestion floor ~13.8
+      EXPECT_LE(v, 17.0 + 1e-9);
+    }
+  }
+}
+
+TEST(UrbanTraffic, DeterministicPerEdge) {
+  const test::SquareGraph sq;
+  const UrbanTraffic a(UrbanTraffic::Options{});
+  const UrbanTraffic b(UrbanTraffic::Options{});
+  for (EdgeId e = 0; e < sq.graph.edge_count(); ++e)
+    EXPECT_DOUBLE_EQ(a.speed(sq.graph, e, TimeOfDay::hms(10, 0)).value(),
+                     b.speed(sq.graph, e, TimeOfDay::hms(10, 0)).value());
+}
+
+TEST(UrbanTraffic, DifferentSeedsGiveDifferentSpeeds) {
+  const test::SquareGraph sq;
+  UrbanTraffic::Options opt_a;
+  UrbanTraffic::Options opt_b;
+  opt_b.seed = opt_a.seed + 1;
+  const UrbanTraffic a(opt_a);
+  const UrbanTraffic b(opt_b);
+  int different = 0;
+  for (EdgeId e = 0; e < sq.graph.edge_count(); ++e)
+    if (a.speed(sq.graph, e, TimeOfDay::hms(10, 0)).value() !=
+        b.speed(sq.graph, e, TimeOfDay::hms(10, 0)).value())
+      ++different;
+  EXPECT_GT(different, 0);
+}
+
+TEST(UrbanTraffic, RushHourSlowerThanMidday) {
+  const test::SquareGraph sq;
+  const UrbanTraffic traffic(UrbanTraffic::Options{});
+  const EdgeId e = sq.graph.find_edge(0, 1);
+  const double rush =
+      traffic.speed(sq.graph, e, TimeOfDay::hms(8, 30)).value();
+  const double midday =
+      traffic.speed(sq.graph, e, TimeOfDay::hms(12, 30)).value();
+  EXPECT_LT(rush, midday);
+}
+
+TEST(UrbanTraffic, CongestionFactorBounds) {
+  const UrbanTraffic traffic(UrbanTraffic::Options{});
+  for (int h = 0; h < 24; ++h) {
+    const double f = traffic.congestion_factor(TimeOfDay::hms(h, 0));
+    EXPECT_GE(f, 0.85 - 1e-12);
+    EXPECT_LE(f, 1.0 + 1e-12);
+  }
+  // Peak dips hit near the configured floor.
+  EXPECT_LT(traffic.congestion_factor(TimeOfDay::hms(8, 30)), 0.87);
+}
+
+TEST(UrbanTraffic, RejectsBadOptions) {
+  UrbanTraffic::Options bad;
+  bad.min_speed = MetersPerSecond{0.0};
+  EXPECT_THROW(UrbanTraffic{bad}, InvalidArgument);
+  bad = UrbanTraffic::Options{};
+  bad.max_speed = kmh(10.0);  // below min
+  EXPECT_THROW(UrbanTraffic{bad}, InvalidArgument);
+  bad = UrbanTraffic::Options{};
+  bad.rush_hour_slowdown = 0.0;
+  EXPECT_THROW(UrbanTraffic{bad}, InvalidArgument);
+}
+
+TEST(UrbanTraffic, UnknownEdgeThrows) {
+  const test::SquareGraph sq;
+  const UrbanTraffic traffic(UrbanTraffic::Options{});
+  EXPECT_THROW((void)traffic.speed(sq.graph, 999, TimeOfDay::hms(10, 0)),
+               GraphError);
+}
+
+}  // namespace
+}  // namespace sunchase::roadnet

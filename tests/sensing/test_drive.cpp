@@ -1,0 +1,143 @@
+#include "sunchase/sensing/drive.h"
+
+#include <gtest/gtest.h>
+
+#include "sunchase/common/error.h"
+#include "sunchase/roadnet/traffic.h"
+#include "test_helpers.h"
+
+namespace sunchase::sensing {
+namespace {
+
+class DriveTest : public ::testing::Test {
+ protected:
+  DriveTest() : scene_(sq_.proj, 5.0), traffic_(kmh(15.0)) {
+    // Tower shading the middle of street 0->1 at noon.
+    scene_.add_building(
+        shadow::Building{geo::rectangle({30, -40}, {60, -10}), 40.0});
+    path_.edges = {sq_.graph.find_edge(0, 1), sq_.graph.find_edge(1, 3)};
+  }
+
+  test::SquareGraph sq_;
+  shadow::Scene scene_;
+  roadnet::UniformTraffic traffic_;
+  roadnet::Path path_;
+};
+
+TEST_F(DriveTest, EmptyPathRejected) {
+  EXPECT_THROW((void)simulate_drive(sq_.graph, scene_, traffic_,
+                                    roadnet::Path{}, TimeOfDay::hms(12, 0),
+                                    DriveOptions{}),
+               InvalidArgument);
+}
+
+TEST_F(DriveTest, SampleCountMatchesDriveDuration) {
+  const DriveLog log = simulate_drive(sq_.graph, scene_, traffic_, path_,
+                                      TimeOfDay::hms(12, 0), DriveOptions{});
+  // ~200 m at ~15 km/h with driver factor ~1.07 -> ~45 s of driving.
+  EXPECT_GT(log.total_time.value(), 30.0);
+  EXPECT_LT(log.total_time.value(), 60.0);
+  EXPECT_NEAR(static_cast<double>(log.samples.size()),
+              log.total_time.value(), 3.0);
+}
+
+TEST_F(DriveTest, TimestampsAreMonotone) {
+  const DriveLog log = simulate_drive(sq_.graph, scene_, traffic_, path_,
+                                      TimeOfDay::hms(12, 0), DriveOptions{});
+  for (std::size_t i = 1; i < log.samples.size(); ++i)
+    EXPECT_GT(log.samples[i].when.seconds_since_midnight(),
+              log.samples[i - 1].when.seconds_since_midnight());
+}
+
+TEST_F(DriveTest, TruePositionsLieOnThePath) {
+  const DriveLog log = simulate_drive(sq_.graph, scene_, traffic_, path_,
+                                      TimeOfDay::hms(12, 0), DriveOptions{});
+  for (const DriveSample& s : log.samples) {
+    double min_d = 1e18;
+    for (const roadnet::EdgeId e : path_.edges)
+      min_d = std::min(min_d,
+                       geo::distance_to_segment(
+                           s.true_position, scene_.edge_segment(sq_.graph, e)));
+    EXPECT_LT(min_d, 0.5);
+  }
+}
+
+TEST_F(DriveTest, DriverBeatsPredictedSpeedOnAverage) {
+  // The paper observes real travel times below the model estimate.
+  double predicted = 0.0;
+  for (const roadnet::EdgeId e : path_.edges)
+    predicted +=
+        traffic_.travel_time(sq_.graph, e, TimeOfDay::hms(12, 0)).value();
+  double measured_sum = 0.0;
+  const int runs = 10;
+  for (int i = 0; i < runs; ++i) {
+    DriveOptions opt;
+    opt.seed = 100 + static_cast<std::uint64_t>(i);
+    measured_sum += simulate_drive(sq_.graph, scene_, traffic_, path_,
+                                   TimeOfDay::hms(12, 0), opt)
+                        .total_time.value();
+  }
+  EXPECT_LT(measured_sum / runs, predicted);
+}
+
+TEST_F(DriveTest, ShadedSamplesMatchGeometryAtNoon) {
+  const DriveLog log = simulate_drive(sq_.graph, scene_, traffic_, path_,
+                                      TimeOfDay::hms(13, 0), DriveOptions{});
+  // The 40 m tower at y in [-40,-10] shades part of street y=0 at noon;
+  // some but not all samples must be shaded.
+  int shaded = 0;
+  for (const DriveSample& s : log.samples)
+    if (s.truly_shaded) ++shaded;
+  EXPECT_GT(shaded, 0);
+  EXPECT_LT(shaded, static_cast<int>(log.samples.size()));
+}
+
+TEST_F(DriveTest, ShadedSamplesReadDarker) {
+  const DriveLog log = simulate_drive(sq_.graph, scene_, traffic_, path_,
+                                      TimeOfDay::hms(13, 0), DriveOptions{});
+  double shaded_avg = 0.0, lit_avg = 0.0;
+  int shaded_n = 0, lit_n = 0;
+  for (const DriveSample& s : log.samples) {
+    const double avg = (s.lux_windshield + s.lux_sunroof) / 2.0;
+    if (s.truly_shaded) {
+      shaded_avg += avg;
+      ++shaded_n;
+    } else {
+      lit_avg += avg;
+      ++lit_n;
+    }
+  }
+  ASSERT_GT(shaded_n, 0);
+  ASSERT_GT(lit_n, 0);
+  EXPECT_GT(lit_avg / lit_n, 2.0 * shaded_avg / shaded_n);
+}
+
+TEST_F(DriveTest, GpsFixesAreNearTruth) {
+  const DriveLog log = simulate_drive(sq_.graph, scene_, traffic_, path_,
+                                      TimeOfDay::hms(12, 0), DriveOptions{});
+  for (const DriveSample& s : log.samples)
+    EXPECT_LT(geo::distance(s.gps_position, s.true_position), 25.0);
+}
+
+TEST_F(DriveTest, DeterministicForSeed) {
+  const DriveLog a = simulate_drive(sq_.graph, scene_, traffic_, path_,
+                                    TimeOfDay::hms(12, 0), DriveOptions{});
+  const DriveLog b = simulate_drive(sq_.graph, scene_, traffic_, path_,
+                                    TimeOfDay::hms(12, 0), DriveOptions{});
+  ASSERT_EQ(a.samples.size(), b.samples.size());
+  for (std::size_t i = 0; i < a.samples.size(); ++i) {
+    EXPECT_EQ(a.samples[i].lux_windshield, b.samples[i].lux_windshield);
+    EXPECT_EQ(a.samples[i].gps_position, b.samples[i].gps_position);
+  }
+}
+
+TEST_F(DriveTest, BadSamplePeriodRejected) {
+  DriveOptions bad;
+  bad.sample_period = Seconds{0.0};
+  EXPECT_THROW((void)simulate_drive(sq_.graph, scene_, traffic_, path_,
+                                    TimeOfDay::hms(12, 0), bad),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace sunchase::sensing

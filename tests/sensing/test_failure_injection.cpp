@@ -1,0 +1,100 @@
+// Failure injection: the validation platform under degraded sensors —
+// glitch storms, a nearly-dead phone, heavy urban-canyon GPS noise.
+// The dual-phone averaging and map-matching must degrade gracefully,
+// not collapse (the paper's motivation for mounting two phones).
+#include <gtest/gtest.h>
+
+#include "sunchase/roadnet/traffic.h"
+#include "sunchase/sensing/validation.h"
+#include "test_helpers.h"
+
+namespace sunchase::sensing {
+namespace {
+
+class FailureInjectionTest : public ::testing::Test {
+ protected:
+  FailureInjectionTest() : scene_(sq_.proj, 5.0), traffic_(kmh(15.0)) {
+    scene_.add_building(
+        shadow::Building{geo::rectangle({30, -40}, {60, -10}), 40.0});
+    path_.edges = {sq_.graph.find_edge(0, 1), sq_.graph.find_edge(1, 3)};
+  }
+
+  double detection_accuracy(const DriveOptions& options) {
+    const DriveLog log = simulate_drive(sq_.graph, scene_, traffic_, path_,
+                                        TimeOfDay::hms(13, 0), options);
+    const std::vector<bool> detected = detect_illumination(log, 0.45);
+    int agree = 0;
+    for (std::size_t i = 0; i < detected.size(); ++i)
+      if (detected[i] == !log.samples[i].truly_shaded) ++agree;
+    return static_cast<double>(agree) /
+           static_cast<double>(detected.size());
+  }
+
+  test::SquareGraph sq_;
+  shadow::Scene scene_;
+  roadnet::UniformTraffic traffic_;
+  roadnet::Path path_;
+};
+
+TEST_F(FailureInjectionTest, GlitchStormDegradesGracefully) {
+  DriveOptions stormy;
+  stormy.windshield.glitch_probability = 0.30;
+  stormy.sunroof.glitch_probability = 0.30;
+  const double clean = detection_accuracy(DriveOptions{});
+  const double stormy_acc = detection_accuracy(stormy);
+  EXPECT_GT(clean, 0.9);
+  // A 30% glitch rate on BOTH phones still leaves usable detection.
+  EXPECT_GT(stormy_acc, 0.6);
+  EXPECT_LE(stormy_acc, clean + 0.05);
+}
+
+TEST_F(FailureInjectionTest, NearlyDeadPhoneIsCoveredByTheOther) {
+  // Windshield phone barely transmits; the sunroof phone carries the
+  // average and the adaptive threshold still separates sun from shade.
+  DriveOptions one_dead;
+  one_dead.windshield.mount_attenuation = 0.02;
+  one_dead.windshield.noise_rel_std = 0.5;
+  EXPECT_GT(detection_accuracy(one_dead), 0.85);
+}
+
+TEST_F(FailureInjectionTest, HeavyGpsNoiseKeepsDistanceBounded) {
+  // Urban canyon: the map-matched solar distance may blur at shadow
+  // transitions but cannot exceed the path length or go negative.
+  DriveOptions options;
+  const DriveLog log = simulate_drive(sq_.graph, scene_, traffic_, path_,
+                                      TimeOfDay::hms(13, 0), options);
+  // Re-noise the GPS track heavily, in place.
+  Rng rng(555);
+  DriveLog noisy = log;
+  for (DriveSample& s : noisy.samples)
+    s.gps_position =
+        s.true_position + geo::Vec2{rng.normal(0.0, 15.0),
+                                    rng.normal(0.0, 15.0)};
+  const auto illuminated = detect_illumination(noisy, 0.45);
+  const Meters measured =
+      measured_solar_distance(sq_.graph, scene_, path_, noisy, illuminated);
+  EXPECT_GE(measured.value(), 0.0);
+  EXPECT_LE(measured.value(),
+            path_length(path_, sq_.graph).value() * 1.25);
+}
+
+TEST_F(FailureInjectionTest, ValidationSurvivesAllFailuresAtOnce) {
+  const auto profile = shadow::ShadingProfile::compute_exact(
+      sq_.graph, scene_, geo::DayOfYear{196}, TimeOfDay::hms(8, 0),
+      TimeOfDay::hms(18, 0));
+  ValidationOptions vopt;
+  vopt.drive.windshield.glitch_probability = 0.2;
+  vopt.drive.sunroof.mount_attenuation = 0.05;
+  vopt.drive.driver_speed_std = 0.12;
+  const PathValidation row =
+      validate_path(sq_.graph, scene_, profile, traffic_, path_,
+                    TimeOfDay::hms(13, 0), vopt);
+  // Degraded, but still in the right ballpark (within ~35% of model).
+  EXPECT_GT(row.real_solar_distance.value(), 0.0);
+  EXPECT_NEAR(row.real_solar_distance.value(),
+              row.model_solar_distance.value(),
+              row.model_solar_distance.value() * 0.35 + 20.0);
+}
+
+}  // namespace
+}  // namespace sunchase::sensing

@@ -1,0 +1,105 @@
+#include "sunchase/sensing/sensors.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sunchase/common/error.h"
+
+namespace sunchase::sensing {
+namespace {
+
+LightSensor::Options quiet_sensor() {
+  LightSensor::Options opt;
+  opt.noise_rel_std = 0.0;
+  opt.glitch_probability = 0.0;
+  return opt;
+}
+
+TEST(LightSensor, SunVsShadeSeparation) {
+  LightSensor sensor(quiet_sensor(), Rng{1});
+  const double sun = sensor.read(false, 1.0);
+  const double shade = sensor.read(true, 1.0);
+  EXPECT_GT(sun, shade * 5.0);
+}
+
+TEST(LightSensor, ScalesWithIrradianceFraction) {
+  LightSensor sensor(quiet_sensor(), Rng{2});
+  const double noon = sensor.read(false, 1.0);
+  const double morning = sensor.read(false, 0.3);
+  EXPECT_NEAR(morning / noon, 0.3, 1e-9);
+}
+
+TEST(LightSensor, FractionIsClamped) {
+  LightSensor sensor(quiet_sensor(), Rng{3});
+  EXPECT_DOUBLE_EQ(sensor.read(false, -0.5), 0.0);
+  const double capped = sensor.read(false, 2.0);
+  const double full = sensor.read(false, 1.0);
+  EXPECT_DOUBLE_EQ(capped, full);
+}
+
+TEST(LightSensor, NoiseSpreadsReadings) {
+  LightSensor::Options opt;
+  opt.noise_rel_std = 0.05;
+  opt.glitch_probability = 0.0;
+  LightSensor sensor(opt, Rng{4});
+  double lo = 1e18, hi = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    const double v = sensor.read(false, 1.0);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_GT(hi, lo * 1.05);  // visible spread
+}
+
+TEST(LightSensor, GlitchesProduceOutliers) {
+  LightSensor::Options opt = quiet_sensor();
+  opt.glitch_probability = 0.5;
+  LightSensor sensor(opt, Rng{5});
+  // In shade with many glitches, some readings exceed the clean shade
+  // value massively.
+  const double clean = LightSensor(quiet_sensor(), Rng{6}).read(true, 1.0);
+  int outliers = 0;
+  for (int i = 0; i < 200; ++i)
+    if (sensor.read(true, 1.0) > clean * 3.0) ++outliers;
+  EXPECT_GT(outliers, 20);
+}
+
+TEST(LightSensor, Validation) {
+  LightSensor::Options bad = quiet_sensor();
+  bad.mount_attenuation = 0.0;
+  EXPECT_THROW(LightSensor(bad, Rng{7}), InvalidArgument);
+  bad = quiet_sensor();
+  bad.sun_lux = bad.shade_lux;
+  EXPECT_THROW(LightSensor(bad, Rng{7}), InvalidArgument);
+  bad = quiet_sensor();
+  bad.glitch_probability = 1.5;
+  EXPECT_THROW(LightSensor(bad, Rng{7}), InvalidArgument);
+}
+
+TEST(GpsSensor, NoiseStatisticsMatchSigma) {
+  GpsSensor gps(GpsSensor::Options{.sigma_m = 4.0}, Rng{8});
+  const geo::Vec2 truth{100.0, 200.0};
+  double sum_sq = 0.0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    const geo::Vec2 fix = gps.fix(truth);
+    sum_sq += geo::norm_squared(fix - truth);
+  }
+  // E[|e|^2] = 2 sigma^2 for isotropic 2D Gaussian noise.
+  EXPECT_NEAR(sum_sq / n, 2.0 * 16.0, 3.0);
+}
+
+TEST(GpsSensor, ZeroSigmaIsExact) {
+  GpsSensor gps(GpsSensor::Options{.sigma_m = 0.0}, Rng{9});
+  const geo::Vec2 truth{5.0, -3.0};
+  EXPECT_EQ(gps.fix(truth), truth);
+}
+
+TEST(GpsSensor, RejectsNegativeSigma) {
+  EXPECT_THROW(GpsSensor(GpsSensor::Options{.sigma_m = -1.0}, Rng{10}),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace sunchase::sensing

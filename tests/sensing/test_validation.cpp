@@ -1,0 +1,118 @@
+#include "sunchase/sensing/validation.h"
+
+#include <gtest/gtest.h>
+
+#include "sunchase/common/error.h"
+#include "sunchase/roadnet/traffic.h"
+#include "test_helpers.h"
+
+namespace sunchase::sensing {
+namespace {
+
+class ValidationTest : public ::testing::Test {
+ protected:
+  ValidationTest() : scene_(sq_.proj, 5.0), traffic_(kmh(15.0)) {
+    scene_.add_building(
+        shadow::Building{geo::rectangle({30, -40}, {60, -10}), 40.0});
+    scene_.add_building(
+        shadow::Building{geo::rectangle({110, 20}, {140, 60}), 55.0});
+    path_.edges = {sq_.graph.find_edge(0, 1), sq_.graph.find_edge(1, 3)};
+    profile_ = std::make_unique<shadow::ShadingProfile>(
+        shadow::ShadingProfile::compute_exact(
+            sq_.graph, scene_, geo::DayOfYear{196}, TimeOfDay::hms(8, 0),
+            TimeOfDay::hms(18, 0)));
+  }
+
+  test::SquareGraph sq_;
+  shadow::Scene scene_;
+  roadnet::UniformTraffic traffic_;
+  roadnet::Path path_;
+  std::unique_ptr<shadow::ShadingProfile> profile_;
+};
+
+TEST_F(ValidationTest, DetectorSeparatesSunFromShade) {
+  const DriveLog log = simulate_drive(sq_.graph, scene_, traffic_, path_,
+                                      TimeOfDay::hms(13, 0), DriveOptions{});
+  const std::vector<bool> detected = detect_illumination(log, 0.45);
+  ASSERT_EQ(detected.size(), log.samples.size());
+  int agree = 0;
+  for (std::size_t i = 0; i < detected.size(); ++i)
+    if (detected[i] == !log.samples[i].truly_shaded) ++agree;
+  // Dual-phone averaging should classify nearly every sample right.
+  EXPECT_GT(static_cast<double>(agree) / static_cast<double>(detected.size()),
+            0.93);
+}
+
+TEST_F(ValidationTest, DetectorRejectsBadThreshold) {
+  const DriveLog log = simulate_drive(sq_.graph, scene_, traffic_, path_,
+                                      TimeOfDay::hms(13, 0), DriveOptions{});
+  EXPECT_THROW((void)detect_illumination(log, 0.0), InvalidArgument);
+  EXPECT_THROW((void)detect_illumination(log, 1.0), InvalidArgument);
+}
+
+TEST_F(ValidationTest, MeasuredSolarDistanceMismatchedSizesThrow) {
+  const DriveLog log = simulate_drive(sq_.graph, scene_, traffic_, path_,
+                                      TimeOfDay::hms(13, 0), DriveOptions{});
+  EXPECT_THROW((void)measured_solar_distance(sq_.graph, scene_, path_, log,
+                                             {true, false}),
+               InvalidArgument);
+}
+
+TEST_F(ValidationTest, RowAgreesWithModelWithinTablePrecision) {
+  ValidationOptions opt;
+  const PathValidation row = validate_path(
+      sq_.graph, scene_, *profile_, traffic_, path_, TimeOfDay::hms(13, 0),
+      opt);
+  // RSD vs MSD: the paper reports agreement within a few percent of
+  // path length (GPS error + 15-min quantization remain).
+  EXPECT_GT(row.model_solar_distance.value(), 0.0);
+  EXPECT_NEAR(row.real_solar_distance.value(),
+              row.model_solar_distance.value(), 35.0);
+  // Solar time likewise.
+  EXPECT_NEAR(row.real_solar_time.value(), row.model_solar_time.value(),
+              10.0);
+  // Drivers beat the predicted traffic speed (paper's observation).
+  EXPECT_LT(row.real_total_time.value(), row.model_total_time.value());
+  EXPECT_NEAR(to_kmh(row.traffic_speed), 15.0, 0.2);
+}
+
+TEST_F(ValidationTest, EmptyPathAndBadRunsRejected) {
+  ValidationOptions opt;
+  EXPECT_THROW((void)validate_path(sq_.graph, scene_, *profile_, traffic_,
+                                   roadnet::Path{}, TimeOfDay::hms(13, 0),
+                                   opt),
+               InvalidArgument);
+  opt.runs = 0;
+  EXPECT_THROW((void)validate_path(sq_.graph, scene_, *profile_, traffic_,
+                                   path_, TimeOfDay::hms(13, 0), opt),
+               InvalidArgument);
+}
+
+TEST_F(ValidationTest, MorningAndNoonDiffer) {
+  ValidationOptions opt;
+  const PathValidation morning = validate_path(
+      sq_.graph, scene_, *profile_, traffic_, path_, TimeOfDay::hms(10, 0),
+      opt);
+  const PathValidation noon = validate_path(
+      sq_.graph, scene_, *profile_, traffic_, path_, TimeOfDay::hms(13, 0),
+      opt);
+  // Shadows rotate; the modeled solar distance changes over the day.
+  EXPECT_NE(morning.model_solar_distance.value(),
+            noon.model_solar_distance.value());
+}
+
+TEST_F(ValidationTest, FullySunnyPathHasFullSolarDistance) {
+  // Street 2->3 (y = 100) is out of reach of both towers at noon.
+  roadnet::Path sunny;
+  sunny.edges = {sq_.graph.find_edge(2, 3)};
+  ValidationOptions opt;
+  const PathValidation row = validate_path(
+      sq_.graph, scene_, *profile_, traffic_, sunny, TimeOfDay::hms(13, 0),
+      opt);
+  const double len = sq_.graph.edge(sunny.edges[0]).length.value();
+  EXPECT_NEAR(row.model_solar_distance.value(), len, 1.0);
+  EXPECT_GT(row.real_solar_distance.value(), len * 0.85);
+}
+
+}  // namespace
+}  // namespace sunchase::sensing

@@ -1,0 +1,76 @@
+#include "sunchase/shadow/scene.h"
+
+#include <gtest/gtest.h>
+
+#include "sunchase/common/error.h"
+#include "test_helpers.h"
+
+namespace sunchase::shadow {
+namespace {
+
+Scene empty_scene() { return Scene(test::montreal_projection(), 5.0); }
+
+TEST(Scene, RejectsBadRoadWidth) {
+  EXPECT_THROW(Scene(test::montreal_projection(), 0.0), InvalidArgument);
+  EXPECT_THROW(Scene(test::montreal_projection(), -2.0), InvalidArgument);
+}
+
+TEST(Scene, AddBuildingNormalizesToCcw) {
+  Scene scene = empty_scene();
+  geo::Polygon cw = geo::rectangle({0, 0}, {10, 10});
+  std::reverse(cw.vertices.begin(), cw.vertices.end());
+  scene.add_building(Building{cw, 20.0});
+  ASSERT_EQ(scene.buildings().size(), 1u);
+  EXPECT_GT(geo::signed_area(scene.buildings()[0].footprint), 0.0);
+}
+
+TEST(Scene, AddBuildingValidation) {
+  Scene scene = empty_scene();
+  EXPECT_THROW(
+      scene.add_building(Building{geo::Polygon{{{0, 0}, {1, 1}}}, 10.0}),
+      InvalidArgument);
+  EXPECT_THROW(
+      scene.add_building(Building{geo::rectangle({0, 0}, {5, 5}), 0.0}),
+      InvalidArgument);
+  // Non-convex (L-shaped) footprint rejected.
+  const geo::Polygon ell{{{0, 0}, {2, 0}, {2, 1}, {1, 1}, {1, 2}, {0, 2}}};
+  EXPECT_THROW(scene.add_building(Building{ell, 10.0}), InvalidArgument);
+}
+
+TEST(Scene, AddTreeValidation) {
+  Scene scene = empty_scene();
+  EXPECT_THROW(scene.add_tree(Tree{{0, 0}, 0.0, 10.0}), InvalidArgument);
+  EXPECT_THROW(scene.add_tree(Tree{{0, 0}, 2.0, -1.0}), InvalidArgument);
+  scene.add_tree(Tree{{5, 5}, 2.0, 8.0});
+  EXPECT_EQ(scene.trees().size(), 1u);
+}
+
+TEST(Scene, EdgeSegmentMatchesProjectedNodes) {
+  const test::SquareGraph sq;
+  const Scene scene(sq.proj, 5.0);
+  const roadnet::EdgeId e = sq.graph.find_edge(0, 1);
+  const geo::Segment seg = scene.edge_segment(sq.graph, e);
+  EXPECT_NEAR(seg.a.x, 0.0, 1e-6);
+  EXPECT_NEAR(seg.a.y, 0.0, 1e-6);
+  EXPECT_NEAR(seg.b.x, 100.0, 1e-6);
+  EXPECT_NEAR(seg.b.y, 0.0, 1e-6);
+}
+
+TEST(Scene, BoundsCoverAllObstructions) {
+  Scene scene = empty_scene();
+  scene.add_building(Building{geo::rectangle({10, 10}, {30, 40}), 15.0});
+  scene.add_tree(Tree{{-20, 5}, 3.0, 8.0});
+  const auto [lo, hi] = scene.bounds();
+  EXPECT_DOUBLE_EQ(lo.x, -23.0);  // tree center - radius
+  EXPECT_DOUBLE_EQ(hi.x, 30.0);
+  EXPECT_DOUBLE_EQ(lo.y, 2.0);
+  EXPECT_DOUBLE_EQ(hi.y, 40.0);
+}
+
+TEST(Scene, BoundsThrowOnEmptyScene) {
+  const Scene scene = empty_scene();
+  EXPECT_THROW((void)scene.bounds(), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace sunchase::shadow

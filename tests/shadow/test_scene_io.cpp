@@ -1,0 +1,116 @@
+#include "sunchase/shadow/scene_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sunchase/common/error.h"
+#include "sunchase/shadow/scenegen.h"
+#include "test_helpers.h"
+
+namespace sunchase::shadow {
+namespace {
+
+TEST(SceneIo, ParsesMinimalScene) {
+  std::istringstream in(
+      "# demo\n"
+      "roadhalfwidth 4.5\n"
+      "origin 45.4995 -73.57\n"
+      "building 20 4 0 0 10 0 10 10 0 10\n"
+      "tree 30 5 2.5 8\n");
+  const Scene scene = read_scene(in);
+  EXPECT_DOUBLE_EQ(scene.road_half_width(), 4.5);
+  ASSERT_EQ(scene.buildings().size(), 1u);
+  EXPECT_DOUBLE_EQ(scene.buildings()[0].height_m, 20.0);
+  EXPECT_EQ(scene.buildings()[0].footprint.size(), 4u);
+  ASSERT_EQ(scene.trees().size(), 1u);
+  EXPECT_DOUBLE_EQ(scene.trees()[0].radius_m, 2.5);
+  EXPECT_NEAR(scene.projection().origin().lat_deg, 45.4995, 1e-9);
+}
+
+TEST(SceneIo, OriginOnlySceneIsEmptyButValid) {
+  std::istringstream in("origin 45.5 -73.6\n");
+  const Scene scene = read_scene(in);
+  EXPECT_TRUE(scene.buildings().empty());
+  EXPECT_TRUE(scene.trees().empty());
+}
+
+TEST(SceneIo, MissingOriginThrows) {
+  std::istringstream in("building 20 4 0 0 10 0 10 10 0 10\n");
+  EXPECT_THROW((void)read_scene(in), IoError);
+  std::istringstream empty("# nothing\n");
+  EXPECT_THROW((void)read_scene(empty), IoError);
+}
+
+TEST(SceneIo, MalformedLinesReportLineNumber) {
+  std::istringstream in("origin 45.5 -73.6\ntree not numbers\n");
+  try {
+    (void)read_scene(in);
+    FAIL() << "should have thrown";
+  } catch (const IoError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(SceneIo, RejectsInvalidGeometry) {
+  std::istringstream bad_building(
+      "origin 45.5 -73.6\nbuilding 0 4 0 0 10 0 10 10 0 10\n");
+  EXPECT_THROW((void)read_scene(bad_building), IoError);
+  std::istringstream too_few(
+      "origin 45.5 -73.6\nbuilding 10 2 0 0 10 0\n");
+  EXPECT_THROW((void)read_scene(too_few), IoError);
+  std::istringstream bad_tree("origin 45.5 -73.6\ntree 0 0 0 8\n");
+  EXPECT_THROW((void)read_scene(bad_tree), IoError);
+  std::istringstream unknown("origin 45.5 -73.6\nlamp 0 0\n");
+  EXPECT_THROW((void)read_scene(unknown), IoError);
+  std::istringstream dup_origin("origin 45.5 -73.6\norigin 45.5 -73.6\n");
+  EXPECT_THROW((void)read_scene(dup_origin), IoError);
+}
+
+TEST(SceneIo, GeneratedSceneRoundTrips) {
+  const test::SquareGraph sq;
+  const Scene original =
+      generate_scene(sq.graph, sq.proj, SceneGenOptions{});
+  std::ostringstream out;
+  write_scene(out, original);
+  std::istringstream in(out.str());
+  const Scene copy = read_scene(in);
+
+  ASSERT_EQ(copy.buildings().size(), original.buildings().size());
+  ASSERT_EQ(copy.trees().size(), original.trees().size());
+  EXPECT_DOUBLE_EQ(copy.road_half_width(), original.road_half_width());
+  for (std::size_t i = 0; i < original.buildings().size(); ++i) {
+    EXPECT_NEAR(copy.buildings()[i].height_m,
+                original.buildings()[i].height_m, 1e-6);
+    ASSERT_EQ(copy.buildings()[i].footprint.size(),
+              original.buildings()[i].footprint.size());
+    for (std::size_t v = 0; v < original.buildings()[i].footprint.size();
+         ++v) {
+      EXPECT_NEAR(copy.buildings()[i].footprint.vertices[v].x,
+                  original.buildings()[i].footprint.vertices[v].x, 1e-6);
+    }
+  }
+}
+
+TEST(SceneIo, FileRoundTrip) {
+  const test::SquareGraph sq;
+  SceneGenOptions opt;
+  opt.tree_probability = 0.8;
+  const Scene original = generate_scene(sq.graph, sq.proj, opt);
+  const std::string path = ::testing::TempDir() + "/sunchase_scene.txt";
+  write_scene_file(path, original);
+  const Scene copy = read_scene_file(path);
+  EXPECT_EQ(copy.buildings().size(), original.buildings().size());
+  EXPECT_EQ(copy.trees().size(), original.trees().size());
+  std::remove(path.c_str());
+}
+
+TEST(SceneIo, MissingFileThrows) {
+  EXPECT_THROW((void)read_scene_file("/nonexistent/scene.txt"), IoError);
+  const test::SquareGraph sq;
+  const Scene scene(sq.proj, 5.0);
+  EXPECT_THROW(write_scene_file("/nonexistent_dir/s.txt", scene), IoError);
+}
+
+}  // namespace
+}  // namespace sunchase::shadow

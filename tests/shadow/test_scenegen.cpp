@@ -1,0 +1,117 @@
+#include "sunchase/shadow/scenegen.h"
+
+#include <gtest/gtest.h>
+
+#include "sunchase/common/error.h"
+#include "sunchase/roadnet/citygen.h"
+#include "test_helpers.h"
+
+namespace sunchase::shadow {
+namespace {
+
+SceneGenOptions default_options() { return SceneGenOptions{}; }
+
+TEST(SceneGen, ProducesBuildingsAndTrees) {
+  const roadnet::GridCity city{roadnet::GridCityOptions{}};
+  const geo::LocalProjection proj(city.options().origin);
+  const Scene scene = generate_scene(city.graph(), proj, default_options());
+  EXPECT_GT(scene.buildings().size(), 50u);
+  EXPECT_GT(scene.trees().size(), 20u);
+}
+
+TEST(SceneGen, DeterministicForSameSeed) {
+  const roadnet::GridCity city{roadnet::GridCityOptions{}};
+  const geo::LocalProjection proj(city.options().origin);
+  const Scene a = generate_scene(city.graph(), proj, default_options());
+  const Scene b = generate_scene(city.graph(), proj, default_options());
+  ASSERT_EQ(a.buildings().size(), b.buildings().size());
+  for (std::size_t i = 0; i < a.buildings().size(); ++i) {
+    EXPECT_EQ(a.buildings()[i].height_m, b.buildings()[i].height_m);
+    EXPECT_EQ(a.buildings()[i].footprint.vertices,
+              b.buildings()[i].footprint.vertices);
+  }
+}
+
+TEST(SceneGen, DifferentSeedsDiffer) {
+  const roadnet::GridCity city{roadnet::GridCityOptions{}};
+  const geo::LocalProjection proj(city.options().origin);
+  SceneGenOptions other = default_options();
+  other.seed += 1;
+  const Scene a = generate_scene(city.graph(), proj, default_options());
+  const Scene b = generate_scene(city.graph(), proj, other);
+  // Allow identical counts but require differing contents.
+  bool differs = a.buildings().size() != b.buildings().size();
+  for (std::size_t i = 0;
+       !differs && i < std::min(a.buildings().size(), b.buildings().size());
+       ++i)
+    differs = a.buildings()[i].height_m != b.buildings()[i].height_m;
+  EXPECT_TRUE(differs);
+}
+
+TEST(SceneGen, BuildingsKeepClearOfRoadSurface) {
+  const test::SquareGraph sq;
+  SceneGenOptions opt = default_options();
+  opt.building_probability = 1.0;
+  const Scene scene = generate_scene(sq.graph, sq.proj, opt);
+  ASSERT_FALSE(scene.buildings().empty());
+  // No footprint vertex may be inside a road corridor.
+  for (const Building& b : scene.buildings()) {
+    for (roadnet::EdgeId e = 0; e < sq.graph.edge_count(); ++e) {
+      const geo::Segment road = scene.edge_segment(sq.graph, e);
+      for (const geo::Vec2& v : b.footprint.vertices)
+        EXPECT_GT(geo::distance_to_segment(v, road),
+                  opt.road_half_width_m - 1e-9);
+    }
+  }
+}
+
+TEST(SceneGen, HeightsWithinConfiguredMixture) {
+  const roadnet::GridCity city{roadnet::GridCityOptions{}};
+  const geo::LocalProjection proj(city.options().origin);
+  const SceneGenOptions opt = default_options();
+  const Scene scene = generate_scene(city.graph(), proj, opt);
+  int towers = 0;
+  for (const Building& b : scene.buildings()) {
+    const bool lowrise =
+        b.height_m >= opt.lowrise_min_m && b.height_m <= opt.lowrise_max_m;
+    const bool tower =
+        b.height_m >= opt.tower_min_m && b.height_m <= opt.tower_max_m;
+    EXPECT_TRUE(lowrise || tower) << "height " << b.height_m;
+    if (tower) ++towers;
+  }
+  // Tower fraction should be near the configured probability.
+  const double frac =
+      static_cast<double>(towers) / static_cast<double>(scene.buildings().size());
+  EXPECT_NEAR(frac, opt.tower_probability, 0.1);
+}
+
+TEST(SceneGen, TwoWayStreetsGetOneSetOfBuildings) {
+  // A single two-way street: both directed edges describe the same
+  // physical road; lots must not be duplicated.
+  roadnet::RoadGraph g;
+  const auto proj = test::montreal_projection();
+  g.add_node(proj.to_geo({0, 0}));
+  g.add_node(proj.to_geo({300, 0}));
+  g.add_two_way(0, 1);
+  SceneGenOptions opt = default_options();
+  opt.building_probability = 1.0;
+  opt.tree_probability = 0.0;
+  const Scene scene = generate_scene(g, proj, opt);
+
+  roadnet::RoadGraph one_way;
+  one_way.add_node(proj.to_geo({0, 0}));
+  one_way.add_node(proj.to_geo({300, 0}));
+  one_way.add_edge(0, 1);
+  const Scene reference = generate_scene(one_way, proj, opt);
+  EXPECT_EQ(scene.buildings().size(), reference.buildings().size());
+}
+
+TEST(SceneGen, RejectsBadSpacing) {
+  const test::SquareGraph sq;
+  SceneGenOptions bad = default_options();
+  bad.lot_length_m = 0.0;
+  EXPECT_THROW((void)generate_scene(sq.graph, sq.proj, bad), sunchase::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace sunchase::shadow

@@ -1,0 +1,170 @@
+#include "sunchase/shadow/shading.h"
+
+#include <gtest/gtest.h>
+
+#include "sunchase/common/assert.h"
+#include "sunchase/common/error.h"
+#include "test_helpers.h"
+
+namespace sunchase::shadow {
+namespace {
+
+std::vector<ShadowPolygon> boxes(std::initializer_list<geo::Polygon> polys) {
+  std::vector<ShadowPolygon> out;
+  for (const geo::Polygon& p : polys) {
+    const auto [lo, hi] = geo::bounding_box(p);
+    out.push_back({p, lo, hi});
+  }
+  return out;
+}
+
+TEST(ShadedFraction, NoShadowsIsZero) {
+  const geo::Segment seg{{0, 0}, {100, 0}};
+  EXPECT_DOUBLE_EQ(shaded_fraction(seg, {}), 0.0);
+}
+
+TEST(ShadedFraction, FullCoverIsOne) {
+  const geo::Segment seg{{10, 0}, {20, 0}};
+  const auto shadows = boxes({geo::rectangle({0, -5}, {100, 5})});
+  EXPECT_NEAR(shaded_fraction(seg, shadows), 1.0, 1e-9);
+}
+
+TEST(ShadedFraction, PartialCover) {
+  const geo::Segment seg{{0, 0}, {100, 0}};
+  const auto shadows = boxes({geo::rectangle({25, -5}, {50, 5})});
+  EXPECT_NEAR(shaded_fraction(seg, shadows), 0.25, 1e-9);
+}
+
+TEST(ShadedFraction, OverlappingShadowsNotDoubleCounted) {
+  const geo::Segment seg{{0, 0}, {100, 0}};
+  const auto shadows = boxes({geo::rectangle({20, -5}, {60, 5}),
+                              geo::rectangle({40, -5}, {80, 5})});
+  EXPECT_NEAR(shaded_fraction(seg, shadows), 0.6, 1e-9);  // 20..80
+}
+
+TEST(ShadedFraction, DisjointShadowsSum) {
+  const geo::Segment seg{{0, 0}, {100, 0}};
+  const auto shadows = boxes({geo::rectangle({0, -5}, {10, 5}),
+                              geo::rectangle({90, -5}, {100, 5})});
+  EXPECT_NEAR(shaded_fraction(seg, shadows), 0.2, 1e-9);
+}
+
+TEST(ShadedFraction, ShadowBesideRoadIgnored) {
+  const geo::Segment seg{{0, 0}, {100, 0}};
+  const auto shadows = boxes({geo::rectangle({0, 10}, {100, 20})});
+  EXPECT_DOUBLE_EQ(shaded_fraction(seg, shadows), 0.0);
+}
+
+TEST(ShadedFraction, DegenerateSegmentIsZero) {
+  const geo::Segment seg{{5, 5}, {5, 5}};
+  const auto shadows = boxes({geo::rectangle({0, 0}, {10, 10})});
+  EXPECT_DOUBLE_EQ(shaded_fraction(seg, shadows), 0.0);
+}
+
+class ShadingProfileTest : public ::testing::Test {
+ protected:
+  ShadingProfileTest() : scene_(sq_.proj, 5.0) {
+    // One 30 m tower just south of the 0->1 street (y=0): its noon
+    // shadow falls across that street.
+    scene_.add_building(
+        Building{geo::rectangle({30, -40}, {60, -10}), 35.0});
+  }
+  test::SquareGraph sq_;
+  Scene scene_;
+};
+
+TEST_F(ShadingProfileTest, ExactProfileShadesSouthStreetAtNoon) {
+  const auto profile = ShadingProfile::compute_exact(
+      sq_.graph, scene_, geo::DayOfYear{196}, TimeOfDay::hms(13, 0),
+      TimeOfDay::hms(13, 0));
+  const roadnet::EdgeId south = sq_.graph.find_edge(0, 1);
+  const roadnet::EdgeId north = sq_.graph.find_edge(2, 3);
+  EXPECT_GT(profile.shaded_fraction(south, TimeOfDay::hms(13, 0)), 0.15);
+  // The north street at y=100 is far beyond a 35 m noon shadow.
+  EXPECT_DOUBLE_EQ(profile.shaded_fraction(north, TimeOfDay::hms(13, 0)),
+                   0.0);
+}
+
+TEST_F(ShadingProfileTest, SolarLengthComplementsShadedFraction) {
+  const auto profile = ShadingProfile::compute_exact(
+      sq_.graph, scene_, geo::DayOfYear{196}, TimeOfDay::hms(10, 0),
+      TimeOfDay::hms(16, 0));
+  const roadnet::EdgeId e = sq_.graph.find_edge(0, 1);
+  const TimeOfDay when = TimeOfDay::hms(12, 0);
+  const double frac = profile.shaded_fraction(e, when);
+  const Meters len = sq_.graph.edge(e).length;
+  EXPECT_NEAR(profile.solar_length(sq_.graph, e, when).value(),
+              len.value() * (1.0 - frac), 1e-9);
+}
+
+TEST_F(ShadingProfileTest, ClampsOutsideSampledWindow) {
+  const auto profile = ShadingProfile::compute_exact(
+      sq_.graph, scene_, geo::DayOfYear{196}, TimeOfDay::hms(10, 0),
+      TimeOfDay::hms(16, 0));
+  const roadnet::EdgeId e = sq_.graph.find_edge(0, 1);
+  EXPECT_DOUBLE_EQ(profile.shaded_fraction(e, TimeOfDay::hms(5, 0)),
+                   profile.shaded_fraction(e, TimeOfDay::hms(10, 0)));
+  EXPECT_DOUBLE_EQ(profile.shaded_fraction(e, TimeOfDay::hms(22, 0)),
+                   profile.shaded_fraction(e, TimeOfDay::hms(16, 0)));
+}
+
+TEST_F(ShadingProfileTest, EmptyWindowThrows) {
+  EXPECT_THROW((void)ShadingProfile::compute_exact(
+                   sq_.graph, scene_, geo::DayOfYear{196},
+                   TimeOfDay::hms(16, 0), TimeOfDay::hms(10, 0)),
+               InvalidArgument);
+}
+
+TEST_F(ShadingProfileTest, EstimatorOutOfRangeIsRejected) {
+  const ShadedFractionFn bad = [](roadnet::EdgeId, TimeOfDay) {
+    return 1.5;
+  };
+  EXPECT_THROW((void)ShadingProfile::compute(sq_.graph, bad,
+                                             TimeOfDay::hms(10, 0),
+                                             TimeOfDay::hms(10, 0)),
+               ContractViolation);
+}
+
+TEST_F(ShadingProfileTest, MeanAbsoluteDifference) {
+  const auto zeros = ShadingProfile::compute(
+      sq_.graph, [](roadnet::EdgeId, TimeOfDay) { return 0.0; },
+      TimeOfDay::hms(10, 0), TimeOfDay::hms(11, 0));
+  const auto halves = ShadingProfile::compute(
+      sq_.graph, [](roadnet::EdgeId, TimeOfDay) { return 0.5; },
+      TimeOfDay::hms(10, 0), TimeOfDay::hms(11, 0));
+  EXPECT_NEAR(zeros.mean_absolute_difference(halves), 0.5, 1e-6);
+  EXPECT_DOUBLE_EQ(zeros.mean_absolute_difference(zeros), 0.0);
+}
+
+TEST_F(ShadingProfileTest, MeanAbsoluteDifferenceShapeMismatchThrows) {
+  const auto a = ShadingProfile::compute(
+      sq_.graph, [](roadnet::EdgeId, TimeOfDay) { return 0.0; },
+      TimeOfDay::hms(10, 0), TimeOfDay::hms(11, 0));
+  const auto b = ShadingProfile::compute(
+      sq_.graph, [](roadnet::EdgeId, TimeOfDay) { return 0.0; },
+      TimeOfDay::hms(10, 0), TimeOfDay::hms(12, 0));
+  EXPECT_THROW((void)a.mean_absolute_difference(b), InvalidArgument);
+}
+
+TEST_F(ShadingProfileTest, NightIsFullyShaded) {
+  const auto estimator = make_exact_estimator(sq_.graph, scene_,
+                                              geo::DayOfYear{196});
+  const roadnet::EdgeId e = sq_.graph.find_edge(0, 1);
+  EXPECT_DOUBLE_EQ(estimator(e, TimeOfDay::hms(2, 0)), 1.0);
+}
+
+TEST_F(ShadingProfileTest, ShadowRotationChangesFractionOverDay) {
+  // The same street must see different shading morning vs noon as
+  // shadows rotate (the paper's Fig. 3 phenomenon).
+  const auto profile = ShadingProfile::compute_exact(
+      sq_.graph, scene_, geo::DayOfYear{196}, TimeOfDay::hms(8, 0),
+      TimeOfDay::hms(18, 0));
+  const roadnet::EdgeId e = sq_.graph.find_edge(0, 1);
+  const double morning = profile.shaded_fraction(e, TimeOfDay::hms(8, 30));
+  const double noon = profile.shaded_fraction(e, TimeOfDay::hms(13, 0));
+  const double evening = profile.shaded_fraction(e, TimeOfDay::hms(17, 30));
+  EXPECT_FALSE(morning == noon && noon == evening);
+}
+
+}  // namespace
+}  // namespace sunchase::shadow

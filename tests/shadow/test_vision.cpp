@@ -1,0 +1,127 @@
+#include "sunchase/shadow/vision.h"
+
+#include <gtest/gtest.h>
+
+#include "sunchase/common/error.h"
+#include "test_helpers.h"
+
+namespace sunchase::shadow {
+namespace {
+
+class VisionTest : public ::testing::Test {
+ protected:
+  VisionTest() : scene_(sq_.proj, 5.0) {
+    // Tower south of street 0->1 shades it at noon.
+    scene_.add_building(
+        Building{geo::rectangle({30, -40}, {60, -10}), 35.0});
+  }
+  test::SquareGraph sq_;
+  Scene scene_;
+};
+
+TEST_F(VisionTest, RejectsBadOptions) {
+  VisionOptions bad;
+  bad.meters_per_px = 0.0;
+  EXPECT_THROW(VisionPipeline(sq_.graph, scene_, bad), InvalidArgument);
+  bad = VisionOptions{};
+  bad.binarize_threshold = 30;  // below shadow value
+  EXPECT_THROW(VisionPipeline(sq_.graph, scene_, bad), InvalidArgument);
+}
+
+TEST_F(VisionTest, RenderPaintsRoadsShadowsAndRoofs) {
+  const VisionOptions opt;
+  const VisionPipeline pipeline(sq_.graph, scene_, opt);
+  const geo::Raster img = pipeline.render(test::south_sun_45());
+  // Road pixel mid-way along the north street (y=100): illuminated.
+  const auto [rx, ry] = img.to_pixel({50.0, 100.0});
+  EXPECT_EQ(img.at(rx, ry), opt.road_value);
+  // Roof pixel.
+  const auto [bx, by] = img.to_pixel({45.0, -25.0});
+  EXPECT_EQ(img.at(bx, by), opt.building_value);
+  // Shadow north of the tower (35 m shadow from a 35 m tower at 45 deg
+  // covers y in [-10, 25] above the footprint strip).
+  const auto [sx, sy] = img.to_pixel({45.0, 0.0});
+  EXPECT_EQ(img.at(sx, sy), opt.shadow_value);
+}
+
+TEST_F(VisionTest, EstimateTracksExactGeometry) {
+  const VisionPipeline pipeline(sq_.graph, scene_, VisionOptions{});
+  const auto sun = test::south_sun_45();
+  const std::vector<double> estimated =
+      pipeline.estimate_shaded_fractions(sun);
+  const auto shadows = cast_shadows(scene_, sun);
+  ASSERT_EQ(estimated.size(), sq_.graph.edge_count());
+  for (roadnet::EdgeId e = 0; e < sq_.graph.edge_count(); ++e) {
+    const double exact =
+        shaded_fraction(scene_.edge_segment(sq_.graph, e), shadows);
+    EXPECT_NEAR(estimated[e], exact, 0.12)
+        << "edge " << e << " exact " << exact;
+  }
+}
+
+TEST_F(VisionTest, SunDownMeansFullyShaded) {
+  const VisionPipeline pipeline(sq_.graph, scene_, VisionOptions{});
+  const auto fractions =
+      pipeline.estimate_shaded_fractions(geo::SunPosition{-0.2, 0.0});
+  for (const double f : fractions) EXPECT_DOUBLE_EQ(f, 1.0);
+}
+
+TEST_F(VisionTest, EstimatorMemoizesPerSlot) {
+  const VisionPipeline pipeline(sq_.graph, scene_, VisionOptions{});
+  const ShadedFractionFn estimator =
+      pipeline.make_estimator(geo::DayOfYear{196});
+  const roadnet::EdgeId e = sq_.graph.find_edge(0, 1);
+  // Two times in the same 15-min slot give identical values.
+  EXPECT_DOUBLE_EQ(estimator(e, TimeOfDay::hms(13, 2)),
+                   estimator(e, TimeOfDay::hms(13, 13)));
+  const double f = estimator(e, TimeOfDay::hms(13, 2));
+  EXPECT_GE(f, 0.0);
+  EXPECT_LE(f, 1.0);
+}
+
+TEST_F(VisionTest, ProfileFromVisionMatchesExactProfileClosely) {
+  const VisionPipeline pipeline(sq_.graph, scene_, VisionOptions{});
+  const auto vision_profile = ShadingProfile::compute(
+      sq_.graph, pipeline.make_estimator(geo::DayOfYear{196}),
+      TimeOfDay::hms(10, 0), TimeOfDay::hms(16, 0));
+  const auto exact_profile = ShadingProfile::compute_exact(
+      sq_.graph, scene_, geo::DayOfYear{196}, TimeOfDay::hms(10, 0),
+      TimeOfDay::hms(16, 0));
+  // The paper's area-ratio approximation: small mean error.
+  EXPECT_LT(vision_profile.mean_absolute_difference(exact_profile), 0.08);
+}
+
+TEST_F(VisionTest, HoughFindsTheGridStreets) {
+  const VisionPipeline pipeline(sq_.graph, scene_, VisionOptions{});
+  geo::HoughParams params;
+  params.vote_threshold = 40;
+  params.sample_fraction = 0.8;
+  Rng rng(5);
+  const auto lines = pipeline.detect_road_lines(params, rng);
+  EXPECT_GE(lines.size(), 2u);
+  const double recall = pipeline.road_detection_recall(lines, 8.0);
+  // The paper notes detection is imperfect (manual correction needed);
+  // still, a plain 2x2 grid should be mostly found.
+  EXPECT_GE(recall, 0.5);
+}
+
+TEST_F(VisionTest, FineResolutionErrorIsSmall) {
+  // Pixel-boundary luck means error is not strictly monotone in
+  // resolution; assert the absolute quality at sub-meter pixels instead.
+  VisionOptions fine;
+  fine.meters_per_px = 0.5;
+  const VisionPipeline fine_pipe(sq_.graph, scene_, fine);
+  const auto sun = test::south_sun_45();
+  const auto shadows = cast_shadows(scene_, sun);
+  const auto fine_est = fine_pipe.estimate_shaded_fractions(sun);
+  double err = 0.0;
+  for (roadnet::EdgeId e = 0; e < sq_.graph.edge_count(); ++e) {
+    const double exact =
+        shaded_fraction(scene_.edge_segment(sq_.graph, e), shadows);
+    err += std::abs(fine_est[e] - exact);
+  }
+  EXPECT_LT(err / static_cast<double>(sq_.graph.edge_count()), 0.05);
+}
+
+}  // namespace
+}  // namespace sunchase::shadow

@@ -1,0 +1,119 @@
+#include "sunchase/solar/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include "sunchase/common/error.h"
+
+namespace sunchase::solar {
+namespace {
+
+TEST(Dataset, DeterministicForSameSeed) {
+  const IrradianceDataset a;
+  const IrradianceDataset b;
+  for (int h = 6; h <= 20; ++h)
+    EXPECT_DOUBLE_EQ(a.sample(TimeOfDay::hms(h, 17)).value(),
+                     b.sample(TimeOfDay::hms(h, 17)).value());
+}
+
+TEST(Dataset, DifferentSeedsProduceDifferentDays) {
+  DatasetOptions other;
+  other.seed = 4242;
+  const IrradianceDataset a;
+  const IrradianceDataset b(other);
+  int differing = 0;
+  for (int h = 8; h <= 18; ++h)
+    if (a.sample(TimeOfDay::hms(h, 0)).value() !=
+        b.sample(TimeOfDay::hms(h, 0)).value())
+      ++differing;
+  EXPECT_GT(differing, 3);
+}
+
+TEST(Dataset, ZeroAtNight) {
+  const IrradianceDataset d;
+  EXPECT_DOUBLE_EQ(d.sample(TimeOfDay::hms(1, 30)).value(), 0.0);
+}
+
+TEST(Dataset, EventsOnlyAttenuateOrSurgeModestly) {
+  DatasetOptions opt;
+  opt.noise_rel_std = 0.0;
+  const IrradianceDataset d(opt);
+  const ClearSkyModel clear(opt.clear_sky);
+  for (int m = 8 * 60; m <= 18 * 60; m += 7) {
+    const TimeOfDay t = TimeOfDay::from_seconds(m * 60.0);
+    const double measured = d.sample(t).value();
+    const double base = clear.irradiance(t).value();
+    EXPECT_GE(measured, 0.0);
+    // Surges are bounded by the configured gain (compounded at most
+    // once with another surge in practice; give slack).
+    EXPECT_LE(measured, base * opt.surge_gain * opt.surge_gain + 1e-9);
+  }
+}
+
+TEST(Dataset, CloudsActuallyDim) {
+  // Force a cloudy day: many long clouds.
+  DatasetOptions cloudy;
+  cloudy.clouds_per_hour = 30.0;
+  cloudy.cloud_min_duration_s = 500.0;
+  cloudy.cloud_max_duration_s = 900.0;
+  cloudy.cloud_min_attenuation = 0.3;
+  cloudy.cloud_max_attenuation = 0.5;
+  cloudy.noise_rel_std = 0.0;
+  cloudy.surges_per_hour = 0.0;
+  cloudy.obstructions_per_hour = 0.0;
+  const IrradianceDataset d(cloudy);
+  const ClearSkyModel clear(cloudy.clear_sky);
+  const TimeOfDay noon = TimeOfDay::hms(13, 0);
+  EXPECT_LT(d.average(noon, minutes(30.0)).value(),
+            clear.irradiance(noon).value() * 0.9);
+}
+
+TEST(Dataset, AverageIsBetweenMinAndMaxSamples) {
+  const IrradianceDataset d;
+  const TimeOfDay start = TimeOfDay::hms(12, 0);
+  double lo = 1e18, hi = -1.0;
+  for (int s = 0; s < 900; s += 30) {
+    const double v =
+        d.sample(start.advanced_by(Seconds{static_cast<double>(s)})).value();
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  const double avg = d.average(start, minutes(15.0)).value();
+  EXPECT_GE(avg, lo * 0.95);
+  EXPECT_LE(avg, hi * 1.05);
+}
+
+TEST(Dataset, SlotAverageUsesEnclosingSlot) {
+  const IrradianceDataset d;
+  EXPECT_DOUBLE_EQ(d.slot_average(TimeOfDay::hms(12, 3)).value(),
+                   d.slot_average(TimeOfDay::hms(12, 11)).value());
+}
+
+TEST(Dataset, AverageRejectsEmptyWindow) {
+  const IrradianceDataset d;
+  EXPECT_THROW((void)d.average(TimeOfDay::hms(12, 0), Seconds{0.0}),
+               InvalidArgument);
+}
+
+TEST(Dataset, RejectsNegativeNoise) {
+  DatasetOptions bad;
+  bad.noise_rel_std = -0.1;
+  EXPECT_THROW(IrradianceDataset{bad}, InvalidArgument);
+}
+
+TEST(Dataset, HighRampEventsExist) {
+  // The paper's Fig. 4 shows visible surges/dips; verify the simulated
+  // day has at least one sharp short-term change around midday.
+  DatasetOptions opt;
+  opt.obstructions_per_hour = 8.0;
+  const IrradianceDataset d(opt);
+  double max_ramp = 0.0;
+  for (int s = 10 * 3600; s < 15 * 3600; s += 1) {
+    const double a = d.sample(TimeOfDay::from_seconds(s)).value();
+    const double b = d.sample(TimeOfDay::from_seconds(s + 1.0)).value();
+    max_ramp = std::max(max_ramp, std::abs(b - a));
+  }
+  EXPECT_GT(max_ramp, 100.0);  // W/m^2 within one second
+}
+
+}  // namespace
+}  // namespace sunchase::solar

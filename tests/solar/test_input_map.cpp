@@ -1,0 +1,95 @@
+#include "sunchase/solar/input_map.h"
+
+#include <gtest/gtest.h>
+
+#include "sunchase/common/error.h"
+#include "sunchase/roadnet/traffic.h"
+#include "test_helpers.h"
+
+namespace sunchase::solar {
+namespace {
+
+class InputMapTest : public ::testing::Test {
+ protected:
+  InputMapTest()
+      : traffic_(kmh(15.0)),
+        profile_(shadow::ShadingProfile::compute(
+            sq_.graph,
+            [](roadnet::EdgeId e, TimeOfDay) {
+              return e == 0 ? 0.4 : 0.0;  // edge 0 is 40% shaded
+            },
+            TimeOfDay::hms(8, 0), TimeOfDay::hms(18, 0))),
+        map_(sq_.graph, profile_, traffic_,
+             constant_panel_power(Watts{200.0})) {}
+
+  test::SquareGraph sq_;
+  roadnet::UniformTraffic traffic_;
+  shadow::ShadingProfile profile_;
+  SolarInputMap map_;
+};
+
+TEST_F(InputMapTest, TravelTimeSplitsIntoSolarAndShaded) {
+  const EdgeSolar es = map_.evaluate(0, TimeOfDay::hms(10, 0));
+  EXPECT_NEAR(es.travel_time.value(),
+              es.solar_time.value() + es.shaded_time.value(), 1e-9);
+  // The shading profile stores fractions as float32.
+  EXPECT_NEAR(es.shaded_time.value() / es.travel_time.value(), 0.4, 1e-6);
+}
+
+TEST_F(InputMapTest, UnshadedEdgeIsAllSolar) {
+  const EdgeSolar es = map_.evaluate(2, TimeOfDay::hms(10, 0));
+  EXPECT_NEAR(es.shaded_time.value(), 0.0, 1e-9);
+  EXPECT_NEAR(es.solar_time.value(), es.travel_time.value(), 1e-9);
+}
+
+TEST_F(InputMapTest, EnergyMatchesEquationTwo) {
+  // Eq. 2: E = C * S_solar / V = C * t_solar.
+  const EdgeSolar es = map_.evaluate(0, TimeOfDay::hms(10, 0));
+  const double expected_wh = 200.0 * es.solar_time.value() / 3600.0;
+  EXPECT_NEAR(es.energy_in.value(), expected_wh, 1e-9);
+}
+
+TEST_F(InputMapTest, TravelTimeMatchesLengthOverSpeed) {
+  const EdgeSolar es = map_.evaluate(1, TimeOfDay::hms(10, 0));
+  const double expected =
+      sq_.graph.edge(1).length.value() / kmh(15.0).value();
+  EXPECT_NEAR(es.travel_time.value(), expected, 1e-9);
+}
+
+TEST_F(InputMapTest, PanelPowerPassesThrough) {
+  EXPECT_DOUBLE_EQ(map_.panel_power(TimeOfDay::hms(12, 0)).value(), 200.0);
+}
+
+TEST_F(InputMapTest, AccessorsExposeCollaborators) {
+  EXPECT_EQ(&map_.graph(), &sq_.graph);
+  EXPECT_EQ(&map_.traffic(), &traffic_);
+  EXPECT_EQ(&map_.shading(), &profile_);
+}
+
+TEST(InputMapValidation, NullPanelPowerRejected) {
+  test::SquareGraph sq;
+  roadnet::UniformTraffic traffic(kmh(15.0));
+  const auto profile = shadow::ShadingProfile::compute(
+      sq.graph, [](roadnet::EdgeId, TimeOfDay) { return 0.0; },
+      TimeOfDay::hms(8, 0), TimeOfDay::hms(9, 0));
+  EXPECT_THROW(SolarInputMap(sq.graph, profile, traffic, nullptr),
+               InvalidArgument);
+}
+
+TEST(InputMapValidation, ProfileShapeMismatchRejected) {
+  test::SquareGraph sq;
+  roadnet::RoadGraph other;
+  other.add_node({45.5, -73.57});
+  other.add_node({45.51, -73.57});
+  other.add_edge(0, 1);
+  roadnet::UniformTraffic traffic(kmh(15.0));
+  const auto profile = shadow::ShadingProfile::compute(
+      other, [](roadnet::EdgeId, TimeOfDay) { return 0.0; },
+      TimeOfDay::hms(8, 0), TimeOfDay::hms(9, 0));
+  EXPECT_THROW(SolarInputMap(sq.graph, profile, traffic,
+                             constant_panel_power(Watts{200.0})),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace sunchase::solar

@@ -1,0 +1,85 @@
+#include "sunchase/solar/irradiance.h"
+
+#include <gtest/gtest.h>
+
+#include "sunchase/common/error.h"
+
+namespace sunchase::solar {
+namespace {
+
+TEST(ClearSky, ZeroAtNight) {
+  const ClearSkyModel model;
+  EXPECT_DOUBLE_EQ(model.irradiance(TimeOfDay::hms(2, 0)).value(), 0.0);
+  EXPECT_DOUBLE_EQ(model.irradiance(TimeOfDay::hms(23, 0)).value(), 0.0);
+}
+
+TEST(ClearSky, PeakNearSolarNoonMatchesPaperFig4) {
+  const ClearSkyModel model;
+  // The paper's Fig. 4: ~1150 W/m^2 midday maximum in July Quebec.
+  double peak = 0.0;
+  for (int m = 0; m < 24 * 60; m += 10) {
+    const TimeOfDay t = TimeOfDay::from_seconds(m * 60.0);
+    peak = std::max(peak, model.irradiance(t).value());
+  }
+  EXPECT_NEAR(peak, 1150.0, 80.0);
+}
+
+TEST(ClearSky, MorningIsLowEveningIsLow) {
+  const ClearSkyModel model;
+  // Paper: < 300 W/m^2 in early morning and evening.
+  EXPECT_LT(model.irradiance(TimeOfDay::hms(6, 30)).value(), 300.0);
+  EXPECT_LT(model.irradiance(TimeOfDay::hms(20, 0)).value(), 300.0);
+}
+
+TEST(ClearSky, MonotoneRiseTowardNoon) {
+  const ClearSkyModel model;
+  double prev = -1.0;
+  for (int h = 6; h <= 13; ++h) {
+    const double g = model.irradiance(TimeOfDay::hms(h, 0)).value();
+    EXPECT_GE(g, prev);
+    prev = g;
+  }
+}
+
+TEST(ClearSky, ElevationCurveShape) {
+  const ClearSkyModel model;
+  EXPECT_DOUBLE_EQ(model.irradiance_at_elevation(-0.1).value(), 0.0);
+  EXPECT_DOUBLE_EQ(model.irradiance_at_elevation(0.0).value(), 0.0);
+  const double low = model.irradiance_at_elevation(0.2).value();
+  const double high = model.irradiance_at_elevation(1.2).value();
+  EXPECT_GT(low, 0.0);
+  EXPECT_GT(high, low);
+}
+
+TEST(ClearSky, ScaleOptionScalesOutput) {
+  ClearSkyModel::Options half;
+  half.scale = 0.61;
+  const ClearSkyModel base;
+  const ClearSkyModel scaled(half);
+  const TimeOfDay noon = TimeOfDay::hms(13, 0);
+  EXPECT_NEAR(scaled.irradiance(noon).value(),
+              base.irradiance(noon).value() * 0.5, 1.0);
+}
+
+TEST(ClearSky, RejectsNonPositiveScale) {
+  ClearSkyModel::Options bad;
+  bad.scale = 0.0;
+  EXPECT_THROW(ClearSkyModel{bad}, InvalidArgument);
+}
+
+// Property: irradiance is finite and within physical bounds all day.
+class IrradianceBounds : public ::testing::TestWithParam<int> {};
+
+TEST_P(IrradianceBounds, PhysicalRange) {
+  const ClearSkyModel model;
+  const TimeOfDay t = TimeOfDay::from_seconds(GetParam() * 900.0);
+  const double g = model.irradiance(t).value();
+  EXPECT_GE(g, 0.0);
+  EXPECT_LT(g, 1400.0);  // below the solar constant
+}
+
+INSTANTIATE_TEST_SUITE_P(QuarterHours, IrradianceBounds,
+                         ::testing::Range(0, 96));
+
+}  // namespace
+}  // namespace sunchase::solar

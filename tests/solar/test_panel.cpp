@@ -1,0 +1,70 @@
+#include "sunchase/solar/panel.h"
+
+#include <gtest/gtest.h>
+
+#include "sunchase/common/error.h"
+
+namespace sunchase::solar {
+namespace {
+
+TEST(SolarPanel, OutputIsAreaTimesEfficiency) {
+  // The paper's ~20% commercial cell efficiency.
+  const SolarPanel panel(SquareMeters{1.5}, 0.20);
+  EXPECT_DOUBLE_EQ(panel.output(WattsPerSquareMeter{1000.0}).value(), 300.0);
+  EXPECT_DOUBLE_EQ(panel.output(WattsPerSquareMeter{0.0}).value(), 0.0);
+  EXPECT_DOUBLE_EQ(panel.output(WattsPerSquareMeter{-5.0}).value(), 0.0);
+}
+
+TEST(SolarPanel, Validation) {
+  EXPECT_THROW(SolarPanel(SquareMeters{0.0}, 0.2), InvalidArgument);
+  EXPECT_THROW(SolarPanel(SquareMeters{1.0}, 0.0), InvalidArgument);
+  EXPECT_THROW(SolarPanel(SquareMeters{1.0}, 1.2), InvalidArgument);
+  EXPECT_NO_THROW(SolarPanel(SquareMeters{1.0}, 1.0));
+}
+
+TEST(PanelPower, ConstantMatchesPaperSimulations) {
+  // The routing simulations fix C = 200 / 210 / 160 W.
+  const PanelPowerFn c = constant_panel_power(Watts{210.0});
+  EXPECT_DOUBLE_EQ(c(TimeOfDay::hms(9, 0)).value(), 210.0);
+  EXPECT_DOUBLE_EQ(c(TimeOfDay::hms(15, 30)).value(), 210.0);
+}
+
+TEST(PanelPower, ConstantRejectsNegative) {
+  EXPECT_THROW((void)constant_panel_power(Watts{-1.0}), InvalidArgument);
+}
+
+TEST(PanelPower, DatasetPowerFollowsIrradiance) {
+  const IrradianceDataset dataset;
+  const SolarPanel panel(SquareMeters{1.5}, 0.20);
+  const PanelPowerFn c = dataset_panel_power(dataset, panel);
+  const double night = c(TimeOfDay::hms(2, 0)).value();
+  const double noon = c(TimeOfDay::hms(13, 0)).value();
+  EXPECT_DOUBLE_EQ(night, 0.0);
+  EXPECT_GT(noon, 100.0);
+  EXPECT_LT(noon, 420.0);
+}
+
+TEST(PanelPower, PaperDaytimeProfile) {
+  const PanelPowerFn c = paper_daytime_panel_power();
+  // Triangle from 160 W at the edges to 210 W at 13:00.
+  EXPECT_DOUBLE_EQ(c(TimeOfDay::hms(13, 0)).value(), 210.0);
+  EXPECT_DOUBLE_EQ(c(TimeOfDay::hms(9, 0)).value(), 160.0);
+  EXPECT_DOUBLE_EQ(c(TimeOfDay::hms(17, 0)).value(), 160.0);
+  const double mid = c(TimeOfDay::hms(11, 0)).value();
+  EXPECT_GT(mid, 160.0);
+  EXPECT_LT(mid, 210.0);
+}
+
+TEST(PanelPower, PaperDaytimeConstantWithinSlot) {
+  const PanelPowerFn c = paper_daytime_panel_power();
+  EXPECT_DOUBLE_EQ(c(TimeOfDay::hms(11, 1)).value(),
+                   c(TimeOfDay::hms(11, 14)).value());
+}
+
+TEST(PanelPower, PaperDaytimeRejectsInvertedRange) {
+  EXPECT_THROW((void)paper_daytime_panel_power(Watts{210.0}, Watts{160.0}),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace sunchase::solar

@@ -1,0 +1,131 @@
+#include "sunchase/solar/parking.h"
+
+#include <gtest/gtest.h>
+
+#include "sunchase/common/error.h"
+#include "test_helpers.h"
+
+namespace sunchase::solar {
+namespace {
+
+class ParkingTest : public ::testing::Test {
+ protected:
+  ParkingTest()
+      : profile_(shadow::ShadingProfile::compute(
+            sq_.graph,
+            [this](roadnet::EdgeId e, TimeOfDay) {
+              // Edge 0 permanently dark, edge 2 permanently sunny.
+              if (e == dark_edge_) return 0.9;
+              if (e == sunny_edge_) return 0.0;
+              return 0.5;
+            },
+            TimeOfDay::hms(8, 0), TimeOfDay::hms(18, 0))) {}
+
+  test::SquareGraph sq_;
+  roadnet::EdgeId dark_edge_ = 0;
+  roadnet::EdgeId sunny_edge_ = 2;
+  shadow::ShadingProfile profile_;
+};
+
+TEST_F(ParkingTest, SunniestSpotRanksFirst) {
+  const auto spots = rank_parking_spots(
+      sq_.graph, profile_, constant_panel_power(Watts{200.0}), 0,
+      TimeOfDay::hms(9, 0), TimeOfDay::hms(17, 0));
+  ASSERT_FALSE(spots.empty());
+  EXPECT_EQ(spots.front().edge, sunny_edge_);
+  EXPECT_EQ(spots.back().edge, dark_edge_);
+  EXPECT_GT(spots.front().expected_harvest.value(),
+            spots.back().expected_harvest.value());
+}
+
+TEST_F(ParkingTest, HarvestMatchesHandComputation) {
+  // Sunny edge, 8 h at 200 W, zero shade: 1600 Wh.
+  const auto spots = rank_parking_spots(
+      sq_.graph, profile_, constant_panel_power(Watts{200.0}), 0,
+      TimeOfDay::hms(9, 0), TimeOfDay::hms(17, 0));
+  const auto sunny = std::find_if(
+      spots.begin(), spots.end(),
+      [&](const ParkingSpot& s) { return s.edge == sunny_edge_; });
+  ASSERT_NE(sunny, spots.end());
+  EXPECT_NEAR(sunny->expected_harvest.value(), 200.0 * 8.0, 1.0);
+  EXPECT_NEAR(sunny->mean_shaded_fraction, 0.0, 1e-9);
+  // Dark edge: 10% of that.
+  const auto dark = std::find_if(
+      spots.begin(), spots.end(),
+      [&](const ParkingSpot& s) { return s.edge == dark_edge_; });
+  EXPECT_NEAR(dark->expected_harvest.value(), 200.0 * 8.0 * 0.1, 1.0);
+}
+
+TEST_F(ParkingTest, PartialSlotWindowsIntegrateExactly) {
+  // 9:05 to 9:25: 20 minutes across a slot boundary.
+  const auto spots = rank_parking_spots(
+      sq_.graph, profile_, constant_panel_power(Watts{300.0}), 0,
+      TimeOfDay::hms(9, 5), TimeOfDay::hms(9, 25));
+  const auto sunny = std::find_if(
+      spots.begin(), spots.end(),
+      [&](const ParkingSpot& s) { return s.edge == sunny_edge_; });
+  ASSERT_NE(sunny, spots.end());
+  EXPECT_NEAR(sunny->expected_harvest.value(), 300.0 * (20.0 / 60.0), 0.5);
+}
+
+TEST_F(ParkingTest, RadiusLimitsCandidates) {
+  ParkingOptions tight;
+  tight.search_radius = Meters{60.0};
+  const auto near = rank_parking_spots(
+      sq_.graph, profile_, constant_panel_power(Watts{200.0}), 0,
+      TimeOfDay::hms(9, 0), TimeOfDay::hms(17, 0), tight);
+  ParkingOptions wide;
+  wide.search_radius = Meters{500.0};
+  const auto all = rank_parking_spots(
+      sq_.graph, profile_, constant_panel_power(Watts{200.0}), 0,
+      TimeOfDay::hms(9, 0), TimeOfDay::hms(17, 0), wide);
+  EXPECT_LT(near.size(), all.size());
+  for (const ParkingSpot& s : near)
+    EXPECT_LE(s.walk_distance.value(), 60.0);
+  // Every edge of the 2x2 block graph is within 500 m.
+  EXPECT_EQ(all.size(), sq_.graph.edge_count());
+}
+
+TEST_F(ParkingTest, Validation) {
+  EXPECT_THROW(
+      (void)rank_parking_spots(sq_.graph, profile_,
+                               constant_panel_power(Watts{200.0}), 0,
+                               TimeOfDay::hms(17, 0), TimeOfDay::hms(9, 0)),
+      InvalidArgument);
+  EXPECT_THROW(
+      (void)rank_parking_spots(sq_.graph, profile_, nullptr, 0,
+                               TimeOfDay::hms(9, 0), TimeOfDay::hms(17, 0)),
+      InvalidArgument);
+  EXPECT_THROW(
+      (void)rank_parking_spots(sq_.graph, profile_,
+                               constant_panel_power(Watts{200.0}), 99,
+                               TimeOfDay::hms(9, 0), TimeOfDay::hms(17, 0)),
+      GraphError);
+  ParkingOptions bad;
+  bad.search_radius = Meters{0.0};
+  EXPECT_THROW(
+      (void)rank_parking_spots(sq_.graph, profile_,
+                               constant_panel_power(Watts{200.0}), 0,
+                               TimeOfDay::hms(9, 0), TimeOfDay::hms(17, 0),
+                               bad),
+      InvalidArgument);
+}
+
+TEST_F(ParkingTest, TimeVaryingPanelPowerIsIntegrated) {
+  // Power 100 W before 13:00, 300 W after: a 12:00-14:00 window on the
+  // sunny edge harvests 100*1 + 300*1 = 400 Wh.
+  const PanelPowerFn stepped = [](TimeOfDay t) {
+    return t < TimeOfDay::hms(13, 0) ? Watts{100.0} : Watts{300.0};
+  };
+  const auto spots = rank_parking_spots(sq_.graph, profile_, stepped, 0,
+                                        TimeOfDay::hms(12, 0),
+                                        TimeOfDay::hms(14, 0));
+  const auto sunny = std::find_if(
+      spots.begin(), spots.end(),
+      [&](const ParkingSpot& s) { return s.edge == sunny_edge_; });
+  ASSERT_NE(sunny, spots.end());
+  EXPECT_NEAR(sunny->expected_harvest.value(), 400.0, 1.0);
+}
+
+}  // namespace
+}  // namespace sunchase::solar

@@ -1,0 +1,56 @@
+// Shared builders for tests: tiny graphs and scenes with known
+// geometry, so expectations can be computed by hand.
+#pragma once
+
+#include <memory>
+
+#include "sunchase/geo/latlon.h"
+#include "sunchase/geo/sunpos.h"
+#include "sunchase/roadnet/graph.h"
+#include "sunchase/shadow/scene.h"
+
+namespace sunchase::test {
+
+/// Projection anchored at downtown Montreal, as in the paper.
+inline geo::LocalProjection montreal_projection() {
+  return geo::LocalProjection{geo::LatLon{45.4995, -73.5700}};
+}
+
+/// Adds a node at local planar coordinates through `proj`.
+inline roadnet::NodeId add_node_at(roadnet::RoadGraph& graph,
+                                   const geo::LocalProjection& proj,
+                                   double x_m, double y_m) {
+  return graph.add_node(proj.to_geo(geo::Vec2{x_m, y_m}));
+}
+
+/// A 2x2 "block" graph:
+///
+///   2 --- 3
+///   |     |
+///   0 --- 1        all two-way, 100 m blocks, nodes at local
+///                  (0,0) (100,0) (0,100) (100,100).
+struct SquareGraph {
+  roadnet::RoadGraph graph;
+  geo::LocalProjection proj = montreal_projection();
+
+  SquareGraph() {
+    add_node_at(graph, proj, 0, 0);      // 0
+    add_node_at(graph, proj, 100, 0);    // 1
+    add_node_at(graph, proj, 0, 100);    // 2
+    add_node_at(graph, proj, 100, 100);  // 3
+    graph.add_two_way(0, 1);
+    graph.add_two_way(0, 2);
+    graph.add_two_way(1, 3);
+    graph.add_two_way(2, 3);
+    graph.finalize();
+  }
+};
+
+/// A noon-ish sun from the south at 45 degrees elevation: shadows point
+/// exactly north with length == obstacle height.
+inline geo::SunPosition south_sun_45() {
+  return geo::SunPosition{.elevation_rad = 3.14159265358979 / 4.0,
+                          .azimuth_rad = 3.14159265358979};  // due south
+}
+
+}  // namespace sunchase::test
