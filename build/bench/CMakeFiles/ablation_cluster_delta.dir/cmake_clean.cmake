@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cluster_delta.dir/ablation_cluster_delta.cpp.o"
+  "CMakeFiles/ablation_cluster_delta.dir/ablation_cluster_delta.cpp.o.d"
+  "ablation_cluster_delta"
+  "ablation_cluster_delta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cluster_delta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

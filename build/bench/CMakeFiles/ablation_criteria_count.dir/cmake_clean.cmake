@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_criteria_count.dir/ablation_criteria_count.cpp.o"
+  "CMakeFiles/ablation_criteria_count.dir/ablation_criteria_count.cpp.o.d"
+  "ablation_criteria_count"
+  "ablation_criteria_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_criteria_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

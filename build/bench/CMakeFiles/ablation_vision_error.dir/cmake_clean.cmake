@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_vision_error.dir/ablation_vision_error.cpp.o"
+  "CMakeFiles/ablation_vision_error.dir/ablation_vision_error.cpp.o.d"
+  "ablation_vision_error"
+  "ablation_vision_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_vision_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

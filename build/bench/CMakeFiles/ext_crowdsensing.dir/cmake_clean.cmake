@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_crowdsensing.dir/ext_crowdsensing.cpp.o"
+  "CMakeFiles/ext_crowdsensing.dir/ext_crowdsensing.cpp.o.d"
+  "ext_crowdsensing"
+  "ext_crowdsensing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_crowdsensing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_dynamic_replanning.dir/ext_dynamic_replanning.cpp.o"
+  "CMakeFiles/ext_dynamic_replanning.dir/ext_dynamic_replanning.cpp.o.d"
+  "ext_dynamic_replanning"
+  "ext_dynamic_replanning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_dynamic_replanning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_long_distance.dir/ext_long_distance.cpp.o"
+  "CMakeFiles/ext_long_distance.dir/ext_long_distance.cpp.o.d"
+  "ext_long_distance"
+  "ext_long_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_long_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_parking.dir/ext_parking.cpp.o"
+  "CMakeFiles/ext_parking.dir/ext_parking.cpp.o.d"
+  "ext_parking"
+  "ext_parking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_parking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_speed_planning.dir/ext_speed_planning.cpp.o"
+  "CMakeFiles/ext_speed_planning.dir/ext_speed_planning.cpp.o.d"
+  "ext_speed_planning"
+  "ext_speed_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_speed_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_oneday_case2.dir/fig10_oneday_case2.cpp.o"
+  "CMakeFiles/fig10_oneday_case2.dir/fig10_oneday_case2.cpp.o.d"
+  "fig10_oneday_case2"
+  "fig10_oneday_case2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_oneday_case2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_shadow_scenes.dir/fig3_shadow_scenes.cpp.o"
+  "CMakeFiles/fig3_shadow_scenes.dir/fig3_shadow_scenes.cpp.o.d"
+  "fig3_shadow_scenes"
+  "fig3_shadow_scenes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_shadow_scenes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_solar_radiation.dir/fig4_solar_radiation.cpp.o"
+  "CMakeFiles/fig4_solar_radiation.dir/fig4_solar_radiation.cpp.o.d"
+  "fig4_solar_radiation"
+  "fig4_solar_radiation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_solar_radiation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_oneday_case1.dir/fig9_oneday_case1.cpp.o"
+  "CMakeFiles/fig9_oneday_case1.dir/fig9_oneday_case1.cpp.o.d"
+  "fig9_oneday_case1"
+  "fig9_oneday_case1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_oneday_case1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

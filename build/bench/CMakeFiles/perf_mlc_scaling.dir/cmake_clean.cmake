@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_mlc_scaling.dir/perf_mlc_scaling.cpp.o"
+  "CMakeFiles/perf_mlc_scaling.dir/perf_mlc_scaling.cpp.o.d"
+  "perf_mlc_scaling"
+  "perf_mlc_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_mlc_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

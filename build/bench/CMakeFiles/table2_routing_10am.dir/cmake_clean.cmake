@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_routing_10am.dir/table2_routing_10am.cpp.o"
+  "CMakeFiles/table2_routing_10am.dir/table2_routing_10am.cpp.o.d"
+  "table2_routing_10am"
+  "table2_routing_10am.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_routing_10am.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

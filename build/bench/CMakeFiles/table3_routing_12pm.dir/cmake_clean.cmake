@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_routing_12pm.dir/table3_routing_12pm.cpp.o"
+  "CMakeFiles/table3_routing_12pm.dir/table3_routing_12pm.cpp.o.d"
+  "table3_routing_12pm"
+  "table3_routing_12pm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_routing_12pm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

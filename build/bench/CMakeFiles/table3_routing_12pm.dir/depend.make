@@ -1,0 +1,2 @@
+# Empty dependencies file for table3_routing_12pm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_routing_4pm.dir/table4_routing_4pm.cpp.o"
+  "CMakeFiles/table4_routing_4pm.dir/table4_routing_4pm.cpp.o.d"
+  "table4_routing_4pm"
+  "table4_routing_4pm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_routing_4pm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

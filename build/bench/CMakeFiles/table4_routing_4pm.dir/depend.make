@@ -1,0 +1,2 @@
+# Empty dependencies file for table4_routing_4pm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/commute_planner.dir/commute_planner.cpp.o"
+  "CMakeFiles/commute_planner.dir/commute_planner.cpp.o.d"
+  "commute_planner"
+  "commute_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/commute_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

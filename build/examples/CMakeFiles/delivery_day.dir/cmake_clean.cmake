@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delivery_day.dir/delivery_day.cpp.o"
+  "CMakeFiles/delivery_day.dir/delivery_day.cpp.o.d"
+  "delivery_day"
+  "delivery_day.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delivery_day.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

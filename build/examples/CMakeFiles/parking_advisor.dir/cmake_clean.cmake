@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parking_advisor.dir/parking_advisor.cpp.o"
+  "CMakeFiles/parking_advisor.dir/parking_advisor.cpp.o.d"
+  "parking_advisor"
+  "parking_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parking_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shadow_mapper.dir/shadow_mapper.cpp.o"
+  "CMakeFiles/shadow_mapper.dir/shadow_mapper.cpp.o.d"
+  "shadow_mapper"
+  "shadow_mapper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shadow_mapper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/sunchase_cli.cpp" "examples/CMakeFiles/sunchase_cli.dir/sunchase_cli.cpp.o" "gcc" "examples/CMakeFiles/sunchase_cli.dir/sunchase_cli.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sensing/CMakeFiles/sunchase_sensing.dir/DependInfo.cmake"
+  "/root/repo/build/src/speedplan/CMakeFiles/sunchase_speedplan.dir/DependInfo.cmake"
+  "/root/repo/build/src/crowd/CMakeFiles/sunchase_crowd.dir/DependInfo.cmake"
+  "/root/repo/build/src/exporter/CMakeFiles/sunchase_exporter.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sunchase_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/solar/CMakeFiles/sunchase_solar.dir/DependInfo.cmake"
+  "/root/repo/build/src/ev/CMakeFiles/sunchase_ev.dir/DependInfo.cmake"
+  "/root/repo/build/src/shadow/CMakeFiles/sunchase_shadow.dir/DependInfo.cmake"
+  "/root/repo/build/src/roadnet/CMakeFiles/sunchase_roadnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/sunchase_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sunchase_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sunchase_cli.dir/sunchase_cli.cpp.o"
+  "CMakeFiles/sunchase_cli.dir/sunchase_cli.cpp.o.d"
+  "sunchase_cli"
+  "sunchase_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sunchase_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

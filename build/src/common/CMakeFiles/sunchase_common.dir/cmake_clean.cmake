@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sunchase_common.dir/src/logging.cpp.o"
+  "CMakeFiles/sunchase_common.dir/src/logging.cpp.o.d"
+  "CMakeFiles/sunchase_common.dir/src/rng.cpp.o"
+  "CMakeFiles/sunchase_common.dir/src/rng.cpp.o.d"
+  "CMakeFiles/sunchase_common.dir/src/time_of_day.cpp.o"
+  "CMakeFiles/sunchase_common.dir/src/time_of_day.cpp.o.d"
+  "libsunchase_common.a"
+  "libsunchase_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sunchase_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/src/astar.cpp" "src/core/CMakeFiles/sunchase_core.dir/src/astar.cpp.o" "gcc" "src/core/CMakeFiles/sunchase_core.dir/src/astar.cpp.o.d"
+  "/root/repo/src/core/src/criteria.cpp" "src/core/CMakeFiles/sunchase_core.dir/src/criteria.cpp.o" "gcc" "src/core/CMakeFiles/sunchase_core.dir/src/criteria.cpp.o.d"
+  "/root/repo/src/core/src/dijkstra.cpp" "src/core/CMakeFiles/sunchase_core.dir/src/dijkstra.cpp.o" "gcc" "src/core/CMakeFiles/sunchase_core.dir/src/dijkstra.cpp.o.d"
+  "/root/repo/src/core/src/kmeans.cpp" "src/core/CMakeFiles/sunchase_core.dir/src/kmeans.cpp.o" "gcc" "src/core/CMakeFiles/sunchase_core.dir/src/kmeans.cpp.o.d"
+  "/root/repo/src/core/src/metrics.cpp" "src/core/CMakeFiles/sunchase_core.dir/src/metrics.cpp.o" "gcc" "src/core/CMakeFiles/sunchase_core.dir/src/metrics.cpp.o.d"
+  "/root/repo/src/core/src/mlc.cpp" "src/core/CMakeFiles/sunchase_core.dir/src/mlc.cpp.o" "gcc" "src/core/CMakeFiles/sunchase_core.dir/src/mlc.cpp.o.d"
+  "/root/repo/src/core/src/planner.cpp" "src/core/CMakeFiles/sunchase_core.dir/src/planner.cpp.o" "gcc" "src/core/CMakeFiles/sunchase_core.dir/src/planner.cpp.o.d"
+  "/root/repo/src/core/src/replanner.cpp" "src/core/CMakeFiles/sunchase_core.dir/src/replanner.cpp.o" "gcc" "src/core/CMakeFiles/sunchase_core.dir/src/replanner.cpp.o.d"
+  "/root/repo/src/core/src/selection.cpp" "src/core/CMakeFiles/sunchase_core.dir/src/selection.cpp.o" "gcc" "src/core/CMakeFiles/sunchase_core.dir/src/selection.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/solar/CMakeFiles/sunchase_solar.dir/DependInfo.cmake"
+  "/root/repo/build/src/ev/CMakeFiles/sunchase_ev.dir/DependInfo.cmake"
+  "/root/repo/build/src/shadow/CMakeFiles/sunchase_shadow.dir/DependInfo.cmake"
+  "/root/repo/build/src/roadnet/CMakeFiles/sunchase_roadnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/sunchase_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sunchase_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

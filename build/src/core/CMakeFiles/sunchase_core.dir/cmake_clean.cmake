@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sunchase_core.dir/src/astar.cpp.o"
+  "CMakeFiles/sunchase_core.dir/src/astar.cpp.o.d"
+  "CMakeFiles/sunchase_core.dir/src/criteria.cpp.o"
+  "CMakeFiles/sunchase_core.dir/src/criteria.cpp.o.d"
+  "CMakeFiles/sunchase_core.dir/src/dijkstra.cpp.o"
+  "CMakeFiles/sunchase_core.dir/src/dijkstra.cpp.o.d"
+  "CMakeFiles/sunchase_core.dir/src/kmeans.cpp.o"
+  "CMakeFiles/sunchase_core.dir/src/kmeans.cpp.o.d"
+  "CMakeFiles/sunchase_core.dir/src/metrics.cpp.o"
+  "CMakeFiles/sunchase_core.dir/src/metrics.cpp.o.d"
+  "CMakeFiles/sunchase_core.dir/src/mlc.cpp.o"
+  "CMakeFiles/sunchase_core.dir/src/mlc.cpp.o.d"
+  "CMakeFiles/sunchase_core.dir/src/planner.cpp.o"
+  "CMakeFiles/sunchase_core.dir/src/planner.cpp.o.d"
+  "CMakeFiles/sunchase_core.dir/src/replanner.cpp.o"
+  "CMakeFiles/sunchase_core.dir/src/replanner.cpp.o.d"
+  "CMakeFiles/sunchase_core.dir/src/selection.cpp.o"
+  "CMakeFiles/sunchase_core.dir/src/selection.cpp.o.d"
+  "libsunchase_core.a"
+  "libsunchase_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sunchase_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sunchase_crowd.dir/src/crowd_map.cpp.o"
+  "CMakeFiles/sunchase_crowd.dir/src/crowd_map.cpp.o.d"
+  "CMakeFiles/sunchase_crowd.dir/src/fleet.cpp.o"
+  "CMakeFiles/sunchase_crowd.dir/src/fleet.cpp.o.d"
+  "libsunchase_crowd.a"
+  "libsunchase_crowd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sunchase_crowd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sunchase_ev.dir/src/battery.cpp.o"
+  "CMakeFiles/sunchase_ev.dir/src/battery.cpp.o.d"
+  "CMakeFiles/sunchase_ev.dir/src/consumption.cpp.o"
+  "CMakeFiles/sunchase_ev.dir/src/consumption.cpp.o.d"
+  "libsunchase_ev.a"
+  "libsunchase_ev.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sunchase_ev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

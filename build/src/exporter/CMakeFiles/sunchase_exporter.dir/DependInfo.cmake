@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exporter/src/geojson.cpp" "src/exporter/CMakeFiles/sunchase_exporter.dir/src/geojson.cpp.o" "gcc" "src/exporter/CMakeFiles/sunchase_exporter.dir/src/geojson.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sunchase_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/solar/CMakeFiles/sunchase_solar.dir/DependInfo.cmake"
+  "/root/repo/build/src/shadow/CMakeFiles/sunchase_shadow.dir/DependInfo.cmake"
+  "/root/repo/build/src/roadnet/CMakeFiles/sunchase_roadnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/sunchase_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/ev/CMakeFiles/sunchase_ev.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sunchase_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

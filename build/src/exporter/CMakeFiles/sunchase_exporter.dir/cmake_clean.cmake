@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sunchase_exporter.dir/src/geojson.cpp.o"
+  "CMakeFiles/sunchase_exporter.dir/src/geojson.cpp.o.d"
+  "libsunchase_exporter.a"
+  "libsunchase_exporter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sunchase_exporter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

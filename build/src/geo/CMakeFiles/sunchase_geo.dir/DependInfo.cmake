@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geo/src/hough.cpp" "src/geo/CMakeFiles/sunchase_geo.dir/src/hough.cpp.o" "gcc" "src/geo/CMakeFiles/sunchase_geo.dir/src/hough.cpp.o.d"
+  "/root/repo/src/geo/src/latlon.cpp" "src/geo/CMakeFiles/sunchase_geo.dir/src/latlon.cpp.o" "gcc" "src/geo/CMakeFiles/sunchase_geo.dir/src/latlon.cpp.o.d"
+  "/root/repo/src/geo/src/polygon.cpp" "src/geo/CMakeFiles/sunchase_geo.dir/src/polygon.cpp.o" "gcc" "src/geo/CMakeFiles/sunchase_geo.dir/src/polygon.cpp.o.d"
+  "/root/repo/src/geo/src/raster.cpp" "src/geo/CMakeFiles/sunchase_geo.dir/src/raster.cpp.o" "gcc" "src/geo/CMakeFiles/sunchase_geo.dir/src/raster.cpp.o.d"
+  "/root/repo/src/geo/src/segment.cpp" "src/geo/CMakeFiles/sunchase_geo.dir/src/segment.cpp.o" "gcc" "src/geo/CMakeFiles/sunchase_geo.dir/src/segment.cpp.o.d"
+  "/root/repo/src/geo/src/sunpos.cpp" "src/geo/CMakeFiles/sunchase_geo.dir/src/sunpos.cpp.o" "gcc" "src/geo/CMakeFiles/sunchase_geo.dir/src/sunpos.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sunchase_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sunchase_geo.dir/src/hough.cpp.o"
+  "CMakeFiles/sunchase_geo.dir/src/hough.cpp.o.d"
+  "CMakeFiles/sunchase_geo.dir/src/latlon.cpp.o"
+  "CMakeFiles/sunchase_geo.dir/src/latlon.cpp.o.d"
+  "CMakeFiles/sunchase_geo.dir/src/polygon.cpp.o"
+  "CMakeFiles/sunchase_geo.dir/src/polygon.cpp.o.d"
+  "CMakeFiles/sunchase_geo.dir/src/raster.cpp.o"
+  "CMakeFiles/sunchase_geo.dir/src/raster.cpp.o.d"
+  "CMakeFiles/sunchase_geo.dir/src/segment.cpp.o"
+  "CMakeFiles/sunchase_geo.dir/src/segment.cpp.o.d"
+  "CMakeFiles/sunchase_geo.dir/src/sunpos.cpp.o"
+  "CMakeFiles/sunchase_geo.dir/src/sunpos.cpp.o.d"
+  "libsunchase_geo.a"
+  "libsunchase_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sunchase_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

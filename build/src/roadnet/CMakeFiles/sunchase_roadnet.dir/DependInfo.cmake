@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/roadnet/src/citygen.cpp" "src/roadnet/CMakeFiles/sunchase_roadnet.dir/src/citygen.cpp.o" "gcc" "src/roadnet/CMakeFiles/sunchase_roadnet.dir/src/citygen.cpp.o.d"
+  "/root/repo/src/roadnet/src/directions.cpp" "src/roadnet/CMakeFiles/sunchase_roadnet.dir/src/directions.cpp.o" "gcc" "src/roadnet/CMakeFiles/sunchase_roadnet.dir/src/directions.cpp.o.d"
+  "/root/repo/src/roadnet/src/graph.cpp" "src/roadnet/CMakeFiles/sunchase_roadnet.dir/src/graph.cpp.o" "gcc" "src/roadnet/CMakeFiles/sunchase_roadnet.dir/src/graph.cpp.o.d"
+  "/root/repo/src/roadnet/src/io.cpp" "src/roadnet/CMakeFiles/sunchase_roadnet.dir/src/io.cpp.o" "gcc" "src/roadnet/CMakeFiles/sunchase_roadnet.dir/src/io.cpp.o.d"
+  "/root/repo/src/roadnet/src/path.cpp" "src/roadnet/CMakeFiles/sunchase_roadnet.dir/src/path.cpp.o" "gcc" "src/roadnet/CMakeFiles/sunchase_roadnet.dir/src/path.cpp.o.d"
+  "/root/repo/src/roadnet/src/traffic.cpp" "src/roadnet/CMakeFiles/sunchase_roadnet.dir/src/traffic.cpp.o" "gcc" "src/roadnet/CMakeFiles/sunchase_roadnet.dir/src/traffic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/sunchase_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sunchase_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

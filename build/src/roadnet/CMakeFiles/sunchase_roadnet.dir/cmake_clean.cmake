@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sunchase_roadnet.dir/src/citygen.cpp.o"
+  "CMakeFiles/sunchase_roadnet.dir/src/citygen.cpp.o.d"
+  "CMakeFiles/sunchase_roadnet.dir/src/directions.cpp.o"
+  "CMakeFiles/sunchase_roadnet.dir/src/directions.cpp.o.d"
+  "CMakeFiles/sunchase_roadnet.dir/src/graph.cpp.o"
+  "CMakeFiles/sunchase_roadnet.dir/src/graph.cpp.o.d"
+  "CMakeFiles/sunchase_roadnet.dir/src/io.cpp.o"
+  "CMakeFiles/sunchase_roadnet.dir/src/io.cpp.o.d"
+  "CMakeFiles/sunchase_roadnet.dir/src/path.cpp.o"
+  "CMakeFiles/sunchase_roadnet.dir/src/path.cpp.o.d"
+  "CMakeFiles/sunchase_roadnet.dir/src/traffic.cpp.o"
+  "CMakeFiles/sunchase_roadnet.dir/src/traffic.cpp.o.d"
+  "libsunchase_roadnet.a"
+  "libsunchase_roadnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sunchase_roadnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

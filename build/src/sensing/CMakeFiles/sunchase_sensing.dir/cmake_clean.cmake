@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sunchase_sensing.dir/src/drive.cpp.o"
+  "CMakeFiles/sunchase_sensing.dir/src/drive.cpp.o.d"
+  "CMakeFiles/sunchase_sensing.dir/src/sensors.cpp.o"
+  "CMakeFiles/sunchase_sensing.dir/src/sensors.cpp.o.d"
+  "CMakeFiles/sunchase_sensing.dir/src/validation.cpp.o"
+  "CMakeFiles/sunchase_sensing.dir/src/validation.cpp.o.d"
+  "libsunchase_sensing.a"
+  "libsunchase_sensing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sunchase_sensing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/shadow/src/caster.cpp" "src/shadow/CMakeFiles/sunchase_shadow.dir/src/caster.cpp.o" "gcc" "src/shadow/CMakeFiles/sunchase_shadow.dir/src/caster.cpp.o.d"
+  "/root/repo/src/shadow/src/scene.cpp" "src/shadow/CMakeFiles/sunchase_shadow.dir/src/scene.cpp.o" "gcc" "src/shadow/CMakeFiles/sunchase_shadow.dir/src/scene.cpp.o.d"
+  "/root/repo/src/shadow/src/scene_io.cpp" "src/shadow/CMakeFiles/sunchase_shadow.dir/src/scene_io.cpp.o" "gcc" "src/shadow/CMakeFiles/sunchase_shadow.dir/src/scene_io.cpp.o.d"
+  "/root/repo/src/shadow/src/scenegen.cpp" "src/shadow/CMakeFiles/sunchase_shadow.dir/src/scenegen.cpp.o" "gcc" "src/shadow/CMakeFiles/sunchase_shadow.dir/src/scenegen.cpp.o.d"
+  "/root/repo/src/shadow/src/shading.cpp" "src/shadow/CMakeFiles/sunchase_shadow.dir/src/shading.cpp.o" "gcc" "src/shadow/CMakeFiles/sunchase_shadow.dir/src/shading.cpp.o.d"
+  "/root/repo/src/shadow/src/vision.cpp" "src/shadow/CMakeFiles/sunchase_shadow.dir/src/vision.cpp.o" "gcc" "src/shadow/CMakeFiles/sunchase_shadow.dir/src/vision.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/roadnet/CMakeFiles/sunchase_roadnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/sunchase_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sunchase_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

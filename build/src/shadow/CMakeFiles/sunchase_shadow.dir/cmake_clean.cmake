@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sunchase_shadow.dir/src/caster.cpp.o"
+  "CMakeFiles/sunchase_shadow.dir/src/caster.cpp.o.d"
+  "CMakeFiles/sunchase_shadow.dir/src/scene.cpp.o"
+  "CMakeFiles/sunchase_shadow.dir/src/scene.cpp.o.d"
+  "CMakeFiles/sunchase_shadow.dir/src/scene_io.cpp.o"
+  "CMakeFiles/sunchase_shadow.dir/src/scene_io.cpp.o.d"
+  "CMakeFiles/sunchase_shadow.dir/src/scenegen.cpp.o"
+  "CMakeFiles/sunchase_shadow.dir/src/scenegen.cpp.o.d"
+  "CMakeFiles/sunchase_shadow.dir/src/shading.cpp.o"
+  "CMakeFiles/sunchase_shadow.dir/src/shading.cpp.o.d"
+  "CMakeFiles/sunchase_shadow.dir/src/vision.cpp.o"
+  "CMakeFiles/sunchase_shadow.dir/src/vision.cpp.o.d"
+  "libsunchase_shadow.a"
+  "libsunchase_shadow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sunchase_shadow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solar/src/dataset.cpp" "src/solar/CMakeFiles/sunchase_solar.dir/src/dataset.cpp.o" "gcc" "src/solar/CMakeFiles/sunchase_solar.dir/src/dataset.cpp.o.d"
+  "/root/repo/src/solar/src/input_map.cpp" "src/solar/CMakeFiles/sunchase_solar.dir/src/input_map.cpp.o" "gcc" "src/solar/CMakeFiles/sunchase_solar.dir/src/input_map.cpp.o.d"
+  "/root/repo/src/solar/src/irradiance.cpp" "src/solar/CMakeFiles/sunchase_solar.dir/src/irradiance.cpp.o" "gcc" "src/solar/CMakeFiles/sunchase_solar.dir/src/irradiance.cpp.o.d"
+  "/root/repo/src/solar/src/panel.cpp" "src/solar/CMakeFiles/sunchase_solar.dir/src/panel.cpp.o" "gcc" "src/solar/CMakeFiles/sunchase_solar.dir/src/panel.cpp.o.d"
+  "/root/repo/src/solar/src/parking.cpp" "src/solar/CMakeFiles/sunchase_solar.dir/src/parking.cpp.o" "gcc" "src/solar/CMakeFiles/sunchase_solar.dir/src/parking.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/shadow/CMakeFiles/sunchase_shadow.dir/DependInfo.cmake"
+  "/root/repo/build/src/roadnet/CMakeFiles/sunchase_roadnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/sunchase_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sunchase_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sunchase_solar.dir/src/dataset.cpp.o"
+  "CMakeFiles/sunchase_solar.dir/src/dataset.cpp.o.d"
+  "CMakeFiles/sunchase_solar.dir/src/input_map.cpp.o"
+  "CMakeFiles/sunchase_solar.dir/src/input_map.cpp.o.d"
+  "CMakeFiles/sunchase_solar.dir/src/irradiance.cpp.o"
+  "CMakeFiles/sunchase_solar.dir/src/irradiance.cpp.o.d"
+  "CMakeFiles/sunchase_solar.dir/src/panel.cpp.o"
+  "CMakeFiles/sunchase_solar.dir/src/panel.cpp.o.d"
+  "CMakeFiles/sunchase_solar.dir/src/parking.cpp.o"
+  "CMakeFiles/sunchase_solar.dir/src/parking.cpp.o.d"
+  "libsunchase_solar.a"
+  "libsunchase_solar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sunchase_solar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

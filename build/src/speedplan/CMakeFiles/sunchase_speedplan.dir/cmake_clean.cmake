@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sunchase_speedplan.dir/src/speedplan.cpp.o"
+  "CMakeFiles/sunchase_speedplan.dir/src/speedplan.cpp.o.d"
+  "libsunchase_speedplan.a"
+  "libsunchase_speedplan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sunchase_speedplan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

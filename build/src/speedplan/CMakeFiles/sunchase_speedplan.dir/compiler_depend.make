@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sunchase_speedplan.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_astar.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_astar.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_battery_planning.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_battery_planning.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_criteria.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_criteria.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_dijkstra.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_dijkstra.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_kmeans.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_kmeans.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_metrics.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_metrics.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_mlc.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_mlc.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_planner.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_planner.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_replanner.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_replanner.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_selection.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_selection.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

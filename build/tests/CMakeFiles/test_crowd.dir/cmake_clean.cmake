@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crowd.dir/crowd/test_crowd_map.cpp.o"
+  "CMakeFiles/test_crowd.dir/crowd/test_crowd_map.cpp.o.d"
+  "CMakeFiles/test_crowd.dir/crowd/test_fleet.cpp.o"
+  "CMakeFiles/test_crowd.dir/crowd/test_fleet.cpp.o.d"
+  "test_crowd"
+  "test_crowd.pdb"
+  "test_crowd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crowd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

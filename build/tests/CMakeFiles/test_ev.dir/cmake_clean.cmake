@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ev.dir/ev/test_battery.cpp.o"
+  "CMakeFiles/test_ev.dir/ev/test_battery.cpp.o.d"
+  "CMakeFiles/test_ev.dir/ev/test_consumption.cpp.o"
+  "CMakeFiles/test_ev.dir/ev/test_consumption.cpp.o.d"
+  "test_ev"
+  "test_ev.pdb"
+  "test_ev[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exporter.dir/exporter/test_geojson.cpp.o"
+  "CMakeFiles/test_exporter.dir/exporter/test_geojson.cpp.o.d"
+  "test_exporter"
+  "test_exporter.pdb"
+  "test_exporter[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exporter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

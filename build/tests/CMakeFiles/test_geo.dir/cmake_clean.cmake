@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_geo.dir/geo/test_hough.cpp.o"
+  "CMakeFiles/test_geo.dir/geo/test_hough.cpp.o.d"
+  "CMakeFiles/test_geo.dir/geo/test_latlon.cpp.o"
+  "CMakeFiles/test_geo.dir/geo/test_latlon.cpp.o.d"
+  "CMakeFiles/test_geo.dir/geo/test_polygon.cpp.o"
+  "CMakeFiles/test_geo.dir/geo/test_polygon.cpp.o.d"
+  "CMakeFiles/test_geo.dir/geo/test_raster.cpp.o"
+  "CMakeFiles/test_geo.dir/geo/test_raster.cpp.o.d"
+  "CMakeFiles/test_geo.dir/geo/test_sunpos.cpp.o"
+  "CMakeFiles/test_geo.dir/geo/test_sunpos.cpp.o.d"
+  "CMakeFiles/test_geo.dir/geo/test_vec2_segment.cpp.o"
+  "CMakeFiles/test_geo.dir/geo/test_vec2_segment.cpp.o.d"
+  "test_geo"
+  "test_geo.pdb"
+  "test_geo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

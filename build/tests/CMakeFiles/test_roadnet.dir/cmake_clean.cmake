@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_roadnet.dir/roadnet/test_citygen.cpp.o"
+  "CMakeFiles/test_roadnet.dir/roadnet/test_citygen.cpp.o.d"
+  "CMakeFiles/test_roadnet.dir/roadnet/test_directions.cpp.o"
+  "CMakeFiles/test_roadnet.dir/roadnet/test_directions.cpp.o.d"
+  "CMakeFiles/test_roadnet.dir/roadnet/test_graph.cpp.o"
+  "CMakeFiles/test_roadnet.dir/roadnet/test_graph.cpp.o.d"
+  "CMakeFiles/test_roadnet.dir/roadnet/test_io.cpp.o"
+  "CMakeFiles/test_roadnet.dir/roadnet/test_io.cpp.o.d"
+  "CMakeFiles/test_roadnet.dir/roadnet/test_path.cpp.o"
+  "CMakeFiles/test_roadnet.dir/roadnet/test_path.cpp.o.d"
+  "CMakeFiles/test_roadnet.dir/roadnet/test_traffic.cpp.o"
+  "CMakeFiles/test_roadnet.dir/roadnet/test_traffic.cpp.o.d"
+  "test_roadnet"
+  "test_roadnet.pdb"
+  "test_roadnet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_roadnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

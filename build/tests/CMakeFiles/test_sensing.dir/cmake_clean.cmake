@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sensing.dir/sensing/test_drive.cpp.o"
+  "CMakeFiles/test_sensing.dir/sensing/test_drive.cpp.o.d"
+  "CMakeFiles/test_sensing.dir/sensing/test_failure_injection.cpp.o"
+  "CMakeFiles/test_sensing.dir/sensing/test_failure_injection.cpp.o.d"
+  "CMakeFiles/test_sensing.dir/sensing/test_sensors.cpp.o"
+  "CMakeFiles/test_sensing.dir/sensing/test_sensors.cpp.o.d"
+  "CMakeFiles/test_sensing.dir/sensing/test_validation.cpp.o"
+  "CMakeFiles/test_sensing.dir/sensing/test_validation.cpp.o.d"
+  "test_sensing"
+  "test_sensing.pdb"
+  "test_sensing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sensing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

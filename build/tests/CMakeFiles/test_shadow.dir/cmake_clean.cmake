@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shadow.dir/shadow/test_caster.cpp.o"
+  "CMakeFiles/test_shadow.dir/shadow/test_caster.cpp.o.d"
+  "CMakeFiles/test_shadow.dir/shadow/test_scene.cpp.o"
+  "CMakeFiles/test_shadow.dir/shadow/test_scene.cpp.o.d"
+  "CMakeFiles/test_shadow.dir/shadow/test_scene_io.cpp.o"
+  "CMakeFiles/test_shadow.dir/shadow/test_scene_io.cpp.o.d"
+  "CMakeFiles/test_shadow.dir/shadow/test_scenegen.cpp.o"
+  "CMakeFiles/test_shadow.dir/shadow/test_scenegen.cpp.o.d"
+  "CMakeFiles/test_shadow.dir/shadow/test_shading.cpp.o"
+  "CMakeFiles/test_shadow.dir/shadow/test_shading.cpp.o.d"
+  "CMakeFiles/test_shadow.dir/shadow/test_vision.cpp.o"
+  "CMakeFiles/test_shadow.dir/shadow/test_vision.cpp.o.d"
+  "test_shadow"
+  "test_shadow.pdb"
+  "test_shadow[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shadow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_solar.dir/solar/test_dataset.cpp.o"
+  "CMakeFiles/test_solar.dir/solar/test_dataset.cpp.o.d"
+  "CMakeFiles/test_solar.dir/solar/test_input_map.cpp.o"
+  "CMakeFiles/test_solar.dir/solar/test_input_map.cpp.o.d"
+  "CMakeFiles/test_solar.dir/solar/test_irradiance.cpp.o"
+  "CMakeFiles/test_solar.dir/solar/test_irradiance.cpp.o.d"
+  "CMakeFiles/test_solar.dir/solar/test_panel.cpp.o"
+  "CMakeFiles/test_solar.dir/solar/test_panel.cpp.o.d"
+  "CMakeFiles/test_solar.dir/solar/test_parking.cpp.o"
+  "CMakeFiles/test_solar.dir/solar/test_parking.cpp.o.d"
+  "test_solar"
+  "test_solar.pdb"
+  "test_solar[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_solar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

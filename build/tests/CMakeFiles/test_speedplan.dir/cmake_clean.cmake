@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_speedplan.dir/speedplan/test_speedplan.cpp.o"
+  "CMakeFiles/test_speedplan.dir/speedplan/test_speedplan.cpp.o.d"
+  "test_speedplan"
+  "test_speedplan.pdb"
+  "test_speedplan[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_speedplan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_geo[1]_include.cmake")
+include("/root/repo/build/tests/test_roadnet[1]_include.cmake")
+include("/root/repo/build/tests/test_shadow[1]_include.cmake")
+include("/root/repo/build/tests/test_solar[1]_include.cmake")
+include("/root/repo/build/tests/test_ev[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_sensing[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_speedplan[1]_include.cmake")
+include("/root/repo/build/tests/test_crowd[1]_include.cmake")
+include("/root/repo/build/tests/test_exporter[1]_include.cmake")
