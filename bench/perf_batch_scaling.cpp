@@ -1,0 +1,100 @@
+// Batch-query throughput scaling: the paper-world graph, the four
+// Table R-I origin/destination pairs replicated across departure times,
+// fanned out by core::BatchPlanner over 1/2/4/8 workers. Reports
+// queries/sec and speedup vs the single-worker run and writes
+// BENCH_batch.json for CI trend tracking. This is the server-side
+// pre-computation workload of the SCORE deployment model: one process
+// answering a fleet's route queries per solar-map refresh.
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "paper_world.h"
+
+#include "sunchase/core/batch_planner.h"
+
+using namespace sunchase;
+
+namespace {
+
+std::vector<core::BatchQuery> make_queries(const bench::PaperWorld& world,
+                                           int replicas) {
+  // 4 OD pairs x 6 departures x replicas; departures span the paper's
+  // 8:00-18:30 window so queries hit different solar-map slots.
+  const std::vector<TimeOfDay> departures = {
+      TimeOfDay::hms(8, 30),  TimeOfDay::hms(10, 0), TimeOfDay::hms(12, 0),
+      TimeOfDay::hms(14, 30), TimeOfDay::hms(16, 0), TimeOfDay::hms(17, 30)};
+  std::vector<core::BatchQuery> queries;
+  for (int r = 0; r < replicas; ++r)
+    for (const auto& pair : world.routing_pairs())
+      for (const TimeOfDay dep : departures)
+        queries.push_back({pair.origin, pair.destination, dep});
+  return queries;
+}
+
+struct Sample {
+  std::size_t workers = 0;
+  double wall_seconds = 0.0;
+  double queries_per_second = 0.0;
+  double speedup = 1.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int replicas = argc > 1 ? std::atoi(argv[1]) : 2;
+  bench::banner("batch-query throughput scaling",
+                "SCORE deployment model: server-side fleet pre-computation");
+
+  const bench::PaperWorld world;
+  const auto map = world.map_at(Watts{200.0});
+  const auto queries = make_queries(world, replicas);
+  std::printf("paper world 12x12, %zu queries (4 OD pairs x 6 departures "
+              "x %d replicas)\n\n",
+              queries.size(), replicas);
+
+  std::vector<Sample> samples;
+  for (const std::size_t workers : {1u, 2u, 4u, 8u}) {
+    core::BatchPlannerOptions opt;
+    opt.workers = workers;
+    opt.mlc.max_time_factor = 1.5;
+    const core::BatchPlanner planner(map, world.lv(), opt);
+    const core::BatchResult result = planner.plan_all(queries);
+
+    Sample s;
+    s.workers = workers;
+    s.wall_seconds = result.stats.wall_seconds;
+    s.queries_per_second = result.stats.queries_per_second;
+    s.speedup = samples.empty()
+                    ? 1.0
+                    : s.queries_per_second / samples.front().queries_per_second;
+    samples.push_back(s);
+
+    std::printf("workers=%zu  wall=%7.3f s  throughput=%7.2f q/s  "
+                "speedup=%5.2fx  (ok=%zu fail=%zu, %zu labels)\n",
+                workers, s.wall_seconds, s.queries_per_second, s.speedup,
+                result.stats.succeeded, result.stats.failed,
+                result.stats.totals.labels_created);
+  }
+
+  const char* json_path = argc > 2 ? argv[2] : "BENCH_batch.json";
+  if (std::FILE* f = std::fopen(json_path, "w")) {
+    std::fprintf(f, "{\n  \"bench\": \"perf_batch_scaling\",\n");
+    std::fprintf(f, "  \"queries\": %zu,\n  \"samples\": [\n",
+                 queries.size());
+    for (std::size_t i = 0; i < samples.size(); ++i)
+      std::fprintf(f,
+                   "    {\"workers\": %zu, \"wall_seconds\": %.6f, "
+                   "\"queries_per_second\": %.3f, \"speedup\": %.3f}%s\n",
+                   samples[i].workers, samples[i].wall_seconds,
+                   samples[i].queries_per_second, samples[i].speedup,
+                   i + 1 < samples.size() ? "," : "");
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s\n", json_path);
+  } else {
+    std::fprintf(stderr, "error: cannot write %s\n", json_path);
+    return 1;
+  }
+  return 0;
+}

@@ -14,13 +14,22 @@
 //     --graph-out FILE         write the road graph (text format)
 //     --scene-out FILE         write the scene (text format)
 //
-// Example:
+//   sunchase_cli batch --queries FILE [--workers N] [world options]
+//     runs every query of FILE (one "FROM_R,FROM_C TO_R,TO_C HH:MM"
+//     per line, '#' comments) through the parallel BatchPlanner and
+//     prints one result row per query plus batch throughput.
+//
+// Examples:
 //   sunchase_cli --rows 12 --cols 12 --from 1,1 --to 9,10 --time 10:00
+//   sunchase_cli batch --queries fleet.txt --workers 4
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <vector>
 
+#include "sunchase/common/error.h"
+#include "sunchase/core/batch_planner.h"
 #include "sunchase/core/planner.h"
 #include "sunchase/exporter/geojson.h"
 #include "sunchase/roadnet/citygen.h"
@@ -47,6 +56,10 @@ struct CliOptions {
   std::string geojson_path;
   std::string graph_out;
   std::string scene_out;
+  // batch mode
+  bool batch = false;
+  std::string queries_path;
+  std::size_t workers = 0;  ///< 0: one per hardware thread
 };
 
 bool parse_pair(const char* text, int& a, int& b) {
@@ -59,16 +72,85 @@ int usage(const char* argv0) {
                "[--to R,C]\n"
                "          [--time HH:MM] [--ev lv|tesla] [--panel W]\n"
                "          [--time-budget F] [--geojson FILE] "
-               "[--graph-out FILE] [--scene-out FILE]\n",
-               argv0);
+               "[--graph-out FILE] [--scene-out FILE]\n"
+               "       %s batch --queries FILE [--workers N] "
+               "[world options as above]\n"
+               "         query file: one \"FROM_R,FROM_C TO_R,TO_C HH:MM\" "
+               "per line, '#' comments\n",
+               argv0, argv0);
   return 2;
+}
+
+/// Parses the batch query file against the city lattice. Throws IoError
+/// on unreadable files or malformed lines.
+std::vector<core::BatchQuery> read_queries(const std::string& path,
+                                           const roadnet::GridCity& city) {
+  std::ifstream in(path);
+  if (!in) throw IoError("batch: cannot open query file " + path);
+  std::vector<core::BatchQuery> queries;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    int fr, fc, tr, tc, hh, mm;
+    if (std::sscanf(line.c_str(), "%d,%d %d,%d %d:%d", &fr, &fc, &tr, &tc,
+                    &hh, &mm) != 6)
+      throw IoError("batch: malformed query at " + path + ":" +
+                    std::to_string(lineno) + ": " + line);
+    queries.push_back({city.node_at(fr, fc), city.node_at(tr, tc),
+                       TimeOfDay::hms(hh, mm)});
+  }
+  return queries;
+}
+
+int run_batch(const CliOptions& opt, const solar::SolarInputMap& map,
+              const ev::ConsumptionModel& vehicle,
+              const roadnet::GridCity& city) {
+  const auto queries = read_queries(opt.queries_path, city);
+  core::BatchPlannerOptions batch_options;
+  batch_options.workers = opt.workers;
+  batch_options.mlc.max_time_factor = opt.time_budget;
+  const core::BatchPlanner planner(map, vehicle, batch_options);
+  const core::BatchResult batch = planner.plan_all(queries);
+
+  std::printf("%-4s %-6s %-6s %-8s %8s %8s %8s\n", "#", "from", "to", "depart",
+              "routes", "TT (s)", "EC (Wh)");
+  for (std::size_t i = 0; i < batch.queries.size(); ++i) {
+    const auto& q = batch.queries[i];
+    if (!q.ok()) {
+      std::printf("%-4zu %-6u %-6u %-8s error: %s\n", i, queries[i].origin,
+                  queries[i].destination,
+                  queries[i].departure.to_string().c_str(), q.error.c_str());
+      continue;
+    }
+    const auto& best = q.result->routes.front();
+    std::printf("%-4zu %-6u %-6u %-8s %8zu %8.1f %8.2f\n", i,
+                queries[i].origin, queries[i].destination,
+                queries[i].departure.to_string().c_str(),
+                q.result->routes.size(), best.cost.travel_time.value(),
+                best.cost.energy_out.value());
+  }
+  std::printf("\n%zu queries (%zu ok, %zu failed) on %zu workers: "
+              "%.3f s wall, %.2f queries/sec\n",
+              batch.stats.query_count, batch.stats.succeeded,
+              batch.stats.failed, batch.stats.workers,
+              batch.stats.wall_seconds, batch.stats.queries_per_second);
+  return batch.stats.failed == 0 ? 0 : 3;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   CliOptions opt;
-  for (int i = 1; i < argc; ++i) {
+  int first = 1;
+  if (argc > 1 && std::strcmp(argv[1], "batch") == 0) {
+    opt.batch = true;
+    first = 2;
+  }
+  for (int i = first; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
       return (i + 1 < argc) ? argv[++i] : nullptr;
@@ -98,9 +180,14 @@ int main(int argc, char** argv) {
       opt.graph_out = v;
     else if (arg == "--scene-out" && (v = next()))
       opt.scene_out = v;
+    else if (arg == "--queries" && (v = next()))
+      opt.queries_path = v;
+    else if (arg == "--workers" && (v = next()))
+      opt.workers = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
     else
       return usage(argv[0]);
   }
+  if (opt.batch && opt.queries_path.empty()) return usage(argv[0]);
 
   try {
     roadnet::GridCityOptions city_options;
@@ -122,6 +209,9 @@ int main(int argc, char** argv) {
 
     const auto vehicle =
         opt.ev == "tesla" ? ev::make_tesla_model_s() : ev::make_lv_prototype();
+
+    if (opt.batch) return run_batch(opt, map, *vehicle, city);
+
     core::PlannerOptions planner_options;
     planner_options.mlc.max_time_factor = opt.time_budget;
     const core::SunChasePlanner planner(map, *vehicle, planner_options);

@@ -1,0 +1,75 @@
+// A small fixed-size worker pool: tasks are submitted as callables and
+// their results (or thrown exceptions) come back through std::future.
+// This is the concurrency primitive behind core::BatchPlanner and any
+// later parallel subsystem (sharded search, cache warming, async
+// serving); keep it dependency-free and boring.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "sunchase/common/error.h"
+
+namespace sunchase::common {
+
+/// Fixed worker count, FIFO task queue, exception-propagating futures.
+/// Tasks must not block on futures of tasks queued behind them (no
+/// work-stealing or queue reordering here); the destructor finishes
+/// every queued task before joining the workers.
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads. Throws InvalidArgument when zero.
+  explicit ThreadPool(std::size_t workers);
+
+  /// Finishes all queued tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `fn` and returns the future of its result. An exception
+  /// thrown by `fn` is captured and rethrown by future::get().
+  template <typename F>
+  [[nodiscard]] auto submit(F&& fn) -> std::future<std::invoke_result_t<F&>> {
+    using R = std::invoke_result_t<F&>;
+    std::packaged_task<R()> task(std::forward<F>(fn));
+    std::future<R> future = task.get_future();
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_)
+        throw InvalidArgument("ThreadPool::submit: pool is shutting down");
+      // packaged_task<R()> is move-only, which std::packaged_task (unlike
+      // std::function) accepts as a wrapped callable; invoking the outer
+      // task runs the inner one, which stores R or the exception.
+      tasks_.emplace_back(
+          [inner = std::move(task)]() mutable { inner(); });
+    }
+    ready_.notify_one();
+    return future;
+  }
+
+  [[nodiscard]] std::size_t worker_count() const noexcept {
+    return workers_.size();
+  }
+
+  /// `hardware_concurrency`, with a floor of 1 when it is unknown.
+  [[nodiscard]] static std::size_t default_worker_count() noexcept;
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::packaged_task<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable ready_;
+  bool stopping_ = false;
+};
+
+}  // namespace sunchase::common

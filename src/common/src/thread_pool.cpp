@@ -1,0 +1,42 @@
+#include "sunchase/common/thread_pool.h"
+
+#include <algorithm>
+
+namespace sunchase::common {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  if (workers == 0)
+    throw InvalidArgument("ThreadPool: worker count must be positive");
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+std::size_t ThreadPool::default_worker_count() noexcept {
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      ready_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stopping and drained
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();  // exceptions land in the task's future, never escape here
+  }
+}
+
+}  // namespace sunchase::common

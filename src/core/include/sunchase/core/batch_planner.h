@@ -1,0 +1,86 @@
+// Parallel batch-query planning: fan a vector of (origin, destination,
+// departure) requests across a worker pool running the multi-label
+// correcting search against shared immutable state (graph, solar input
+// map, consumption model). This is the server-side pre-computation
+// shape of the SCORE deployment model — one process answering many
+// route queries per solar-map refresh.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sunchase/core/mlc.h"
+
+namespace sunchase::core {
+
+/// One route request of a batch.
+struct BatchQuery {
+  roadnet::NodeId origin = roadnet::kInvalidNode;
+  roadnet::NodeId destination = roadnet::kInvalidNode;
+  TimeOfDay departure;
+};
+
+/// Outcome of one query: the full MlcResult on success, otherwise the
+/// message of the exception the search threw. One failed query never
+/// affects its neighbours.
+struct BatchQueryResult {
+  std::optional<MlcResult> result;
+  std::string error;
+
+  [[nodiscard]] bool ok() const noexcept { return result.has_value(); }
+};
+
+struct BatchPlannerOptions {
+  /// Worker threads; 0 means one per hardware thread.
+  std::size_t workers = 0;
+  MlcOptions mlc{};
+};
+
+/// Batch-level instrumentation: per-search stats summed over the
+/// successful queries, plus wall-clock throughput of the whole batch.
+struct BatchStats {
+  std::size_t query_count = 0;
+  std::size_t succeeded = 0;
+  std::size_t failed = 0;
+  MlcStats totals;            ///< summed over successful searches
+  std::size_t workers = 0;    ///< workers actually used
+  double wall_seconds = 0.0;  ///< submit-to-last-result wall clock
+  double queries_per_second = 0.0;
+};
+
+struct BatchResult {
+  std::vector<BatchQueryResult> queries;  ///< in input order
+  BatchStats stats;
+};
+
+/// Borrows the map and vehicle (keep them alive); every worker shares
+/// them read-only. The road graph's adjacency index is finalized before
+/// the fan-out so no worker mutates lazy state.
+class BatchPlanner {
+ public:
+  BatchPlanner(const solar::SolarInputMap& map,
+               const ev::ConsumptionModel& vehicle,
+               BatchPlannerOptions options = BatchPlannerOptions{});
+
+  /// Runs every query, in parallel, returning per-query results in
+  /// input order. Per-query errors (unreachable destination, label
+  /// budget, unknown node) are captured into the corresponding
+  /// BatchQueryResult; the batch itself only throws on setup problems
+  /// (e.g. invalid options).
+  [[nodiscard]] BatchResult plan_all(
+      const std::vector<BatchQuery>& queries) const;
+
+  [[nodiscard]] const BatchPlannerOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  const solar::SolarInputMap& map_;
+  const ev::ConsumptionModel& vehicle_;
+  BatchPlannerOptions options_;
+  MultiLabelCorrecting solver_;
+};
+
+}  // namespace sunchase::core

@@ -1,0 +1,85 @@
+#include "sunchase/core/batch_planner.h"
+
+#include <algorithm>
+#include <chrono>
+#include <future>
+#include <utility>
+
+#include "sunchase/common/thread_pool.h"
+
+namespace sunchase::core {
+
+namespace {
+
+void accumulate(MlcStats& into, const MlcStats& stats) {
+  into.labels_created += stats.labels_created;
+  into.labels_dominated += stats.labels_dominated;
+  into.queue_pops += stats.queue_pops;
+  into.pareto_size += stats.pareto_size;
+  into.shortest_travel_time += stats.shortest_travel_time;
+}
+
+}  // namespace
+
+BatchPlanner::BatchPlanner(const solar::SolarInputMap& map,
+                           const ev::ConsumptionModel& vehicle,
+                           BatchPlannerOptions options)
+    : map_(map),
+      vehicle_(vehicle),
+      options_(options),
+      solver_(map, vehicle, options.mlc) {}
+
+BatchResult BatchPlanner::plan_all(
+    const std::vector<BatchQuery>& queries) const {
+  BatchResult result;
+  result.queries.resize(queries.size());
+  result.stats.query_count = queries.size();
+  if (queries.empty()) return result;
+
+  // Freeze the lazy CSR adjacency before any worker touches it: the
+  // graph is the one piece of shared state with mutable internals.
+  map_.graph().finalize();
+
+  const std::size_t workers = std::min(
+      queries.size(), options_.workers > 0
+                          ? options_.workers
+                          : common::ThreadPool::default_worker_count());
+  result.stats.workers = workers;
+
+  const auto start = std::chrono::steady_clock::now();
+  {
+    common::ThreadPool pool(workers);
+    std::vector<std::future<MlcResult>> futures;
+    futures.reserve(queries.size());
+    for (const BatchQuery& query : queries)
+      futures.push_back(pool.submit([this, query] {
+        return solver_.search(query.origin, query.destination,
+                              query.departure);
+      }));
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+      try {
+        result.queries[i].result = futures[i].get();
+      } catch (const std::exception& e) {
+        result.queries[i].error = e.what();
+      }
+    }
+  }
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+
+  for (const BatchQueryResult& qr : result.queries) {
+    if (qr.ok()) {
+      ++result.stats.succeeded;
+      accumulate(result.stats.totals, qr.result->stats);
+    } else {
+      ++result.stats.failed;
+    }
+  }
+  result.stats.wall_seconds = elapsed.count();
+  if (result.stats.wall_seconds > 0.0)
+    result.stats.queries_per_second =
+        static_cast<double>(queries.size()) / result.stats.wall_seconds;
+  return result;
+}
+
+}  // namespace sunchase::core

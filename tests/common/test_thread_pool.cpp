@@ -1,0 +1,90 @@
+#include "sunchase/common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sunchase/common/error.h"
+
+namespace sunchase::common {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasksAndReturnsValues) {
+  ThreadPool pool(2);
+  auto a = pool.submit([] { return 6 * 7; });
+  auto b = pool.submit([] { return std::string("sun"); });
+  EXPECT_EQ(a.get(), 42);
+  EXPECT_EQ(b.get(), "sun");
+}
+
+TEST(ThreadPool, ZeroWorkersRejected) {
+  EXPECT_THROW(ThreadPool{0}, InvalidArgument);
+}
+
+TEST(ThreadPool, WorkerCountIsFixed) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.worker_count(), 3u);
+}
+
+TEST(ThreadPool, DefaultWorkerCountIsPositive) {
+  EXPECT_GE(ThreadPool::default_worker_count(), 1u);
+}
+
+TEST(ThreadPool, PropagatesExceptionsThroughFutures) {
+  ThreadPool pool(2);
+  auto ok = pool.submit([] { return 1; });
+  auto bad = pool.submit(
+      []() -> int { throw RoutingError("no route"); });
+  EXPECT_EQ(ok.get(), 1);
+  try {
+    (void)bad.get();
+    FAIL() << "expected RoutingError";
+  } catch (const RoutingError& e) {
+    EXPECT_STREQ(e.what(), "no route");
+  }
+}
+
+TEST(ThreadPool, ManyTasksAllComplete) {
+  ThreadPool pool(4);
+  constexpr int kTasks = 200;
+  std::vector<std::future<int>> futures;
+  futures.reserve(kTasks);
+  for (int i = 0; i < kTasks; ++i)
+    futures.push_back(pool.submit([i] { return i; }));
+  long long sum = 0;
+  for (auto& f : futures) sum += f.get();
+  EXPECT_EQ(sum, static_cast<long long>(kTasks) * (kTasks - 1) / 2);
+}
+
+TEST(ThreadPool, TasksRunOnWorkerThreads) {
+  ThreadPool pool(2);
+  auto id = pool.submit([] { return std::this_thread::get_id(); }).get();
+  EXPECT_NE(id, std::this_thread::get_id());
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks) {
+  std::atomic<int> completed{0};
+  {
+    ThreadPool pool(1);
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 50; ++i)
+      futures.push_back(pool.submit([&completed] { ++completed; }));
+    // Futures intentionally not waited on: the destructor must finish
+    // every queued task before joining.
+  }
+  EXPECT_EQ(completed.load(), 50);
+}
+
+TEST(ThreadPool, MoveOnlyResultsSupported) {
+  ThreadPool pool(1);
+  auto f = pool.submit([] { return std::make_unique<int>(9); });
+  EXPECT_EQ(*f.get(), 9);
+}
+
+}  // namespace
+}  // namespace sunchase::common

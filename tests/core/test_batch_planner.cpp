@@ -1,0 +1,169 @@
+#include "sunchase/core/batch_planner.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core_fixture.h"
+#include "sunchase/common/error.h"
+
+namespace sunchase::core {
+namespace {
+
+std::vector<BatchQuery> grid_queries(const roadnet::GridCity& city) {
+  return {
+      {city.node_at(0, 0), city.node_at(7, 7), TimeOfDay::hms(9, 0)},
+      {city.node_at(1, 2), city.node_at(8, 5), TimeOfDay::hms(10, 0)},
+      {city.node_at(9, 9), city.node_at(0, 0), TimeOfDay::hms(11, 30)},
+      {city.node_at(3, 3), city.node_at(3, 3), TimeOfDay::hms(12, 0)},
+      {city.node_at(5, 1), city.node_at(2, 8), TimeOfDay::hms(14, 15)},
+      {city.node_at(0, 9), city.node_at(9, 0), TimeOfDay::hms(16, 0)},
+  };
+}
+
+/// Bit-identical equality — no epsilon. A parallel batch must replay
+/// exactly the arithmetic of the sequential search.
+void expect_identical(const MlcResult& batch, const MlcResult& sequential) {
+  ASSERT_EQ(batch.routes.size(), sequential.routes.size());
+  for (std::size_t r = 0; r < batch.routes.size(); ++r) {
+    EXPECT_EQ(batch.routes[r].cost, sequential.routes[r].cost);
+    EXPECT_EQ(batch.routes[r].path.edges, sequential.routes[r].path.edges);
+  }
+  EXPECT_EQ(batch.stats.labels_created, sequential.stats.labels_created);
+  EXPECT_EQ(batch.stats.labels_dominated, sequential.stats.labels_dominated);
+  EXPECT_EQ(batch.stats.queue_pops, sequential.stats.queue_pops);
+  EXPECT_EQ(batch.stats.pareto_size, sequential.stats.pareto_size);
+  EXPECT_EQ(batch.stats.shortest_travel_time.value(),
+            sequential.stats.shortest_travel_time.value());
+}
+
+TEST(BatchPlanner, MatchesSequentialSearchBitForBit) {
+  const roadnet::GridCity city{roadnet::GridCityOptions{}};
+  test::RoutingEnv env(city.graph());
+  BatchPlannerOptions opt;
+  opt.workers = 4;
+  const BatchPlanner batch(env.map, *env.lv, opt);
+  const MultiLabelCorrecting sequential(env.map, *env.lv, opt.mlc);
+
+  const auto queries = grid_queries(city);
+  const BatchResult result = batch.plan_all(queries);
+
+  ASSERT_EQ(result.queries.size(), queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_TRUE(result.queries[i].ok()) << result.queries[i].error;
+    expect_identical(*result.queries[i].result,
+                     sequential.search(queries[i].origin,
+                                       queries[i].destination,
+                                       queries[i].departure));
+  }
+}
+
+TEST(BatchPlanner, ResultsComeBackInInputOrder) {
+  const roadnet::GridCity city{roadnet::GridCityOptions{}};
+  test::RoutingEnv env(city.graph());
+  BatchPlannerOptions opt;
+  opt.workers = 3;
+  const BatchPlanner batch(env.map, *env.lv, opt);
+  const MultiLabelCorrecting sequential(env.map, *env.lv, opt.mlc);
+
+  const auto queries = grid_queries(city);
+  const BatchResult result = batch.plan_all(queries);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_TRUE(result.queries[i].ok());
+    // The lexicographically-first travel time identifies the query.
+    EXPECT_EQ(result.queries[i]
+                  .result->routes.front()
+                  .cost.travel_time.value(),
+              sequential
+                  .search(queries[i].origin, queries[i].destination,
+                          queries[i].departure)
+                  .routes.front()
+                  .cost.travel_time.value());
+  }
+}
+
+TEST(BatchPlanner, UnreachableQueryFailsAloneWithoutPoisoningTheBatch) {
+  // Island node 4: reachable by nobody.
+  test::SquareGraph sq;
+  const roadnet::NodeId island = sq.graph.add_node({45.55, -73.55});
+  test::RoutingEnv env(sq.graph);
+  BatchPlannerOptions opt;
+  opt.workers = 2;
+  const BatchPlanner batch(env.map, *env.lv, opt);
+
+  const std::vector<BatchQuery> queries = {
+      {0, 3, TimeOfDay::hms(10, 0)},
+      {0, island, TimeOfDay::hms(10, 0)},  // unreachable -> RoutingError
+      {1, 3, TimeOfDay::hms(10, 0)},
+  };
+  const BatchResult result = batch.plan_all(queries);
+
+  ASSERT_EQ(result.queries.size(), 3u);
+  EXPECT_TRUE(result.queries[0].ok());
+  EXPECT_FALSE(result.queries[1].ok());
+  EXPECT_NE(result.queries[1].error.find("unreachable"), std::string::npos);
+  EXPECT_TRUE(result.queries[2].ok());
+  EXPECT_EQ(result.stats.succeeded, 2u);
+  EXPECT_EQ(result.stats.failed, 1u);
+}
+
+TEST(BatchPlanner, EmptyBatchIsANoOp) {
+  test::SquareGraph sq;
+  test::RoutingEnv env(sq.graph);
+  const BatchPlanner batch(env.map, *env.lv);
+  const BatchResult result = batch.plan_all({});
+  EXPECT_TRUE(result.queries.empty());
+  EXPECT_EQ(result.stats.query_count, 0u);
+  EXPECT_EQ(result.stats.queries_per_second, 0.0);
+}
+
+TEST(BatchPlanner, MoreWorkersThanQueriesIsClamped) {
+  test::SquareGraph sq;
+  test::RoutingEnv env(sq.graph);
+  BatchPlannerOptions opt;
+  opt.workers = 16;
+  const BatchPlanner batch(env.map, *env.lv, opt);
+  const BatchResult result =
+      batch.plan_all({{0, 3, TimeOfDay::hms(10, 0)}});
+  ASSERT_EQ(result.queries.size(), 1u);
+  EXPECT_TRUE(result.queries[0].ok());
+  EXPECT_EQ(result.stats.workers, 1u);
+}
+
+TEST(BatchPlanner, StatsAggregateOverSuccessfulQueries) {
+  const roadnet::GridCity city{roadnet::GridCityOptions{}};
+  test::RoutingEnv env(city.graph());
+  BatchPlannerOptions opt;
+  opt.workers = 2;
+  const BatchPlanner batch(env.map, *env.lv, opt);
+  const MultiLabelCorrecting sequential(env.map, *env.lv, opt.mlc);
+
+  const auto queries = grid_queries(city);
+  const BatchResult result = batch.plan_all(queries);
+
+  std::size_t labels = 0, pareto = 0;
+  for (const auto& q : queries) {
+    const auto single = sequential.search(q.origin, q.destination,
+                                          q.departure);
+    labels += single.stats.labels_created;
+    pareto += single.stats.pareto_size;
+  }
+  EXPECT_EQ(result.stats.totals.labels_created, labels);
+  EXPECT_EQ(result.stats.totals.pareto_size, pareto);
+  EXPECT_EQ(result.stats.query_count, queries.size());
+  EXPECT_EQ(result.stats.succeeded, queries.size());
+  EXPECT_GT(result.stats.wall_seconds, 0.0);
+  EXPECT_GT(result.stats.queries_per_second, 0.0);
+}
+
+TEST(BatchPlanner, InvalidMlcOptionsRejectedAtConstruction) {
+  test::SquareGraph sq;
+  test::RoutingEnv env(sq.graph);
+  BatchPlannerOptions bad;
+  bad.mlc.max_time_factor = -1.0;
+  EXPECT_THROW(BatchPlanner(env.map, *env.lv, bad), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace sunchase::core

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <string>
 
 #include "core_fixture.h"
 #include "sunchase/common/error.h"
@@ -198,6 +199,86 @@ TEST(Mlc, StatsArePopulated) {
   EXPECT_GT(result.stats.queue_pops, 0u);
   EXPECT_EQ(result.stats.pareto_size, result.routes.size());
   EXPECT_GT(result.stats.shortest_travel_time.value(), 0.0);
+}
+
+TEST(Mlc, MaxLabelsExhaustionThrowsRoutingErrorNamingTheBudget) {
+  const roadnet::GridCity city{roadnet::GridCityOptions{}};
+  test::RoutingEnv env(city.graph());
+  MlcOptions opt;
+  opt.max_labels = 32;
+  const MultiLabelCorrecting solver(env.map, *env.lv, opt);
+  try {
+    (void)solver.search(city.node_at(0, 0), city.node_at(9, 9),
+                        TimeOfDay::hms(10, 0));
+    FAIL() << "expected RoutingError";
+  } catch (const RoutingError& e) {
+    EXPECT_NE(std::string(e.what()).find("label budget"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("32"), std::string::npos);
+  }
+}
+
+TEST(Mlc, TimeIndependentPricesEveryEdgeAtTheDepartureInstant) {
+  // With time_dependent = false, each returned route's cost must equal
+  // the sum of its edge criteria all evaluated at the departure time —
+  // exactly, since the search adds the same doubles.
+  const roadnet::GridCity city{roadnet::GridCityOptions{}};
+  test::RoutingEnv env(city.graph());
+  MlcOptions opt;
+  opt.max_time_factor = 1.3;
+  opt.time_dependent = false;
+  const MultiLabelCorrecting solver(env.map, *env.lv, opt);
+  const TimeOfDay dep = TimeOfDay::hms(9, 10);
+  const MlcResult result = solver.search(city.node_at(1, 1),
+                                         city.node_at(6, 7), dep);
+  ASSERT_FALSE(result.routes.empty());
+  for (const auto& route : result.routes) {
+    Criteria static_cost;
+    for (const roadnet::EdgeId e : route.path.edges)
+      static_cost += edge_criteria(env.map, *env.lv, e, dep);
+    EXPECT_EQ(route.cost, static_cost);
+  }
+}
+
+TEST(Mlc, TimeIndependentSearchIgnoresMidRouteSlotBoundaries) {
+  // A static search departing just before a 15-minute slot boundary and
+  // one departing within the same slot but later must agree with the
+  // static pricing of their own departure instant; the time-dependent
+  // search from the same origin can differ because it re-prices edges
+  // mid-route. This pins down the semantic difference of the flag.
+  const roadnet::GridCity city{roadnet::GridCityOptions{}};
+  test::RoutingEnv env(city.graph());
+  MlcOptions static_opt;
+  static_opt.max_time_factor = 1.3;
+  static_opt.time_dependent = false;
+  MlcOptions dynamic_opt = static_opt;
+  dynamic_opt.time_dependent = true;
+  const MultiLabelCorrecting static_solver(env.map, *env.lv, static_opt);
+  const MultiLabelCorrecting dynamic_solver(env.map, *env.lv, dynamic_opt);
+  const roadnet::NodeId o = city.node_at(0, 0);
+  const roadnet::NodeId d = city.node_at(9, 9);
+  // 09:14 departure: a multi-minute trip crosses into the 09:15 slot.
+  const TimeOfDay dep = TimeOfDay::hms(9, 14);
+  const MlcResult st = static_solver.search(o, d, dep);
+  const MlcResult dy = dynamic_solver.search(o, d, dep);
+  ASSERT_FALSE(st.routes.empty());
+  ASSERT_FALSE(dy.routes.empty());
+  // Static costs re-derived at the departure instant match exactly...
+  for (const auto& route : st.routes) {
+    Criteria at_departure;
+    for (const roadnet::EdgeId e : route.path.edges)
+      at_departure += edge_criteria(env.map, *env.lv, e, dep);
+    EXPECT_EQ(route.cost, at_departure);
+  }
+  // ...while the time-dependent search sees the slot change mid-route:
+  // re-pricing its best route statically gives a different vector.
+  bool any_differs = false;
+  for (const auto& route : dy.routes) {
+    Criteria at_departure;
+    for (const roadnet::EdgeId e : route.path.edges)
+      at_departure += edge_criteria(env.map, *env.lv, e, dep);
+    if (!equivalent(route.cost, at_departure)) any_differs = true;
+  }
+  EXPECT_TRUE(any_differs);
 }
 
 TEST(Mlc, TimeDependentCostsChangeWithDeparture) {
