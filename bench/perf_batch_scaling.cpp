@@ -7,11 +7,13 @@
 // answering a fleet's route queries per solar-map refresh.
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "paper_world.h"
 
 #include "sunchase/core/batch_planner.h"
+#include "sunchase/obs/metrics.h"
 
 using namespace sunchase;
 
@@ -71,10 +73,13 @@ int main(int argc, char** argv) {
     samples.push_back(s);
 
     std::printf("workers=%zu  wall=%7.3f s  throughput=%7.2f q/s  "
-                "speedup=%5.2fx  (ok=%zu fail=%zu, %zu labels)\n",
+                "speedup=%5.2fx  (ok=%zu fail=%zu, %zu labels, "
+                "p50=%.1f ms p95=%.1f ms)\n",
                 workers, s.wall_seconds, s.queries_per_second, s.speedup,
                 result.stats.succeeded, result.stats.failed,
-                result.stats.totals.labels_created);
+                result.stats.totals.labels_created,
+                result.stats.latency_p50_seconds * 1e3,
+                result.stats.latency_p95_seconds * 1e3);
   }
 
   const char* json_path = argc > 2 ? argv[2] : "BENCH_batch.json";
@@ -89,7 +94,11 @@ int main(int argc, char** argv) {
                    samples[i].workers, samples[i].wall_seconds,
                    samples[i].queries_per_second, samples[i].speedup,
                    i + 1 < samples.size() ? "," : "");
-    std::fprintf(f, "  ]\n}\n");
+    // Registry snapshot over all four sweeps: search-effort counters
+    // and latency histograms for CI trend tracking.
+    const std::string metrics =
+        sunchase::obs::Registry::global().snapshot().to_json(2);
+    std::fprintf(f, "  ],\n  \"metrics\":\n%s\n}\n", metrics.c_str());
     std::fclose(f);
     std::printf("\nwrote %s\n", json_path);
   } else {

@@ -13,15 +13,20 @@
 //     --geojson FILE           write the plan as GeoJSON
 //     --graph-out FILE         write the road graph (text format)
 //     --scene-out FILE         write the scene (text format)
+//     --metrics-out FILE       write a JSON metrics run report
+//     --trace-out FILE         write a Chrome trace_event JSON
+//     --log-level LEVEL        debug|info|warning|error|off
 //
 //   sunchase_cli batch --queries FILE [--workers N] [world options]
 //     runs every query of FILE (one "FROM_R,FROM_C TO_R,TO_C HH:MM"
-//     per line, '#' comments) through the parallel BatchPlanner and
-//     prints one result row per query plus batch throughput.
+//     per line, '#' comments) through the parallel BatchPlanner
+//     (search + route selection) and prints one result row per query
+//     plus batch throughput and per-query latency percentiles.
 //
 // Examples:
 //   sunchase_cli --rows 12 --cols 12 --from 1,1 --to 9,10 --time 10:00
 //   sunchase_cli batch --queries fleet.txt --workers 4
+//       --metrics-out m.json --trace-out t.json
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -29,7 +34,10 @@
 #include <vector>
 
 #include "sunchase/common/error.h"
+#include "sunchase/common/logging.h"
 #include "sunchase/core/batch_planner.h"
+#include "sunchase/obs/metrics.h"
+#include "sunchase/obs/trace.h"
 #include "sunchase/core/planner.h"
 #include "sunchase/exporter/geojson.h"
 #include "sunchase/roadnet/citygen.h"
@@ -56,6 +64,10 @@ struct CliOptions {
   std::string geojson_path;
   std::string graph_out;
   std::string scene_out;
+  // observability
+  std::string metrics_out;
+  std::string trace_out;
+  std::string log_level;
   // batch mode
   bool batch = false;
   std::string queries_path;
@@ -76,7 +88,10 @@ int usage(const char* argv0) {
                "       %s batch --queries FILE [--workers N] "
                "[world options as above]\n"
                "         query file: one \"FROM_R,FROM_C TO_R,TO_C HH:MM\" "
-               "per line, '#' comments\n",
+               "per line, '#' comments\n"
+               "       observability (both modes): [--metrics-out FILE] "
+               "[--trace-out FILE]\n"
+               "         [--log-level debug|info|warning|error|off]\n",
                argv0, argv0);
   return 2;
 }
@@ -113,11 +128,14 @@ int run_batch(const CliOptions& opt, const solar::SolarInputMap& map,
   core::BatchPlannerOptions batch_options;
   batch_options.workers = opt.workers;
   batch_options.mlc.max_time_factor = opt.time_budget;
+  // Run the full pipeline (search + clustering + selection) per query:
+  // the candidate list is what a route server would hand the fleet.
+  batch_options.run_selection = true;
   const core::BatchPlanner planner(map, vehicle, batch_options);
   const core::BatchResult batch = planner.plan_all(queries);
 
-  std::printf("%-4s %-6s %-6s %-8s %8s %8s %8s\n", "#", "from", "to", "depart",
-              "routes", "TT (s)", "EC (Wh)");
+  std::printf("%-4s %-6s %-6s %-8s %8s %6s %8s %8s\n", "#", "from", "to",
+              "depart", "routes", "cands", "TT (s)", "EC (Wh)");
   for (std::size_t i = 0; i < batch.queries.size(); ++i) {
     const auto& q = batch.queries[i];
     if (!q.ok()) {
@@ -127,18 +145,43 @@ int run_batch(const CliOptions& opt, const solar::SolarInputMap& map,
       continue;
     }
     const auto& best = q.result->routes.front();
-    std::printf("%-4zu %-6u %-6u %-8s %8zu %8.1f %8.2f\n", i,
+    std::printf("%-4zu %-6u %-6u %-8s %8zu %6zu %8.1f %8.2f\n", i,
                 queries[i].origin, queries[i].destination,
                 queries[i].departure.to_string().c_str(),
-                q.result->routes.size(), best.cost.travel_time.value(),
-                best.cost.energy_out.value());
+                q.result->routes.size(),
+                q.selection ? q.selection->candidates.size() : 0,
+                best.cost.travel_time.value(), best.cost.energy_out.value());
   }
   std::printf("\n%zu queries (%zu ok, %zu failed) on %zu workers: "
               "%.3f s wall, %.2f queries/sec\n",
               batch.stats.query_count, batch.stats.succeeded,
               batch.stats.failed, batch.stats.workers,
               batch.stats.wall_seconds, batch.stats.queries_per_second);
+  std::printf("per-query latency: p50 %.1f ms, p95 %.1f ms, max %.1f ms\n",
+              batch.stats.latency_p50_seconds * 1e3,
+              batch.stats.latency_p95_seconds * 1e3,
+              batch.stats.latency_max_seconds * 1e3);
   return batch.stats.failed == 0 ? 0 : 3;
+}
+
+/// --metrics-out: a structured run report — the run's identity plus a
+/// full registry snapshot.
+void write_metrics_report(const std::string& path, const char* mode) {
+  std::ofstream out(path);
+  if (!out) throw IoError("cannot write metrics report " + path);
+  out << "{\n  \"tool\": \"sunchase_cli\",\n  \"mode\": \"" << mode
+      << "\",\n  \"metrics\":\n"
+      << obs::Registry::global().snapshot().to_json(2) << "\n}\n";
+  std::printf("wrote %s\n", path.c_str());
+}
+
+void write_trace(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw IoError("cannot write trace " + path);
+  out << obs::Tracer::global().to_chrome_json();
+  std::printf("wrote %s (%zu spans; open in chrome://tracing or "
+              "https://ui.perfetto.dev)\n",
+              path.c_str(), obs::Tracer::global().span_count());
 }
 
 }  // namespace
@@ -180,6 +223,12 @@ int main(int argc, char** argv) {
       opt.graph_out = v;
     else if (arg == "--scene-out" && (v = next()))
       opt.scene_out = v;
+    else if (arg == "--metrics-out" && (v = next()))
+      opt.metrics_out = v;
+    else if (arg == "--trace-out" && (v = next()))
+      opt.trace_out = v;
+    else if (arg == "--log-level" && (v = next()))
+      opt.log_level = v;
     else if (arg == "--queries" && (v = next()))
       opt.queries_path = v;
     else if (arg == "--workers" && (v = next()))
@@ -190,6 +239,10 @@ int main(int argc, char** argv) {
   if (opt.batch && opt.queries_path.empty()) return usage(argv[0]);
 
   try {
+    if (!opt.log_level.empty())
+      set_log_level(parse_log_level(opt.log_level));
+    if (!opt.trace_out.empty()) obs::Tracer::global().set_enabled(true);
+
     roadnet::GridCityOptions city_options;
     city_options.rows = opt.rows;
     city_options.cols = opt.cols;
@@ -210,7 +263,13 @@ int main(int argc, char** argv) {
     const auto vehicle =
         opt.ev == "tesla" ? ev::make_tesla_model_s() : ev::make_lv_prototype();
 
-    if (opt.batch) return run_batch(opt, map, *vehicle, city);
+    if (opt.batch) {
+      const int rc = run_batch(opt, map, *vehicle, city);
+      if (!opt.metrics_out.empty())
+        write_metrics_report(opt.metrics_out, "batch");
+      if (!opt.trace_out.empty()) write_trace(opt.trace_out);
+      return rc;
+    }
 
     core::PlannerOptions planner_options;
     planner_options.mlc.max_time_factor = opt.time_budget;
@@ -249,6 +308,8 @@ int main(int argc, char** argv) {
       shadow::write_scene_file(opt.scene_out, scene);
       std::printf("wrote %s\n", opt.scene_out.c_str());
     }
+    if (!opt.metrics_out.empty()) write_metrics_report(opt.metrics_out, "plan");
+    if (!opt.trace_out.empty()) write_trace(opt.trace_out);
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -14,6 +14,17 @@ enum class LogLevel { Debug = 0, Info = 1, Warning = 2, Error = 3, Off = 4 };
 void set_log_level(LogLevel level) noexcept;
 LogLevel log_level() noexcept;
 
+/// True when a message at `level` would pass the filter. The macro
+/// checks this before constructing the LogLine, so a disabled level
+/// never formats its message (one relaxed atomic load and done).
+[[nodiscard]] inline bool log_enabled(LogLevel level) noexcept {
+  return level >= log_level();
+}
+
+/// Parses "debug" / "info" / "warning" (or "warn") / "error" / "off";
+/// throws InvalidArgument on anything else.
+LogLevel parse_log_level(const std::string& name);
+
 /// Emit one line to stderr as "[LEVEL] message" if `level` passes the filter.
 void log_message(LogLevel level, const std::string& message);
 
@@ -36,8 +47,22 @@ class LogLine {
   LogLevel level_;
   std::ostringstream stream_;
 };
+
+/// Swallows a streamed LogLine so the ternary below is void on both
+/// arms. operator& binds looser than operator<<, so the whole chain
+/// runs first (the glog trick).
+struct LogVoidify {
+  void operator&(const LogLine&) const noexcept {}
+};
 }  // namespace detail
 
 }  // namespace sunchase
 
-#define SUNCHASE_LOG(level) ::sunchase::detail::LogLine(::sunchase::LogLevel::level)
+// Short-circuits on a filtered-out level before the LogLine (and its
+// ostringstream) exists: `SUNCHASE_LOG(Debug) << expensive()` evaluates
+// nothing at all unless the debug level is enabled.
+#define SUNCHASE_LOG(level)                                  \
+  !::sunchase::log_enabled(::sunchase::LogLevel::level)      \
+      ? (void)0                                              \
+      : ::sunchase::detail::LogVoidify() &                   \
+            ::sunchase::detail::LogLine(::sunchase::LogLevel::level)

@@ -4,6 +4,8 @@
 #include <iostream>
 #include <mutex>
 
+#include "sunchase/common/error.h"
+
 namespace sunchase {
 
 namespace {
@@ -29,6 +31,16 @@ const char* level_name(LogLevel level) noexcept {
 
 void set_log_level(LogLevel level) noexcept { g_level.store(level); }
 LogLevel log_level() noexcept { return g_level.load(); }
+
+LogLevel parse_log_level(const std::string& name) {
+  if (name == "debug") return LogLevel::Debug;
+  if (name == "info") return LogLevel::Info;
+  if (name == "warning" || name == "warn") return LogLevel::Warning;
+  if (name == "error") return LogLevel::Error;
+  if (name == "off") return LogLevel::Off;
+  throw InvalidArgument("parse_log_level: unknown level '" + name +
+                        "' (expected debug|info|warning|error|off)");
+}
 
 void log_message(LogLevel level, const std::string& message) {
   if (level < g_level.load()) return;

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "sunchase/core/mlc.h"
+#include "sunchase/core/selection.h"
 
 namespace sunchase::core {
 
@@ -27,6 +28,9 @@ struct BatchQuery {
 /// affects its neighbours.
 struct BatchQueryResult {
   std::optional<MlcResult> result;
+  /// The selection pipeline's candidates, when the batch ran with
+  /// run_selection (what a route server would actually return).
+  std::optional<SelectionResult> selection;
   std::string error;
 
   [[nodiscard]] bool ok() const noexcept { return result.has_value(); }
@@ -36,6 +40,10 @@ struct BatchPlannerOptions {
   /// Worker threads; 0 means one per hardware thread.
   std::size_t workers = 0;
   MlcOptions mlc{};
+  /// Also run clustering + representative-route selection per query
+  /// (inside the worker), filling BatchQueryResult::selection.
+  bool run_selection = false;
+  SelectionOptions selection{};
 };
 
 /// Batch-level instrumentation: per-search stats summed over the
@@ -48,6 +56,11 @@ struct BatchStats {
   std::size_t workers = 0;    ///< workers actually used
   double wall_seconds = 0.0;  ///< submit-to-last-result wall clock
   double queries_per_second = 0.0;
+  /// Per-query in-worker latency distribution over successful queries
+  /// (from the batch's latency histogram; all zero when none succeed).
+  double latency_p50_seconds = 0.0;
+  double latency_p95_seconds = 0.0;
+  double latency_max_seconds = 0.0;
 };
 
 struct BatchResult {

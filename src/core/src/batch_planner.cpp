@@ -5,11 +5,20 @@
 #include <future>
 #include <utility>
 
+#include "sunchase/common/logging.h"
 #include "sunchase/common/thread_pool.h"
+#include "sunchase/obs/metrics.h"
+#include "sunchase/obs/trace.h"
 
 namespace sunchase::core {
 
 namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_between(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
 
 void accumulate(MlcStats& into, const MlcStats& stats) {
   into.labels_created += stats.labels_created;
@@ -18,6 +27,31 @@ void accumulate(MlcStats& into, const MlcStats& stats) {
   into.pareto_size += stats.pareto_size;
   into.shortest_travel_time += stats.shortest_travel_time;
 }
+
+/// Registry handles for the batch-level metrics, resolved once.
+struct BatchMetrics {
+  obs::Histogram& queue_wait;  ///< submit-to-worker-start, per task
+  obs::Histogram& run_time;    ///< in-worker per-query time
+  obs::Gauge& throughput;      ///< last batch's queries/second
+  obs::Counter& queries_ok;
+  obs::Counter& queries_failed;
+
+  static const BatchMetrics& get() {
+    static BatchMetrics metrics{
+        obs::Registry::global().histogram("batch.queue_wait_seconds"),
+        obs::Registry::global().histogram("batch.run_seconds"),
+        obs::Registry::global().gauge("batch.throughput_qps"),
+        obs::Registry::global().counter("batch.queries_ok"),
+        obs::Registry::global().counter("batch.queries_failed")};
+    return metrics;
+  }
+};
+
+/// What one worker task hands back through its future.
+struct QueryOutcome {
+  MlcResult result;
+  std::optional<SelectionResult> selection;
+};
 
 }  // namespace
 
@@ -46,26 +80,52 @@ BatchResult BatchPlanner::plan_all(
                           : common::ThreadPool::default_worker_count());
   result.stats.workers = workers;
 
-  const auto start = std::chrono::steady_clock::now();
+  const BatchMetrics& metrics = BatchMetrics::get();
+  // Batch-local latency histogram (same class as the registry's): the
+  // per-batch p50/p95/max must not mix with earlier batches.
+  obs::Histogram latency(obs::latency_bounds());
+
+  const auto start = Clock::now();
   {
     common::ThreadPool pool(workers);
-    std::vector<std::future<MlcResult>> futures;
+    std::vector<std::future<QueryOutcome>> futures;
     futures.reserve(queries.size());
-    for (const BatchQuery& query : queries)
-      futures.push_back(pool.submit([this, query] {
-        return solver_.search(query.origin, query.destination,
-                              query.departure);
+    for (const BatchQuery& query : queries) {
+      const auto submitted = Clock::now();
+      futures.push_back(pool.submit([this, query, submitted, &metrics,
+                                     &latency] {
+        const auto begun = Clock::now();
+        metrics.queue_wait.observe(seconds_between(submitted, begun));
+        const obs::SpanTimer span("batch.query");
+        QueryOutcome outcome;
+        outcome.result = solver_.search(query.origin, query.destination,
+                                        query.departure);
+        if (options_.run_selection)
+          outcome.selection = select_representative_routes(
+              outcome.result.routes, map_, vehicle_, query.departure,
+              options_.selection);
+        const double run_seconds = seconds_between(begun, Clock::now());
+        metrics.run_time.observe(run_seconds);
+        latency.observe(run_seconds);
+        return outcome;
       }));
+    }
     for (std::size_t i = 0; i < futures.size(); ++i) {
       try {
-        result.queries[i].result = futures[i].get();
+        QueryOutcome outcome = futures[i].get();
+        result.queries[i].result = std::move(outcome.result);
+        result.queries[i].selection = std::move(outcome.selection);
       } catch (const std::exception& e) {
         result.queries[i].error = e.what();
+        SUNCHASE_LOG(Info) << "batch: query " << i << " ("
+                           << queries[i].origin << "->"
+                           << queries[i].destination << " @ "
+                           << queries[i].departure.to_string()
+                           << ") failed: " << e.what();
       }
     }
   }
-  const std::chrono::duration<double> elapsed =
-      std::chrono::steady_clock::now() - start;
+  const double elapsed = seconds_between(start, Clock::now());
 
   for (const BatchQueryResult& qr : result.queries) {
     if (qr.ok()) {
@@ -75,10 +135,23 @@ BatchResult BatchPlanner::plan_all(
       ++result.stats.failed;
     }
   }
-  result.stats.wall_seconds = elapsed.count();
+  result.stats.wall_seconds = elapsed;
   if (result.stats.wall_seconds > 0.0)
     result.stats.queries_per_second =
         static_cast<double>(queries.size()) / result.stats.wall_seconds;
+
+  const obs::HistogramSnapshot snap = latency.snapshot();
+  result.stats.latency_p50_seconds = snap.quantile(0.50);
+  result.stats.latency_p95_seconds = snap.quantile(0.95);
+  result.stats.latency_max_seconds = snap.max;
+
+  metrics.throughput.set(result.stats.queries_per_second);
+  metrics.queries_ok.add(result.stats.succeeded);
+  metrics.queries_failed.add(result.stats.failed);
+  SUNCHASE_LOG(Debug) << "batch: " << result.stats.succeeded << "/"
+                      << queries.size() << " queries ok on " << workers
+                      << " workers in " << elapsed << " s ("
+                      << result.stats.queries_per_second << " q/s)";
   return result;
 }
 

@@ -5,7 +5,9 @@
 #include <limits>
 
 #include "sunchase/common/assert.h"
+#include "sunchase/common/logging.h"
 #include "sunchase/common/rng.h"
+#include "sunchase/obs/trace.h"
 
 namespace sunchase::core {
 
@@ -87,6 +89,7 @@ std::pair<std::vector<std::size_t>, std::vector<std::size_t>> two_means(
 
 Clustering bisecting_kmeans(const std::vector<LabelVector>& points,
                             const BisectKMeansOptions& options) {
+  const obs::SpanTimer span("core.kmeans");
   Clustering result;
   if (points.empty()) return result;
 
@@ -121,6 +124,9 @@ Clustering bisecting_kmeans(const std::vector<LabelVector>& points,
     result.clusters.push_back(std::move(b));
     unsplittable.push_back(false);
   }
+  SUNCHASE_LOG(Debug) << "kmeans: " << points.size() << " label vectors -> "
+                      << result.clusters.size() << " clusters (threshold "
+                      << options.quality_threshold << ")";
   return result;
 }
 

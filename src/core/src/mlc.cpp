@@ -1,14 +1,40 @@
 #include "sunchase/core/mlc.h"
 
 #include <algorithm>
+#include <chrono>
 #include <queue>
 
 #include "sunchase/common/error.h"
+#include "sunchase/common/logging.h"
 #include "sunchase/core/dijkstra.h"
+#include "sunchase/obs/metrics.h"
+#include "sunchase/obs/trace.h"
 
 namespace sunchase::core {
 
 namespace {
+
+/// Registry handles for the search counters, resolved once. Stats are
+/// bulk-added per query so the inner loop pays no atomics.
+struct MlcMetrics {
+  obs::Counter& labels_created;
+  obs::Counter& labels_dominated;
+  obs::Counter& queue_pops;
+  obs::Counter& queries;
+  obs::Counter& label_cap_hits;
+  obs::Histogram& latency;
+
+  static const MlcMetrics& get() {
+    static MlcMetrics metrics{
+        obs::Registry::global().counter("mlc.labels_created"),
+        obs::Registry::global().counter("mlc.labels_dominated"),
+        obs::Registry::global().counter("mlc.queue_pops"),
+        obs::Registry::global().counter("mlc.queries"),
+        obs::Registry::global().counter("mlc.label_cap_hits"),
+        obs::Registry::global().histogram("mlc.query_latency_seconds")};
+    return metrics;
+  }
+};
 
 /// A search label: cost vector at `node`, reached via `via_edge` from
 /// the label at index `parent` (-1 for the origin label).
@@ -51,6 +77,9 @@ MlcResult MultiLabelCorrecting::search(roadnet::NodeId origin,
   const auto& graph = map_.graph();
   if (origin >= graph.node_count() || destination >= graph.node_count())
     throw GraphError("MultiLabelCorrecting::search: unknown node");
+
+  const obs::SpanTimer span("mlc.search");
+  const auto search_start = std::chrono::steady_clock::now();
 
   MlcResult result;
 
@@ -96,9 +125,15 @@ MlcResult MultiLabelCorrecting::search(roadnet::NodeId origin,
       }
       return false;
     });
-    if (arena.size() >= options_.max_labels)
+    if (arena.size() >= options_.max_labels) {
+      MlcMetrics::get().label_cap_hits.add();
+      SUNCHASE_LOG(Info) << "mlc: label budget of " << options_.max_labels
+                         << " exhausted at node " << v << " ("
+                         << result.stats.labels_dominated
+                         << " labels dominated so far)";
       throw RoutingError("MultiLabelCorrecting::search: label budget of " +
                          std::to_string(options_.max_labels) + " exhausted");
+    }
     const auto idx = static_cast<std::uint32_t>(arena.size());
     arena.push_back(Label{cost, v, via, parent, true});
     ++result.stats.labels_created;
@@ -150,6 +185,22 @@ MlcResult MultiLabelCorrecting::search(roadnet::NodeId origin,
               return lex_less(a.cost, b.cost);
             });
   result.stats.pareto_size = result.routes.size();
+
+  const MlcMetrics& metrics = MlcMetrics::get();
+  metrics.labels_created.add(result.stats.labels_created);
+  metrics.labels_dominated.add(result.stats.labels_dominated);
+  metrics.queue_pops.add(result.stats.queue_pops);
+  metrics.queries.add();
+  metrics.latency.observe(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    search_start)
+          .count());
+  SUNCHASE_LOG(Debug) << "mlc: " << origin << "->" << destination << " @ "
+                      << departure.to_string() << ": "
+                      << result.stats.labels_created << " labels, "
+                      << result.stats.labels_dominated << " dominated, "
+                      << result.stats.queue_pops << " pops, Pareto set "
+                      << result.stats.pareto_size;
   return result;
 }
 

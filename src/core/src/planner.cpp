@@ -1,6 +1,7 @@
 #include "sunchase/core/planner.h"
 
 #include "sunchase/common/error.h"
+#include "sunchase/obs/trace.h"
 
 namespace sunchase::core {
 
@@ -21,6 +22,7 @@ SunChasePlanner::SunChasePlanner(const solar::SolarInputMap& map,
 PlanResult SunChasePlanner::plan(roadnet::NodeId origin,
                                  roadnet::NodeId destination,
                                  TimeOfDay departure) const {
+  const obs::SpanTimer span("core.plan");
   const MlcResult search = solver_.search(origin, destination, departure);
 
   SelectionResult selection = select_representative_routes(

@@ -4,6 +4,9 @@
 #include <limits>
 #include <set>
 
+#include "sunchase/common/logging.h"
+#include "sunchase/obs/trace.h"
+
 namespace sunchase::core {
 
 namespace {
@@ -23,6 +26,7 @@ SelectionResult select_representative_routes(
     const std::vector<ParetoRoute>& pareto, const solar::SolarInputMap& map,
     const ev::ConsumptionModel& vehicle, TimeOfDay departure,
     const SelectionOptions& options) {
+  const obs::SpanTimer span("core.selection");
   SelectionResult result;
   if (pareto.empty()) return result;
 
@@ -116,6 +120,11 @@ SelectionResult select_representative_routes(
               return a.extra_energy > b.extra_energy;
             });
   for (auto& cand : better) result.candidates.push_back(std::move(cand));
+  SUNCHASE_LOG(Debug) << "selection: " << pareto.size() << " Pareto routes, "
+                      << result.cluster_count << " clusters, "
+                      << result.representative_count
+                      << " representatives -> " << result.candidates.size()
+                      << " candidates";
   return result;
 }
 

@@ -1,0 +1,144 @@
+// Process-wide metrics: named counters, gauges, and fixed-boundary
+// histograms behind a thread-safe registry. Hot-path updates are single
+// relaxed atomic operations (no locks); reading takes a snapshot that
+// renders as JSON (for BENCH_*.json / --metrics-out run reports) or
+// Prometheus text exposition format. Instrumented code caches the
+// handle returned by Registry::{counter,gauge,histogram} — handles stay
+// valid for the registry's lifetime.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace sunchase::obs {
+
+/// Monotonically increasing event count. add() is a relaxed fetch_add.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// A last-written-wins instantaneous value (throughput, pool size, ...).
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Read-side copy of a histogram: cumulative-free bucket counts plus
+/// exact count/sum/min/max taken at snapshot time.
+struct HistogramSnapshot {
+  std::vector<double> bounds;          ///< upper bounds, strictly increasing
+  std::vector<std::uint64_t> buckets;  ///< bounds.size() + 1 (last = +Inf)
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  ///< exact observed minimum (0 when count == 0)
+  double max = 0.0;  ///< exact observed maximum (0 when count == 0)
+
+  /// Quantile estimate by linear interpolation inside the target
+  /// bucket, clamped to the exact [min, max] range. q in [0, 1].
+  [[nodiscard]] double quantile(double q) const noexcept;
+};
+
+/// Fixed-boundary histogram: observe() is a binary search plus a few
+/// relaxed atomics (bucket, count, sum, min/max CAS) — no locks.
+/// Usable standalone (e.g. a per-batch latency histogram) or through
+/// the registry.
+class Histogram {
+ public:
+  /// Throws InvalidArgument unless `bounds` is non-empty and strictly
+  /// increasing.
+  explicit Histogram(std::vector<double> bounds);
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void observe(double v) noexcept;
+  [[nodiscard]] HistogramSnapshot snapshot() const;
+  [[nodiscard]] const std::vector<double>& bounds() const noexcept {
+    return bounds_;
+  }
+  void reset() noexcept;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;  ///< bounds+1 slots
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_;
+  std::atomic<double> max_;
+};
+
+/// Exponential boundaries from 100 µs to 10 s — the default for
+/// latency-in-seconds histograms across the planner.
+[[nodiscard]] std::vector<double> latency_bounds();
+
+/// Point-in-time copy of every registered metric, ready to export.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  /// Pretty-printed JSON object ({"counters": {...}, "gauges": {...},
+  /// "histograms": {...}}); every line is prefixed with `indent` spaces
+  /// so the object can be embedded inside another JSON document.
+  [[nodiscard]] std::string to_json(int indent = 0) const;
+
+  /// Prometheus text exposition format ('.' in names becomes '_').
+  [[nodiscard]] std::string to_prometheus() const;
+};
+
+/// Thread-safe name -> metric registry. Registration takes a mutex;
+/// the returned references are stable and lock-free to update.
+/// Library code uses the process-wide global(); tests may construct
+/// private registries for isolation.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Finds or creates the named metric. Throws InvalidArgument when the
+  /// name already names a metric of a different kind, or (histograms)
+  /// when the boundaries differ from the registered ones.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name,
+                       std::vector<double> bounds = latency_bounds());
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Zeroes every value; handles stay valid. For tests and benches that
+  /// want a clean slate without re-registering.
+  void reset_values();
+
+  /// The process-wide registry all library instrumentation targets.
+  static Registry& global();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace sunchase::obs

@@ -1,0 +1,121 @@
+// Scoped span tracing: an RAII SpanTimer records {name, start, dur}
+// into a bounded per-thread buffer; the process-wide Tracer collects
+// the buffers and exports Chrome trace_event JSON ("X" complete
+// events), so a batch run opens directly in chrome://tracing or
+// Perfetto. Tracing is off by default: a disabled SpanTimer costs one
+// relaxed atomic load and never touches the clock.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace sunchase::obs {
+
+/// One completed span, in microseconds since the tracer's origin.
+/// `name` must point at a string literal (static storage duration).
+struct TraceEvent {
+  const char* name = nullptr;
+  std::uint64_t ts_us = 0;
+  std::uint64_t dur_us = 0;
+};
+
+namespace detail {
+
+/// Bounded per-thread span store. The owning thread appends under a
+/// per-buffer mutex that only the exporter ever contends on.
+class ThreadBuffer {
+ public:
+  explicit ThreadBuffer(int tid) noexcept : tid_(tid) {}
+  void record(const TraceEvent& event);
+
+  static constexpr std::size_t kCapacity = 1 << 16;
+
+  int tid() const noexcept { return tid_; }
+  [[nodiscard]] std::vector<TraceEvent> drain_copy() const;
+  [[nodiscard]] std::uint64_t dropped() const noexcept;
+  void clear();
+
+ private:
+  int tid_;
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace detail
+
+/// Process-wide trace collector. Spans recorded on any thread land in
+/// that thread's buffer; export walks every buffer ever registered
+/// (buffers outlive their threads, so worker spans survive pool join).
+class Tracer {
+ public:
+  static Tracer& global();
+
+  void set_enabled(bool on) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Microseconds since the tracer came up (the trace time axis).
+  [[nodiscard]] std::uint64_t now_us() const noexcept;
+
+  /// All recorded spans as a Chrome trace_event JSON document.
+  [[nodiscard]] std::string to_chrome_json() const;
+
+  /// Spans currently held across all thread buffers.
+  [[nodiscard]] std::size_t span_count() const;
+  /// Spans lost to full buffers since the last clear().
+  [[nodiscard]] std::uint64_t dropped_count() const;
+
+  /// Forgets recorded spans (buffers and thread ids survive).
+  void clear();
+
+  /// The calling thread's buffer, registering it on first use.
+  detail::ThreadBuffer& thread_buffer();
+
+ private:
+  Tracer() = default;
+
+  std::atomic<bool> enabled_{false};
+  std::chrono::steady_clock::time_point origin_ =
+      std::chrono::steady_clock::now();
+  mutable std::mutex mutex_;
+  std::vector<std::shared_ptr<detail::ThreadBuffer>> buffers_;
+  int next_tid_ = 1;
+};
+
+/// RAII span: times the enclosing scope and records it on destruction.
+/// `name` must be a string literal; nesting is expressed purely by
+/// scope containment (Perfetto reconstructs the stack from times).
+class SpanTimer {
+ public:
+  explicit SpanTimer(const char* name) noexcept {
+    if (Tracer::global().enabled()) {
+      name_ = name;
+      start_us_ = Tracer::global().now_us();
+    }
+  }
+  ~SpanTimer() {
+    if (name_ != nullptr) {
+      const std::uint64_t end_us = Tracer::global().now_us();
+      Tracer::global().thread_buffer().record(
+          TraceEvent{name_, start_us_, end_us - start_us_});
+    }
+  }
+  SpanTimer(const SpanTimer&) = delete;
+  SpanTimer& operator=(const SpanTimer&) = delete;
+
+ private:
+  const char* name_ = nullptr;  ///< null when tracing was disabled
+  std::uint64_t start_us_ = 0;
+};
+
+}  // namespace sunchase::obs

@@ -1,0 +1,245 @@
+#include "sunchase/obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "sunchase/common/error.h"
+
+namespace sunchase::obs {
+
+namespace {
+
+/// Lowers a relaxed atomic min/max watermark via CAS.
+template <class Cmp>
+void update_watermark(std::atomic<double>& mark, double v, Cmp better) {
+  double cur = mark.load(std::memory_order_relaxed);
+  while (better(v, cur) &&
+         !mark.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+/// Prometheus metric names allow [a-zA-Z0-9_:] only; the registry's
+/// dotted names map '.' (and anything else) to '_'.
+std::string prometheus_name(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+/// Shortest round-trippable rendering without trailing-zero noise.
+std::string format_double(double v) {
+  std::ostringstream out;
+  out.precision(12);
+  out << v;
+  return out.str();
+}
+
+}  // namespace
+
+double HistogramSnapshot::quantile(double q) const noexcept {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const std::uint64_t next = cumulative + buckets[i];
+    if (static_cast<double>(next) >= target && buckets[i] > 0) {
+      // Interpolate within bucket i between its lower and upper edge.
+      const double lo = i == 0 ? min : bounds[i - 1];
+      const double hi = i < bounds.size() ? bounds[i] : max;
+      const double fraction =
+          (target - static_cast<double>(cumulative)) /
+          static_cast<double>(buckets[i]);
+      return std::clamp(lo + (hi - lo) * fraction, min, max);
+    }
+    cumulative = next;
+  }
+  return max;
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      buckets_(bounds_.size() + 1),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {
+  if (bounds_.empty())
+    throw InvalidArgument("Histogram: at least one bucket boundary required");
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()) ||
+      std::adjacent_find(bounds_.begin(), bounds_.end()) != bounds_.end())
+    throw InvalidArgument("Histogram: boundaries must be strictly increasing");
+}
+
+void Histogram::observe(double v) noexcept {
+  // Prometheus `le` semantics: bucket i counts bounds[i-1] < v <=
+  // bounds[i], so the first boundary >= v is the home bucket.
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const auto bucket =
+      static_cast<std::size_t>(std::distance(bounds_.begin(), it));
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  update_watermark(min_, v, std::less<>{});
+  update_watermark(max_, v, std::greater<>{});
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  snap.bounds = bounds_;
+  snap.buckets.reserve(buckets_.size());
+  for (const auto& b : buckets_)
+    snap.buckets.push_back(b.load(std::memory_order_relaxed));
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  snap.min = snap.count ? min_.load(std::memory_order_relaxed) : 0.0;
+  snap.max = snap.count ? max_.load(std::memory_order_relaxed) : 0.0;
+  return snap;
+}
+
+void Histogram::reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+std::vector<double> latency_bounds() {
+  return {1e-4,   2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2,
+          5e-2,   1e-1,   0.25, 0.5,  1.0,    2.5,  5.0,  10.0};
+}
+
+std::string MetricsSnapshot::to_json(int indent) const {
+  const std::string pad(static_cast<std::size_t>(std::max(indent, 0)), ' ');
+  std::ostringstream out;
+  out << pad << "{\n";
+
+  out << pad << "  \"counters\": {";
+  for (auto it = counters.begin(); it != counters.end(); ++it)
+    out << (it == counters.begin() ? "\n" : ",\n") << pad << "    \""
+        << it->first << "\": " << it->second;
+  out << (counters.empty() ? "" : "\n" + pad + "  ") << "},\n";
+
+  out << pad << "  \"gauges\": {";
+  for (auto it = gauges.begin(); it != gauges.end(); ++it)
+    out << (it == gauges.begin() ? "\n" : ",\n") << pad << "    \""
+        << it->first << "\": " << format_double(it->second);
+  out << (gauges.empty() ? "" : "\n" + pad + "  ") << "},\n";
+
+  out << pad << "  \"histograms\": {";
+  for (auto it = histograms.begin(); it != histograms.end(); ++it) {
+    const HistogramSnapshot& h = it->second;
+    out << (it == histograms.begin() ? "\n" : ",\n");
+    out << pad << "    \"" << it->first << "\": {\n";
+    out << pad << "      \"count\": " << h.count
+        << ", \"sum\": " << format_double(h.sum)
+        << ", \"min\": " << format_double(h.min)
+        << ", \"max\": " << format_double(h.max) << ",\n";
+    out << pad << "      \"buckets\": [";
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      out << (i ? ", " : "") << "{\"le\": "
+          << (i < h.bounds.size() ? "\"" + format_double(h.bounds[i]) + "\""
+                                  : std::string("\"+Inf\""))
+          << ", \"count\": " << h.buckets[i] << "}";
+    }
+    out << "]\n" << pad << "    }";
+  }
+  out << (histograms.empty() ? "" : "\n" + pad + "  ") << "}\n";
+
+  out << pad << "}";
+  return out.str();
+}
+
+std::string MetricsSnapshot::to_prometheus() const {
+  std::ostringstream out;
+  for (const auto& [name, value] : counters) {
+    const std::string p = prometheus_name(name);
+    out << "# TYPE " << p << " counter\n" << p << " " << value << "\n";
+  }
+  for (const auto& [name, value] : gauges) {
+    const std::string p = prometheus_name(name);
+    out << "# TYPE " << p << " gauge\n" << p << " " << format_double(value)
+        << "\n";
+  }
+  for (const auto& [name, h] : histograms) {
+    const std::string p = prometheus_name(name);
+    out << "# TYPE " << p << " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      cumulative += h.buckets[i];
+      out << p << "_bucket{le=\""
+          << (i < h.bounds.size() ? format_double(h.bounds[i]) : "+Inf")
+          << "\"} " << cumulative << "\n";
+    }
+    out << p << "_sum " << format_double(h.sum) << "\n";
+    out << p << "_count " << h.count << "\n";
+  }
+  return out.str();
+}
+
+Counter& Registry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (gauges_.contains(name) || histograms_.contains(name))
+    throw InvalidArgument("Registry::counter: '" + name +
+                          "' is registered as another metric kind");
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (counters_.contains(name) || histograms_.contains(name))
+    throw InvalidArgument("Registry::gauge: '" + name +
+                          "' is registered as another metric kind");
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               std::vector<double> bounds) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (counters_.contains(name) || gauges_.contains(name))
+    throw InvalidArgument("Registry::histogram: '" + name +
+                          "' is registered as another metric kind");
+  auto& slot = histograms_[name];
+  if (!slot) {
+    slot = std::make_unique<Histogram>(std::move(bounds));
+  } else if (slot->bounds() != bounds) {
+    throw InvalidArgument("Registry::histogram: '" + name +
+                          "' re-registered with different boundaries");
+  }
+  return *slot;
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_)
+    snap.histograms[name] = h->snapshot();
+  return snap;
+}
+
+void Registry::reset_values() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, c] : counters_) c->reset();
+  for (const auto& [name, g] : gauges_) g->reset();
+  for (const auto& [name, h] : histograms_) h->reset();
+}
+
+Registry& Registry::global() {
+  static Registry* instance = new Registry();  // never destroyed: handles
+  return *instance;                            // outlive static teardown
+}
+
+}  // namespace sunchase::obs

@@ -1,0 +1,102 @@
+#include "sunchase/obs/trace.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace sunchase::obs {
+
+namespace detail {
+
+void ThreadBuffer::record(const TraceEvent& event) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (events_.size() >= kCapacity) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(event);
+}
+
+std::vector<TraceEvent> ThreadBuffer::drain_copy() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+std::uint64_t ThreadBuffer::dropped() const noexcept {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+void ThreadBuffer::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+  dropped_ = 0;
+}
+
+}  // namespace detail
+
+Tracer& Tracer::global() {
+  static Tracer* instance = new Tracer();  // never destroyed: thread
+  return *instance;                        // buffers may outlive main
+}
+
+std::uint64_t Tracer::now_us() const noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - origin_)
+          .count());
+}
+
+detail::ThreadBuffer& Tracer::thread_buffer() {
+  thread_local std::shared_ptr<detail::ThreadBuffer> tls;
+  if (!tls) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    tls = std::make_shared<detail::ThreadBuffer>(next_tid_++);
+    buffers_.push_back(tls);
+  }
+  return *tls;
+}
+
+std::string Tracer::to_chrome_json() const {
+  std::vector<std::shared_ptr<detail::ThreadBuffer>> buffers;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    buffers = buffers_;
+  }
+  std::ostringstream out;
+  out << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  bool first = true;
+  for (const auto& buffer : buffers) {
+    for (const TraceEvent& e : buffer->drain_copy()) {
+      out << (first ? "\n" : ",\n");
+      first = false;
+      out << "  {\"name\": \"" << e.name
+          << "\", \"cat\": \"sunchase\", \"ph\": \"X\", \"pid\": 1, "
+             "\"tid\": "
+          << buffer->tid() << ", \"ts\": " << e.ts_us
+          << ", \"dur\": " << e.dur_us << "}";
+    }
+  }
+  out << (first ? "" : "\n") << "]}\n";
+  return out.str();
+}
+
+std::size_t Tracer::span_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& buffer : buffers_) n += buffer->drain_copy().size();
+  return n;
+}
+
+std::uint64_t Tracer::dropped_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t n = 0;
+  for (const auto& buffer : buffers_) n += buffer->dropped();
+  return n;
+}
+
+void Tracer::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& buffer : buffers_) buffer->clear();
+}
+
+}  // namespace sunchase::obs

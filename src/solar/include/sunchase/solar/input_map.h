@@ -4,7 +4,10 @@
 // Combines the shading profile, the traffic model, and the panel power.
 #pragma once
 
+#include <atomic>
+
 #include "sunchase/common/time_of_day.h"
+#include "sunchase/obs/metrics.h"
 #include "sunchase/roadnet/traffic.h"
 #include "sunchase/shadow/shading.h"
 #include "sunchase/solar/panel.h"
@@ -49,6 +52,10 @@ class SolarInputMap {
   const shadow::ShadingProfile& shading_;
   const roadnet::TrafficModel& traffic_;
   PanelPowerFn panel_power_;
+  obs::Counter& evaluate_calls_;  ///< "solar.evaluate_calls"
+  /// Last 15-min slot a debug narrative was logged for (evaluate() is
+  /// const and concurrent, hence atomic; -1 = none yet).
+  mutable std::atomic<int> last_logged_slot_{-1};
 };
 
 }  // namespace sunchase::solar

@@ -1,6 +1,7 @@
 #include "sunchase/solar/input_map.h"
 
 #include "sunchase/common/error.h"
+#include "sunchase/common/logging.h"
 
 namespace sunchase::solar {
 
@@ -11,7 +12,9 @@ SolarInputMap::SolarInputMap(const roadnet::RoadGraph& graph,
     : graph_(graph),
       shading_(shading),
       traffic_(traffic),
-      panel_power_(std::move(panel_power)) {
+      panel_power_(std::move(panel_power)),
+      evaluate_calls_(
+          obs::Registry::global().counter("solar.evaluate_calls")) {
   if (!panel_power_)
     throw InvalidArgument("SolarInputMap: null panel power function");
   if (shading.edge_count() != graph.edge_count())
@@ -20,6 +23,17 @@ SolarInputMap::SolarInputMap(const roadnet::RoadGraph& graph,
 }
 
 EdgeSolar SolarInputMap::evaluate(roadnet::EdgeId edge, TimeOfDay when) const {
+  evaluate_calls_.add();
+  // Narrate 15-min interval refreshes only when someone is listening:
+  // the exchange keeps the message once-per-slot under concurrency.
+  if (log_enabled(LogLevel::Debug)) {
+    const int slot = when.slot_index();
+    if (last_logged_slot_.exchange(slot, std::memory_order_relaxed) != slot)
+      SUNCHASE_LOG(Debug) << "input map: entering 15-min slot " << slot
+                          << " (" << TimeOfDay::slot_start(slot).to_string()
+                          << ", panel C = " << panel_power_(when).value()
+                          << " W)";
+  }
   const MetersPerSecond v = traffic_.speed(graph_, edge, when);
   const Meters length = graph_.edge(edge).length;
   const Meters solar_len = shading_.solar_length(graph_, edge, when);

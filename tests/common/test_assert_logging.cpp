@@ -63,5 +63,69 @@ TEST(Logging, EmitBelowLevelIsSilentlyDropped) {
   set_log_level(before);
 }
 
+// Regression: SUNCHASE_LOG used to build the whole message (allocating
+// an ostringstream and evaluating every streamed expression) before
+// the level check dropped it. A filtered-out level must not evaluate
+// its operands at all.
+TEST(Logging, DisabledLevelsDoNotEvaluateStreamedExpressions) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::Warning);
+  int evaluations = 0;
+  auto expensive = [&evaluations] {
+    ++evaluations;
+    return "payload";
+  };
+  SUNCHASE_LOG(Debug) << "ignored " << expensive();
+  SUNCHASE_LOG(Info) << "ignored " << expensive();
+  EXPECT_EQ(evaluations, 0);
+  set_log_level(before);
+}
+
+TEST(Logging, EnabledLevelsStillEvaluateAndEmit) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::Error);
+  int evaluations = 0;
+  auto expensive = [&evaluations] {
+    ++evaluations;
+    return 7;
+  };
+  SUNCHASE_LOG(Error) << "emitted " << expensive();
+  EXPECT_EQ(evaluations, 1);
+  set_log_level(before);
+}
+
+TEST(Logging, LogEnabledTracksThreshold) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::Info);
+  EXPECT_FALSE(log_enabled(LogLevel::Debug));
+  EXPECT_TRUE(log_enabled(LogLevel::Info));
+  EXPECT_TRUE(log_enabled(LogLevel::Error));
+  set_log_level(before);
+}
+
+TEST(Logging, ParseLogLevelRoundTripsAndRejectsUnknown) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::Debug);
+  EXPECT_EQ(parse_log_level("info"), LogLevel::Info);
+  EXPECT_EQ(parse_log_level("warning"), LogLevel::Warning);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::Warning);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::Error);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::Off);
+  EXPECT_THROW(parse_log_level("loud"), InvalidArgument);
+}
+
+// The macro must behave as a single statement inside unbraced control
+// flow (the classic dangling-else hazard for if-based log macros).
+TEST(Logging, MacroIsDanglingElseSafe) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::Off);
+  bool else_ran = false;
+  if (false)
+    SUNCHASE_LOG(Error) << "never";
+  else
+    else_ran = true;
+  EXPECT_TRUE(else_ran);
+  set_log_level(before);
+}
+
 }  // namespace
 }  // namespace sunchase

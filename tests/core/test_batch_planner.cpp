@@ -157,6 +157,63 @@ TEST(BatchPlanner, StatsAggregateOverSuccessfulQueries) {
   EXPECT_GT(result.stats.queries_per_second, 0.0);
 }
 
+TEST(BatchPlanner, LatencyPercentilesComeFromTheBatchHistogram) {
+  const roadnet::GridCity city{roadnet::GridCityOptions{}};
+  test::RoutingEnv env(city.graph());
+  BatchPlannerOptions opt;
+  opt.workers = 2;
+  const BatchPlanner batch(env.map, *env.lv, opt);
+  const BatchResult result = batch.plan_all(grid_queries(city));
+
+  EXPECT_GT(result.stats.latency_p50_seconds, 0.0);
+  EXPECT_GE(result.stats.latency_p95_seconds,
+            result.stats.latency_p50_seconds);
+  EXPECT_GE(result.stats.latency_max_seconds,
+            result.stats.latency_p95_seconds);
+  // Per-query in-worker latency can never exceed the batch wall clock.
+  EXPECT_LE(result.stats.latency_max_seconds,
+            result.stats.wall_seconds + 1e-9);
+}
+
+TEST(BatchPlanner, EmptyBatchHasZeroLatencyPercentiles) {
+  test::SquareGraph sq;
+  test::RoutingEnv env(sq.graph);
+  const BatchPlanner batch(env.map, *env.lv);
+  const BatchResult result = batch.plan_all({});
+  EXPECT_EQ(result.stats.latency_p50_seconds, 0.0);
+  EXPECT_EQ(result.stats.latency_p95_seconds, 0.0);
+  EXPECT_EQ(result.stats.latency_max_seconds, 0.0);
+}
+
+TEST(BatchPlanner, SelectionOffByDefault) {
+  test::SquareGraph sq;
+  test::RoutingEnv env(sq.graph);
+  const BatchPlanner batch(env.map, *env.lv);
+  const BatchResult result =
+      batch.plan_all({{0, 3, TimeOfDay::hms(10, 0)}});
+  ASSERT_TRUE(result.queries[0].ok());
+  EXPECT_FALSE(result.queries[0].selection.has_value());
+}
+
+TEST(BatchPlanner, RunSelectionYieldsCandidatesPerQuery) {
+  const roadnet::GridCity city{roadnet::GridCityOptions{}};
+  test::RoutingEnv env(city.graph());
+  BatchPlannerOptions opt;
+  opt.workers = 2;
+  opt.run_selection = true;
+  const BatchPlanner batch(env.map, *env.lv, opt);
+  const BatchResult result = batch.plan_all(grid_queries(city));
+
+  for (const auto& q : result.queries) {
+    ASSERT_TRUE(q.ok()) << q.error;
+    ASSERT_TRUE(q.selection.has_value());
+    // Selection always reports the shortest-time route first.
+    ASSERT_FALSE(q.selection->candidates.empty());
+    EXPECT_TRUE(q.selection->candidates.front().is_shortest_time);
+    EXPECT_LE(q.selection->candidates.size(), q.result->routes.size());
+  }
+}
+
 TEST(BatchPlanner, InvalidMlcOptionsRejectedAtConstruction) {
   test::SquareGraph sq;
   test::RoutingEnv env(sq.graph);

@@ -1,0 +1,140 @@
+#include "sunchase/obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "json_check.h"
+
+namespace sunchase::obs {
+namespace {
+
+/// The tracer is a process-wide singleton: every test starts from a
+/// clean, enabled slate and disables tracing on the way out.
+class ObsTrace : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::global().clear();
+    Tracer::global().set_enabled(true);
+  }
+  void TearDown() override {
+    Tracer::global().set_enabled(false);
+    Tracer::global().clear();
+  }
+};
+
+TEST_F(ObsTrace, DisabledSpansRecordNothing) {
+  Tracer::global().set_enabled(false);
+  { const SpanTimer span("ignored"); }
+  EXPECT_EQ(Tracer::global().span_count(), 0u);
+}
+
+TEST_F(ObsTrace, RecordsCompletedSpans) {
+  {
+    const SpanTimer outer("outer");
+    const SpanTimer inner("inner");
+  }
+  EXPECT_EQ(Tracer::global().span_count(), 2u);
+  EXPECT_EQ(Tracer::global().dropped_count(), 0u);
+}
+
+TEST_F(ObsTrace, ClearForgetsSpans) {
+  { const SpanTimer span("s"); }
+  ASSERT_GT(Tracer::global().span_count(), 0u);
+  Tracer::global().clear();
+  EXPECT_EQ(Tracer::global().span_count(), 0u);
+}
+
+TEST_F(ObsTrace, ChromeExportParsesAsJson) {
+  {
+    const SpanTimer a("alpha");
+    const SpanTimer b("beta");
+  }
+  const std::string json = Tracer::global().to_chrome_json();
+  EXPECT_TRUE(test::json_parses(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"alpha\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+}
+
+TEST_F(ObsTrace, EmptyExportIsStillValidJson) {
+  const std::string json = Tracer::global().to_chrome_json();
+  EXPECT_TRUE(test::json_parses(json)) << json;
+}
+
+/// Spans on one thread must nest by containment: for any two spans on
+/// the same tid, their [ts, ts+dur] intervals are either disjoint or
+/// one contains the other — that is what Perfetto renders as a stack.
+void expect_nesting(const std::vector<TraceEvent>& events) {
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    for (std::size_t j = i + 1; j < events.size(); ++j) {
+      const auto a0 = events[i].ts_us, a1 = events[i].ts_us + events[i].dur_us;
+      const auto b0 = events[j].ts_us, b1 = events[j].ts_us + events[j].dur_us;
+      const bool disjoint = a1 <= b0 || b1 <= a0;
+      const bool a_in_b = b0 <= a0 && a1 <= b1;
+      const bool b_in_a = a0 <= b0 && b1 <= a1;
+      EXPECT_TRUE(disjoint || a_in_b || b_in_a)
+          << events[i].name << " [" << a0 << "," << a1 << ") vs "
+          << events[j].name << " [" << b0 << "," << b1 << ")";
+    }
+  }
+}
+
+TEST_F(ObsTrace, NestedScopesProduceContainedSpans) {
+  {
+    const SpanTimer outer("outer");
+    { const SpanTimer inner1("inner1"); }
+    { const SpanTimer inner2("inner2"); }
+  }
+  const auto events = Tracer::global().thread_buffer().drain_copy();
+  ASSERT_EQ(events.size(), 3u);
+  expect_nesting(events);
+  // RAII order: inner spans complete (and record) before the outer one.
+  EXPECT_STREQ(events[2].name, "outer");
+  const auto outer = events[2];
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_GE(events[i].ts_us, outer.ts_us);
+    EXPECT_LE(events[i].ts_us + events[i].dur_us,
+              outer.ts_us + outer.dur_us);
+  }
+}
+
+TEST_F(ObsTrace, EachThreadGetsItsOwnTid) {
+  // Dedicated std::threads (a pool on a 1-CPU box may let one worker
+  // drain every task): each records one span on its own buffer.
+  constexpr int kThreads = 3;
+  std::set<int> tids;
+  std::mutex mutex;
+  {
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t)
+      threads.emplace_back([&tids, &mutex] {
+        { const SpanTimer span("work"); }
+        const int tid = Tracer::global().thread_buffer().tid();
+        const std::lock_guard<std::mutex> lock(mutex);
+        tids.insert(tid);
+      });
+    for (auto& t : threads) t.join();
+  }
+  EXPECT_EQ(tids.size(), static_cast<std::size_t>(kThreads));
+  // The buffers outlive the joined threads: every span is exported.
+  EXPECT_EQ(Tracer::global().span_count(),
+            static_cast<std::size_t>(kThreads));
+  const std::string json = Tracer::global().to_chrome_json();
+  EXPECT_TRUE(test::json_parses(json)) << json;
+}
+
+TEST_F(ObsTrace, FullBufferDropsInsteadOfGrowing) {
+  auto& buffer = Tracer::global().thread_buffer();
+  for (std::size_t i = 0; i < detail::ThreadBuffer::kCapacity + 10; ++i)
+    buffer.record(TraceEvent{"flood", 0, 1});
+  EXPECT_EQ(buffer.drain_copy().size(), detail::ThreadBuffer::kCapacity);
+  EXPECT_EQ(buffer.dropped(), 10u);
+}
+
+}  // namespace
+}  // namespace sunchase::obs
