@@ -78,8 +78,8 @@ int main(int argc, char** argv) {
                 workers, s.wall_seconds, s.queries_per_second, s.speedup,
                 result.stats.succeeded, result.stats.failed,
                 result.stats.totals.labels_created,
-                result.stats.latency_p50_seconds * 1e3,
-                result.stats.latency_p95_seconds * 1e3);
+                result.stats.latency.quantile(0.50) * 1e3,
+                result.stats.latency.quantile(0.95) * 1e3);
   }
 
   const char* json_path = argc > 2 ? argv[2] : "BENCH_batch.json";

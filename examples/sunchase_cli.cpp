@@ -16,6 +16,8 @@
 //     --metrics-out FILE       write a JSON metrics run report
 //     --trace-out FILE         write a Chrome trace_event JSON
 //     --log-level LEVEL        debug|info|warning|error|off
+//     --query-log FILE         append one JSONL record per query
+//     --slow-query-ms N        warn-log queries slower than N ms
 //
 //   sunchase_cli batch --queries FILE [--workers N] [world options]
 //     runs every query of FILE (one "FROM_R,FROM_C TO_R,TO_C HH:MM"
@@ -23,20 +25,35 @@
 //     (search + route selection) and prints one result row per query
 //     plus batch throughput and per-query latency percentiles.
 //
+//   sunchase_cli explain [--graph FILE] [--scene FILE]
+//       [--from-node N] [--to-node N] [--time HH:MM] [--ev lv|tesla]
+//       [--panel W] [--time-budget F] [--ledger-out FILE]
+//       [--ledger-csv FILE] [--geojson FILE]
+//     plans on a graph/scene pair loaded from disk (default
+//     data/demo_downtown.*), prints the recommended route's per-edge
+//     energy ledger, verifies the conservation invariant (ledger sums
+//     == search criteria; exit 4 on violation) and optionally writes
+//     the ledger as JSON/CSV plus a per-edge annotated GeoJSON.
+//
 // Examples:
 //   sunchase_cli --rows 12 --cols 12 --from 1,1 --to 9,10 --time 10:00
 //   sunchase_cli batch --queries fleet.txt --workers 4
-//       --metrics-out m.json --trace-out t.json
+//       --metrics-out m.json --trace-out t.json --query-log q.jsonl
+//   sunchase_cli explain --from-node 0 --to-node 63 --time 09:30
+//       --ledger-out ledger.json --geojson explain.geojson
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "sunchase/common/error.h"
 #include "sunchase/common/logging.h"
 #include "sunchase/core/batch_planner.h"
+#include "sunchase/core/explain.h"
 #include "sunchase/obs/metrics.h"
+#include "sunchase/obs/query_log.h"
 #include "sunchase/obs/trace.h"
 #include "sunchase/core/planner.h"
 #include "sunchase/exporter/geojson.h"
@@ -68,10 +85,20 @@ struct CliOptions {
   std::string metrics_out;
   std::string trace_out;
   std::string log_level;
+  std::string query_log_path;
+  double slow_query_ms = 0.0;  ///< 0: slow-query warnings off
   // batch mode
   bool batch = false;
   std::string queries_path;
   std::size_t workers = 0;  ///< 0: one per hardware thread
+  // explain mode
+  bool explain = false;
+  std::string graph_path = "data/demo_downtown.graph";
+  std::string scene_path = "data/demo_downtown.scene";
+  int from_node = 0;
+  int to_node = -1;  ///< -1: last node of the loaded graph
+  std::string ledger_out;
+  std::string ledger_csv;
 };
 
 bool parse_pair(const char* text, int& a, int& b) {
@@ -89,10 +116,17 @@ int usage(const char* argv0) {
                "[world options as above]\n"
                "         query file: one \"FROM_R,FROM_C TO_R,TO_C HH:MM\" "
                "per line, '#' comments\n"
-               "       observability (both modes): [--metrics-out FILE] "
+               "       %s explain [--graph FILE] [--scene FILE] "
+               "[--from-node N] [--to-node N]\n"
+               "         [--time HH:MM] [--ev lv|tesla] [--panel W] "
+               "[--time-budget F]\n"
+               "         [--ledger-out FILE] [--ledger-csv FILE] "
+               "[--geojson FILE]\n"
+               "       observability (all modes): [--metrics-out FILE] "
                "[--trace-out FILE]\n"
-               "         [--log-level debug|info|warning|error|off]\n",
-               argv0, argv0);
+               "         [--log-level debug|info|warning|error|off]\n"
+               "         [--query-log FILE] [--slow-query-ms N]\n",
+               argv0, argv0, argv0);
   return 2;
 }
 
@@ -121,16 +155,27 @@ std::vector<core::BatchQuery> read_queries(const std::string& path,
   return queries;
 }
 
+/// --query-log: opens the JSONL sink and applies --slow-query-ms.
+/// Null when the flag is absent; keep it alive for the planning run.
+std::unique_ptr<obs::QueryLog> open_query_log(const CliOptions& opt) {
+  if (opt.query_log_path.empty()) return nullptr;
+  auto log = std::make_unique<obs::QueryLog>(opt.query_log_path);
+  log->set_slow_threshold(Seconds{opt.slow_query_ms / 1e3});
+  return log;
+}
+
 int run_batch(const CliOptions& opt, const solar::SolarInputMap& map,
               const ev::ConsumptionModel& vehicle,
               const roadnet::GridCity& city) {
   const auto queries = read_queries(opt.queries_path, city);
+  const std::unique_ptr<obs::QueryLog> query_log = open_query_log(opt);
   core::BatchPlannerOptions batch_options;
   batch_options.workers = opt.workers;
   batch_options.mlc.max_time_factor = opt.time_budget;
   // Run the full pipeline (search + clustering + selection) per query:
   // the candidate list is what a route server would hand the fleet.
   batch_options.run_selection = true;
+  if (query_log) batch_options.query_log = query_log.get();
   const core::BatchPlanner planner(map, vehicle, batch_options);
   const core::BatchResult batch = planner.plan_all(queries);
 
@@ -158,10 +203,95 @@ int run_batch(const CliOptions& opt, const solar::SolarInputMap& map,
               batch.stats.failed, batch.stats.workers,
               batch.stats.wall_seconds, batch.stats.queries_per_second);
   std::printf("per-query latency: p50 %.1f ms, p95 %.1f ms, max %.1f ms\n",
-              batch.stats.latency_p50_seconds * 1e3,
-              batch.stats.latency_p95_seconds * 1e3,
-              batch.stats.latency_max_seconds * 1e3);
+              batch.stats.latency.quantile(0.50) * 1e3,
+              batch.stats.latency.quantile(0.95) * 1e3,
+              batch.stats.latency.max * 1e3);
+  if (query_log)
+    std::printf("query log: %llu records (%llu slow) -> %s\n",
+                static_cast<unsigned long long>(query_log->record_count()),
+                static_cast<unsigned long long>(query_log->slow_count()),
+                opt.query_log_path.c_str());
   return batch.stats.failed == 0 ? 0 : 3;
+}
+
+/// explain mode: plan on a graph/scene pair loaded from disk, then walk
+/// the recommended route edge by edge and check the ledger sums against
+/// the search's criteria vector.
+int run_explain(const CliOptions& opt) {
+  const roadnet::RoadGraph graph = roadnet::read_graph_file(opt.graph_path);
+  const shadow::Scene scene = shadow::read_scene_file(opt.scene_path);
+  const shadow::ShadingProfile shading = shadow::ShadingProfile::compute_exact(
+      graph, scene, geo::DayOfYear{196}, TimeOfDay::hms(8, 0),
+      TimeOfDay::hms(18, 30));
+  const roadnet::UrbanTraffic traffic{roadnet::UrbanTraffic::Options{}};
+  const solar::SolarInputMap map(
+      graph, shading, traffic, solar::constant_panel_power(Watts{opt.panel_w}));
+  const auto vehicle =
+      opt.ev == "tesla" ? ev::make_tesla_model_s() : ev::make_lv_prototype();
+
+  const auto origin = static_cast<roadnet::NodeId>(opt.from_node);
+  const auto destination = static_cast<roadnet::NodeId>(
+      opt.to_node >= 0 ? opt.to_node
+                       : static_cast<int>(graph.node_count()) - 1);
+  const TimeOfDay departure = TimeOfDay::parse(opt.time);
+
+  core::PlannerOptions planner_options;
+  planner_options.mlc.max_time_factor = opt.time_budget;
+  const core::SunChasePlanner planner(map, *vehicle, planner_options);
+  const core::PlanResult plan = planner.plan(origin, destination, departure);
+  const core::CandidateRoute& best = plan.recommended();
+
+  const core::RouteExplainer explainer(map, *vehicle);
+  const core::RouteLedger ledger = explainer.explain(
+      best.route, departure, planner_options.mlc.time_dependent);
+
+  std::printf("%s %u -> %u, departing %s (%s route, %zu edges)\n",
+              opt.graph_path.c_str(), origin, destination,
+              departure.to_string().c_str(),
+              best.is_shortest_time ? "shortest-time" : "better-solar",
+              ledger.steps.size());
+  std::printf("%-4s %-5s %-8s %7s %6s %6s %8s %8s %8s\n", "#", "edge",
+              "entry", "len(m)", "km/h", "shade", "TT (s)", "EI (Wh)",
+              "EC (Wh)");
+  for (std::size_t i = 0; i < ledger.steps.size(); ++i) {
+    const core::ExplainStep& s = ledger.steps[i];
+    std::printf("%-4zu %-5u %-8s %7.1f %6.1f %6.2f %8.2f %8.3f %8.3f\n", i,
+                s.edge, s.entry.to_string().c_str(), s.length.value(),
+                to_kmh(s.speed), s.shade_ratio, s.travel_time.value(),
+                s.energy_in.value(), s.energy_out.value());
+  }
+  std::printf("totals: %.0f m, %.1f s travel, %.1f s solar, %.3f Wh in, "
+              "%.3f Wh out\n",
+              ledger.totals.total_length.value(),
+              ledger.totals.travel_time.value(),
+              ledger.totals.solar_time.value(),
+              ledger.totals.energy_in.value(),
+              ledger.totals.energy_out.value());
+
+  const double deviation = ledger.max_deviation(best.route.cost);
+  std::printf("conservation: ledger sums vs search criteria deviate by "
+              "%.3g (%s)\n",
+              deviation, deviation <= 1e-6 ? "ok" : "VIOLATED");
+
+  if (!opt.ledger_out.empty()) {
+    std::ofstream out(opt.ledger_out);
+    if (!out) throw IoError("cannot write ledger " + opt.ledger_out);
+    out << ledger.to_json();
+    std::printf("wrote %s\n", opt.ledger_out.c_str());
+  }
+  if (!opt.ledger_csv.empty()) {
+    std::ofstream out(opt.ledger_csv);
+    if (!out) throw IoError("cannot write ledger CSV " + opt.ledger_csv);
+    out << ledger.to_csv();
+    std::printf("wrote %s\n", opt.ledger_csv.c_str());
+  }
+  if (!opt.geojson_path.empty()) {
+    std::ofstream out(opt.geojson_path);
+    if (!out) throw IoError("cannot write GeoJSON " + opt.geojson_path);
+    out << exporter::geojson_explained_route(graph, ledger);
+    std::printf("wrote %s\n", opt.geojson_path.c_str());
+  }
+  return ledger.conserves(best.route.cost) ? 0 : 4;
 }
 
 /// --metrics-out: a structured run report — the run's identity plus a
@@ -191,6 +321,9 @@ int main(int argc, char** argv) {
   int first = 1;
   if (argc > 1 && std::strcmp(argv[1], "batch") == 0) {
     opt.batch = true;
+    first = 2;
+  } else if (argc > 1 && std::strcmp(argv[1], "explain") == 0) {
+    opt.explain = true;
     first = 2;
   }
   for (int i = first; i < argc; ++i) {
@@ -233,6 +366,22 @@ int main(int argc, char** argv) {
       opt.queries_path = v;
     else if (arg == "--workers" && (v = next()))
       opt.workers = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+    else if (arg == "--query-log" && (v = next()))
+      opt.query_log_path = v;
+    else if (arg == "--slow-query-ms" && (v = next()))
+      opt.slow_query_ms = std::atof(v);
+    else if (arg == "--graph" && (v = next()))
+      opt.graph_path = v;
+    else if (arg == "--scene" && (v = next()))
+      opt.scene_path = v;
+    else if (arg == "--from-node" && (v = next()))
+      opt.from_node = std::atoi(v);
+    else if (arg == "--to-node" && (v = next()))
+      opt.to_node = std::atoi(v);
+    else if (arg == "--ledger-out" && (v = next()))
+      opt.ledger_out = v;
+    else if (arg == "--ledger-csv" && (v = next()))
+      opt.ledger_csv = v;
     else
       return usage(argv[0]);
   }
@@ -242,6 +391,14 @@ int main(int argc, char** argv) {
     if (!opt.log_level.empty())
       set_log_level(parse_log_level(opt.log_level));
     if (!opt.trace_out.empty()) obs::Tracer::global().set_enabled(true);
+
+    if (opt.explain) {
+      const int rc = run_explain(opt);
+      if (!opt.metrics_out.empty())
+        write_metrics_report(opt.metrics_out, "explain");
+      if (!opt.trace_out.empty()) write_trace(opt.trace_out);
+      return rc;
+    }
 
     roadnet::GridCityOptions city_options;
     city_options.rows = opt.rows;
@@ -271,8 +428,10 @@ int main(int argc, char** argv) {
       return rc;
     }
 
+    const std::unique_ptr<obs::QueryLog> query_log = open_query_log(opt);
     core::PlannerOptions planner_options;
     planner_options.mlc.max_time_factor = opt.time_budget;
+    if (query_log) planner_options.query_log = query_log.get();
     const core::SunChasePlanner planner(map, *vehicle, planner_options);
 
     const TimeOfDay departure = TimeOfDay::parse(opt.time);

@@ -13,6 +13,11 @@
 
 #include "sunchase/core/mlc.h"
 #include "sunchase/core/selection.h"
+#include "sunchase/obs/metrics.h"
+
+namespace sunchase::obs {
+class QueryLog;
+}  // namespace sunchase::obs
 
 namespace sunchase::core {
 
@@ -44,6 +49,10 @@ struct BatchPlannerOptions {
   /// (inside the worker), filling BatchQueryResult::selection.
   bool run_selection = false;
   SelectionOptions selection{};
+  /// When set, every query of every batch appends one structured
+  /// QueryRecord (written from inside the worker, success or failure).
+  /// Borrowed; keep the log alive while planning.
+  obs::QueryLog* query_log = nullptr;
 };
 
 /// Batch-level instrumentation: per-search stats summed over the
@@ -56,11 +65,12 @@ struct BatchStats {
   std::size_t workers = 0;    ///< workers actually used
   double wall_seconds = 0.0;  ///< submit-to-last-result wall clock
   double queries_per_second = 0.0;
-  /// Per-query in-worker latency distribution over successful queries
-  /// (from the batch's latency histogram; all zero when none succeed).
-  double latency_p50_seconds = 0.0;
-  double latency_p95_seconds = 0.0;
-  double latency_max_seconds = 0.0;
+  /// Per-query in-worker latency distribution over successful queries,
+  /// snapshotted from the batch-local histogram (empty when none
+  /// succeed). Consumers derive percentiles via
+  /// HistogramSnapshot::quantile — e.g. latency.quantile(0.95) — so the
+  /// percentile math lives in one place.
+  obs::HistogramSnapshot latency;
 };
 
 struct BatchResult {

@@ -43,6 +43,8 @@ struct MlcStats {
   std::size_t queue_pops = 0;
   std::size_t pareto_size = 0;
   Seconds shortest_travel_time{0.0};
+  /// Wall clock of this search (the query log's mlc phase duration).
+  double search_seconds = 0.0;
 };
 
 struct MlcResult {

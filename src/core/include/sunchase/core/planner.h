@@ -6,11 +6,19 @@
 #include "sunchase/core/mlc.h"
 #include "sunchase/core/selection.h"
 
+namespace sunchase::obs {
+class QueryLog;
+}  // namespace sunchase::obs
+
 namespace sunchase::core {
 
 struct PlannerOptions {
   MlcOptions mlc{};
   SelectionOptions selection{};
+  /// When set, every plan() appends one structured QueryRecord —
+  /// per-phase durations, search effort, chosen-route energy summary,
+  /// or the error. Borrowed; keep the log alive while planning.
+  obs::QueryLog* query_log = nullptr;
 };
 
 /// A complete plan for one trip.

@@ -49,6 +49,10 @@ struct SelectionResult {
   std::vector<CandidateRoute> candidates;
   std::size_t cluster_count = 0;
   std::size_t representative_count = 0;  ///< before the Eq. 5 filter
+  /// Phase durations for the query log: the bisecting k-means step
+  /// alone, and the whole selection pipeline.
+  double kmeans_seconds = 0.0;
+  double selection_seconds = 0.0;
 };
 
 /// Runs the full selection pipeline on a Pareto set. An empty Pareto

@@ -7,7 +7,9 @@
 
 #include "sunchase/common/logging.h"
 #include "sunchase/common/thread_pool.h"
+#include "sunchase/core/metrics.h"
 #include "sunchase/obs/metrics.h"
+#include "sunchase/obs/query_log.h"
 #include "sunchase/obs/trace.h"
 
 namespace sunchase::core {
@@ -26,6 +28,19 @@ void accumulate(MlcStats& into, const MlcStats& stats) {
   into.queue_pops += stats.queue_pops;
   into.pareto_size += stats.pareto_size;
   into.shortest_travel_time += stats.shortest_travel_time;
+  into.search_seconds += stats.search_seconds;
+}
+
+/// Starts a batch-mode QueryRecord for `query`; the worker (or the
+/// collect loop, on failure) fills in the rest.
+obs::QueryRecord start_record(const BatchQuery& query, std::size_t index) {
+  obs::QueryRecord record;
+  record.mode = "batch";
+  record.index = static_cast<std::int64_t>(index);
+  record.origin = query.origin;
+  record.destination = query.destination;
+  record.departure = query.departure.to_string();
+  return record;
 }
 
 /// Registry handles for the batch-level metrics, resolved once.
@@ -90,10 +105,12 @@ BatchResult BatchPlanner::plan_all(
     common::ThreadPool pool(workers);
     std::vector<std::future<QueryOutcome>> futures;
     futures.reserve(queries.size());
-    for (const BatchQuery& query : queries) {
+    obs::QueryLog* const log = options_.query_log;
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      const BatchQuery query = queries[i];
       const auto submitted = Clock::now();
-      futures.push_back(pool.submit([this, query, submitted, &metrics,
-                                     &latency] {
+      futures.push_back(pool.submit([this, query, i, submitted, &metrics,
+                                     &latency, log] {
         const auto begun = Clock::now();
         metrics.queue_wait.observe(seconds_between(submitted, begun));
         const obs::SpanTimer span("batch.query");
@@ -107,6 +124,48 @@ BatchResult BatchPlanner::plan_all(
         const double run_seconds = seconds_between(begun, Clock::now());
         metrics.run_time.observe(run_seconds);
         latency.observe(run_seconds);
+        if (log != nullptr) {
+          obs::QueryRecord record = start_record(query, i);
+          const MlcStats& stats = outcome.result.stats;
+          record.mlc_seconds = stats.search_seconds;
+          record.labels_created = stats.labels_created;
+          record.labels_dominated = stats.labels_dominated;
+          record.queue_pops = stats.queue_pops;
+          record.pareto_size = stats.pareto_size;
+          if (outcome.selection.has_value()) {
+            const SelectionResult& sel = *outcome.selection;
+            record.kmeans_seconds = sel.kmeans_seconds;
+            record.selection_seconds = sel.selection_seconds;
+            record.candidate_count = sel.candidates.size();
+            if (!sel.candidates.empty()) {
+              const CandidateRoute& best = sel.candidates.size() > 1
+                                               ? sel.candidates[1]
+                                               : sel.candidates[0];
+              record.travel_time_s = best.metrics.travel_time.value();
+              record.shaded_time_s = best.metrics.shaded_time.value();
+              record.energy_out_wh = best.metrics.energy_out.value();
+              record.energy_in_wh = best.metrics.energy_in.value();
+            }
+          } else if (!outcome.result.routes.empty()) {
+            // No selection pipeline: summarize the shortest-time Pareto
+            // route (what the paper falls back to).
+            const auto fastest = std::min_element(
+                outcome.result.routes.begin(), outcome.result.routes.end(),
+                [](const ParetoRoute& a, const ParetoRoute& b) {
+                  return a.cost.travel_time.value() <
+                         b.cost.travel_time.value();
+                });
+            const RouteMetrics best = evaluate_route(
+                map_, vehicle_, fastest->path, query.departure);
+            record.candidate_count = outcome.result.routes.size();
+            record.travel_time_s = best.travel_time.value();
+            record.shaded_time_s = best.shaded_time.value();
+            record.energy_out_wh = best.energy_out.value();
+            record.energy_in_wh = best.energy_in.value();
+          }
+          record.total_seconds = run_seconds;
+          log->write(record);
+        }
         return outcome;
       }));
     }
@@ -117,6 +176,12 @@ BatchResult BatchPlanner::plan_all(
         result.queries[i].selection = std::move(outcome.selection);
       } catch (const std::exception& e) {
         result.queries[i].error = e.what();
+        if (log != nullptr) {
+          obs::QueryRecord record = start_record(queries[i], i);
+          record.status = "error";
+          record.error = e.what();
+          log->write(record);
+        }
         SUNCHASE_LOG(Info) << "batch: query " << i << " ("
                            << queries[i].origin << "->"
                            << queries[i].destination << " @ "
@@ -140,10 +205,7 @@ BatchResult BatchPlanner::plan_all(
     result.stats.queries_per_second =
         static_cast<double>(queries.size()) / result.stats.wall_seconds;
 
-  const obs::HistogramSnapshot snap = latency.snapshot();
-  result.stats.latency_p50_seconds = snap.quantile(0.50);
-  result.stats.latency_p95_seconds = snap.quantile(0.95);
-  result.stats.latency_max_seconds = snap.max;
+  result.stats.latency = latency.snapshot();
 
   metrics.throughput.set(result.stats.queries_per_second);
   metrics.queries_ok.add(result.stats.succeeded);

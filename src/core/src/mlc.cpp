@@ -186,15 +186,16 @@ MlcResult MultiLabelCorrecting::search(roadnet::NodeId origin,
             });
   result.stats.pareto_size = result.routes.size();
 
+  result.stats.search_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    search_start)
+          .count();
   const MlcMetrics& metrics = MlcMetrics::get();
   metrics.labels_created.add(result.stats.labels_created);
   metrics.labels_dominated.add(result.stats.labels_dominated);
   metrics.queue_pops.add(result.stats.queue_pops);
   metrics.queries.add();
-  metrics.latency.observe(
-      std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                    search_start)
-          .count());
+  metrics.latency.observe(result.stats.search_seconds);
   SUNCHASE_LOG(Debug) << "mlc: " << origin << "->" << destination << " @ "
                       << departure.to_string() << ": "
                       << result.stats.labels_created << " labels, "

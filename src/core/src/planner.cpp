@@ -1,9 +1,22 @@
 #include "sunchase/core/planner.h"
 
+#include <chrono>
+
 #include "sunchase/common/error.h"
+#include "sunchase/obs/query_log.h"
 #include "sunchase/obs/trace.h"
 
 namespace sunchase::core {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point from) {
+  return std::chrono::duration<double>(Clock::now() - from).count();
+}
+
+}  // namespace
 
 const CandidateRoute& PlanResult::recommended() const {
   if (candidates.empty())
@@ -23,17 +36,54 @@ PlanResult SunChasePlanner::plan(roadnet::NodeId origin,
                                  roadnet::NodeId destination,
                                  TimeOfDay departure) const {
   const obs::SpanTimer span("core.plan");
-  const MlcResult search = solver_.search(origin, destination, departure);
+  const auto started = Clock::now();
+  obs::QueryLog* const log = options_.query_log;
+  obs::QueryRecord record;
+  if (log != nullptr) {
+    record.mode = "plan";
+    record.origin = origin;
+    record.destination = destination;
+    record.departure = departure.to_string();
+  }
 
-  SelectionResult selection = select_representative_routes(
-      search.routes, map_, vehicle_, departure, options_.selection);
+  try {
+    const MlcResult search = solver_.search(origin, destination, departure);
+    SelectionResult selection = select_representative_routes(
+        search.routes, map_, vehicle_, departure, options_.selection);
 
-  PlanResult plan;
-  plan.candidates = std::move(selection.candidates);
-  plan.pareto_route_count = search.routes.size();
-  plan.cluster_count = selection.cluster_count;
-  plan.search_stats = search.stats;
-  return plan;
+    PlanResult plan;
+    plan.candidates = std::move(selection.candidates);
+    plan.pareto_route_count = search.routes.size();
+    plan.cluster_count = selection.cluster_count;
+    plan.search_stats = search.stats;
+
+    if (log != nullptr) {
+      record.mlc_seconds = search.stats.search_seconds;
+      record.kmeans_seconds = selection.kmeans_seconds;
+      record.selection_seconds = selection.selection_seconds;
+      record.labels_created = search.stats.labels_created;
+      record.labels_dominated = search.stats.labels_dominated;
+      record.queue_pops = search.stats.queue_pops;
+      record.pareto_size = search.stats.pareto_size;
+      record.candidate_count = plan.candidates.size();
+      const RouteMetrics& best = plan.recommended().metrics;
+      record.travel_time_s = best.travel_time.value();
+      record.shaded_time_s = best.shaded_time.value();
+      record.energy_out_wh = best.energy_out.value();
+      record.energy_in_wh = best.energy_in.value();
+      record.total_seconds = seconds_since(started);
+      log->write(record);
+    }
+    return plan;
+  } catch (const std::exception& e) {
+    if (log != nullptr) {
+      record.status = "error";
+      record.error = e.what();
+      record.total_seconds = seconds_since(started);
+      log->write(record);
+    }
+    throw;
+  }
 }
 
 }  // namespace sunchase::core

@@ -1,6 +1,7 @@
 #include "sunchase/core/selection.h"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 #include <set>
 
@@ -27,6 +28,12 @@ SelectionResult select_representative_routes(
     const ev::ConsumptionModel& vehicle, TimeOfDay departure,
     const SelectionOptions& options) {
   const obs::SpanTimer span("core.selection");
+  const auto selection_start = std::chrono::steady_clock::now();
+  const auto seconds_since = [](std::chrono::steady_clock::time_point from) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         from)
+        .count();
+  };
   SelectionResult result;
   if (pareto.empty()) return result;
 
@@ -39,8 +46,10 @@ SelectionResult select_representative_routes(
                                  r.cost.energy_out.value()});
   const std::vector<LabelVector> normalized = normalize_dimensions(points);
 
+  const auto kmeans_start = std::chrono::steady_clock::now();
   const Clustering clustering =
       bisecting_kmeans(normalized, options.clustering);
+  result.kmeans_seconds = seconds_since(kmeans_start);
   result.cluster_count = clustering.clusters.size();
 
   // Step 1: single-cost-optimum routes.
@@ -120,6 +129,7 @@ SelectionResult select_representative_routes(
               return a.extra_energy > b.extra_energy;
             });
   for (auto& cand : better) result.candidates.push_back(std::move(cand));
+  result.selection_seconds = seconds_since(selection_start);
   SUNCHASE_LOG(Debug) << "selection: " << pareto.size() << " Pareto routes, "
                       << result.cluster_count << " clusters, "
                       << result.representative_count

@@ -6,6 +6,7 @@
 #include <map>
 #include <string>
 
+#include "sunchase/core/explain.h"
 #include "sunchase/core/planner.h"
 #include "sunchase/roadnet/path.h"
 #include "sunchase/shadow/scene.h"
@@ -36,5 +37,14 @@ using Properties = std::map<std::string, std::string>;
 /// travel_time_s, energy_in_wh, energy_out_wh, extra_energy_wh).
 [[nodiscard]] std::string geojson_plan(const roadnet::RoadGraph& graph,
                                        const core::PlanResult& plan);
+
+/// An explained route: one LineString feature per ledger step, carrying
+/// the step's full energy accounting as properties (kind
+/// "explain-step", seq, edge, entry, slot, length_m, speed_kmh,
+/// shade_ratio, travel_time_s, solar_time_s, energy_in_wh,
+/// energy_out_wh plus the cumulative totals) — ready for per-edge
+/// styling (e.g. color by shade_ratio) in geojson.io / QGIS.
+[[nodiscard]] std::string geojson_explained_route(
+    const roadnet::RoadGraph& graph, const core::RouteLedger& ledger);
 
 }  // namespace sunchase::exporter

@@ -145,6 +145,34 @@ std::string geojson_scene(const shadow::Scene& scene) {
   return collection(features);
 }
 
+std::string geojson_explained_route(const roadnet::RoadGraph& graph,
+                                    const core::RouteLedger& ledger) {
+  std::vector<std::string> features;
+  features.reserve(ledger.steps.size());
+  for (std::size_t i = 0; i < ledger.steps.size(); ++i) {
+    const core::ExplainStep& s = ledger.steps[i];
+    features.push_back(line_feature(
+        {graph.node(s.from).position, graph.node(s.to).position},
+        {{"kind", "explain-step"},
+         {"seq", std::to_string(i)},
+         {"edge", std::to_string(s.edge)},
+         {"entry", s.entry.to_string()},
+         {"slot", std::to_string(s.slot)},
+         {"length_m", fixed(s.length.value(), 1)},
+         {"speed_kmh", fixed(to_kmh(s.speed), 1)},
+         {"shade_ratio", fixed(s.shade_ratio, 4)},
+         {"travel_time_s", fixed(s.travel_time.value(), 3)},
+         {"solar_time_s", fixed(s.solar_time.value(), 3)},
+         {"energy_in_wh", fixed(s.energy_in.value(), 4)},
+         {"energy_out_wh", fixed(s.energy_out.value(), 4)},
+         {"cum_travel_time_s", fixed(s.cumulative.travel_time.value(), 3)},
+         {"cum_energy_in_wh", fixed(s.cumulative_energy_in.value(), 4)},
+         {"cum_energy_out_wh",
+          fixed(s.cumulative.energy_out.value(), 4)}}));
+  }
+  return collection(features);
+}
+
 std::string geojson_plan(const roadnet::RoadGraph& graph,
                          const core::PlanResult& plan) {
   std::vector<std::string> features;

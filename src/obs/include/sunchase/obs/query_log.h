@@ -1,0 +1,104 @@
+// Per-query structured logging: the planner emits one QueryRecord per
+// planned query, and QueryLog appends it as a single JSONL line to a
+// shared sink. Where the metrics Registry answers "how is the process
+// doing", the query log answers "which query was slow and why" — the
+// unit of observation is one (origin, destination, departure) request,
+// with its per-phase durations, search effort and chosen-route energy
+// summary. Writes are serialized under a mutex so concurrent workers
+// never interleave lines; records above a configurable slow-query
+// threshold are additionally logged at Warn.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <ostream>
+#include <string>
+
+#include "sunchase/common/units.h"
+#include "sunchase/obs/metrics.h"
+
+namespace sunchase::obs {
+
+/// Everything one planned query leaves behind. Plain data: core fills
+/// it, QueryLog serializes it; obs stays ignorant of routing types.
+struct QueryRecord {
+  std::string mode = "plan";     ///< "plan" or "batch"
+  std::int64_t index = -1;       ///< position within a batch; -1 single
+  std::uint64_t origin = 0;      ///< origin node id
+  std::uint64_t destination = 0; ///< destination node id
+  std::string departure;         ///< "HH:MM:SS"
+  std::string status = "ok";     ///< "ok" or "error"
+  std::string error;             ///< exception message when status=error
+
+  // Per-phase durations, in seconds.
+  double mlc_seconds = 0.0;        ///< multi-label correcting search
+  double kmeans_seconds = 0.0;     ///< bisecting k-means inside selection
+  double selection_seconds = 0.0;  ///< whole selection pipeline
+  double total_seconds = 0.0;      ///< submit-to-record wall clock
+
+  // Search effort (MlcStats of the query).
+  std::uint64_t labels_created = 0;
+  std::uint64_t labels_dominated = 0;
+  std::uint64_t queue_pops = 0;
+  std::uint64_t pareto_size = 0;
+
+  // Chosen-route summary (the recommended candidate; zero on error).
+  std::uint64_t candidate_count = 0;
+  double travel_time_s = 0.0;
+  double shaded_time_s = 0.0;
+  double energy_out_wh = 0.0;  ///< EV consumption (Eq. 6)
+  double energy_in_wh = 0.0;   ///< solar harvested (Eq. 2)
+
+  /// One JSON object on a single line (no trailing newline). Error and
+  /// route-summary fields appear only when meaningful.
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Thread-safe JSONL sink. Serialization happens outside the lock; the
+/// lock only covers the single-line append, so concurrent planner
+/// workers get exactly one unbroken line per record.
+class QueryLog {
+ public:
+  /// Opens (truncates) `path`; throws IoError when unwritable.
+  explicit QueryLog(const std::string& path);
+  /// Appends to a caller-owned stream (tests, in-memory sinks); the
+  /// stream must outlive the log.
+  explicit QueryLog(std::ostream& sink);
+  QueryLog(const QueryLog&) = delete;
+  QueryLog& operator=(const QueryLog&) = delete;
+
+  /// Queries slower than this (total_seconds) are also logged at Warn;
+  /// zero (the default) disables the slow-query path entirely.
+  void set_slow_threshold(Seconds threshold) noexcept {
+    slow_threshold_seconds_.store(threshold.value(),
+                                  std::memory_order_relaxed);
+  }
+  [[nodiscard]] Seconds slow_threshold() const noexcept {
+    return Seconds{slow_threshold_seconds_.load(std::memory_order_relaxed)};
+  }
+
+  /// Appends `record` as one JSONL line (flushed, so a crashed run
+  /// keeps every completed query).
+  void write(const QueryRecord& record);
+
+  [[nodiscard]] std::uint64_t record_count() const noexcept {
+    return records_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t slow_count() const noexcept {
+    return slow_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::ofstream owned_;   ///< backing file for the path constructor
+  std::ostream& sink_;    ///< owned_ or the caller's stream
+  std::mutex mutex_;      ///< serializes appends only
+  std::atomic<double> slow_threshold_seconds_{0.0};
+  std::atomic<std::uint64_t> records_{0};
+  std::atomic<std::uint64_t> slow_{0};
+  Counter& records_metric_;  ///< "querylog.records"
+  Counter& slow_metric_;     ///< "querylog.slow_queries"
+};
+
+}  // namespace sunchase::obs

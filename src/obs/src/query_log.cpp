@@ -1,0 +1,115 @@
+#include "sunchase/obs/query_log.h"
+
+#include <sstream>
+
+#include "sunchase/common/error.h"
+#include "sunchase/common/logging.h"
+
+namespace sunchase::obs {
+
+namespace {
+
+/// Shortest round-trippable rendering without trailing-zero noise.
+std::string format_double(double v) {
+  std::ostringstream out;
+  out.precision(12);
+  out << v;
+  return out.str();
+}
+
+/// Escapes the JSON-hostile characters an exception message can carry.
+std::string escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string QueryRecord::to_json() const {
+  std::ostringstream out;
+  out << "{\"mode\":\"" << escape(mode) << "\"";
+  if (index >= 0) out << ",\"index\":" << index;
+  out << ",\"origin\":" << origin << ",\"destination\":" << destination
+      << ",\"departure\":\"" << escape(departure) << "\",\"status\":\""
+      << escape(status) << "\"";
+  if (status != "ok") out << ",\"error\":\"" << escape(error) << "\"";
+  out << ",\"mlc_seconds\":" << format_double(mlc_seconds)
+      << ",\"kmeans_seconds\":" << format_double(kmeans_seconds)
+      << ",\"selection_seconds\":" << format_double(selection_seconds)
+      << ",\"total_seconds\":" << format_double(total_seconds)
+      << ",\"labels_created\":" << labels_created
+      << ",\"labels_dominated\":" << labels_dominated
+      << ",\"queue_pops\":" << queue_pops << ",\"pareto_size\":"
+      << pareto_size;
+  if (status == "ok")
+    out << ",\"candidates\":" << candidate_count << ",\"travel_time_s\":"
+        << format_double(travel_time_s) << ",\"shaded_time_s\":"
+        << format_double(shaded_time_s) << ",\"energy_out_wh\":"
+        << format_double(energy_out_wh) << ",\"energy_in_wh\":"
+        << format_double(energy_in_wh);
+  out << "}";
+  return out.str();
+}
+
+QueryLog::QueryLog(const std::string& path)
+    : owned_(path),
+      sink_(owned_),
+      records_metric_(Registry::global().counter("querylog.records")),
+      slow_metric_(Registry::global().counter("querylog.slow_queries")) {
+  if (!owned_) throw IoError("QueryLog: cannot open " + path);
+}
+
+QueryLog::QueryLog(std::ostream& sink)
+    : sink_(sink),
+      records_metric_(Registry::global().counter("querylog.records")),
+      slow_metric_(Registry::global().counter("querylog.slow_queries")) {}
+
+void QueryLog::write(const QueryRecord& record) {
+  // Build the full line outside the lock; the critical section is one
+  // streamed write, so lines from concurrent workers never interleave.
+  const std::string line = record.to_json() + "\n";
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    sink_ << line;
+    sink_.flush();
+  }
+  records_.fetch_add(1, std::memory_order_relaxed);
+  records_metric_.add();
+
+  const double threshold =
+      slow_threshold_seconds_.load(std::memory_order_relaxed);
+  if (threshold > 0.0 && record.total_seconds > threshold) {
+    slow_.fetch_add(1, std::memory_order_relaxed);
+    slow_metric_.add();
+    SUNCHASE_LOG(Warning) << "querylog: slow query " << record.origin << "->"
+                          << record.destination << " @ " << record.departure
+                          << ": " << record.total_seconds << " s > "
+                          << threshold << " s threshold ("
+                          << record.labels_created << " labels, Pareto "
+                          << record.pareto_size << ")";
+  }
+}
+
+}  // namespace sunchase::obs

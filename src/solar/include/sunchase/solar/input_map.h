@@ -20,6 +20,7 @@ struct EdgeSolar {
   Seconds solar_time{0.0};    ///< t_solar = S_solar / V (Eq. 3)
   Seconds shaded_time{0.0};   ///< travel_time - solar_time
   WattHours energy_in{0.0};   ///< C * t_solar (Eq. 2)
+  double shade_ratio = 0.0;   ///< shaded fraction at the 15-min slot
 };
 
 /// Borrows the graph, shading profile and traffic model (callers keep

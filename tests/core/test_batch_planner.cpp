@@ -2,11 +2,15 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "core_fixture.h"
+#include "obs/json_check.h"
 #include "sunchase/common/error.h"
+#include "sunchase/obs/query_log.h"
 
 namespace sunchase::core {
 namespace {
@@ -165,14 +169,15 @@ TEST(BatchPlanner, LatencyPercentilesComeFromTheBatchHistogram) {
   const BatchPlanner batch(env.map, *env.lv, opt);
   const BatchResult result = batch.plan_all(grid_queries(city));
 
-  EXPECT_GT(result.stats.latency_p50_seconds, 0.0);
-  EXPECT_GE(result.stats.latency_p95_seconds,
-            result.stats.latency_p50_seconds);
-  EXPECT_GE(result.stats.latency_max_seconds,
-            result.stats.latency_p95_seconds);
+  // One histogram observation per query; percentiles come from the
+  // shared HistogramSnapshot::quantile, not batch-local math.
+  EXPECT_EQ(result.stats.latency.count, grid_queries(city).size());
+  EXPECT_GT(result.stats.latency.quantile(0.50), 0.0);
+  EXPECT_GE(result.stats.latency.quantile(0.95),
+            result.stats.latency.quantile(0.50));
+  EXPECT_GE(result.stats.latency.max, result.stats.latency.quantile(0.95));
   // Per-query in-worker latency can never exceed the batch wall clock.
-  EXPECT_LE(result.stats.latency_max_seconds,
-            result.stats.wall_seconds + 1e-9);
+  EXPECT_LE(result.stats.latency.max, result.stats.wall_seconds + 1e-9);
 }
 
 TEST(BatchPlanner, EmptyBatchHasZeroLatencyPercentiles) {
@@ -180,9 +185,10 @@ TEST(BatchPlanner, EmptyBatchHasZeroLatencyPercentiles) {
   test::RoutingEnv env(sq.graph);
   const BatchPlanner batch(env.map, *env.lv);
   const BatchResult result = batch.plan_all({});
-  EXPECT_EQ(result.stats.latency_p50_seconds, 0.0);
-  EXPECT_EQ(result.stats.latency_p95_seconds, 0.0);
-  EXPECT_EQ(result.stats.latency_max_seconds, 0.0);
+  EXPECT_EQ(result.stats.latency.count, 0u);
+  EXPECT_EQ(result.stats.latency.quantile(0.50), 0.0);
+  EXPECT_EQ(result.stats.latency.quantile(0.95), 0.0);
+  EXPECT_EQ(result.stats.latency.max, 0.0);
 }
 
 TEST(BatchPlanner, SelectionOffByDefault) {
@@ -212,6 +218,65 @@ TEST(BatchPlanner, RunSelectionYieldsCandidatesPerQuery) {
     EXPECT_TRUE(q.selection->candidates.front().is_shortest_time);
     EXPECT_LE(q.selection->candidates.size(), q.result->routes.size());
   }
+}
+
+TEST(BatchPlanner, QueryLogGetsExactlyOneRecordPerQuery) {
+  const roadnet::GridCity city{roadnet::GridCityOptions{}};
+  test::RoutingEnv env(city.graph());
+  std::ostringstream sink;
+  obs::QueryLog log(sink);
+  BatchPlannerOptions opt;
+  opt.workers = 4;
+  opt.run_selection = true;
+  opt.query_log = &log;
+  const BatchPlanner batch(env.map, *env.lv, opt);
+
+  const auto queries = grid_queries(city);
+  const BatchResult result = batch.plan_all(queries);
+  ASSERT_EQ(result.stats.succeeded, queries.size());
+  EXPECT_EQ(log.record_count(), queries.size());
+
+  // One valid JSONL line per query, each carrying its batch index
+  // exactly once (workers write concurrently; no torn lines allowed).
+  std::vector<std::string> lines;
+  std::istringstream in(sink.str());
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), queries.size());
+  std::set<std::string> indices;
+  for (const std::string& l : lines) {
+    EXPECT_TRUE(test::json_parses(l)) << l;
+    EXPECT_NE(l.find("\"mode\":\"batch\""), std::string::npos);
+    const auto at = l.find("\"index\":");
+    ASSERT_NE(at, std::string::npos) << l;
+    const auto start = at + 8;
+    indices.insert(l.substr(start, l.find(',', start) - start));
+  }
+  EXPECT_EQ(indices.size(), queries.size());
+}
+
+TEST(BatchPlanner, FailedQueriesStillProduceAnErrorRecord) {
+  test::SquareGraph sq;
+  const roadnet::NodeId island = sq.graph.add_node({45.55, -73.55});
+  test::RoutingEnv env(sq.graph);
+  std::ostringstream sink;
+  obs::QueryLog log(sink);
+  BatchPlannerOptions opt;
+  opt.workers = 2;
+  opt.query_log = &log;
+  const BatchPlanner batch(env.map, *env.lv, opt);
+
+  const std::vector<BatchQuery> queries = {
+      {0, 3, TimeOfDay::hms(10, 0)},
+      {0, island, TimeOfDay::hms(10, 0)},  // unreachable -> RoutingError
+      {1, 3, TimeOfDay::hms(10, 0)},
+  };
+  const BatchResult result = batch.plan_all(queries);
+  EXPECT_EQ(result.stats.failed, 1u);
+  EXPECT_EQ(log.record_count(), queries.size());
+  const std::string text = sink.str();
+  EXPECT_NE(text.find("\"status\":\"error\""), std::string::npos);
+  EXPECT_NE(text.find("unreachable"), std::string::npos);
 }
 
 TEST(BatchPlanner, InvalidMlcOptionsRejectedAtConstruction) {

@@ -2,8 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "core_fixture.h"
+#include "obs/json_check.h"
 #include "sunchase/common/error.h"
+#include "sunchase/obs/query_log.h"
 
 namespace sunchase::core {
 namespace {
@@ -33,6 +37,37 @@ TEST_F(PlannerTest, PlanProducesConsistentResult) {
     EXPECT_EQ(path_destination(cand.route.path, city_.graph()),
               city_.node_at(8, 8));
   }
+}
+
+TEST_F(PlannerTest, EveryPlanAppendsOneQueryLogRecord) {
+  std::ostringstream sink;
+  obs::QueryLog log(sink);
+  PlannerOptions options;
+  options.query_log = &log;
+  const SunChasePlanner planner(env_.map, *env_.lv, options);
+
+  const PlanResult plan = planner.plan(city_.node_at(1, 1),
+                                       city_.node_at(8, 8),
+                                       TimeOfDay::hms(10, 0));
+  ASSERT_FALSE(plan.candidates.empty());
+  EXPECT_EQ(log.record_count(), 1u);
+
+  const std::string text = sink.str();
+  ASSERT_FALSE(text.empty());
+  const std::string line = text.substr(0, text.find('\n'));
+  EXPECT_TRUE(test::json_parses(line)) << line;
+  EXPECT_NE(line.find("\"mode\":\"plan\""), std::string::npos);
+  EXPECT_NE(line.find("\"status\":\"ok\""), std::string::npos);
+  // Phase durations and the recommended-route summary made it through.
+  EXPECT_NE(line.find("\"mlc_seconds\""), std::string::npos);
+  EXPECT_NE(line.find("\"travel_time_s\""), std::string::npos);
+
+  // A failed plan still leaves a record, flagged as an error.
+  EXPECT_THROW(planner.plan(city_.node_at(1, 1), city_.node_at(1, 1) + 100000,
+                            TimeOfDay::hms(10, 0)),
+               std::exception);
+  EXPECT_EQ(log.record_count(), 2u);
+  EXPECT_NE(sink.str().find("\"status\":\"error\""), std::string::npos);
 }
 
 TEST_F(PlannerTest, RecommendedPrefersBetterSolar) {

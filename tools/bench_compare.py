@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Compare a perf_batch_scaling run against a committed baseline.
+
+Usage:
+    tools/bench_compare.py BASELINE.json CURRENT.json [--tolerance 0.25]
+        [--update]
+
+Reads the ``samples`` array of both BENCH_batch.json files, compares the
+peak queries_per_second across worker counts, and exits 1 when the
+current peak falls below ``baseline * (1 - tolerance)``.
+
+The tolerance is deliberately wide (default 25%): the committed baseline
+was recorded on a small dev container while CI runs on shared runners
+with different core counts and noisy neighbours, so only a genuine
+regression — not machine-to-machine jitter — should trip it. Faster
+results never fail; pass --update to rewrite the baseline from the
+current run when a real improvement or environment change lands.
+"""
+
+import argparse
+import json
+import shutil
+import sys
+
+
+def peak_qps(report):
+    samples = report.get("samples", [])
+    if not samples:
+        raise SystemExit("error: no samples[] in benchmark report")
+    return max(s["queries_per_second"] for s in samples)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed BENCH_batch.json")
+    parser.add_argument("current", help="freshly produced BENCH_batch.json")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional drop below baseline (default 0.25)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the baseline from the current run and exit 0",
+    )
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    with open(args.current) as f:
+        current = json.load(f)
+
+    base_peak = peak_qps(baseline)
+    cur_peak = peak_qps(current)
+    floor = base_peak * (1.0 - args.tolerance)
+
+    print(f"{'workers':>8} {'baseline q/s':>14} {'current q/s':>14}")
+    base_by_workers = {s["workers"]: s for s in baseline.get("samples", [])}
+    for sample in current.get("samples", []):
+        base = base_by_workers.get(sample["workers"])
+        base_qps = f"{base['queries_per_second']:14.2f}" if base else " " * 14
+        print(f"{sample['workers']:>8} {base_qps} "
+              f"{sample['queries_per_second']:14.2f}")
+    print(
+        f"peak: baseline {base_peak:.2f} q/s, current {cur_peak:.2f} q/s, "
+        f"floor {floor:.2f} q/s (tolerance {args.tolerance:.0%})"
+    )
+
+    if args.update:
+        shutil.copyfile(args.current, args.baseline)
+        print(f"updated {args.baseline} from {args.current}")
+        return 0
+
+    if cur_peak < floor:
+        print(
+            f"FAIL: current peak {cur_peak:.2f} q/s is more than "
+            f"{args.tolerance:.0%} below baseline {base_peak:.2f} q/s",
+            file=sys.stderr,
+        )
+        return 1
+    print("OK: throughput within tolerance of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
