@@ -1,10 +1,12 @@
 // Batch-query throughput scaling: the paper-world graph, the four
 // Table R-I origin/destination pairs replicated across departure times,
-// fanned out by core::BatchPlanner over 1/2/4/8 workers. Reports
-// queries/sec and speedup vs the single-worker run and writes
-// BENCH_batch.json for CI trend tracking. This is the server-side
-// pre-computation workload of the SCORE deployment model: one process
-// answering a fleet's route queries per solar-map refresh.
+// fanned out by core::BatchPlanner over 1/2/4/8 workers — once per
+// pricing mode (Exact re-evaluates the solar map per label expansion;
+// SlotQuantized reads the shared per-(edge, slot) cost cache). Reports
+// queries/sec, speedup vs the single-worker run, and the slot-cache hit
+// rate, and writes BENCH_batch.json for CI trend tracking. This is the
+// server-side pre-computation workload of the SCORE deployment model:
+// one process answering a fleet's route queries per solar-map refresh.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -35,11 +37,24 @@ std::vector<core::BatchQuery> make_queries(const bench::PaperWorld& world,
 }
 
 struct Sample {
+  const char* pricing = "exact";
   std::size_t workers = 0;
   double wall_seconds = 0.0;
   double queries_per_second = 0.0;
   double speedup = 1.0;
+  double cache_hit_rate = 0.0;  ///< 0 under Exact (no cache)
 };
+
+/// Slot-cache hit rate over one sweep: hits / (hits + misses) from the
+/// counter deltas, 0 when the cache never ran.
+double hit_rate(std::uint64_t hits_before, std::uint64_t misses_before) {
+  auto& reg = obs::Registry::global();
+  const double hits =
+      static_cast<double>(reg.counter("slotcache.hits").value() - hits_before);
+  const double misses = static_cast<double>(
+      reg.counter("slotcache.misses").value() - misses_before);
+  return hits + misses > 0.0 ? hits / (hits + misses) : 0.0;
+}
 
 }  // namespace
 
@@ -52,34 +67,46 @@ int main(int argc, char** argv) {
   const auto map = world.map_at(Watts{200.0});
   const auto queries = make_queries(world, replicas);
   std::printf("paper world 12x12, %zu queries (4 OD pairs x 6 departures "
-              "x %d replicas)\n\n",
+              "x %d replicas)\n",
               queries.size(), replicas);
 
   std::vector<Sample> samples;
-  for (const std::size_t workers : {1u, 2u, 4u, 8u}) {
-    core::BatchPlannerOptions opt;
-    opt.workers = workers;
-    opt.mlc.max_time_factor = 1.5;
-    const core::BatchPlanner planner(map, world.lv(), opt);
-    const core::BatchResult result = planner.plan_all(queries);
+  for (const core::PricingMode pricing :
+       {core::PricingMode::Exact, core::PricingMode::SlotQuantized}) {
+    std::printf("\n--- %s pricing ---\n", core::pricing_name(pricing));
+    double base_qps = 0.0;
+    for (const std::size_t workers : {1u, 2u, 4u, 8u}) {
+      auto& reg = obs::Registry::global();
+      const std::uint64_t hits_before = reg.counter("slotcache.hits").value();
+      const std::uint64_t misses_before =
+          reg.counter("slotcache.misses").value();
 
-    Sample s;
-    s.workers = workers;
-    s.wall_seconds = result.stats.wall_seconds;
-    s.queries_per_second = result.stats.queries_per_second;
-    s.speedup = samples.empty()
-                    ? 1.0
-                    : s.queries_per_second / samples.front().queries_per_second;
-    samples.push_back(s);
+      core::BatchPlannerOptions opt;
+      opt.workers = workers;
+      opt.mlc.max_time_factor = 1.5;
+      opt.mlc.pricing = pricing;
+      const core::BatchPlanner planner(map, world.lv(), opt);
+      const core::BatchResult result = planner.plan_all(queries);
 
-    std::printf("workers=%zu  wall=%7.3f s  throughput=%7.2f q/s  "
-                "speedup=%5.2fx  (ok=%zu fail=%zu, %zu labels, "
-                "p50=%.1f ms p95=%.1f ms)\n",
-                workers, s.wall_seconds, s.queries_per_second, s.speedup,
-                result.stats.succeeded, result.stats.failed,
-                result.stats.totals.labels_created,
-                result.stats.latency.quantile(0.50) * 1e3,
-                result.stats.latency.quantile(0.95) * 1e3);
+      Sample s;
+      s.pricing = core::pricing_name(pricing);
+      s.workers = workers;
+      s.wall_seconds = result.stats.wall_seconds;
+      s.queries_per_second = result.stats.queries_per_second;
+      if (base_qps == 0.0) base_qps = s.queries_per_second;
+      s.speedup = s.queries_per_second / base_qps;
+      s.cache_hit_rate = hit_rate(hits_before, misses_before);
+      samples.push_back(s);
+
+      std::printf("workers=%zu  wall=%7.3f s  throughput=%7.2f q/s  "
+                  "speedup=%5.2fx  hit_rate=%.3f  (ok=%zu fail=%zu, "
+                  "%zu labels, p50=%.1f ms p95=%.1f ms)\n",
+                  workers, s.wall_seconds, s.queries_per_second, s.speedup,
+                  s.cache_hit_rate, result.stats.succeeded,
+                  result.stats.failed, result.stats.totals.labels_created,
+                  result.stats.latency.quantile(0.50) * 1e3,
+                  result.stats.latency.quantile(0.95) * 1e3);
+    }
   }
 
   const char* json_path = argc > 2 ? argv[2] : "BENCH_batch.json";
@@ -89,13 +116,17 @@ int main(int argc, char** argv) {
                  queries.size());
     for (std::size_t i = 0; i < samples.size(); ++i)
       std::fprintf(f,
-                   "    {\"workers\": %zu, \"wall_seconds\": %.6f, "
-                   "\"queries_per_second\": %.3f, \"speedup\": %.3f}%s\n",
-                   samples[i].workers, samples[i].wall_seconds,
-                   samples[i].queries_per_second, samples[i].speedup,
+                   "    {\"pricing\": \"%s\", \"workers\": %zu, "
+                   "\"wall_seconds\": %.6f, "
+                   "\"queries_per_second\": %.3f, \"speedup\": %.3f, "
+                   "\"cache_hit_rate\": %.4f}%s\n",
+                   samples[i].pricing, samples[i].workers,
+                   samples[i].wall_seconds, samples[i].queries_per_second,
+                   samples[i].speedup, samples[i].cache_hit_rate,
                    i + 1 < samples.size() ? "," : "");
-    // Registry snapshot over all four sweeps: search-effort counters
-    // and latency histograms for CI trend tracking.
+    // Registry snapshot over both pricing sweeps: search-effort
+    // counters, latency histograms, and the slotcache.* family for CI
+    // trend tracking.
     const std::string metrics =
         sunchase::obs::Registry::global().snapshot().to_json(2);
     std::fprintf(f, "  ],\n  \"metrics\":\n%s\n}\n", metrics.c_str());

@@ -10,6 +10,8 @@
 //     --ev lv|tesla            vehicle model (default lv)
 //     --panel W                panel power C in watts (default 200)
 //     --time-budget F          max_time_factor (default 1.5)
+//     --pricing exact|slot     edge pricing mode (default exact; batch
+//                              defaults to slot — shared cost cache)
 //     --geojson FILE           write the plan as GeoJSON
 //     --graph-out FILE         write the road graph (text format)
 //     --scene-out FILE         write the scene (text format)
@@ -78,6 +80,9 @@ struct CliOptions {
   std::string ev = "lv";
   double panel_w = 200.0;
   double time_budget = 1.5;
+  /// "" resolves after parsing: "slot" for batch (the shared cache is
+  /// what makes fleets fast), "exact" everywhere else.
+  std::string pricing;
   std::string geojson_path;
   std::string graph_out;
   std::string scene_out;
@@ -105,12 +110,27 @@ bool parse_pair(const char* text, int& a, int& b) {
   return std::sscanf(text, "%d,%d", &a, &b) == 2;
 }
 
+/// The --pricing flag (after defaulting) as a PricingMode; false on an
+/// unknown spelling.
+bool parse_pricing(const std::string& text, core::PricingMode& mode) {
+  if (text == "exact") {
+    mode = core::PricingMode::Exact;
+    return true;
+  }
+  if (text == "slot") {
+    mode = core::PricingMode::SlotQuantized;
+    return true;
+  }
+  return false;
+}
+
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--rows N] [--cols N] [--seed S] [--from R,C] "
                "[--to R,C]\n"
                "          [--time HH:MM] [--ev lv|tesla] [--panel W]\n"
-               "          [--time-budget F] [--geojson FILE] "
+               "          [--time-budget F] [--pricing exact|slot] "
+               "[--geojson FILE] "
                "[--graph-out FILE] [--scene-out FILE]\n"
                "       %s batch --queries FILE [--workers N] "
                "[world options as above]\n"
@@ -164,7 +184,8 @@ std::unique_ptr<obs::QueryLog> open_query_log(const CliOptions& opt) {
   return log;
 }
 
-int run_batch(const CliOptions& opt, const solar::SolarInputMap& map,
+int run_batch(const CliOptions& opt, core::PricingMode pricing,
+              const solar::SolarInputMap& map,
               const ev::ConsumptionModel& vehicle,
               const roadnet::GridCity& city) {
   const auto queries = read_queries(opt.queries_path, city);
@@ -172,6 +193,7 @@ int run_batch(const CliOptions& opt, const solar::SolarInputMap& map,
   core::BatchPlannerOptions batch_options;
   batch_options.workers = opt.workers;
   batch_options.mlc.max_time_factor = opt.time_budget;
+  batch_options.mlc.pricing = pricing;
   // Run the full pipeline (search + clustering + selection) per query:
   // the candidate list is what a route server would hand the fleet.
   batch_options.run_selection = true;
@@ -197,11 +219,12 @@ int run_batch(const CliOptions& opt, const solar::SolarInputMap& map,
                 q.selection ? q.selection->candidates.size() : 0,
                 best.cost.travel_time.value(), best.cost.energy_out.value());
   }
-  std::printf("\n%zu queries (%zu ok, %zu failed) on %zu workers: "
-              "%.3f s wall, %.2f queries/sec\n",
+  std::printf("\n%zu queries (%zu ok, %zu failed) on %zu workers "
+              "(%s pricing): %.3f s wall, %.2f queries/sec\n",
               batch.stats.query_count, batch.stats.succeeded,
               batch.stats.failed, batch.stats.workers,
-              batch.stats.wall_seconds, batch.stats.queries_per_second);
+              core::pricing_name(pricing), batch.stats.wall_seconds,
+              batch.stats.queries_per_second);
   std::printf("per-query latency: p50 %.1f ms, p95 %.1f ms, max %.1f ms\n",
               batch.stats.latency.quantile(0.50) * 1e3,
               batch.stats.latency.quantile(0.95) * 1e3,
@@ -217,7 +240,7 @@ int run_batch(const CliOptions& opt, const solar::SolarInputMap& map,
 /// explain mode: plan on a graph/scene pair loaded from disk, then walk
 /// the recommended route edge by edge and check the ledger sums against
 /// the search's criteria vector.
-int run_explain(const CliOptions& opt) {
+int run_explain(const CliOptions& opt, core::PricingMode pricing) {
   const roadnet::RoadGraph graph = roadnet::read_graph_file(opt.graph_path);
   const shadow::Scene scene = shadow::read_scene_file(opt.scene_path);
   const shadow::ShadingProfile shading = shadow::ShadingProfile::compute_exact(
@@ -237,13 +260,16 @@ int run_explain(const CliOptions& opt) {
 
   core::PlannerOptions planner_options;
   planner_options.mlc.max_time_factor = opt.time_budget;
+  planner_options.mlc.pricing = pricing;
   const core::SunChasePlanner planner(map, *vehicle, planner_options);
   const core::PlanResult plan = planner.plan(origin, destination, departure);
   const core::CandidateRoute& best = plan.recommended();
 
+  // The ledger replays whichever pricing mode produced the route, so
+  // the conservation check below stays bit-exact in both modes.
   const core::RouteExplainer explainer(map, *vehicle);
   const core::RouteLedger ledger = explainer.explain(
-      best.route, departure, planner_options.mlc.time_dependent);
+      best.route, departure, planner_options.mlc.time_dependent, pricing);
 
   std::printf("%s %u -> %u, departing %s (%s route, %zu edges)\n",
               opt.graph_path.c_str(), origin, destination,
@@ -350,6 +376,8 @@ int main(int argc, char** argv) {
       opt.panel_w = std::atof(v);
     else if (arg == "--time-budget" && (v = next()))
       opt.time_budget = std::atof(v);
+    else if (arg == "--pricing" && (v = next()))
+      opt.pricing = v;
     else if (arg == "--geojson" && (v = next()))
       opt.geojson_path = v;
     else if (arg == "--graph-out" && (v = next()))
@@ -387,13 +415,19 @@ int main(int argc, char** argv) {
   }
   if (opt.batch && opt.queries_path.empty()) return usage(argv[0]);
 
+  // Batch defaults to slot-quantized pricing (fleet queries share the
+  // per-slot cost cache); single plan and explain default to exact.
+  if (opt.pricing.empty()) opt.pricing = opt.batch ? "slot" : "exact";
+  core::PricingMode pricing = core::PricingMode::Exact;
+  if (!parse_pricing(opt.pricing, pricing)) return usage(argv[0]);
+
   try {
     if (!opt.log_level.empty())
       set_log_level(parse_log_level(opt.log_level));
     if (!opt.trace_out.empty()) obs::Tracer::global().set_enabled(true);
 
     if (opt.explain) {
-      const int rc = run_explain(opt);
+      const int rc = run_explain(opt, pricing);
       if (!opt.metrics_out.empty())
         write_metrics_report(opt.metrics_out, "explain");
       if (!opt.trace_out.empty()) write_trace(opt.trace_out);
@@ -421,7 +455,7 @@ int main(int argc, char** argv) {
         opt.ev == "tesla" ? ev::make_tesla_model_s() : ev::make_lv_prototype();
 
     if (opt.batch) {
-      const int rc = run_batch(opt, map, *vehicle, city);
+      const int rc = run_batch(opt, pricing, map, *vehicle, city);
       if (!opt.metrics_out.empty())
         write_metrics_report(opt.metrics_out, "batch");
       if (!opt.trace_out.empty()) write_trace(opt.trace_out);
@@ -431,6 +465,7 @@ int main(int argc, char** argv) {
     const std::unique_ptr<obs::QueryLog> query_log = open_query_log(opt);
     core::PlannerOptions planner_options;
     planner_options.mlc.max_time_factor = opt.time_budget;
+    planner_options.mlc.pricing = pricing;
     if (query_log) planner_options.query_log = query_log.get();
     const core::SunChasePlanner planner(map, *vehicle, planner_options);
 

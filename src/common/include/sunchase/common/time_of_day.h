@@ -27,9 +27,13 @@ class TimeOfDay {
   /// From hour/minute/second; throws InvalidArgument when out of range.
   static TimeOfDay hms(int hour, int minute = 0, int second = 0);
 
-  /// From seconds since midnight, clamped into [0, 86400).
+  /// From seconds since midnight, clamped into [0, 86400). Non-finite
+  /// input clamps too: NaN and -inf land at midnight, +inf saturates to
+  /// the last second — so slot_index() never casts a NaN to int (UB).
   static constexpr TimeOfDay from_seconds(double s) noexcept {
-    if (s < 0) s = 0;
+    // NaN fails every ordered comparison, so the lower clamp is written
+    // as a negation: !(NaN >= 0) is true and NaN is replaced.
+    if (!(s >= 0)) s = 0;
     if (s >= kSecondsPerDay) s = kSecondsPerDay - 1;
     return TimeOfDay{s};
   }
@@ -49,10 +53,13 @@ class TimeOfDay {
     return static_cast<int>(seconds_) / kSlotSeconds;
   }
 
-  /// Start of slot `i`; precondition 0 <= i < kSlotsPerDay.
+  /// Start of slot `i`; throws InvalidArgument unless
+  /// 0 <= i < kSlotsPerDay.
   static TimeOfDay slot_start(int i);
 
-  /// This time advanced by `dt` (saturating at end of day).
+  /// This time advanced by `dt` (saturating at end of day). A
+  /// non-finite `dt` clamps through from_seconds like any other
+  /// out-of-day value (NaN/-inf to midnight, +inf to the last second).
   [[nodiscard]] constexpr TimeOfDay advanced_by(Seconds dt) const noexcept {
     return from_seconds(seconds_ + dt.value());
   }

@@ -2,7 +2,6 @@
 
 #include <cstdio>
 
-#include "sunchase/common/assert.h"
 #include "sunchase/common/error.h"
 
 namespace sunchase {
@@ -29,7 +28,10 @@ TimeOfDay TimeOfDay::parse(const std::string& text) {
 }
 
 TimeOfDay TimeOfDay::slot_start(int i) {
-  SUNCHASE_EXPECTS(i >= 0 && i < kSlotsPerDay);
+  if (i < 0 || i >= kSlotsPerDay)
+    throw InvalidArgument("TimeOfDay::slot_start: slot index " +
+                          std::to_string(i) + " outside [0, " +
+                          std::to_string(kSlotsPerDay) + ")");
   return TimeOfDay{static_cast<double>(i * kSlotSeconds)};
 }
 

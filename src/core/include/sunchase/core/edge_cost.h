@@ -8,6 +8,37 @@
 
 namespace sunchase::core {
 
+/// When an edge's criteria vector is priced relative to the label's
+/// entry clock. The paper holds the panel power C and the shading
+/// profile constant within each 15-minute slot (Sec. IV, Eq. 2-3), so
+/// quantizing the pricing clock to the slot start loses nothing on a
+/// slot-constant world — and lets every label entering an edge within
+/// the same slot share one precomputed cost (core::SlotCostCache).
+enum class PricingMode {
+  /// Price at the label's exact entry clock (departure advanced by the
+  /// accumulated travel time). The historical behavior.
+  Exact,
+  /// Price at TimeOfDay::slot_start(when.slot_index()) through the
+  /// shared per-(edge, slot) cost cache. Bit-identical to Exact when
+  /// every time-dependent input is slot-constant (uniform traffic,
+  /// constant or per-slot panel power); bounded divergence under the
+  /// continuous rush-hour traffic model (see EXPERIMENTS.md).
+  SlotQuantized,
+};
+
+/// The clock an edge entered at `when` is priced at under `mode`.
+[[nodiscard]] inline TimeOfDay pricing_time(TimeOfDay when,
+                                            PricingMode mode) {
+  return mode == PricingMode::SlotQuantized
+             ? TimeOfDay::slot_start(when.slot_index())
+             : when;
+}
+
+/// The CLI / query-log spelling of a mode: "exact" or "slot".
+[[nodiscard]] constexpr const char* pricing_name(PricingMode mode) noexcept {
+  return mode == PricingMode::SlotQuantized ? "slot" : "exact";
+}
+
 /// Criteria accrued by entering `edge` at `when` with the given EV.
 [[nodiscard]] Criteria edge_criteria(const solar::SolarInputMap& map,
                                      const ev::ConsumptionModel& vehicle,

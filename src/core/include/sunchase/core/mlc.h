@@ -6,10 +6,12 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "sunchase/core/criteria.h"
 #include "sunchase/core/edge_cost.h"
+#include "sunchase/core/slot_cost_cache.h"
 #include "sunchase/roadnet/path.h"
 
 namespace sunchase::core {
@@ -28,6 +30,11 @@ struct MlcOptions {
   /// state change mid-route. When false, all edges are priced at the
   /// departure instant (the static approximation).
   bool time_dependent = true;
+  /// How the entry clock is turned into an edge price: Exact evaluates
+  /// the solar map per expansion; SlotQuantized rounds the clock down to
+  /// the 15-minute slot start and reads the shared SlotCostCache.
+  /// Bit-identical on a slot-constant world; see PricingMode.
+  PricingMode pricing = PricingMode::Exact;
 };
 
 /// One non-dominated route with its criteria vector.
@@ -72,10 +79,17 @@ class MultiLabelCorrecting {
     return options_;
   }
 
+  /// The slot cost cache backing SlotQuantized pricing; nullptr under
+  /// Exact. Shared by every concurrent search() on this solver.
+  [[nodiscard]] const SlotCostCache* cache() const noexcept {
+    return cache_.get();
+  }
+
  private:
   const solar::SolarInputMap& map_;
   const ev::ConsumptionModel& vehicle_;
   MlcOptions options_;
+  std::unique_ptr<SlotCostCache> cache_;  ///< only when SlotQuantized
 };
 
 }  // namespace sunchase::core

@@ -33,13 +33,15 @@ void accumulate(MlcStats& into, const MlcStats& stats) {
 
 /// Starts a batch-mode QueryRecord for `query`; the worker (or the
 /// collect loop, on failure) fills in the rest.
-obs::QueryRecord start_record(const BatchQuery& query, std::size_t index) {
+obs::QueryRecord start_record(const BatchQuery& query, std::size_t index,
+                              PricingMode pricing) {
   obs::QueryRecord record;
   record.mode = "batch";
   record.index = static_cast<std::int64_t>(index);
   record.origin = query.origin;
   record.destination = query.destination;
   record.departure = query.departure.to_string();
+  record.pricing = pricing_name(pricing);
   return record;
 }
 
@@ -125,7 +127,8 @@ BatchResult BatchPlanner::plan_all(
         metrics.run_time.observe(run_seconds);
         latency.observe(run_seconds);
         if (log != nullptr) {
-          obs::QueryRecord record = start_record(query, i);
+          obs::QueryRecord record = start_record(query, i,
+                                                 options_.mlc.pricing);
           const MlcStats& stats = outcome.result.stats;
           record.mlc_seconds = stats.search_seconds;
           record.labels_created = stats.labels_created;
@@ -177,7 +180,8 @@ BatchResult BatchPlanner::plan_all(
       } catch (const std::exception& e) {
         result.queries[i].error = e.what();
         if (log != nullptr) {
-          obs::QueryRecord record = start_record(queries[i], i);
+          obs::QueryRecord record =
+              start_record(queries[i], i, options_.mlc.pricing);
           record.status = "error";
           record.error = e.what();
           log->write(record);

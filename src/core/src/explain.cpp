@@ -97,8 +97,8 @@ RouteExplainer::RouteExplainer(const solar::SolarInputMap& map,
     : map_(map), vehicle_(vehicle) {}
 
 RouteLedger RouteExplainer::explain(const roadnet::Path& path,
-                                    TimeOfDay departure,
-                                    bool time_dependent) const {
+                                    TimeOfDay departure, bool time_dependent,
+                                    PricingMode pricing) const {
   RouteLedger ledger;
   ledger.departure = departure;
   ledger.steps.reserve(path.size());
@@ -114,9 +114,13 @@ RouteLedger RouteExplainer::explain(const roadnet::Path& path,
     const TimeOfDay entry =
         time_dependent ? departure.advanced_by(cumulative.travel_time)
                        : departure;
-    const solar::EdgeSolar es = map_.evaluate(e, entry);
+    // Replay the pricing mode too: a SlotQuantized route was costed at
+    // the slot start, so the ledger must price there as well or the
+    // conservation sums drift by the within-slot difference.
+    const TimeOfDay priced_at = pricing_time(entry, pricing);
+    const solar::EdgeSolar es = map_.evaluate(e, priced_at);
     const auto& edge = graph.edge(e);
-    const MetersPerSecond v = map_.traffic().speed(graph, e, entry);
+    const MetersPerSecond v = map_.traffic().speed(graph, e, priced_at);
     const WattHours out = vehicle_.consumption(edge.length, v);
 
     ExplainStep step;

@@ -63,6 +63,8 @@ MultiLabelCorrecting::MultiLabelCorrecting(const solar::SolarInputMap& map,
                                            const ev::ConsumptionModel& vehicle,
                                            MlcOptions options)
     : map_(map), vehicle_(vehicle), options_(options) {
+  if (options.pricing == PricingMode::SlotQuantized)
+    cache_ = std::make_unique<SlotCostCache>(map, vehicle);
   if (options.max_time_factor < 0.0)
     throw InvalidArgument("MultiLabelCorrecting: negative time factor");
   if (options.max_time_factor > 0.0 && options.max_time_factor < 1.0)
@@ -155,9 +157,13 @@ MlcResult MultiLabelCorrecting::search(roadnet::NodeId origin,
         options_.time_dependent
             ? departure.advanced_by(current.cost.travel_time)
             : departure;
+    // Under SlotQuantized all expansions from this label share one slot
+    // column: resolve the slot once, then each edge is an array read.
+    const int slot = cache_ ? now.slot_index() : 0;
     for (const roadnet::EdgeId e : graph.out_edges(current.node)) {
       const Criteria next =
-          current.cost + edge_criteria(map_, vehicle_, e, now);
+          current.cost + (cache_ ? cache_->at(e, slot).criteria
+                                 : edge_criteria(map_, vehicle_, e, now));
       if (time_bound > 0.0 && next.travel_time.value() > time_bound)
         continue;  // beyond the acceptable arrival time
       try_insert(graph.edge(e).to, next, e,

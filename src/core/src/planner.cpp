@@ -44,6 +44,7 @@ PlanResult SunChasePlanner::plan(roadnet::NodeId origin,
     record.origin = origin;
     record.destination = destination;
     record.departure = departure.to_string();
+    record.pricing = pricing_name(options_.mlc.pricing);
   }
 
   try {

@@ -1,0 +1,65 @@
+#include "sunchase/core/slot_cost_cache.h"
+
+#include <chrono>
+
+#include "sunchase/common/error.h"
+
+namespace sunchase::core {
+
+SlotCostCache::SlotCostCache(const solar::SolarInputMap& map,
+                             const ev::ConsumptionModel& vehicle)
+    : map_(map),
+      vehicle_(vehicle),
+      hits_(obs::Registry::global().counter("slotcache.hits")),
+      misses_(obs::Registry::global().counter("slotcache.misses")),
+      fill_seconds_(obs::Registry::global().histogram("slotcache.fill_seconds")),
+      bytes_gauge_(obs::Registry::global().gauge("slotcache.bytes")),
+      slots_gauge_(obs::Registry::global().gauge("slotcache.filled_slots")) {}
+
+const SlotCostCache::Entry& SlotCostCache::at(roadnet::EdgeId edge,
+                                              int slot) const {
+  if (slot < 0 || slot >= TimeOfDay::kSlotsPerDay)
+    throw InvalidArgument("SlotCostCache::at: slot index " +
+                          std::to_string(slot) + " outside [0, " +
+                          std::to_string(TimeOfDay::kSlotsPerDay) + ")");
+  Column& column = columns_[static_cast<std::size_t>(slot)];
+  if (column.ready.load(std::memory_order_acquire)) {
+    hits_.add();
+  } else {
+    // First touch of this slot (or racing with the filler): everyone who
+    // arrives before the column publishes counts as a miss.
+    misses_.add();
+    std::call_once(column.once, [&] { fill(column, slot); });
+  }
+  // Edge ids are dense (add_edge hands them out starting at 0), so the
+  // id doubles as the row index; at() rejects a stale id.
+  return column.entries.at(edge);
+}
+
+void SlotCostCache::fill(Column& column, int slot) const {
+  const auto start = std::chrono::steady_clock::now();
+  const TimeOfDay when = TimeOfDay::slot_start(slot);
+  const auto& graph = map_.graph();
+  const std::size_t n = graph.edge_count();
+  column.entries.reserve(n);
+  // Bit-identical to edge_criteria(): the same evaluate/speed/consumption
+  // calls in the same order, just hoisted out of the search loop.
+  for (roadnet::EdgeId e = 0; e < n; ++e) {
+    const solar::EdgeSolar es = map_.evaluate(e, when);
+    const MetersPerSecond v = map_.traffic().speed(graph, e, when);
+    column.entries.push_back(
+        Entry{Criteria{es.travel_time, es.shaded_time,
+                       vehicle_.consumption(graph.edge(e).length, v)},
+              es});
+  }
+  column.ready.store(true, std::memory_order_release);
+  const std::size_t filled =
+      filled_.fetch_add(1, std::memory_order_relaxed) + 1;
+  slots_gauge_.set(static_cast<double>(filled));
+  bytes_gauge_.set(static_cast<double>(filled * n * sizeof(Entry)));
+  fill_seconds_.observe(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+}  // namespace sunchase::core

@@ -29,6 +29,7 @@ struct QueryRecord {
   std::uint64_t origin = 0;      ///< origin node id
   std::uint64_t destination = 0; ///< destination node id
   std::string departure;         ///< "HH:MM:SS"
+  std::string pricing = "exact"; ///< edge pricing mode: "exact" or "slot"
   std::string status = "ok";     ///< "ok" or "error"
   std::string error;             ///< exception message when status=error
 

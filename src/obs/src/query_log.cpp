@@ -52,8 +52,8 @@ std::string QueryRecord::to_json() const {
   out << "{\"mode\":\"" << escape(mode) << "\"";
   if (index >= 0) out << ",\"index\":" << index;
   out << ",\"origin\":" << origin << ",\"destination\":" << destination
-      << ",\"departure\":\"" << escape(departure) << "\",\"status\":\""
-      << escape(status) << "\"";
+      << ",\"departure\":\"" << escape(departure) << "\",\"pricing\":\""
+      << escape(pricing) << "\",\"status\":\"" << escape(status) << "\"";
   if (status != "ok") out << ",\"error\":\"" << escape(error) << "\"";
   out << ",\"mlc_seconds\":" << format_double(mlc_seconds)
       << ",\"kmeans_seconds\":" << format_double(kmeans_seconds)

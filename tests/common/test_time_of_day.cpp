@@ -2,7 +2,8 @@
 
 #include <gtest/gtest.h>
 
-#include "sunchase/common/assert.h"
+#include <limits>
+
 #include "sunchase/common/error.h"
 
 namespace sunchase {
@@ -48,8 +49,14 @@ TEST(TimeOfDay, SlotStartRoundTrip) {
 }
 
 TEST(TimeOfDay, SlotStartRejectsOutOfRange) {
-  EXPECT_THROW(TimeOfDay::slot_start(-1), ContractViolation);
-  EXPECT_THROW(TimeOfDay::slot_start(96), ContractViolation);
+  // Both ends of the documented [0, kSlotsPerDay) precondition.
+  EXPECT_THROW(TimeOfDay::slot_start(-1), InvalidArgument);
+  EXPECT_THROW(TimeOfDay::slot_start(TimeOfDay::kSlotsPerDay),
+               InvalidArgument);
+  EXPECT_THROW(TimeOfDay::slot_start(std::numeric_limits<int>::min()),
+               InvalidArgument);
+  EXPECT_NO_THROW(TimeOfDay::slot_start(0));
+  EXPECT_NO_THROW(TimeOfDay::slot_start(TimeOfDay::kSlotsPerDay - 1));
 }
 
 TEST(TimeOfDay, AdvanceAndSince) {
@@ -71,6 +78,44 @@ TEST(TimeOfDay, FromSecondsClamps) {
                    0.0);
   EXPECT_LT(TimeOfDay::from_seconds(1e9).seconds_since_midnight(),
             TimeOfDay::kSecondsPerDay);
+}
+
+TEST(TimeOfDay, FromSecondsClampsNonFiniteInput) {
+  // NaN slips past `s < 0` and `s >= kSecondsPerDay` (both comparisons
+  // are false), so an unguarded slot_index() would cast NaN to int: UB.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_DOUBLE_EQ(TimeOfDay::from_seconds(nan).seconds_since_midnight(),
+                   0.0);
+  EXPECT_EQ(TimeOfDay::from_seconds(nan).slot_index(), 0);
+  EXPECT_DOUBLE_EQ(TimeOfDay::from_seconds(-inf).seconds_since_midnight(),
+                   0.0);
+  EXPECT_DOUBLE_EQ(TimeOfDay::from_seconds(inf).seconds_since_midnight(),
+                   TimeOfDay::kSecondsPerDay - 1);
+  EXPECT_EQ(TimeOfDay::from_seconds(inf).slot_index(),
+            TimeOfDay::kSlotsPerDay - 1);
+}
+
+TEST(TimeOfDay, AdvancedByNonFiniteDtStaysInsideTheDay) {
+  const TimeOfDay t = TimeOfDay::hms(10, 0);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  const TimeOfDay after_nan = t.advanced_by(Seconds{nan});
+  EXPECT_GE(after_nan.seconds_since_midnight(), 0.0);
+  EXPECT_LT(after_nan.seconds_since_midnight(), TimeOfDay::kSecondsPerDay);
+  EXPECT_EQ(after_nan.slot_index(), 0);  // NaN sum clamps to midnight
+  const TimeOfDay after_inf = t.advanced_by(Seconds{inf});
+  EXPECT_EQ(after_inf.slot_index(), TimeOfDay::kSlotsPerDay - 1);
+  const TimeOfDay after_neg = t.advanced_by(Seconds{-inf});
+  EXPECT_DOUBLE_EQ(after_neg.seconds_since_midnight(), 0.0);
+}
+
+TEST(TimeOfDay, EndOfDaySaturatesIntoTheLastSlot) {
+  // from_seconds(86400) saturates to 86399 — slot 95, never slot 96.
+  const TimeOfDay end = TimeOfDay::from_seconds(TimeOfDay::kSecondsPerDay);
+  EXPECT_DOUBLE_EQ(end.seconds_since_midnight(),
+                   TimeOfDay::kSecondsPerDay - 1);
+  EXPECT_EQ(end.slot_index(), TimeOfDay::kSlotsPerDay - 1);
 }
 
 TEST(TimeOfDay, Ordering) {

@@ -63,6 +63,58 @@ TEST(BatchPlanner, MatchesSequentialSearchBitForBit) {
   }
 }
 
+TEST(BatchPlanner, SlotPricingMatchesExactBitForBitOnASlotConstantWorld) {
+  // RoutingEnv is slot-constant (uniform traffic, slot-indexed shading,
+  // constant panel), so the 8-worker SlotQuantized batch — all workers
+  // sharing one SlotCostCache — must reproduce the Exact sequential
+  // search bit for bit, and the shared cache must actually get hits.
+  const roadnet::GridCity city{roadnet::GridCityOptions{}};
+  test::RoutingEnv env(city.graph());
+  BatchPlannerOptions opt;
+  opt.workers = 8;
+  opt.mlc.pricing = PricingMode::SlotQuantized;
+  const BatchPlanner batch(env.map, *env.lv, opt);
+  MlcOptions exact = opt.mlc;
+  exact.pricing = PricingMode::Exact;
+  const MultiLabelCorrecting sequential(env.map, *env.lv, exact);
+
+  auto& hits = obs::Registry::global().counter("slotcache.hits");
+  const std::uint64_t hits_before = hits.value();
+
+  const auto queries = grid_queries(city);
+  const BatchResult result = batch.plan_all(queries);
+  EXPECT_GT(hits.value(), hits_before);
+
+  ASSERT_EQ(result.queries.size(), queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_TRUE(result.queries[i].ok()) << result.queries[i].error;
+    expect_identical(*result.queries[i].result,
+                     sequential.search(queries[i].origin,
+                                       queries[i].destination,
+                                       queries[i].departure));
+  }
+}
+
+TEST(BatchPlanner, SlotPricingIsDeterministicAcrossRuns) {
+  // Two back-to-back slot-mode batches (cold cache vs warm cache) must
+  // agree bit for bit: materialization state never leaks into results.
+  const roadnet::GridCity city{roadnet::GridCityOptions{}};
+  test::RoutingEnv env(city.graph());
+  BatchPlannerOptions opt;
+  opt.workers = 8;
+  opt.mlc.pricing = PricingMode::SlotQuantized;
+  const BatchPlanner batch(env.map, *env.lv, opt);
+  const auto queries = grid_queries(city);
+  const BatchResult cold = batch.plan_all(queries);
+  const BatchResult warm = batch.plan_all(queries);
+  ASSERT_EQ(cold.queries.size(), warm.queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_TRUE(cold.queries[i].ok());
+    ASSERT_TRUE(warm.queries[i].ok());
+    expect_identical(*cold.queries[i].result, *warm.queries[i].result);
+  }
+}
+
 TEST(BatchPlanner, ResultsComeBackInInputOrder) {
   const roadnet::GridCity city{roadnet::GridCityOptions{}};
   test::RoutingEnv env(city.graph());

@@ -60,10 +60,12 @@ const PaperWorld& world() {
   return w;
 }
 
-MlcResult search_a1_b1(bool time_dependent = true) {
+MlcResult search_a1_b1(bool time_dependent = true,
+                       PricingMode pricing = PricingMode::Exact) {
   MlcOptions options;
   options.max_time_factor = 1.5;
   options.time_dependent = time_dependent;
+  options.pricing = pricing;
   const MultiLabelCorrecting solver(world().map, *world().lv, options);
   // The paper's A1 -> B1 trip at 10:00 (Table R-I).
   return solver.search(world().city.node_at(1, 1),
@@ -94,6 +96,71 @@ TEST(RouteExplainerTest, ConservesUnderStaticPricingToo) {
         route, TimeOfDay::hms(10, 0), /*time_dependent=*/false);
     EXPECT_TRUE(ledger.conserves(route.cost, 1e-6))
         << "deviation " << ledger.max_deviation(route.cost);
+  }
+}
+
+TEST(RouteExplainerTest, ConservesSlotQuantizedRoutesBitExactly) {
+  // The paper world runs UrbanTraffic (continuous congestion), so slot
+  // and exact prices genuinely differ within a slot. A route planned
+  // under SlotQuantized therefore only conserves when the ledger
+  // replays the same mode — and then it must do so with zero tolerance,
+  // because both paths run identical arithmetic at the slot start.
+  const MlcResult result =
+      search_a1_b1(/*time_dependent=*/true, PricingMode::SlotQuantized);
+  ASSERT_FALSE(result.routes.empty());
+
+  const RouteExplainer explainer(world().map, *world().lv);
+  for (const ParetoRoute& route : result.routes) {
+    const RouteLedger ledger =
+        explainer.explain(route, TimeOfDay::hms(10, 0),
+                          /*time_dependent=*/true,
+                          PricingMode::SlotQuantized);
+    EXPECT_TRUE(ledger.conserves(route.cost, 0.0))
+        << "deviation " << ledger.max_deviation(route.cost) << " over "
+        << ledger.steps.size() << " edges";
+  }
+}
+
+TEST(RouteExplainerTest, ReplayingTheWrongPricingModeBreaksConservation) {
+  // The cross-check of the test above: replaying a SlotQuantized route
+  // with Exact pricing must drift on at least one route (rush-hour
+  // congestion changes within the 15-minute slot). If this ever stops
+  // failing, the two modes have collapsed into one and the pricing
+  // parameter is dead weight.
+  const MlcResult result =
+      search_a1_b1(/*time_dependent=*/true, PricingMode::SlotQuantized);
+  ASSERT_FALSE(result.routes.empty());
+
+  const RouteExplainer explainer(world().map, *world().lv);
+  bool any_drift = false;
+  for (const ParetoRoute& route : result.routes) {
+    const RouteLedger ledger =
+        explainer.explain(route, TimeOfDay::hms(10, 0),
+                          /*time_dependent=*/true, PricingMode::Exact);
+    if (!ledger.conserves(route.cost, 0.0)) any_drift = true;
+  }
+  EXPECT_TRUE(any_drift);
+}
+
+TEST(RouteExplainerTest, SlotLedgerRecordsRealEntryClocksNotSlotStarts) {
+  const MlcResult result =
+      search_a1_b1(/*time_dependent=*/true, PricingMode::SlotQuantized);
+  ASSERT_FALSE(result.routes.empty());
+  const ParetoRoute& route = result.routes.front();
+
+  const RouteExplainer explainer(world().map, *world().lv);
+  const TimeOfDay departure = TimeOfDay::hms(10, 0);
+  const RouteLedger ledger = explainer.explain(
+      route, departure, /*time_dependent=*/true, PricingMode::SlotQuantized);
+
+  // Only the price is quantized; the entry column keeps the search
+  // clock (departure advanced by the cumulative travel time).
+  Seconds elapsed{0.0};
+  for (const ExplainStep& s : ledger.steps) {
+    EXPECT_DOUBLE_EQ(s.entry.seconds_since_midnight(),
+                     departure.advanced_by(elapsed).seconds_since_midnight());
+    EXPECT_EQ(s.slot, s.entry.slot_index());
+    elapsed += s.travel_time;
   }
 }
 

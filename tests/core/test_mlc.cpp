@@ -4,6 +4,8 @@
 
 #include <algorithm>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core_fixture.h"
 #include "sunchase/common/error.h"
@@ -279,6 +281,66 @@ TEST(Mlc, TimeIndependentSearchIgnoresMidRouteSlotBoundaries) {
     if (!equivalent(route.cost, at_departure)) any_differs = true;
   }
   EXPECT_TRUE(any_differs);
+}
+
+TEST(Mlc, SlotQuantizedParetoSetsAreBitIdenticalOnASlotConstantWorld) {
+  // RoutingEnv is slot-constant: UniformTraffic, slot-indexed shading,
+  // constant panel power. Every input to edge_criteria is therefore
+  // identical at the exact entry clock and at the slot start, so the
+  // SlotQuantized search must reproduce the Exact Pareto sets bit for
+  // bit — costs, paths, and search-effort stats alike.
+  const roadnet::GridCity city{roadnet::GridCityOptions{}};
+  test::RoutingEnv env(city.graph());
+  MlcOptions exact_opt;
+  exact_opt.max_time_factor = 1.5;
+  MlcOptions slot_opt = exact_opt;
+  slot_opt.pricing = PricingMode::SlotQuantized;
+  const MultiLabelCorrecting exact(env.map, *env.lv, exact_opt);
+  const MultiLabelCorrecting slot(env.map, *env.lv, slot_opt);
+  ASSERT_EQ(exact.cache(), nullptr);
+  ASSERT_NE(slot.cache(), nullptr);
+
+  const std::vector<std::pair<roadnet::NodeId, roadnet::NodeId>> trips = {
+      {city.node_at(0, 0), city.node_at(9, 9)},
+      {city.node_at(1, 1), city.node_at(6, 7)},
+      {city.node_at(9, 0), city.node_at(0, 9)},
+  };
+  for (const auto& [o, d] : trips)
+    for (const TimeOfDay dep :
+         {TimeOfDay::hms(8, 30), TimeOfDay::hms(9, 14),
+          TimeOfDay::hms(12, 0), TimeOfDay::hms(17, 50)}) {
+      const MlcResult e = exact.search(o, d, dep);
+      const MlcResult s = slot.search(o, d, dep);
+      ASSERT_EQ(e.routes.size(), s.routes.size());
+      for (std::size_t r = 0; r < e.routes.size(); ++r) {
+        EXPECT_EQ(e.routes[r].cost, s.routes[r].cost);
+        EXPECT_EQ(e.routes[r].path.edges, s.routes[r].path.edges);
+      }
+      EXPECT_EQ(e.stats.labels_created, s.stats.labels_created);
+      EXPECT_EQ(e.stats.labels_dominated, s.stats.labels_dominated);
+      EXPECT_EQ(e.stats.queue_pops, s.stats.queue_pops);
+    }
+}
+
+TEST(Mlc, SlotQuantizedRepeatQueriesReuseTheCache) {
+  const roadnet::GridCity city{roadnet::GridCityOptions{}};
+  test::RoutingEnv env(city.graph());
+  MlcOptions opt;
+  opt.pricing = PricingMode::SlotQuantized;
+  const MultiLabelCorrecting solver(env.map, *env.lv, opt);
+  const MlcResult first = solver.search(city.node_at(1, 1),
+                                        city.node_at(6, 6),
+                                        TimeOfDay::hms(10, 0));
+  const std::size_t filled = solver.cache()->filled_slots();
+  EXPECT_GT(filled, 0u);
+  const MlcResult second = solver.search(city.node_at(1, 1),
+                                         city.node_at(6, 6),
+                                         TimeOfDay::hms(10, 0));
+  // Same slots touched again: no new columns, identical results.
+  EXPECT_EQ(solver.cache()->filled_slots(), filled);
+  ASSERT_EQ(first.routes.size(), second.routes.size());
+  for (std::size_t r = 0; r < first.routes.size(); ++r)
+    EXPECT_EQ(first.routes[r].cost, second.routes[r].cost);
 }
 
 TEST(Mlc, TimeDependentCostsChangeWithDeparture) {

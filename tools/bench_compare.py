@@ -23,11 +23,25 @@ import shutil
 import sys
 
 
-def peak_qps(report):
+def peak_qps(report, label):
+    """Peak queries/sec of a report; exits with a readable message (not a
+    traceback) on a hand-edited baseline with missing or zero peaks."""
     samples = report.get("samples", [])
     if not samples:
-        raise SystemExit("error: no samples[] in benchmark report")
-    return max(s["queries_per_second"] for s in samples)
+        raise SystemExit(f"error: no samples[] in {label} benchmark report")
+    try:
+        peak = max(float(s["queries_per_second"]) for s in samples)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SystemExit(
+            f"error: {label} report has a sample without a numeric "
+            f"queries_per_second field ({exc!r})"
+        )
+    if not peak > 0.0:  # also catches NaN
+        raise SystemExit(
+            f"error: {label} peak throughput is {peak}; a zero or negative "
+            "peak cannot gate the build — fix or regenerate the report"
+        )
+    return peak
 
 
 def main():
@@ -52,20 +66,27 @@ def main():
     with open(args.current) as f:
         current = json.load(f)
 
-    base_peak = peak_qps(baseline)
-    cur_peak = peak_qps(current)
+    base_peak = peak_qps(baseline, "baseline")
+    cur_peak = peak_qps(current, "current")
     floor = base_peak * (1.0 - args.tolerance)
 
-    print(f"{'workers':>8} {'baseline q/s':>14} {'current q/s':>14}")
-    base_by_workers = {s["workers"]: s for s in baseline.get("samples", [])}
+    # Samples are keyed by (pricing, workers); old baselines without a
+    # pricing field compare against the "exact" rows of a new run.
+    def key(sample):
+        return (sample.get("pricing", "exact"), sample["workers"])
+
+    print(f"{'pricing':>8} {'workers':>8} {'baseline q/s':>14} "
+          f"{'current q/s':>14}")
+    base_by_key = {key(s): s for s in baseline.get("samples", [])}
     for sample in current.get("samples", []):
-        base = base_by_workers.get(sample["workers"])
+        base = base_by_key.get(key(sample))
         base_qps = f"{base['queries_per_second']:14.2f}" if base else " " * 14
-        print(f"{sample['workers']:>8} {base_qps} "
-              f"{sample['queries_per_second']:14.2f}")
+        print(f"{sample.get('pricing', 'exact'):>8} {sample['workers']:>8} "
+              f"{base_qps} {sample['queries_per_second']:14.2f}")
     print(
-        f"peak: baseline {base_peak:.2f} q/s, current {cur_peak:.2f} q/s, "
-        f"floor {floor:.2f} q/s (tolerance {args.tolerance:.0%})"
+        f"peak: baseline {base_peak:.2f} q/s, current {cur_peak:.2f} q/s "
+        f"({cur_peak / base_peak:.2f}x), floor {floor:.2f} q/s "
+        f"(tolerance {args.tolerance:.0%})"
     )
 
     if args.update:
