@@ -14,12 +14,13 @@ int main() {
   bench::banner("Ablation: clustering threshold delta",
                 "Sec. IV-D: bisect k-means terminates when all q(C) < delta");
   const bench::PaperWorld world;
-  const solar::SolarInputMap map = world.map_at(Watts{200.0});
+  const core::WorldPtr snapshot = world.world_at(Watts{200.0});
 
   // A trip with a rich Pareto set.
   core::MlcOptions mlc;
   mlc.max_time_factor = 1.6;
-  const core::MultiLabelCorrecting solver(map, world.lv(), mlc);
+  mlc.vehicle = bench::PaperWorld::kLv;
+  const core::MultiLabelCorrecting solver(snapshot, mlc);
   const auto od = world.routing_pairs()[1];  // the one-way-heavy pair
   const TimeOfDay dep = TimeOfDay::hms(10, 0);
   const auto pareto = solver.search(od.origin, od.destination, dep).routes;
@@ -38,7 +39,7 @@ int main() {
     sel.clustering.quality_threshold = delta;
     sel.require_positive_energy_extra = false;
     const auto result = core::select_representative_routes(
-        pareto, map, world.lv(), dep, sel);
+        pareto, snapshot, dep, sel, bench::PaperWorld::kLv);
 
     // Coverage: worst-case distance from any Pareto route to the
     // nearest selected representative.

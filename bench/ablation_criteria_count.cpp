@@ -13,17 +13,24 @@ int main() {
   bench::banner("Ablation: 2-criteria (tt, solar) vs 3-criteria search",
                 "Sec. III-B: k = 3 criteria model");
   const bench::PaperWorld world;
-  const solar::SolarInputMap map = world.map_at(Watts{200.0});
   const TimeOfDay dep = TimeOfDay::hms(10, 0);
 
   // An (almost) consumption-blind vehicle collapses the third
-  // dimension: its quadratic consumption is flat and negligible.
-  const ev::QuadraticConsumption flat(0.0, 1e-6, "criteria-ablation");
+  // dimension: its quadratic consumption is flat and negligible. It
+  // rides along as an extra vehicle in the same snapshot.
+  core::WorldInit init = world.init_at(Watts{200.0});
+  const std::size_t kFlat = init.vehicles.size();
+  init.vehicles.push_back(std::make_shared<const ev::QuadraticConsumption>(
+      0.0, 1e-6, "criteria-ablation"));
+  const core::WorldPtr snapshot = core::World::create(std::move(init));
 
   core::MlcOptions mlc;
   mlc.max_time_factor = 1.3;
-  const core::MultiLabelCorrecting full(map, world.lv(), mlc);
-  const core::MultiLabelCorrecting reduced(map, flat, mlc);
+  mlc.vehicle = bench::PaperWorld::kLv;
+  const core::MultiLabelCorrecting full(snapshot, mlc);
+  core::MlcOptions mlc2 = mlc;
+  mlc2.vehicle = kFlat;
+  const core::MultiLabelCorrecting reduced(snapshot, mlc2);
 
   std::printf("%-10s | %10s %10s | %12s %14s\n", "trip", "3-crit", "2-crit",
               "labels 3c", "labels 2c");

@@ -32,10 +32,10 @@ int main() {
   bench::banner("Ablation: route merging (bisect k-means) vs none",
                 "Sec. IV-D route merging; challenge #1 in Sec. I");
   const bench::PaperWorld world;
-  const solar::SolarInputMap map = world.map_at(Watts{200.0});
+  const core::WorldPtr snapshot = world.world_at(Watts{200.0});
   core::MlcOptions mlc;
   mlc.max_time_factor = 1.6;
-  const core::MultiLabelCorrecting solver(map, world.lv(), mlc);
+  const core::MultiLabelCorrecting solver(snapshot, mlc);
   const TimeOfDay dep = TimeOfDay::hms(10, 0);
 
   std::printf("%-10s %8s | %10s %10s | %10s %10s\n", "trip", "Pareto",
@@ -46,13 +46,13 @@ int main() {
     core::SelectionOptions merged_opt;  // paper defaults
     merged_opt.require_positive_energy_extra = false;
     const auto merged = core::select_representative_routes(
-        pareto, map, world.lv(), dep, merged_opt);
+        pareto, snapshot, dep, merged_opt, bench::PaperWorld::kLv);
 
     core::SelectionOptions unmerged_opt;
     unmerged_opt.require_positive_energy_extra = false;
     unmerged_opt.clustering.quality_threshold = 1e-7;  // ~every route kept
     const auto unmerged = core::select_representative_routes(
-        pareto, map, world.lv(), dep, unmerged_opt);
+        pareto, snapshot, dep, unmerged_opt, bench::PaperWorld::kLv);
 
     std::printf("%-10s %8zu | %10zu %9.0f%% | %10zu %9.0f%%\n", od.label,
                 pareto.size(), merged.candidates.size(),

@@ -15,18 +15,19 @@ int main() {
   bench::banner("Ablation: seasonal sun geometry",
                 "Sec. VI seasonal discussion; NOAA solar geometry");
   const bench::PaperWorld world;
-  const auto lv = ev::make_lv_prototype();
 
   std::printf("%-14s %12s %14s %16s %14s\n", "day", "noon elev.",
               "mean shade", "better routes", "total +E (Wh)");
   for (const auto& [label, day] :
        {std::pair{"Mar 21 (d80)", 80}, std::pair{"Jun 21 (d172)", 172},
         std::pair{"Sep 21 (d264)", 264}, std::pair{"Dec 21 (d355)", 355}}) {
-    const auto profile = shadow::ShadingProfile::compute_exact(
-        world.graph(), world.scene(), geo::DayOfYear{day},
-        TimeOfDay::hms(8, 0), TimeOfDay::hms(18, 30));
-    const solar::SolarInputMap map(world.graph(), profile, world.traffic(),
-                                   solar::constant_panel_power(Watts{200.0}));
+    core::WorldInit init = world.init_at(Watts{200.0});
+    init.shading = std::make_shared<const shadow::ShadingProfile>(
+        shadow::ShadingProfile::compute_exact(
+            world.graph(), world.scene(), geo::DayOfYear{day},
+            TimeOfDay::hms(8, 0), TimeOfDay::hms(18, 30)));
+    const core::WorldPtr snapshot = core::World::create(std::move(init));
+    const shadow::ShadingProfile& profile = snapshot->shading();
     const auto sun = geo::sun_position(world.projection().origin(),
                                        geo::DayOfYear{day},
                                        TimeOfDay::hms(13, 0));
@@ -35,7 +36,7 @@ int main() {
       shade += profile.shaded_fraction(e, TimeOfDay::hms(13, 0));
     shade /= static_cast<double>(world.graph().edge_count());
 
-    const core::SunChasePlanner planner(map, *lv);
+    const core::SunChasePlanner planner(snapshot);
     int better = 0;
     double extra = 0.0;
     for (const bench::OdPair& od : world.routing_pairs()) {

@@ -14,6 +14,9 @@ int main() {
   bench::banner("Extension: dynamic replanning under a cloud front",
                 "Sec. VI: real-time solar information");
   const bench::PaperWorld world;
+  // The planning snapshot still believes in a clear 200 W sky; only the
+  // live feed sees the cloud front.
+  const core::WorldPtr snapshot = world.world_at(Watts{200.0});
   const TimeOfDay dep = TimeOfDay::hms(10, 0);
 
   std::printf("Cloud front: 200 W -> 70 W at departure + T\n\n");
@@ -26,11 +29,9 @@ int main() {
         return t < cloud_at ? Watts{200.0} : Watts{70.0};
       };
       const auto stale = core::drive_without_replanning(
-          world.graph(), world.shading(), world.traffic(), live, world.lv(),
-          od.origin, od.destination, dep);
+          snapshot, live, od.origin, od.destination, dep);
       const auto live_plan = core::drive_with_replanning(
-          world.graph(), world.shading(), world.traffic(), live, world.lv(),
-          od.origin, od.destination, dep);
+          snapshot, live, od.origin, od.destination, dep);
       std::printf("%-10s %6.0f s | %+12.2f %12.1f | %+12.2f %12.1f %8d\n",
                   od.label, cloud_after_s,
                   stale.energy_in.value() - stale.energy_out.value(),

@@ -29,19 +29,24 @@ int main() {
               city.graph().node_count(), city.graph().edge_count(),
               scene.buildings().size());
 
-  const auto shading = shadow::ShadingProfile::compute_exact(
-      city.graph(), scene, geo::DayOfYear{196}, TimeOfDay::hms(8, 0),
-      TimeOfDay::hms(18, 30));
-  const roadnet::UrbanTraffic traffic{roadnet::UrbanTraffic::Options{}};
-  const solar::SolarInputMap map(city.graph(), shading, traffic,
-                                 solar::constant_panel_power(Watts{200.0}));
-  const auto lv = ev::make_lv_prototype();
+  core::WorldInit init;
+  init.graph = std::make_shared<const roadnet::RoadGraph>(city.graph());
+  init.shading = std::make_shared<const shadow::ShadingProfile>(
+      shadow::ShadingProfile::compute_exact(
+          *init.graph, scene, geo::DayOfYear{196}, TimeOfDay::hms(8, 0),
+          TimeOfDay::hms(18, 30)));
+  init.traffic = std::make_shared<const roadnet::UrbanTraffic>(
+      roadnet::UrbanTraffic::Options{});
+  init.panel_power = solar::constant_panel_power(Watts{200.0});
+  init.vehicles.push_back(std::shared_ptr<const ev::ConsumptionModel>(
+      ev::make_lv_prototype()));
+  const core::WorldPtr snapshot = core::World::create(std::move(init));
   core::PlannerOptions popt;
   popt.mlc.max_time_factor = 1.1;  // long trips: keep the search tame
   // Large Pareto sets need finer clusters, or the representatives are
   // all aggressive detours that fail the Eq. 5 gate.
   popt.selection.clustering.quality_threshold = 0.06;
-  const core::SunChasePlanner planner(map, *lv, popt);
+  const core::SunChasePlanner planner(snapshot, popt);
 
   std::printf("%-12s %9s %9s %10s %10s %10s %10s\n", "trip span", "TL (m)",
               "TT (s)", "+E (Wh)", "+t (s)", "Pareto", "plan (ms)");

@@ -23,7 +23,8 @@ struct PolicyResult {
 PolicyResult at_traffic_speed(const solar::SolarInputMap& map,
                               const ev::ConsumptionModel& vehicle,
                               const roadnet::Path& path, TimeOfDay dep) {
-  const core::RouteMetrics m = core::evaluate_route(map, vehicle, path, dep);
+  const core::RouteMetrics m =
+      core::detail::evaluate_route(map, vehicle, path, dep);
   return {m.travel_time.value(),
           m.energy_in.value() - m.energy_out.value()};
 }
@@ -34,8 +35,9 @@ int main() {
   bench::banner("Extension: route planning + speed planning",
                 "Sec. I: integration with Lv et al. [1]");
   const bench::PaperWorld world;
-  const solar::SolarInputMap map = world.map_at(Watts{200.0});
-  const core::SunChasePlanner planner(map, world.lv());
+  const core::WorldPtr snapshot = world.world_at(Watts{200.0});
+  const solar::SolarInputMap& map = snapshot->solar_map();
+  const core::SunChasePlanner planner(snapshot);
   const TimeOfDay dep = TimeOfDay::hms(10, 0);
   const WattHours comfy{60.0};
   const WattHours tight{36.0};

@@ -10,19 +10,19 @@ int main() {
   bench::banner("Fig. 10: one-day driving scenario, case 2 (longer trips)",
                 "Fig. 10a/10b, Sec. V-B2");
   const bench::PaperWorld world;
-  const solar::SolarInputMap map = world.daytime_map();
+  const core::WorldPtr day = world.daytime_world();
 
   const auto short_trips = bench::one_day_trips(world, 10, 901);  // case 1
   const auto long_trips = bench::one_day_trips(world, 16, 902);   // case 2
 
-  const auto lv2 = bench::run_one_day(map, world.lv(), long_trips);
+  const auto lv2 = bench::run_one_day(day, bench::PaperWorld::kLv, long_trips);
   const auto tesla2 =
-      bench::run_one_day(map, world.tesla(), long_trips);
+      bench::run_one_day(day, bench::PaperWorld::kTesla, long_trips);
   bench::print_series("Case 2 per-trip extras", lv2, tesla2);
 
-  const auto lv1 = bench::run_one_day(map, world.lv(), short_trips);
+  const auto lv1 = bench::run_one_day(day, bench::PaperWorld::kLv, short_trips);
   const auto tesla1 =
-      bench::run_one_day(map, world.tesla(), short_trips);
+      bench::run_one_day(day, bench::PaperWorld::kTesla, short_trips);
 
   auto pct = [](double now, double before) {
     return before > 0.0 ? (now - before) / before * 100.0 : 0.0;

@@ -9,11 +9,11 @@ int main() {
   bench::banner("Fig. 9: one-day driving scenario, case 1 (short trips)",
                 "Fig. 9a/9b, Sec. V-B2");
   const bench::PaperWorld world;
-  const solar::SolarInputMap map = world.daytime_map();
+  const core::WorldPtr day = world.daytime_world();
   const auto trips = bench::one_day_trips(world, 10, 901);
 
-  const auto lv = bench::run_one_day(map, world.lv(), trips);
-  const auto tesla = bench::run_one_day(map, world.tesla(), trips);
+  const auto lv = bench::run_one_day(day, bench::PaperWorld::kLv, trips);
+  const auto tesla = bench::run_one_day(day, bench::PaperWorld::kTesla, trips);
   bench::print_series("Case 1 per-trip extras", lv, tesla);
 
   std::printf(

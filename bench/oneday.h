@@ -51,10 +51,12 @@ inline std::vector<OdPair> one_day_trips(const PaperWorld& world,
 }
 
 /// Runs the 20 trips for one vehicle; trip i departs at 9:00 + i*24 min.
-inline OneDaySeries run_one_day(const solar::SolarInputMap& map,
-                                const ev::ConsumptionModel& vehicle,
+inline OneDaySeries run_one_day(const core::WorldPtr& world,
+                                std::size_t vehicle,
                                 const std::vector<OdPair>& trips) {
-  const core::SunChasePlanner planner(map, vehicle);
+  core::PlannerOptions options;
+  options.mlc.vehicle = vehicle;
+  const core::SunChasePlanner planner(world, options);
   OneDaySeries series;
   int i = 0;
   for (const OdPair& od : trips) {

@@ -3,14 +3,19 @@
 // the exact 15-minute shading profile over the paper's test window
 // (8:00-18:30), urban traffic in the 14-17 km/h band, and the paper's
 // four origin/destination pairs (1.4-2 km trips; A2->B2 is the reverse
-// of A1->B1, as in Table R-I).
+// of A1->B1, as in Table R-I). Components are built once and shared —
+// every world_at()/daytime_world() snapshot reuses the same graph,
+// shading profile, traffic model and vehicle allocations; only the
+// panel power (and hence the solar map and slot caches) differs.
 #pragma once
 
 #include <cstdio>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "sunchase/core/planner.h"
+#include "sunchase/core/world.h"
 #include "sunchase/ev/consumption.h"
 #include "sunchase/roadnet/citygen.h"
 #include "sunchase/roadnet/traffic.h"
@@ -27,17 +32,26 @@ struct OdPair {
 
 class PaperWorld {
  public:
+  /// Vehicle indices within every snapshot this factory creates.
+  static constexpr std::size_t kLv = 0;
+  static constexpr std::size_t kTesla = 1;
+
   PaperWorld()
       : city_(city_options()),
+        graph_(std::make_shared<const roadnet::RoadGraph>(city_.graph())),
         projection_(city_.options().origin),
-        scene_(generate_scene(city_.graph(), projection_,
+        scene_(generate_scene(*graph_, projection_,
                               shadow::SceneGenOptions{})),
-        shading_(shadow::ShadingProfile::compute_exact(
-            city_.graph(), scene_, geo::DayOfYear{196}, TimeOfDay::hms(8, 0),
-            TimeOfDay::hms(18, 30))),
-        traffic_(roadnet::UrbanTraffic::Options{}),
-        lv_(ev::make_lv_prototype()),
-        tesla_(ev::make_tesla_model_s()) {}
+        shading_(std::make_shared<const shadow::ShadingProfile>(
+            shadow::ShadingProfile::compute_exact(
+                *graph_, scene_, geo::DayOfYear{196}, TimeOfDay::hms(8, 0),
+                TimeOfDay::hms(18, 30)))),
+        traffic_(std::make_shared<const roadnet::UrbanTraffic>(
+            roadnet::UrbanTraffic::Options{})),
+        vehicles_{std::shared_ptr<const ev::ConsumptionModel>(
+                      ev::make_lv_prototype()),
+                  std::shared_ptr<const ev::ConsumptionModel>(
+                      ev::make_tesla_model_s())} {}
 
   static roadnet::GridCityOptions city_options() {
     roadnet::GridCityOptions opt;
@@ -57,50 +71,62 @@ class PaperWorld {
             {"A4 to B4", city_.node_at(3, 3), city_.node_at(9, 8)}};
   }
 
-  /// Solar input map with a fixed panel power C (the paper's
-  /// 200/210/160 W settings).
-  [[nodiscard]] solar::SolarInputMap map_at(Watts c) const {
-    return solar::SolarInputMap(city_.graph(), shading_, traffic_,
-                                solar::constant_panel_power(c));
+  /// The snapshot recipe with a fixed panel power C (the paper's
+  /// 200/210/160 W settings); all other components shared.
+  [[nodiscard]] core::WorldInit init_at(Watts c) const {
+    core::WorldInit init;
+    init.graph = graph_;
+    init.traffic = traffic_;
+    init.shading = shading_;
+    init.panel_power = solar::constant_panel_power(c);
+    init.vehicles = vehicles_;
+    return init;
   }
 
-  /// Solar input map with the paper's one-day panel-power profile.
-  [[nodiscard]] solar::SolarInputMap daytime_map() const {
-    return solar::SolarInputMap(city_.graph(), shading_, traffic_,
-                                solar::paper_daytime_panel_power());
+  /// World snapshot with a fixed panel power C.
+  [[nodiscard]] core::WorldPtr world_at(Watts c,
+                                        std::uint64_t version = 1) const {
+    return core::World::create(init_at(c), version);
+  }
+
+  /// World snapshot with the paper's one-day panel-power profile.
+  [[nodiscard]] core::WorldPtr daytime_world(std::uint64_t version = 1) const {
+    core::WorldInit init = init_at(Watts{0.0});
+    init.panel_power = solar::paper_daytime_panel_power();
+    return core::World::create(std::move(init), version);
   }
 
   [[nodiscard]] const roadnet::GridCity& city() const noexcept {
     return city_;
   }
   [[nodiscard]] const roadnet::RoadGraph& graph() const noexcept {
-    return city_.graph();
+    return *graph_;
   }
   [[nodiscard]] const geo::LocalProjection& projection() const noexcept {
     return projection_;
   }
   [[nodiscard]] const shadow::Scene& scene() const noexcept { return scene_; }
   [[nodiscard]] const shadow::ShadingProfile& shading() const noexcept {
-    return shading_;
+    return *shading_;
   }
   [[nodiscard]] const roadnet::TrafficModel& traffic() const noexcept {
-    return traffic_;
+    return *traffic_;
   }
   [[nodiscard]] const ev::ConsumptionModel& lv() const noexcept {
-    return *lv_;
+    return *vehicles_[kLv];
   }
   [[nodiscard]] const ev::ConsumptionModel& tesla() const noexcept {
-    return *tesla_;
+    return *vehicles_[kTesla];
   }
 
  private:
   roadnet::GridCity city_;
+  std::shared_ptr<const roadnet::RoadGraph> graph_;
   geo::LocalProjection projection_;
   shadow::Scene scene_;
-  shadow::ShadingProfile shading_;
-  roadnet::UrbanTraffic traffic_;
-  std::unique_ptr<ev::ConsumptionModel> lv_;
-  std::unique_ptr<ev::ConsumptionModel> tesla_;
+  std::shared_ptr<const shadow::ShadingProfile> shading_;
+  std::shared_ptr<const roadnet::TrafficModel> traffic_;
+  std::vector<std::shared_ptr<const ev::ConsumptionModel>> vehicles_;
 };
 
 /// Prints the standard bench banner.

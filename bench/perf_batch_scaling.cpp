@@ -64,7 +64,7 @@ int main(int argc, char** argv) {
                 "SCORE deployment model: server-side fleet pre-computation");
 
   const bench::PaperWorld world;
-  const auto map = world.map_at(Watts{200.0});
+  const core::WorldPtr snapshot = world.world_at(Watts{200.0});
   const auto queries = make_queries(world, replicas);
   std::printf("paper world 12x12, %zu queries (4 OD pairs x 6 departures "
               "x %d replicas)\n",
@@ -85,7 +85,7 @@ int main(int argc, char** argv) {
       opt.workers = workers;
       opt.mlc.max_time_factor = 1.5;
       opt.mlc.pricing = pricing;
-      const core::BatchPlanner planner(map, world.lv(), opt);
+      const core::BatchPlanner planner(snapshot, opt);
       const core::BatchResult result = planner.plan_all(queries);
 
       Sample s;
@@ -112,6 +112,10 @@ int main(int argc, char** argv) {
   const char* json_path = argc > 2 ? argv[2] : "BENCH_batch.json";
   if (std::FILE* f = std::fopen(json_path, "w")) {
     std::fprintf(f, "{\n  \"bench\": \"perf_batch_scaling\",\n");
+    std::fprintf(f, "  \"world_version\": %llu,\n",
+                 static_cast<unsigned long long>(snapshot->version()));
+    std::fprintf(f, "  \"slotcache_bytes\": %zu,\n",
+                 snapshot->slot_cache(bench::PaperWorld::kLv).bytes());
     std::fprintf(f, "  \"queries\": %zu,\n  \"samples\": [\n",
                  queries.size());
     for (std::size_t i = 0; i < samples.size(); ++i)

@@ -18,21 +18,23 @@ namespace {
 
 struct ScalingWorld {
   explicit ScalingWorld(int n) : city(options_for(n)), proj(city.options().origin) {
-    profile = std::make_unique<shadow::ShadingProfile>(
+    core::WorldInit init;
+    init.graph = std::make_shared<const roadnet::RoadGraph>(city.graph());
+    init.shading = std::make_shared<const shadow::ShadingProfile>(
         shadow::ShadingProfile::compute(
-            city.graph(),
+            *init.graph,
             [](roadnet::EdgeId e, TimeOfDay when) {
               const auto h = static_cast<std::uint64_t>(e) * 2654435761u +
                              static_cast<std::uint64_t>(when.slot_index());
               return static_cast<double>(h % 900) / 1000.0;
             },
             TimeOfDay::hms(8, 0), TimeOfDay::hms(18, 0)));
-    traffic = std::make_unique<roadnet::UrbanTraffic>(
+    init.traffic = std::make_shared<const roadnet::UrbanTraffic>(
         roadnet::UrbanTraffic::Options{});
-    map = std::make_unique<solar::SolarInputMap>(
-        city.graph(), *profile, *traffic,
-        solar::constant_panel_power(Watts{200.0}));
-    lv = ev::make_lv_prototype();
+    init.panel_power = solar::constant_panel_power(Watts{200.0});
+    init.vehicles.push_back(std::shared_ptr<const ev::ConsumptionModel>(
+        ev::make_lv_prototype()));
+    world = core::World::create(std::move(init));
   }
 
   static roadnet::GridCityOptions options_for(int n) {
@@ -44,10 +46,7 @@ struct ScalingWorld {
 
   roadnet::GridCity city;
   geo::LocalProjection proj;
-  std::unique_ptr<shadow::ShadingProfile> profile;
-  std::unique_ptr<roadnet::UrbanTraffic> traffic;
-  std::unique_ptr<solar::SolarInputMap> map;
-  std::unique_ptr<ev::ConsumptionModel> lv;
+  core::WorldPtr world;
 };
 
 ScalingWorld& world_of(int n) {
@@ -63,7 +62,7 @@ void BM_MlcSearch(benchmark::State& state) {
   ScalingWorld& w = world_of(n);
   core::MlcOptions opt;
   opt.max_time_factor = factor;
-  const core::MultiLabelCorrecting solver(*w.map, *w.lv, opt);
+  const core::MultiLabelCorrecting solver(w.world, opt);
   std::size_t labels = 0, pareto = 0;
   for (auto _ : state) {
     const auto result = solver.search(w.city.node_at(0, 0),
@@ -84,8 +83,8 @@ void BM_DijkstraBaseline(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   ScalingWorld& w = world_of(n);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(core::shortest_time_path(
-        w.city.graph(), *w.traffic, w.city.node_at(0, 0),
+    benchmark::DoNotOptimize(core::detail::shortest_time_path(
+        w.world->graph(), w.world->traffic(), w.city.node_at(0, 0),
         w.city.node_at(n - 1, n - 1), TimeOfDay::hms(10, 0)));
   }
 }
@@ -96,8 +95,8 @@ void BM_AStarBaseline(benchmark::State& state) {
   ScalingWorld& w = world_of(n);
   std::size_t settled = 0;
   for (auto _ : state) {
-    const auto result = core::shortest_time_path_astar(
-        w.city.graph(), *w.traffic, w.city.node_at(0, 0),
+    const auto result = core::detail::shortest_time_path_astar(
+        w.world->graph(), w.world->traffic(), w.city.node_at(0, 0),
         w.city.node_at(n - 1, n - 1), TimeOfDay::hms(10, 0), kmh(17.0));
     settled = result ? result->nodes_settled : 0;
     benchmark::DoNotOptimize(result);
@@ -110,14 +109,14 @@ void BM_SelectionPipeline(benchmark::State& state) {
   ScalingWorld& w = world_of(10);
   core::MlcOptions opt;
   opt.max_time_factor = 1.5;
-  const core::MultiLabelCorrecting solver(*w.map, *w.lv, opt);
+  const core::MultiLabelCorrecting solver(w.world, opt);
   const auto pareto = solver
                           .search(w.city.node_at(0, 0), w.city.node_at(9, 9),
                                   TimeOfDay::hms(10, 0))
                           .routes;
   for (auto _ : state) {
     benchmark::DoNotOptimize(core::select_representative_routes(
-        pareto, *w.map, *w.lv, TimeOfDay::hms(10, 0)));
+        pareto, w.world, TimeOfDay::hms(10, 0)));
   }
   state.counters["pareto_in"] = static_cast<double>(pareto.size());
 }

@@ -13,14 +13,15 @@ namespace sunchase::bench {
 
 inline void run_routing_table(const PaperWorld& world, const char* when_label,
                               TimeOfDay departure, Watts panel_power) {
-  const solar::SolarInputMap map = world.map_at(panel_power);
+  const core::WorldPtr snapshot = world.world_at(panel_power);
 
   core::PlannerOptions options;
   // The paper reports 3-9 candidate Pareto routes per trip; a tight
   // "acceptable arrival time" budget reproduces that scale.
   options.mlc.max_time_factor = 1.15;
+  options.mlc.vehicle = PaperWorld::kLv;
   options.selection.require_positive_energy_extra = false;  // filter below
-  const core::SunChasePlanner planner(map, world.lv(), options);
+  const core::SunChasePlanner planner(snapshot, options);
 
   std::printf("Routing simulation %s (C = %.0f W)\n\n", when_label,
               panel_power.value());
@@ -35,7 +36,7 @@ inline void run_routing_table(const PaperWorld& world, const char* when_label,
 
     const auto& base = plan.candidates.front();
     const core::RouteMetrics base_tesla = core::evaluate_route(
-        map, world.tesla(), base.route.path, departure);
+        snapshot, base.route.path, departure, PaperWorld::kTesla);
     std::printf("%-16s %8.0f %8.1f %9.2f %9.2f %9.2f\n", "  Shortest Time",
                 base.metrics.total_length.value(),
                 base.metrics.travel_time.value(),
@@ -52,7 +53,7 @@ inline void run_routing_table(const PaperWorld& world, const char* when_label,
           cand.metrics.energy_in <= base.metrics.energy_in)
         continue;
       const core::RouteMetrics tesla_metrics = core::evaluate_route(
-          map, world.tesla(), cand.route.path, departure);
+          snapshot, cand.route.path, departure, PaperWorld::kTesla);
       const double d_ei =
           cand.metrics.energy_in.value() - base.metrics.energy_in.value();
       const double d_ec1 =

@@ -46,7 +46,7 @@ int main() {
     int path_no = 1;
     for (const auto& [o, d] : ods) {
       const auto shortest =
-          core::shortest_time_path(world.graph(), world.traffic(), o, d,
+          core::detail::shortest_time_path(world.graph(), world.traffic(), o, d,
                                    departure);
       if (!shortest) continue;
       sensing::ValidationOptions opt = vopt;

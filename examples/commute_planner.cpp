@@ -7,8 +7,10 @@
 // Build & run:  ./build/examples/commute_planner
 #include <cstdio>
 #include <memory>
+#include <utility>
 
 #include "sunchase/core/planner.h"
+#include "sunchase/core/world.h"
 #include "sunchase/roadnet/citygen.h"
 #include "sunchase/roadnet/traffic.h"
 #include "sunchase/shadow/scenegen.h"
@@ -24,10 +26,13 @@ struct Case {
   Watts panel_power;
 };
 
-void plan_and_print(const solar::SolarInputMap& map,
-                    const ev::ConsumptionModel& vehicle, roadnet::NodeId home,
-                    roadnet::NodeId work, TimeOfDay departure) {
-  const core::SunChasePlanner planner(map, vehicle);
+void plan_and_print(const core::WorldPtr& world, std::size_t vehicle_index,
+                    roadnet::NodeId home, roadnet::NodeId work,
+                    TimeOfDay departure) {
+  const ev::ConsumptionModel& vehicle = world->vehicle(vehicle_index);
+  core::PlannerOptions options;
+  options.mlc.vehicle = vehicle_index;
+  const core::SunChasePlanner planner(world, options);
   const core::PlanResult plan = planner.plan(home, work, departure);
   const auto& base = plan.candidates.front().metrics;
   std::printf("  %-14s: shortest %4.0f m / %5.1f s / EI %5.2f Wh",
@@ -57,10 +62,19 @@ int main() {
       shadow::ShadingProfile::compute_exact(
           city.graph(), scene, geo::DayOfYear{196}, TimeOfDay::hms(8, 0),
           TimeOfDay::hms(18, 30));
-  const roadnet::UrbanTraffic traffic{roadnet::UrbanTraffic::Options{}};
-
-  const auto lv = ev::make_lv_prototype();
-  const auto tesla = ev::make_tesla_model_s();
+  // Shared snapshot components: only the panel power varies per case,
+  // so the graph, shading, traffic, and vehicles are built once and
+  // shared by every per-case World.
+  const auto graph = std::make_shared<const roadnet::RoadGraph>(city.graph());
+  const auto profile = std::make_shared<const shadow::ShadingProfile>(shading);
+  const auto traffic = std::make_shared<const roadnet::UrbanTraffic>(
+      roadnet::UrbanTraffic::Options{});
+  const auto lv = std::shared_ptr<const ev::ConsumptionModel>(
+      ev::make_lv_prototype());
+  const auto tesla = std::shared_ptr<const ev::ConsumptionModel>(
+      ev::make_tesla_model_s());
+  constexpr std::size_t kLv = 0;
+  constexpr std::size_t kTesla = 1;
   const roadnet::NodeId home = city.node_at(1, 2);
   const roadnet::NodeId work = city.node_at(8, 8);
 
@@ -75,11 +89,15 @@ int main() {
   std::printf("===================================\n");
   for (const Case& c : cases) {
     std::printf("%s\n", c.label);
-    const solar::SolarInputMap map(
-        city.graph(), shading, traffic,
-        solar::constant_panel_power(c.panel_power));
-    plan_and_print(map, *lv, home, work, c.departure);
-    plan_and_print(map, *tesla, home, work, c.departure);
+    core::WorldInit init;
+    init.graph = graph;
+    init.shading = profile;
+    init.traffic = traffic;
+    init.panel_power = solar::constant_panel_power(c.panel_power);
+    init.vehicles = {lv, tesla};
+    const core::WorldPtr world = core::World::create(std::move(init));
+    plan_and_print(world, kLv, home, work, c.departure);
+    plan_and_print(world, kTesla, home, work, c.departure);
   }
   std::printf(
       "\nNote how the heavy Tesla passes the Eq. 5 test less often, and\n"

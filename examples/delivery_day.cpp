@@ -6,9 +6,12 @@
 //
 // Build & run:  ./build/examples/delivery_day
 #include <cstdio>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "sunchase/core/planner.h"
+#include "sunchase/core/world.h"
 #include "sunchase/ev/battery.h"
 #include "sunchase/roadnet/citygen.h"
 #include "sunchase/roadnet/traffic.h"
@@ -25,18 +28,21 @@ int main() {
   const geo::LocalProjection projection(city_options.origin);
   const shadow::Scene scene =
       generate_scene(city.graph(), projection, shadow::SceneGenOptions{});
-  const shadow::ShadingProfile shading =
+  core::WorldInit init;
+  init.graph = std::make_shared<const roadnet::RoadGraph>(city.graph());
+  init.shading = std::make_shared<const shadow::ShadingProfile>(
       shadow::ShadingProfile::compute_exact(
-          city.graph(), scene, geo::DayOfYear{196}, TimeOfDay::hms(8, 0),
-          TimeOfDay::hms(18, 30));
-  const roadnet::UrbanTraffic traffic{roadnet::UrbanTraffic::Options{}};
+          *init.graph, scene, geo::DayOfYear{196}, TimeOfDay::hms(8, 0),
+          TimeOfDay::hms(18, 30)));
+  init.traffic = std::make_shared<const roadnet::UrbanTraffic>(
+      roadnet::UrbanTraffic::Options{});
   // Panel power follows the paper's one-day profile (160 W at the
   // edges of the day, 210 W at the 13:00 peak).
-  const solar::SolarInputMap map(city.graph(), shading, traffic,
-                                 solar::paper_daytime_panel_power());
-
-  const auto vehicle = ev::make_lv_prototype();
-  const core::SunChasePlanner planner(map, *vehicle);
+  init.panel_power = solar::paper_daytime_panel_power();
+  init.vehicles.push_back(std::shared_ptr<const ev::ConsumptionModel>(
+      ev::make_lv_prototype()));
+  const core::WorldPtr world = core::World::create(std::move(init));
+  const core::SunChasePlanner planner(world);
 
   // A pseudo-random but fixed delivery manifest across downtown.
   Rng rng(20170601);

@@ -6,8 +6,11 @@
 // Build & run:  ./build/examples/parking_advisor
 #include <cstdio>
 #include <fstream>
+#include <memory>
+#include <utility>
 
 #include "sunchase/core/planner.h"
+#include "sunchase/core/world.h"
 #include "sunchase/exporter/geojson.h"
 #include "sunchase/roadnet/citygen.h"
 #include "sunchase/roadnet/traffic.h"
@@ -28,16 +31,22 @@ int main() {
       shadow::ShadingProfile::compute_exact(
           city.graph(), scene, geo::DayOfYear{196}, TimeOfDay::hms(8, 0),
           TimeOfDay::hms(18, 30));
-  const roadnet::UrbanTraffic traffic{roadnet::UrbanTraffic::Options{}};
   const auto panel = solar::paper_daytime_panel_power();
-  const solar::SolarInputMap map(city.graph(), shading, traffic, panel);
-  const auto vehicle = ev::make_lv_prototype();
+  core::WorldInit init;
+  init.graph = std::make_shared<const roadnet::RoadGraph>(city.graph());
+  init.shading = std::make_shared<const shadow::ShadingProfile>(shading);
+  init.traffic = std::make_shared<const roadnet::UrbanTraffic>(
+      roadnet::UrbanTraffic::Options{});
+  init.panel_power = panel;
+  init.vehicles.push_back(std::shared_ptr<const ev::ConsumptionModel>(
+      ev::make_lv_prototype()));
+  const core::WorldPtr world = core::World::create(std::move(init));
 
   const roadnet::NodeId home = city.node_at(0, 1);
   const roadnet::NodeId office = city.node_at(7, 8);
 
   // 1. Route the morning commute.
-  const core::SunChasePlanner planner(map, *vehicle);
+  const core::SunChasePlanner planner(world);
   const core::PlanResult plan =
       planner.plan(home, office, TimeOfDay::hms(8, 45));
   const auto& route = plan.recommended();

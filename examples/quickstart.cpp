@@ -4,14 +4,19 @@
 //      OpenStreetMap extract of Montreal).
 //   2. Plant buildings/trees and compute the per-edge shading profile
 //      for the day (the paper renders ArcGIS 3D scenes every 15 min).
-//   3. Combine shading + traffic + panel power into a solar input map.
+//   3. Bundle graph + shading + traffic + panel power + vehicle into
+//      one immutable World snapshot.
 //   4. Plan a trip and print the shortest-time route next to the
 //      better-solar candidates that pass the Eq. 5 energy test.
 //
 // Build & run:  ./build/examples/quickstart
 #include <cstdio>
 
+#include <memory>
+#include <utility>
+
 #include "sunchase/core/planner.h"
+#include "sunchase/core/world.h"
 #include "sunchase/roadnet/citygen.h"
 #include "sunchase/roadnet/directions.h"
 #include "sunchase/roadnet/traffic.h"
@@ -32,20 +37,26 @@ int main() {
   const geo::LocalProjection projection(city_options.origin);
   const shadow::Scene scene =
       generate_scene(city.graph(), projection, shadow::SceneGenOptions{});
-  const shadow::ShadingProfile shading =
+
+  // 3. Bundle everything a planner reads — graph, shading, traffic
+  //    (urban 14-17 km/h band), panel power (200 W, the paper's
+  //    10 a.m. setting), and Lv's solar-EV model — into one immutable
+  //    World snapshot. Every planner API consumes this shared_ptr.
+  core::WorldInit init;
+  init.graph = std::make_shared<const roadnet::RoadGraph>(city.graph());
+  init.shading = std::make_shared<const shadow::ShadingProfile>(
       shadow::ShadingProfile::compute_exact(
-          city.graph(), scene, geo::DayOfYear{196},  // mid-July
-          TimeOfDay::hms(8, 0), TimeOfDay::hms(18, 30));
+          *init.graph, scene, geo::DayOfYear{196},  // mid-July
+          TimeOfDay::hms(8, 0), TimeOfDay::hms(18, 30)));
+  init.traffic = std::make_shared<const roadnet::UrbanTraffic>(
+      roadnet::UrbanTraffic::Options{});
+  init.panel_power = solar::constant_panel_power(Watts{200.0});
+  init.vehicles.push_back(std::shared_ptr<const ev::ConsumptionModel>(
+      ev::make_lv_prototype()));
+  const core::WorldPtr world = core::World::create(std::move(init));
 
-  // 3. Traffic (urban 14-17 km/h band) + panel power (200 W, the
-  //    paper's 10 a.m. setting) -> the solar input map.
-  const roadnet::UrbanTraffic traffic{roadnet::UrbanTraffic::Options{}};
-  const solar::SolarInputMap map(city.graph(), shading, traffic,
-                                 solar::constant_panel_power(Watts{200.0}));
-
-  // 4. Plan a morning trip across downtown with Lv's solar-EV model.
-  const auto vehicle = ev::make_lv_prototype();
-  const core::SunChasePlanner planner(map, *vehicle);
+  // 4. Plan a morning trip across downtown.
+  const core::SunChasePlanner planner(world);
   const roadnet::NodeId home = city.node_at(1, 1);
   const roadnet::NodeId work = city.node_at(8, 7);
   const core::PlanResult plan =

@@ -54,6 +54,7 @@
 #include "sunchase/common/logging.h"
 #include "sunchase/core/batch_planner.h"
 #include "sunchase/core/explain.h"
+#include "sunchase/core/world.h"
 #include "sunchase/obs/metrics.h"
 #include "sunchase/obs/query_log.h"
 #include "sunchase/obs/trace.h"
@@ -184,10 +185,29 @@ std::unique_ptr<obs::QueryLog> open_query_log(const CliOptions& opt) {
   return log;
 }
 
+/// Bundles a loaded/generated graph, its shading profile, traffic, the
+/// panel-power setting, and the selected vehicle into the immutable
+/// snapshot every planning API consumes.
+core::WorldPtr make_world(const roadnet::RoadGraph& graph,
+                          const shadow::Scene& scene,
+                          const CliOptions& opt) {
+  core::WorldInit init;
+  init.graph = std::make_shared<const roadnet::RoadGraph>(graph);
+  init.shading = std::make_shared<const shadow::ShadingProfile>(
+      shadow::ShadingProfile::compute_exact(
+          *init.graph, scene, geo::DayOfYear{196}, TimeOfDay::hms(8, 0),
+          TimeOfDay::hms(18, 30)));
+  init.traffic = std::make_shared<const roadnet::UrbanTraffic>(
+      roadnet::UrbanTraffic::Options{});
+  init.panel_power = solar::constant_panel_power(Watts{opt.panel_w});
+  init.vehicles.push_back(std::shared_ptr<const ev::ConsumptionModel>(
+      opt.ev == "tesla" ? ev::make_tesla_model_s()
+                        : ev::make_lv_prototype()));
+  return core::World::create(std::move(init));
+}
+
 int run_batch(const CliOptions& opt, core::PricingMode pricing,
-              const solar::SolarInputMap& map,
-              const ev::ConsumptionModel& vehicle,
-              const roadnet::GridCity& city) {
+              const core::WorldPtr& world, const roadnet::GridCity& city) {
   const auto queries = read_queries(opt.queries_path, city);
   const std::unique_ptr<obs::QueryLog> query_log = open_query_log(opt);
   core::BatchPlannerOptions batch_options;
@@ -198,7 +218,7 @@ int run_batch(const CliOptions& opt, core::PricingMode pricing,
   // the candidate list is what a route server would hand the fleet.
   batch_options.run_selection = true;
   if (query_log) batch_options.query_log = query_log.get();
-  const core::BatchPlanner planner(map, vehicle, batch_options);
+  const core::BatchPlanner planner(world, batch_options);
   const core::BatchResult batch = planner.plan_all(queries);
 
   std::printf("%-4s %-6s %-6s %-8s %8s %6s %8s %8s\n", "#", "from", "to",
@@ -241,16 +261,10 @@ int run_batch(const CliOptions& opt, core::PricingMode pricing,
 /// the recommended route edge by edge and check the ledger sums against
 /// the search's criteria vector.
 int run_explain(const CliOptions& opt, core::PricingMode pricing) {
-  const roadnet::RoadGraph graph = roadnet::read_graph_file(opt.graph_path);
+  const roadnet::RoadGraph loaded = roadnet::read_graph_file(opt.graph_path);
   const shadow::Scene scene = shadow::read_scene_file(opt.scene_path);
-  const shadow::ShadingProfile shading = shadow::ShadingProfile::compute_exact(
-      graph, scene, geo::DayOfYear{196}, TimeOfDay::hms(8, 0),
-      TimeOfDay::hms(18, 30));
-  const roadnet::UrbanTraffic traffic{roadnet::UrbanTraffic::Options{}};
-  const solar::SolarInputMap map(
-      graph, shading, traffic, solar::constant_panel_power(Watts{opt.panel_w}));
-  const auto vehicle =
-      opt.ev == "tesla" ? ev::make_tesla_model_s() : ev::make_lv_prototype();
+  const core::WorldPtr world = make_world(loaded, scene, opt);
+  const roadnet::RoadGraph& graph = world->graph();
 
   const auto origin = static_cast<roadnet::NodeId>(opt.from_node);
   const auto destination = static_cast<roadnet::NodeId>(
@@ -261,13 +275,13 @@ int run_explain(const CliOptions& opt, core::PricingMode pricing) {
   core::PlannerOptions planner_options;
   planner_options.mlc.max_time_factor = opt.time_budget;
   planner_options.mlc.pricing = pricing;
-  const core::SunChasePlanner planner(map, *vehicle, planner_options);
+  const core::SunChasePlanner planner(world, planner_options);
   const core::PlanResult plan = planner.plan(origin, destination, departure);
   const core::CandidateRoute& best = plan.recommended();
 
   // The ledger replays whichever pricing mode produced the route, so
   // the conservation check below stays bit-exact in both modes.
-  const core::RouteExplainer explainer(map, *vehicle);
+  const core::RouteExplainer explainer(world);
   const core::RouteLedger ledger = explainer.explain(
       best.route, departure, planner_options.mlc.time_dependent, pricing);
 
@@ -442,20 +456,10 @@ int main(int argc, char** argv) {
     const geo::LocalProjection projection(city_options.origin);
     const shadow::Scene scene =
         generate_scene(city.graph(), projection, shadow::SceneGenOptions{});
-    const shadow::ShadingProfile shading =
-        shadow::ShadingProfile::compute_exact(
-            city.graph(), scene, geo::DayOfYear{196}, TimeOfDay::hms(8, 0),
-            TimeOfDay::hms(18, 30));
-    const roadnet::UrbanTraffic traffic{roadnet::UrbanTraffic::Options{}};
-    const solar::SolarInputMap map(
-        city.graph(), shading, traffic,
-        solar::constant_panel_power(Watts{opt.panel_w}));
-
-    const auto vehicle =
-        opt.ev == "tesla" ? ev::make_tesla_model_s() : ev::make_lv_prototype();
+    const core::WorldPtr world = make_world(city.graph(), scene, opt);
 
     if (opt.batch) {
-      const int rc = run_batch(opt, pricing, map, *vehicle, city);
+      const int rc = run_batch(opt, pricing, world, city);
       if (!opt.metrics_out.empty())
         write_metrics_report(opt.metrics_out, "batch");
       if (!opt.trace_out.empty()) write_trace(opt.trace_out);
@@ -467,16 +471,19 @@ int main(int argc, char** argv) {
     planner_options.mlc.max_time_factor = opt.time_budget;
     planner_options.mlc.pricing = pricing;
     if (query_log) planner_options.query_log = query_log.get();
-    const core::SunChasePlanner planner(map, *vehicle, planner_options);
+    const core::SunChasePlanner planner(world, planner_options);
 
     const TimeOfDay departure = TimeOfDay::parse(opt.time);
     const core::PlanResult plan =
         planner.plan(city.node_at(opt.from_row, opt.from_col),
                      city.node_at(opt.to_row, opt.to_col), departure);
 
-    std::printf("%s, departing %s, C = %.0f W — %zu Pareto routes\n",
-                vehicle->name().c_str(), departure.to_string().c_str(),
-                opt.panel_w, plan.pareto_route_count);
+    std::printf("%s, departing %s, C = %.0f W (world v%llu) — "
+                "%zu Pareto routes\n",
+                planner.vehicle().name().c_str(),
+                departure.to_string().c_str(), opt.panel_w,
+                static_cast<unsigned long long>(world->version()),
+                plan.pareto_route_count);
     std::printf("%-14s %8s %8s %8s %8s %10s\n", "route", "TL (m)", "TT (s)",
                 "EI (Wh)", "EC (Wh)", "extra(Wh)");
     for (const auto& cand : plan.candidates) {

@@ -16,15 +16,26 @@ struct AStarResult {
   std::size_t nodes_settled = 0;  ///< search effort, for comparisons
 };
 
-/// Time-dependent A*: g = elapsed travel time, h = Haversine distance
-/// to the destination divided by `speed_upper_bound`. The heuristic is
-/// admissible iff no edge is ever traversed faster than the bound —
-/// pass the traffic model's ceiling (e.g. its max free-flow speed).
-/// Throws InvalidArgument for a non-positive bound; GraphError for
-/// unknown nodes. Returns nullopt when unreachable.
+/// Time-dependent A* on the snapshot's graph and traffic model:
+/// g = elapsed travel time, h = Haversine distance to the destination
+/// divided by `speed_upper_bound`. The heuristic is admissible iff no
+/// edge is ever traversed faster than the bound — pass the traffic
+/// model's ceiling (e.g. its max free-flow speed). Throws
+/// InvalidArgument for a null world or non-positive bound; GraphError
+/// for unknown nodes. Returns nullopt when unreachable.
+[[nodiscard]] std::optional<AStarResult> shortest_time_path_astar(
+    const WorldPtr& world, roadnet::NodeId origin,
+    roadnet::NodeId destination, TimeOfDay departure,
+    MetersPerSecond speed_upper_bound);
+
+namespace detail {
+
+/// Implementation primitive over snapshot components (see edge_cost.h).
 [[nodiscard]] std::optional<AStarResult> shortest_time_path_astar(
     const roadnet::RoadGraph& graph, const roadnet::TrafficModel& traffic,
     roadnet::NodeId origin, roadnet::NodeId destination, TimeOfDay departure,
     MetersPerSecond speed_upper_bound);
+
+}  // namespace detail
 
 }  // namespace sunchase::core

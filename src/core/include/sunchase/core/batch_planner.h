@@ -1,9 +1,10 @@
 // Parallel batch-query planning: fan a vector of (origin, destination,
 // departure) requests across a worker pool running the multi-label
-// correcting search against shared immutable state (graph, solar input
-// map, consumption model). This is the server-side pre-computation
-// shape of the SCORE deployment model — one process answering many
-// route queries per solar-map refresh.
+// correcting search against a shared immutable world snapshot. This is
+// the server-side pre-computation shape of the SCORE deployment model —
+// one process answering many route queries per solar-map refresh, with
+// live refreshes published through WorldStore while in-flight queries
+// keep the snapshot they started on.
 #pragma once
 
 #include <cstddef>
@@ -78,14 +79,24 @@ struct BatchResult {
   BatchStats stats;
 };
 
-/// Borrows the map and vehicle (keep them alive); every worker shares
-/// them read-only. The road graph's adjacency index is finalized before
-/// the fan-out so no worker mutates lazy state.
+/// Every worker prices against an immutable world snapshot, so the
+/// fan-out shares no mutable state at all. Two modes:
+///
+///  - Pinned (WorldPtr ctor): every query of every batch reads the one
+///    snapshot given at construction — results are reproducible no
+///    matter what is published elsewhere.
+///  - Live (WorldStore ctor): each query loads the store's current
+///    snapshot when its worker picks it up, then keeps it for the whole
+///    query. A publish() mid-batch never blocks workers and never
+///    changes a query already in flight; later queries see the new
+///    version (check the query log's "world.version").
 class BatchPlanner {
  public:
-  BatchPlanner(const solar::SolarInputMap& map,
-               const ev::ConsumptionModel& vehicle,
-               BatchPlannerOptions options = BatchPlannerOptions{});
+  explicit BatchPlanner(WorldPtr world,
+                        BatchPlannerOptions options = BatchPlannerOptions{});
+  /// Live mode; the store must outlive the planner.
+  explicit BatchPlanner(const WorldStore& store,
+                        BatchPlannerOptions options = BatchPlannerOptions{});
 
   /// Runs every query, in parallel, returning per-query results in
   /// input order. Per-query errors (unreachable destination, label
@@ -99,11 +110,14 @@ class BatchPlanner {
     return options_;
   }
 
+  /// The snapshot the next query would price against: the pinned world,
+  /// or the store's current version in live mode.
+  [[nodiscard]] WorldPtr world() const;
+
  private:
-  const solar::SolarInputMap& map_;
-  const ev::ConsumptionModel& vehicle_;
+  WorldPtr pinned_;               ///< pinned mode; null in live mode
+  const WorldStore* store_ = nullptr;  ///< live mode; null when pinned
   BatchPlannerOptions options_;
-  MultiLabelCorrecting solver_;
 };
 
 }  // namespace sunchase::core

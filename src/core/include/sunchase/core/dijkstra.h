@@ -7,6 +7,7 @@
 #include <optional>
 
 #include "sunchase/common/time_of_day.h"
+#include "sunchase/core/world_fwd.h"
 #include "sunchase/roadnet/path.h"
 #include "sunchase/roadnet/traffic.h"
 
@@ -17,13 +18,23 @@ struct ShortestTimeResult {
   Seconds travel_time{0.0};
 };
 
-/// Dijkstra over travel time, with each edge's speed evaluated at the
-/// clock time the vehicle enters it (departure + elapsed). Travel times
-/// are positive, so label-settling optimality holds (FIFO network).
-/// Returns nullopt when `destination` is unreachable from `origin`.
-/// Throws GraphError for unknown nodes.
+/// Dijkstra over travel time on the snapshot's graph and traffic model,
+/// with each edge's speed evaluated at the clock time the vehicle
+/// enters it (departure + elapsed). Travel times are positive, so
+/// label-settling optimality holds (FIFO network). Returns nullopt when
+/// `destination` is unreachable from `origin`. Throws InvalidArgument
+/// for a null world; GraphError for unknown nodes.
+[[nodiscard]] std::optional<ShortestTimeResult> shortest_time_path(
+    const WorldPtr& world, roadnet::NodeId origin,
+    roadnet::NodeId destination, TimeOfDay departure);
+
+namespace detail {
+
+/// Implementation primitive over snapshot components (see edge_cost.h).
 [[nodiscard]] std::optional<ShortestTimeResult> shortest_time_path(
     const roadnet::RoadGraph& graph, const roadnet::TrafficModel& traffic,
     roadnet::NodeId origin, roadnet::NodeId destination, TimeOfDay departure);
+
+}  // namespace detail
 
 }  // namespace sunchase::core

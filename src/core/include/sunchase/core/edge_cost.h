@@ -3,6 +3,7 @@
 #pragma once
 
 #include "sunchase/core/criteria.h"
+#include "sunchase/core/world_fwd.h"
 #include "sunchase/ev/consumption.h"
 #include "sunchase/solar/input_map.h"
 
@@ -39,9 +40,22 @@ enum class PricingMode {
   return mode == PricingMode::SlotQuantized ? "slot" : "exact";
 }
 
-/// Criteria accrued by entering `edge` at `when` with the given EV.
+/// Criteria accrued by entering `edge` at `when` with the world's
+/// `vehicle`. Throws InvalidArgument for a null world or an unknown
+/// vehicle index.
+[[nodiscard]] Criteria edge_criteria(const WorldPtr& world,
+                                     roadnet::EdgeId edge, TimeOfDay when,
+                                     std::size_t vehicle = 0);
+
+namespace detail {
+
+/// Implementation primitive over the snapshot's components — internal;
+/// public callers go through the WorldPtr overload above so no
+/// long-lived layer ever borrows raw world data.
 [[nodiscard]] Criteria edge_criteria(const solar::SolarInputMap& map,
                                      const ev::ConsumptionModel& vehicle,
                                      roadnet::EdgeId edge, TimeOfDay when);
+
+}  // namespace detail
 
 }  // namespace sunchase::core

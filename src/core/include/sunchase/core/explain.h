@@ -59,12 +59,12 @@ struct RouteLedger {
   [[nodiscard]] std::string to_csv() const;
 };
 
-/// Builds ledgers for routes planned against one map + vehicle pair.
-/// Borrows both; keep them alive while explaining.
+/// Builds ledgers for routes planned against one world snapshot,
+/// pinned at construction. Throws InvalidArgument for a null world or
+/// an unknown vehicle index.
 class RouteExplainer {
  public:
-  RouteExplainer(const solar::SolarInputMap& map,
-                 const ev::ConsumptionModel& vehicle);
+  explicit RouteExplainer(WorldPtr world, std::size_t vehicle = 0);
 
   /// Walks `path` from `departure` and prices every edge exactly as the
   /// search did: entry time is the departure advanced by the cumulative
@@ -88,9 +88,12 @@ class RouteExplainer {
     return explain(route.path, departure, time_dependent, pricing);
   }
 
+  /// The snapshot every ledger prices against.
+  [[nodiscard]] const WorldPtr& world() const noexcept { return world_; }
+
  private:
-  const solar::SolarInputMap& map_;
-  const ev::ConsumptionModel& vehicle_;
+  WorldPtr world_;
+  std::size_t vehicle_;
 };
 
 }  // namespace sunchase::core

@@ -18,11 +18,23 @@ struct RouteMetrics {
 };
 
 /// Walks the path with a running clock (edge criteria at entry time)
-/// and accumulates the metrics. Empty path -> all-zero metrics.
+/// and accumulates the metrics for the world's `vehicle`. Empty path
+/// -> all-zero metrics. Throws InvalidArgument for a null world or an
+/// unknown vehicle index.
+[[nodiscard]] RouteMetrics evaluate_route(const WorldPtr& world,
+                                          const roadnet::Path& path,
+                                          TimeOfDay departure,
+                                          std::size_t vehicle = 0);
+
+namespace detail {
+
+/// Internal primitive over snapshot components (see edge_cost.h).
 [[nodiscard]] RouteMetrics evaluate_route(const solar::SolarInputMap& map,
                                           const ev::ConsumptionModel& vehicle,
                                           const roadnet::Path& path,
                                           TimeOfDay departure);
+
+}  // namespace detail
 
 /// Eq. 5: extra solar input of `candidate` over `baseline` minus its
 /// extra consumption. A candidate is worth driving iff this is > 0.

@@ -6,12 +6,11 @@
 #pragma once
 
 #include <cstddef>
-#include <memory>
 #include <vector>
 
 #include "sunchase/core/criteria.h"
 #include "sunchase/core/edge_cost.h"
-#include "sunchase/core/slot_cost_cache.h"
+#include "sunchase/core/world_fwd.h"
 #include "sunchase/roadnet/path.h"
 
 namespace sunchase::core {
@@ -35,6 +34,9 @@ struct MlcOptions {
   /// the 15-minute slot start and reads the shared SlotCostCache.
   /// Bit-identical on a slot-constant world; see PricingMode.
   PricingMode pricing = PricingMode::Exact;
+  /// Which of the world's vehicles the energy-consumption criterion is
+  /// priced for (an index into World's vehicle list).
+  std::size_t vehicle = 0;
 };
 
 /// One non-dominated route with its criteria vector.
@@ -59,13 +61,16 @@ struct MlcResult {
   MlcStats stats;
 };
 
-/// The solver. Borrows the solar input map and the vehicle model;
-/// callers keep both alive for the planner's lifetime.
+/// The solver. Pins one immutable world snapshot for its lifetime —
+/// construction is cheap (under SlotQuantized pricing it resolves the
+/// world-owned, shared SlotCostCache; it never builds one), so a
+/// per-query solver over a freshly loaded snapshot is the idiomatic
+/// hot-swap pattern. Throws InvalidArgument for a null world or an
+/// unknown vehicle index.
 class MultiLabelCorrecting {
  public:
-  MultiLabelCorrecting(const solar::SolarInputMap& map,
-                       const ev::ConsumptionModel& vehicle,
-                       MlcOptions options = MlcOptions{});
+  explicit MultiLabelCorrecting(WorldPtr world,
+                                MlcOptions options = MlcOptions{});
 
   /// Full Pareto set from `origin` to `destination` leaving at
   /// `departure`, sorted lexicographically. Throws RoutingError when
@@ -79,17 +84,20 @@ class MultiLabelCorrecting {
     return options_;
   }
 
-  /// The slot cost cache backing SlotQuantized pricing; nullptr under
-  /// Exact. Shared by every concurrent search() on this solver.
+  /// The snapshot every search() prices against.
+  [[nodiscard]] const WorldPtr& world() const noexcept { return world_; }
+
+  /// The world-owned slot cost cache backing SlotQuantized pricing;
+  /// nullptr under Exact. Shared with every other solver, batch worker
+  /// and explainer on the same (world version, vehicle).
   [[nodiscard]] const SlotCostCache* cache() const noexcept {
-    return cache_.get();
+    return cache_;
   }
 
  private:
-  const solar::SolarInputMap& map_;
-  const ev::ConsumptionModel& vehicle_;
+  WorldPtr world_;
   MlcOptions options_;
-  std::unique_ptr<SlotCostCache> cache_;  ///< only when SlotQuantized
+  const SlotCostCache* cache_ = nullptr;  ///< only when SlotQuantized
 };
 
 }  // namespace sunchase::core

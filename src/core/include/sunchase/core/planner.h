@@ -41,10 +41,11 @@ struct PlanResult {
 
 class SunChasePlanner {
  public:
-  /// Borrows the map and vehicle; keep them alive while planning.
-  SunChasePlanner(const solar::SolarInputMap& map,
-                  const ev::ConsumptionModel& vehicle,
-                  PlannerOptions options = PlannerOptions{});
+  /// Pins one immutable world snapshot for the planner's lifetime; the
+  /// vehicle is options.mlc.vehicle. Throws InvalidArgument for a null
+  /// world or an unknown vehicle index.
+  explicit SunChasePlanner(WorldPtr world,
+                           PlannerOptions options = PlannerOptions{});
 
   /// Plans a trip. Throws RoutingError when the destination is
   /// unreachable within the time budget.
@@ -55,13 +56,13 @@ class SunChasePlanner {
   [[nodiscard]] const PlannerOptions& options() const noexcept {
     return options_;
   }
-  [[nodiscard]] const ev::ConsumptionModel& vehicle() const noexcept {
-    return vehicle_;
+  /// The snapshot every plan() prices against.
+  [[nodiscard]] const WorldPtr& world() const noexcept {
+    return solver_.world();
   }
+  [[nodiscard]] const ev::ConsumptionModel& vehicle() const;
 
  private:
-  const solar::SolarInputMap& map_;
-  const ev::ConsumptionModel& vehicle_;
   PlannerOptions options_;
   MultiLabelCorrecting solver_;
 };

@@ -5,7 +5,10 @@
 // stale mid-trip. This module drives a planned route edge by edge
 // against *live* panel power and re-plans the remainder at
 // intersections whenever the live power has drifted from the forecast
-// the current plan was built on.
+// the current plan was built on. Each (re)plan derives an ephemeral
+// forecast snapshot from the base world's recipe (constant panel power
+// sampled at the planning instant), so the graph, traffic and shading
+// allocations stay shared across every replan.
 #pragma once
 
 #include "sunchase/core/planner.h"
@@ -30,27 +33,24 @@ struct DriveOutcome {
   int replans = 0;
 };
 
-/// Drives from `origin` to `destination`: plans with a constant-power
-/// forecast (the live power sampled at each (re)planning instant),
-/// then follows the recommended route, accruing harvest under
-/// `live_power`. At each intersection, if the live power has drifted
-/// beyond the threshold since the plan was made, the remainder is
-/// re-planned. Throws RoutingError when no route exists.
+/// Drives from `origin` to `destination` on the world's graph with its
+/// `vehicle`: plans with a constant-power forecast (the live power
+/// sampled at each (re)planning instant), then follows the recommended
+/// route, accruing harvest under `live_power`. At each intersection, if
+/// the live power has drifted beyond the threshold since the plan was
+/// made, the remainder is re-planned. Throws RoutingError when no route
+/// exists; InvalidArgument for a null world or live-power function.
 [[nodiscard]] DriveOutcome drive_with_replanning(
-    const roadnet::RoadGraph& graph, const shadow::ShadingProfile& shading,
-    const roadnet::TrafficModel& traffic, const solar::PanelPowerFn& live_power,
-    const ev::ConsumptionModel& vehicle, roadnet::NodeId origin,
-    roadnet::NodeId destination, TimeOfDay departure,
+    const WorldPtr& world, const solar::PanelPowerFn& live_power,
+    roadnet::NodeId origin, roadnet::NodeId destination, TimeOfDay departure,
     const ReplanOptions& options = ReplanOptions{});
 
 /// The baseline: plan once at departure (forecast = live power at
 /// departure), never re-plan, but still accrue harvest under the live
 /// power. Same outcome type for comparison.
 [[nodiscard]] DriveOutcome drive_without_replanning(
-    const roadnet::RoadGraph& graph, const shadow::ShadingProfile& shading,
-    const roadnet::TrafficModel& traffic, const solar::PanelPowerFn& live_power,
-    const ev::ConsumptionModel& vehicle, roadnet::NodeId origin,
-    roadnet::NodeId destination, TimeOfDay departure,
+    const WorldPtr& world, const solar::PanelPowerFn& live_power,
+    roadnet::NodeId origin, roadnet::NodeId destination, TimeOfDay departure,
     const PlannerOptions& planner_options = PlannerOptions{});
 
 }  // namespace sunchase::core

@@ -55,11 +55,23 @@ struct SelectionResult {
   double selection_seconds = 0.0;
 };
 
-/// Runs the full selection pipeline on a Pareto set. An empty Pareto
-/// set yields an empty result.
+/// Runs the full selection pipeline on a Pareto set, pricing routes
+/// against the world's `vehicle`. An empty Pareto set yields an empty
+/// result. Throws InvalidArgument for a null world or an unknown
+/// vehicle index.
+[[nodiscard]] SelectionResult select_representative_routes(
+    const std::vector<ParetoRoute>& pareto, const WorldPtr& world,
+    TimeOfDay departure, const SelectionOptions& options = SelectionOptions{},
+    std::size_t vehicle = 0);
+
+namespace detail {
+
+/// Implementation primitive over snapshot components (see edge_cost.h).
 [[nodiscard]] SelectionResult select_representative_routes(
     const std::vector<ParetoRoute>& pareto, const solar::SolarInputMap& map,
     const ev::ConsumptionModel& vehicle, TimeOfDay departure,
     const SelectionOptions& options = SelectionOptions{});
+
+}  // namespace detail
 
 }  // namespace sunchase::core

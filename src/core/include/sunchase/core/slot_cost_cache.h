@@ -19,8 +19,11 @@
 
 namespace sunchase::core {
 
-/// Borrows the map and vehicle; keep both alive for the cache's
-/// lifetime. Columns (one per slot, covering every edge) fill on first
+/// Owned by (and only constructible through) core::World, which
+/// guarantees the map and vehicle it reads outlive it: one cache per
+/// (world version, vehicle), shared by every planner, batch worker and
+/// explainer on that snapshot — obtain it via World::slot_cache().
+/// Columns (one per slot, covering every edge) fill on first
 /// touch under a per-slot once_flag, then publish via an acquire/release
 /// flag — later lookups are wait-free reads of immutable rows. Memory is
 /// bounded by kSlotsPerDay columns of edge_count entries; actual usage
@@ -37,8 +40,6 @@ class SlotCostCache {
     solar::EdgeSolar solar;
   };
 
-  SlotCostCache(const solar::SolarInputMap& map,
-                const ev::ConsumptionModel& vehicle);
   SlotCostCache(const SlotCostCache&) = delete;
   SlotCostCache& operator=(const SlotCostCache&) = delete;
 
@@ -62,6 +63,10 @@ class SlotCostCache {
   }
 
  private:
+  friend class World;
+  SlotCostCache(const solar::SolarInputMap& map,
+                const ev::ConsumptionModel& vehicle);
+
   struct Column {
     std::once_flag once;
     std::atomic<bool> ready{false};

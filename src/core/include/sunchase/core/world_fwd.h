@@ -1,0 +1,20 @@
+// Forward declarations for the world-snapshot types, so hot-path
+// headers (edge_cost, metrics) can name WorldPtr without pulling in the
+// full World definition.
+#pragma once
+
+#include <memory>
+
+namespace sunchase::core {
+
+class World;
+class WorldStore;
+class SlotCostCache;
+struct WorldInit;
+
+/// How every layer holds planning state: a shared immutable snapshot.
+/// Copying the pointer pins the version; the snapshot it points at
+/// never changes.
+using WorldPtr = std::shared_ptr<const World>;
+
+}  // namespace sunchase::core

@@ -1,0 +1,55 @@
+// Versioned publication point for world snapshots — the server-side
+// half of the live-update story. `current()` is a lock-free-for-readers
+// atomic shared_ptr load: a query pins the snapshot it starts on by
+// copying the pointer. `publish()` builds the next version and swaps it
+// in atomically: queries already running keep their pinned snapshot
+// (its refcount keeps it alive), queries arriving after the swap see
+// the new one, and no reader ever observes a half-built world. This is
+// the MVCC-snapshot pattern (cf. couchbase-lite-core): writers never
+// block readers, readers never block writers.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "sunchase/core/world.h"
+
+namespace sunchase::core {
+
+class WorldStore {
+ public:
+  /// Publishes the initial snapshot as version 1.
+  explicit WorldStore(WorldInit initial);
+  /// Adopts an existing snapshot; the next publish gets version
+  /// `initial->version() + 1`. Throws InvalidArgument on null.
+  explicit WorldStore(WorldPtr initial);
+
+  WorldStore(const WorldStore&) = delete;
+  WorldStore& operator=(const WorldStore&) = delete;
+
+  /// The latest published snapshot. Wait-free for readers; call once
+  /// per query and keep the returned pointer — that is the pin.
+  [[nodiscard]] WorldPtr current() const noexcept {
+    return current_.load(std::memory_order_acquire);
+  }
+
+  /// Version of the latest published snapshot.
+  [[nodiscard]] std::uint64_t version() const noexcept {
+    return current()->version();
+  }
+
+  /// Builds `next` as a new World with the next version number and
+  /// swaps it in atomically. Concurrent publishers are serialized
+  /// (versions stay dense and monotonic); readers are never blocked.
+  /// Returns the newly published snapshot.
+  WorldPtr publish(WorldInit next);
+
+ private:
+  std::atomic<WorldPtr> current_;
+  std::uint64_t next_version_;   ///< guarded by publish_mutex_
+  std::mutex publish_mutex_;     ///< serializes publishers only
+};
+
+}  // namespace sunchase::core

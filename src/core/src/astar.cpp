@@ -6,8 +6,21 @@
 #include <vector>
 
 #include "sunchase/common/error.h"
+#include "sunchase/core/world.h"
 
 namespace sunchase::core {
+
+std::optional<AStarResult> shortest_time_path_astar(
+    const WorldPtr& world, roadnet::NodeId origin,
+    roadnet::NodeId destination, TimeOfDay departure,
+    MetersPerSecond speed_upper_bound) {
+  if (!world) throw InvalidArgument("shortest_time_path_astar: null world");
+  return detail::shortest_time_path_astar(world->graph(), world->traffic(),
+                                          origin, destination, departure,
+                                          speed_upper_bound);
+}
+
+namespace detail {
 
 std::optional<AStarResult> shortest_time_path_astar(
     const roadnet::RoadGraph& graph, const roadnet::TrafficModel& traffic,
@@ -66,5 +79,7 @@ std::optional<AStarResult> shortest_time_path_astar(
   std::reverse(result.path.edges.begin(), result.path.edges.end());
   return result;
 }
+
+}  // namespace detail
 
 }  // namespace sunchase::core

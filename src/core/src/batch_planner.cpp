@@ -5,9 +5,12 @@
 #include <future>
 #include <utility>
 
+#include "sunchase/common/error.h"
 #include "sunchase/common/logging.h"
 #include "sunchase/common/thread_pool.h"
 #include "sunchase/core/metrics.h"
+#include "sunchase/core/world.h"
+#include "sunchase/core/world_store.h"
 #include "sunchase/obs/metrics.h"
 #include "sunchase/obs/query_log.h"
 #include "sunchase/obs/trace.h"
@@ -72,13 +75,22 @@ struct QueryOutcome {
 
 }  // namespace
 
-BatchPlanner::BatchPlanner(const solar::SolarInputMap& map,
-                           const ev::ConsumptionModel& vehicle,
+BatchPlanner::BatchPlanner(WorldPtr world, BatchPlannerOptions options)
+    : pinned_(std::move(world)), options_(options) {
+  if (!pinned_) throw InvalidArgument("BatchPlanner: null world");
+  // Rejects a bad vehicle index or MLC option set now, not per query.
+  static_cast<void>(MultiLabelCorrecting(pinned_, options.mlc));
+}
+
+BatchPlanner::BatchPlanner(const WorldStore& store,
                            BatchPlannerOptions options)
-    : map_(map),
-      vehicle_(vehicle),
-      options_(options),
-      solver_(map, vehicle, options.mlc) {}
+    : store_(&store), options_(options) {
+  static_cast<void>(MultiLabelCorrecting(store.current(), options.mlc));
+}
+
+WorldPtr BatchPlanner::world() const {
+  return store_ != nullptr ? store_->current() : pinned_;
+}
 
 BatchResult BatchPlanner::plan_all(
     const std::vector<BatchQuery>& queries) const {
@@ -86,10 +98,6 @@ BatchResult BatchPlanner::plan_all(
   result.queries.resize(queries.size());
   result.stats.query_count = queries.size();
   if (queries.empty()) return result;
-
-  // Freeze the lazy CSR adjacency before any worker touches it: the
-  // graph is the one piece of shared state with mutable internals.
-  map_.graph().finalize();
 
   const std::size_t workers = std::min(
       queries.size(), options_.workers > 0
@@ -116,12 +124,19 @@ BatchResult BatchPlanner::plan_all(
         const auto begun = Clock::now();
         metrics.queue_wait.observe(seconds_between(submitted, begun));
         const obs::SpanTimer span("batch.query");
+        // Pin this query's snapshot: in live mode each query loads the
+        // store's current world when its worker picks it up, and prices
+        // every edge against that one version end to end — a publish()
+        // racing this batch never tears a query.
+        const WorldPtr world = store_ != nullptr ? store_->current() : pinned_;
+        const MultiLabelCorrecting solver(world, options_.mlc);
         QueryOutcome outcome;
-        outcome.result = solver_.search(query.origin, query.destination,
-                                        query.departure);
+        outcome.result = solver.search(query.origin, query.destination,
+                                       query.departure);
         if (options_.run_selection)
-          outcome.selection = select_representative_routes(
-              outcome.result.routes, map_, vehicle_, query.departure,
+          outcome.selection = detail::select_representative_routes(
+              outcome.result.routes, world->solar_map(),
+              world->vehicle(options_.mlc.vehicle), query.departure,
               options_.selection);
         const double run_seconds = seconds_between(begun, Clock::now());
         metrics.run_time.observe(run_seconds);
@@ -129,6 +144,7 @@ BatchResult BatchPlanner::plan_all(
         if (log != nullptr) {
           obs::QueryRecord record = start_record(query, i,
                                                  options_.mlc.pricing);
+          record.world_version = static_cast<std::int64_t>(world->version());
           const MlcStats& stats = outcome.result.stats;
           record.mlc_seconds = stats.search_seconds;
           record.labels_created = stats.labels_created;
@@ -158,8 +174,9 @@ BatchResult BatchPlanner::plan_all(
                   return a.cost.travel_time.value() <
                          b.cost.travel_time.value();
                 });
-            const RouteMetrics best = evaluate_route(
-                map_, vehicle_, fastest->path, query.departure);
+            const RouteMetrics best = detail::evaluate_route(
+                world->solar_map(), world->vehicle(options_.mlc.vehicle),
+                fastest->path, query.departure);
             record.candidate_count = outcome.result.routes.size();
             record.travel_time_s = best.travel_time.value();
             record.shaded_time_s = best.shaded_time.value();
@@ -182,6 +199,10 @@ BatchResult BatchPlanner::plan_all(
         if (log != nullptr) {
           obs::QueryRecord record =
               start_record(queries[i], i, options_.mlc.pricing);
+          // The failing query's own snapshot died with its exception;
+          // the planner's current view is the best available stamp.
+          record.world_version =
+              static_cast<std::int64_t>(world()->version());
           record.status = "error";
           record.error = e.what();
           log->write(record);

@@ -6,8 +6,19 @@
 #include <vector>
 
 #include "sunchase/common/error.h"
+#include "sunchase/core/world.h"
 
 namespace sunchase::core {
+
+std::optional<ShortestTimeResult> shortest_time_path(
+    const WorldPtr& world, roadnet::NodeId origin,
+    roadnet::NodeId destination, TimeOfDay departure) {
+  if (!world) throw InvalidArgument("shortest_time_path: null world");
+  return detail::shortest_time_path(world->graph(), world->traffic(), origin,
+                                    destination, departure);
+}
+
+namespace detail {
 
 std::optional<ShortestTimeResult> shortest_time_path(
     const roadnet::RoadGraph& graph, const roadnet::TrafficModel& traffic,
@@ -57,5 +68,7 @@ std::optional<ShortestTimeResult> shortest_time_path(
   std::reverse(result.path.edges.begin(), result.path.edges.end());
   return result;
 }
+
+}  // namespace detail
 
 }  // namespace sunchase::core

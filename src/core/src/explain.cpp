@@ -4,6 +4,10 @@
 #include <cmath>
 #include <cstdio>
 #include <sstream>
+#include <utility>
+
+#include "sunchase/common/error.h"
+#include "sunchase/core/world.h"
 
 namespace sunchase::core {
 
@@ -92,9 +96,11 @@ std::string RouteLedger::to_csv() const {
   return out.str();
 }
 
-RouteExplainer::RouteExplainer(const solar::SolarInputMap& map,
-                               const ev::ConsumptionModel& vehicle)
-    : map_(map), vehicle_(vehicle) {}
+RouteExplainer::RouteExplainer(WorldPtr world, std::size_t vehicle)
+    : world_(std::move(world)), vehicle_(vehicle) {
+  if (!world_) throw InvalidArgument("RouteExplainer: null world");
+  static_cast<void>(world_->vehicle(vehicle_));  // validates the index
+}
 
 RouteLedger RouteExplainer::explain(const roadnet::Path& path,
                                     TimeOfDay departure, bool time_dependent,
@@ -102,7 +108,9 @@ RouteLedger RouteExplainer::explain(const roadnet::Path& path,
   RouteLedger ledger;
   ledger.departure = departure;
   ledger.steps.reserve(path.size());
-  const auto& graph = map_.graph();
+  const solar::SolarInputMap& map = world_->solar_map();
+  const ev::ConsumptionModel& vehicle = world_->vehicle(vehicle_);
+  const auto& graph = map.graph();
 
   Criteria cumulative;
   WattHours cumulative_in{0.0};
@@ -118,10 +126,10 @@ RouteLedger RouteExplainer::explain(const roadnet::Path& path,
     // the slot start, so the ledger must price there as well or the
     // conservation sums drift by the within-slot difference.
     const TimeOfDay priced_at = pricing_time(entry, pricing);
-    const solar::EdgeSolar es = map_.evaluate(e, priced_at);
+    const solar::EdgeSolar es = map.evaluate(e, priced_at);
     const auto& edge = graph.edge(e);
-    const MetersPerSecond v = map_.traffic().speed(graph, e, priced_at);
-    const WattHours out = vehicle_.consumption(edge.length, v);
+    const MetersPerSecond v = map.traffic().speed(graph, e, priced_at);
+    const WattHours out = vehicle.consumption(edge.length, v);
 
     ExplainStep step;
     step.edge = e;

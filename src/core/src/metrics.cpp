@@ -1,6 +1,11 @@
 #include "sunchase/core/metrics.h"
 
+#include "sunchase/common/error.h"
+#include "sunchase/core/world.h"
+
 namespace sunchase::core {
+
+namespace detail {
 
 Criteria edge_criteria(const solar::SolarInputMap& map,
                        const ev::ConsumptionModel& vehicle,
@@ -30,6 +35,22 @@ RouteMetrics evaluate_route(const solar::SolarInputMap& map,
     clock = clock.advanced_by(es.travel_time);
   }
   return m;
+}
+
+}  // namespace detail
+
+Criteria edge_criteria(const WorldPtr& world, roadnet::EdgeId edge,
+                       TimeOfDay when, std::size_t vehicle) {
+  if (!world) throw InvalidArgument("edge_criteria: null world");
+  return detail::edge_criteria(world->solar_map(), world->vehicle(vehicle),
+                               edge, when);
+}
+
+RouteMetrics evaluate_route(const WorldPtr& world, const roadnet::Path& path,
+                            TimeOfDay departure, std::size_t vehicle) {
+  if (!world) throw InvalidArgument("evaluate_route: null world");
+  return detail::evaluate_route(world->solar_map(), world->vehicle(vehicle),
+                                path, departure);
 }
 
 WattHours energy_extra(const RouteMetrics& candidate,

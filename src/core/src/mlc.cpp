@@ -4,9 +4,13 @@
 #include <chrono>
 #include <queue>
 
+#include <utility>
+
 #include "sunchase/common/error.h"
 #include "sunchase/common/logging.h"
 #include "sunchase/core/dijkstra.h"
+#include "sunchase/core/slot_cost_cache.h"
+#include "sunchase/core/world.h"
 #include "sunchase/obs/metrics.h"
 #include "sunchase/obs/trace.h"
 
@@ -59,12 +63,12 @@ struct LexGreater {
 
 }  // namespace
 
-MultiLabelCorrecting::MultiLabelCorrecting(const solar::SolarInputMap& map,
-                                           const ev::ConsumptionModel& vehicle,
-                                           MlcOptions options)
-    : map_(map), vehicle_(vehicle), options_(options) {
+MultiLabelCorrecting::MultiLabelCorrecting(WorldPtr world, MlcOptions options)
+    : world_(std::move(world)), options_(options) {
+  if (!world_) throw InvalidArgument("MultiLabelCorrecting: null world");
+  static_cast<void>(world_->vehicle(options.vehicle));  // validates the index
   if (options.pricing == PricingMode::SlotQuantized)
-    cache_ = std::make_unique<SlotCostCache>(map, vehicle);
+    cache_ = &world_->slot_cache(options.vehicle);
   if (options.max_time_factor < 0.0)
     throw InvalidArgument("MultiLabelCorrecting: negative time factor");
   if (options.max_time_factor > 0.0 && options.max_time_factor < 1.0)
@@ -76,7 +80,9 @@ MultiLabelCorrecting::MultiLabelCorrecting(const solar::SolarInputMap& map,
 MlcResult MultiLabelCorrecting::search(roadnet::NodeId origin,
                                        roadnet::NodeId destination,
                                        TimeOfDay departure) const {
-  const auto& graph = map_.graph();
+  const solar::SolarInputMap& map = world_->solar_map();
+  const ev::ConsumptionModel& vehicle = world_->vehicle(options_.vehicle);
+  const auto& graph = map.graph();
   if (origin >= graph.node_count() || destination >= graph.node_count())
     throw GraphError("MultiLabelCorrecting::search: unknown node");
 
@@ -87,9 +93,8 @@ MlcResult MultiLabelCorrecting::search(roadnet::NodeId origin,
 
   // Time bound from the shortest-time baseline (also proves
   // reachability before the multi-criteria expansion starts).
-  const auto shortest =
-      shortest_time_path(graph, map_.traffic(), origin, destination,
-                         departure);
+  const auto shortest = detail::shortest_time_path(
+      graph, map.traffic(), origin, destination, departure);
   if (!shortest)
     throw RoutingError("MultiLabelCorrecting::search: destination unreachable");
   result.stats.shortest_travel_time = shortest->travel_time;
@@ -162,8 +167,9 @@ MlcResult MultiLabelCorrecting::search(roadnet::NodeId origin,
     const int slot = cache_ ? now.slot_index() : 0;
     for (const roadnet::EdgeId e : graph.out_edges(current.node)) {
       const Criteria next =
-          current.cost + (cache_ ? cache_->at(e, slot).criteria
-                                 : edge_criteria(map_, vehicle_, e, now));
+          current.cost +
+          (cache_ ? cache_->at(e, slot).criteria
+                  : detail::edge_criteria(map, vehicle, e, now));
       if (time_bound > 0.0 && next.travel_time.value() > time_bound)
         continue;  // beyond the acceptable arrival time
       try_insert(graph.edge(e).to, next, e,

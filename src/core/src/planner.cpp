@@ -1,8 +1,10 @@
 #include "sunchase/core/planner.h"
 
 #include <chrono>
+#include <utility>
 
 #include "sunchase/common/error.h"
+#include "sunchase/core/world.h"
 #include "sunchase/obs/query_log.h"
 #include "sunchase/obs/trace.h"
 
@@ -24,13 +26,12 @@ const CandidateRoute& PlanResult::recommended() const {
   return candidates.size() > 1 ? candidates[1] : candidates[0];
 }
 
-SunChasePlanner::SunChasePlanner(const solar::SolarInputMap& map,
-                                 const ev::ConsumptionModel& vehicle,
-                                 PlannerOptions options)
-    : map_(map),
-      vehicle_(vehicle),
-      options_(options),
-      solver_(map, vehicle, options.mlc) {}
+SunChasePlanner::SunChasePlanner(WorldPtr world, PlannerOptions options)
+    : options_(options), solver_(std::move(world), options.mlc) {}
+
+const ev::ConsumptionModel& SunChasePlanner::vehicle() const {
+  return world()->vehicle(options_.mlc.vehicle);
+}
 
 PlanResult SunChasePlanner::plan(roadnet::NodeId origin,
                                  roadnet::NodeId destination,
@@ -45,12 +46,14 @@ PlanResult SunChasePlanner::plan(roadnet::NodeId origin,
     record.destination = destination;
     record.departure = departure.to_string();
     record.pricing = pricing_name(options_.mlc.pricing);
+    record.world_version = static_cast<std::int64_t>(world()->version());
   }
 
   try {
     const MlcResult search = solver_.search(origin, destination, departure);
-    SelectionResult selection = select_representative_routes(
-        search.routes, map_, vehicle_, departure, options_.selection);
+    SelectionResult selection = detail::select_representative_routes(
+        search.routes, world()->solar_map(), vehicle(), departure,
+        options_.selection);
 
     PlanResult plan;
     plan.candidates = std::move(selection.candidates);

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "sunchase/common/error.h"
+#include "sunchase/core/world.h"
 
 namespace sunchase::core {
 
@@ -17,15 +18,14 @@ struct FollowState {
   DriveOutcome* outcome;
 };
 
-void traverse_edge(const roadnet::RoadGraph& graph,
-                   const shadow::ShadingProfile& shading,
-                   const roadnet::TrafficModel& traffic,
-                   const solar::PanelPowerFn& live_power,
-                   const ev::ConsumptionModel& vehicle, roadnet::EdgeId e,
+void traverse_edge(const World& world, const solar::PanelPowerFn& live_power,
+                   std::size_t vehicle_index, roadnet::EdgeId e,
                    FollowState& state) {
-  const MetersPerSecond v = traffic.speed(graph, e, state.clock);
+  const roadnet::RoadGraph& graph = world.graph();
+  const ev::ConsumptionModel& vehicle = world.vehicle(vehicle_index);
+  const MetersPerSecond v = world.traffic().speed(graph, e, state.clock);
   const Meters length = graph.edge(e).length;
-  const Meters solar_len = shading.solar_length(graph, e, state.clock);
+  const Meters solar_len = world.shading().solar_length(graph, e, state.clock);
   const Seconds tt = length / v;
   const Seconds solar_time = solar_len / v;
   state.outcome->driven.edges.push_back(e);
@@ -35,19 +35,28 @@ void traverse_edge(const roadnet::RoadGraph& graph,
   state.clock = state.clock.advanced_by(tt);
 }
 
+/// The ephemeral planning snapshot for one (re)plan: the base world's
+/// recipe with panel power replaced by the sampled constant forecast.
+/// Unchanged components (graph, traffic, shading, vehicles) stay
+/// shared; only the solar map and slot caches are rebuilt.
+WorldPtr forecast_world(const World& base, Watts forecast) {
+  WorldInit init = base.recipe();
+  init.panel_power = solar::constant_panel_power(forecast);
+  return World::create(std::move(init), base.version());
+}
+
 }  // namespace
 
-DriveOutcome drive_with_replanning(const roadnet::RoadGraph& graph,
-                                   const shadow::ShadingProfile& shading,
-                                   const roadnet::TrafficModel& traffic,
+DriveOutcome drive_with_replanning(const WorldPtr& world,
                                    const solar::PanelPowerFn& live_power,
-                                   const ev::ConsumptionModel& vehicle,
                                    roadnet::NodeId origin,
                                    roadnet::NodeId destination,
                                    TimeOfDay departure,
                                    const ReplanOptions& options) {
+  if (!world) throw InvalidArgument("drive_with_replanning: null world");
   if (!live_power)
     throw InvalidArgument("drive_with_replanning: null live power");
+  const std::size_t vehicle = options.planner.mlc.vehicle;
   DriveOutcome outcome;
   FollowState state{departure, &outcome};
   roadnet::NodeId at = origin;
@@ -57,10 +66,8 @@ DriveOutcome drive_with_replanning(const roadnet::RoadGraph& graph,
 
   while (at != destination) {
     // (Re)plan from the current position with the current forecast.
-    const solar::SolarInputMap map(
-        graph, shading, traffic,
-        solar::constant_panel_power(Watts{forecast_w}));
-    const SunChasePlanner planner(map, vehicle, options.planner);
+    const SunChasePlanner planner(forecast_world(*world, Watts{forecast_w}),
+                                  options.planner);
     const PlanResult plan = planner.plan(at, destination, state.clock);
     const roadnet::Path& route = plan.recommended().route.path;
     if (!first_plan) ++outcome.replans;
@@ -69,8 +76,8 @@ DriveOutcome drive_with_replanning(const roadnet::RoadGraph& graph,
     // Follow until the live power drifts off the forecast (checked at
     // every intersection) or the route completes.
     for (const roadnet::EdgeId e : route.edges) {
-      traverse_edge(graph, shading, traffic, live_power, vehicle, e, state);
-      at = graph.edge(e).to;
+      traverse_edge(*world, live_power, vehicle, e, state);
+      at = world->graph().edge(e).to;
       if (at == destination) break;
       const double live_w = live_power(state.clock).value();
       const double drift =
@@ -88,25 +95,23 @@ DriveOutcome drive_with_replanning(const roadnet::RoadGraph& graph,
   return outcome;
 }
 
-DriveOutcome drive_without_replanning(
-    const roadnet::RoadGraph& graph, const shadow::ShadingProfile& shading,
-    const roadnet::TrafficModel& traffic,
-    const solar::PanelPowerFn& live_power,
-    const ev::ConsumptionModel& vehicle, roadnet::NodeId origin,
-    roadnet::NodeId destination, TimeOfDay departure,
-    const PlannerOptions& planner_options) {
+DriveOutcome drive_without_replanning(const WorldPtr& world,
+                                      const solar::PanelPowerFn& live_power,
+                                      roadnet::NodeId origin,
+                                      roadnet::NodeId destination,
+                                      TimeOfDay departure,
+                                      const PlannerOptions& planner_options) {
+  if (!world) throw InvalidArgument("drive_without_replanning: null world");
   if (!live_power)
     throw InvalidArgument("drive_without_replanning: null live power");
-  const solar::SolarInputMap map(
-      graph, shading, traffic,
-      solar::constant_panel_power(live_power(departure)));
-  const SunChasePlanner planner(map, vehicle, planner_options);
+  const SunChasePlanner planner(
+      forecast_world(*world, live_power(departure)), planner_options);
   const PlanResult plan = planner.plan(origin, destination, departure);
 
   DriveOutcome outcome;
   FollowState state{departure, &outcome};
   for (const roadnet::EdgeId e : plan.recommended().route.path.edges)
-    traverse_edge(graph, shading, traffic, live_power, vehicle, e, state);
+    traverse_edge(*world, live_power, planner_options.mlc.vehicle, e, state);
   return outcome;
 }
 

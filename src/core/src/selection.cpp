@@ -5,7 +5,9 @@
 #include <limits>
 #include <set>
 
+#include "sunchase/common/error.h"
 #include "sunchase/common/logging.h"
+#include "sunchase/core/world.h"
 #include "sunchase/obs/trace.h"
 
 namespace sunchase::core {
@@ -22,6 +24,18 @@ std::size_t argmin(const std::vector<ParetoRoute>& routes, Key key) {
 }
 
 }  // namespace
+
+SelectionResult select_representative_routes(
+    const std::vector<ParetoRoute>& pareto, const WorldPtr& world,
+    TimeOfDay departure, const SelectionOptions& options,
+    std::size_t vehicle) {
+  if (!world)
+    throw InvalidArgument("select_representative_routes: null world");
+  return detail::select_representative_routes(
+      pareto, world->solar_map(), world->vehicle(vehicle), departure, options);
+}
+
+namespace detail {
 
 SelectionResult select_representative_routes(
     const std::vector<ParetoRoute>& pareto, const solar::SolarInputMap& map,
@@ -137,5 +151,7 @@ SelectionResult select_representative_routes(
                       << " candidates";
   return result;
 }
+
+}  // namespace detail
 
 }  // namespace sunchase::core

@@ -1,0 +1,35 @@
+#include "sunchase/core/world_store.h"
+
+#include <utility>
+
+#include "sunchase/common/error.h"
+#include "sunchase/common/logging.h"
+#include "sunchase/obs/metrics.h"
+
+namespace sunchase::core {
+
+WorldStore::WorldStore(WorldInit initial)
+    : current_(World::create(std::move(initial), 1)), next_version_(2) {}
+
+WorldStore::WorldStore(WorldPtr initial) {
+  if (!initial) throw InvalidArgument("WorldStore: null initial world");
+  next_version_ = initial->version() + 1;
+  current_.store(std::move(initial), std::memory_order_release);
+}
+
+WorldPtr WorldStore::publish(WorldInit next) {
+  // Build outside the swap: a slow construction (solar map, caches)
+  // must never make readers wait. Only the version counter and the
+  // final pointer swap are serialized across publishers.
+  std::lock_guard<std::mutex> lock(publish_mutex_);
+  const std::uint64_t version = next_version_++;
+  WorldPtr world = World::create(std::move(next), version);
+  current_.store(world, std::memory_order_release);
+  obs::Registry::global().gauge("world.version").set(
+      static_cast<double>(version));
+  obs::Registry::global().counter("world.publishes").add();
+  SUNCHASE_LOG(Info) << "worldstore: published version " << version;
+  return world;
+}
+
+}  // namespace sunchase::core

@@ -53,6 +53,12 @@ class CrowdSolarMap {
   [[nodiscard]] double shaded_fraction(roadnet::EdgeId edge,
                                        TimeOfDay when) const;
 
+  /// Whether the (edge, slot) cell has enough reports to override the
+  /// prior; false for slots outside the map's window. Throws
+  /// InvalidArgument for an unknown edge. World folding uses this to
+  /// fall back to the base snapshot's profile instead of the prior.
+  [[nodiscard]] bool covered(roadnet::EdgeId edge, int slot) const;
+
   /// Estimator view for ShadingProfile::compute (captures `this`; keep
   /// the map alive).
   [[nodiscard]] shadow::ShadedFractionFn estimator() const;

@@ -54,6 +54,13 @@ double CrowdSolarMap::shaded_fraction(roadnet::EdgeId edge,
   return prior_(edge, TimeOfDay::slot_start(slot));
 }
 
+bool CrowdSolarMap::covered(roadnet::EdgeId edge, int slot) const {
+  if (edge >= edge_count_)
+    throw InvalidArgument("CrowdSolarMap::covered: unknown edge");
+  if (slot < options_.first_slot || slot > options_.last_slot) return false;
+  return cells_[index_of(edge, slot)].count >= options_.min_observations;
+}
+
 shadow::ShadedFractionFn CrowdSolarMap::estimator() const {
   return [this](roadnet::EdgeId edge, TimeOfDay when) {
     return shaded_fraction(edge, when);

@@ -39,8 +39,8 @@ std::vector<Observation> simulate_fleet(const roadnet::RoadGraph& graph,
       const double window = options.day_end.since(options.day_start).value();
       TimeOfDay clock = options.day_start.advanced_by(
           Seconds{rng.uniform(0.0, window)});
-      const auto route =
-          core::shortest_time_path(graph, traffic, origin, destination, clock);
+      const auto route = core::detail::shortest_time_path(
+          graph, traffic, origin, destination, clock);
       if (!route) continue;
       for (const roadnet::EdgeId e : route->path.edges) {
         if (rng.bernoulli(options.report_probability)) {

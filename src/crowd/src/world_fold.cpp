@@ -1,0 +1,30 @@
+#include "sunchase/crowd/world_fold.h"
+
+#include <memory>
+#include <utility>
+
+namespace sunchase::crowd {
+
+core::WorldInit fold_observations(const core::World& base,
+                                  const CrowdSolarMap& crowd) {
+  core::WorldInit init = base.recipe();
+  const shadow::ShadingProfile& prior = base.shading();
+  const auto corrected = [&](roadnet::EdgeId edge, TimeOfDay when) {
+    const int slot = when.slot_index();
+    return crowd.covered(edge, slot) ? crowd.shaded_fraction(edge, when)
+                                     : prior.shaded_fraction(edge, when);
+  };
+  init.shading = std::make_shared<const shadow::ShadingProfile>(
+      shadow::ShadingProfile::compute(
+          base.graph(), corrected,
+          TimeOfDay::slot_start(prior.first_slot()),
+          TimeOfDay::slot_start(prior.last_slot())));
+  return init;
+}
+
+core::WorldPtr publish_crowd_world(core::WorldStore& store,
+                                   const CrowdSolarMap& crowd) {
+  return store.publish(fold_observations(*store.current(), crowd));
+}
+
+}  // namespace sunchase::crowd

@@ -32,6 +32,10 @@ struct QueryRecord {
   std::string pricing = "exact"; ///< edge pricing mode: "exact" or "slot"
   std::string status = "ok";     ///< "ok" or "error"
   std::string error;             ///< exception message when status=error
+  /// Version of the world snapshot the query was priced against
+  /// (core::World::version()); emitted as "world.version". -1 (the
+  /// default) omits the field for callers without snapshot context.
+  std::int64_t world_version = -1;
 
   // Per-phase durations, in seconds.
   double mlc_seconds = 0.0;        ///< multi-label correcting search

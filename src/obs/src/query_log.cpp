@@ -54,6 +54,7 @@ std::string QueryRecord::to_json() const {
   out << ",\"origin\":" << origin << ",\"destination\":" << destination
       << ",\"departure\":\"" << escape(departure) << "\",\"pricing\":\""
       << escape(pricing) << "\",\"status\":\"" << escape(status) << "\"";
+  if (world_version >= 0) out << ",\"world.version\":" << world_version;
   if (status != "ok") out << ",\"error\":\"" << escape(error) << "\"";
   out << ",\"mlc_seconds\":" << format_double(mlc_seconds)
       << ",\"kmeans_seconds\":" << format_double(kmeans_seconds)

@@ -1,6 +1,18 @@
 // The directed weighted road graph of Sec. III-B: nodes are
 // intersections with geographic coordinates, edges are road segments,
 // and edge lengths come from the Haversine formula (Eq. 7).
+//
+// Construction and querying are split into two types so that the query
+// side is immutable and therefore safe to share across threads and
+// world snapshots (core::World):
+//
+//   - `GraphBuilder` accumulates nodes and edges (the only mutable
+//     stage), then `build()` produces a frozen graph;
+//   - `RoadGraph` is the frozen result: its CSR adjacency index is
+//     built eagerly at construction, every accessor is a pure read,
+//     and nothing is lazily materialized — concurrent readers never
+//     race (the historical lazy-`finalize()` rebuild was a data race
+//     waiting for its first pair of simultaneous readers).
 #pragma once
 
 #include <cstdint>
@@ -32,10 +44,57 @@ struct Edge {
   Meters length{0.0};
 };
 
-/// Directed road graph with CSR-style adjacency built lazily: edges can
-/// be appended freely; the first adjacency query (or an explicit
-/// `finalize()`) freezes the index, and later mutation rebuilds it.
+class GraphBuilder;
+
+/// Immutable directed road graph with an eagerly-built CSR adjacency
+/// index. Obtain one from `GraphBuilder::build()` (the default
+/// constructor yields an empty graph). Every member function is a
+/// const pure read — instances can be shared freely across threads.
 class RoadGraph {
+ public:
+  /// An empty graph (no nodes, no edges).
+  RoadGraph() = default;
+
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return nodes_.size();
+  }
+  [[nodiscard]] std::size_t edge_count() const noexcept {
+    return edges_.size();
+  }
+
+  /// Accessors; throw GraphError on out-of-range ids.
+  [[nodiscard]] const Node& node(NodeId id) const;
+  [[nodiscard]] const Edge& edge(EdgeId id) const;
+
+  /// Outgoing edge ids of a node (a span into the frozen CSR index).
+  [[nodiscard]] std::span<const EdgeId> out_edges(NodeId id) const;
+
+  /// The edge from `u` to `v`, or kInvalidEdge when absent.
+  [[nodiscard]] EdgeId find_edge(NodeId u, NodeId v) const;
+
+  /// Node nearest to a coordinate (linear scan; graphs here are small).
+  /// Throws GraphError on an empty graph.
+  [[nodiscard]] NodeId nearest_node(geo::LatLon p) const;
+
+  /// Structural checks: every edge endpoint exists, no zero/negative
+  /// lengths, no duplicate directed edges. Throws GraphError.
+  void validate() const;
+
+ private:
+  friend class GraphBuilder;
+  RoadGraph(std::vector<Node> nodes, std::vector<Edge> edges);
+
+  std::vector<Node> nodes_;
+  std::vector<Edge> edges_;
+  // CSR adjacency: offsets_[n]..offsets_[n+1] index into sorted_.
+  std::vector<std::uint32_t> offsets_;
+  std::vector<EdgeId> sorted_;
+};
+
+/// The mutable construction stage: append nodes and edges freely, then
+/// `build()` a frozen RoadGraph. A builder can keep appending after a
+/// build and build again — each build is an independent snapshot.
+class GraphBuilder {
  public:
   /// Adds an intersection; returns its id (dense, starting at 0).
   NodeId add_node(geo::LatLon position);
@@ -57,34 +116,14 @@ class RoadGraph {
     return edges_.size();
   }
 
-  /// Accessors; throw GraphError on out-of-range ids.
-  [[nodiscard]] const Node& node(NodeId id) const;
-  [[nodiscard]] const Edge& edge(EdgeId id) const;
-
-  /// Outgoing edge ids of a node (triggers finalize on first use).
-  [[nodiscard]] std::span<const EdgeId> out_edges(NodeId id) const;
-
-  /// The edge from `u` to `v`, or kInvalidEdge when absent.
-  [[nodiscard]] EdgeId find_edge(NodeId u, NodeId v) const;
-
-  /// Node nearest to a coordinate (linear scan; graphs here are small).
-  /// Throws GraphError on an empty graph.
-  [[nodiscard]] NodeId nearest_node(geo::LatLon p) const;
-
-  /// Structural checks: every edge endpoint exists, no zero/negative
-  /// lengths, no duplicate directed edges. Throws GraphError.
-  void validate() const;
-
-  /// Builds the adjacency index now (otherwise built on first query).
-  void finalize() const;
+  /// Freezes the current nodes/edges into an immutable graph (builds
+  /// the CSR adjacency index eagerly).
+  [[nodiscard]] RoadGraph build() const&;
+  [[nodiscard]] RoadGraph build() &&;
 
  private:
   std::vector<Node> nodes_;
   std::vector<Edge> edges_;
-  // Lazy CSR adjacency: offsets_[n]..offsets_[n+1] index into sorted_.
-  mutable std::vector<std::uint32_t> offsets_;
-  mutable std::vector<EdgeId> sorted_;
-  mutable bool index_valid_ = false;
 };
 
 }  // namespace sunchase::roadnet

@@ -1,5 +1,7 @@
 #include "sunchase/roadnet/citygen.h"
 
+#include <utility>
+
 #include "sunchase/common/error.h"
 #include "sunchase/common/rng.h"
 
@@ -15,6 +17,7 @@ GridCity::GridCity(const GridCityOptions& options) : options_(options) {
 
   Rng rng(options.seed);
   const geo::LocalProjection proj(options.origin);
+  GraphBuilder builder;
 
   // Place jittered intersections on the lattice.
   lattice_.reserve(static_cast<std::size_t>(options.rows) *
@@ -31,7 +34,7 @@ GridCity::GridCity(const GridCityOptions& options) : options_(options) {
                             : 0.0;
       const geo::Vec2 local{c * options.block_east_m + jx,
                             r * options.block_north_m + jy};
-      lattice_.push_back(graph_.add_node(proj.to_geo(local)));
+      lattice_.push_back(builder.add_node(proj.to_geo(local)));
     }
   }
 
@@ -60,13 +63,13 @@ GridCity::GridCity(const GridCityOptions& options) : options_(options) {
   auto connect = [&](NodeId a, NodeId b, StreetFlow flow) {
     switch (flow) {
       case StreetFlow::TwoWay:
-        graph_.add_two_way(a, b);
+        builder.add_two_way(a, b);
         break;
       case StreetFlow::OneWayForward:
-        graph_.add_edge(a, b);
+        builder.add_edge(a, b);
         break;
       case StreetFlow::OneWayBackward:
-        graph_.add_edge(b, a);
+        builder.add_edge(b, a);
         break;
     }
   };
@@ -82,8 +85,8 @@ GridCity::GridCity(const GridCityOptions& options) : options_(options) {
       connect(node_at(r, c), node_at(r + 1, c),
               col_flow_[static_cast<std::size_t>(c)]);
 
+  graph_ = std::move(builder).build();
   graph_.validate();
-  graph_.finalize();
 }
 
 NodeId GridCity::node_at(int row, int col) const {

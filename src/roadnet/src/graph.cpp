@@ -2,42 +2,23 @@
 
 #include <algorithm>
 #include <unordered_set>
+#include <utility>
 
 #include "sunchase/common/error.h"
 
 namespace sunchase::roadnet {
 
-NodeId RoadGraph::add_node(geo::LatLon position) {
-  if (!geo::is_valid(position))
-    throw GraphError("add_node: invalid coordinate");
-  nodes_.push_back(Node{position});
-  index_valid_ = false;
-  return static_cast<NodeId>(nodes_.size() - 1);
-}
-
-EdgeId RoadGraph::add_edge(NodeId from, NodeId to) {
-  if (from >= nodes_.size() || to >= nodes_.size())
-    throw GraphError("add_edge: unknown endpoint node");
-  return add_edge(from, to,
-                  geo::haversine_distance(nodes_[from].position,
-                                          nodes_[to].position));
-}
-
-EdgeId RoadGraph::add_edge(NodeId from, NodeId to, Meters length) {
-  if (from >= nodes_.size() || to >= nodes_.size())
-    throw GraphError("add_edge: unknown endpoint node");
-  if (from == to) throw GraphError("add_edge: self-loop");
-  if (length.value() <= 0.0)
-    throw GraphError("add_edge: non-positive length");
-  edges_.push_back(Edge{from, to, length});
-  index_valid_ = false;
-  return static_cast<EdgeId>(edges_.size() - 1);
-}
-
-EdgeId RoadGraph::add_two_way(NodeId u, NodeId v) {
-  const EdgeId forward = add_edge(u, v);
-  add_edge(v, u);
-  return forward;
+RoadGraph::RoadGraph(std::vector<Node> nodes, std::vector<Edge> edges)
+    : nodes_(std::move(nodes)), edges_(std::move(edges)) {
+  sorted_.resize(edges_.size());
+  for (EdgeId e = 0; e < edges_.size(); ++e) sorted_[e] = e;
+  std::sort(sorted_.begin(), sorted_.end(), [this](EdgeId a, EdgeId b) {
+    return edges_[a].from < edges_[b].from;
+  });
+  offsets_.assign(nodes_.size() + 1, 0);
+  for (const Edge& e : edges_) ++offsets_[e.from + 1];
+  for (std::size_t n = 1; n < offsets_.size(); ++n)
+    offsets_[n] += offsets_[n - 1];
 }
 
 const Node& RoadGraph::node(NodeId id) const {
@@ -50,23 +31,8 @@ const Edge& RoadGraph::edge(EdgeId id) const {
   return edges_[id];
 }
 
-void RoadGraph::finalize() const {
-  if (index_valid_) return;
-  sorted_.resize(edges_.size());
-  for (EdgeId e = 0; e < edges_.size(); ++e) sorted_[e] = e;
-  std::sort(sorted_.begin(), sorted_.end(), [this](EdgeId a, EdgeId b) {
-    return edges_[a].from < edges_[b].from;
-  });
-  offsets_.assign(nodes_.size() + 1, 0);
-  for (const Edge& e : edges_) ++offsets_[e.from + 1];
-  for (std::size_t n = 1; n < offsets_.size(); ++n)
-    offsets_[n] += offsets_[n - 1];
-  index_valid_ = true;
-}
-
 std::span<const EdgeId> RoadGraph::out_edges(NodeId id) const {
   if (id >= nodes_.size()) throw GraphError("out_edges: id out of range");
-  finalize();
   return {sorted_.data() + offsets_[id], offsets_[id + 1] - offsets_[id]};
 }
 
@@ -105,6 +71,45 @@ void RoadGraph::validate() const {
       throw GraphError("validate: duplicate directed edge " +
                        std::to_string(e.from) + "->" + std::to_string(e.to));
   }
+}
+
+NodeId GraphBuilder::add_node(geo::LatLon position) {
+  if (!geo::is_valid(position))
+    throw GraphError("add_node: invalid coordinate");
+  nodes_.push_back(Node{position});
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+EdgeId GraphBuilder::add_edge(NodeId from, NodeId to) {
+  if (from >= nodes_.size() || to >= nodes_.size())
+    throw GraphError("add_edge: unknown endpoint node");
+  return add_edge(from, to,
+                  geo::haversine_distance(nodes_[from].position,
+                                          nodes_[to].position));
+}
+
+EdgeId GraphBuilder::add_edge(NodeId from, NodeId to, Meters length) {
+  if (from >= nodes_.size() || to >= nodes_.size())
+    throw GraphError("add_edge: unknown endpoint node");
+  if (from == to) throw GraphError("add_edge: self-loop");
+  if (length.value() <= 0.0)
+    throw GraphError("add_edge: non-positive length");
+  edges_.push_back(Edge{from, to, length});
+  return static_cast<EdgeId>(edges_.size() - 1);
+}
+
+EdgeId GraphBuilder::add_two_way(NodeId u, NodeId v) {
+  const EdgeId forward = add_edge(u, v);
+  add_edge(v, u);
+  return forward;
+}
+
+RoadGraph GraphBuilder::build() const& {
+  return RoadGraph(nodes_, edges_);
+}
+
+RoadGraph GraphBuilder::build() && {
+  return RoadGraph(std::move(nodes_), std::move(edges_));
 }
 
 }  // namespace sunchase::roadnet

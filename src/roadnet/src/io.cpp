@@ -1,5 +1,7 @@
 #include "sunchase/roadnet/io.h"
 
+#include <utility>
+
 #include <fstream>
 #include <sstream>
 
@@ -8,7 +10,7 @@
 namespace sunchase::roadnet {
 
 RoadGraph read_graph(std::istream& in) {
-  RoadGraph graph;
+  GraphBuilder builder;
   std::string line;
   int line_no = 0;
   auto fail = [&](const std::string& why) {
@@ -23,7 +25,7 @@ RoadGraph read_graph(std::istream& in) {
       double lat = 0.0, lon = 0.0;
       if (!(tokens >> lat >> lon)) fail("expected 'node <lat> <lon>'");
       try {
-        graph.add_node({lat, lon});
+        builder.add_node({lat, lon});
       } catch (const GraphError& e) {
         fail(e.what());
       }
@@ -34,9 +36,9 @@ RoadGraph read_graph(std::istream& in) {
       const bool oneway = (tokens >> flag) && flag == "oneway";
       try {
         if (oneway)
-          graph.add_edge(from, to);
+          builder.add_edge(from, to);
         else
-          graph.add_two_way(from, to);
+          builder.add_two_way(from, to);
       } catch (const GraphError& e) {
         fail(e.what());
       }
@@ -44,7 +46,7 @@ RoadGraph read_graph(std::istream& in) {
       fail("unknown directive '" + kind + "'");
     }
   }
-  return graph;
+  return std::move(builder).build();
 }
 
 RoadGraph read_graph_file(const std::string& path) {

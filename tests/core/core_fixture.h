@@ -1,15 +1,18 @@
 // Shared fixture for the core routing tests: a small graph with a
-// deterministic synthetic shading profile and everything the planner
-// needs, plus a brute-force Pareto enumerator to validate the
+// deterministic synthetic shading profile bundled into one immutable
+// world snapshot, plus a brute-force Pareto enumerator to validate the
 // multi-label correcting search against.
 #pragma once
 
 #include <functional>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "sunchase/core/edge_cost.h"
 #include "sunchase/core/metrics.h"
 #include "sunchase/core/mlc.h"
+#include "sunchase/core/world.h"
 #include "sunchase/ev/consumption.h"
 #include "sunchase/roadnet/citygen.h"
 #include "sunchase/roadnet/traffic.h"
@@ -28,25 +31,59 @@ inline shadow::ShadedFractionFn hashed_shading() {
   };
 }
 
-/// A ready-to-route environment around any graph.
+/// A ready-to-route environment around any graph: one World snapshot
+/// carrying the graph (copied), uniform traffic, the hashed shading
+/// profile, constant 200 W panel power and two vehicles — the LV
+/// prototype at index kLv and the Tesla Model S at index kTesla. The
+/// reference members are views into the snapshot, for tests that poke
+/// at individual components.
 struct RoutingEnv {
+  static constexpr std::size_t kLv = 0;
+  static constexpr std::size_t kTesla = 1;
+
   explicit RoutingEnv(const roadnet::RoadGraph& g,
                       MetersPerSecond uniform_speed = kmh(15.0))
-      : graph(g),
-        traffic(uniform_speed),
-        profile(shadow::ShadingProfile::compute(g, hashed_shading(),
-                                                TimeOfDay::hms(8, 0),
-                                                TimeOfDay::hms(18, 0))),
-        map(g, profile, traffic, solar::constant_panel_power(Watts{200.0})),
-        lv(ev::make_lv_prototype()),
-        tesla(ev::make_tesla_model_s()) {}
+      : world(make_world(g, uniform_speed)),
+        graph(world->graph()),
+        traffic(world->traffic()),
+        profile(world->shading()),
+        map(world->solar_map()),
+        lv(world->vehicle(kLv)),
+        tesla(world->vehicle(kTesla)) {}
 
+  [[nodiscard]] static core::WorldPtr make_world(
+      const roadnet::RoadGraph& g, MetersPerSecond uniform_speed = kmh(15.0)) {
+    return core::World::create(make_init(g, uniform_speed));
+  }
+
+  /// The snapshot recipe alone, for tests that publish through a
+  /// WorldStore or derive variants before creating.
+  [[nodiscard]] static core::WorldInit make_init(
+      const roadnet::RoadGraph& g, MetersPerSecond uniform_speed = kmh(15.0)) {
+    auto graph = std::make_shared<const roadnet::RoadGraph>(g);
+    core::WorldInit init;
+    init.graph = graph;
+    init.traffic =
+        std::make_shared<const roadnet::UniformTraffic>(uniform_speed);
+    init.shading = std::make_shared<const shadow::ShadingProfile>(
+        shadow::ShadingProfile::compute(*graph, hashed_shading(),
+                                        TimeOfDay::hms(8, 0),
+                                        TimeOfDay::hms(18, 0)));
+    init.panel_power = solar::constant_panel_power(Watts{200.0});
+    init.vehicles.push_back(
+        std::shared_ptr<const ev::ConsumptionModel>(ev::make_lv_prototype()));
+    init.vehicles.push_back(std::shared_ptr<const ev::ConsumptionModel>(
+        ev::make_tesla_model_s()));
+    return init;
+  }
+
+  core::WorldPtr world;
   const roadnet::RoadGraph& graph;
-  roadnet::UniformTraffic traffic;
-  shadow::ShadingProfile profile;
-  solar::SolarInputMap map;
-  std::unique_ptr<ev::ConsumptionModel> lv;
-  std::unique_ptr<ev::ConsumptionModel> tesla;
+  const roadnet::TrafficModel& traffic;
+  const shadow::ShadingProfile& profile;
+  const solar::SolarInputMap& map;
+  const ev::ConsumptionModel& lv;
+  const ev::ConsumptionModel& tesla;
 };
 
 /// Enumerates every simple path origin->destination (DFS) and prices it
@@ -72,7 +109,8 @@ inline std::vector<core::ParetoRoute> brute_force_pareto(
           const roadnet::NodeId v = graph.edge(e).to;
           if (visited[v]) continue;
           stack.push_back(e);
-          dfs(v, cost + core::edge_criteria(map, vehicle, e, departure));
+          dfs(v, cost + core::detail::edge_criteria(map, vehicle, e,
+                                                    departure));
           stack.pop_back();
         }
         visited[u] = false;

@@ -13,28 +13,29 @@ namespace {
 TEST(AStar, MatchesDijkstraOnSquare) {
   test::SquareGraph sq;
   const roadnet::UniformTraffic traffic(kmh(15.0));
-  const auto d = shortest_time_path(sq.graph, traffic, 0, 3,
+  const auto d = detail::shortest_time_path(sq.graph, traffic, 0, 3,
                                     TimeOfDay::hms(10, 0));
-  const auto a = shortest_time_path_astar(sq.graph, traffic, 0, 3,
+  const auto a = detail::shortest_time_path_astar(sq.graph, traffic, 0, 3,
                                           TimeOfDay::hms(10, 0), kmh(15.0));
   ASSERT_TRUE(d && a);
   EXPECT_NEAR(a->travel_time.value(), d->travel_time.value(), 1e-9);
 }
 
 TEST(AStar, UnreachableAndErrors) {
-  roadnet::RoadGraph g;
-  g.add_node({45.50, -73.57});
-  g.add_node({45.51, -73.57});
-  g.add_node({45.52, -73.57});
-  g.add_edge(0, 1);
+  roadnet::GraphBuilder b;
+  b.add_node({45.50, -73.57});
+  b.add_node({45.51, -73.57});
+  b.add_node({45.52, -73.57});
+  b.add_edge(0, 1);
+  const roadnet::RoadGraph g = std::move(b).build();
   const roadnet::UniformTraffic traffic(kmh(15.0));
-  EXPECT_FALSE(shortest_time_path_astar(g, traffic, 0, 2,
+  EXPECT_FALSE(detail::shortest_time_path_astar(g, traffic, 0, 2,
                                         TimeOfDay::hms(9, 0), kmh(15.0)));
-  EXPECT_THROW((void)shortest_time_path_astar(g, traffic, 0, 9,
+  EXPECT_THROW((void)detail::shortest_time_path_astar(g, traffic, 0, 9,
                                               TimeOfDay::hms(9, 0),
                                               kmh(15.0)),
                GraphError);
-  EXPECT_THROW((void)shortest_time_path_astar(g, traffic, 0, 1,
+  EXPECT_THROW((void)detail::shortest_time_path_astar(g, traffic, 0, 1,
                                               TimeOfDay::hms(9, 0),
                                               MetersPerSecond{0.0}),
                InvalidArgument);
@@ -47,7 +48,7 @@ TEST(AStar, SettlesFewerNodesThanFullSearch) {
   const roadnet::GridCity city(opt);
   const roadnet::UrbanTraffic traffic{roadnet::UrbanTraffic::Options{}};
   // Destination adjacent to the origin's corner: A* should home in.
-  const auto a = shortest_time_path_astar(
+  const auto a = detail::shortest_time_path_astar(
       city.graph(), traffic, city.node_at(0, 0), city.node_at(2, 2),
       TimeOfDay::hms(10, 0), kmh(17.0));
   ASSERT_TRUE(a.has_value());
@@ -57,7 +58,7 @@ TEST(AStar, SettlesFewerNodesThanFullSearch) {
 TEST(AStar, OriginEqualsDestination) {
   test::SquareGraph sq;
   const roadnet::UniformTraffic traffic(kmh(15.0));
-  const auto a = shortest_time_path_astar(sq.graph, traffic, 1, 1,
+  const auto a = detail::shortest_time_path_astar(sq.graph, traffic, 1, 1,
                                           TimeOfDay::hms(9, 0), kmh(15.0));
   ASSERT_TRUE(a.has_value());
   EXPECT_TRUE(a->path.empty());
@@ -88,9 +89,9 @@ TEST_P(AStarEquivalence, SameOptimalTime) {
                                city.graph().node_count()) - 1));
     const TimeOfDay dep = TimeOfDay::hms(
         static_cast<int>(rng.uniform_int(8, 17)), 0);
-    const auto dj = shortest_time_path(city.graph(), traffic, o, d, dep);
+    const auto dj = detail::shortest_time_path(city.graph(), traffic, o, d, dep);
     // The admissible bound: nothing drives faster than max free flow.
-    const auto as = shortest_time_path_astar(city.graph(), traffic, o, d,
+    const auto as = detail::shortest_time_path_astar(city.graph(), traffic, o, d,
                                              dep, kmh(17.0));
     ASSERT_EQ(dj.has_value(), as.has_value());
     if (dj) {

@@ -47,8 +47,8 @@ TEST(BatchPlanner, MatchesSequentialSearchBitForBit) {
   test::RoutingEnv env(city.graph());
   BatchPlannerOptions opt;
   opt.workers = 4;
-  const BatchPlanner batch(env.map, *env.lv, opt);
-  const MultiLabelCorrecting sequential(env.map, *env.lv, opt.mlc);
+  const BatchPlanner batch(env.world, opt);
+  const MultiLabelCorrecting sequential(env.world, opt.mlc);
 
   const auto queries = grid_queries(city);
   const BatchResult result = batch.plan_all(queries);
@@ -73,10 +73,10 @@ TEST(BatchPlanner, SlotPricingMatchesExactBitForBitOnASlotConstantWorld) {
   BatchPlannerOptions opt;
   opt.workers = 8;
   opt.mlc.pricing = PricingMode::SlotQuantized;
-  const BatchPlanner batch(env.map, *env.lv, opt);
+  const BatchPlanner batch(env.world, opt);
   MlcOptions exact = opt.mlc;
   exact.pricing = PricingMode::Exact;
-  const MultiLabelCorrecting sequential(env.map, *env.lv, exact);
+  const MultiLabelCorrecting sequential(env.world, exact);
 
   auto& hits = obs::Registry::global().counter("slotcache.hits");
   const std::uint64_t hits_before = hits.value();
@@ -103,7 +103,7 @@ TEST(BatchPlanner, SlotPricingIsDeterministicAcrossRuns) {
   BatchPlannerOptions opt;
   opt.workers = 8;
   opt.mlc.pricing = PricingMode::SlotQuantized;
-  const BatchPlanner batch(env.map, *env.lv, opt);
+  const BatchPlanner batch(env.world, opt);
   const auto queries = grid_queries(city);
   const BatchResult cold = batch.plan_all(queries);
   const BatchResult warm = batch.plan_all(queries);
@@ -120,8 +120,8 @@ TEST(BatchPlanner, ResultsComeBackInInputOrder) {
   test::RoutingEnv env(city.graph());
   BatchPlannerOptions opt;
   opt.workers = 3;
-  const BatchPlanner batch(env.map, *env.lv, opt);
-  const MultiLabelCorrecting sequential(env.map, *env.lv, opt.mlc);
+  const BatchPlanner batch(env.world, opt);
+  const MultiLabelCorrecting sequential(env.world, opt.mlc);
 
   const auto queries = grid_queries(city);
   const BatchResult result = batch.plan_all(queries);
@@ -141,12 +141,12 @@ TEST(BatchPlanner, ResultsComeBackInInputOrder) {
 
 TEST(BatchPlanner, UnreachableQueryFailsAloneWithoutPoisoningTheBatch) {
   // Island node 4: reachable by nobody.
-  test::SquareGraph sq;
-  const roadnet::NodeId island = sq.graph.add_node({45.55, -73.55});
+  test::SquareGraph sq(/*with_island=*/true);
+  const roadnet::NodeId island = sq.island;
   test::RoutingEnv env(sq.graph);
   BatchPlannerOptions opt;
   opt.workers = 2;
-  const BatchPlanner batch(env.map, *env.lv, opt);
+  const BatchPlanner batch(env.world, opt);
 
   const std::vector<BatchQuery> queries = {
       {0, 3, TimeOfDay::hms(10, 0)},
@@ -167,7 +167,7 @@ TEST(BatchPlanner, UnreachableQueryFailsAloneWithoutPoisoningTheBatch) {
 TEST(BatchPlanner, EmptyBatchIsANoOp) {
   test::SquareGraph sq;
   test::RoutingEnv env(sq.graph);
-  const BatchPlanner batch(env.map, *env.lv);
+  const BatchPlanner batch(env.world);
   const BatchResult result = batch.plan_all({});
   EXPECT_TRUE(result.queries.empty());
   EXPECT_EQ(result.stats.query_count, 0u);
@@ -179,7 +179,7 @@ TEST(BatchPlanner, MoreWorkersThanQueriesIsClamped) {
   test::RoutingEnv env(sq.graph);
   BatchPlannerOptions opt;
   opt.workers = 16;
-  const BatchPlanner batch(env.map, *env.lv, opt);
+  const BatchPlanner batch(env.world, opt);
   const BatchResult result =
       batch.plan_all({{0, 3, TimeOfDay::hms(10, 0)}});
   ASSERT_EQ(result.queries.size(), 1u);
@@ -192,8 +192,8 @@ TEST(BatchPlanner, StatsAggregateOverSuccessfulQueries) {
   test::RoutingEnv env(city.graph());
   BatchPlannerOptions opt;
   opt.workers = 2;
-  const BatchPlanner batch(env.map, *env.lv, opt);
-  const MultiLabelCorrecting sequential(env.map, *env.lv, opt.mlc);
+  const BatchPlanner batch(env.world, opt);
+  const MultiLabelCorrecting sequential(env.world, opt.mlc);
 
   const auto queries = grid_queries(city);
   const BatchResult result = batch.plan_all(queries);
@@ -218,7 +218,7 @@ TEST(BatchPlanner, LatencyPercentilesComeFromTheBatchHistogram) {
   test::RoutingEnv env(city.graph());
   BatchPlannerOptions opt;
   opt.workers = 2;
-  const BatchPlanner batch(env.map, *env.lv, opt);
+  const BatchPlanner batch(env.world, opt);
   const BatchResult result = batch.plan_all(grid_queries(city));
 
   // One histogram observation per query; percentiles come from the
@@ -235,7 +235,7 @@ TEST(BatchPlanner, LatencyPercentilesComeFromTheBatchHistogram) {
 TEST(BatchPlanner, EmptyBatchHasZeroLatencyPercentiles) {
   test::SquareGraph sq;
   test::RoutingEnv env(sq.graph);
-  const BatchPlanner batch(env.map, *env.lv);
+  const BatchPlanner batch(env.world);
   const BatchResult result = batch.plan_all({});
   EXPECT_EQ(result.stats.latency.count, 0u);
   EXPECT_EQ(result.stats.latency.quantile(0.50), 0.0);
@@ -246,7 +246,7 @@ TEST(BatchPlanner, EmptyBatchHasZeroLatencyPercentiles) {
 TEST(BatchPlanner, SelectionOffByDefault) {
   test::SquareGraph sq;
   test::RoutingEnv env(sq.graph);
-  const BatchPlanner batch(env.map, *env.lv);
+  const BatchPlanner batch(env.world);
   const BatchResult result =
       batch.plan_all({{0, 3, TimeOfDay::hms(10, 0)}});
   ASSERT_TRUE(result.queries[0].ok());
@@ -259,7 +259,7 @@ TEST(BatchPlanner, RunSelectionYieldsCandidatesPerQuery) {
   BatchPlannerOptions opt;
   opt.workers = 2;
   opt.run_selection = true;
-  const BatchPlanner batch(env.map, *env.lv, opt);
+  const BatchPlanner batch(env.world, opt);
   const BatchResult result = batch.plan_all(grid_queries(city));
 
   for (const auto& q : result.queries) {
@@ -281,7 +281,7 @@ TEST(BatchPlanner, QueryLogGetsExactlyOneRecordPerQuery) {
   opt.workers = 4;
   opt.run_selection = true;
   opt.query_log = &log;
-  const BatchPlanner batch(env.map, *env.lv, opt);
+  const BatchPlanner batch(env.world, opt);
 
   const auto queries = grid_queries(city);
   const BatchResult result = batch.plan_all(queries);
@@ -308,15 +308,15 @@ TEST(BatchPlanner, QueryLogGetsExactlyOneRecordPerQuery) {
 }
 
 TEST(BatchPlanner, FailedQueriesStillProduceAnErrorRecord) {
-  test::SquareGraph sq;
-  const roadnet::NodeId island = sq.graph.add_node({45.55, -73.55});
+  test::SquareGraph sq(/*with_island=*/true);
+  const roadnet::NodeId island = sq.island;
   test::RoutingEnv env(sq.graph);
   std::ostringstream sink;
   obs::QueryLog log(sink);
   BatchPlannerOptions opt;
   opt.workers = 2;
   opt.query_log = &log;
-  const BatchPlanner batch(env.map, *env.lv, opt);
+  const BatchPlanner batch(env.world, opt);
 
   const std::vector<BatchQuery> queries = {
       {0, 3, TimeOfDay::hms(10, 0)},
@@ -336,7 +336,7 @@ TEST(BatchPlanner, InvalidMlcOptionsRejectedAtConstruction) {
   test::RoutingEnv env(sq.graph);
   BatchPlannerOptions bad;
   bad.mlc.max_time_factor = -1.0;
-  EXPECT_THROW(BatchPlanner(env.map, *env.lv, bad), InvalidArgument);
+  EXPECT_THROW(BatchPlanner(env.world, bad), InvalidArgument);
 }
 
 }  // namespace

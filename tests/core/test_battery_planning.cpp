@@ -21,8 +21,8 @@ class BatteryPlanningTest : public ::testing::Test {
 TEST_F(BatteryPlanningTest, GenerousBudgetChangesNothing) {
   PlannerOptions with;
   with.selection.battery_budget = WattHours{100000.0};
-  const SunChasePlanner constrained(env_.map, *env_.lv, with);
-  const SunChasePlanner unconstrained(env_.map, *env_.lv);
+  const SunChasePlanner constrained(env_.world, with);
+  const SunChasePlanner unconstrained(env_.world);
   const TimeOfDay dep = TimeOfDay::hms(10, 0);
   const auto a = constrained.plan(city_.node_at(1, 1), city_.node_at(8, 8),
                                   dep);
@@ -35,7 +35,7 @@ TEST_F(BatteryPlanningTest, GenerousBudgetChangesNothing) {
 TEST_F(BatteryPlanningTest, TinyBudgetFlagsShortestTimeInfeasible) {
   PlannerOptions opt;
   opt.selection.battery_budget = WattHours{1.0};  // ~60 Wh needed
-  const SunChasePlanner planner(env_.map, *env_.lv, opt);
+  const SunChasePlanner planner(env_.world, opt);
   const auto plan = planner.plan(city_.node_at(1, 1), city_.node_at(8, 8),
                                  TimeOfDay::hms(10, 0));
   ASSERT_FALSE(plan.candidates.empty());
@@ -47,7 +47,7 @@ TEST_F(BatteryPlanningTest, TinyBudgetFlagsShortestTimeInfeasible) {
 TEST_F(BatteryPlanningTest, IntermediateBudgetDropsOnlyHungryCandidates) {
   // Find the unconstrained candidate set, then set the budget between
   // the cheapest and the most expensive net drain.
-  const SunChasePlanner free_planner(env_.map, *env_.lv);
+  const SunChasePlanner free_planner(env_.world);
   const TimeOfDay dep = TimeOfDay::hms(10, 0);
   const auto free_plan =
       free_planner.plan(city_.node_at(1, 1), city_.node_at(8, 8), dep);
@@ -64,7 +64,7 @@ TEST_F(BatteryPlanningTest, IntermediateBudgetDropsOnlyHungryCandidates) {
 
   PlannerOptions opt;
   opt.selection.battery_budget = WattHours{budget};
-  const SunChasePlanner planner(env_.map, *env_.lv, opt);
+  const SunChasePlanner planner(env_.world, opt);
   const auto plan = planner.plan(city_.node_at(1, 1), city_.node_at(8, 8),
                                  dep);
   EXPECT_LT(plan.candidates.size(), free_plan.candidates.size());

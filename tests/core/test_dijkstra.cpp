@@ -12,7 +12,7 @@ namespace {
 TEST(Dijkstra, FindsDirectShortestPath) {
   test::SquareGraph sq;
   roadnet::UniformTraffic traffic(MetersPerSecond{10.0});
-  const auto result = shortest_time_path(sq.graph, traffic, 0, 3,
+  const auto result = detail::shortest_time_path(sq.graph, traffic, 0, 3,
                                          TimeOfDay::hms(10, 0));
   ASSERT_TRUE(result.has_value());
   // Either 0->1->3 or 0->2->3: both ~200 m -> ~20 s at 10 m/s.
@@ -25,48 +25,51 @@ TEST(Dijkstra, FindsDirectShortestPath) {
 
 TEST(Dijkstra, PrefersFasterDetourOverSlowDirect) {
   // Two-node pair with a slow direct edge and a fast 2-hop detour.
-  roadnet::RoadGraph g;
+  roadnet::GraphBuilder b;
   const auto proj = test::montreal_projection();
-  g.add_node(proj.to_geo({0, 0}));     // 0
-  g.add_node(proj.to_geo({1000, 0}));  // 1
-  g.add_node(proj.to_geo({500, 10}));  // 2
-  g.add_edge(0, 1, kilometers(5.0));   // long way round marked as direct
-  g.add_edge(0, 2, Meters{510.0});
-  g.add_edge(2, 1, Meters{510.0});
+  b.add_node(proj.to_geo({0, 0}));     // 0
+  b.add_node(proj.to_geo({1000, 0}));  // 1
+  b.add_node(proj.to_geo({500, 10}));  // 2
+  b.add_edge(0, 1, kilometers(5.0));   // long way round marked as direct
+  b.add_edge(0, 2, Meters{510.0});
+  b.add_edge(2, 1, Meters{510.0});
+  const roadnet::RoadGraph g = std::move(b).build();
   roadnet::UniformTraffic traffic(MetersPerSecond{10.0});
   const auto result =
-      shortest_time_path(g, traffic, 0, 1, TimeOfDay::hms(10, 0));
+      detail::shortest_time_path(g, traffic, 0, 1, TimeOfDay::hms(10, 0));
   ASSERT_TRUE(result.has_value());
   EXPECT_EQ(result->path.size(), 2u);
   EXPECT_NEAR(result->travel_time.value(), 102.0, 0.1);
 }
 
 TEST(Dijkstra, UnreachableReturnsNullopt) {
-  roadnet::RoadGraph g;
-  g.add_node({45.50, -73.57});
-  g.add_node({45.51, -73.57});
-  g.add_node({45.52, -73.57});
-  g.add_edge(0, 1);  // node 2 is isolated
+  roadnet::GraphBuilder b;
+  b.add_node({45.50, -73.57});
+  b.add_node({45.51, -73.57});
+  b.add_node({45.52, -73.57});
+  b.add_edge(0, 1);  // node 2 is isolated
+  const roadnet::RoadGraph g = std::move(b).build();
   roadnet::UniformTraffic traffic(MetersPerSecond{10.0});
   EXPECT_FALSE(
-      shortest_time_path(g, traffic, 0, 2, TimeOfDay::hms(10, 0)));
+      detail::shortest_time_path(g, traffic, 0, 2, TimeOfDay::hms(10, 0)));
 }
 
 TEST(Dijkstra, OneWayDirectionRespected) {
-  roadnet::RoadGraph g;
-  g.add_node({45.50, -73.57});
-  g.add_node({45.51, -73.57});
-  g.add_edge(0, 1);  // one-way only
+  roadnet::GraphBuilder b;
+  b.add_node({45.50, -73.57});
+  b.add_node({45.51, -73.57});
+  b.add_edge(0, 1);  // one-way only
+  const roadnet::RoadGraph g = std::move(b).build();
   roadnet::UniformTraffic traffic(MetersPerSecond{10.0});
-  EXPECT_TRUE(shortest_time_path(g, traffic, 0, 1, TimeOfDay::hms(9, 0)));
-  EXPECT_FALSE(shortest_time_path(g, traffic, 1, 0, TimeOfDay::hms(9, 0)));
+  EXPECT_TRUE(detail::shortest_time_path(g, traffic, 0, 1, TimeOfDay::hms(9, 0)));
+  EXPECT_FALSE(detail::shortest_time_path(g, traffic, 1, 0, TimeOfDay::hms(9, 0)));
 }
 
 TEST(Dijkstra, OriginEqualsDestination) {
   test::SquareGraph sq;
   roadnet::UniformTraffic traffic(MetersPerSecond{10.0});
   const auto result =
-      shortest_time_path(sq.graph, traffic, 2, 2, TimeOfDay::hms(9, 0));
+      detail::shortest_time_path(sq.graph, traffic, 2, 2, TimeOfDay::hms(9, 0));
   ASSERT_TRUE(result.has_value());
   EXPECT_TRUE(result->path.empty());
   EXPECT_DOUBLE_EQ(result->travel_time.value(), 0.0);
@@ -75,7 +78,7 @@ TEST(Dijkstra, OriginEqualsDestination) {
 TEST(Dijkstra, UnknownNodesThrow) {
   test::SquareGraph sq;
   roadnet::UniformTraffic traffic(MetersPerSecond{10.0});
-  EXPECT_THROW((void)shortest_time_path(sq.graph, traffic, 0, 99,
+  EXPECT_THROW((void)detail::shortest_time_path(sq.graph, traffic, 0, 99,
                                         TimeOfDay::hms(9, 0)),
                GraphError);
 }
@@ -88,9 +91,9 @@ TEST(Dijkstra, TimeDependentSpeedsAffectChoice) {
   const roadnet::NodeId o = city.node_at(1, 1);
   const roadnet::NodeId d = city.node_at(8, 9);
   const auto rush =
-      shortest_time_path(city.graph(), traffic, o, d, TimeOfDay::hms(8, 30));
+      detail::shortest_time_path(city.graph(), traffic, o, d, TimeOfDay::hms(8, 30));
   const auto midday =
-      shortest_time_path(city.graph(), traffic, o, d, TimeOfDay::hms(12, 30));
+      detail::shortest_time_path(city.graph(), traffic, o, d, TimeOfDay::hms(12, 30));
   ASSERT_TRUE(rush.has_value());
   ASSERT_TRUE(midday.has_value());
   EXPECT_GT(rush->travel_time.value(), midday->travel_time.value());
@@ -109,7 +112,7 @@ TEST_P(DijkstraGridProperty, PathTimeConsistent) {
   const roadnet::GridCity city(opt);
   const roadnet::UniformTraffic traffic(kmh(15.0));
   const auto result =
-      shortest_time_path(city.graph(), traffic, city.node_at(0, 0),
+      detail::shortest_time_path(city.graph(), traffic, city.node_at(0, 0),
                          city.node_at(5, 5), TimeOfDay::hms(10, 0));
   ASSERT_TRUE(result.has_value());
   EXPECT_TRUE(is_connected(result->path, city.graph()));

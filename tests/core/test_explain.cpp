@@ -30,14 +30,22 @@ struct PaperWorld {
       : city(city_options()),
         projection(city.options().origin),
         scene(generate_scene(city.graph(), projection,
-                             shadow::SceneGenOptions{})),
-        shading(shadow::ShadingProfile::compute_exact(
-            city.graph(), scene, geo::DayOfYear{196}, TimeOfDay::hms(8, 0),
-            TimeOfDay::hms(18, 30))),
-        traffic(roadnet::UrbanTraffic::Options{}),
-        map(city.graph(), shading, traffic,
-            solar::constant_panel_power(Watts{200.0})),
-        lv(ev::make_lv_prototype()) {}
+                             shadow::SceneGenOptions{})) {
+    auto graph = std::make_shared<const roadnet::RoadGraph>(city.graph());
+    WorldInit init;
+    init.graph = graph;
+    init.traffic = std::make_shared<const roadnet::UrbanTraffic>(
+        roadnet::UrbanTraffic::Options{});
+    init.shading = std::make_shared<const shadow::ShadingProfile>(
+        shadow::ShadingProfile::compute_exact(*graph, scene,
+                                              geo::DayOfYear{196},
+                                              TimeOfDay::hms(8, 0),
+                                              TimeOfDay::hms(18, 30)));
+    init.panel_power = solar::constant_panel_power(Watts{200.0});
+    init.vehicles.push_back(std::shared_ptr<const ev::ConsumptionModel>(
+        ev::make_lv_prototype()));
+    snapshot = World::create(std::move(init));
+  }
 
   static roadnet::GridCityOptions city_options() {
     roadnet::GridCityOptions opt;
@@ -49,10 +57,7 @@ struct PaperWorld {
   roadnet::GridCity city;
   geo::LocalProjection projection;
   shadow::Scene scene;
-  shadow::ShadingProfile shading;
-  roadnet::UrbanTraffic traffic;
-  solar::SolarInputMap map;
-  std::unique_ptr<ev::ConsumptionModel> lv;
+  WorldPtr snapshot;
 };
 
 const PaperWorld& world() {
@@ -66,7 +71,7 @@ MlcResult search_a1_b1(bool time_dependent = true,
   options.max_time_factor = 1.5;
   options.time_dependent = time_dependent;
   options.pricing = pricing;
-  const MultiLabelCorrecting solver(world().map, *world().lv, options);
+  const MultiLabelCorrecting solver(world().snapshot, options);
   // The paper's A1 -> B1 trip at 10:00 (Table R-I).
   return solver.search(world().city.node_at(1, 1),
                        world().city.node_at(9, 10), TimeOfDay::hms(10, 0));
@@ -76,7 +81,7 @@ TEST(RouteExplainerTest, LedgerConservesEveryParetoRouteOnThePaperWorld) {
   const MlcResult result = search_a1_b1();
   ASSERT_FALSE(result.routes.empty());
 
-  const RouteExplainer explainer(world().map, *world().lv);
+  const RouteExplainer explainer(world().snapshot);
   for (const ParetoRoute& route : result.routes) {
     const RouteLedger ledger =
         explainer.explain(route, TimeOfDay::hms(10, 0));
@@ -90,7 +95,7 @@ TEST(RouteExplainerTest, ConservesUnderStaticPricingToo) {
   const MlcResult result = search_a1_b1(/*time_dependent=*/false);
   ASSERT_FALSE(result.routes.empty());
 
-  const RouteExplainer explainer(world().map, *world().lv);
+  const RouteExplainer explainer(world().snapshot);
   for (const ParetoRoute& route : result.routes) {
     const RouteLedger ledger = explainer.explain(
         route, TimeOfDay::hms(10, 0), /*time_dependent=*/false);
@@ -109,7 +114,7 @@ TEST(RouteExplainerTest, ConservesSlotQuantizedRoutesBitExactly) {
       search_a1_b1(/*time_dependent=*/true, PricingMode::SlotQuantized);
   ASSERT_FALSE(result.routes.empty());
 
-  const RouteExplainer explainer(world().map, *world().lv);
+  const RouteExplainer explainer(world().snapshot);
   for (const ParetoRoute& route : result.routes) {
     const RouteLedger ledger =
         explainer.explain(route, TimeOfDay::hms(10, 0),
@@ -131,7 +136,7 @@ TEST(RouteExplainerTest, ReplayingTheWrongPricingModeBreaksConservation) {
       search_a1_b1(/*time_dependent=*/true, PricingMode::SlotQuantized);
   ASSERT_FALSE(result.routes.empty());
 
-  const RouteExplainer explainer(world().map, *world().lv);
+  const RouteExplainer explainer(world().snapshot);
   bool any_drift = false;
   for (const ParetoRoute& route : result.routes) {
     const RouteLedger ledger =
@@ -148,7 +153,7 @@ TEST(RouteExplainerTest, SlotLedgerRecordsRealEntryClocksNotSlotStarts) {
   ASSERT_FALSE(result.routes.empty());
   const ParetoRoute& route = result.routes.front();
 
-  const RouteExplainer explainer(world().map, *world().lv);
+  const RouteExplainer explainer(world().snapshot);
   const TimeOfDay departure = TimeOfDay::hms(10, 0);
   const RouteLedger ledger = explainer.explain(
       route, departure, /*time_dependent=*/true, PricingMode::SlotQuantized);
@@ -169,7 +174,7 @@ TEST(RouteExplainerTest, StepsWalkThePathWithAConsistentClock) {
   ASSERT_FALSE(result.routes.empty());
   const ParetoRoute& route = result.routes.front();
 
-  const RouteExplainer explainer(world().map, *world().lv);
+  const RouteExplainer explainer(world().snapshot);
   const TimeOfDay departure = TimeOfDay::hms(10, 0);
   const RouteLedger ledger = explainer.explain(route, departure);
   ASSERT_EQ(ledger.steps.size(), route.path.edges.size());
@@ -210,7 +215,7 @@ TEST(RouteExplainerTest, StepsWalkThePathWithAConsistentClock) {
 }
 
 TEST(RouteExplainerTest, EmptyPathYieldsAnEmptyConservingLedger) {
-  const RouteExplainer explainer(world().map, *world().lv);
+  const RouteExplainer explainer(world().snapshot);
   const RouteLedger ledger =
       explainer.explain(roadnet::Path{}, TimeOfDay::hms(10, 0));
   EXPECT_TRUE(ledger.steps.empty());
@@ -221,7 +226,7 @@ TEST(RouteExplainerTest, EmptyPathYieldsAnEmptyConservingLedger) {
 TEST(RouteExplainerTest, ExportsParseableJsonAndCsv) {
   const MlcResult result = search_a1_b1();
   ASSERT_FALSE(result.routes.empty());
-  const RouteExplainer explainer(world().map, *world().lv);
+  const RouteExplainer explainer(world().snapshot);
   const RouteLedger ledger =
       explainer.explain(result.routes.front(), TimeOfDay::hms(10, 0));
 
@@ -240,7 +245,7 @@ TEST(RouteExplainerTest, ExportsParseableJsonAndCsv) {
 TEST(RouteExplainerTest, AnnotatedGeoJsonHasOneFeaturePerStep) {
   const MlcResult result = search_a1_b1();
   ASSERT_FALSE(result.routes.empty());
-  const RouteExplainer explainer(world().map, *world().lv);
+  const RouteExplainer explainer(world().snapshot);
   const RouteLedger ledger =
       explainer.explain(result.routes.front(), TimeOfDay::hms(10, 0));
 

@@ -11,21 +11,21 @@ TEST(EdgeCriteria, ConsistentWithInputMap) {
   test::SquareGraph sq;
   test::RoutingEnv env(sq.graph);
   const TimeOfDay when = TimeOfDay::hms(10, 0);
-  const Criteria c = edge_criteria(env.map, *env.lv, 0, when);
+  const Criteria c = detail::edge_criteria(env.map, env.lv, 0, when);
   const solar::EdgeSolar es = env.map.evaluate(0, when);
   EXPECT_DOUBLE_EQ(c.travel_time.value(), es.travel_time.value());
   EXPECT_DOUBLE_EQ(c.shaded_time.value(), es.shaded_time.value());
   const MetersPerSecond v = env.traffic.speed(sq.graph, 0, when);
   EXPECT_DOUBLE_EQ(
       c.energy_out.value(),
-      env.lv->consumption(sq.graph.edge(0).length, v).value());
+      env.lv.consumption(sq.graph.edge(0).length, v).value());
 }
 
 TEST(EvaluateRoute, EmptyPathIsAllZero) {
   test::SquareGraph sq;
   test::RoutingEnv env(sq.graph);
   const RouteMetrics m =
-      evaluate_route(env.map, *env.lv, roadnet::Path{}, TimeOfDay::hms(9, 0));
+      detail::evaluate_route(env.map, env.lv, roadnet::Path{}, TimeOfDay::hms(9, 0));
   EXPECT_DOUBLE_EQ(m.total_length.value(), 0.0);
   EXPECT_DOUBLE_EQ(m.travel_time.value(), 0.0);
   EXPECT_DOUBLE_EQ(m.energy_in.value(), 0.0);
@@ -38,7 +38,7 @@ TEST(EvaluateRoute, AccumulatesAlongPath) {
   roadnet::Path p;
   p.edges = {sq.graph.find_edge(0, 1), sq.graph.find_edge(1, 3)};
   const RouteMetrics m =
-      evaluate_route(env.map, *env.lv, p, TimeOfDay::hms(10, 0));
+      detail::evaluate_route(env.map, env.lv, p, TimeOfDay::hms(10, 0));
   EXPECT_NEAR(m.total_length.value(), 200.0, 0.5);
   EXPECT_NEAR(m.travel_time.value(), 200.0 / kmh(15.0).value(), 0.2);
   EXPECT_NEAR(m.solar_time.value() + m.shaded_time.value(),
@@ -52,13 +52,13 @@ TEST(EvaluateRoute, MatchesMlcCostVector) {
   // assigned to it (same clock advance rule).
   const roadnet::GridCity city{roadnet::GridCityOptions{}};
   test::RoutingEnv env(city.graph());
-  const MultiLabelCorrecting solver(env.map, *env.lv, MlcOptions{});
+  const MultiLabelCorrecting solver(env.world, MlcOptions{});
   const TimeOfDay dep = TimeOfDay::hms(10, 0);
   const MlcResult result =
       solver.search(city.node_at(1, 1), city.node_at(6, 7), dep);
   ASSERT_FALSE(result.routes.empty());
   for (const auto& route : result.routes) {
-    const RouteMetrics m = evaluate_route(env.map, *env.lv, route.path, dep);
+    const RouteMetrics m = detail::evaluate_route(env.map, env.lv, route.path, dep);
     EXPECT_NEAR(m.travel_time.value(), route.cost.travel_time.value(), 1e-6);
     EXPECT_NEAR(m.shaded_time.value(), route.cost.shaded_time.value(), 1e-6);
     EXPECT_NEAR(m.energy_out.value(), route.cost.energy_out.value(), 1e-6);
@@ -97,8 +97,8 @@ TEST(EvaluateRoute, HigherPanelPowerMeansMoreEnergyIn) {
   roadnet::Path p;
   p.edges = {sq.graph.find_edge(0, 1)};
   const TimeOfDay dep = TimeOfDay::hms(10, 0);
-  EXPECT_LT(evaluate_route(weak, *lv, p, dep).energy_in.value(),
-            evaluate_route(strong, *lv, p, dep).energy_in.value());
+  EXPECT_LT(detail::evaluate_route(weak, *lv, p, dep).energy_in.value(),
+            detail::evaluate_route(strong, *lv, p, dep).energy_in.value());
 }
 
 }  // namespace

@@ -23,11 +23,11 @@ MlcOptions static_unbounded() {
 TEST(Mlc, MatchesBruteForceOnSquareGraph) {
   test::SquareGraph sq;
   test::RoutingEnv env(sq.graph);
-  const MultiLabelCorrecting solver(env.map, *env.lv, static_unbounded());
+  const MultiLabelCorrecting solver(env.world, static_unbounded());
   const TimeOfDay dep = TimeOfDay::hms(10, 0);
   const MlcResult result = solver.search(0, 3, dep);
   const auto expected =
-      test::brute_force_pareto(env.map, *env.lv, 0, 3, dep);
+      test::brute_force_pareto(env.map, env.lv, 0, 3, dep);
 
   ASSERT_EQ(result.routes.size(), expected.size());
   for (const auto& route : result.routes) {
@@ -54,13 +54,13 @@ TEST_P(MlcBruteForceProperty, FullParetoSetMatches) {
   opt.seed = GetParam();
   const roadnet::GridCity city(opt);
   test::RoutingEnv env(city.graph());
-  const MultiLabelCorrecting solver(env.map, *env.lv, static_unbounded());
+  const MultiLabelCorrecting solver(env.world, static_unbounded());
   const TimeOfDay dep = TimeOfDay::hms(11, 0);
   const roadnet::NodeId o = city.node_at(0, 0);
   const roadnet::NodeId d = city.node_at(2, 3);
 
   const MlcResult result = solver.search(o, d, dep);
-  const auto expected = test::brute_force_pareto(env.map, *env.lv, o, d, dep);
+  const auto expected = test::brute_force_pareto(env.map, env.lv, o, d, dep);
 
   ASSERT_EQ(result.routes.size(), expected.size());
   for (const auto& route : result.routes) {
@@ -77,7 +77,7 @@ INSTANTIATE_TEST_SUITE_P(Seeds, MlcBruteForceProperty,
 TEST(Mlc, RoutesAreMutuallyNonDominated) {
   test::SquareGraph sq;
   test::RoutingEnv env(sq.graph);
-  const MultiLabelCorrecting solver(env.map, *env.lv, static_unbounded());
+  const MultiLabelCorrecting solver(env.world, static_unbounded());
   const MlcResult result = solver.search(0, 3, TimeOfDay::hms(10, 0));
   for (const auto& a : result.routes)
     for (const auto& b : result.routes)
@@ -89,7 +89,7 @@ TEST(Mlc, AllRoutesConnectOriginToDestination) {
   test::RoutingEnv env(city.graph());
   MlcOptions opt;
   opt.max_time_factor = 1.5;
-  const MultiLabelCorrecting solver(env.map, *env.lv, opt);
+  const MultiLabelCorrecting solver(env.world, opt);
   const roadnet::NodeId o = city.node_at(2, 2);
   const roadnet::NodeId d = city.node_at(9, 10);
   const MlcResult result = solver.search(o, d, TimeOfDay::hms(10, 0));
@@ -106,7 +106,7 @@ TEST(Mlc, ContainsTheShortestTimeRoute) {
   test::RoutingEnv env(city.graph());
   MlcOptions opt;
   opt.max_time_factor = 1.5;
-  const MultiLabelCorrecting solver(env.map, *env.lv, opt);
+  const MultiLabelCorrecting solver(env.world, opt);
   const roadnet::NodeId o = city.node_at(1, 1);
   const roadnet::NodeId d = city.node_at(8, 8);
   const TimeOfDay dep = TimeOfDay::hms(10, 0);
@@ -125,8 +125,8 @@ TEST(Mlc, TimeBudgetPrunesLongRoutes) {
   tight.max_time_factor = 1.1;
   MlcOptions loose;
   loose.max_time_factor = 2.0;
-  const MultiLabelCorrecting tight_solver(env.map, *env.lv, tight);
-  const MultiLabelCorrecting loose_solver(env.map, *env.lv, loose);
+  const MultiLabelCorrecting tight_solver(env.world, tight);
+  const MultiLabelCorrecting loose_solver(env.world, loose);
   const roadnet::NodeId o = city.node_at(2, 2);
   const roadnet::NodeId d = city.node_at(7, 7);
   const TimeOfDay dep = TimeOfDay::hms(10, 0);
@@ -140,13 +140,14 @@ TEST(Mlc, TimeBudgetPrunesLongRoutes) {
 }
 
 TEST(Mlc, UnreachableDestinationThrows) {
-  roadnet::RoadGraph g;
-  g.add_node({45.50, -73.57});
-  g.add_node({45.51, -73.57});
-  g.add_node({45.52, -73.57});
-  g.add_edge(0, 1);
+  roadnet::GraphBuilder b;
+  b.add_node({45.50, -73.57});
+  b.add_node({45.51, -73.57});
+  b.add_node({45.52, -73.57});
+  b.add_edge(0, 1);
+  const roadnet::RoadGraph g = std::move(b).build();
   test::RoutingEnv env(g);
-  const MultiLabelCorrecting solver(env.map, *env.lv, MlcOptions{});
+  const MultiLabelCorrecting solver(env.world, MlcOptions{});
   EXPECT_THROW((void)solver.search(0, 2, TimeOfDay::hms(10, 0)),
                RoutingError);
 }
@@ -154,7 +155,7 @@ TEST(Mlc, UnreachableDestinationThrows) {
 TEST(Mlc, UnknownNodeThrows) {
   test::SquareGraph sq;
   test::RoutingEnv env(sq.graph);
-  const MultiLabelCorrecting solver(env.map, *env.lv, MlcOptions{});
+  const MultiLabelCorrecting solver(env.world, MlcOptions{});
   EXPECT_THROW((void)solver.search(0, 99, TimeOfDay::hms(10, 0)),
                GraphError);
 }
@@ -164,7 +165,7 @@ TEST(Mlc, LabelBudgetEnforced) {
   test::RoutingEnv env(city.graph());
   MlcOptions opt;
   opt.max_labels = 10;
-  const MultiLabelCorrecting solver(env.map, *env.lv, opt);
+  const MultiLabelCorrecting solver(env.world, opt);
   EXPECT_THROW((void)solver.search(city.node_at(0, 0), city.node_at(9, 9),
                                    TimeOfDay::hms(10, 0)),
                RoutingError);
@@ -175,15 +176,15 @@ TEST(Mlc, InvalidOptionsRejected) {
   test::RoutingEnv env(sq.graph);
   MlcOptions bad;
   bad.max_time_factor = -1.0;
-  EXPECT_THROW(MultiLabelCorrecting(env.map, *env.lv, bad), InvalidArgument);
+  EXPECT_THROW(MultiLabelCorrecting(env.world, bad), InvalidArgument);
   bad.max_time_factor = 0.5;  // would exclude the shortest path
-  EXPECT_THROW(MultiLabelCorrecting(env.map, *env.lv, bad), InvalidArgument);
+  EXPECT_THROW(MultiLabelCorrecting(env.world, bad), InvalidArgument);
 }
 
 TEST(Mlc, OriginEqualsDestinationYieldsEmptyRoute) {
   test::SquareGraph sq;
   test::RoutingEnv env(sq.graph);
-  const MultiLabelCorrecting solver(env.map, *env.lv, MlcOptions{});
+  const MultiLabelCorrecting solver(env.world, MlcOptions{});
   const MlcResult result = solver.search(1, 1, TimeOfDay::hms(10, 0));
   ASSERT_EQ(result.routes.size(), 1u);
   EXPECT_TRUE(result.routes.front().path.empty());
@@ -193,7 +194,7 @@ TEST(Mlc, OriginEqualsDestinationYieldsEmptyRoute) {
 TEST(Mlc, StatsArePopulated) {
   const roadnet::GridCity city{roadnet::GridCityOptions{}};
   test::RoutingEnv env(city.graph());
-  const MultiLabelCorrecting solver(env.map, *env.lv, MlcOptions{});
+  const MultiLabelCorrecting solver(env.world, MlcOptions{});
   const MlcResult result = solver.search(city.node_at(1, 1),
                                          city.node_at(6, 6),
                                          TimeOfDay::hms(10, 0));
@@ -208,7 +209,7 @@ TEST(Mlc, MaxLabelsExhaustionThrowsRoutingErrorNamingTheBudget) {
   test::RoutingEnv env(city.graph());
   MlcOptions opt;
   opt.max_labels = 32;
-  const MultiLabelCorrecting solver(env.map, *env.lv, opt);
+  const MultiLabelCorrecting solver(env.world, opt);
   try {
     (void)solver.search(city.node_at(0, 0), city.node_at(9, 9),
                         TimeOfDay::hms(10, 0));
@@ -228,7 +229,7 @@ TEST(Mlc, TimeIndependentPricesEveryEdgeAtTheDepartureInstant) {
   MlcOptions opt;
   opt.max_time_factor = 1.3;
   opt.time_dependent = false;
-  const MultiLabelCorrecting solver(env.map, *env.lv, opt);
+  const MultiLabelCorrecting solver(env.world, opt);
   const TimeOfDay dep = TimeOfDay::hms(9, 10);
   const MlcResult result = solver.search(city.node_at(1, 1),
                                          city.node_at(6, 7), dep);
@@ -236,7 +237,7 @@ TEST(Mlc, TimeIndependentPricesEveryEdgeAtTheDepartureInstant) {
   for (const auto& route : result.routes) {
     Criteria static_cost;
     for (const roadnet::EdgeId e : route.path.edges)
-      static_cost += edge_criteria(env.map, *env.lv, e, dep);
+      static_cost += detail::edge_criteria(env.map, env.lv, e, dep);
     EXPECT_EQ(route.cost, static_cost);
   }
 }
@@ -254,8 +255,8 @@ TEST(Mlc, TimeIndependentSearchIgnoresMidRouteSlotBoundaries) {
   static_opt.time_dependent = false;
   MlcOptions dynamic_opt = static_opt;
   dynamic_opt.time_dependent = true;
-  const MultiLabelCorrecting static_solver(env.map, *env.lv, static_opt);
-  const MultiLabelCorrecting dynamic_solver(env.map, *env.lv, dynamic_opt);
+  const MultiLabelCorrecting static_solver(env.world, static_opt);
+  const MultiLabelCorrecting dynamic_solver(env.world, dynamic_opt);
   const roadnet::NodeId o = city.node_at(0, 0);
   const roadnet::NodeId d = city.node_at(9, 9);
   // 09:14 departure: a multi-minute trip crosses into the 09:15 slot.
@@ -268,7 +269,7 @@ TEST(Mlc, TimeIndependentSearchIgnoresMidRouteSlotBoundaries) {
   for (const auto& route : st.routes) {
     Criteria at_departure;
     for (const roadnet::EdgeId e : route.path.edges)
-      at_departure += edge_criteria(env.map, *env.lv, e, dep);
+      at_departure += detail::edge_criteria(env.map, env.lv, e, dep);
     EXPECT_EQ(route.cost, at_departure);
   }
   // ...while the time-dependent search sees the slot change mid-route:
@@ -277,7 +278,7 @@ TEST(Mlc, TimeIndependentSearchIgnoresMidRouteSlotBoundaries) {
   for (const auto& route : dy.routes) {
     Criteria at_departure;
     for (const roadnet::EdgeId e : route.path.edges)
-      at_departure += edge_criteria(env.map, *env.lv, e, dep);
+      at_departure += detail::edge_criteria(env.map, env.lv, e, dep);
     if (!equivalent(route.cost, at_departure)) any_differs = true;
   }
   EXPECT_TRUE(any_differs);
@@ -295,8 +296,8 @@ TEST(Mlc, SlotQuantizedParetoSetsAreBitIdenticalOnASlotConstantWorld) {
   exact_opt.max_time_factor = 1.5;
   MlcOptions slot_opt = exact_opt;
   slot_opt.pricing = PricingMode::SlotQuantized;
-  const MultiLabelCorrecting exact(env.map, *env.lv, exact_opt);
-  const MultiLabelCorrecting slot(env.map, *env.lv, slot_opt);
+  const MultiLabelCorrecting exact(env.world, exact_opt);
+  const MultiLabelCorrecting slot(env.world, slot_opt);
   ASSERT_EQ(exact.cache(), nullptr);
   ASSERT_NE(slot.cache(), nullptr);
 
@@ -327,7 +328,7 @@ TEST(Mlc, SlotQuantizedRepeatQueriesReuseTheCache) {
   test::RoutingEnv env(city.graph());
   MlcOptions opt;
   opt.pricing = PricingMode::SlotQuantized;
-  const MultiLabelCorrecting solver(env.map, *env.lv, opt);
+  const MultiLabelCorrecting solver(env.world, opt);
   const MlcResult first = solver.search(city.node_at(1, 1),
                                         city.node_at(6, 6),
                                         TimeOfDay::hms(10, 0));
@@ -348,7 +349,7 @@ TEST(Mlc, TimeDependentCostsChangeWithDeparture) {
   // 13:00 should see different shaded-time costs on some route.
   const roadnet::GridCity city{roadnet::GridCityOptions{}};
   test::RoutingEnv env(city.graph());
-  const MultiLabelCorrecting solver(env.map, *env.lv, MlcOptions{});
+  const MultiLabelCorrecting solver(env.world, MlcOptions{});
   const roadnet::NodeId o = city.node_at(1, 1);
   const roadnet::NodeId d = city.node_at(5, 5);
   const auto morning = solver.search(o, d, TimeOfDay::hms(9, 0));

@@ -21,7 +21,7 @@ class PlannerTest : public ::testing::Test {
 };
 
 TEST_F(PlannerTest, PlanProducesConsistentResult) {
-  const SunChasePlanner planner(env_.map, *env_.lv);
+  const SunChasePlanner planner(env_.world);
   const PlanResult plan = planner.plan(city_.node_at(1, 1),
                                        city_.node_at(8, 8),
                                        TimeOfDay::hms(10, 0));
@@ -44,7 +44,7 @@ TEST_F(PlannerTest, EveryPlanAppendsOneQueryLogRecord) {
   obs::QueryLog log(sink);
   PlannerOptions options;
   options.query_log = &log;
-  const SunChasePlanner planner(env_.map, *env_.lv, options);
+  const SunChasePlanner planner(env_.world, options);
 
   const PlanResult plan = planner.plan(city_.node_at(1, 1),
                                        city_.node_at(8, 8),
@@ -71,7 +71,7 @@ TEST_F(PlannerTest, EveryPlanAppendsOneQueryLogRecord) {
 }
 
 TEST_F(PlannerTest, RecommendedPrefersBetterSolar) {
-  const SunChasePlanner planner(env_.map, *env_.lv);
+  const SunChasePlanner planner(env_.world);
   const PlanResult plan = planner.plan(city_.node_at(1, 1),
                                        city_.node_at(8, 8),
                                        TimeOfDay::hms(10, 0));
@@ -89,13 +89,14 @@ TEST_F(PlannerTest, RecommendedThrowsOnEmptyPlan) {
 }
 
 TEST_F(PlannerTest, UnreachableThrowsRoutingError) {
-  roadnet::RoadGraph g;
-  g.add_node({45.50, -73.57});
-  g.add_node({45.51, -73.57});
-  g.add_node({45.52, -73.57});
-  g.add_edge(0, 1);
+  roadnet::GraphBuilder b;
+  b.add_node({45.50, -73.57});
+  b.add_node({45.51, -73.57});
+  b.add_node({45.52, -73.57});
+  b.add_edge(0, 1);
+  const roadnet::RoadGraph g = std::move(b).build();
   test::RoutingEnv env(g);
-  const SunChasePlanner planner(env.map, *env.lv);
+  const SunChasePlanner planner(env.world);
   EXPECT_THROW((void)planner.plan(0, 2, TimeOfDay::hms(10, 0)),
                RoutingError);
 }
@@ -104,7 +105,7 @@ TEST_F(PlannerTest, OptionsArePropagated) {
   PlannerOptions opt;
   opt.mlc.max_time_factor = 1.2;
   opt.selection.require_positive_energy_extra = false;
-  const SunChasePlanner planner(env_.map, *env_.lv, opt);
+  const SunChasePlanner planner(env_.world, opt);
   EXPECT_DOUBLE_EQ(planner.options().mlc.max_time_factor, 1.2);
   const PlanResult plan = planner.plan(city_.node_at(0, 0),
                                        city_.node_at(5, 5),
@@ -116,8 +117,10 @@ TEST_F(PlannerTest, OptionsArePropagated) {
 }
 
 TEST_F(PlannerTest, DifferentVehiclesCanDisagree) {
-  const SunChasePlanner lv_planner(env_.map, *env_.lv);
-  const SunChasePlanner tesla_planner(env_.map, *env_.tesla);
+  const SunChasePlanner lv_planner(env_.world);
+  PlannerOptions tesla_opt;
+  tesla_opt.mlc.vehicle = test::RoutingEnv::kTesla;
+  const SunChasePlanner tesla_planner(env_.world, tesla_opt);
   int lv_better = 0, tesla_better = 0;
   for (const auto& [r, c] : {std::pair{6, 6}, std::pair{8, 3}, std::pair{4, 9},
                             std::pair{9, 9}}) {
@@ -135,7 +138,7 @@ TEST_F(PlannerTest, DifferentVehiclesCanDisagree) {
 }
 
 TEST_F(PlannerTest, VehicleAccessor) {
-  const SunChasePlanner planner(env_.map, *env_.lv);
+  const SunChasePlanner planner(env_.world);
   EXPECT_EQ(planner.vehicle().name(), "Lv prototype");
 }
 
@@ -146,7 +149,7 @@ class PlannerDayProperty : public ::testing::TestWithParam<int> {};
 TEST_P(PlannerDayProperty, InvariantsAtEveryHour) {
   const roadnet::GridCity city{roadnet::GridCityOptions{}};
   test::RoutingEnv env(city.graph());
-  const SunChasePlanner planner(env.map, *env.lv);
+  const SunChasePlanner planner(env.world);
   const TimeOfDay dep = TimeOfDay::hms(GetParam(), 0);
   const PlanResult plan =
       planner.plan(city.node_at(2, 2), city.node_at(7, 7), dep);

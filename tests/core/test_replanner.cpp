@@ -25,8 +25,7 @@ class ReplannerTest : public ::testing::Test {
 
 TEST_F(ReplannerTest, StablePowerNeverReplans) {
   const auto outcome = drive_with_replanning(
-      city_.graph(), env_.profile, env_.traffic,
-      solar::constant_panel_power(Watts{200.0}), *env_.lv,
+      env_.world, solar::constant_panel_power(Watts{200.0}),
       city_.node_at(1, 1), city_.node_at(8, 8), TimeOfDay::hms(10, 0));
   EXPECT_EQ(outcome.replans, 0);
   EXPECT_EQ(path_destination(outcome.driven, city_.graph()),
@@ -40,8 +39,7 @@ TEST_F(ReplannerTest, CloudFrontTriggersReplanning) {
   const TimeOfDay dep = TimeOfDay::hms(10, 0);
   const auto live = cloud_front(dep.advanced_by(Seconds{90.0}), 60.0);
   const auto outcome = drive_with_replanning(
-      city_.graph(), env_.profile, env_.traffic, live, *env_.lv,
-      city_.node_at(1, 1), city_.node_at(8, 8), dep);
+      env_.world, live, city_.node_at(1, 1), city_.node_at(8, 8), dep);
   EXPECT_GE(outcome.replans, 1);
   EXPECT_EQ(path_destination(outcome.driven, city_.graph()),
             city_.node_at(8, 8));
@@ -50,11 +48,11 @@ TEST_F(ReplannerTest, CloudFrontTriggersReplanning) {
 TEST_F(ReplannerTest, OutcomesAgreeWhenNothingChanges) {
   const auto power = solar::constant_panel_power(Watts{200.0});
   const auto with = drive_with_replanning(
-      city_.graph(), env_.profile, env_.traffic, power, *env_.lv,
-      city_.node_at(2, 2), city_.node_at(7, 7), TimeOfDay::hms(11, 0));
+      env_.world, power, city_.node_at(2, 2), city_.node_at(7, 7),
+      TimeOfDay::hms(11, 0));
   const auto without = drive_without_replanning(
-      city_.graph(), env_.profile, env_.traffic, power, *env_.lv,
-      city_.node_at(2, 2), city_.node_at(7, 7), TimeOfDay::hms(11, 0));
+      env_.world, power, city_.node_at(2, 2), city_.node_at(7, 7),
+      TimeOfDay::hms(11, 0));
   EXPECT_EQ(with.driven.edges, without.driven.edges);
   EXPECT_NEAR(with.energy_in.value(), without.energy_in.value(), 1e-9);
   EXPECT_NEAR(with.total_time.value(), without.total_time.value(), 1e-9);
@@ -67,11 +65,9 @@ TEST_F(ReplannerTest, ReplanningNeverLosesToStalePlanOnNet) {
   const TimeOfDay dep = TimeOfDay::hms(10, 0);
   const auto live = cloud_front(dep.advanced_by(Seconds{60.0}), 40.0);
   const auto with = drive_with_replanning(
-      city_.graph(), env_.profile, env_.traffic, live, *env_.lv,
-      city_.node_at(1, 1), city_.node_at(8, 8), dep);
+      env_.world, live, city_.node_at(1, 1), city_.node_at(8, 8), dep);
   const auto without = drive_without_replanning(
-      city_.graph(), env_.profile, env_.traffic, live, *env_.lv,
-      city_.node_at(1, 1), city_.node_at(8, 8), dep);
+      env_.world, live, city_.node_at(1, 1), city_.node_at(8, 8), dep);
   const double net_with = with.energy_in.value() - with.energy_out.value();
   const double net_without =
       without.energy_in.value() - without.energy_out.value();
@@ -87,34 +83,32 @@ TEST_F(ReplannerTest, MinIntervalThrottlesReplans) {
   ReplanOptions opt;
   opt.min_replan_interval = Seconds{3600.0};  // once per hour max
   const auto outcome = drive_with_replanning(
-      city_.graph(), env_.profile, env_.traffic, flapping, *env_.lv,
-      city_.node_at(1, 1), city_.node_at(8, 8), TimeOfDay::hms(10, 0), opt);
+      env_.world, flapping, city_.node_at(1, 1), city_.node_at(8, 8),
+      TimeOfDay::hms(10, 0), opt);
   EXPECT_LE(outcome.replans, 1);
 }
 
 TEST_F(ReplannerTest, NullPowerRejected) {
-  EXPECT_THROW(
-      (void)drive_with_replanning(city_.graph(), env_.profile, env_.traffic,
-                                  nullptr, *env_.lv, 0, 1,
-                                  TimeOfDay::hms(10, 0)),
-      InvalidArgument);
-  EXPECT_THROW((void)drive_without_replanning(
-                   city_.graph(), env_.profile, env_.traffic, nullptr,
-                   *env_.lv, 0, 1, TimeOfDay::hms(10, 0)),
+  EXPECT_THROW((void)drive_with_replanning(env_.world, nullptr, 0, 1,
+                                           TimeOfDay::hms(10, 0)),
+               InvalidArgument);
+  EXPECT_THROW((void)drive_without_replanning(env_.world, nullptr, 0, 1,
+                                              TimeOfDay::hms(10, 0)),
                InvalidArgument);
 }
 
 TEST_F(ReplannerTest, UnreachableThrows) {
-  roadnet::RoadGraph g;
-  g.add_node({45.50, -73.57});
-  g.add_node({45.51, -73.57});
-  g.add_node({45.52, -73.57});
-  g.add_edge(0, 1);
+  roadnet::GraphBuilder b;
+  b.add_node({45.50, -73.57});
+  b.add_node({45.51, -73.57});
+  b.add_node({45.52, -73.57});
+  b.add_edge(0, 1);
+  const roadnet::RoadGraph g = std::move(b).build();
   test::RoutingEnv env(g);
   EXPECT_THROW(
-      (void)drive_with_replanning(g, env.profile, env.traffic,
+      (void)drive_with_replanning(env.world,
                                   solar::constant_panel_power(Watts{200.0}),
-                                  *env.lv, 0, 2, TimeOfDay::hms(10, 0)),
+                                  0, 2, TimeOfDay::hms(10, 0)),
       RoutingError);
 }
 

@@ -16,7 +16,7 @@ class SelectionTest : public ::testing::Test {
                                   TimeOfDay dep) {
     MlcOptions opt;
     opt.max_time_factor = 1.5;
-    const MultiLabelCorrecting solver(env_.map, *env_.lv, opt);
+    const MultiLabelCorrecting solver(env_.world, opt);
     return solver.search(o, d, dep).routes;
   }
 
@@ -26,7 +26,7 @@ class SelectionTest : public ::testing::Test {
 
 TEST_F(SelectionTest, EmptyParetoSetYieldsEmptyResult) {
   const SelectionResult r = select_representative_routes(
-      {}, env_.map, *env_.lv, TimeOfDay::hms(10, 0));
+      {}, env_.world, TimeOfDay::hms(10, 0));
   EXPECT_TRUE(r.candidates.empty());
   EXPECT_EQ(r.cluster_count, 0u);
 }
@@ -36,7 +36,7 @@ TEST_F(SelectionTest, ShortestTimeRouteAlwaysFirst) {
   const auto routes = pareto(city_.node_at(1, 1), city_.node_at(7, 8), dep);
   ASSERT_FALSE(routes.empty());
   const SelectionResult r =
-      select_representative_routes(routes, env_.map, *env_.lv, dep);
+      select_representative_routes(routes, env_.world, dep);
   ASSERT_FALSE(r.candidates.empty());
   EXPECT_TRUE(r.candidates.front().is_shortest_time);
   // No candidate is faster than the first.
@@ -49,7 +49,7 @@ TEST_F(SelectionTest, BetterSolarRoutesPassEquationFive) {
   const TimeOfDay dep = TimeOfDay::hms(10, 0);
   const auto routes = pareto(city_.node_at(1, 1), city_.node_at(7, 8), dep);
   const SelectionResult r =
-      select_representative_routes(routes, env_.map, *env_.lv, dep);
+      select_representative_routes(routes, env_.world, dep);
   for (std::size_t i = 1; i < r.candidates.size(); ++i) {
     EXPECT_GT(r.candidates[i].extra_energy.value(), 0.0);
     EXPECT_FALSE(r.candidates[i].is_shortest_time);
@@ -65,7 +65,7 @@ TEST_F(SelectionTest, CandidatesSortedByExtraEnergy) {
   const TimeOfDay dep = TimeOfDay::hms(10, 0);
   const auto routes = pareto(city_.node_at(0, 0), city_.node_at(8, 9), dep);
   const SelectionResult r =
-      select_representative_routes(routes, env_.map, *env_.lv, dep);
+      select_representative_routes(routes, env_.world, dep);
   for (std::size_t i = 2; i < r.candidates.size(); ++i)
     EXPECT_GE(r.candidates[i - 1].extra_energy.value(),
               r.candidates[i].extra_energy.value());
@@ -77,9 +77,9 @@ TEST_F(SelectionTest, DisablingFilterKeepsAllRepresentatives) {
   SelectionOptions no_filter;
   no_filter.require_positive_energy_extra = false;
   const SelectionResult all = select_representative_routes(
-      routes, env_.map, *env_.lv, dep, no_filter);
+      routes, env_.world, dep, no_filter);
   const SelectionResult filtered =
-      select_representative_routes(routes, env_.map, *env_.lv, dep);
+      select_representative_routes(routes, env_.world, dep);
   EXPECT_GE(all.candidates.size(), filtered.candidates.size());
   EXPECT_EQ(all.representative_count, filtered.representative_count);
 }
@@ -88,7 +88,7 @@ TEST_F(SelectionTest, SelectionIsSubsetOfPareto) {
   const TimeOfDay dep = TimeOfDay::hms(11, 0);
   const auto routes = pareto(city_.node_at(2, 2), city_.node_at(9, 9), dep);
   const SelectionResult r =
-      select_representative_routes(routes, env_.map, *env_.lv, dep);
+      select_representative_routes(routes, env_.world, dep);
   for (const auto& cand : r.candidates) {
     const bool found = std::any_of(
         routes.begin(), routes.end(), [&](const ParetoRoute& p) {
@@ -104,7 +104,7 @@ TEST_F(SelectionTest, SingleRoutePareto) {
   auto routes = pareto(city_.node_at(0, 0), city_.node_at(0, 2), dep);
   routes.resize(1);
   const SelectionResult r =
-      select_representative_routes(routes, env_.map, *env_.lv, dep);
+      select_representative_routes(routes, env_.world, dep);
   ASSERT_EQ(r.candidates.size(), 1u);
   EXPECT_TRUE(r.candidates.front().is_shortest_time);
 }
@@ -117,9 +117,9 @@ TEST_F(SelectionTest, ClusterCountGrowsWithTighterDelta) {
   coarse.clustering.quality_threshold = 0.5;
   SelectionOptions fine;
   fine.clustering.quality_threshold = 0.02;
-  const auto rc = select_representative_routes(routes, env_.map, *env_.lv,
+  const auto rc = select_representative_routes(routes, env_.world,
                                                dep, coarse);
-  const auto rf = select_representative_routes(routes, env_.map, *env_.lv,
+  const auto rf = select_representative_routes(routes, env_.world,
                                                dep, fine);
   EXPECT_LE(rc.cluster_count, rf.cluster_count);
 }
@@ -133,17 +133,19 @@ TEST_F(SelectionTest, TeslaFiltersMoreThanLv) {
        {std::pair{7, 8}, std::pair{8, 5}, std::pair{6, 9}}) {
     const auto routes_lv = pareto(city_.node_at(1, 1), city_.node_at(r, c),
                                   dep);
-    const auto sel_lv = select_representative_routes(routes_lv, env_.map,
-                                                     *env_.lv, dep);
+    const auto sel_lv = select_representative_routes(routes_lv, env_.world,
+                                                     dep);
     // Tesla: re-search with its own consumption criterion.
     MlcOptions opt;
     opt.max_time_factor = 1.5;
-    const MultiLabelCorrecting tesla_solver(env_.map, *env_.tesla, opt);
+    opt.vehicle = test::RoutingEnv::kTesla;
+    const MultiLabelCorrecting tesla_solver(env_.world, opt);
     const auto routes_tesla =
         tesla_solver.search(city_.node_at(1, 1), city_.node_at(r, c), dep)
             .routes;
     const auto sel_tesla = select_representative_routes(
-        routes_tesla, env_.map, *env_.tesla, dep);
+        routes_tesla, env_.world, dep, SelectionOptions{},
+        test::RoutingEnv::kTesla);
     lv_total += static_cast<int>(sel_lv.candidates.size());
     tesla_total += static_cast<int>(sel_tesla.candidates.size());
   }

@@ -21,7 +21,7 @@ obs::Counter& misses() {
 TEST(SlotCostCache, EntriesMatchEdgeCriteriaAtTheSlotStart) {
   const roadnet::GridCity city{roadnet::GridCityOptions{}};
   test::RoutingEnv env(city.graph());
-  const SlotCostCache cache(env.map, *env.lv);
+  const SlotCostCache& cache = env.world->slot_cache(test::RoutingEnv::kLv);
 
   // Bit-exact, not approximate: the cache must run the same arithmetic
   // as edge_criteria, just hoisted out of the search loop.
@@ -29,7 +29,7 @@ TEST(SlotCostCache, EntriesMatchEdgeCriteriaAtTheSlotStart) {
     const TimeOfDay when = TimeOfDay::slot_start(slot);
     for (roadnet::EdgeId e = 0; e < 8; ++e) {
       const SlotCostCache::Entry& entry = cache.at(e, slot);
-      EXPECT_EQ(entry.criteria, edge_criteria(env.map, *env.lv, e, when));
+      EXPECT_EQ(entry.criteria, detail::edge_criteria(env.map, env.lv, e, when));
       const solar::EdgeSolar direct = env.map.evaluate(e, when);
       EXPECT_EQ(entry.solar.travel_time.value(), direct.travel_time.value());
       EXPECT_EQ(entry.solar.solar_time.value(), direct.solar_time.value());
@@ -43,7 +43,7 @@ TEST(SlotCostCache, EntriesMatchEdgeCriteriaAtTheSlotStart) {
 TEST(SlotCostCache, RejectsOutOfRangeSlots) {
   test::SquareGraph sq;
   test::RoutingEnv env(sq.graph);
-  const SlotCostCache cache(env.map, *env.lv);
+  const SlotCostCache& cache = env.world->slot_cache(test::RoutingEnv::kLv);
   EXPECT_THROW((void)cache.at(0, -1), InvalidArgument);
   EXPECT_THROW((void)cache.at(0, TimeOfDay::kSlotsPerDay), InvalidArgument);
   EXPECT_NO_THROW((void)cache.at(0, 0));
@@ -53,7 +53,7 @@ TEST(SlotCostCache, RejectsOutOfRangeSlots) {
 TEST(SlotCostCache, LazyColumnsAndBoundedMemoryAccounting) {
   test::SquareGraph sq;
   test::RoutingEnv env(sq.graph);
-  const SlotCostCache cache(env.map, *env.lv);
+  const SlotCostCache& cache = env.world->slot_cache(test::RoutingEnv::kLv);
   EXPECT_EQ(cache.filled_slots(), 0u);
   EXPECT_EQ(cache.bytes(), 0u);
 
@@ -72,7 +72,7 @@ TEST(SlotCostCache, LazyColumnsAndBoundedMemoryAccounting) {
 TEST(SlotCostCache, CountsMissOnFirstTouchThenHits) {
   test::SquareGraph sq;
   test::RoutingEnv env(sq.graph);
-  const SlotCostCache cache(env.map, *env.lv);
+  const SlotCostCache& cache = env.world->slot_cache(test::RoutingEnv::kLv);
   const std::uint64_t h0 = hits().value();
   const std::uint64_t m0 = misses().value();
 
@@ -89,7 +89,7 @@ TEST(SlotCostCache, CountsMissOnFirstTouchThenHits) {
 TEST(SlotCostCache, ConcurrentReadersShareOneMaterialization) {
   const roadnet::GridCity city{roadnet::GridCityOptions{}};
   test::RoutingEnv env(city.graph());
-  const SlotCostCache cache(env.map, *env.lv);
+  const SlotCostCache& cache = env.world->slot_cache(test::RoutingEnv::kLv);
 
   // 8 threads hammer the same two columns; the fill must happen once
   // per column and every reader must see the published entries.
@@ -97,7 +97,7 @@ TEST(SlotCostCache, ConcurrentReadersShareOneMaterialization) {
   constexpr int kReads = 200;
   std::atomic<int> mismatches{0};
   const TimeOfDay at40 = TimeOfDay::slot_start(40);
-  const Criteria expected = edge_criteria(env.map, *env.lv, 0, at40);
+  const Criteria expected = detail::edge_criteria(env.map, env.lv, 0, at40);
   std::vector<std::thread> threads;
   threads.reserve(kThreads);
   for (int t = 0; t < kThreads; ++t)
@@ -135,7 +135,7 @@ TEST(SlotCostCache, DayBoundaryPricesIdenticallyInBothModesNeverSlot96) {
   // must quantize to slot 95 — slot 96 does not exist — and under a
   // slot-constant world (UniformTraffic, slot-indexed shading) the
   // quantized price is bit-identical to the exact one.
-  const SlotCostCache cache(env.map, *env.lv);
+  const SlotCostCache& cache = env.world->slot_cache(test::RoutingEnv::kLv);
   for (const TimeOfDay entry :
        {TimeOfDay::from_seconds(86100.0), TimeOfDay::from_seconds(86399.0),
         TimeOfDay::from_seconds(static_cast<double>(TimeOfDay::kSecondsPerDay))}) {
@@ -144,7 +144,7 @@ TEST(SlotCostCache, DayBoundaryPricesIdenticallyInBothModesNeverSlot96) {
         pricing_time(entry, PricingMode::SlotQuantized);
     EXPECT_EQ(quantized, TimeOfDay::slot_start(TimeOfDay::kSlotsPerDay - 1));
     for (roadnet::EdgeId e = 0; e < sq.graph.edge_count(); ++e) {
-      const Criteria exact = edge_criteria(env.map, *env.lv, e, entry);
+      const Criteria exact = detail::edge_criteria(env.map, env.lv, e, entry);
       EXPECT_EQ(cache.at(e, entry.slot_index()).criteria, exact);
     }
   }

@@ -109,10 +109,11 @@ TEST(CrowdMap, NoisyObservationsConvergeToTruth) {
 TEST(CrowdMap, EstimatorFeedsShadingProfile) {
   CrowdSolarMap map(2, constant_prior(0.5), window());
   // Tiny graph matching the 2 edges.
-  roadnet::RoadGraph g;
-  g.add_node({45.50, -73.57});
-  g.add_node({45.51, -73.57});
-  g.add_two_way(0, 1);
+  roadnet::GraphBuilder b;
+  b.add_node({45.50, -73.57});
+  b.add_node({45.51, -73.57});
+  b.add_two_way(0, 1);
+  const roadnet::RoadGraph g = std::move(b).build();
   map.report(Observation{0, 40, 0.2, 1});
   const auto profile = shadow::ShadingProfile::compute(
       g, map.estimator(), TimeOfDay::slot_start(40),

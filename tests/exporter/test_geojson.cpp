@@ -86,7 +86,7 @@ TEST(GeoJson, SceneExportsBuildingsAndTrees) {
 TEST(GeoJson, PlanCarriesMetricsAsProperties) {
   const roadnet::GridCity city{roadnet::GridCityOptions{}};
   test::RoutingEnv env(city.graph());
-  const core::SunChasePlanner planner(env.map, *env.lv);
+  const core::SunChasePlanner planner(env.world);
   const core::PlanResult plan = planner.plan(
       city.node_at(1, 1), city.node_at(7, 7), TimeOfDay::hms(10, 0));
   const std::string json = geojson_plan(city.graph(), plan);

@@ -2,7 +2,11 @@
 // end-to-end (users start from these files).
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <utility>
+
 #include "sunchase/core/planner.h"
+#include "sunchase/core/world.h"
 #include "sunchase/roadnet/io.h"
 #include "sunchase/roadnet/traffic.h"
 #include "sunchase/shadow/scene_io.h"
@@ -36,14 +40,18 @@ TEST(DataFiles, DemoScenarioPlansEndToEnd) {
       roadnet::read_graph_file(SUNCHASE_DATA_DIR "/demo_downtown.graph");
   const auto scene =
       shadow::read_scene_file(SUNCHASE_DATA_DIR "/demo_downtown.scene");
-  const auto shading = shadow::ShadingProfile::compute_exact(
-      graph, scene, geo::DayOfYear{196}, TimeOfDay::hms(9, 0),
-      TimeOfDay::hms(17, 0));
-  const roadnet::UrbanTraffic traffic{roadnet::UrbanTraffic::Options{}};
-  const solar::SolarInputMap map(graph, shading, traffic,
-                                 solar::constant_panel_power(Watts{200.0}));
-  const auto lv = ev::make_lv_prototype();
-  const core::SunChasePlanner planner(map, *lv);
+  core::WorldInit init;
+  init.graph = std::make_shared<const roadnet::RoadGraph>(graph);
+  init.shading = std::make_shared<const shadow::ShadingProfile>(
+      shadow::ShadingProfile::compute_exact(graph, scene, geo::DayOfYear{196},
+                                            TimeOfDay::hms(9, 0),
+                                            TimeOfDay::hms(17, 0)));
+  init.traffic = std::make_shared<const roadnet::UrbanTraffic>(
+      roadnet::UrbanTraffic::Options{});
+  init.panel_power = solar::constant_panel_power(Watts{200.0});
+  init.vehicles.push_back(std::shared_ptr<const ev::ConsumptionModel>(
+      ev::make_lv_prototype()));
+  const core::SunChasePlanner planner(core::World::create(std::move(init)));
   const auto plan = planner.plan(0, static_cast<roadnet::NodeId>(
                                         graph.node_count() - 1),
                                  TimeOfDay::hms(10, 0));

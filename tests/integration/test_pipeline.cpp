@@ -3,7 +3,10 @@
 // invariants the paper's evaluation relies on.
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "sunchase/core/planner.h"
+#include "sunchase/core/world.h"
 #include "sunchase/roadnet/citygen.h"
 #include "sunchase/roadnet/traffic.h"
 #include "sunchase/shadow/scenegen.h"
@@ -26,17 +29,19 @@ class PipelineTest : public ::testing::Test {
     profile_ = new shadow::ShadingProfile(shadow::ShadingProfile::compute_exact(
         city_->graph(), *scene_, geo::DayOfYear{196}, TimeOfDay::hms(8, 0),
         TimeOfDay::hms(18, 0)));
-    traffic_ = new roadnet::UrbanTraffic(roadnet::UrbanTraffic::Options{});
-    map_ = new solar::SolarInputMap(
-        city_->graph(), *profile_, *traffic_,
-        solar::constant_panel_power(Watts{200.0}));
-    lv_ = ev::make_lv_prototype().release();
+    core::WorldInit init;
+    init.graph = std::make_shared<const roadnet::RoadGraph>(city_->graph());
+    init.traffic = std::make_shared<const roadnet::UrbanTraffic>(
+        roadnet::UrbanTraffic::Options{});
+    init.shading = std::make_shared<const shadow::ShadingProfile>(*profile_);
+    init.panel_power = solar::constant_panel_power(Watts{200.0});
+    init.vehicles.push_back(std::shared_ptr<const ev::ConsumptionModel>(
+        ev::make_lv_prototype()));
+    world_ = new core::WorldPtr(core::World::create(std::move(init)));
   }
 
   static void TearDownTestSuite() {
-    delete lv_;
-    delete map_;
-    delete traffic_;
+    delete world_;
     delete profile_;
     delete scene_;
     delete proj_;
@@ -47,18 +52,14 @@ class PipelineTest : public ::testing::Test {
   static geo::LocalProjection* proj_;
   static shadow::Scene* scene_;
   static shadow::ShadingProfile* profile_;
-  static roadnet::UrbanTraffic* traffic_;
-  static solar::SolarInputMap* map_;
-  static ev::ConsumptionModel* lv_;
+  static core::WorldPtr* world_;
 };
 
 roadnet::GridCity* PipelineTest::city_ = nullptr;
 geo::LocalProjection* PipelineTest::proj_ = nullptr;
 shadow::Scene* PipelineTest::scene_ = nullptr;
 shadow::ShadingProfile* PipelineTest::profile_ = nullptr;
-roadnet::UrbanTraffic* PipelineTest::traffic_ = nullptr;
-solar::SolarInputMap* PipelineTest::map_ = nullptr;
-ev::ConsumptionModel* PipelineTest::lv_ = nullptr;
+core::WorldPtr* PipelineTest::world_ = nullptr;
 
 TEST_F(PipelineTest, SceneShadesSomeStreetsButNotAll) {
   int shaded_edges = 0;
@@ -81,7 +82,7 @@ TEST_F(PipelineTest, MiddayHasMoreSunThanMorning) {
 }
 
 TEST_F(PipelineTest, PlannerWorksAcrossTheWholeDay) {
-  const core::SunChasePlanner planner(*map_, *lv_);
+  const core::SunChasePlanner planner(*world_);
   for (const int hour : {9, 11, 13, 15, 17}) {
     const core::PlanResult plan = planner.plan(
         city_->node_at(1, 1), city_->node_at(6, 6), TimeOfDay::hms(hour, 0));
@@ -111,7 +112,7 @@ TEST_F(PipelineTest, VisionProfileApproximatesExactProfile) {
 }
 
 TEST_F(PipelineTest, BetterSolarRouteHasMoreSolarTimePerMeterOrMoreInput) {
-  const core::SunChasePlanner planner(*map_, *lv_);
+  const core::SunChasePlanner planner(*world_);
   const core::PlanResult plan = planner.plan(
       city_->node_at(0, 0), city_->node_at(7, 7), TimeOfDay::hms(10, 0));
   if (!plan.has_better_solar()) GTEST_SKIP() << "no better route here";

@@ -4,7 +4,11 @@
 // accumulates positive net extra energy for selected routes.
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <utility>
+
 #include "sunchase/core/planner.h"
+#include "sunchase/core/world.h"
 #include "sunchase/ev/battery.h"
 #include "sunchase/roadnet/citygen.h"
 #include "sunchase/roadnet/traffic.h"
@@ -14,16 +18,24 @@
 namespace sunchase {
 namespace {
 
+constexpr std::size_t kLv = 0;
+constexpr std::size_t kTesla = 1;
+
 struct World {
   World() : city(make_city_options()), proj(city.options().origin) {
+    graph = std::make_shared<const roadnet::RoadGraph>(city.graph());
     scene = std::make_unique<shadow::Scene>(
-        generate_scene(city.graph(), proj, shadow::SceneGenOptions{}));
-    profile = std::make_unique<shadow::ShadingProfile>(
+        generate_scene(*graph, proj, shadow::SceneGenOptions{}));
+    profile = std::make_shared<const shadow::ShadingProfile>(
         shadow::ShadingProfile::compute_exact(
-            city.graph(), *scene, geo::DayOfYear{196}, TimeOfDay::hms(8, 0),
+            *graph, *scene, geo::DayOfYear{196}, TimeOfDay::hms(8, 0),
             TimeOfDay::hms(18, 0)));
-    traffic = std::make_unique<roadnet::UrbanTraffic>(
+    traffic = std::make_shared<const roadnet::UrbanTraffic>(
         roadnet::UrbanTraffic::Options{});
+    vehicles.push_back(std::shared_ptr<const ev::ConsumptionModel>(
+        ev::make_lv_prototype()));
+    vehicles.push_back(std::shared_ptr<const ev::ConsumptionModel>(
+        ev::make_tesla_model_s()));
   }
 
   static roadnet::GridCityOptions make_city_options() {
@@ -33,16 +45,24 @@ struct World {
     return opt;
   }
 
-  solar::SolarInputMap map_at(Watts c) const {
-    return solar::SolarInputMap(city.graph(), *profile, *traffic,
-                                solar::constant_panel_power(c));
+  /// A fresh snapshot sharing every component except the panel power.
+  core::WorldPtr world_at(Watts c) const {
+    core::WorldInit init;
+    init.graph = graph;
+    init.traffic = traffic;
+    init.shading = profile;
+    init.panel_power = solar::constant_panel_power(c);
+    init.vehicles = vehicles;
+    return core::World::create(std::move(init));
   }
 
   roadnet::GridCity city;
   geo::LocalProjection proj;
+  std::shared_ptr<const roadnet::RoadGraph> graph;
   std::unique_ptr<shadow::Scene> scene;
-  std::unique_ptr<shadow::ShadingProfile> profile;
-  std::unique_ptr<roadnet::UrbanTraffic> traffic;
+  std::shared_ptr<const shadow::ShadingProfile> profile;
+  std::shared_ptr<const roadnet::UrbanTraffic> traffic;
+  std::vector<std::shared_ptr<const ev::ConsumptionModel>> vehicles;
 };
 
 const World& world() {
@@ -58,9 +78,11 @@ std::vector<std::pair<roadnet::NodeId, roadnet::NodeId>> od_pairs() {
           {w.city.node_at(2, 7), w.city.node_at(6, 0)}};
 }
 
-int count_better_solar(const solar::SolarInputMap& map,
-                       const ev::ConsumptionModel& vehicle, TimeOfDay dep) {
-  const core::SunChasePlanner planner(map, vehicle);
+int count_better_solar(const core::WorldPtr& world, std::size_t vehicle,
+                       TimeOfDay dep) {
+  core::PlannerOptions opt;
+  opt.mlc.vehicle = vehicle;
+  const core::SunChasePlanner planner(world, opt);
   int better = 0;
   for (const auto& [o, d] : od_pairs()) {
     const core::PlanResult plan = planner.plan(o, d, dep);
@@ -76,23 +98,21 @@ TEST(Scenario, WeakerPanelPowerYieldsFewerBetterRoutes) {
   // consumption does not — so lowering C can only shrink the
   // better-solar set.
   const auto& w = world();
-  const auto tesla = ev::make_tesla_model_s();
-  const auto map_strong = w.map_at(Watts{200.0});
-  const auto map_weak = w.map_at(Watts{160.0});
+  const auto world_strong = w.world_at(Watts{200.0});
+  const auto world_weak = w.world_at(Watts{160.0});
   const TimeOfDay dep = TimeOfDay::hms(10, 0);
-  const int strong = count_better_solar(map_strong, *tesla, dep);
-  const int weak = count_better_solar(map_weak, *tesla, dep);
+  const int strong = count_better_solar(world_strong, kTesla, dep);
+  const int weak = count_better_solar(world_weak, kTesla, dep);
   EXPECT_LE(weak, strong);
 }
 
 TEST(Scenario, TeslaFindsNoMoreBetterRoutesThanLv) {
   const auto& w = world();
-  const auto lv = ev::make_lv_prototype();
-  const auto tesla = ev::make_tesla_model_s();
-  const auto map = w.map_at(Watts{200.0});
-  const int lv_count = count_better_solar(map, *lv, TimeOfDay::hms(10, 0));
+  const auto snapshot = w.world_at(Watts{200.0});
+  const int lv_count = count_better_solar(snapshot, kLv,
+                                          TimeOfDay::hms(10, 0));
   const int tesla_count =
-      count_better_solar(map, *tesla, TimeOfDay::hms(10, 0));
+      count_better_solar(snapshot, kTesla, TimeOfDay::hms(10, 0));
   EXPECT_LE(tesla_count, lv_count);
 }
 
@@ -100,9 +120,7 @@ TEST(Scenario, SelectedRoutesCostLittleExtraTime) {
   // Paper Fig. 9b/10b: extra travel time stays within ~60-80 s for
   // 1-2.5 km urban trips.
   const auto& w = world();
-  const auto lv = ev::make_lv_prototype();
-  const auto map = w.map_at(Watts{200.0});
-  const core::SunChasePlanner planner(map, *lv);
+  const core::SunChasePlanner planner(w.world_at(Watts{200.0}));
   for (const auto& [o, d] : od_pairs()) {
     const core::PlanResult plan = planner.plan(o, d, TimeOfDay::hms(11, 0));
     for (std::size_t i = 1; i < plan.candidates.size(); ++i)
@@ -115,9 +133,7 @@ TEST(Scenario, OneDayDrivingAccumulatesNonNegativeNetExtra) {
   // route instead of the shortest-time route never loses net energy
   // (Eq. 5 guarantees each selected trip is net-positive).
   const auto& w = world();
-  const auto lv = ev::make_lv_prototype();
-  const auto map = w.map_at(Watts{200.0});
-  const core::SunChasePlanner planner(map, *lv);
+  const core::SunChasePlanner planner(w.world_at(Watts{200.0}));
   ev::Battery battery(WattHours{2000.0}, WattHours{1000.0});
   double net_extra = 0.0;
   int hour = 9;
@@ -138,9 +154,7 @@ TEST(Scenario, ReverseTripDiffersOnOneWayStreets) {
   // Paper Table R-I: A2-B2 (reverse of A1-B1) crosses more one-way
   // segments and yields a different Pareto structure.
   const auto& w = world();
-  const auto lv = ev::make_lv_prototype();
-  const auto map = w.map_at(Watts{200.0});
-  const core::SunChasePlanner planner(map, *lv);
+  const core::SunChasePlanner planner(w.world_at(Watts{200.0}));
   const auto forward = planner.plan(w.city.node_at(1, 1),
                                     w.city.node_at(7, 6),
                                     TimeOfDay::hms(10, 0));

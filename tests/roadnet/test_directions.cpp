@@ -62,12 +62,13 @@ TEST(Directions, SimpleLShapedRoute) {
 
 TEST(Directions, StraightSegmentsMerge) {
   // Three collinear edges produce a single depart instruction.
-  RoadGraph g;
+  GraphBuilder b;
   const auto proj = test::montreal_projection();
-  for (int i = 0; i < 4; ++i) g.add_node(proj.to_geo({i * 100.0, 0.0}));
-  g.add_edge(0, 1);
-  g.add_edge(1, 2);
-  g.add_edge(2, 3);
+  for (int i = 0; i < 4; ++i) b.add_node(proj.to_geo({i * 100.0, 0.0}));
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 3);
+  const RoadGraph g = std::move(b).build();
   Path p;
   p.edges = {0, 1, 2};
   const auto steps = directions_for(g, p);

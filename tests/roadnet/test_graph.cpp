@@ -2,71 +2,107 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <future>
+#include <utility>
+#include <vector>
+
 #include "sunchase/common/error.h"
+#include "sunchase/common/thread_pool.h"
 #include "test_helpers.h"
 
 namespace sunchase::roadnet {
 namespace {
 
-TEST(RoadGraph, AddNodesAndEdges) {
-  RoadGraph g;
-  const NodeId a = g.add_node({45.50, -73.57});
-  const NodeId b = g.add_node({45.51, -73.57});
+TEST(GraphBuilder, AddNodesAndEdges) {
+  GraphBuilder b;
+  const NodeId a = b.add_node({45.50, -73.57});
+  const NodeId c = b.add_node({45.51, -73.57});
   EXPECT_EQ(a, 0u);
-  EXPECT_EQ(b, 1u);
-  const EdgeId e = g.add_edge(a, b);
+  EXPECT_EQ(c, 1u);
+  const EdgeId e = b.add_edge(a, c);
+  EXPECT_EQ(b.node_count(), 2u);
+  EXPECT_EQ(b.edge_count(), 1u);
+  const RoadGraph g = std::move(b).build();
   EXPECT_EQ(g.node_count(), 2u);
   EXPECT_EQ(g.edge_count(), 1u);
   EXPECT_EQ(g.edge(e).from, a);
-  EXPECT_EQ(g.edge(e).to, b);
+  EXPECT_EQ(g.edge(e).to, c);
 }
 
-TEST(RoadGraph, EdgeLengthDefaultsToHaversine) {
-  RoadGraph g;
-  const NodeId a = g.add_node({45.50, -73.57});
-  const NodeId b = g.add_node({45.51, -73.57});
-  const EdgeId e = g.add_edge(a, b);
+TEST(GraphBuilder, EdgeLengthDefaultsToHaversine) {
+  GraphBuilder b;
+  const NodeId a = b.add_node({45.50, -73.57});
+  const NodeId c = b.add_node({45.51, -73.57});
+  const EdgeId e = b.add_edge(a, c);
+  const RoadGraph g = std::move(b).build();
   const Meters expected =
       geo::haversine_distance({45.50, -73.57}, {45.51, -73.57});
   EXPECT_DOUBLE_EQ(g.edge(e).length.value(), expected.value());
 }
 
-TEST(RoadGraph, ExplicitLengthIsRespected) {
-  RoadGraph g;
-  g.add_node({45.50, -73.57});
-  g.add_node({45.51, -73.57});
-  const EdgeId e = g.add_edge(0, 1, Meters{1234.5});
-  EXPECT_DOUBLE_EQ(g.edge(e).length.value(), 1234.5);
+TEST(GraphBuilder, ExplicitLengthIsRespected) {
+  GraphBuilder b;
+  b.add_node({45.50, -73.57});
+  b.add_node({45.51, -73.57});
+  const EdgeId e = b.add_edge(0, 1, Meters{1234.5});
+  EXPECT_DOUBLE_EQ(std::move(b).build().edge(e).length.value(), 1234.5);
 }
 
-TEST(RoadGraph, TwoWayAddsBothDirections) {
-  RoadGraph g;
-  g.add_node({45.50, -73.57});
-  g.add_node({45.51, -73.57});
-  const EdgeId fwd = g.add_two_way(0, 1);
+TEST(GraphBuilder, TwoWayAddsBothDirections) {
+  GraphBuilder b;
+  b.add_node({45.50, -73.57});
+  b.add_node({45.51, -73.57});
+  const EdgeId fwd = b.add_two_way(0, 1);
+  const RoadGraph g = std::move(b).build();
   EXPECT_EQ(g.edge_count(), 2u);
   EXPECT_EQ(g.edge(fwd).from, 0u);
   EXPECT_EQ(g.edge(fwd + 1).from, 1u);
 }
 
-TEST(RoadGraph, RejectsBadEdges) {
-  RoadGraph g;
-  g.add_node({45.50, -73.57});
-  g.add_node({45.51, -73.57});
-  EXPECT_THROW(g.add_edge(0, 5), GraphError);
-  EXPECT_THROW(g.add_edge(0, 0), GraphError);
-  EXPECT_THROW(g.add_edge(0, 1, Meters{0.0}), GraphError);
-  EXPECT_THROW(g.add_edge(0, 1, Meters{-3.0}), GraphError);
+TEST(GraphBuilder, RejectsBadEdges) {
+  GraphBuilder b;
+  b.add_node({45.50, -73.57});
+  b.add_node({45.51, -73.57});
+  EXPECT_THROW(b.add_edge(0, 5), GraphError);
+  EXPECT_THROW(b.add_edge(0, 0), GraphError);
+  EXPECT_THROW(b.add_edge(0, 1, Meters{0.0}), GraphError);
+  EXPECT_THROW(b.add_edge(0, 1, Meters{-3.0}), GraphError);
 }
 
-TEST(RoadGraph, RejectsInvalidCoordinates) {
-  RoadGraph g;
-  EXPECT_THROW(g.add_node({95.0, 0.0}), GraphError);
+TEST(GraphBuilder, RejectsInvalidCoordinates) {
+  GraphBuilder b;
+  EXPECT_THROW(b.add_node({95.0, 0.0}), GraphError);
+}
+
+TEST(GraphBuilder, BuildAgainAfterAppendingIsAnIndependentSnapshot) {
+  GraphBuilder b;
+  b.add_node({45.50, -73.57});
+  b.add_node({45.51, -73.57});
+  b.add_node({45.52, -73.57});
+  b.add_edge(0, 1);
+  const RoadGraph first = b.build();
+  EXPECT_EQ(first.out_edges(0).size(), 1u);
+  // Appending after a build must not disturb the frozen snapshot.
+  b.add_edge(0, 2);
+  const RoadGraph second = std::move(b).build();
+  EXPECT_EQ(first.edge_count(), 1u);
+  EXPECT_EQ(first.out_edges(0).size(), 1u);
+  EXPECT_EQ(second.edge_count(), 2u);
+  EXPECT_EQ(second.out_edges(0).size(), 2u);
+}
+
+TEST(RoadGraph, DefaultConstructedIsEmpty) {
+  const RoadGraph g;
+  EXPECT_EQ(g.node_count(), 0u);
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_THROW((void)g.nearest_node({45.5, -73.6}), GraphError);
 }
 
 TEST(RoadGraph, AccessorsRangeCheck) {
-  RoadGraph g;
-  g.add_node({45.5, -73.6});
+  GraphBuilder b;
+  b.add_node({45.5, -73.6});
+  const RoadGraph g = std::move(b).build();
   EXPECT_THROW((void)g.node(1), GraphError);
   EXPECT_THROW((void)g.edge(0), GraphError);
   EXPECT_THROW((void)g.out_edges(7), GraphError);
@@ -77,14 +113,6 @@ TEST(RoadGraph, OutEdgesListsExactlyOutgoing) {
   const auto edges = sq.graph.out_edges(0);
   EXPECT_EQ(edges.size(), 2u);  // to node 1 and node 2
   for (const EdgeId e : edges) EXPECT_EQ(sq.graph.edge(e).from, 0u);
-}
-
-TEST(RoadGraph, OutEdgesAfterMutationRebuildsIndex) {
-  test::SquareGraph sq;
-  EXPECT_EQ(sq.graph.out_edges(0).size(), 2u);
-  // Diagonal 0 -> 3 added after the index was built.
-  sq.graph.add_edge(0, 3);
-  EXPECT_EQ(sq.graph.out_edges(0).size(), 3u);
 }
 
 TEST(RoadGraph, FindEdge) {
@@ -100,8 +128,6 @@ TEST(RoadGraph, NearestNode) {
   // A point near local (95, 95) should snap to node 3 at (100, 100).
   const geo::LatLon probe = sq.proj.to_geo({95.0, 95.0});
   EXPECT_EQ(sq.graph.nearest_node(probe), 3u);
-  RoadGraph empty;
-  EXPECT_THROW((void)empty.nearest_node({45.5, -73.6}), GraphError);
 }
 
 TEST(RoadGraph, ValidateAcceptsSquare) {
@@ -110,12 +136,46 @@ TEST(RoadGraph, ValidateAcceptsSquare) {
 }
 
 TEST(RoadGraph, ValidateRejectsDuplicateDirectedEdge) {
-  RoadGraph g;
-  g.add_node({45.50, -73.57});
-  g.add_node({45.51, -73.57});
-  g.add_edge(0, 1);
-  g.add_edge(0, 1);  // duplicate
-  EXPECT_THROW(g.validate(), GraphError);
+  GraphBuilder b;
+  b.add_node({45.50, -73.57});
+  b.add_node({45.51, -73.57});
+  b.add_edge(0, 1);
+  b.add_edge(0, 1);  // duplicate
+  EXPECT_THROW(std::move(b).build().validate(), GraphError);
+}
+
+// Regression for the historical lazy-finalize() data race: out_edges()
+// used to rebuild a mutable CSR index on first touch, so the first pair
+// of simultaneous readers raced on it. The frozen graph builds the
+// index at construction; hammering adjacency from a thread pool with no
+// prior warm-up must be clean (the CI ThreadSanitizer job runs this).
+TEST(FrozenGraph, ConcurrentOutEdgesFromColdStartIsRaceFree) {
+  GraphBuilder b;
+  constexpr int kNodes = 64;
+  for (int i = 0; i < kNodes; ++i)
+    b.add_node({45.50 + 0.0001 * i, -73.57});
+  for (int i = 0; i < kNodes; ++i)
+    for (int j = 1; j <= 3; ++j)
+      b.add_edge(static_cast<NodeId>(i),
+                 static_cast<NodeId>((i + j) % kNodes));
+  const RoadGraph g = std::move(b).build();
+
+  common::ThreadPool pool(8);
+  std::vector<std::future<std::size_t>> futures;
+  futures.reserve(16);
+  for (int t = 0; t < 16; ++t) {
+    futures.push_back(pool.submit([&g] {
+      std::size_t touched = 0;
+      for (int round = 0; round < 50; ++round)
+        for (NodeId n = 0; n < kNodes; ++n)
+          for (const EdgeId e : g.out_edges(n)) touched += g.edge(e).to;
+      return touched;
+    }));
+  }
+  const std::size_t first = futures.front().get();
+  for (std::size_t i = 1; i < futures.size(); ++i) {
+    EXPECT_EQ(futures[i].get(), first);
+  }
 }
 
 }  // namespace

@@ -88,20 +88,22 @@ TEST(SceneGen, HeightsWithinConfiguredMixture) {
 TEST(SceneGen, TwoWayStreetsGetOneSetOfBuildings) {
   // A single two-way street: both directed edges describe the same
   // physical road; lots must not be duplicated.
-  roadnet::RoadGraph g;
+  roadnet::GraphBuilder b;
   const auto proj = test::montreal_projection();
-  g.add_node(proj.to_geo({0, 0}));
-  g.add_node(proj.to_geo({300, 0}));
-  g.add_two_way(0, 1);
+  b.add_node(proj.to_geo({0, 0}));
+  b.add_node(proj.to_geo({300, 0}));
+  b.add_two_way(0, 1);
+  const roadnet::RoadGraph g = std::move(b).build();
   SceneGenOptions opt = default_options();
   opt.building_probability = 1.0;
   opt.tree_probability = 0.0;
   const Scene scene = generate_scene(g, proj, opt);
 
-  roadnet::RoadGraph one_way;
-  one_way.add_node(proj.to_geo({0, 0}));
-  one_way.add_node(proj.to_geo({300, 0}));
-  one_way.add_edge(0, 1);
+  roadnet::GraphBuilder one_way_builder;
+  one_way_builder.add_node(proj.to_geo({0, 0}));
+  one_way_builder.add_node(proj.to_geo({300, 0}));
+  one_way_builder.add_edge(0, 1);
+  const roadnet::RoadGraph one_way = std::move(one_way_builder).build();
   const Scene reference = generate_scene(one_way, proj, opt);
   EXPECT_EQ(scene.buildings().size(), reference.buildings().size());
 }

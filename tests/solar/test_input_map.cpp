@@ -78,10 +78,11 @@ TEST(InputMapValidation, NullPanelPowerRejected) {
 
 TEST(InputMapValidation, ProfileShapeMismatchRejected) {
   test::SquareGraph sq;
-  roadnet::RoadGraph other;
-  other.add_node({45.5, -73.57});
-  other.add_node({45.51, -73.57});
-  other.add_edge(0, 1);
+  roadnet::GraphBuilder other_builder;
+  other_builder.add_node({45.5, -73.57});
+  other_builder.add_node({45.51, -73.57});
+  other_builder.add_edge(0, 1);
+  const roadnet::RoadGraph other = std::move(other_builder).build();
   roadnet::UniformTraffic traffic(kmh(15.0));
   const auto profile = shadow::ShadingProfile::compute(
       other, [](roadnet::EdgeId, TimeOfDay) { return 0.0; },

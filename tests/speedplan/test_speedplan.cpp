@@ -144,13 +144,13 @@ TEST_F(SpeedPlanTest, IntegrationWithSunChaseRoute) {
   // must not be slower than crawling everywhere at minimum speed.
   const roadnet::GridCity city{roadnet::GridCityOptions{}};
   test::RoutingEnv env(city.graph());
-  const core::SunChasePlanner planner(env.map, *env.lv);
+  const core::SunChasePlanner planner(env.world);
   const auto plan = planner.plan(city.node_at(1, 1), city.node_at(7, 7),
                                  TimeOfDay::hms(10, 0));
   const auto& route = plan.recommended().route.path;
   const auto segments =
       segments_from_route(env.map, route, TimeOfDay::hms(10, 0));
-  const auto speed_plan = plan_speeds(segments, *env.lv, WattHours{500.0},
+  const auto speed_plan = plan_speeds(segments, env.lv, WattHours{500.0},
                                       WattHours{500.0});
   ASSERT_TRUE(speed_plan.feasible);
   const SpeedPlanOptions defaults;

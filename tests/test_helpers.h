@@ -3,6 +3,7 @@
 #pragma once
 
 #include <memory>
+#include <utility>
 
 #include "sunchase/geo/latlon.h"
 #include "sunchase/geo/sunpos.h"
@@ -17,10 +18,10 @@ inline geo::LocalProjection montreal_projection() {
 }
 
 /// Adds a node at local planar coordinates through `proj`.
-inline roadnet::NodeId add_node_at(roadnet::RoadGraph& graph,
+inline roadnet::NodeId add_node_at(roadnet::GraphBuilder& builder,
                                    const geo::LocalProjection& proj,
                                    double x_m, double y_m) {
-  return graph.add_node(proj.to_geo(geo::Vec2{x_m, y_m}));
+  return builder.add_node(proj.to_geo(geo::Vec2{x_m, y_m}));
 }
 
 /// A 2x2 "block" graph:
@@ -32,17 +33,20 @@ inline roadnet::NodeId add_node_at(roadnet::RoadGraph& graph,
 struct SquareGraph {
   roadnet::RoadGraph graph;
   geo::LocalProjection proj = montreal_projection();
+  roadnet::NodeId island = 0;  ///< set only when requested at construction
 
-  SquareGraph() {
-    add_node_at(graph, proj, 0, 0);      // 0
-    add_node_at(graph, proj, 100, 0);    // 1
-    add_node_at(graph, proj, 0, 100);    // 2
-    add_node_at(graph, proj, 100, 100);  // 3
-    graph.add_two_way(0, 1);
-    graph.add_two_way(0, 2);
-    graph.add_two_way(1, 3);
-    graph.add_two_way(2, 3);
-    graph.finalize();
+  explicit SquareGraph(bool with_island = false) {
+    roadnet::GraphBuilder builder;
+    add_node_at(builder, proj, 0, 0);      // 0
+    add_node_at(builder, proj, 100, 0);    // 1
+    add_node_at(builder, proj, 0, 100);    // 2
+    add_node_at(builder, proj, 100, 100);  // 3
+    builder.add_two_way(0, 1);
+    builder.add_two_way(0, 2);
+    builder.add_two_way(1, 3);
+    builder.add_two_way(2, 3);
+    if (with_island) island = builder.add_node({45.55, -73.55});
+    graph = std::move(builder).build();
   }
 };
 

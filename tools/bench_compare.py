@@ -89,6 +89,20 @@ def main():
         f"(tolerance {args.tolerance:.0%})"
     )
 
+    # Shared-cache memory and snapshot identity, tracked informationally
+    # (never gating): one SlotCostCache per (world version, vehicle), so
+    # the bytes trend catches an accidental per-worker duplication while
+    # the version confirms which snapshot priced the run. Old reports
+    # without the fields stay comparable.
+    for label, report in (("baseline", baseline), ("current", current)):
+        version = report.get("world_version")
+        cache_bytes = report.get("slotcache_bytes")
+        if version is not None or cache_bytes is not None:
+            kib = f"{cache_bytes / 1024.0:.1f} KiB" \
+                if cache_bytes is not None else "n/a"
+            print(f"{label}: world v{version if version is not None else '?'}"
+                  f", shared slot cache {kib}")
+
     if args.update:
         shutil.copyfile(args.current, args.baseline)
         print(f"updated {args.baseline} from {args.current}")
