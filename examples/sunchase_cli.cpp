@@ -27,6 +27,17 @@
 //     (search + route selection) and prints one result row per query
 //     plus batch throughput and per-query latency percentiles.
 //
+//   sunchase_cli serve [--port N] [--host ADDR] [--http-workers N]
+//       [--queue-capacity N] [--deadline-s F] [--read-timeout-s F]
+//       [--port-file FILE] [--access-log FILE] [--test-hooks]
+//       [world options]
+//     embeds the engine behind an HTTP/1.1 server (POST /plan, POST
+//     /batch, GET /explain/{id}, GET /metrics, GET /healthz, POST
+//     /world/publish) over a WorldStore, serving the generated city.
+//     --port 0 binds an ephemeral port; --port-file writes the bound
+//     port for scripting. SIGINT/SIGTERM drain gracefully: in-flight
+//     and queued requests finish before exit.
+//
 //   sunchase_cli explain [--graph FILE] [--scene FILE]
 //       [--from-node N] [--to-node N] [--time HH:MM] [--ev lv|tesla]
 //       [--panel W] [--time-budget F] [--ledger-out FILE]
@@ -43,6 +54,8 @@
 //       --metrics-out m.json --trace-out t.json --query-log q.jsonl
 //   sunchase_cli explain --from-node 0 --to-node 63 --time 09:30
 //       --ledger-out ledger.json --geojson explain.geojson
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -59,7 +72,9 @@
 #include "sunchase/obs/query_log.h"
 #include "sunchase/obs/trace.h"
 #include "sunchase/core/planner.h"
+#include "sunchase/core/world_store.h"
 #include "sunchase/exporter/geojson.h"
+#include "sunchase/serve/server.h"
 #include "sunchase/roadnet/citygen.h"
 #include "sunchase/roadnet/io.h"
 #include "sunchase/roadnet/traffic.h"
@@ -97,6 +112,17 @@ struct CliOptions {
   bool batch = false;
   std::string queries_path;
   std::size_t workers = 0;  ///< 0: one per hardware thread
+  // serve mode
+  bool serve = false;
+  std::string host = "127.0.0.1";
+  int port = 8080;  ///< 0: ephemeral (read it back via --port-file)
+  std::size_t http_workers = 4;
+  std::size_t queue_capacity = 64;
+  double deadline_s = 10.0;
+  double read_timeout_s = 5.0;
+  std::string port_file;
+  std::string access_log;
+  bool test_hooks = false;
   // explain mode
   bool explain = false;
   std::string graph_path = "data/demo_downtown.graph";
@@ -137,6 +163,12 @@ int usage(const char* argv0) {
                "[world options as above]\n"
                "         query file: one \"FROM_R,FROM_C TO_R,TO_C HH:MM\" "
                "per line, '#' comments\n"
+               "       %s serve [--port N] [--host ADDR] "
+               "[--http-workers N] [--queue-capacity N]\n"
+               "         [--deadline-s F] [--read-timeout-s F] "
+               "[--port-file FILE]\n"
+               "         [--access-log FILE] [--test-hooks] "
+               "[world options as above]\n"
                "       %s explain [--graph FILE] [--scene FILE] "
                "[--from-node N] [--to-node N]\n"
                "         [--time HH:MM] [--ev lv|tesla] [--panel W] "
@@ -147,7 +179,7 @@ int usage(const char* argv0) {
                "[--trace-out FILE]\n"
                "         [--log-level debug|info|warning|error|off]\n"
                "         [--query-log FILE] [--slow-query-ms N]\n",
-               argv0, argv0, argv0);
+               argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -255,6 +287,63 @@ int run_batch(const CliOptions& opt, core::PricingMode pricing,
                 static_cast<unsigned long long>(query_log->slow_count()),
                 opt.query_log_path.c_str());
   return batch.stats.failed == 0 ? 0 : 3;
+}
+
+/// The running server, for the signal handlers. request_stop() is
+/// async-signal-safe (one atomic store), so the handler body is legal.
+std::atomic<serve::HttpServer*> g_server{nullptr};
+
+extern "C" void handle_stop_signal(int) {
+  if (serve::HttpServer* server = g_server.load()) server->request_stop();
+}
+
+/// serve mode: WorldStore + RouteService + HttpServer over the
+/// generated city, blocking until SIGINT/SIGTERM drains the server.
+int run_serve(const CliOptions& opt, core::PricingMode pricing,
+              core::WorldPtr world) {
+  core::WorldStore store(std::move(world));
+  const std::unique_ptr<obs::QueryLog> query_log = open_query_log(opt);
+
+  serve::RouteServiceOptions service_options;
+  service_options.mlc.max_time_factor = opt.time_budget;
+  service_options.mlc.pricing = pricing;
+  service_options.query_log = query_log.get();
+  serve::RouteService service(store, service_options);
+
+  serve::HttpServerOptions server_options;
+  server_options.host = opt.host;
+  server_options.port = static_cast<std::uint16_t>(opt.port);
+  server_options.workers = opt.http_workers;
+  server_options.queue_capacity = opt.queue_capacity;
+  server_options.deadline_seconds = opt.deadline_s;
+  server_options.read_timeout_seconds = opt.read_timeout_s;
+  server_options.access_log_path = opt.access_log;
+  server_options.test_hooks = opt.test_hooks;
+  serve::HttpServer server(service, server_options);
+  server.start();
+
+  if (!opt.port_file.empty()) {
+    std::ofstream out(opt.port_file);
+    if (!out) throw IoError("cannot write port file " + opt.port_file);
+    out << server.port() << '\n';
+  }
+  std::printf("serving %dx%d city (world v%llu, %s pricing) on %s:%u — "
+              "SIGTERM drains\n",
+              opt.rows, opt.cols,
+              static_cast<unsigned long long>(store.version()),
+              core::pricing_name(pricing), opt.host.c_str(),
+              static_cast<unsigned>(server.port()));
+  std::fflush(stdout);
+
+  g_server.store(&server);
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+  server.join();
+  g_server.store(nullptr);
+
+  std::printf("drained: %llu queries answered\n",
+              static_cast<unsigned long long>(service.ledger().recorded()));
+  return 0;
 }
 
 /// explain mode: plan on a graph/scene pair loaded from disk, then walk
@@ -365,6 +454,9 @@ int main(int argc, char** argv) {
   } else if (argc > 1 && std::strcmp(argv[1], "explain") == 0) {
     opt.explain = true;
     first = 2;
+  } else if (argc > 1 && std::strcmp(argv[1], "serve") == 0) {
+    opt.serve = true;
+    first = 2;
   }
   for (int i = first; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -424,14 +516,36 @@ int main(int argc, char** argv) {
       opt.ledger_out = v;
     else if (arg == "--ledger-csv" && (v = next()))
       opt.ledger_csv = v;
+    else if (arg == "--host" && (v = next()))
+      opt.host = v;
+    else if (arg == "--port" && (v = next()))
+      opt.port = std::atoi(v);
+    else if (arg == "--http-workers" && (v = next()))
+      opt.http_workers =
+          static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+    else if (arg == "--queue-capacity" && (v = next()))
+      opt.queue_capacity =
+          static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+    else if (arg == "--deadline-s" && (v = next()))
+      opt.deadline_s = std::atof(v);
+    else if (arg == "--read-timeout-s" && (v = next()))
+      opt.read_timeout_s = std::atof(v);
+    else if (arg == "--port-file" && (v = next()))
+      opt.port_file = v;
+    else if (arg == "--access-log" && (v = next()))
+      opt.access_log = v;
+    else if (arg == "--test-hooks")
+      opt.test_hooks = true;
     else
       return usage(argv[0]);
   }
   if (opt.batch && opt.queries_path.empty()) return usage(argv[0]);
 
-  // Batch defaults to slot-quantized pricing (fleet queries share the
-  // per-slot cost cache); single plan and explain default to exact.
-  if (opt.pricing.empty()) opt.pricing = opt.batch ? "slot" : "exact";
+  // Batch and serve default to slot-quantized pricing (fleet queries
+  // share the per-slot cost cache); single plan and explain default to
+  // exact.
+  if (opt.pricing.empty())
+    opt.pricing = (opt.batch || opt.serve) ? "slot" : "exact";
   core::PricingMode pricing = core::PricingMode::Exact;
   if (!parse_pricing(opt.pricing, pricing)) return usage(argv[0]);
 
@@ -457,6 +571,14 @@ int main(int argc, char** argv) {
     const shadow::Scene scene =
         generate_scene(city.graph(), projection, shadow::SceneGenOptions{});
     const core::WorldPtr world = make_world(city.graph(), scene, opt);
+
+    if (opt.serve) {
+      const int rc = run_serve(opt, pricing, world);
+      if (!opt.metrics_out.empty())
+        write_metrics_report(opt.metrics_out, "serve");
+      if (!opt.trace_out.empty()) write_trace(opt.trace_out);
+      return rc;
+    }
 
     if (opt.batch) {
       const int rc = run_batch(opt, pricing, world, city);

@@ -38,6 +38,13 @@ struct BatchQueryResult {
   /// run_selection (what a route server would actually return).
   std::optional<SelectionResult> selection;
   std::string error;
+  /// The exact snapshot this query was priced against — the pin the
+  /// worker took when it picked the query up. In live (WorldStore)
+  /// mode neighbouring queries of one batch may carry different
+  /// versions when a publish landed mid-batch; consumers that replay
+  /// or explain a result (the route server's /explain ledger) must use
+  /// this pointer, not the store's current world. Null on error.
+  WorldPtr world;
 
   [[nodiscard]] bool ok() const noexcept { return result.has_value(); }
 };

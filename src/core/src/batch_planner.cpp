@@ -71,6 +71,7 @@ struct BatchMetrics {
 struct QueryOutcome {
   MlcResult result;
   std::optional<SelectionResult> selection;
+  WorldPtr world;  ///< the snapshot the worker pinned for this query
 };
 
 }  // namespace
@@ -131,6 +132,7 @@ BatchResult BatchPlanner::plan_all(
         const WorldPtr world = store_ != nullptr ? store_->current() : pinned_;
         const MultiLabelCorrecting solver(world, options_.mlc);
         QueryOutcome outcome;
+        outcome.world = world;
         outcome.result = solver.search(query.origin, query.destination,
                                        query.departure);
         if (options_.run_selection)
@@ -194,6 +196,7 @@ BatchResult BatchPlanner::plan_all(
         QueryOutcome outcome = futures[i].get();
         result.queries[i].result = std::move(outcome.result);
         result.queries[i].selection = std::move(outcome.selection);
+        result.queries[i].world = std::move(outcome.world);
       } catch (const std::exception& e) {
         result.queries[i].error = e.what();
         if (log != nullptr) {

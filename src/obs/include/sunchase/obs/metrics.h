@@ -36,6 +36,13 @@ class Counter {
 class Gauge {
  public:
   void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  /// Relative adjustment for level-style gauges tracked from many
+  /// threads (in-flight requests, queue depth): one relaxed atomic
+  /// fetch_add, so concurrent +1/-1 pairs never lose updates the way
+  /// racing value()+set() would.
+  void add(double delta) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
   [[nodiscard]] double value() const noexcept {
     return value_.load(std::memory_order_relaxed);
   }

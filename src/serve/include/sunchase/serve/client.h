@@ -1,0 +1,62 @@
+// A small blocking HTTP/1.1 client for the load generator, the CI
+// smoke test, and the server's own tests. One instance drives one
+// keep-alive connection; it reconnects transparently when the server
+// closed it (drain, Connection: close). Not a general-purpose client —
+// IPv4, no TLS, no redirects: exactly what talking to the route server
+// on localhost needs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "sunchase/serve/http.h"
+
+namespace sunchase::serve {
+
+class HttpClient {
+ public:
+  /// Connects lazily on the first request. `timeout_seconds` bounds
+  /// each connect and each whole-response read.
+  HttpClient(std::string host, std::uint16_t port,
+             double timeout_seconds = 10.0);
+  ~HttpClient();
+
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+
+  /// One round trip. Throws IoError when the server cannot be reached
+  /// or the response is malformed; HTTP error statuses are returned,
+  /// not thrown.
+  HttpResponse request(
+      std::string_view method, std::string_view target,
+      std::string_view body = {},
+      const std::vector<std::pair<std::string, std::string>>& headers = {});
+
+  HttpResponse get(std::string_view target) { return request("GET", target); }
+  HttpResponse post(std::string_view target, std::string_view body) {
+    return request("POST", target, body);
+  }
+
+  /// Low-level halves for wire-behavior tests (partial sends, raw
+  /// malformed bytes). send_bytes connects if needed and writes
+  /// exactly `bytes`; read_response blocks for one full response.
+  void send_bytes(std::string_view bytes);
+  HttpResponse read_response();
+
+  /// Drops the connection; the next request reconnects.
+  void close() noexcept;
+  [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+
+ private:
+  void connect();
+
+  std::string host_;
+  std::uint16_t port_;
+  double timeout_seconds_;
+  int fd_ = -1;
+};
+
+}  // namespace sunchase::serve

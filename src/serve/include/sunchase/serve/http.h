@@ -1,0 +1,122 @@
+// HTTP/1.1 wire layer for the route server: message types plus an
+// incremental parser that is fed raw bytes exactly as recv() produced
+// them — a request line split across three reads parses the same as one
+// arriving whole. The parser never throws on bad input; it reports the
+// HTTP status the peer should see (400/413/414/431/501/505), because a
+// server must answer malformed bytes, not unwind. Socket code lives in
+// server.h/client.h; everything here is pure and unit-testable.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace sunchase::serve {
+
+/// Parser guard rails; oversized input maps to 413/414/431, never to
+/// unbounded buffering.
+struct HttpLimits {
+  std::size_t max_start_line = 8 * 1024;    ///< request/status line bytes
+  std::size_t max_header_bytes = 16 * 1024; ///< whole header block
+  std::size_t max_body_bytes = 1 << 20;     ///< Content-Length ceiling
+};
+
+/// One parsed HTTP/1.1 message. Requests fill method/target, responses
+/// fill status/reason; both fill version, headers (names lowercased,
+/// values trimmed) and body.
+struct HttpMessage {
+  std::string method;
+  std::string target;
+  int status = 0;
+  std::string reason;
+  std::string version;
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// First header named `name` (ASCII case-insensitive), or nullptr.
+  [[nodiscard]] const std::string* header(std::string_view name) const;
+
+  /// HTTP/1.1 keep-alive semantics: persistent unless the message says
+  /// "Connection: close" (HTTP/1.0 is persistent only on an explicit
+  /// keep-alive).
+  [[nodiscard]] bool keep_alive() const;
+};
+
+using HttpRequest = HttpMessage;
+
+/// The canonical reason phrase for a status code ("Unknown" otherwise).
+[[nodiscard]] const char* status_reason(int status);
+
+/// An outgoing response; to_bytes() serializes status line + headers +
+/// Content-Length + Connection and the body in one buffer.
+struct HttpResponse {
+  int status = 200;
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  void set_header(std::string name, std::string value);
+  [[nodiscard]] std::string to_bytes(bool close_connection) const;
+};
+
+/// Incremental push parser. Feed bytes as they arrive; once state() is
+/// Complete, message() holds the parsed request/response and any
+/// pipelined leftover bytes stay buffered — reset() starts the next
+/// message on them. Once Error, error_status()/error_reason() say what
+/// to answer; the connection should then close.
+class HttpParser {
+ public:
+  enum class Kind { Request, Response };
+  enum class State { NeedMore, Complete, Error };
+
+  explicit HttpParser(Kind kind = Kind::Request, HttpLimits limits = {});
+
+  /// Appends bytes and advances the state machine. Calls after reaching
+  /// Complete or Error buffer the bytes but change nothing until
+  /// reset().
+  State feed(std::string_view bytes);
+
+  [[nodiscard]] State state() const noexcept { return state_; }
+  /// Valid only when state() == Complete.
+  [[nodiscard]] const HttpMessage& message() const noexcept {
+    return message_;
+  }
+  /// The HTTP status to answer with; valid only when state() == Error.
+  [[nodiscard]] int error_status() const noexcept { return error_status_; }
+  [[nodiscard]] const std::string& error_reason() const noexcept {
+    return error_reason_;
+  }
+
+  /// True while a message is partially buffered (bytes received but not
+  /// Complete) — the idle-vs-mid-request distinction a read-timeout
+  /// needs to answer 408 rather than silently closing.
+  [[nodiscard]] bool has_partial() const noexcept {
+    return state_ == State::NeedMore && !buffer_.empty();
+  }
+
+  /// Discards the completed message, keeps unconsumed (pipelined)
+  /// bytes, and immediately attempts to parse them — check state()
+  /// after reset(); a fully buffered second request completes without
+  /// another feed().
+  void reset();
+
+ private:
+  State parse();
+  State fail(int status, std::string reason);
+  bool parse_start_line(std::string_view line);
+  bool parse_header_block(std::string_view block);
+
+  Kind kind_;
+  HttpLimits limits_;
+  std::string buffer_;
+  std::size_t body_begin_ = 0;    ///< offset of the body in buffer_
+  std::size_t body_expected_ = 0; ///< Content-Length
+  bool headers_done_ = false;
+  HttpMessage message_;
+  State state_ = State::NeedMore;
+  int error_status_ = 0;
+  std::string error_reason_;
+};
+
+}  // namespace sunchase::serve

@@ -1,0 +1,140 @@
+#include "sunchase/serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "sunchase/common/error.h"
+
+namespace sunchase::serve {
+
+HttpClient::HttpClient(std::string host, std::uint16_t port,
+                       double timeout_seconds)
+    : host_(std::move(host)), port_(port), timeout_seconds_(timeout_seconds) {}
+
+HttpClient::~HttpClient() { close(); }
+
+void HttpClient::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void HttpClient::connect() {
+  if (fd_ >= 0) return;
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port_);
+  if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1)
+    throw IoError("HttpClient: bad host '" + host_ + "'");
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0)
+    throw IoError(std::string("HttpClient: socket: ") + std::strerror(errno));
+
+  timeval tv{};
+  const long whole = static_cast<long>(timeout_seconds_);
+  tv.tv_sec = whole;
+  tv.tv_usec =
+      static_cast<long>((timeout_seconds_ - static_cast<double>(whole)) * 1e6);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+  const int enable = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof enable);
+
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw IoError("HttpClient: connect " + host_ + ":" +
+                  std::to_string(port_) + ": " + std::strerror(err));
+  }
+  fd_ = fd;
+}
+
+void HttpClient::send_bytes(std::string_view bytes) {
+  connect();
+  while (!bytes.empty()) {
+    const ssize_t n = ::send(fd_, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      close();
+      throw IoError(std::string("HttpClient: send: ") + std::strerror(err));
+    }
+    bytes.remove_prefix(static_cast<std::size_t>(n));
+  }
+}
+
+HttpResponse HttpClient::read_response() {
+  HttpParser parser(HttpParser::Kind::Response);
+  char buf[16 * 1024];
+  while (parser.state() == HttpParser::State::NeedMore) {
+    const ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
+    if (n > 0) {
+      parser.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+      continue;
+    }
+    const int err = n == 0 ? 0 : errno;
+    if (err == EINTR) continue;
+    close();
+    if (n == 0)
+      throw IoError("HttpClient: connection closed before a full response");
+    throw IoError(std::string("HttpClient: recv: ") + std::strerror(err));
+  }
+  if (parser.state() == HttpParser::State::Error) {
+    close();
+    throw IoError("HttpClient: malformed response: " + parser.error_reason());
+  }
+
+  const HttpMessage& message = parser.message();
+  HttpResponse response;
+  response.status = message.status;
+  response.headers = message.headers;
+  response.body = message.body;
+  if (!message.keep_alive()) close();
+  return response;
+}
+
+HttpResponse HttpClient::request(
+    std::string_view method, std::string_view target, std::string_view body,
+    const std::vector<std::pair<std::string, std::string>>& headers) {
+  std::string wire;
+  wire.reserve(128 + body.size());
+  wire += method;
+  wire += ' ';
+  wire += target;
+  wire += " HTTP/1.1\r\nhost: ";
+  wire += host_;
+  wire += "\r\n";
+  for (const auto& [name, value] : headers) {
+    wire += name;
+    wire += ": ";
+    wire += value;
+    wire += "\r\n";
+  }
+  wire += "content-length: ";
+  wire += std::to_string(body.size());
+  wire += "\r\n\r\n";
+  wire += body;
+
+  // The server may have closed the keep-alive connection since the last
+  // round trip (drain, timeout); one reconnect-and-retry covers it.
+  const bool was_connected = connected();
+  send_bytes(wire);
+  try {
+    return read_response();
+  } catch (const IoError&) {
+    if (!was_connected) throw;
+    send_bytes(wire);
+    return read_response();
+  }
+}
+
+}  // namespace sunchase::serve

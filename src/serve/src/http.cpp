@@ -1,0 +1,297 @@
+#include "sunchase/serve/http.h"
+
+#include <algorithm>
+#include <cctype>
+#include <utility>
+
+namespace sunchase::serve {
+
+namespace {
+
+bool iequals(std::string_view a, std::string_view b) {
+  return a.size() == b.size() &&
+         std::equal(a.begin(), a.end(), b.begin(), [](char x, char y) {
+           return std::tolower(static_cast<unsigned char>(x)) ==
+                  std::tolower(static_cast<unsigned char>(y));
+         });
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(
+      std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t'))
+    s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t'))
+    s.remove_suffix(1);
+  return s;
+}
+
+/// RFC 9110 token characters — what a method may contain.
+bool is_token(std::string_view s) {
+  if (s.empty()) return false;
+  for (const char c : s) {
+    const auto u = static_cast<unsigned char>(c);
+    const bool ok = std::isalnum(u) != 0 || c == '!' || c == '#' ||
+                    c == '$' || c == '%' || c == '&' || c == '\'' ||
+                    c == '*' || c == '+' || c == '-' || c == '.' ||
+                    c == '^' || c == '_' || c == '`' || c == '|' ||
+                    c == '~';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+/// Strict non-negative decimal; false on anything else (so a forged
+/// Content-Length like "12abc" or "-1" is rejected, not truncated).
+bool parse_size(std::string_view s, std::size_t& out) {
+  if (s.empty() || s.size() > 18) return false;
+  std::size_t value = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<std::size_t>(c - '0');
+  }
+  out = value;
+  return true;
+}
+
+}  // namespace
+
+const std::string* HttpMessage::header(std::string_view name) const {
+  for (const auto& [key, value] : headers)
+    if (iequals(key, name)) return &value;
+  return nullptr;
+}
+
+bool HttpMessage::keep_alive() const {
+  const std::string* connection = header("connection");
+  if (version == "HTTP/1.0")
+    return connection != nullptr && iequals(*connection, "keep-alive");
+  return connection == nullptr || !iequals(*connection, "close");
+}
+
+const char* status_reason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 413: return "Content Too Large";
+    case 414: return "URI Too Long";
+    case 422: return "Unprocessable Content";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
+    case 505: return "HTTP Version Not Supported";
+    default:  return "Unknown";
+  }
+}
+
+void HttpResponse::set_header(std::string name, std::string value) {
+  for (auto& [key, existing] : headers)
+    if (iequals(key, name)) {
+      existing = std::move(value);
+      return;
+    }
+  headers.emplace_back(std::move(name), std::move(value));
+}
+
+std::string HttpResponse::to_bytes(bool close_connection) const {
+  std::string out;
+  out.reserve(128 + body.size());
+  out += "HTTP/1.1 ";
+  out += std::to_string(status);
+  out += ' ';
+  out += status_reason(status);
+  out += "\r\n";
+  for (const auto& [name, value] : headers) {
+    out += name;
+    out += ": ";
+    out += value;
+    out += "\r\n";
+  }
+  out += "content-length: ";
+  out += std::to_string(body.size());
+  out += "\r\nconnection: ";
+  out += close_connection ? "close" : "keep-alive";
+  out += "\r\n\r\n";
+  out += body;
+  return out;
+}
+
+HttpParser::HttpParser(Kind kind, HttpLimits limits)
+    : kind_(kind), limits_(limits) {}
+
+HttpParser::State HttpParser::feed(std::string_view bytes) {
+  buffer_.append(bytes.data(), bytes.size());
+  if (state_ != State::NeedMore) return state_;
+  return state_ = parse();
+}
+
+void HttpParser::reset() {
+  buffer_.erase(0, body_begin_ + body_expected_);
+  body_begin_ = 0;
+  body_expected_ = 0;
+  headers_done_ = false;
+  message_ = HttpMessage{};
+  error_status_ = 0;
+  error_reason_.clear();
+  state_ = State::NeedMore;
+  // A pipelined next message may already be fully buffered.
+  state_ = parse();
+}
+
+HttpParser::State HttpParser::fail(int status, std::string reason) {
+  error_status_ = status;
+  error_reason_ = std::move(reason);
+  return State::Error;
+}
+
+HttpParser::State HttpParser::parse() {
+  if (!headers_done_) {
+    // The header block ends at the first blank line; accept CRLF or
+    // bare-LF endings (lines are split on '\n' with '\r' stripped).
+    std::size_t end = buffer_.find("\r\n\r\n");
+    std::size_t delim = 4;
+    const std::size_t lf = buffer_.find("\n\n");
+    if (lf != std::string::npos && (end == std::string::npos || lf < end)) {
+      end = lf;
+      delim = 2;
+    }
+    if (end == std::string::npos) {
+      if (buffer_.size() > limits_.max_start_line + limits_.max_header_bytes)
+        return fail(431, "header block exceeds " +
+                             std::to_string(limits_.max_header_bytes) +
+                             " bytes");
+      return State::NeedMore;
+    }
+    const std::string_view block(buffer_.data(), end);
+    if (!parse_header_block(block)) return State::Error;
+    headers_done_ = true;
+    body_begin_ = end + delim;
+  }
+
+  if (buffer_.size() - body_begin_ < body_expected_) return State::NeedMore;
+  message_.body = buffer_.substr(body_begin_, body_expected_);
+  return State::Complete;
+}
+
+bool HttpParser::parse_start_line(std::string_view line) {
+  if (line.size() > limits_.max_start_line) {
+    fail(kind_ == Kind::Request ? 414 : 400, "start line too long");
+    return false;
+  }
+  const std::size_t sp1 = line.find(' ');
+  if (sp1 == std::string_view::npos) {
+    fail(400, "malformed start line");
+    return false;
+  }
+  const std::size_t sp2 = line.find(' ', sp1 + 1);
+  if (kind_ == Kind::Request) {
+    if (sp2 == std::string_view::npos || sp2 == sp1 + 1) {
+      fail(400, "malformed request line");
+      return false;
+    }
+    message_.method = std::string(line.substr(0, sp1));
+    message_.target = std::string(line.substr(sp1 + 1, sp2 - sp1 - 1));
+    message_.version = std::string(line.substr(sp2 + 1));
+    if (!is_token(message_.method) || message_.target.empty() ||
+        message_.target.find(' ') != std::string::npos) {
+      fail(400, "malformed request line");
+      return false;
+    }
+    if (message_.version != "HTTP/1.1" && message_.version != "HTTP/1.0") {
+      fail(505, "unsupported protocol version '" + message_.version + "'");
+      return false;
+    }
+  } else {
+    message_.version = std::string(line.substr(0, sp1));
+    const std::string_view code =
+        sp2 == std::string_view::npos ? line.substr(sp1 + 1)
+                                      : line.substr(sp1 + 1, sp2 - sp1 - 1);
+    if (code.size() != 3 || code.find_first_not_of("0123456789") !=
+                                std::string_view::npos) {
+      fail(400, "malformed status line");
+      return false;
+    }
+    message_.status = (code[0] - '0') * 100 + (code[1] - '0') * 10 +
+                      (code[2] - '0');
+    if (sp2 != std::string_view::npos)
+      message_.reason = std::string(line.substr(sp2 + 1));
+  }
+  return true;
+}
+
+bool HttpParser::parse_header_block(std::string_view block) {
+  bool first = true;
+  bool saw_content_length = false;
+  while (!block.empty()) {
+    std::size_t eol = block.find('\n');
+    std::string_view line =
+        eol == std::string_view::npos ? block : block.substr(0, eol);
+    block = eol == std::string_view::npos ? std::string_view{}
+                                          : block.substr(eol + 1);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (first) {
+      if (!parse_start_line(line)) return false;
+      first = false;
+      continue;
+    }
+    if (line.empty()) continue;
+    if (line.front() == ' ' || line.front() == '\t') {
+      fail(400, "obsolete header line folding");
+      return false;
+    }
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      fail(400, "malformed header line");
+      return false;
+    }
+    std::string name = to_lower(trim(line.substr(0, colon)));
+    if (!is_token(name)) {
+      fail(400, "malformed header name");
+      return false;
+    }
+    const std::string_view value = trim(line.substr(colon + 1));
+
+    if (name == "transfer-encoding") {
+      fail(501, "transfer-encoding is not supported (use content-length)");
+      return false;
+    }
+    if (name == "content-length") {
+      std::size_t length = 0;
+      if (!parse_size(value, length)) {
+        fail(400, "malformed content-length");
+        return false;
+      }
+      if (saw_content_length && length != body_expected_) {
+        fail(400, "conflicting content-length headers");
+        return false;
+      }
+      if (length > limits_.max_body_bytes) {
+        fail(413, "body of " + std::to_string(length) + " bytes exceeds " +
+                      std::to_string(limits_.max_body_bytes));
+        return false;
+      }
+      saw_content_length = true;
+      body_expected_ = length;
+    }
+    message_.headers.emplace_back(std::move(name), std::string(value));
+  }
+  if (first) {
+    fail(400, "empty message");
+    return false;
+  }
+  return true;
+}
+
+}  // namespace sunchase::serve

@@ -1,0 +1,37 @@
+#include "sunchase/serve/query_ledger.h"
+
+#include <utility>
+
+#include "sunchase/common/error.h"
+
+namespace sunchase::serve {
+
+QueryLedger::QueryLedger(std::size_t capacity) : capacity_(capacity) {
+  if (capacity_ == 0)
+    throw InvalidArgument("QueryLedger: capacity must be positive");
+  ring_.resize(capacity_);
+}
+
+std::uint64_t QueryLedger::record(LedgerEntry entry) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t id = next_id_++;
+  entry.query_id = id;
+  ring_[static_cast<std::size_t>((id - 1) % capacity_)] = std::move(entry);
+  return id;
+}
+
+std::optional<LedgerEntry> QueryLedger::find(std::uint64_t id) const {
+  if (id == 0) return std::nullopt;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const LedgerEntry& slot = ring_[static_cast<std::size_t>((id - 1) %
+                                                           capacity_)];
+  if (slot.query_id != id) return std::nullopt;
+  return slot;
+}
+
+std::uint64_t QueryLedger::recorded() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return next_id_ - 1;
+}
+
+}  // namespace sunchase::serve

@@ -30,6 +30,26 @@ TEST(ObsGauge, LastWriteWins) {
   EXPECT_EQ(g.value(), -1.25);
 }
 
+TEST(ObsGauge, ConcurrentAddDeltasNeverLoseUpdates) {
+  // add() must be a single fetch_add: racing +1/-1 pairs (the serve
+  // in-flight gauge pattern) end balanced at exactly zero.
+  Gauge g;
+  constexpr int kThreads = 8;
+  constexpr int kPairs = 2000;
+  std::vector<std::future<void>> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.push_back(std::async(std::launch::async, [&g] {
+      for (int i = 0; i < kPairs; ++i) {
+        g.add(1.0);
+        g.add(-1.0);
+      }
+    }));
+  }
+  for (auto& w : workers) w.get();
+  EXPECT_EQ(g.value(), 0.0);
+}
+
 TEST(ObsHistogram, RejectsBadBoundaries) {
   EXPECT_THROW(Histogram{std::vector<double>{}}, InvalidArgument);
   EXPECT_THROW((Histogram{std::vector<double>{1.0, 1.0}}), InvalidArgument);

@@ -1,0 +1,207 @@
+#include "sunchase/serve/http.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace sunchase::serve {
+namespace {
+
+HttpParser parse_all(std::string_view bytes, HttpLimits limits = {}) {
+  HttpParser parser(HttpParser::Kind::Request, limits);
+  parser.feed(bytes);
+  return parser;
+}
+
+TEST(HttpParser, ParsesSimpleRequestInOneFeed) {
+  HttpParser parser = parse_all(
+      "POST /plan HTTP/1.1\r\nhost: x\r\ncontent-length: 4\r\n\r\nbody");
+  ASSERT_EQ(parser.state(), HttpParser::State::Complete);
+  const HttpMessage& m = parser.message();
+  EXPECT_EQ(m.method, "POST");
+  EXPECT_EQ(m.target, "/plan");
+  EXPECT_EQ(m.version, "HTTP/1.1");
+  EXPECT_EQ(m.body, "body");
+  ASSERT_NE(m.header("Host"), nullptr);
+  EXPECT_EQ(*m.header("HOST"), "x");
+}
+
+TEST(HttpParser, PartialReadsAcrossRecvBoundaries) {
+  // The wire bytes arrive one at a time — every split point a recv()
+  // could produce. The parse must come out identical to a single feed.
+  const std::string wire =
+      "POST /batch HTTP/1.1\r\ncontent-length: 11\r\n\r\nhello world";
+  HttpParser parser;
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    ASSERT_EQ(parser.state(), HttpParser::State::NeedMore)
+        << "completed early at byte " << i;
+    parser.feed(std::string_view(&wire[i], 1));
+  }
+  ASSERT_EQ(parser.state(), HttpParser::State::Complete);
+  EXPECT_EQ(parser.message().target, "/batch");
+  EXPECT_EQ(parser.message().body, "hello world");
+}
+
+TEST(HttpParser, TruncatedBodyStaysIncompleteAndReportsPartial) {
+  HttpParser parser = parse_all(
+      "POST /plan HTTP/1.1\r\ncontent-length: 100\r\n\r\nonly a bit");
+  EXPECT_EQ(parser.state(), HttpParser::State::NeedMore);
+  EXPECT_TRUE(parser.has_partial());
+}
+
+TEST(HttpParser, FreshParserHasNoPartial) {
+  const HttpParser parser;
+  EXPECT_FALSE(parser.has_partial());
+}
+
+TEST(HttpParser, PipelinedRequestsCompleteAcrossReset) {
+  HttpParser parser = parse_all(
+      "GET /healthz HTTP/1.1\r\n\r\nGET /metrics HTTP/1.1\r\n\r\n");
+  ASSERT_EQ(parser.state(), HttpParser::State::Complete);
+  EXPECT_EQ(parser.message().target, "/healthz");
+  parser.reset();
+  // The second request was already buffered; reset() re-parses it.
+  ASSERT_EQ(parser.state(), HttpParser::State::Complete);
+  EXPECT_EQ(parser.message().target, "/metrics");
+  parser.reset();
+  EXPECT_EQ(parser.state(), HttpParser::State::NeedMore);
+  EXPECT_FALSE(parser.has_partial());
+}
+
+TEST(HttpParser, AcceptsBareLfLineEndings) {
+  HttpParser parser =
+      parse_all("GET /healthz HTTP/1.1\ncontent-length: 2\n\nok");
+  ASSERT_EQ(parser.state(), HttpParser::State::Complete);
+  EXPECT_EQ(parser.message().body, "ok");
+}
+
+TEST(HttpParser, MalformedRequestLineIs400) {
+  for (const char* wire :
+       {"garbage\r\n\r\n", "GET\r\n\r\n", "GET  HTTP/1.1\r\n\r\n",
+        "\r\n\r\n"}) {
+    HttpParser parser = parse_all(wire);
+    ASSERT_EQ(parser.state(), HttpParser::State::Error) << wire;
+    EXPECT_EQ(parser.error_status(), 400) << wire;
+  }
+}
+
+TEST(HttpParser, UnsupportedVersionIs505) {
+  HttpParser parser = parse_all("GET / HTTP/2.0\r\n\r\n");
+  ASSERT_EQ(parser.state(), HttpParser::State::Error);
+  EXPECT_EQ(parser.error_status(), 505);
+}
+
+TEST(HttpParser, TransferEncodingIs501) {
+  HttpParser parser =
+      parse_all("POST / HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n");
+  ASSERT_EQ(parser.state(), HttpParser::State::Error);
+  EXPECT_EQ(parser.error_status(), 501);
+}
+
+TEST(HttpParser, OversizedBodyIs413) {
+  HttpLimits limits;
+  limits.max_body_bytes = 16;
+  HttpParser parser =
+      parse_all("POST / HTTP/1.1\r\ncontent-length: 17\r\n\r\n", limits);
+  ASSERT_EQ(parser.state(), HttpParser::State::Error);
+  EXPECT_EQ(parser.error_status(), 413);
+}
+
+TEST(HttpParser, MalformedContentLengthIs400) {
+  for (const char* value : {"12abc", "-1", "0x10", " ", "99999999999999999999"}) {
+    HttpParser parser = parse_all(std::string("POST / HTTP/1.1\r\n") +
+                                  "content-length: " + value + "\r\n\r\n");
+    ASSERT_EQ(parser.state(), HttpParser::State::Error) << value;
+    EXPECT_EQ(parser.error_status(), 400) << value;
+  }
+}
+
+TEST(HttpParser, ConflictingContentLengthsAre400) {
+  HttpParser parser = parse_all(
+      "POST / HTTP/1.1\r\ncontent-length: 4\r\ncontent-length: 5\r\n\r\n");
+  ASSERT_EQ(parser.state(), HttpParser::State::Error);
+  EXPECT_EQ(parser.error_status(), 400);
+}
+
+TEST(HttpParser, ObsoleteHeaderFoldingIs400) {
+  HttpParser parser =
+      parse_all("GET / HTTP/1.1\r\nx-a: 1\r\n folded\r\n\r\n");
+  ASSERT_EQ(parser.state(), HttpParser::State::Error);
+  EXPECT_EQ(parser.error_status(), 400);
+}
+
+TEST(HttpParser, OversizedHeaderBlockIs431) {
+  HttpLimits limits;
+  limits.max_start_line = 64;
+  limits.max_header_bytes = 64;
+  HttpParser parser(HttpParser::Kind::Request, limits);
+  // Never terminate the header block; the parser must bail once the
+  // buffered block exceeds the cap instead of buffering forever.
+  const std::string filler = "x-filler: " + std::string(200, 'a') + "\r\n";
+  parser.feed("GET / HTTP/1.1\r\n");
+  parser.feed(filler);
+  ASSERT_EQ(parser.state(), HttpParser::State::Error);
+  EXPECT_EQ(parser.error_status(), 431);
+}
+
+TEST(HttpParser, OverlongRequestLineIs414) {
+  HttpLimits limits;
+  limits.max_start_line = 32;
+  HttpParser parser = parse_all(
+      "GET /" + std::string(64, 'a') + " HTTP/1.1\r\n\r\n", limits);
+  ASSERT_EQ(parser.state(), HttpParser::State::Error);
+  EXPECT_EQ(parser.error_status(), 414);
+}
+
+TEST(HttpParser, ParsesResponses) {
+  HttpParser parser(HttpParser::Kind::Response);
+  parser.feed("HTTP/1.1 429 Too Many Requests\r\ncontent-length: 2\r\n\r\nno");
+  ASSERT_EQ(parser.state(), HttpParser::State::Complete);
+  EXPECT_EQ(parser.message().status, 429);
+  EXPECT_EQ(parser.message().reason, "Too Many Requests");
+  EXPECT_EQ(parser.message().body, "no");
+}
+
+TEST(HttpMessage, KeepAliveSemantics) {
+  HttpMessage m;
+  m.version = "HTTP/1.1";
+  EXPECT_TRUE(m.keep_alive());  // 1.1 default: persistent
+  m.headers.emplace_back("connection", "close");
+  EXPECT_FALSE(m.keep_alive());
+
+  HttpMessage old;
+  old.version = "HTTP/1.0";
+  EXPECT_FALSE(old.keep_alive());  // 1.0 default: close
+  old.headers.emplace_back("connection", "keep-alive");
+  EXPECT_TRUE(old.keep_alive());
+}
+
+TEST(HttpResponse, ToBytesRoundTripsThroughParser) {
+  HttpResponse response;
+  response.status = 200;
+  response.set_header("content-type", "application/json");
+  response.body = "{\"ok\":true}";
+
+  HttpParser parser(HttpParser::Kind::Response);
+  parser.feed(response.to_bytes(/*close_connection=*/false));
+  ASSERT_EQ(parser.state(), HttpParser::State::Complete);
+  EXPECT_EQ(parser.message().status, 200);
+  EXPECT_EQ(parser.message().body, response.body);
+  EXPECT_TRUE(parser.message().keep_alive());
+
+  HttpParser closed(HttpParser::Kind::Response);
+  closed.feed(response.to_bytes(/*close_connection=*/true));
+  ASSERT_EQ(closed.state(), HttpParser::State::Complete);
+  EXPECT_FALSE(closed.message().keep_alive());
+}
+
+TEST(HttpResponse, SetHeaderReplacesExisting) {
+  HttpResponse response;
+  response.set_header("content-type", "text/plain");
+  response.set_header("Content-Type", "application/json");
+  ASSERT_EQ(response.headers.size(), 1u);
+  EXPECT_EQ(response.headers[0].second, "application/json");
+}
+
+}  // namespace
+}  // namespace sunchase::serve

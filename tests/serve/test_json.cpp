@@ -1,0 +1,95 @@
+#include "sunchase/serve/json.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "sunchase/common/error.h"
+
+namespace sunchase::serve {
+namespace {
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(JsonValue::parse("null").is_null());
+  EXPECT_TRUE(JsonValue::parse("true").as_bool());
+  EXPECT_FALSE(JsonValue::parse("false").as_bool());
+  EXPECT_DOUBLE_EQ(JsonValue::parse("-12.5e2").as_number(), -1250.0);
+  EXPECT_DOUBLE_EQ(JsonValue::parse("0").as_number(), 0.0);
+  EXPECT_EQ(JsonValue::parse("\"hi\"").as_string(), "hi");
+  EXPECT_TRUE(JsonValue::parse("  42  ").is_number());
+}
+
+TEST(Json, ObjectPreservesMemberOrder) {
+  const JsonValue doc = JsonValue::parse(R"({"z": 1, "a": 2, "m": 3})");
+  const JsonValue::Object& members = doc.as_object();
+  ASSERT_EQ(members.size(), 3u);
+  EXPECT_EQ(members[0].first, "z");
+  EXPECT_EQ(members[1].first, "a");
+  EXPECT_EQ(members[2].first, "m");
+}
+
+TEST(Json, ParsesNestedStructures) {
+  const JsonValue doc = JsonValue::parse(
+      R"({"queries": [{"origin": 3, "destination": 9}, {"origin": 4}]})");
+  const JsonValue* queries = doc.find("queries");
+  ASSERT_NE(queries, nullptr);
+  ASSERT_EQ(queries->as_array().size(), 2u);
+  EXPECT_DOUBLE_EQ(queries->as_array()[0].number_or("destination", -1), 9.0);
+  EXPECT_DOUBLE_EQ(queries->as_array()[1].number_or("destination", -1), -1.0);
+}
+
+TEST(Json, DecodesEscapesAndSurrogatePairs) {
+  EXPECT_EQ(JsonValue::parse(R"("a\"b\\c\n\t")").as_string(), "a\"b\\c\n\t");
+  EXPECT_EQ(JsonValue::parse(R"("\u00e9")").as_string(), "\xC3\xA9");
+  // U+1F31E (sun with face) as a surrogate pair -> 4-byte UTF-8.
+  EXPECT_EQ(JsonValue::parse(R"("\ud83c\udf1e")").as_string(),
+            "\xF0\x9F\x8C\x9E");
+}
+
+TEST(Json, RejectsMalformedDocuments) {
+  for (const char* text :
+       {"", "{", "[1,]", "{\"a\":}", "{\"a\" 1}", "01", "1.", "+1", "nul",
+        "\"unterminated", "\"bad\\q\"", "\"\\ud83c\"", "{\"a\":1} trailing",
+        "\"ctrl\x01\"", "'single'"}) {
+    EXPECT_THROW((void)JsonValue::parse(text), InvalidArgument) << text;
+  }
+}
+
+TEST(Json, RejectsNestingBeyondDepthLimit) {
+  std::string deep;
+  for (int i = 0; i < 10; ++i) deep += "[";
+  deep += "1";
+  for (int i = 0; i < 10; ++i) deep += "]";
+  EXPECT_NO_THROW((void)JsonValue::parse(deep, 16));
+  EXPECT_THROW((void)JsonValue::parse(deep, 8), InvalidArgument);
+}
+
+TEST(Json, TypedAccessorsThrowOnMismatch) {
+  const JsonValue doc = JsonValue::parse(R"({"n": 1, "s": "x"})");
+  EXPECT_THROW((void)doc.as_number(), InvalidArgument);
+  EXPECT_THROW((void)doc.find("n")->as_string(), InvalidArgument);
+  EXPECT_THROW((void)doc.find("s")->as_number(), InvalidArgument);
+  EXPECT_THROW((void)doc.number_or("s", 0.0), InvalidArgument);
+}
+
+TEST(Json, FindOnNonObjectReturnsNull) {
+  EXPECT_EQ(JsonValue::parse("[1, 2]").find("origin"), nullptr);
+  EXPECT_EQ(JsonValue::parse("{}").find("origin"), nullptr);
+}
+
+TEST(Json, OptionalFieldFallbacks) {
+  const JsonValue doc = JsonValue::parse(R"({"pricing": "slot"})");
+  EXPECT_EQ(doc.string_or("pricing", "exact"), "slot");
+  EXPECT_EQ(doc.string_or("missing", "exact"), "exact");
+  EXPECT_DOUBLE_EQ(doc.number_or("missing", 1.5), 1.5);
+}
+
+TEST(Json, QuoteRoundTripsThroughParser) {
+  const std::string nasty = "line\nbreak \"quoted\" back\\slash \x01 end";
+  const JsonValue parsed = JsonValue::parse(json_quote(nasty));
+  EXPECT_EQ(parsed.as_string(), nasty);
+  EXPECT_EQ(json_escape("plain"), "plain");
+}
+
+}  // namespace
+}  // namespace sunchase::serve

@@ -1,0 +1,344 @@
+#include "sunchase/serve/server.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+
+#include "sunchase/common/error.h"
+#include "sunchase/core/world_store.h"
+#include "sunchase/crowd/crowd_map.h"
+#include "sunchase/crowd/world_fold.h"
+#include "sunchase/obs/metrics.h"
+#include "sunchase/roadnet/citygen.h"
+#include "sunchase/serve/client.h"
+#include "sunchase/serve/json.h"
+#include "../core/core_fixture.h"
+
+namespace sunchase::serve {
+namespace {
+
+constexpr const char* kPlanBody =
+    "{\"origin\":0,\"destination\":87,\"departure\":\"08:30\"}";
+
+/// One running server on an ephemeral port over a fresh grid world.
+/// Tests tweak `options` before start(); stop() is safe to call twice.
+struct ServerHarness {
+  explicit ServerHarness(HttpServerOptions opts = {},
+                         RouteServiceOptions service_opts = {},
+                         roadnet::GridCityOptions city_opts = {})
+      : city(city_opts),
+        store(test::RoutingEnv::make_init(city.graph())),
+        service(store, service_opts) {
+    opts.port = 0;
+    server = std::make_unique<HttpServer>(service, opts);
+    server->start();
+  }
+
+  [[nodiscard]] HttpClient client(double timeout_seconds = 10.0) const {
+    return HttpClient("127.0.0.1", server->port(), timeout_seconds);
+  }
+
+  void stop() {
+    server->request_stop();
+    server->join();
+  }
+
+  roadnet::GridCity city;
+  core::WorldStore store;
+  RouteService service;
+  std::unique_ptr<HttpServer> server;
+};
+
+TEST(ServeServer, BindsEphemeralPortAndAnswersOverTheWire) {
+  ServerHarness harness;
+  EXPECT_NE(harness.server->port(), 0);
+  EXPECT_TRUE(harness.server->running());
+
+  HttpClient client = harness.client();
+  const HttpResponse health = client.get("/healthz");
+  ASSERT_EQ(health.status, 200);
+  EXPECT_EQ(JsonValue::parse(health.body).string_or("status", ""), "ok");
+
+  const HttpResponse plan = client.post("/plan", kPlanBody);
+  ASSERT_EQ(plan.status, 200) << plan.body;
+  const JsonValue body = JsonValue::parse(plan.body);
+  EXPECT_DOUBLE_EQ(body.number_or("world_version", 0), 1.0);
+  EXPECT_FALSE(body.find("candidates")->as_array().empty());
+
+  harness.stop();
+  EXPECT_FALSE(harness.server->running());
+  EXPECT_TRUE(harness.service.draining());
+}
+
+TEST(ServeServer, KeepAliveReusesOneConnection) {
+  ServerHarness harness;
+  HttpClient client = harness.client();
+  ASSERT_EQ(client.get("/healthz").status, 200);
+  ASSERT_TRUE(client.connected());
+  ASSERT_EQ(client.post("/plan", kPlanBody).status, 200);
+  ASSERT_EQ(client.get("/metrics").status, 200);
+  EXPECT_TRUE(client.connected());
+  harness.stop();
+}
+
+TEST(ServeServer, MalformedRequestLineAnswers400AndCloses) {
+  ServerHarness harness;
+  HttpClient client = harness.client();
+  client.send_bytes("bogus nonsense\r\n\r\n");
+  EXPECT_EQ(client.read_response().status, 400);
+  harness.stop();
+}
+
+TEST(ServeServer, OversizedBodyAnswers413) {
+  HttpServerOptions opts;
+  opts.limits.max_body_bytes = 64;
+  ServerHarness harness(opts);
+  HttpClient client = harness.client();
+  const HttpResponse response =
+      client.post("/plan", std::string(128, 'x'));
+  EXPECT_EQ(response.status, 413);
+  harness.stop();
+}
+
+TEST(ServeServer, RequestSplitAcrossManySendsStillParses) {
+  ServerHarness harness;
+  HttpClient client = harness.client();
+  const std::string wire = std::string("POST /plan HTTP/1.1\r\n") +
+                           "content-length: " +
+                           std::to_string(std::string(kPlanBody).size()) +
+                           "\r\n\r\n" + kPlanBody;
+  // Dribble the request a few bytes per send with real pauses — the
+  // server's recv loop must reassemble it across arbitrary boundaries.
+  for (std::size_t i = 0; i < wire.size(); i += 7) {
+    client.send_bytes(std::string_view(wire).substr(i, 7));
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(client.read_response().status, 200);
+  harness.stop();
+}
+
+TEST(ServeServer, StalledMidRequestAnswers408) {
+  HttpServerOptions opts;
+  opts.read_timeout_seconds = 0.3;
+  ServerHarness harness(opts);
+  HttpClient client = harness.client();
+  client.send_bytes("POST /plan HTTP/1.1\r\ncontent-length: 500\r\n\r\nstub");
+  const HttpResponse response = client.read_response();
+  EXPECT_EQ(response.status, 408);
+  harness.stop();
+}
+
+TEST(ServeServer, DeadlineExpiryMidPlanAnswers504) {
+  HttpServerOptions opts;
+  opts.deadline_seconds = 0.05;
+  opts.test_hooks = true;
+  ServerHarness harness(opts);
+  HttpClient client = harness.client();
+  const HttpResponse response = client.request(
+      "POST", "/plan", kPlanBody, {{"x-sunchase-test-delay-ms", "150"}});
+  EXPECT_EQ(response.status, 504);
+  // The un-delayed request still fits the deadline.
+  EXPECT_EQ(client.post("/plan", kPlanBody).status, 200);
+  harness.stop();
+}
+
+TEST(ServeServer, QueueOverflowAnswers429) {
+  HttpServerOptions opts;
+  opts.workers = 1;
+  opts.queue_capacity = 1;
+  opts.read_timeout_seconds = 0.5;
+  opts.test_hooks = true;
+  ServerHarness harness(opts);
+
+  // Occupy the only worker with a deliberately slow request...
+  HttpClient busy = harness.client();
+  std::thread slow([&busy] {
+    (void)busy.request("POST", "/plan", kPlanBody,
+                       {{"x-sunchase-test-delay-ms", "400"}});
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  // ...fill the one queue slot with a second connection...
+  HttpClient queued = harness.client();
+  queued.send_bytes("GET /healthz HTTP/1.1\r\n");
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  // ...so the third connection is rejected at the door.
+  HttpClient rejected = harness.client();
+  rejected.send_bytes("GET /healthz HTTP/1.1\r\n\r\n");
+  EXPECT_EQ(rejected.read_response().status, 429);
+
+  slow.join();
+  busy.close();
+  queued.close();
+  harness.stop();
+}
+
+TEST(ServeServer, GracefulDrainAnswersInFlightRequests) {
+  HttpServerOptions opts;
+  opts.workers = 2;
+  opts.test_hooks = true;
+  ServerHarness harness(opts);
+
+  HttpClient inflight = harness.client();
+  HttpResponse slow_response;
+  std::thread slow([&] {
+    slow_response = inflight.request(
+        "POST", "/plan", kPlanBody, {{"x-sunchase-test-delay-ms", "300"}});
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  harness.server->request_stop();
+  harness.server->join();
+  slow.join();
+
+  // The in-flight request was answered, not dropped, before join()
+  // returned; new connections are refused once drained.
+  EXPECT_EQ(slow_response.status, 200) << slow_response.body;
+  EXPECT_TRUE(harness.service.draining());
+  HttpClient late = harness.client(0.5);
+  EXPECT_THROW((void)late.get("/healthz"), IoError);
+}
+
+/// The ISSUE acceptance check, over real sockets: publish new worlds
+/// while a /batch is in flight. Every row's /explain must replay
+/// bit-identically (conserves == true) against the world version the
+/// row reports — proof each in-flight query stayed pinned to the
+/// snapshot that priced it.
+TEST(ServeServer, PublishDuringBatchKeepsRowsPinnedToTheirWorlds) {
+  RouteServiceOptions service_opts;
+  // Keep every row of every attempt explainable (3 attempts x 400
+  // queries must not evict the rows the assertions below replay).
+  service_opts.ledger_capacity = 2048;
+  // A single batch worker keeps the batch in flight long enough for the
+  // publishes below to land while rows are still being planned; the
+  // default 12x12 grid is so small that exact MLC answers a whole batch
+  // between two scheduler ticks, so this test plans a 30x30 city where
+  // every query does real Pareto work.
+  service_opts.batch_workers = 1;
+  roadnet::GridCityOptions city_opts;
+  city_opts.rows = 30;
+  city_opts.cols = 30;
+  ServerHarness harness(HttpServerOptions{}, service_opts, city_opts);
+  const auto node_count =
+      static_cast<roadnet::NodeId>(harness.city.graph().node_count());
+
+  // Each publish rewrites the shading of every edge around the batch's
+  // departure slots, so successive world versions price routes
+  // differently — a replay against the wrong version would not
+  // conserve, which is what gives the conserves assertions teeth.
+  // Publishing goes straight through the store (the same hot-swap the
+  // HTTP admin endpoint drives, which the service tests and the CI
+  // smoke cover): an in-process publish lands in microseconds, so it
+  // reliably splits a running batch instead of racing a full admin
+  // round-trip against the batch finishing first.
+  const auto crowd_map = [&harness](double shaded_fraction) {
+    auto crowd = std::make_unique<crowd::CrowdSolarMap>(
+        harness.city.graph().edge_count(),
+        [](roadnet::EdgeId, TimeOfDay) { return 0.0; },
+        crowd::CrowdSolarMap::Options{});
+    for (roadnet::EdgeId e = 0; e < harness.city.graph().edge_count(); ++e)
+      for (int slot = 36; slot <= 48; ++slot)
+        crowd->report({e, slot, shaded_fraction, 0});
+    return crowd;
+  };
+  const auto sunny = crowd_map(0.95);
+  const auto shady = crowd_map(0.05);
+
+  // Exact pricing keeps each query off the shared slot cache, and the
+  // wide time budget fattens every Pareto frontier — together they slow
+  // the batch enough that the publishes below land while rows are
+  // still being planned.
+  std::string batch =
+      "{\"pricing\":\"exact\",\"time_budget\":3.0,\"queries\":[";
+  for (roadnet::NodeId i = 0; i < 400; ++i) {
+    const roadnet::NodeId origin = (i * 131) % node_count;
+    roadnet::NodeId destination = (i * 197 + node_count / 2) % node_count;
+    if (destination == origin) destination = (destination + 1) % node_count;
+    if (i != 0) batch += ',';
+    batch += "{\"origin\":" + std::to_string(origin) +
+             ",\"destination\":" + std::to_string(destination) +
+             ",\"departure\":\"09:" + std::to_string(10 + i % 45) + "\"}";
+  }
+  batch += "]}";
+
+  std::uint64_t version_min = 0;
+  std::uint64_t version_max = 0;
+  JsonValue response;
+  // Publishing mid-batch is a race against the batch finishing first on
+  // a fast machine; retry the whole scenario a few times and require at
+  // least one attempt to straddle a version bump.
+  for (int attempt = 0; attempt < 3 && version_max <= version_min;
+       ++attempt) {
+    // The server runs in-process, so the planner's per-query run-time
+    // histogram (observed as each worker finishes a row — unlike
+    // batch.queries_ok, which is bulk-added only after the whole batch)
+    // is the precise "rows are in flight right now" signal: publish
+    // after a handful of rows completed, with hundreds still to plan.
+    obs::Histogram& rows_done =
+        obs::Registry::global().histogram("batch.run_seconds");
+    const std::uint64_t before = rows_done.snapshot().count;
+    const auto rows_reach = [&](std::uint64_t n) {
+      const auto deadline =
+          std::chrono::steady_clock::now() + std::chrono::seconds(10);
+      while (rows_done.snapshot().count < before + n &&
+             std::chrono::steady_clock::now() < deadline)
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+    };
+
+    HttpClient batcher = harness.client();
+    HttpResponse batch_response;
+    std::thread batching(
+        [&] { batch_response = batcher.post("/batch", batch); });
+
+    rows_reach(20);
+    crowd::publish_crowd_world(harness.store, *sunny);
+    rows_reach(200);
+    crowd::publish_crowd_world(harness.store, *shady);
+    batching.join();
+
+    ASSERT_EQ(batch_response.status, 200) << batch_response.body;
+    response = JsonValue::parse(batch_response.body);
+    const JsonValue* versions = response.find("world_version");
+    ASSERT_NE(versions, nullptr);
+    version_min =
+        static_cast<std::uint64_t>(versions->number_or("min", 0));
+    version_max =
+        static_cast<std::uint64_t>(versions->number_or("max", 0));
+  }
+  EXPECT_GT(version_max, version_min)
+      << "no publish landed mid-batch in any attempt";
+
+  const JsonValue* rows = response.find("results");
+  ASSERT_NE(rows, nullptr);
+  std::set<std::uint64_t> versions_seen;
+  HttpClient explainer = harness.client();
+  for (const JsonValue& row : rows->as_array()) {
+    ASSERT_EQ(row.string_or("status", ""), "ok");
+    const auto id = static_cast<std::uint64_t>(row.number_or("query_id", 0));
+    const auto row_version =
+        static_cast<std::uint64_t>(row.number_or("world_version", 0));
+    versions_seen.insert(row_version);
+
+    const HttpResponse explained =
+        explainer.get("/explain/" + std::to_string(id));
+    ASSERT_EQ(explained.status, 200) << explained.body;
+    const JsonValue explain = JsonValue::parse(explained.body);
+    EXPECT_EQ(static_cast<std::uint64_t>(
+                  explain.number_or("world_version", 0)),
+              row_version);
+    EXPECT_TRUE(explain.find("conserves")->as_bool())
+        << "query " << id << " did not replay bit-identically on world "
+        << row_version;
+  }
+  EXPECT_GT(versions_seen.size(), 1u);
+  harness.stop();
+}
+
+}  // namespace
+}  // namespace sunchase::serve

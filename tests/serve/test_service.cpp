@@ -1,0 +1,298 @@
+#include "sunchase/serve/service.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+
+#include "sunchase/common/error.h"
+#include "sunchase/core/world_store.h"
+#include "sunchase/roadnet/citygen.h"
+#include "sunchase/serve/json.h"
+#include "sunchase/serve/query_ledger.h"
+#include "../core/core_fixture.h"
+
+namespace sunchase::serve {
+namespace {
+
+HttpRequest make_request(std::string method, std::string target,
+                         std::string body = {}) {
+  HttpRequest request;
+  request.method = std::move(method);
+  request.target = std::move(target);
+  request.version = "HTTP/1.1";
+  request.body = std::move(body);
+  return request;
+}
+
+/// A socketless service over a fresh 10x10 grid world — the
+/// listener/engine split under test: every endpoint exercised without
+/// a single byte on a wire.
+class ServeServiceTest : public ::testing::Test {
+ protected:
+  ServeServiceTest()
+      : city_(roadnet::GridCityOptions{}),
+        store_(test::RoutingEnv::make_init(city_.graph())),
+        service_(store_) {}
+
+  JsonValue call(const HttpRequest& request, int expected_status) {
+    const HttpResponse response = service_.handle(request);
+    EXPECT_EQ(response.status, expected_status) << response.body;
+    return JsonValue::parse(response.body);
+  }
+
+  static std::string plan_body(roadnet::NodeId origin,
+                               roadnet::NodeId destination) {
+    return "{\"origin\":" + std::to_string(origin) +
+           ",\"destination\":" + std::to_string(destination) +
+           ",\"departure\":\"08:30\"}";
+  }
+
+  roadnet::GridCity city_;
+  core::WorldStore store_;
+  RouteService service_;
+};
+
+TEST_F(ServeServiceTest, HealthzReportsWorldVersionAndDrainState) {
+  JsonValue body = call(make_request("GET", "/healthz"), 200);
+  EXPECT_EQ(body.string_or("status", ""), "ok");
+  EXPECT_DOUBLE_EQ(body.number_or("world_version", 0), 1.0);
+  EXPECT_DOUBLE_EQ(body.number_or("queries_recorded", -1), 0.0);
+
+  service_.set_draining(true);
+  body = call(make_request("GET", "/healthz?probe=1"), 200);
+  EXPECT_EQ(body.string_or("status", ""), "draining");
+  service_.set_draining(false);
+}
+
+TEST_F(ServeServiceTest, PlanReturnsCandidatesAndRecordsLedgerEntry) {
+  const JsonValue body =
+      call(make_request("POST", "/plan", plan_body(0, 87)), 200);
+  EXPECT_DOUBLE_EQ(body.number_or("query_id", 0), 1.0);
+  EXPECT_DOUBLE_EQ(body.number_or("world_version", 0), 1.0);
+  EXPECT_EQ(body.string_or("pricing", ""), "slot");
+  const JsonValue* candidates = body.find("candidates");
+  ASSERT_NE(candidates, nullptr);
+  ASSERT_FALSE(candidates->as_array().empty());
+  const JsonValue& shortest = candidates->as_array()[0];
+  EXPECT_TRUE(shortest.find("shortest_time")->as_bool());
+  EXPECT_GT(shortest.number_or("travel_time_s", 0), 0.0);
+  EXPECT_GT(body.find("stats")->number_or("labels_created", 0), 0.0);
+
+  EXPECT_EQ(service_.ledger().recorded(), 1u);
+  EXPECT_TRUE(service_.ledger().find(1).has_value());
+}
+
+TEST_F(ServeServiceTest, PlanHonorsPerRequestOverrides) {
+  const std::string body =
+      "{\"origin\":0,\"destination\":55,\"departure\":\"09:00\","
+      "\"pricing\":\"exact\",\"vehicle\":1,\"time_dependent\":false}";
+  const JsonValue response = call(make_request("POST", "/plan", body), 200);
+  EXPECT_EQ(response.string_or("pricing", ""), "exact");
+}
+
+TEST_F(ServeServiceTest, PlanRejectsMalformedBodies) {
+  const std::pair<const char*, int> cases[] = {
+      {"", 400},                                             // not JSON
+      {"{\"origin\":0,\"departure\":\"08:00\"}", 400},       // no destination
+      {"{\"origin\":0,\"destination\":3}", 400},             // no departure
+      {"{\"origin\":-1,\"destination\":3,\"departure\":\"08:00\"}", 400},
+      {"{\"origin\":0.5,\"destination\":3,\"departure\":\"08:00\"}", 400},
+      {"{\"origin\":0,\"destination\":3,\"departure\":\"25:99\"}", 400},
+      {"{\"origin\":0,\"destination\":3,\"departure\":\"08:00\","
+       "\"pricing\":\"psychic\"}",
+       400},
+      {"{\"origin\":0,\"destination\":3,\"departure\":\"08:00\","
+       "\"time_budget\":-1}",
+       400},
+      {"{\"origin\":0,\"destination\":99999,\"departure\":\"08:00\"}", 400},
+  };
+  for (const auto& [body, status] : cases) {
+    const HttpResponse response =
+        service_.handle(make_request("POST", "/plan", body));
+    EXPECT_EQ(response.status, status) << body;
+    EXPECT_NE(JsonValue::parse(response.body).find("error"), nullptr) << body;
+  }
+}
+
+TEST_F(ServeServiceTest, UnplannableQueryIs422NotA400) {
+  // A one-label budget exhausts mid-search: well-formed request, no
+  // routable answer — the 422 contract.
+  RouteServiceOptions options;
+  options.mlc.max_labels = 1;
+  RouteService strangled(store_, options);
+  const HttpResponse response =
+      strangled.handle(make_request("POST", "/plan", plan_body(0, 87)));
+  EXPECT_EQ(response.status, 422) << response.body;
+}
+
+TEST_F(ServeServiceTest, MethodAndPathMismatchesAnswer405And404) {
+  EXPECT_EQ(service_.handle(make_request("GET", "/plan")).status, 405);
+  EXPECT_EQ(service_.handle(make_request("POST", "/healthz")).status, 405);
+  EXPECT_EQ(service_.handle(make_request("POST", "/metrics")).status, 405);
+  EXPECT_EQ(service_.handle(make_request("POST", "/explain/1")).status, 405);
+  EXPECT_EQ(service_.handle(make_request("GET", "/nope")).status, 404);
+  EXPECT_EQ(service_.handle(make_request("GET", "/")).status, 404);
+}
+
+TEST_F(ServeServiceTest, BatchPlansEveryQueryAndAssignsDenseIds) {
+  const std::string body =
+      "{\"queries\":["
+      "{\"origin\":0,\"destination\":42,\"departure\":\"08:00\"},"
+      "{\"origin\":7,\"destination\":93,\"departure\":\"12:15\"},"
+      "{\"origin\":55,\"destination\":3,\"departure\":\"16:45\"}]}";
+  const JsonValue response = call(make_request("POST", "/batch", body), 200);
+  const JsonValue* stats = response.find("stats");
+  ASSERT_NE(stats, nullptr);
+  EXPECT_DOUBLE_EQ(stats->number_or("queries", 0), 3.0);
+  EXPECT_DOUBLE_EQ(stats->number_or("ok", 0), 3.0);
+  EXPECT_DOUBLE_EQ(stats->number_or("failed", -1), 0.0);
+
+  const JsonValue* rows = response.find("results");
+  ASSERT_NE(rows, nullptr);
+  ASSERT_EQ(rows->as_array().size(), 3u);
+  for (const JsonValue& row : rows->as_array()) {
+    EXPECT_EQ(row.string_or("status", ""), "ok");
+    const double id = row.number_or("query_id", 0);
+    EXPECT_GE(id, 1.0);
+    EXPECT_LE(id, 3.0);
+    EXPECT_TRUE(service_.ledger()
+                    .find(static_cast<std::uint64_t>(id))
+                    .has_value());
+  }
+  EXPECT_EQ(service_.ledger().recorded(), 3u);
+}
+
+TEST_F(ServeServiceTest, BatchOverTheQueryCapIs413) {
+  RouteServiceOptions options;
+  options.max_batch_queries = 2;
+  RouteService small(store_, options);
+  const std::string body =
+      "{\"queries\":["
+      "{\"origin\":0,\"destination\":1,\"departure\":\"08:00\"},"
+      "{\"origin\":0,\"destination\":2,\"departure\":\"08:00\"},"
+      "{\"origin\":0,\"destination\":3,\"departure\":\"08:00\"}]}";
+  EXPECT_EQ(small.handle(make_request("POST", "/batch", body)).status, 413);
+  EXPECT_EQ(small.handle(make_request("POST", "/batch",
+                                      "{\"queries\":[]}")).status,
+            400);
+}
+
+TEST_F(ServeServiceTest, ExplainReplaysConservatively) {
+  call(make_request("POST", "/plan", plan_body(0, 87)), 200);
+  const JsonValue explain = call(make_request("GET", "/explain/1"), 200);
+  EXPECT_TRUE(explain.find("conserves")->as_bool());
+  EXPECT_NEAR(explain.number_or("max_deviation", 1.0), 0.0, 1e-9);
+  EXPECT_NE(explain.find("ledger"), nullptr);
+}
+
+TEST_F(ServeServiceTest, ExplainStaysPinnedAcrossPublishes) {
+  // Answer a query on world v1, then publish shading that contradicts
+  // v1 everywhere. The explain replay must still balance against the
+  // v1-pinned criteria — a replay on the new world would deviate.
+  call(make_request("POST", "/plan", plan_body(0, 87)), 200);
+
+  std::string observations = "{\"observations\":[";
+  for (roadnet::EdgeId e = 0; e < city_.graph().edge_count(); ++e) {
+    for (int slot = 32; slot <= 74; ++slot) {
+      if (e != 0 || slot != 32) observations += ',';
+      observations += "{\"edge\":" + std::to_string(e) +
+                      ",\"slot\":" + std::to_string(slot) +
+                      ",\"shaded_fraction\":0.95}";
+    }
+  }
+  observations += "]}";
+  const JsonValue publish =
+      call(make_request("POST", "/world/publish", observations), 200);
+  EXPECT_DOUBLE_EQ(publish.number_or("world_version", 0), 2.0);
+  EXPECT_DOUBLE_EQ(publish.number_or("coverage", 0), 1.0);
+
+  const JsonValue explain = call(make_request("GET", "/explain/1"), 200);
+  EXPECT_DOUBLE_EQ(explain.number_or("world_version", 0), 1.0);
+  EXPECT_TRUE(explain.find("conserves")->as_bool());
+
+  // A fresh plan sees the new snapshot.
+  const JsonValue fresh =
+      call(make_request("POST", "/plan", plan_body(0, 87)), 200);
+  EXPECT_DOUBLE_EQ(fresh.number_or("world_version", 0), 2.0);
+}
+
+TEST_F(ServeServiceTest, ExplainAnswers404ForUnknownAndEvictedIds) {
+  EXPECT_EQ(service_.handle(make_request("GET", "/explain/7")).status, 404);
+  EXPECT_EQ(service_.handle(make_request("GET", "/explain/0")).status, 404);
+  EXPECT_EQ(service_.handle(make_request("GET", "/explain/abc")).status, 400);
+  EXPECT_EQ(service_.handle(
+                    make_request("GET",
+                                 "/explain/99999999999999999999999"))
+                .status,
+            400);
+
+  RouteServiceOptions options;
+  options.ledger_capacity = 1;
+  RouteService tiny(store_, options);
+  EXPECT_EQ(tiny.handle(make_request("POST", "/plan", plan_body(0, 9)))
+                .status,
+            200);
+  EXPECT_EQ(tiny.handle(make_request("POST", "/plan", plan_body(0, 12)))
+                .status,
+            200);
+  EXPECT_EQ(tiny.handle(make_request("GET", "/explain/1")).status, 404);
+  EXPECT_EQ(tiny.handle(make_request("GET", "/explain/2")).status, 200);
+}
+
+TEST_F(ServeServiceTest, EmptyBodyPublishRollsTheVersion) {
+  const JsonValue response =
+      call(make_request("POST", "/world/publish", "  \r\n"), 200);
+  EXPECT_DOUBLE_EQ(response.number_or("world_version", 0), 2.0);
+  EXPECT_DOUBLE_EQ(response.number_or("observations", -1), 0.0);
+  EXPECT_EQ(store_.current()->version(), 2u);
+}
+
+TEST_F(ServeServiceTest, PublishRejectsMalformedObservations) {
+  EXPECT_EQ(service_.handle(make_request("POST", "/world/publish",
+                                         "{\"observations\":[{}]}"))
+                .status,
+            400);
+  EXPECT_EQ(service_.handle(
+                    make_request("POST", "/world/publish", "{\"x\":1}"))
+                .status,
+            400);
+  EXPECT_EQ(store_.current()->version(), 1u);
+}
+
+TEST_F(ServeServiceTest, MetricsEndpointEmitsPrometheusText) {
+  call(make_request("POST", "/plan", plan_body(0, 31)), 200);
+  const HttpResponse response = service_.handle(make_request("GET", "/metrics"));
+  ASSERT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("serve_plans"), std::string::npos);
+  ASSERT_FALSE(response.headers.empty());
+  EXPECT_NE(response.headers[0].second.find("text/plain"),
+            std::string::npos);
+}
+
+TEST(ServeLedger, RecordsFindsAndEvictsByRingPosition) {
+  QueryLedger ledger(2);
+  LedgerEntry entry;
+  entry.origin = 1;
+  EXPECT_EQ(ledger.record(entry), 1u);
+  entry.origin = 2;
+  EXPECT_EQ(ledger.record(entry), 2u);
+  ASSERT_TRUE(ledger.find(1).has_value());
+  EXPECT_EQ(ledger.find(1)->origin, 1u);
+
+  entry.origin = 3;
+  EXPECT_EQ(ledger.record(entry), 3u);
+  EXPECT_FALSE(ledger.find(1).has_value());  // evicted by id 3
+  ASSERT_TRUE(ledger.find(2).has_value());
+  EXPECT_EQ(ledger.find(3)->origin, 3u);
+  EXPECT_FALSE(ledger.find(0).has_value());
+  EXPECT_FALSE(ledger.find(4).has_value());  // not recorded yet
+  EXPECT_EQ(ledger.recorded(), 3u);
+}
+
+TEST(ServeLedger, ZeroCapacityIsRejected) {
+  EXPECT_THROW(QueryLedger ledger(0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace sunchase::serve

@@ -1,26 +1,39 @@
 #!/usr/bin/env python3
-"""Compare a perf_batch_scaling run against a committed baseline.
+"""Compare a benchmark run against a committed baseline.
 
 Usage:
     tools/bench_compare.py BASELINE.json CURRENT.json [--tolerance 0.25]
-        [--update]
+        [--latency-tolerance 0.50] [--update]
 
-Reads the ``samples`` array of both BENCH_batch.json files, compares the
-peak queries_per_second across worker counts, and exits 1 when the
-current peak falls below ``baseline * (1 - tolerance)``.
+Understands two report schemas, detected from the report itself:
 
-The tolerance is deliberately wide (default 25%): the committed baseline
-was recorded on a small dev container while CI runs on shared runners
-with different core counts and noisy neighbours, so only a genuine
-regression — not machine-to-machine jitter — should trip it. Faster
-results never fail; pass --update to rewrite the baseline from the
-current run when a real improvement or environment change lands.
+* perf_batch_scaling (BENCH_batch.json): samples keyed by
+  (pricing, workers); gates on peak queries_per_second.
+* loadgen_serve (BENCH_serve.json, ``"bench": "loadgen_serve"``):
+  samples keyed by concurrency; gates on peak queries_per_second AND on
+  the best p99_ms latency across concurrency steps.
+
+Exits 1 when the current peak falls below ``baseline * (1 - tolerance)``
+or (serve reports) the best p99 rises above
+``baseline * (1 + latency_tolerance)``.
+
+The tolerances are deliberately wide (default 25% throughput, 50%
+latency): the committed baseline was recorded on a small dev container
+while CI runs on shared runners with different core counts and noisy
+neighbours, so only a genuine regression — not machine-to-machine
+jitter — should trip them. Faster results never fail; pass --update to
+rewrite the baseline from the current run when a real improvement or
+environment change lands.
 """
 
 import argparse
 import json
 import shutil
 import sys
+
+
+def is_serve(report):
+    return report.get("bench") == "loadgen_serve"
 
 
 def peak_qps(report, label):
@@ -44,15 +57,40 @@ def peak_qps(report, label):
     return peak
 
 
+def best_p99(report, label):
+    """Lowest p99_ms across a serve report's concurrency steps."""
+    try:
+        best = min(float(s["p99_ms"]) for s in report["samples"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SystemExit(
+            f"error: {label} serve report has a sample without a numeric "
+            f"p99_ms field ({exc!r})"
+        )
+    if not best > 0.0:
+        raise SystemExit(
+            f"error: {label} best p99 is {best} ms; a zero or negative "
+            "latency cannot gate the build — fix or regenerate the report"
+        )
+    return best
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("baseline", help="committed BENCH_batch.json")
-    parser.add_argument("current", help="freshly produced BENCH_batch.json")
+    parser.add_argument("baseline", help="committed benchmark report")
+    parser.add_argument("current", help="freshly produced report")
     parser.add_argument(
         "--tolerance",
         type=float,
         default=0.25,
-        help="allowed fractional drop below baseline (default 0.25)",
+        help="allowed fractional throughput drop below baseline "
+        "(default 0.25)",
+    )
+    parser.add_argument(
+        "--latency-tolerance",
+        type=float,
+        default=0.50,
+        help="allowed fractional p99 rise above baseline, serve reports "
+        "only (default 0.50)",
     )
     parser.add_argument(
         "--update",
@@ -66,23 +104,50 @@ def main():
     with open(args.current) as f:
         current = json.load(f)
 
+    serve = is_serve(current)
+    if serve != is_serve(baseline):
+        raise SystemExit(
+            "error: baseline and current reports are different benchmarks "
+            f"(baseline serve={is_serve(baseline)}, current serve={serve})"
+        )
+
     base_peak = peak_qps(baseline, "baseline")
     cur_peak = peak_qps(current, "current")
     floor = base_peak * (1.0 - args.tolerance)
 
-    # Samples are keyed by (pricing, workers); old baselines without a
-    # pricing field compare against the "exact" rows of a new run.
-    def key(sample):
-        return (sample.get("pricing", "exact"), sample["workers"])
+    if serve:
+        # Serve samples are one concurrency step each.
+        def key(sample):
+            return sample["concurrency"]
 
-    print(f"{'pricing':>8} {'workers':>8} {'baseline q/s':>14} "
-          f"{'current q/s':>14}")
-    base_by_key = {key(s): s for s in baseline.get("samples", [])}
-    for sample in current.get("samples", []):
-        base = base_by_key.get(key(sample))
-        base_qps = f"{base['queries_per_second']:14.2f}" if base else " " * 14
-        print(f"{sample.get('pricing', 'exact'):>8} {sample['workers']:>8} "
-              f"{base_qps} {sample['queries_per_second']:14.2f}")
+        print(f"{'concurrency':>12} {'baseline q/s':>14} {'current q/s':>14} "
+              f"{'base p99 ms':>12} {'cur p99 ms':>12}")
+        base_by_key = {key(s): s for s in baseline.get("samples", [])}
+        for sample in current.get("samples", []):
+            base = base_by_key.get(key(sample))
+            base_qps = f"{base['queries_per_second']:14.2f}" if base \
+                else " " * 14
+            base_lat = f"{base['p99_ms']:12.3f}" if base else " " * 12
+            print(f"{sample['concurrency']:>12} {base_qps} "
+                  f"{sample['queries_per_second']:14.2f} {base_lat} "
+                  f"{sample['p99_ms']:12.3f}")
+    else:
+        # Samples are keyed by (pricing, workers); old baselines without
+        # a pricing field compare against the "exact" rows of a new run.
+        def key(sample):
+            return (sample.get("pricing", "exact"), sample["workers"])
+
+        print(f"{'pricing':>8} {'workers':>8} {'baseline q/s':>14} "
+              f"{'current q/s':>14}")
+        base_by_key = {key(s): s for s in baseline.get("samples", [])}
+        for sample in current.get("samples", []):
+            base = base_by_key.get(key(sample))
+            base_qps = f"{base['queries_per_second']:14.2f}" if base \
+                else " " * 14
+            print(f"{sample.get('pricing', 'exact'):>8} "
+                  f"{sample['workers']:>8} "
+                  f"{base_qps} {sample['queries_per_second']:14.2f}")
+
     print(
         f"peak: baseline {base_peak:.2f} q/s, current {cur_peak:.2f} q/s "
         f"({cur_peak / base_peak:.2f}x), floor {floor:.2f} q/s "
@@ -97,9 +162,8 @@ def main():
     for label, report in (("baseline", baseline), ("current", current)):
         version = report.get("world_version")
         cache_bytes = report.get("slotcache_bytes")
-        if version is not None or cache_bytes is not None:
-            kib = f"{cache_bytes / 1024.0:.1f} KiB" \
-                if cache_bytes is not None else "n/a"
+        if cache_bytes is not None:
+            kib = f"{cache_bytes / 1024.0:.1f} KiB"
             print(f"{label}: world v{version if version is not None else '?'}"
                   f", shared slot cache {kib}")
 
@@ -108,14 +172,36 @@ def main():
         print(f"updated {args.baseline} from {args.current}")
         return 0
 
+    failed = False
     if cur_peak < floor:
         print(
             f"FAIL: current peak {cur_peak:.2f} q/s is more than "
             f"{args.tolerance:.0%} below baseline {base_peak:.2f} q/s",
             file=sys.stderr,
         )
+        failed = True
+
+    if serve:
+        base_lat = best_p99(baseline, "baseline")
+        cur_lat = best_p99(current, "current")
+        ceiling = base_lat * (1.0 + args.latency_tolerance)
+        print(
+            f"p99: baseline best {base_lat:.3f} ms, current best "
+            f"{cur_lat:.3f} ms ({cur_lat / base_lat:.2f}x), ceiling "
+            f"{ceiling:.3f} ms (tolerance {args.latency_tolerance:.0%})"
+        )
+        if cur_lat > ceiling:
+            print(
+                f"FAIL: current best p99 {cur_lat:.3f} ms is more than "
+                f"{args.latency_tolerance:.0%} above baseline "
+                f"{base_lat:.3f} ms",
+                file=sys.stderr,
+            )
+            failed = True
+
+    if failed:
         return 1
-    print("OK: throughput within tolerance of baseline")
+    print("OK: within tolerance of baseline")
     return 0
 
 

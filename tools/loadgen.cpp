@@ -1,0 +1,372 @@
+// loadgen — HTTP load generator for the route server (sunchase_cli
+// serve): replays a fleet query file as POST /plan requests at stepped
+// concurrency and writes a BENCH_serve.json latency/throughput report
+// for CI trend gating (tools/bench_compare.py).
+//
+//   loadgen --port N [--host ADDR] [--queries FILE]
+//       [--rows N --cols N --seed S]    lattice of the server's city
+//       [--concurrency LIST]            e.g. 1,2,4 (default)
+//       [--requests-per-step N]         total requests per step (60)
+//       [--out FILE]                    BENCH_serve.json report
+//       [--publish-mid-step]            POST /world/publish once half of
+//                                       each step's requests are done
+//       [--explain-every N]             GET /explain/{id} for every Nth
+//                                       ok plan and check "conserves"
+//                                       (0 disables; default 3)
+//
+// The query file is the same "FROM_R,FROM_C TO_R,TO_C HH:MM" lattice
+// format the batch CLI reads; loadgen regenerates the grid city with
+// the same rows/cols/seed to map lattice coordinates to node ids, so
+// it must be started with the world options the server was.
+//
+// Exit codes: 0 all good; 2 usage; 3 any transport error or HTTP 5xx;
+// 4 an /explain replay failed energy conservation (a response did not
+// match its pinned world); 5 --publish-mid-step saw only one world
+// version (the publish never surfaced).
+#include <atomic>
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sunchase/common/error.h"
+#include "sunchase/common/time_of_day.h"
+#include "sunchase/roadnet/citygen.h"
+#include "sunchase/serve/client.h"
+#include "sunchase/serve/json.h"
+
+using namespace sunchase;
+
+namespace {
+
+struct Options {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  std::string queries_path = "data/fleet_queries.txt";
+  int rows = 10, cols = 10;
+  std::uint64_t seed = 7;
+  std::vector<std::size_t> concurrency = {1, 2, 4};
+  std::size_t requests_per_step = 60;
+  std::string out_path = "BENCH_serve.json";
+  bool publish_mid_step = false;
+  std::size_t explain_every = 3;
+};
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: loadgen --port N [--host ADDR] [--queries FILE]\n"
+      "       [--rows N] [--cols N] [--seed S] [--concurrency 1,2,4]\n"
+      "       [--requests-per-step N] [--out FILE] [--publish-mid-step]\n"
+      "       [--explain-every N]\n");
+  return 2;
+}
+
+/// The request bodies replayed by every step, pre-rendered once.
+std::vector<std::string> load_bodies(const Options& opt) {
+  roadnet::GridCityOptions city_options;
+  city_options.rows = opt.rows;
+  city_options.cols = opt.cols;
+  city_options.seed = opt.seed;
+  const roadnet::GridCity city(city_options);
+
+  std::ifstream in(opt.queries_path);
+  if (!in) throw IoError("loadgen: cannot open " + opt.queries_path);
+  std::vector<std::string> bodies;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    int fr, fc, tr, tc, hh, mm;
+    if (std::sscanf(line.c_str(), "%d,%d %d,%d %d:%d", &fr, &fc, &tr, &tc,
+                    &hh, &mm) != 6)
+      throw IoError("loadgen: malformed query at " + opt.queries_path + ":" +
+                    std::to_string(lineno) + ": " + line);
+    std::string body = "{\"origin\":";
+    body += std::to_string(city.node_at(fr, fc));
+    body += ",\"destination\":";
+    body += std::to_string(city.node_at(tr, tc));
+    body += ",\"departure\":\"";
+    body += TimeOfDay::hms(hh, mm).to_string();
+    body += "\"}";
+    bodies.push_back(std::move(body));
+  }
+  if (bodies.empty())
+    throw IoError("loadgen: no queries in " + opt.queries_path);
+  return bodies;
+}
+
+/// Shared tallies of one concurrency step.
+struct StepResult {
+  std::size_t requests = 0;
+  std::atomic<std::size_t> ok{0};
+  std::atomic<std::size_t> http_4xx{0};
+  std::atomic<std::size_t> http_5xx{0};
+  std::atomic<std::size_t> transport_errors{0};
+  std::atomic<std::size_t> conservation_failures{0};
+  double wall_seconds = 0.0;
+  std::mutex latency_mutex;
+  std::vector<double> latencies_ms;  ///< guarded by latency_mutex
+  std::mutex version_mutex;
+  std::set<std::uint64_t> versions;  ///< guarded by version_mutex
+};
+
+double percentile(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double rank = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+void run_worker(const Options& opt, const std::vector<std::string>& bodies,
+                std::atomic<std::size_t>& next, StepResult& step) {
+  serve::HttpClient client(opt.host, static_cast<std::uint16_t>(opt.port));
+  std::vector<double> local_ms;
+  for (;;) {
+    const std::size_t i = next.fetch_add(1);
+    if (i >= step.requests) break;
+    const std::string& body = bodies[i % bodies.size()];
+    const auto start = std::chrono::steady_clock::now();
+    try {
+      const serve::HttpResponse response = client.post("/plan", body);
+      local_ms.push_back(std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - start)
+                             .count());
+      if (response.status >= 500) {
+        step.http_5xx.fetch_add(1);
+        continue;
+      }
+      if (response.status >= 400) {
+        step.http_4xx.fetch_add(1);
+        continue;
+      }
+      step.ok.fetch_add(1);
+
+      const serve::JsonValue parsed = serve::JsonValue::parse(response.body);
+      const auto version =
+          static_cast<std::uint64_t>(parsed.number_or("world_version", 0.0));
+      {
+        const std::lock_guard<std::mutex> lock(step.version_mutex);
+        step.versions.insert(version);
+      }
+      // Spot-check: replay the response's route on its pinned world via
+      // /explain; a conservation failure means the response and the
+      // world version it claims do not match.
+      if (opt.explain_every != 0 && i % opt.explain_every == 0) {
+        const auto id =
+            static_cast<std::uint64_t>(parsed.number_or("query_id", 0.0));
+        const serve::HttpResponse explain =
+            client.get("/explain/" + std::to_string(id));
+        if (explain.status != 200) {
+          step.http_5xx.fetch_add(explain.status >= 500 ? 1 : 0);
+          continue;
+        }
+        const serve::JsonValue ledger =
+            serve::JsonValue::parse(explain.body);
+        const serve::JsonValue* conserves = ledger.find("conserves");
+        if (conserves == nullptr || !conserves->as_bool())
+          step.conservation_failures.fetch_add(1);
+      }
+    } catch (const std::exception& e) {
+      step.transport_errors.fetch_add(1);
+      std::fprintf(stderr, "loadgen: request %zu: %s\n", i, e.what());
+    }
+  }
+  const std::lock_guard<std::mutex> lock(step.latency_mutex);
+  step.latencies_ms.insert(step.latencies_ms.end(), local_ms.begin(),
+                           local_ms.end());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (arg == "--host" && (v = next()))
+      opt.host = v;
+    else if (arg == "--port" && (v = next()))
+      opt.port = std::atoi(v);
+    else if (arg == "--queries" && (v = next()))
+      opt.queries_path = v;
+    else if (arg == "--rows" && (v = next()))
+      opt.rows = std::atoi(v);
+    else if (arg == "--cols" && (v = next()))
+      opt.cols = std::atoi(v);
+    else if (arg == "--seed" && (v = next()))
+      opt.seed = std::strtoull(v, nullptr, 10);
+    else if (arg == "--concurrency" && (v = next())) {
+      opt.concurrency.clear();
+      for (const char* p = v; *p != '\0';) {
+        char* end = nullptr;
+        const unsigned long long c = std::strtoull(p, &end, 10);
+        if (end == p || c == 0) return usage();
+        opt.concurrency.push_back(static_cast<std::size_t>(c));
+        p = *end == ',' ? end + 1 : end;
+      }
+      if (opt.concurrency.empty()) return usage();
+    } else if (arg == "--requests-per-step" && (v = next()))
+      opt.requests_per_step =
+          static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+    else if (arg == "--out" && (v = next()))
+      opt.out_path = v;
+    else if (arg == "--publish-mid-step")
+      opt.publish_mid_step = true;
+    else if (arg == "--explain-every" && (v = next()))
+      opt.explain_every =
+          static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+    else
+      return usage();
+  }
+  if (opt.port <= 0 || opt.port > 65535) return usage();
+
+  try {
+    const std::vector<std::string> bodies = load_bodies(opt);
+
+    std::size_t total_requests = 0, total_ok = 0, total_4xx = 0,
+                total_5xx = 0, total_transport = 0, total_conservation = 0;
+    std::set<std::uint64_t> all_versions;
+    std::string samples = "[";
+
+    for (std::size_t s = 0; s < opt.concurrency.size(); ++s) {
+      const std::size_t concurrency = opt.concurrency[s];
+      StepResult step;
+      step.requests = opt.requests_per_step;
+      std::atomic<std::size_t> next_request{0};
+
+      const auto start = std::chrono::steady_clock::now();
+      std::vector<std::thread> workers;
+      for (std::size_t w = 0; w < concurrency; ++w)
+        workers.emplace_back([&] {
+          run_worker(opt, bodies, next_request, step);
+        });
+
+      // Mid-step world publish: wait until half the step's requests are
+      // answered, then roll the version — the remaining half must pin
+      // the new snapshot while completed responses stay consistent with
+      // the old one (their /explain replays still conserve).
+      std::thread publisher;
+      if (opt.publish_mid_step)
+        publisher = std::thread([&] {
+          const std::size_t half = step.requests / 2;
+          while (step.ok.load() + step.http_4xx.load() +
+                     step.http_5xx.load() + step.transport_errors.load() <
+                 half)
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+          try {
+            serve::HttpClient admin(opt.host,
+                                    static_cast<std::uint16_t>(opt.port));
+            const serve::HttpResponse response =
+                admin.post("/world/publish", "");
+            if (response.status != 200) step.http_5xx.fetch_add(1);
+          } catch (const std::exception& e) {
+            step.transport_errors.fetch_add(1);
+            std::fprintf(stderr, "loadgen: publish: %s\n", e.what());
+          }
+        });
+
+      for (std::thread& worker : workers) worker.join();
+      if (publisher.joinable()) publisher.join();
+      step.wall_seconds = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - start)
+                              .count();
+
+      std::sort(step.latencies_ms.begin(), step.latencies_ms.end());
+      const double p50 = percentile(step.latencies_ms, 0.50);
+      const double p99 = percentile(step.latencies_ms, 0.99);
+      const double max_ms =
+          step.latencies_ms.empty() ? 0.0 : step.latencies_ms.back();
+      const double qps =
+          step.wall_seconds > 0.0
+              ? static_cast<double>(step.requests) / step.wall_seconds
+              : 0.0;
+
+      std::printf("concurrency %zu: %zu requests in %.3f s — %.1f req/s, "
+                  "p50 %.1f ms, p99 %.1f ms (%zu ok, %zu 4xx, %zu 5xx, "
+                  "%zu transport)\n",
+                  concurrency, step.requests, step.wall_seconds, qps, p50,
+                  p99, step.ok.load(), step.http_4xx.load(),
+                  step.http_5xx.load(), step.transport_errors.load());
+
+      char sample[512];
+      std::snprintf(
+          sample, sizeof sample,
+          "%s\n    {\"concurrency\": %zu, \"requests\": %zu, \"ok\": %zu, "
+          "\"http_4xx\": %zu, \"http_5xx\": %zu, \"transport_errors\": %zu, "
+          "\"wall_seconds\": %.6f, \"queries_per_second\": %.3f, "
+          "\"p50_ms\": %.3f, \"p99_ms\": %.3f, \"max_ms\": %.3f}",
+          s == 0 ? "" : ",", concurrency, step.requests, step.ok.load(),
+          step.http_4xx.load(), step.http_5xx.load(),
+          step.transport_errors.load(), step.wall_seconds, qps, p50, p99,
+          max_ms);
+      samples += sample;
+
+      total_requests += step.requests;
+      total_ok += step.ok.load();
+      total_4xx += step.http_4xx.load();
+      total_5xx += step.http_5xx.load();
+      total_transport += step.transport_errors.load();
+      total_conservation += step.conservation_failures.load();
+      all_versions.insert(step.versions.begin(), step.versions.end());
+    }
+    samples += "\n  ]";
+
+    const std::uint64_t version_min =
+        all_versions.empty() ? 0 : *all_versions.begin();
+    const std::uint64_t version_max =
+        all_versions.empty() ? 0 : *all_versions.rbegin();
+
+    std::ofstream out(opt.out_path);
+    if (!out) throw IoError("loadgen: cannot write " + opt.out_path);
+    out << "{\n  \"bench\": \"loadgen_serve\",\n"
+        << "  \"queries\": " << bodies.size() << ",\n"
+        << "  \"requests_per_step\": " << opt.requests_per_step << ",\n"
+        << "  \"samples\": " << samples << ",\n"
+        << "  \"world_version\": {\"min\": " << version_min
+        << ", \"max\": " << version_max << "},\n"
+        << "  \"totals\": {\"requests\": " << total_requests
+        << ", \"ok\": " << total_ok << ", \"http_4xx\": " << total_4xx
+        << ", \"http_5xx\": " << total_5xx
+        << ", \"transport_errors\": " << total_transport
+        << ", \"conservation_failures\": " << total_conservation << "}\n"
+        << "}\n";
+    std::printf("wrote %s (%zu/%zu ok, world versions %llu..%llu)\n",
+                opt.out_path.c_str(), total_ok, total_requests,
+                static_cast<unsigned long long>(version_min),
+                static_cast<unsigned long long>(version_max));
+
+    if (total_conservation != 0) {
+      std::fprintf(stderr,
+                   "loadgen: %zu responses failed the pinned-world "
+                   "conservation replay\n",
+                   total_conservation);
+      return 4;
+    }
+    if (total_5xx != 0 || total_transport != 0) return 3;
+    if (opt.publish_mid_step && all_versions.size() < 2) {
+      std::fprintf(stderr,
+                   "loadgen: mid-step publish never surfaced a new world "
+                   "version\n");
+      return 5;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "loadgen: %s\n", e.what());
+    return 3;
+  }
+}
