@@ -17,6 +17,8 @@
 //     --scene-out FILE         write the scene (text format)
 //     --metrics-out FILE       write a JSON metrics run report
 //     --trace-out FILE         write a Chrome trace_event JSON
+//     --trace                  record spans without a file (serve mode:
+//                              export live via GET /debug/trace)
 //     --log-level LEVEL        debug|info|warning|error|off
 //     --query-log FILE         append one JSONL record per query
 //     --slow-query-ms N        warn-log queries slower than N ms
@@ -33,7 +35,10 @@
 //       [world options]
 //     embeds the engine behind an HTTP/1.1 server (POST /plan, POST
 //     /batch, GET /explain/{id}, GET /metrics, GET /healthz, POST
-//     /world/publish) over a WorldStore, serving the generated city.
+//     /world/publish, GET /debug/{trace,queries,worlds}) over a
+//     WorldStore, serving the generated city. With --trace the live
+//     span ring is exported via GET /debug/trace; with --query-log the
+//     last records are also visible via GET /debug/queries.
 //     --port 0 binds an ephemeral port; --port-file writes the bound
 //     port for scripting. SIGINT/SIGTERM drain gracefully: in-flight
 //     and queued requests finish before exit.
@@ -105,6 +110,7 @@ struct CliOptions {
   // observability
   std::string metrics_out;
   std::string trace_out;
+  bool trace = false;  ///< record spans even without --trace-out
   std::string log_level;
   std::string query_log_path;
   double slow_query_ms = 0.0;  ///< 0: slow-query warnings off
@@ -176,7 +182,7 @@ int usage(const char* argv0) {
                "         [--ledger-out FILE] [--ledger-csv FILE] "
                "[--geojson FILE]\n"
                "       observability (all modes): [--metrics-out FILE] "
-               "[--trace-out FILE]\n"
+               "[--trace-out FILE] [--trace]\n"
                "         [--log-level debug|info|warning|error|off]\n"
                "         [--query-log FILE] [--slow-query-ms N]\n",
                argv0, argv0, argv0, argv0);
@@ -494,6 +500,8 @@ int main(int argc, char** argv) {
       opt.metrics_out = v;
     else if (arg == "--trace-out" && (v = next()))
       opt.trace_out = v;
+    else if (arg == "--trace")
+      opt.trace = true;
     else if (arg == "--log-level" && (v = next()))
       opt.log_level = v;
     else if (arg == "--queries" && (v = next()))
@@ -552,7 +560,8 @@ int main(int argc, char** argv) {
   try {
     if (!opt.log_level.empty())
       set_log_level(parse_log_level(opt.log_level));
-    if (!opt.trace_out.empty()) obs::Tracer::global().set_enabled(true);
+    if (!opt.trace_out.empty() || opt.trace)
+      obs::Tracer::global().set_enabled(true);
 
     if (opt.explain) {
       const int rc = run_explain(opt, pricing);

@@ -11,12 +11,28 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
+#include <utility>
+#include <vector>
 
 #include "sunchase/core/world.h"
 
 namespace sunchase::core {
+
+/// One row of WorldStore::lineage(): a published version, whether any
+/// reader still holds its snapshot, and an estimate of how many pins
+/// are outstanding. Backs GET /debug/worlds.
+struct WorldVersionInfo {
+  std::uint64_t version = 0;
+  bool current = false;  ///< the store's latest published version
+  bool alive = false;    ///< snapshot still referenced somewhere
+  /// Outstanding reader pins: shared_ptr use_count minus the store's
+  /// own reference. Approximate under concurrency (use_count is a
+  /// racy read), exact once the world is quiescent.
+  std::size_t pins = 0;
+};
 
 class WorldStore {
  public:
@@ -46,10 +62,23 @@ class WorldStore {
   /// Returns the newly published snapshot.
   WorldPtr publish(WorldInit next);
 
+  /// Versions this store ever published remembers (most recent
+  /// kLineageCapacity, oldest first), with liveness and pin estimates
+  /// from the weak references it keeps — publishing never extends a
+  /// snapshot's lifetime. Refreshes the `world.live_versions` and
+  /// `world.pinned_readers` gauges as a side effect.
+  static constexpr std::size_t kLineageCapacity = 32;
+  [[nodiscard]] std::vector<WorldVersionInfo> lineage() const;
+
  private:
+  /// Records `world` in the lineage ring (evicting the oldest row).
+  void remember(const WorldPtr& world);
+
   std::atomic<WorldPtr> current_;
   std::uint64_t next_version_;   ///< guarded by publish_mutex_
   std::mutex publish_mutex_;     ///< serializes publishers only
+  mutable std::mutex lineage_mutex_;  ///< guards lineage_ only
+  std::deque<std::pair<std::uint64_t, std::weak_ptr<const World>>> lineage_;
 };
 
 }  // namespace sunchase::core

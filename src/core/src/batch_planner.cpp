@@ -111,6 +111,14 @@ BatchResult BatchPlanner::plan_all(
   // per-batch p50/p95/max must not mix with earlier batches.
   obs::Histogram latency(obs::latency_bounds());
 
+  // Capture the submitting thread's trace context once: every worker
+  // task reinstalls it, so batch.query (and the mlc.search / kmeans
+  // spans beneath it) parent to the originating request even though
+  // they run on pool threads with empty thread-local context.
+  const obs::TraceContext trace_parent = obs::current_trace();
+  const std::string trace_hex =
+      trace_parent.valid() ? trace_parent.trace_id_hex() : std::string();
+
   const auto start = Clock::now();
   {
     common::ThreadPool pool(workers);
@@ -121,9 +129,11 @@ BatchResult BatchPlanner::plan_all(
       const BatchQuery query = queries[i];
       const auto submitted = Clock::now();
       futures.push_back(pool.submit([this, query, i, submitted, &metrics,
-                                     &latency, log] {
+                                     &latency, log, trace_parent,
+                                     &trace_hex] {
         const auto begun = Clock::now();
         metrics.queue_wait.observe(seconds_between(submitted, begun));
+        const obs::TraceScope trace_scope(trace_parent);
         const obs::SpanTimer span("batch.query");
         // Pin this query's snapshot: in live mode each query loads the
         // store's current world when its worker picks it up, and prices
@@ -146,6 +156,7 @@ BatchResult BatchPlanner::plan_all(
         if (log != nullptr) {
           obs::QueryRecord record = start_record(query, i,
                                                  options_.mlc.pricing);
+          record.trace_id = trace_hex;
           record.world_version = static_cast<std::int64_t>(world->version());
           const MlcStats& stats = outcome.result.stats;
           record.mlc_seconds = stats.search_seconds;
@@ -202,6 +213,7 @@ BatchResult BatchPlanner::plan_all(
         if (log != nullptr) {
           obs::QueryRecord record =
               start_record(queries[i], i, options_.mlc.pricing);
+          record.trace_id = trace_hex;
           // The failing query's own snapshot died with its exception;
           // the planner's current view is the best available stamp.
           record.world_version =
@@ -238,6 +250,18 @@ BatchResult BatchPlanner::plan_all(
   metrics.throughput.set(result.stats.queries_per_second);
   metrics.queries_ok.add(result.stats.succeeded);
   metrics.queries_failed.add(result.stats.failed);
+  // Labeled per-pricing-mode breakdown alongside the plain totals (the
+  // plain names stay — CI and bench_compare read them). Pricing mode is
+  // a two-value enum, so cardinality is bounded by construction.
+  const obs::Labels pricing_labels{
+      {"pricing", pricing_name(options_.mlc.pricing)}};
+  obs::Registry::global()
+      .counter("batch.queries_by_pricing", pricing_labels)
+      .add(result.stats.succeeded + result.stats.failed);
+  obs::Registry::global()
+      .histogram("batch.run_seconds_by_pricing", pricing_labels,
+                 obs::latency_bounds())
+      .observe(result.stats.wall_seconds);
   SUNCHASE_LOG(Debug) << "batch: " << result.stats.succeeded << "/"
                       << queries.size() << " queries ok on " << workers
                       << " workers in " << elapsed << " s ("

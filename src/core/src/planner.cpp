@@ -47,6 +47,10 @@ PlanResult SunChasePlanner::plan(roadnet::NodeId origin,
     record.departure = departure.to_string();
     record.pricing = pricing_name(options_.mlc.pricing);
     record.world_version = static_cast<std::int64_t>(world()->version());
+    // Joins this record to the HTTP request that planned it (same id
+    // the server echoes in x-sunchase-request-id and the trace export).
+    if (obs::current_trace().valid())
+      record.trace_id = obs::current_trace().trace_id_hex();
   }
 
   try {

@@ -9,12 +9,15 @@
 namespace sunchase::core {
 
 WorldStore::WorldStore(WorldInit initial)
-    : current_(World::create(std::move(initial), 1)), next_version_(2) {}
+    : current_(World::create(std::move(initial), 1)), next_version_(2) {
+  remember(current());
+}
 
 WorldStore::WorldStore(WorldPtr initial) {
   if (!initial) throw InvalidArgument("WorldStore: null initial world");
   next_version_ = initial->version() + 1;
-  current_.store(std::move(initial), std::memory_order_release);
+  current_.store(initial, std::memory_order_release);
+  remember(initial);
 }
 
 WorldPtr WorldStore::publish(WorldInit next) {
@@ -25,11 +28,53 @@ WorldPtr WorldStore::publish(WorldInit next) {
   const std::uint64_t version = next_version_++;
   WorldPtr world = World::create(std::move(next), version);
   current_.store(world, std::memory_order_release);
+  remember(world);
   obs::Registry::global().gauge("world.version").set(
       static_cast<double>(version));
   obs::Registry::global().counter("world.publishes").add();
   SUNCHASE_LOG(Info) << "worldstore: published version " << version;
   return world;
+}
+
+void WorldStore::remember(const WorldPtr& world) {
+  const std::lock_guard<std::mutex> lock(lineage_mutex_);
+  if (lineage_.size() == kLineageCapacity) lineage_.pop_front();
+  lineage_.emplace_back(world->version(), std::weak_ptr<const World>(world));
+}
+
+std::vector<WorldVersionInfo> WorldStore::lineage() const {
+  const std::uint64_t current_version = current()->version();
+  std::vector<WorldVersionInfo> rows;
+  {
+    const std::lock_guard<std::mutex> lock(lineage_mutex_);
+    rows.reserve(lineage_.size());
+    for (const auto& [version, weak] : lineage_) {
+      WorldVersionInfo info;
+      info.version = version;
+      info.current = version == current_version;
+      if (const WorldPtr pinned = weak.lock()) {
+        info.alive = true;
+        // Discount our own temporary pin and, for the current version,
+        // the store's reference — what remains is outside readers.
+        const auto count = static_cast<std::size_t>(pinned.use_count());
+        const std::size_t own = info.current ? 2u : 1u;
+        info.pins = count > own ? count - own : 0u;
+      }
+      rows.push_back(info);
+    }
+  }
+  // Aggregate gauges only: per-version series would grow with every
+  // publish, so version-level detail stays in /debug/worlds.
+  std::size_t live = 0, pins = 0;
+  for (const WorldVersionInfo& row : rows) {
+    live += row.alive ? 1u : 0u;
+    pins += row.pins;
+  }
+  obs::Registry::global().gauge("world.live_versions").set(
+      static_cast<double>(live));
+  obs::Registry::global().gauge("world.pinned_readers").set(
+      static_cast<double>(pins));
+  return rows;
 }
 
 }  // namespace sunchase::core

@@ -5,6 +5,15 @@
 // Prometheus text exposition format. Instrumented code caches the
 // handle returned by Registry::{counter,gauge,histogram} — handles stay
 // valid for the registry's lifetime.
+//
+// Metrics may carry dimensional labels (endpoint, status, pricing
+// mode): each distinct {name, label set} is an independent series of
+// one family, rendered as a proper Prometheus label set
+// (`serve_requests{endpoint="/plan",status="200"} 3`). Cardinality is
+// bounded — a family caps out at kMaxSeriesPerFamily label sets, after
+// which new sets clamp to one shared {overflow="true"} series (and
+// `obs.metrics.series_overflow` counts the clamps), so an unbounded
+// label value (a raw URL, a user id) can never OOM the registry.
 #pragma once
 
 #include <atomic>
@@ -13,9 +22,23 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace sunchase::obs {
+
+/// One metric's dimensional labels: {key, value} pairs. Order does not
+/// matter (series identity sorts by key); keys are sanitized to the
+/// Prometheus label charset, values may be any UTF-8 (escaped on
+/// export). Keep values BOUNDED — enum-like strings, never raw input.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Canonical series identity: `name` alone for empty labels, otherwise
+/// `name{k="v",...}` with keys sorted and values escaped — the exact
+/// form snapshot maps and exports key on. Throws InvalidArgument on an
+/// empty name, empty label key, or duplicate label key.
+[[nodiscard]] std::string series_key(const std::string& name,
+                                     const Labels& labels);
 
 /// Monotonically increasing event count. add() is a relaxed fetch_add.
 class Counter {
@@ -100,10 +123,14 @@ class Histogram {
 [[nodiscard]] std::vector<double> latency_bounds();
 
 /// Point-in-time copy of every registered metric, ready to export.
+/// Keys are series keys (see series_key): plain names for unlabeled
+/// metrics, `name{k="v",...}` for labeled series.
 struct MetricsSnapshot {
   std::map<std::string, std::uint64_t> counters;
   std::map<std::string, double> gauges;
   std::map<std::string, HistogramSnapshot> histograms;
+  /// Family name -> HELP text (Registry::describe).
+  std::map<std::string, std::string> help;
 
   /// Pretty-printed JSON object ({"counters": {...}, "gauges": {...},
   /// "histograms": {...}}); every line is prefixed with `indent` spaces
@@ -111,6 +138,9 @@ struct MetricsSnapshot {
   [[nodiscard]] std::string to_json(int indent = 0) const;
 
   /// Prometheus text exposition format ('.' in names becomes '_').
+  /// Series are grouped by family so # HELP / # TYPE render exactly
+  /// once per family; labeled histograms merge the `le` bucket label
+  /// into the user label set.
   [[nodiscard]] std::string to_prometheus() const;
 };
 
@@ -120,17 +150,30 @@ struct MetricsSnapshot {
 /// private registries for isolation.
 class Registry {
  public:
+  /// Distinct label sets one family tolerates before clamping new ones
+  /// to the shared {overflow="true"} series.
+  static constexpr std::size_t kMaxSeriesPerFamily = 64;
+
   Registry() = default;
   Registry(const Registry&) = delete;
   Registry& operator=(const Registry&) = delete;
 
-  /// Finds or creates the named metric. Throws InvalidArgument when the
-  /// name already names a metric of a different kind, or (histograms)
-  /// when the boundaries differ from the registered ones.
-  Counter& counter(const std::string& name);
-  Gauge& gauge(const std::string& name);
+  /// Finds or creates the named metric (one series per {name, labels}).
+  /// Throws InvalidArgument when the name already names a metric of a
+  /// different kind, or (histograms) when the boundaries differ from
+  /// the registered ones. Past kMaxSeriesPerFamily distinct label sets,
+  /// returns the family's overflow series instead of creating more.
+  Counter& counter(const std::string& name, const Labels& labels = {});
+  Gauge& gauge(const std::string& name, const Labels& labels = {});
   Histogram& histogram(const std::string& name,
                        std::vector<double> bounds = latency_bounds());
+  /// Labeled series require explicit bounds (a default here would make
+  /// `histogram("h", {1.0})` ambiguous against the overload above).
+  Histogram& histogram(const std::string& name, const Labels& labels,
+                       std::vector<double> bounds);
+
+  /// Attaches a # HELP text to a family (shown on /metrics).
+  void describe(const std::string& name, const std::string& text);
 
   [[nodiscard]] MetricsSnapshot snapshot() const;
 
@@ -142,10 +185,23 @@ class Registry {
   static Registry& global();
 
  private:
+  /// Enforces one kind per family ('c'/'g'/'h'); throws on collision.
+  void check_kind(const std::string& family, char kind, const char* where);
+  /// True when the family may still add a series; false means the
+  /// caller must clamp to the overflow series.
+  bool admit_series(const std::string& family);
+  Counter& overflow_counter_locked();
+
   mutable std::mutex mutex_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, char> kinds_;         ///< family -> kind
+  std::map<std::string, std::size_t> series_; ///< family -> series count
+  std::map<std::string, std::string> help_;   ///< family -> HELP text
+  /// family -> bucket boundaries; every series of a histogram family
+  /// must share them so _bucket rows line up across label sets.
+  std::map<std::string, std::vector<double>> histogram_bounds_;
 };
 
 }  // namespace sunchase::obs

@@ -11,10 +11,12 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <fstream>
 #include <mutex>
 #include <ostream>
 #include <string>
+#include <vector>
 
 #include "sunchase/common/units.h"
 #include "sunchase/obs/metrics.h"
@@ -36,6 +38,11 @@ struct QueryRecord {
   /// (core::World::version()); emitted as "world.version". -1 (the
   /// default) omits the field for callers without snapshot context.
   std::int64_t world_version = -1;
+  /// 32-hex W3C trace id of the request that planned this query
+  /// (obs::TraceContext::trace_id_hex()); emitted as "trace_id" when
+  /// non-empty, so one id joins the HTTP response header, this record
+  /// and the /debug/trace span export.
+  std::string trace_id;
 
   // Per-phase durations, in seconds.
   double mlc_seconds = 0.0;        ///< multi-label correcting search
@@ -88,6 +95,12 @@ class QueryLog {
   /// keeps every completed query).
   void write(const QueryRecord& record);
 
+  /// Serialized lines the in-memory ring still holds (most recent
+  /// kTailCapacity). The backend of GET /debug/queries?n= — live
+  /// introspection without re-reading (or even having) the log file.
+  static constexpr std::size_t kTailCapacity = 256;
+  [[nodiscard]] std::vector<std::string> tail(std::size_t n) const;
+
   [[nodiscard]] std::uint64_t record_count() const noexcept {
     return records_.load(std::memory_order_relaxed);
   }
@@ -98,7 +111,8 @@ class QueryLog {
  private:
   std::ofstream owned_;   ///< backing file for the path constructor
   std::ostream& sink_;    ///< owned_ or the caller's stream
-  std::mutex mutex_;      ///< serializes appends only
+  mutable std::mutex mutex_;  ///< serializes appends and tail reads
+  std::deque<std::string> tail_;  ///< last kTailCapacity lines
   std::atomic<double> slow_threshold_seconds_{0.0};
   std::atomic<std::uint64_t> records_{0};
   std::atomic<std::uint64_t> slow_{0};

@@ -15,14 +15,22 @@
 #include <string>
 #include <vector>
 
+#include "sunchase/obs/trace_context.h"
+
 namespace sunchase::obs {
 
 /// One completed span, in microseconds since the tracer's origin.
 /// `name` must point at a string literal (static storage duration).
+/// The trace/span/parent ids carry request identity across threads:
+/// zero ids mean "no context" (a span recorded outside any request).
 struct TraceEvent {
   const char* name = nullptr;
   std::uint64_t ts_us = 0;
   std::uint64_t dur_us = 0;
+  std::uint64_t trace_hi = 0;   ///< request trace id (high 64 bits)
+  std::uint64_t trace_lo = 0;   ///< request trace id (low 64 bits)
+  std::uint64_t span_id = 0;    ///< this span's own id
+  std::uint64_t parent_id = 0;  ///< enclosing span (0 = root)
 };
 
 namespace detail {
@@ -67,8 +75,14 @@ class Tracer {
   /// Microseconds since the tracer came up (the trace time axis).
   [[nodiscard]] std::uint64_t now_us() const noexcept;
 
-  /// All recorded spans as a Chrome trace_event JSON document.
-  [[nodiscard]] std::string to_chrome_json() const;
+  /// Recorded spans as a Chrome trace_event JSON document. `since_us`
+  /// keeps only spans that *ended* at or after that tracer timestamp —
+  /// the incremental-poll contract of GET /debug/trace?since= (poll,
+  /// remember the document's "now_us", pass it back next time). Spans
+  /// with a trace context export it under "args" ({trace_id, span_id,
+  /// parent_id} hex strings), which is how a viewer — or a test —
+  /// re-parents spans across thread boundaries.
+  [[nodiscard]] std::string to_chrome_json(std::uint64_t since_us = 0) const;
 
   /// Spans currently held across all thread buffers.
   [[nodiscard]] std::size_t span_count() const;
@@ -93,21 +107,31 @@ class Tracer {
 };
 
 /// RAII span: times the enclosing scope and records it on destruction.
-/// `name` must be a string literal; nesting is expressed purely by
-/// scope containment (Perfetto reconstructs the stack from times).
+/// `name` must be a string literal. Nesting is expressed both by scope
+/// containment (Perfetto reconstructs same-thread stacks from times)
+/// and explicitly: each span adopts the thread's current trace context
+/// as its parent, installs itself as current for its scope, and records
+/// {trace_id, span_id, parent_id} — so a child span on a ThreadPool
+/// worker (re-installed via TraceScope) still parents to the request.
 class SpanTimer {
  public:
   explicit SpanTimer(const char* name) noexcept {
     if (Tracer::global().enabled()) {
       name_ = name;
+      parent_ = current_trace();
+      self_ = parent_;
+      self_.span_id = random_span_id();
+      detail::set_current_trace(self_);
       start_us_ = Tracer::global().now_us();
     }
   }
   ~SpanTimer() {
     if (name_ != nullptr) {
       const std::uint64_t end_us = Tracer::global().now_us();
+      detail::set_current_trace(parent_);
       Tracer::global().thread_buffer().record(
-          TraceEvent{name_, start_us_, end_us - start_us_});
+          TraceEvent{name_, start_us_, end_us - start_us_, self_.trace_hi,
+                     self_.trace_lo, self_.span_id, parent_.span_id});
     }
   }
   SpanTimer(const SpanTimer&) = delete;
@@ -116,6 +140,8 @@ class SpanTimer {
  private:
   const char* name_ = nullptr;  ///< null when tracing was disabled
   std::uint64_t start_us_ = 0;
+  TraceContext parent_{};  ///< context to restore (and parent span id)
+  TraceContext self_{};    ///< this span's identity while open
 };
 
 }  // namespace sunchase::obs

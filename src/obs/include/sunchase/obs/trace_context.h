@@ -1,0 +1,82 @@
+// Request-scoped trace identity, propagated W3C Trace Context style: a
+// 128-bit trace id names one end-to-end request, a 64-bit span id names
+// the currently open span within it. The context travels implicitly on
+// the thread (TraceScope installs/restores a thread-local), and
+// explicitly across ThreadPool boundaries (capture current_trace() at
+// submit time, re-install it in the worker) — so a span recorded on a
+// batch worker still knows which HTTP request it belongs to. Parsing
+// and formatting follow the W3C `traceparent` header
+// (https://www.w3.org/TR/trace-context/):
+//
+//   00-<32 hex trace-id>-<16 hex parent-id>-<2 hex flags>
+//
+// Propagation is independent of Tracer::enabled(): request-id echo and
+// query-log stamping work even when span recording is off.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace sunchase::obs {
+
+struct TraceContext {
+  std::uint64_t trace_hi = 0;  ///< high 64 bits of the 128-bit trace id
+  std::uint64_t trace_lo = 0;  ///< low 64 bits
+  std::uint64_t span_id = 0;   ///< the currently open span (children's parent)
+
+  /// A context with an all-zero trace id carries no request identity
+  /// (the W3C invalid trace-id).
+  [[nodiscard]] bool valid() const noexcept {
+    return (trace_hi | trace_lo) != 0;
+  }
+
+  /// 32 lowercase hex chars — the request id echoed to HTTP clients and
+  /// stamped into query-log records.
+  [[nodiscard]] std::string trace_id_hex() const;
+  /// 16 lowercase hex chars.
+  [[nodiscard]] std::string span_id_hex() const;
+  /// "00-<trace_id>-<span_id>-01" (always sampled; we never head-drop).
+  [[nodiscard]] std::string to_traceparent() const;
+
+  /// Strict W3C parse: version 00, non-zero trace and parent ids,
+  /// lowercase-or-uppercase hex accepted. nullopt on anything else —
+  /// the caller falls back to generate().
+  [[nodiscard]] static std::optional<TraceContext> from_traceparent(
+      std::string_view header);
+
+  /// A fresh random trace id + root span id.
+  [[nodiscard]] static TraceContext generate();
+};
+
+/// A fresh non-zero 64-bit span id (thread-local SplitMix64; unique
+/// enough for correlation, not cryptographic).
+[[nodiscard]] std::uint64_t random_span_id() noexcept;
+
+/// The calling thread's current trace context ({0,0,0} when none).
+[[nodiscard]] const TraceContext& current_trace() noexcept;
+
+namespace detail {
+/// Overwrites the thread-local context. SpanTimer uses this to install
+/// itself as the parent of nested spans; everyone else should go
+/// through TraceScope.
+void set_current_trace(const TraceContext& context) noexcept;
+}  // namespace detail
+
+/// RAII installation of a trace context on the current thread: the
+/// ingress point (HTTP handler) installs the request's context, a
+/// ThreadPool worker re-installs the context captured at submit time.
+/// Restores the previous context on destruction, so scopes nest.
+class TraceScope {
+ public:
+  explicit TraceScope(const TraceContext& context) noexcept;
+  ~TraceScope();
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  TraceContext previous_;
+};
+
+}  // namespace sunchase::obs

@@ -32,6 +32,66 @@ std::string prometheus_name(const std::string& name) {
   return out;
 }
 
+/// Label KEYS join the metric name's charset (leading digits are the
+/// caller's problem — keys are programmer-chosen constants).
+std::string prometheus_label_key(const std::string& key) {
+  std::string out = key;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+/// Label VALUE escaping per the exposition format: backslash, double
+/// quote and newline must be escaped; everything else passes through.
+std::string escape_label_value(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// JSON string escaping for snapshot keys (which may embed quoted label
+/// values) and HELP texts.
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// Splits a series key back into {family, label block incl. braces}.
+std::pair<std::string, std::string> split_series_key(const std::string& key) {
+  const std::size_t brace = key.find('{');
+  if (brace == std::string::npos) return {key, ""};
+  return {key.substr(0, brace), key.substr(brace)};
+}
+
+/// A bucket's label block: the series' own labels with `le` appended
+/// last — `{le="0.5"}` for unlabeled series, `{k="v",le="0.5"}` else.
+std::string bucket_labels(const std::string& labels, const std::string& le) {
+  if (labels.empty()) return "{le=\"" + le + "\"}";
+  return labels.substr(0, labels.size() - 1) + ",le=\"" + le + "\"}";
+}
+
 /// Shortest round-trippable rendering without trailing-zero noise.
 std::string format_double(double v) {
   std::ostringstream out;
@@ -41,6 +101,40 @@ std::string format_double(double v) {
 }
 
 }  // namespace
+
+std::string series_key(const std::string& name, const Labels& labels) {
+  if (name.empty())
+    throw InvalidArgument("series_key: metric name must not be empty");
+  if (labels.empty()) return name;
+
+  Labels sorted;
+  sorted.reserve(labels.size());
+  for (const auto& [key, value] : labels) {
+    if (key.empty())
+      throw InvalidArgument("series_key: '" + name +
+                            "': label key must not be empty");
+    sorted.emplace_back(prometheus_label_key(key), value);
+  }
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (std::size_t i = 1; i < sorted.size(); ++i)
+    if (sorted[i].first == sorted[i - 1].first)
+      throw InvalidArgument("series_key: '" + name +
+                            "': duplicate label key '" + sorted[i].first +
+                            "'");
+
+  std::string out = name;
+  out += '{';
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    if (i != 0) out += ',';
+    out += sorted[i].first;
+    out += "=\"";
+    out += escape_label_value(sorted[i].second);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
 
 double HistogramSnapshot::quantile(double q) const noexcept {
   if (count == 0) return 0.0;
@@ -121,23 +215,25 @@ std::string MetricsSnapshot::to_json(int indent) const {
   std::ostringstream out;
   out << pad << "{\n";
 
+  // Series keys embed quoted label values (`name{k="v"}`), so every
+  // key goes through json_escape.
   out << pad << "  \"counters\": {";
   for (auto it = counters.begin(); it != counters.end(); ++it)
     out << (it == counters.begin() ? "\n" : ",\n") << pad << "    \""
-        << it->first << "\": " << it->second;
+        << json_escape(it->first) << "\": " << it->second;
   out << (counters.empty() ? "" : "\n" + pad + "  ") << "},\n";
 
   out << pad << "  \"gauges\": {";
   for (auto it = gauges.begin(); it != gauges.end(); ++it)
     out << (it == gauges.begin() ? "\n" : ",\n") << pad << "    \""
-        << it->first << "\": " << format_double(it->second);
+        << json_escape(it->first) << "\": " << format_double(it->second);
   out << (gauges.empty() ? "" : "\n" + pad + "  ") << "},\n";
 
   out << pad << "  \"histograms\": {";
   for (auto it = histograms.begin(); it != histograms.end(); ++it) {
     const HistogramSnapshot& h = it->second;
     out << (it == histograms.begin() ? "\n" : ",\n");
-    out << pad << "    \"" << it->first << "\": {\n";
+    out << pad << "    \"" << json_escape(it->first) << "\": {\n";
     out << pad << "      \"count\": " << h.count
         << ", \"sum\": " << format_double(h.sum)
         << ", \"min\": " << format_double(h.min)
@@ -158,66 +254,164 @@ std::string MetricsSnapshot::to_json(int indent) const {
 }
 
 std::string MetricsSnapshot::to_prometheus() const {
+  // Group series under their family first: map ordering interleaves
+  // families otherwise (`name2` sorts before `name{...}`), and the
+  // exposition format requires all of a family's series — and its one
+  // # HELP / # TYPE pair — to be contiguous.
+  const auto emit_header = [this](std::ostringstream& out,
+                                  const std::string& family,
+                                  const char* type) {
+    const std::string p = prometheus_name(family);
+    const auto doc = help.find(family);
+    if (doc != help.end())
+      out << "# HELP " << p << " " << escape_label_value(doc->second)
+          << "\n";
+    out << "# TYPE " << p << " " << type << "\n";
+  };
+
   std::ostringstream out;
-  for (const auto& [name, value] : counters) {
-    const std::string p = prometheus_name(name);
-    out << "# TYPE " << p << " counter\n" << p << " " << value << "\n";
+  std::map<std::string, std::vector<std::pair<std::string, std::uint64_t>>>
+      counter_families;
+  for (const auto& [key, value] : counters) {
+    auto [family, labels] = split_series_key(key);
+    counter_families[std::move(family)].emplace_back(std::move(labels),
+                                                     value);
   }
-  for (const auto& [name, value] : gauges) {
-    const std::string p = prometheus_name(name);
-    out << "# TYPE " << p << " gauge\n" << p << " " << format_double(value)
-        << "\n";
+  for (const auto& [family, series] : counter_families) {
+    emit_header(out, family, "counter");
+    for (const auto& [labels, value] : series)
+      out << prometheus_name(family) << labels << " " << value << "\n";
   }
-  for (const auto& [name, h] : histograms) {
-    const std::string p = prometheus_name(name);
-    out << "# TYPE " << p << " histogram\n";
-    std::uint64_t cumulative = 0;
-    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
-      cumulative += h.buckets[i];
-      out << p << "_bucket{le=\""
-          << (i < h.bounds.size() ? format_double(h.bounds[i]) : "+Inf")
-          << "\"} " << cumulative << "\n";
+
+  std::map<std::string, std::vector<std::pair<std::string, double>>>
+      gauge_families;
+  for (const auto& [key, value] : gauges) {
+    auto [family, labels] = split_series_key(key);
+    gauge_families[std::move(family)].emplace_back(std::move(labels), value);
+  }
+  for (const auto& [family, series] : gauge_families) {
+    emit_header(out, family, "gauge");
+    for (const auto& [labels, value] : series)
+      out << prometheus_name(family) << labels << " "
+          << format_double(value) << "\n";
+  }
+
+  std::map<std::string,
+           std::vector<std::pair<std::string, const HistogramSnapshot*>>>
+      histogram_families;
+  for (const auto& [key, h] : histograms) {
+    auto [family, labels] = split_series_key(key);
+    histogram_families[std::move(family)].emplace_back(std::move(labels),
+                                                       &h);
+  }
+  for (const auto& [family, series] : histogram_families) {
+    emit_header(out, family, "histogram");
+    const std::string p = prometheus_name(family);
+    for (const auto& [labels, h] : series) {
+      std::uint64_t cumulative = 0;
+      for (std::size_t i = 0; i < h->buckets.size(); ++i) {
+        cumulative += h->buckets[i];
+        out << p << "_bucket"
+            << bucket_labels(labels, i < h->bounds.size()
+                                         ? format_double(h->bounds[i])
+                                         : "+Inf")
+            << " " << cumulative << "\n";
+      }
+      out << p << "_sum" << labels << " " << format_double(h->sum) << "\n";
+      out << p << "_count" << labels << " " << h->count << "\n";
     }
-    out << p << "_sum " << format_double(h.sum) << "\n";
-    out << p << "_count " << h.count << "\n";
   }
   return out.str();
 }
 
-Counter& Registry::counter(const std::string& name) {
+void Registry::check_kind(const std::string& family, char kind,
+                          const char* where) {
+  const auto [it, inserted] = kinds_.emplace(family, kind);
+  if (!inserted && it->second != kind)
+    throw InvalidArgument(std::string("Registry::") + where + ": '" +
+                          family + "' is registered as another metric kind");
+}
+
+Counter& Registry::overflow_counter_locked() {
+  // Direct map access: we already hold mutex_, and the bookkeeping
+  // counter must never itself trip the cardinality path.
+  auto& slot = counters_["obs.metrics.series_overflow"];
+  if (!slot) {
+    slot = std::make_unique<Counter>();
+    kinds_.emplace("obs.metrics.series_overflow", 'c');
+    series_["obs.metrics.series_overflow"] = 1;
+  }
+  return *slot;
+}
+
+bool Registry::admit_series(const std::string& family) {
+  std::size_t& count = series_[family];
+  if (count >= kMaxSeriesPerFamily) {
+    overflow_counter_locked().add();
+    return false;
+  }
+  ++count;
+  return true;
+}
+
+Counter& Registry::counter(const std::string& name, const Labels& labels) {
+  std::string key = series_key(name, labels);
   const std::lock_guard<std::mutex> lock(mutex_);
-  if (gauges_.contains(name) || histograms_.contains(name))
-    throw InvalidArgument("Registry::counter: '" + name +
-                          "' is registered as another metric kind");
-  auto& slot = counters_[name];
+  check_kind(name, 'c', "counter");
+  if (const auto it = counters_.find(key); it != counters_.end())
+    return *it->second;
+  if (!admit_series(name))
+    key = series_key(name, {{"overflow", "true"}});
+  auto& slot = counters_[key];
   if (!slot) slot = std::make_unique<Counter>();
   return *slot;
 }
 
-Gauge& Registry::gauge(const std::string& name) {
+Gauge& Registry::gauge(const std::string& name, const Labels& labels) {
+  std::string key = series_key(name, labels);
   const std::lock_guard<std::mutex> lock(mutex_);
-  if (counters_.contains(name) || histograms_.contains(name))
-    throw InvalidArgument("Registry::gauge: '" + name +
-                          "' is registered as another metric kind");
-  auto& slot = gauges_[name];
+  check_kind(name, 'g', "gauge");
+  if (const auto it = gauges_.find(key); it != gauges_.end())
+    return *it->second;
+  if (!admit_series(name))
+    key = series_key(name, {{"overflow", "true"}});
+  auto& slot = gauges_[key];
   if (!slot) slot = std::make_unique<Gauge>();
   return *slot;
 }
 
 Histogram& Registry::histogram(const std::string& name,
                                std::vector<double> bounds) {
+  return histogram(name, Labels{}, std::move(bounds));
+}
+
+Histogram& Registry::histogram(const std::string& name, const Labels& labels,
+                               std::vector<double> bounds) {
+  std::string key = series_key(name, labels);
   const std::lock_guard<std::mutex> lock(mutex_);
-  if (counters_.contains(name) || gauges_.contains(name))
-    throw InvalidArgument("Registry::histogram: '" + name +
-                          "' is registered as another metric kind");
-  auto& slot = histograms_[name];
-  if (!slot) {
-    slot = std::make_unique<Histogram>(std::move(bounds));
-  } else if (slot->bounds() != bounds) {
-    throw InvalidArgument("Registry::histogram: '" + name +
-                          "' re-registered with different boundaries");
+  check_kind(name, 'h', "histogram");
+  // Boundaries are a family-wide property: every label set shares them
+  // so the _bucket rows line up across series.
+  if (const auto it = histogram_bounds_.find(name);
+      it != histogram_bounds_.end()) {
+    if (it->second != bounds)
+      throw InvalidArgument("Registry::histogram: '" + name +
+                            "' re-registered with different boundaries");
+  } else {
+    histogram_bounds_[name] = bounds;
   }
+  if (const auto it = histograms_.find(key); it != histograms_.end())
+    return *it->second;
+  if (!admit_series(name))
+    key = series_key(name, {{"overflow", "true"}});
+  auto& slot = histograms_[key];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
   return *slot;
+}
+
+void Registry::describe(const std::string& name, const std::string& text) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  help_[name] = text;
 }
 
 MetricsSnapshot Registry::snapshot() const {
@@ -227,6 +421,7 @@ MetricsSnapshot Registry::snapshot() const {
   for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
   for (const auto& [name, h] : histograms_)
     snap.histograms[name] = h->snapshot();
+  snap.help = help_;
   return snap;
 }
 

@@ -1,5 +1,6 @@
 #include "sunchase/obs/query_log.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "sunchase/common/error.h"
@@ -55,6 +56,7 @@ std::string QueryRecord::to_json() const {
       << ",\"departure\":\"" << escape(departure) << "\",\"pricing\":\""
       << escape(pricing) << "\",\"status\":\"" << escape(status) << "\"";
   if (world_version >= 0) out << ",\"world.version\":" << world_version;
+  if (!trace_id.empty()) out << ",\"trace_id\":\"" << escape(trace_id) << "\"";
   if (status != "ok") out << ",\"error\":\"" << escape(error) << "\"";
   out << ",\"mlc_seconds\":" << format_double(mlc_seconds)
       << ",\"kmeans_seconds\":" << format_double(kmeans_seconds)
@@ -87,14 +89,24 @@ QueryLog::QueryLog(std::ostream& sink)
       records_metric_(Registry::global().counter("querylog.records")),
       slow_metric_(Registry::global().counter("querylog.slow_queries")) {}
 
+std::vector<std::string> QueryLog::tail(std::size_t n) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::size_t count = std::min(n, tail_.size());
+  return std::vector<std::string>(tail_.end() - static_cast<std::ptrdiff_t>(count),
+                                  tail_.end());
+}
+
 void QueryLog::write(const QueryRecord& record) {
   // Build the full line outside the lock; the critical section is one
   // streamed write, so lines from concurrent workers never interleave.
-  const std::string line = record.to_json() + "\n";
+  std::string line = record.to_json() + "\n";
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     sink_ << line;
     sink_.flush();
+    line.pop_back();  // ring holds bare JSON objects, no newline
+    if (tail_.size() == kTailCapacity) tail_.pop_front();
+    tail_.push_back(std::move(line));
   }
   records_.fetch_add(1, std::memory_order_relaxed);
   records_metric_.add();

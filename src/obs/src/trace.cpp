@@ -1,19 +1,54 @@
 #include "sunchase/obs/trace.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <sstream>
 
+#include "sunchase/common/logging.h"
+#include "sunchase/obs/metrics.h"
+
 namespace sunchase::obs {
+
+namespace {
+
+/// 16 lowercase hex chars, for span/parent ids in the export.
+std::string hex64(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+/// A full buffer silently eating spans is the kind of telemetry loss
+/// that must itself be telemetered: count every drop in the registry
+/// and Warn once per process when dropping first starts.
+void count_dropped_span() {
+  static Counter& dropped =
+      Registry::global().counter("obs.trace.dropped_spans");
+  dropped.add();
+  static std::atomic<bool> warned{false};
+  if (!warned.exchange(true, std::memory_order_relaxed))
+    SUNCHASE_LOG(Warning)
+        << "trace: span ring buffer full, dropping spans "
+        << "(obs.trace.dropped_spans counts them; drain /debug/trace or "
+        << "clear() more often)";
+}
+
+}  // namespace
 
 namespace detail {
 
 void ThreadBuffer::record(const TraceEvent& event) {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  if (events_.size() >= kCapacity) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (events_.size() < kCapacity) {
+      events_.push_back(event);
+      return;
+    }
     ++dropped_;
-    return;
   }
-  events_.push_back(event);
+  // Metric + log outside the buffer mutex: the exporter contends on it.
+  count_dropped_span();
 }
 
 std::vector<TraceEvent> ThreadBuffer::drain_copy() const {
@@ -56,24 +91,39 @@ detail::ThreadBuffer& Tracer::thread_buffer() {
   return *tls;
 }
 
-std::string Tracer::to_chrome_json() const {
+std::string Tracer::to_chrome_json(std::uint64_t since_us) const {
   std::vector<std::shared_ptr<detail::ThreadBuffer>> buffers;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     buffers = buffers_;
   }
+  const std::uint64_t now = now_us();
   std::ostringstream out;
-  out << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  out << "{\"displayTimeUnit\": \"ms\", \"now_us\": " << now
+      << ", \"traceEvents\": [";
   bool first = true;
   for (const auto& buffer : buffers) {
     for (const TraceEvent& e : buffer->drain_copy()) {
+      // Filter on span end: an incremental poller passing the previous
+      // document's now_us sees every span that completed since.
+      if (e.ts_us + e.dur_us < since_us) continue;
       out << (first ? "\n" : ",\n");
       first = false;
       out << "  {\"name\": \"" << e.name
           << "\", \"cat\": \"sunchase\", \"ph\": \"X\", \"pid\": 1, "
              "\"tid\": "
           << buffer->tid() << ", \"ts\": " << e.ts_us
-          << ", \"dur\": " << e.dur_us << "}";
+          << ", \"dur\": " << e.dur_us;
+      if (e.span_id != 0) {
+        out << ", \"args\": {\"span_id\": \"" << hex64(e.span_id) << "\"";
+        if ((e.trace_hi | e.trace_lo) != 0)
+          out << ", \"trace_id\": \"" << hex64(e.trace_hi)
+              << hex64(e.trace_lo) << "\"";
+        if (e.parent_id != 0)
+          out << ", \"parent_id\": \"" << hex64(e.parent_id) << "\"";
+        out << "}";
+      }
+      out << "}";
     }
   }
   out << (first ? "" : "\n") << "]}\n";

@@ -1,0 +1,144 @@
+#include "sunchase/obs/trace_context.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <thread>
+
+namespace sunchase::obs {
+
+namespace {
+
+thread_local TraceContext t_current{};
+
+/// 16 lowercase hex chars of `v` appended to `out`.
+void append_hex64(std::string& out, std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+/// Parses exactly 16 hex chars into `out`; false on any non-hex byte.
+bool parse_hex64(std::string_view hex, std::uint64_t& out) {
+  out = 0;
+  for (const char c : hex) {
+    std::uint64_t digit = 0;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<std::uint64_t>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      digit = static_cast<std::uint64_t>(c - 'A' + 10);
+    } else {
+      return false;
+    }
+    out = (out << 4) | digit;
+  }
+  return true;
+}
+
+bool is_hex(std::string_view text) {
+  for (const char c : text) {
+    const bool ok = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') ||
+                    (c >= 'A' && c <= 'F');
+    if (!ok) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::uint64_t random_span_id() noexcept {
+  // SplitMix64 over a thread-local state seeded from the clock, the
+  // thread identity and a process-wide sequence — collision-resistant
+  // across threads and restarts without touching std::random_device
+  // (which may throw) on the hot path.
+  thread_local std::uint64_t state = [] {
+    static std::atomic<std::uint64_t> sequence{0x9e3779b97f4a7c15ull};
+    const auto ticks = static_cast<std::uint64_t>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+    return ticks ^ (sequence.fetch_add(0x9e3779b97f4a7c15ull,
+                                       std::memory_order_relaxed)
+                    << 1) ^
+           static_cast<std::uint64_t>(
+               std::hash<std::thread::id>{}(std::this_thread::get_id()));
+  }();
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  return z != 0 ? z : 1;
+}
+
+std::string TraceContext::trace_id_hex() const {
+  std::string out;
+  out.reserve(32);
+  append_hex64(out, trace_hi);
+  append_hex64(out, trace_lo);
+  return out;
+}
+
+std::string TraceContext::span_id_hex() const {
+  std::string out;
+  out.reserve(16);
+  append_hex64(out, span_id);
+  return out;
+}
+
+std::string TraceContext::to_traceparent() const {
+  std::string out = "00-";
+  out.reserve(55);
+  append_hex64(out, trace_hi);
+  append_hex64(out, trace_lo);
+  out += '-';
+  append_hex64(out, span_id);
+  out += "-01";
+  return out;
+}
+
+std::optional<TraceContext> TraceContext::from_traceparent(
+    std::string_view header) {
+  // 00-{32 hex}-{16 hex}-{2 hex}: 55 bytes, dashes at 2, 35 and 52.
+  if (header.size() != 55) return std::nullopt;
+  if (header[2] != '-' || header[35] != '-' || header[52] != '-')
+    return std::nullopt;
+  if (header.substr(0, 2) != "00") return std::nullopt;
+  if (!is_hex(header.substr(53, 2))) return std::nullopt;
+
+  TraceContext context;
+  if (!parse_hex64(header.substr(3, 16), context.trace_hi) ||
+      !parse_hex64(header.substr(19, 16), context.trace_lo) ||
+      !parse_hex64(header.substr(36, 16), context.span_id))
+    return std::nullopt;
+  // All-zero trace or parent ids are explicitly invalid in W3C trace
+  // context; treat the header as absent.
+  if (!context.valid() || context.span_id == 0) return std::nullopt;
+  return context;
+}
+
+TraceContext TraceContext::generate() {
+  TraceContext context;
+  context.trace_hi = random_span_id();
+  context.trace_lo = random_span_id();
+  context.span_id = random_span_id();
+  return context;
+}
+
+const TraceContext& current_trace() noexcept { return t_current; }
+
+namespace detail {
+void set_current_trace(const TraceContext& context) noexcept {
+  t_current = context;
+}
+}  // namespace detail
+
+TraceScope::TraceScope(const TraceContext& context) noexcept
+    : previous_(t_current) {
+  t_current = context;
+}
+
+TraceScope::~TraceScope() { t_current = previous_; }
+
+}  // namespace sunchase::obs

@@ -57,6 +57,9 @@ struct HttpResponse {
   std::string body;
 
   void set_header(std::string name, std::string value);
+  /// First header named `name` (ASCII case-insensitive), or nullptr —
+  /// how tests and the loadgen read the echoed request-id header.
+  [[nodiscard]] const std::string* header(std::string_view name) const;
   [[nodiscard]] std::string to_bytes(bool close_connection) const;
 };
 

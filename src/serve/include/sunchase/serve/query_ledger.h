@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "sunchase/common/time_of_day.h"
@@ -34,6 +35,9 @@ struct LedgerEntry {
   std::size_t vehicle = 0;
   roadnet::Path route;   ///< the recommended route of the response
   core::Criteria cost;   ///< its search criteria (conservation reference)
+  /// 32-hex trace id of the request that answered the query; lets an
+  /// /explain response point back at the original request's trace.
+  std::string trace_id;
 };
 
 /// Thread-safe fixed-capacity ring keyed by a dense monotonic query id.

@@ -13,11 +13,23 @@
 //   GET  /healthz         liveness + current world version + drain state
 //   POST /world/publish   fold crowd observations (or just re-publish)
 //                         into the next world version via WorldStore
+//   GET  /debug/trace     Chrome trace JSON of recorded spans
+//                         (?since=<us> polls incrementally)
+//   GET  /debug/queries   last n QueryLog records (?n=, default 32)
+//   GET  /debug/worlds    WorldStore lineage: live versions + pins
 //
 // Every query resolves store.current() when picked up; a concurrent
 // /world/publish never blocks or tears an in-flight query (the World
 // MVCC contract), which is what makes the admin endpoint safe to call
 // under full load.
+//
+// Request tracing: handle() adopts the caller's W3C `traceparent` (or
+// generates a fresh 128-bit trace id), installs it as the thread's
+// current trace context for the whole request, and echoes it in the
+// `x-sunchase-request-id` and `traceparent` response headers. Planner
+// spans — batch.query on pool workers included — parent back to the
+// ingress serve.request span, and QueryLog records carry the same
+// trace_id, so one id joins response, log line and trace export.
 #pragma once
 
 #include <atomic>
@@ -98,6 +110,13 @@ class RouteService {
   [[nodiscard]] static HttpResponse error_response(int status,
                                                    std::string_view message);
 
+  /// Maps a request target onto the server's bounded endpoint set
+  /// ("/plan", "/explain", "/debug", ..., "other") — the only endpoint
+  /// value metrics labels may carry, so a hostile target can never
+  /// explode `serve.requests{endpoint=...}` cardinality.
+  [[nodiscard]] static const char* route_label(
+      std::string_view target) noexcept;
+
  private:
   HttpResponse dispatch(const HttpRequest& request);
   HttpResponse handle_plan(const HttpRequest& request);
@@ -106,6 +125,9 @@ class RouteService {
   HttpResponse handle_publish(const HttpRequest& request);
   HttpResponse handle_healthz();
   HttpResponse handle_metrics();
+  HttpResponse handle_debug_trace(const std::string& target);
+  HttpResponse handle_debug_queries(const std::string& target);
+  HttpResponse handle_debug_worlds();
 
   /// Per-request MLC options: service defaults overridden by the
   /// request body's pricing / time_budget / vehicle fields.

@@ -105,6 +105,12 @@ void HttpResponse::set_header(std::string name, std::string value) {
   headers.emplace_back(std::move(name), std::move(value));
 }
 
+const std::string* HttpResponse::header(std::string_view name) const {
+  for (const auto& [key, value] : headers)
+    if (iequals(key, name)) return &value;
+  return nullptr;
+}
+
 std::string HttpResponse::to_bytes(bool close_connection) const {
   std::string out;
   out.reserve(128 + body.size());

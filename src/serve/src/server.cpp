@@ -305,6 +305,18 @@ HttpResponse HttpServer::process(const HttpRequest& request) {
   inflight_.add(-1.0);
   requests_.add();
   latency_.observe(elapsed);
+  // Labeled breakdown next to the plain totals (which stay for existing
+  // scrapers): endpoint comes from the bounded route_label set and
+  // status from the fixed code set, so cardinality cannot run away.
+  const obs::Labels endpoint_labels{
+      {"endpoint", RouteService::route_label(request.target)},
+      {"status", std::to_string(response.status)}};
+  obs::Registry::global().counter("serve.requests", endpoint_labels).add();
+  obs::Registry::global()
+      .histogram("serve.latency_seconds",
+                 {{"endpoint", RouteService::route_label(request.target)}},
+                 obs::latency_bounds())
+      .observe(elapsed);
   log_access(request, response, response.body.size(), elapsed * 1000.0);
   return response;
 }

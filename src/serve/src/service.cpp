@@ -4,15 +4,19 @@
 #include <cmath>
 #include <cstdio>
 #include <limits>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "sunchase/common/error.h"
 #include "sunchase/core/explain.h"
+#include "sunchase/core/slot_cost_cache.h"
 #include "sunchase/crowd/crowd_map.h"
 #include "sunchase/crowd/world_fold.h"
 #include "sunchase/obs/metrics.h"
+#include "sunchase/obs/query_log.h"
+#include "sunchase/obs/trace.h"
 #include "sunchase/serve/json.h"
 
 namespace sunchase::serve {
@@ -80,6 +84,49 @@ const core::CandidateRoute& recommended_of(
   return candidates.size() > 1 ? candidates[1] : candidates.front();
 }
 
+/// The value of `?name=` in a request target, or nullopt when absent.
+/// The /debug endpoints take only unescaped numeric parameters, so no
+/// percent-decoding is needed.
+std::optional<std::string> query_param(std::string_view target,
+                                       std::string_view name) {
+  const std::size_t question = target.find('?');
+  if (question == std::string_view::npos) return std::nullopt;
+  std::string_view rest = target.substr(question + 1);
+  while (!rest.empty()) {
+    const std::size_t amp = rest.find('&');
+    const std::string_view pair =
+        amp == std::string_view::npos ? rest : rest.substr(0, amp);
+    rest = amp == std::string_view::npos ? std::string_view{}
+                                         : rest.substr(amp + 1);
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string_view::npos) continue;
+    if (pair.substr(0, eq) == name) return std::string(pair.substr(eq + 1));
+  }
+  return std::nullopt;
+}
+
+/// Parses a non-negative integer query parameter; `fallback` when the
+/// parameter is absent, throws InvalidArgument on garbage.
+std::uint64_t uint_param(std::string_view target, std::string_view name,
+                         std::uint64_t fallback) {
+  const std::optional<std::string> raw = query_param(target, name);
+  if (!raw.has_value()) return fallback;
+  if (raw->empty())
+    throw InvalidArgument(std::string(name) + " must be a non-negative "
+                                              "integer");
+  std::uint64_t value = 0;
+  for (const char c : *raw) {
+    if (c < '0' || c > '9')
+      throw InvalidArgument(std::string(name) + " must be a non-negative "
+                                                "integer");
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (std::numeric_limits<std::uint64_t>::max() - digit) / 10)
+      throw InvalidArgument(std::string(name) + " out of range");
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
 }  // namespace
 
 RouteService::RouteService(core::WorldStore& store,
@@ -114,23 +161,60 @@ void RouteService::set_draining(bool draining) noexcept {
 }
 
 HttpResponse RouteService::handle(const HttpRequest& request) {
-  try {
-    return dispatch(request);
-  } catch (const RoutingError& e) {
-    // The query was well-formed but unplannable (unreachable within the
-    // time budget, label-budget exhaustion): the client's route problem,
-    // not a malformed request.
-    return error_response(422, e.what());
-  } catch (const InvalidArgument& e) {
-    return error_response(400, e.what());
-  } catch (const GraphError& e) {
-    return error_response(400, e.what());
-  } catch (const IoError& e) {
-    return error_response(400, e.what());
-  } catch (const std::exception& e) {
-    counter("serve.errors").add();
-    return error_response(500, e.what());
-  }
+  // Adopt the caller's trace context or mint one, and keep it installed
+  // for the whole request — including error paths. Propagation does not
+  // depend on Tracer::enabled(): the request-id echo and QueryLog
+  // stamping work even with span recording off.
+  obs::TraceContext context;
+  if (const std::string* inbound = request.header("traceparent"))
+    if (const auto parsed = obs::TraceContext::from_traceparent(*inbound))
+      context = *parsed;
+  if (!context.valid()) context = obs::TraceContext::generate();
+  const obs::TraceScope trace_scope(context);
+  const obs::SpanTimer span("serve.request");
+  // Inside the span: the serve.request span itself when recording, the
+  // adopted context otherwise — either way the right parent for the
+  // caller's next hop.
+  const std::string response_parent =
+      obs::current_trace().to_traceparent();
+
+  HttpResponse response = [&] {
+    try {
+      return dispatch(request);
+    } catch (const RoutingError& e) {
+      // The query was well-formed but unplannable (unreachable within
+      // the time budget, label-budget exhaustion): the client's route
+      // problem, not a malformed request.
+      return error_response(422, e.what());
+    } catch (const InvalidArgument& e) {
+      return error_response(400, e.what());
+    } catch (const GraphError& e) {
+      return error_response(400, e.what());
+    } catch (const IoError& e) {
+      return error_response(400, e.what());
+    } catch (const std::exception& e) {
+      counter("serve.errors").add();
+      return error_response(500, e.what());
+    }
+  }();
+  response.set_header("x-sunchase-request-id", context.trace_id_hex());
+  response.set_header("traceparent", response_parent);
+  return response;
+}
+
+const char* RouteService::route_label(std::string_view target) noexcept {
+  std::string_view path = target;
+  if (const std::size_t query = path.find('?');
+      query != std::string_view::npos)
+    path = path.substr(0, query);
+  if (path == "/plan") return "/plan";
+  if (path == "/batch") return "/batch";
+  if (path == "/healthz") return "/healthz";
+  if (path == "/metrics") return "/metrics";
+  if (path == "/world/publish") return "/world/publish";
+  if (path.substr(0, 9) == "/explain/") return "/explain";
+  if (path.substr(0, 7) == "/debug/") return "/debug";
+  return "other";
 }
 
 HttpResponse RouteService::dispatch(const HttpRequest& request) {
@@ -158,6 +242,17 @@ HttpResponse RouteService::dispatch(const HttpRequest& request) {
   if (path == "/world/publish")
     return is_post ? handle_publish(request)
                    : error_response(405, "use POST /world/publish");
+  // The /debug handlers read their own ?since= / ?n= parameters from
+  // the unstripped target.
+  if (path == "/debug/trace")
+    return is_get ? handle_debug_trace(request.target)
+                  : error_response(405, "use GET /debug/trace");
+  if (path == "/debug/queries")
+    return is_get ? handle_debug_queries(request.target)
+                  : error_response(405, "use GET /debug/queries");
+  if (path == "/debug/worlds")
+    return is_get ? handle_debug_worlds()
+                  : error_response(405, "use GET /debug/worlds");
 
   constexpr std::string_view kExplain = "/explain/";
   if (path.size() > kExplain.size() &&
@@ -235,6 +330,7 @@ HttpResponse RouteService::handle_plan(const HttpRequest& request) {
   entry.vehicle = popts.mlc.vehicle;
   entry.route = chosen.route.path;
   entry.cost = chosen.route.cost;
+  entry.trace_id = obs::current_trace().trace_id_hex();
   const std::uint64_t query_id = ledger_.record(std::move(entry));
   counter("serve.plans").add();
 
@@ -335,6 +431,7 @@ HttpResponse RouteService::handle_batch(const HttpRequest& request) {
     entry.vehicle = bopts.mlc.vehicle;
     entry.route = chosen.route.path;
     entry.cost = chosen.route.cost;
+    entry.trace_id = obs::current_trace().trace_id_hex();
     const std::uint64_t query_id = ledger_.record(std::move(entry));
 
     rows += ",\"status\":\"ok\"";
@@ -386,6 +483,8 @@ HttpResponse RouteService::handle_explain(std::uint64_t query_id) {
   out += ",\"destination\":" + std::to_string(entry->destination);
   out += ",\"departure\":" + json_quote(entry->departure.to_string());
   out += ",\"pricing\":" + json_quote(core::pricing_name(entry->pricing));
+  if (!entry->trace_id.empty())
+    out += ",\"trace_id\":" + json_quote(entry->trace_id);
   out += ",\"time_dependent\":";
   out += entry->time_dependent ? "true" : "false";
   out += ",\"vehicle\":" + std::to_string(entry->vehicle);
@@ -469,6 +568,66 @@ HttpResponse RouteService::handle_healthz() {
   out += ",\"world_version\":" + std::to_string(store_.current()->version());
   out += ",\"queries_recorded\":" + std::to_string(ledger_.recorded());
   out += "}";
+  return json_response(200, std::move(out));
+}
+
+HttpResponse RouteService::handle_debug_trace(const std::string& target) {
+  // to_chrome_json already is the response body: a poller remembers the
+  // document's "now_us" and passes it back as ?since= next time to see
+  // only spans that ended in between.
+  const std::uint64_t since = uint_param(target, "since", 0);
+  counter("serve.debug_requests").add();
+  return json_response(200, obs::Tracer::global().to_chrome_json(since));
+}
+
+HttpResponse RouteService::handle_debug_queries(const std::string& target) {
+  const std::uint64_t n = uint_param(target, "n", 32);
+  counter("serve.debug_requests").add();
+  std::string out = "{";
+  if (options_.query_log == nullptr) {
+    out += "\"enabled\":false,\"count\":0,\"queries\":[]}";
+    return json_response(200, std::move(out));
+  }
+  const std::vector<std::string> lines = options_.query_log->tail(
+      static_cast<std::size_t>(std::min<std::uint64_t>(
+          n, obs::QueryLog::kTailCapacity)));
+  out += "\"enabled\":true";
+  out += ",\"recorded\":" +
+         std::to_string(options_.query_log->record_count());
+  out += ",\"count\":" + std::to_string(lines.size());
+  out += ",\"queries\":[";
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (i != 0) out += ',';
+    out += lines[i];  // each line already is one JSON object
+  }
+  out += "]}";
+  return json_response(200, std::move(out));
+}
+
+HttpResponse RouteService::handle_debug_worlds() {
+  counter("serve.debug_requests").add();
+  const core::WorldPtr current = store_.current();
+  std::string out = "{";
+  out += "\"current_version\":" + std::to_string(current->version());
+  out += ",\"vehicles\":" + std::to_string(current->vehicle_count());
+  const core::SlotCostCache& cache = current->slot_cache();
+  out += ",\"slot_cache\":{\"filled_slots\":" +
+         std::to_string(cache.filled_slots()) +
+         ",\"bytes\":" + std::to_string(cache.bytes()) + "}";
+  out += ",\"lineage\":[";
+  const std::vector<core::WorldVersionInfo> rows = store_.lineage();
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const core::WorldVersionInfo& row = rows[i];
+    if (i != 0) out += ',';
+    out += "{\"version\":" + std::to_string(row.version);
+    out += ",\"current\":";
+    out += row.current ? "true" : "false";
+    out += ",\"alive\":";
+    out += row.alive ? "true" : "false";
+    out += ",\"pins\":" + std::to_string(row.pins);
+    out += "}";
+  }
+  out += "]}";
   return json_response(200, std::move(out));
 }
 

@@ -178,6 +178,160 @@ TEST(ObsRegistry, PrometheusExposition) {
             std::string::npos);
 }
 
+TEST(ObsLabels, SeriesKeySortsKeysAndEscapesValues) {
+  // Key order in the input must not matter: identity sorts by key.
+  EXPECT_EQ(series_key("m", {{"b", "2"}, {"a", "1"}}),
+            "m{a=\"1\",b=\"2\"}");
+  EXPECT_EQ(series_key("m", {{"a", "1"}, {"b", "2"}}),
+            "m{a=\"1\",b=\"2\"}");
+  EXPECT_EQ(series_key("m", {}), "m");
+  // Exposition-format escaping: backslash, quote, newline.
+  EXPECT_EQ(series_key("m", {{"k", "a\"b\\c\nd"}}),
+            "m{k=\"a\\\"b\\\\c\\nd\"}");
+  // Label keys are sanitized to the Prometheus charset.
+  EXPECT_EQ(series_key("m", {{"bad-key", "v"}}), "m{bad_key=\"v\"}");
+
+  EXPECT_THROW(series_key("", {}), InvalidArgument);
+  EXPECT_THROW(series_key("m", {{"", "v"}}), InvalidArgument);
+  EXPECT_THROW(series_key("m", {{"a", "1"}, {"a", "2"}}), InvalidArgument);
+}
+
+TEST(ObsLabels, LabeledSeriesAreIndependentOfEachOtherAndTheBareName) {
+  Registry reg;
+  Counter& bare = reg.counter("serve.requests");
+  Counter& plan = reg.counter("serve.requests", {{"endpoint", "/plan"}});
+  Counter& batch = reg.counter("serve.requests", {{"endpoint", "/batch"}});
+  EXPECT_NE(&bare, &plan);
+  EXPECT_NE(&plan, &batch);
+  // Same labels in any order resolve to the same series.
+  Counter& a = reg.counter("x", {{"k1", "v"}, {"k2", "w"}});
+  Counter& b = reg.counter("x", {{"k2", "w"}, {"k1", "v"}});
+  EXPECT_EQ(&a, &b);
+
+  bare.add(1);
+  plan.add(2);
+  batch.add(3);
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counters.at("serve.requests"), 1u);
+  EXPECT_EQ(snap.counters.at("serve.requests{endpoint=\"/plan\"}"), 2u);
+  EXPECT_EQ(snap.counters.at("serve.requests{endpoint=\"/batch\"}"), 3u);
+}
+
+TEST(ObsLabels, KindCollisionAcrossLabeledSeriesThrows) {
+  Registry reg;
+  reg.counter("m", {{"a", "1"}});
+  EXPECT_THROW(reg.gauge("m", {{"b", "2"}}), InvalidArgument);
+  EXPECT_THROW(reg.histogram("m", {{"c", "3"}}, {0.5}), InvalidArgument);
+  // Histogram boundary agreement is enforced per family across series.
+  reg.histogram("h", {{"a", "1"}}, {0.5, 1.0});
+  EXPECT_THROW(reg.histogram("h", {{"a", "2"}}, {0.25}), InvalidArgument);
+}
+
+TEST(ObsLabels, PrometheusRendersLabeledSeriesGroupedPerFamily) {
+  Registry reg;
+  reg.describe("serve.requests", "HTTP requests by endpoint and status");
+  reg.counter("serve.requests").add(6);
+  reg.counter("serve.requests",
+              {{"endpoint", "/plan"}, {"status", "200"}})
+      .add(4);
+  reg.counter("serve.requests",
+              {{"endpoint", "/batch"}, {"status", "200"}})
+      .add(2);
+  // A second family whose name sorts between the bare and labeled
+  // series keys — grouping must keep each family contiguous anyway.
+  reg.counter("serve.requestz").add(1);
+
+  const std::string text = reg.snapshot().to_prometheus();
+  EXPECT_NE(text.find("# HELP serve_requests HTTP requests by endpoint "
+                      "and status"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("serve_requests 6"), std::string::npos);
+  EXPECT_NE(
+      text.find("serve_requests{endpoint=\"/plan\",status=\"200\"} 4"),
+      std::string::npos)
+      << text;
+  EXPECT_NE(
+      text.find("serve_requests{endpoint=\"/batch\",status=\"200\"} 2"),
+      std::string::npos);
+
+  // # TYPE appears exactly once per family, before all its series.
+  std::size_t type_count = 0;
+  for (std::size_t pos = text.find("# TYPE serve_requests counter");
+       pos != std::string::npos;
+       pos = text.find("# TYPE serve_requests counter", pos + 1))
+    ++type_count;
+  EXPECT_EQ(type_count, 1u);
+  // Every series of the family renders after its one TYPE line.
+  EXPECT_LT(text.find("# TYPE serve_requests counter"),
+            text.find("serve_requests{endpoint=\"/batch\""));
+  EXPECT_LT(text.find("# TYPE serve_requests counter"),
+            text.find("serve_requests 6"));
+}
+
+TEST(ObsLabels, PrometheusEscapesLabelValues) {
+  Registry reg;
+  reg.counter("m", {{"path", "a\\b\"c\nd"}}).add(1);
+  const std::string text = reg.snapshot().to_prometheus();
+  EXPECT_NE(text.find("m{path=\"a\\\\b\\\"c\\nd\"} 1"), std::string::npos)
+      << text;
+}
+
+TEST(ObsLabels, HistogramMergesLeAfterUserLabels) {
+  Registry reg;
+  Histogram& h =
+      reg.histogram("serve.latency_seconds", {{"endpoint", "/plan"}},
+                    {0.1, 1.0});
+  h.observe(0.05);
+  h.observe(0.5);
+  h.observe(5.0);
+  const std::string text = reg.snapshot().to_prometheus();
+  EXPECT_NE(text.find("serve_latency_seconds_bucket{endpoint=\"/plan\","
+                      "le=\"0.1\"} 1"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("serve_latency_seconds_bucket{endpoint=\"/plan\","
+                      "le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("serve_latency_seconds_sum{endpoint=\"/plan\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("serve_latency_seconds_count{endpoint=\"/plan\"} 3"),
+            std::string::npos);
+}
+
+TEST(ObsLabels, SnapshotJsonStaysValidWithLabeledKeys) {
+  Registry reg;
+  reg.counter("m", {{"k", "quote\"and\\slash"}}).add(1);
+  reg.histogram("h", {{"endpoint", "/plan"}}, {0.5}).observe(0.1);
+  const std::string json = reg.snapshot().to_json();
+  EXPECT_TRUE(test::json_parses(json)) << json;
+  EXPECT_TRUE(test::json_parses(reg.snapshot().to_json(2)));
+}
+
+TEST(ObsLabels, CardinalityCapClampsToOverflowSeries) {
+  Registry reg;
+  std::vector<Counter*> first;
+  for (std::size_t i = 0; i < Registry::kMaxSeriesPerFamily; ++i)
+    first.push_back(
+        &reg.counter("hot", {{"id", std::to_string(i)}}));
+
+  // Past the cap every new label set lands on ONE shared overflow
+  // series, and each clamp is itself counted.
+  Counter& overflow_a =
+      reg.counter("hot", {{"id", "way-too-many"}});
+  Counter& overflow_b =
+      reg.counter("hot", {{"id", "still-too-many"}});
+  EXPECT_EQ(&overflow_a, &overflow_b);
+  for (Counter* c : first) EXPECT_NE(c, &overflow_a);
+  // Existing series stay reachable after the cap.
+  EXPECT_EQ(&reg.counter("hot", {{"id", "3"}}), first[3]);
+
+  overflow_a.add(5);
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counters.at("hot{overflow=\"true\"}"), 5u);
+  EXPECT_GE(snap.counters.at("obs.metrics.series_overflow"), 2u);
+}
+
 // The concurrency contract: relaxed atomic updates from many pool
 // workers must lose nothing. Exact totals, no epsilon.
 TEST(ObsConcurrency, CounterHammeredFromThreadPoolIsExact) {

@@ -2,11 +2,17 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <utility>
+#include <vector>
 
 #include "sunchase/common/error.h"
 #include "sunchase/core/world_store.h"
+#include "sunchase/obs/query_log.h"
+#include "sunchase/obs/trace.h"
 #include "sunchase/roadnet/citygen.h"
 #include "sunchase/serve/json.h"
 #include "sunchase/serve/query_ledger.h"
@@ -268,6 +274,247 @@ TEST_F(ServeServiceTest, MetricsEndpointEmitsPrometheusText) {
   ASSERT_FALSE(response.headers.empty());
   EXPECT_NE(response.headers[0].second.find("text/plain"),
             std::string::npos);
+}
+
+TEST_F(ServeServiceTest, ResponsesEchoTheRequestTraceId) {
+  const std::string trace_id = "0123456789abcdeffedcba9876543210";
+  HttpRequest request =
+      make_request("POST", "/plan", plan_body(0, 87));
+  request.headers.emplace_back("traceparent",
+                               "00-" + trace_id + "-00000000000000a1-01");
+  const HttpResponse response = service_.handle(request);
+  EXPECT_EQ(response.status, 200);
+
+  const std::string* echoed = response.header("x-sunchase-request-id");
+  ASSERT_NE(echoed, nullptr);
+  EXPECT_EQ(*echoed, trace_id);
+  // The response traceparent keeps the same trace id. With span
+  // recording off (this test) the inbound span id passes through
+  // unchanged — W3C pass-through; with the tracer on it would be the
+  // serve.request span id instead.
+  const std::string* parent = response.header("traceparent");
+  ASSERT_NE(parent, nullptr);
+  ASSERT_EQ(parent->size(), 55u);
+  EXPECT_EQ(parent->substr(0, 36), "00-" + trace_id + "-");
+  EXPECT_EQ(parent->substr(36, 16), "00000000000000a1");
+}
+
+TEST_F(ServeServiceTest, MalformedTraceparentFallsBackToAFreshId) {
+  for (const char* bad : {"", "garbage", "00-zz-aa-01",
+                          "00-00000000000000000000000000000000-"
+                          "00000000000000a1-01"}) {
+    HttpRequest request = make_request("GET", "/healthz");
+    if (*bad != '\0') request.headers.emplace_back("traceparent", bad);
+    const HttpResponse response = service_.handle(request);
+    const std::string* echoed = response.header("x-sunchase-request-id");
+    ASSERT_NE(echoed, nullptr) << bad;
+    EXPECT_EQ(echoed->size(), 32u) << bad;
+    EXPECT_NE(*echoed, std::string(32, '0')) << bad;
+  }
+  // Errors echo the id too — that is what makes 4xx logs greppable.
+  HttpRequest request = make_request("POST", "/plan", "not json");
+  request.headers.emplace_back(
+      "traceparent", "00-0123456789abcdeffedcba9876543210-"
+                     "00000000000000a1-01");
+  const HttpResponse response = service_.handle(request);
+  EXPECT_EQ(response.status, 400);
+  const std::string* echoed = response.header("x-sunchase-request-id");
+  ASSERT_NE(echoed, nullptr);
+  EXPECT_EQ(*echoed, "0123456789abcdeffedcba9876543210");
+}
+
+TEST_F(ServeServiceTest, QueryLogRecordsCarryTheRequestTraceId) {
+  std::ostringstream sink;
+  obs::QueryLog log(sink);
+  RouteServiceOptions options;
+  options.query_log = &log;
+  RouteService logged(store_, options);
+
+  const std::string trace_id = "00000000000010ad0000000000000001";
+  HttpRequest request = make_request("POST", "/plan", plan_body(0, 42));
+  request.headers.emplace_back("traceparent",
+                               "00-" + trace_id + "-00000000000000a1-01");
+  EXPECT_EQ(logged.handle(request).status, 200);
+
+  EXPECT_NE(sink.str().find("\"trace_id\":\"" + trace_id + "\""),
+            std::string::npos)
+      << sink.str();
+
+  // /debug/queries serves the same record from the in-memory tail.
+  const HttpResponse debug =
+      logged.handle(make_request("GET", "/debug/queries?n=8"));
+  ASSERT_EQ(debug.status, 200) << debug.body;
+  const JsonValue body = JsonValue::parse(debug.body);
+  EXPECT_TRUE(body.find("enabled")->as_bool());
+  EXPECT_DOUBLE_EQ(body.number_or("count", 0), 1.0);
+  const JsonValue& row = body.find("queries")->as_array().front();
+  EXPECT_EQ(row.string_or("trace_id", ""), trace_id);
+  EXPECT_EQ(row.string_or("mode", ""), "plan");
+}
+
+TEST_F(ServeServiceTest, DebugQueriesWithoutALogSaysDisabled) {
+  const JsonValue body = call(make_request("GET", "/debug/queries"), 200);
+  EXPECT_FALSE(body.find("enabled")->as_bool());
+  EXPECT_DOUBLE_EQ(body.number_or("count", -1), 0.0);
+  EXPECT_TRUE(body.find("queries")->as_array().empty());
+}
+
+TEST_F(ServeServiceTest, DebugWorldsReportsLineageAcrossPublishes) {
+  JsonValue body = call(make_request("GET", "/debug/worlds"), 200);
+  EXPECT_DOUBLE_EQ(body.number_or("current_version", 0), 1.0);
+  ASSERT_EQ(body.find("lineage")->as_array().size(), 1u);
+  EXPECT_TRUE(body.find("lineage")->as_array()[0].find("current")
+                  ->as_bool());
+
+  // Answer a query (pins v1 in the ledger), then publish v2: lineage
+  // shows both, v2 current, v1 alive because the ledger still pins it.
+  call(make_request("POST", "/plan", plan_body(0, 87)), 200);
+  call(make_request("POST", "/world/publish", ""), 200);
+
+  body = call(make_request("GET", "/debug/worlds"), 200);
+  EXPECT_DOUBLE_EQ(body.number_or("current_version", 0), 2.0);
+  const auto& rows = body.find("lineage")->as_array();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(rows[0].number_or("version", 0), 1.0);
+  EXPECT_FALSE(rows[0].find("current")->as_bool());
+  EXPECT_TRUE(rows[0].find("alive")->as_bool());
+  EXPECT_GE(rows[0].number_or("pins", 0), 1.0);
+  EXPECT_DOUBLE_EQ(rows[1].number_or("version", 0), 2.0);
+  EXPECT_TRUE(rows[1].find("current")->as_bool());
+  EXPECT_NE(body.find("slot_cache"), nullptr);
+}
+
+TEST_F(ServeServiceTest, DebugEndpointsRejectWrongMethodsAndBadParams) {
+  EXPECT_EQ(service_.handle(make_request("POST", "/debug/trace")).status,
+            405);
+  EXPECT_EQ(service_.handle(make_request("POST", "/debug/queries")).status,
+            405);
+  EXPECT_EQ(service_.handle(make_request("POST", "/debug/worlds")).status,
+            405);
+  EXPECT_EQ(service_.handle(make_request("GET", "/debug/nope")).status, 404);
+  EXPECT_EQ(
+      service_.handle(make_request("GET", "/debug/trace?since=abc")).status,
+      400);
+  EXPECT_EQ(
+      service_.handle(make_request("GET", "/debug/queries?n=-3")).status,
+      400);
+}
+
+TEST(ServeRouteLabel, MapsTargetsOntoABoundedSet) {
+  EXPECT_STREQ(RouteService::route_label("/plan"), "/plan");
+  EXPECT_STREQ(RouteService::route_label("/batch"), "/batch");
+  EXPECT_STREQ(RouteService::route_label("/healthz?probe=1"), "/healthz");
+  EXPECT_STREQ(RouteService::route_label("/explain/42"), "/explain");
+  EXPECT_STREQ(RouteService::route_label("/debug/trace?since=9"), "/debug");
+  EXPECT_STREQ(RouteService::route_label("/metrics"), "/metrics");
+  EXPECT_STREQ(RouteService::route_label("/world/publish"),
+               "/world/publish");
+  EXPECT_STREQ(RouteService::route_label("/" + std::string(4096, 'x')),
+               "other");
+  EXPECT_STREQ(RouteService::route_label(""), "other");
+}
+
+/// The tentpole acceptance path: a traced /plan under concurrent
+/// 8-worker /batch load must yield (a) the request-id echo, (b) a
+/// QueryLog record with the same trace_id and (c) a /debug/trace
+/// export where the query's mlc.search span parents — transitively —
+/// back to the ingress serve.request span.
+TEST_F(ServeServiceTest, TraceSpansParentToTheIngressRequestUnderBatchLoad) {
+  struct TracerGuard {
+    TracerGuard() {
+      obs::Tracer::global().clear();
+      obs::Tracer::global().set_enabled(true);
+    }
+    ~TracerGuard() {
+      obs::Tracer::global().set_enabled(false);
+      obs::Tracer::global().clear();
+    }
+  } tracer_guard;
+
+  std::ostringstream sink;
+  obs::QueryLog log(sink);
+  RouteServiceOptions options;
+  options.batch_workers = 8;
+  options.query_log = &log;
+  RouteService service(store_, options);
+
+  std::string batch = "{\"queries\":[";
+  for (int i = 0; i < 6; ++i) {
+    if (i != 0) batch += ',';
+    batch += "{\"origin\":" + std::to_string(i) +
+             ",\"destination\":" + std::to_string(90 - i) +
+             ",\"departure\":\"08:00\"}";
+  }
+  batch += "]}";
+
+  std::vector<std::thread> load;
+  for (int t = 0; t < 2; ++t)
+    load.emplace_back([&service, &batch] {
+      const HttpResponse response =
+          service.handle(make_request("POST", "/batch", batch));
+      EXPECT_EQ(response.status, 200) << response.body;
+    });
+
+  const std::string trace_id = "0123456789abcdeffedcba9876543210";
+  HttpRequest plan = make_request("POST", "/plan", plan_body(0, 87));
+  plan.headers.emplace_back("traceparent",
+                            "00-" + trace_id + "-00000000000000a1-01");
+  const HttpResponse response = service.handle(plan);
+  ASSERT_EQ(response.status, 200) << response.body;
+
+  for (std::thread& thread : load) thread.join();
+
+  // (a) the echo.
+  const std::string* echoed = response.header("x-sunchase-request-id");
+  ASSERT_NE(echoed, nullptr);
+  EXPECT_EQ(*echoed, trace_id);
+
+  // (b) the query log record.
+  EXPECT_NE(sink.str().find("\"trace_id\":\"" + trace_id + "\""),
+            std::string::npos);
+
+  // (c) the parented span export.
+  const HttpResponse debug =
+      service.handle(make_request("GET", "/debug/trace"));
+  ASSERT_EQ(debug.status, 200);
+  const JsonValue doc = JsonValue::parse(debug.body);
+  EXPECT_GT(doc.number_or("now_us", 0), 0.0);
+
+  struct Span {
+    std::string name;
+    std::string parent;
+  };
+  std::map<std::string, Span> by_id;  // span_id -> span
+  std::string mlc_span;
+  for (const JsonValue& event : doc.find("traceEvents")->as_array()) {
+    const JsonValue* args = event.find("args");
+    if (args == nullptr) continue;
+    const std::string id = args->string_or("span_id", "");
+    by_id[id] = Span{event.string_or("name", ""),
+                     args->string_or("parent_id", "")};
+    if (event.string_or("name", "") == "mlc.search" &&
+        args->string_or("trace_id", "") == trace_id)
+      mlc_span = id;
+  }
+  ASSERT_FALSE(mlc_span.empty())
+      << "no mlc.search span carries the request trace id: " << debug.body;
+
+  // Walk parent pointers until the ingress span; every hop must exist.
+  std::string at = mlc_span;
+  std::vector<std::string> chain;
+  while (true) {
+    const auto it = by_id.find(at);
+    ASSERT_NE(it, by_id.end()) << "broken parent chain at " << at;
+    chain.push_back(it->second.name);
+    if (it->second.name == "serve.request") {
+      // The ingress span parents to the caller's traceparent span id.
+      EXPECT_EQ(it->second.parent, "00000000000000a1");
+      break;
+    }
+    ASSERT_LE(chain.size(), 16u) << "parent cycle";
+    at = it->second.parent;
+  }
+  EXPECT_GE(chain.size(), 2u);  // at least mlc.search -> serve.request
 }
 
 TEST(ServeLedger, RecordsFindsAndEvictsByRingPosition) {

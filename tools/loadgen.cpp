@@ -19,10 +19,16 @@
 // the same rows/cols/seed to map lattice coordinates to node ids, so
 // it must be started with the world options the server was.
 //
+// Every request carries a synthetic deterministic W3C `traceparent`
+// header, and the server must echo the same trace id back in
+// `x-sunchase-request-id` — per-step coverage lands in the report as
+// `request_id_coverage`, and any missing echo fails the run.
+//
 // Exit codes: 0 all good; 2 usage; 3 any transport error or HTTP 5xx;
 // 4 an /explain replay failed energy conservation (a response did not
 // match its pinned world); 5 --publish-mid-step saw only one world
-// version (the publish never surfaced).
+// version (the publish never surfaced); 6 a response was missing (or
+// mismatched) the echoed request-id header.
 #include <atomic>
 #include <algorithm>
 #include <chrono>
@@ -113,6 +119,8 @@ struct StepResult {
   std::atomic<std::size_t> http_5xx{0};
   std::atomic<std::size_t> transport_errors{0};
   std::atomic<std::size_t> conservation_failures{0};
+  std::atomic<std::size_t> responses{0};           ///< HTTP responses seen
+  std::atomic<std::size_t> request_id_missing{0};  ///< echo absent/mismatched
   double wall_seconds = 0.0;
   std::mutex latency_mutex;
   std::vector<double> latencies_ms;  ///< guarded by latency_mutex
@@ -129,7 +137,8 @@ double percentile(std::vector<double>& sorted, double q) {
   return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
 }
 
-void run_worker(const Options& opt, const std::vector<std::string>& bodies,
+void run_worker(const Options& opt, std::size_t step_index,
+                const std::vector<std::string>& bodies,
                 std::atomic<std::size_t>& next, StepResult& step) {
   serve::HttpClient client(opt.host, static_cast<std::uint16_t>(opt.port));
   std::vector<double> local_ms;
@@ -137,12 +146,25 @@ void run_worker(const Options& opt, const std::vector<std::string>& bodies,
     const std::size_t i = next.fetch_add(1);
     if (i >= step.requests) break;
     const std::string& body = bodies[i % bodies.size()];
+    // A deterministic synthetic trace per request: the server must echo
+    // exactly these 32 hex chars back in x-sunchase-request-id.
+    char trace_id[33];
+    std::snprintf(trace_id, sizeof trace_id, "%016llx%016llx",
+                  0x10adull + static_cast<unsigned long long>(step_index),
+                  static_cast<unsigned long long>(i) + 1);
+    const std::string traceparent =
+        "00-" + std::string(trace_id) + "-00000000000000a1-01";
     const auto start = std::chrono::steady_clock::now();
     try {
-      const serve::HttpResponse response = client.post("/plan", body);
+      const serve::HttpResponse response = client.request(
+          "POST", "/plan", body, {{"traceparent", traceparent}});
       local_ms.push_back(std::chrono::duration<double, std::milli>(
                              std::chrono::steady_clock::now() - start)
                              .count());
+      step.responses.fetch_add(1);
+      const std::string* echoed = response.header("x-sunchase-request-id");
+      if (echoed == nullptr || *echoed != trace_id)
+        step.request_id_missing.fetch_add(1);
       if (response.status >= 500) {
         step.http_5xx.fetch_add(1);
         continue;
@@ -239,7 +261,8 @@ int main(int argc, char** argv) {
     const std::vector<std::string> bodies = load_bodies(opt);
 
     std::size_t total_requests = 0, total_ok = 0, total_4xx = 0,
-                total_5xx = 0, total_transport = 0, total_conservation = 0;
+                total_5xx = 0, total_transport = 0, total_conservation = 0,
+                total_request_id_missing = 0;
     std::set<std::uint64_t> all_versions;
     std::string samples = "[";
 
@@ -252,8 +275,8 @@ int main(int argc, char** argv) {
       const auto start = std::chrono::steady_clock::now();
       std::vector<std::thread> workers;
       for (std::size_t w = 0; w < concurrency; ++w)
-        workers.emplace_back([&] {
-          run_worker(opt, bodies, next_request, step);
+        workers.emplace_back([&, s] {
+          run_worker(opt, s, bodies, next_request, step);
         });
 
       // Mid-step world publish: wait until half the step's requests are
@@ -295,6 +318,13 @@ int main(int argc, char** argv) {
           step.wall_seconds > 0.0
               ? static_cast<double>(step.requests) / step.wall_seconds
               : 0.0;
+      const std::size_t responses = step.responses.load();
+      const double request_id_coverage =
+          responses == 0
+              ? 0.0
+              : static_cast<double>(responses -
+                                    step.request_id_missing.load()) /
+                    static_cast<double>(responses);
 
       std::printf("concurrency %zu: %zu requests in %.3f s — %.1f req/s, "
                   "p50 %.1f ms, p99 %.1f ms (%zu ok, %zu 4xx, %zu 5xx, "
@@ -309,11 +339,12 @@ int main(int argc, char** argv) {
           "%s\n    {\"concurrency\": %zu, \"requests\": %zu, \"ok\": %zu, "
           "\"http_4xx\": %zu, \"http_5xx\": %zu, \"transport_errors\": %zu, "
           "\"wall_seconds\": %.6f, \"queries_per_second\": %.3f, "
-          "\"p50_ms\": %.3f, \"p99_ms\": %.3f, \"max_ms\": %.3f}",
+          "\"p50_ms\": %.3f, \"p99_ms\": %.3f, \"max_ms\": %.3f, "
+          "\"request_id_coverage\": %.4f}",
           s == 0 ? "" : ",", concurrency, step.requests, step.ok.load(),
           step.http_4xx.load(), step.http_5xx.load(),
           step.transport_errors.load(), step.wall_seconds, qps, p50, p99,
-          max_ms);
+          max_ms, request_id_coverage);
       samples += sample;
 
       total_requests += step.requests;
@@ -322,6 +353,7 @@ int main(int argc, char** argv) {
       total_5xx += step.http_5xx.load();
       total_transport += step.transport_errors.load();
       total_conservation += step.conservation_failures.load();
+      total_request_id_missing += step.request_id_missing.load();
       all_versions.insert(step.versions.begin(), step.versions.end());
     }
     samples += "\n  ]";
@@ -343,7 +375,8 @@ int main(int argc, char** argv) {
         << ", \"ok\": " << total_ok << ", \"http_4xx\": " << total_4xx
         << ", \"http_5xx\": " << total_5xx
         << ", \"transport_errors\": " << total_transport
-        << ", \"conservation_failures\": " << total_conservation << "}\n"
+        << ", \"conservation_failures\": " << total_conservation
+        << ", \"request_id_missing\": " << total_request_id_missing << "}\n"
         << "}\n";
     std::printf("wrote %s (%zu/%zu ok, world versions %llu..%llu)\n",
                 opt.out_path.c_str(), total_ok, total_requests,
@@ -363,6 +396,13 @@ int main(int argc, char** argv) {
                    "loadgen: mid-step publish never surfaced a new world "
                    "version\n");
       return 5;
+    }
+    if (total_request_id_missing != 0) {
+      std::fprintf(stderr,
+                   "loadgen: %zu responses were missing (or mismatched) "
+                   "the x-sunchase-request-id echo\n",
+                   total_request_id_missing);
+      return 6;
     }
     return 0;
   } catch (const std::exception& e) {
