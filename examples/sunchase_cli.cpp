@@ -19,6 +19,12 @@
 //     --trace-out FILE         write a Chrome trace_event JSON
 //     --trace                  record spans without a file (serve mode:
 //                              export live via GET /debug/trace)
+//     --profile                run the sampling span-stack profiler
+//                              (serve mode: export live via
+//                              GET /debug/profile)
+//     --profile-interval-ms N  sampling period (default 10)
+//     --profile-out FILE       write collapsed stacks (flamegraph
+//                              format) at exit; implies --profile
 //     --log-level LEVEL        debug|info|warning|error|off
 //     --query-log FILE         append one JSONL record per query
 //     --slow-query-ms N        warn-log queries slower than N ms
@@ -74,6 +80,7 @@
 #include "sunchase/core/explain.h"
 #include "sunchase/core/world.h"
 #include "sunchase/obs/metrics.h"
+#include "sunchase/obs/profiler.h"
 #include "sunchase/obs/query_log.h"
 #include "sunchase/obs/trace.h"
 #include "sunchase/core/planner.h"
@@ -111,6 +118,9 @@ struct CliOptions {
   std::string metrics_out;
   std::string trace_out;
   bool trace = false;  ///< record spans even without --trace-out
+  bool profile = false;          ///< run the sampling profiler
+  int profile_interval_ms = 10;  ///< sampling period
+  std::string profile_out;       ///< collapsed-stack file; implies profile
   std::string log_level;
   std::string query_log_path;
   double slow_query_ms = 0.0;  ///< 0: slow-query warnings off
@@ -183,6 +193,8 @@ int usage(const char* argv0) {
                "[--geojson FILE]\n"
                "       observability (all modes): [--metrics-out FILE] "
                "[--trace-out FILE] [--trace]\n"
+               "         [--profile] [--profile-interval-ms N] "
+               "[--profile-out FILE]\n"
                "         [--log-level debug|info|warning|error|off]\n"
                "         [--query-log FILE] [--slow-query-ms N]\n",
                argv0, argv0, argv0, argv0);
@@ -449,6 +461,39 @@ void write_trace(const std::string& path) {
               path.c_str(), obs::Tracer::global().span_count());
 }
 
+/// --profile summary: the hottest folded stacks, like `perf report`
+/// for spans. Printed after batch runs so the paper's "where do the
+/// cycles go" question is answered from the terminal.
+void print_profile_summary() {
+  obs::Profiler& profiler = obs::Profiler::global();
+  const std::vector<obs::ProfileEntry> top = profiler.entries(10);
+  if (top.empty()) {
+    std::printf("profile: no samples landed in a span (run too short for "
+                "the %d ms interval?)\n",
+                profiler.interval_ms());
+    return;
+  }
+  std::printf("\nprofile: top stacks (%llu samples, %llu idle, %d ms "
+              "interval)\n",
+              static_cast<unsigned long long>(profiler.samples_total()),
+              static_cast<unsigned long long>(profiler.samples_idle()),
+              profiler.interval_ms());
+  for (const obs::ProfileEntry& entry : top)
+    std::printf("  %8llu  %s\n",
+                static_cast<unsigned long long>(entry.count),
+                entry.stack.c_str());
+}
+
+/// --profile-out: collapsed-stack text, flamegraph.pl-ready.
+void write_profile(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw IoError("cannot write profile " + path);
+  out << obs::Profiler::global().collapsed();
+  std::printf("wrote %s (pipe into flamegraph.pl or load in "
+              "speedscope)\n",
+              path.c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -502,6 +547,12 @@ int main(int argc, char** argv) {
       opt.trace_out = v;
     else if (arg == "--trace")
       opt.trace = true;
+    else if (arg == "--profile")
+      opt.profile = true;
+    else if (arg == "--profile-interval-ms" && (v = next()))
+      opt.profile_interval_ms = std::atoi(v);
+    else if (arg == "--profile-out" && (v = next()))
+      opt.profile_out = v;
     else if (arg == "--log-level" && (v = next()))
       opt.log_level = v;
     else if (arg == "--queries" && (v = next()))
@@ -562,12 +613,18 @@ int main(int argc, char** argv) {
       set_log_level(parse_log_level(opt.log_level));
     if (!opt.trace_out.empty() || opt.trace)
       obs::Tracer::global().set_enabled(true);
+    const bool profiling = opt.profile || !opt.profile_out.empty();
+    if (profiling)
+      obs::Profiler::global().start(
+          obs::Profiler::Options{opt.profile_interval_ms});
 
     if (opt.explain) {
       const int rc = run_explain(opt, pricing);
       if (!opt.metrics_out.empty())
         write_metrics_report(opt.metrics_out, "explain");
       if (!opt.trace_out.empty()) write_trace(opt.trace_out);
+      if (profiling) obs::Profiler::global().stop();
+      if (!opt.profile_out.empty()) write_profile(opt.profile_out);
       return rc;
     }
 
@@ -586,6 +643,8 @@ int main(int argc, char** argv) {
       if (!opt.metrics_out.empty())
         write_metrics_report(opt.metrics_out, "serve");
       if (!opt.trace_out.empty()) write_trace(opt.trace_out);
+      if (profiling) obs::Profiler::global().stop();
+      if (!opt.profile_out.empty()) write_profile(opt.profile_out);
       return rc;
     }
 
@@ -594,6 +653,11 @@ int main(int argc, char** argv) {
       if (!opt.metrics_out.empty())
         write_metrics_report(opt.metrics_out, "batch");
       if (!opt.trace_out.empty()) write_trace(opt.trace_out);
+      if (profiling) {
+        obs::Profiler::global().stop();
+        print_profile_summary();
+      }
+      if (!opt.profile_out.empty()) write_profile(opt.profile_out);
       return rc;
     }
 
@@ -642,6 +706,8 @@ int main(int argc, char** argv) {
     }
     if (!opt.metrics_out.empty()) write_metrics_report(opt.metrics_out, "plan");
     if (!opt.trace_out.empty()) write_trace(opt.trace_out);
+    if (profiling) obs::Profiler::global().stop();
+    if (!opt.profile_out.empty()) write_profile(opt.profile_out);
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -45,6 +45,9 @@ struct BatchQueryResult {
   /// or explain a result (the route server's /explain ledger) must use
   /// this pointer, not the store's current world. Null on error.
   WorldPtr world;
+  /// Worker-thread CPU time this query consumed (search + selection),
+  /// via CLOCK_THREAD_CPUTIME_ID. 0.0 on error.
+  double cpu_seconds = 0.0;
 
   [[nodiscard]] bool ok() const noexcept { return result.has_value(); }
 };
@@ -79,6 +82,9 @@ struct BatchStats {
   /// HistogramSnapshot::quantile — e.g. latency.quantile(0.95) — so the
   /// percentile math lives in one place.
   obs::HistogramSnapshot latency;
+  /// Total worker CPU seconds across the batch. cpu_seconds /
+  /// (wall_seconds * workers) is the pool's compute utilization.
+  double cpu_seconds = 0.0;
 };
 
 struct BatchResult {

@@ -29,6 +29,10 @@ struct PlanResult {
   std::size_t pareto_route_count = 0;  ///< "N candidate Pareto routes"
   std::size_t cluster_count = 0;
   MlcStats search_stats;
+  /// Thread CPU time the plan actually consumed (search + selection),
+  /// via CLOCK_THREAD_CPUTIME_ID — callers stamp it into ledgers and
+  /// responses without re-measuring.
+  double cpu_seconds = 0.0;
 
   /// The recommended route: the best better-solar candidate when one
   /// exists, otherwise the shortest-time path — exactly the paper's

@@ -12,6 +12,7 @@
 #include "sunchase/core/world.h"
 #include "sunchase/core/world_store.h"
 #include "sunchase/obs/metrics.h"
+#include "sunchase/obs/profiler.h"
 #include "sunchase/obs/query_log.h"
 #include "sunchase/obs/trace.h"
 
@@ -72,6 +73,7 @@ struct QueryOutcome {
   MlcResult result;
   std::optional<SelectionResult> selection;
   WorldPtr world;  ///< the snapshot the worker pinned for this query
+  double cpu_seconds = 0.0;  ///< worker-thread CPU burned on this query
 };
 
 }  // namespace
@@ -118,6 +120,11 @@ BatchResult BatchPlanner::plan_all(
   const obs::TraceContext trace_parent = obs::current_trace();
   const std::string trace_hex =
       trace_parent.valid() ? trace_parent.trace_id_hex() : std::string();
+  // The profiler analog of the trace capture above: the submitting
+  // thread's open span names (e.g. serve.request), re-installed on each
+  // worker so its samples fold under the originating request instead of
+  // appearing as a detached batch.query root.
+  const std::vector<const char*> span_parent = obs::current_span_stack();
 
   const auto start = Clock::now();
   {
@@ -130,11 +137,13 @@ BatchResult BatchPlanner::plan_all(
       const auto submitted = Clock::now();
       futures.push_back(pool.submit([this, query, i, submitted, &metrics,
                                      &latency, log, trace_parent,
-                                     &trace_hex] {
+                                     &trace_hex, &span_parent] {
         const auto begun = Clock::now();
         metrics.queue_wait.observe(seconds_between(submitted, begun));
         const obs::TraceScope trace_scope(trace_parent);
+        const obs::SpanStackScope stack_scope(span_parent);
         const obs::SpanTimer span("batch.query");
+        const double cpu_started = obs::thread_cpu_seconds();
         // Pin this query's snapshot: in live mode each query loads the
         // store's current world when its worker picks it up, and prices
         // every edge against that one version end to end — a publish()
@@ -151,8 +160,15 @@ BatchResult BatchPlanner::plan_all(
               world->vehicle(options_.mlc.vehicle), query.departure,
               options_.selection);
         const double run_seconds = seconds_between(begun, Clock::now());
+        outcome.cpu_seconds = obs::thread_cpu_seconds() - cpu_started;
         metrics.run_time.observe(run_seconds);
         latency.observe(run_seconds);
+        // Gauge::add: the registry's atomic float accumulator (CPU
+        // seconds are fractional; Counter is integer-only).
+        obs::Registry::global()
+            .gauge("mlc.cpu_seconds",
+                   {{"pricing", pricing_name(options_.mlc.pricing)}})
+            .add(outcome.cpu_seconds);
         if (log != nullptr) {
           obs::QueryRecord record = start_record(query, i,
                                                  options_.mlc.pricing);
@@ -197,6 +213,7 @@ BatchResult BatchPlanner::plan_all(
             record.energy_in_wh = best.energy_in.value();
           }
           record.total_seconds = run_seconds;
+          record.cpu_ms = outcome.cpu_seconds * 1000.0;
           log->write(record);
         }
         return outcome;
@@ -208,6 +225,7 @@ BatchResult BatchPlanner::plan_all(
         result.queries[i].result = std::move(outcome.result);
         result.queries[i].selection = std::move(outcome.selection);
         result.queries[i].world = std::move(outcome.world);
+        result.queries[i].cpu_seconds = outcome.cpu_seconds;
       } catch (const std::exception& e) {
         result.queries[i].error = e.what();
         if (log != nullptr) {
@@ -239,6 +257,7 @@ BatchResult BatchPlanner::plan_all(
     } else {
       ++result.stats.failed;
     }
+    result.stats.cpu_seconds += qr.cpu_seconds;
   }
   result.stats.wall_seconds = elapsed;
   if (result.stats.wall_seconds > 0.0)

@@ -5,6 +5,7 @@
 
 #include "sunchase/common/error.h"
 #include "sunchase/core/world.h"
+#include "sunchase/obs/profiler.h"
 #include "sunchase/obs/query_log.h"
 #include "sunchase/obs/trace.h"
 
@@ -38,6 +39,7 @@ PlanResult SunChasePlanner::plan(roadnet::NodeId origin,
                                  TimeOfDay departure) const {
   const obs::SpanTimer span("core.plan");
   const auto started = Clock::now();
+  const double cpu_started = obs::thread_cpu_seconds();
   obs::QueryLog* const log = options_.query_log;
   obs::QueryRecord record;
   if (log != nullptr) {
@@ -64,6 +66,15 @@ PlanResult SunChasePlanner::plan(roadnet::NodeId origin,
     plan.pareto_route_count = search.routes.size();
     plan.cluster_count = selection.cluster_count;
     plan.search_stats = search.stats;
+    plan.cpu_seconds = obs::thread_cpu_seconds() - cpu_started;
+    // Gauge rather than Counter: CPU seconds are fractional, and
+    // Gauge::add is the registry's only atomic float accumulator. The
+    // series is monotone in practice — treat it like a counter when
+    // graphing rates.
+    obs::Registry::global()
+        .gauge("mlc.cpu_seconds",
+               {{"pricing", pricing_name(options_.mlc.pricing)}})
+        .add(plan.cpu_seconds);
 
     if (log != nullptr) {
       record.mlc_seconds = search.stats.search_seconds;
@@ -80,6 +91,7 @@ PlanResult SunChasePlanner::plan(roadnet::NodeId origin,
       record.energy_out_wh = best.energy_out.value();
       record.energy_in_wh = best.energy_in.value();
       record.total_seconds = seconds_since(started);
+      record.cpu_ms = plan.cpu_seconds * 1000.0;
       log->write(record);
     }
     return plan;
@@ -88,6 +100,7 @@ PlanResult SunChasePlanner::plan(roadnet::NodeId origin,
       record.status = "error";
       record.error = e.what();
       record.total_seconds = seconds_since(started);
+      record.cpu_ms = (obs::thread_cpu_seconds() - cpu_started) * 1000.0;
       log->write(record);
     }
     throw;

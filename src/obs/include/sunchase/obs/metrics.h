@@ -16,8 +16,11 @@
 // label value (a raw URL, a user id) can never OOM the registry.
 #pragma once
 
+#include <array>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -122,6 +125,63 @@ class Histogram {
 /// latency-in-seconds histograms across the planner.
 [[nodiscard]] std::vector<double> latency_bounds();
 
+/// A histogram that answers two questions at once: "since boot"
+/// (cumulative, identical to Histogram) and "recently" (a rolling
+/// window, default 60 s). The window is a ring of kSlices
+/// sub-histograms, each owning one window/kSlices-second time slice;
+/// observe() lands in the cumulative histogram plus the current slice,
+/// lazily resetting a slice the first time its ring slot is revisited
+/// in a new epoch. window_snapshot() merges every slice still inside
+/// the window, so the effective span wanders between (kSlices-1)/kSlices
+/// and 1 full window — the standard ring-buffer quantization, fine for
+/// "p99 over the last minute".
+///
+/// Hot path: one extra epoch load + slice observe vs a plain
+/// Histogram; rotation takes a mutex at most once per slice interval.
+/// An observe racing a rotation may land in a slice being recycled —
+/// acceptable noise for windowed quantiles (all traffic is atomic, so
+/// TSan stays quiet). An EMPTY window reports count == 0 and
+/// quantile() == 0.0 (HistogramSnapshot's empty policy) — exporters
+/// show 0, not NaN, when no traffic arrived in the last minute.
+class WindowedHistogram {
+ public:
+  static constexpr std::size_t kSlices = 6;
+
+  /// `clock` returns seconds on a monotonic axis; tests inject a fake
+  /// for deterministic rotation. Defaults to steady_clock seconds since
+  /// construction. Throws like Histogram on bad bounds; additionally
+  /// requires window_seconds > 0.
+  explicit WindowedHistogram(std::vector<double> bounds,
+                             double window_seconds = 60.0,
+                             std::function<double()> clock = {});
+  WindowedHistogram(const WindowedHistogram&) = delete;
+  WindowedHistogram& operator=(const WindowedHistogram&) = delete;
+
+  void observe(double v);
+  /// Cumulative (since boot / last reset) — same meaning as Histogram.
+  [[nodiscard]] HistogramSnapshot snapshot() const;
+  /// Merge of the slices still inside the window: the last ~60 s.
+  [[nodiscard]] HistogramSnapshot window_snapshot() const;
+  [[nodiscard]] const std::vector<double>& bounds() const noexcept {
+    return cumulative_.bounds();
+  }
+  [[nodiscard]] double window_seconds() const noexcept {
+    return slice_seconds_ * static_cast<double>(kSlices);
+  }
+  void reset();
+
+ private:
+  [[nodiscard]] std::int64_t epoch_now() const;
+
+  Histogram cumulative_;
+  double slice_seconds_;
+  std::function<double()> clock_;
+  std::vector<std::unique_ptr<Histogram>> slices_;  ///< kSlices ring
+  /// Epoch each ring slot currently holds data for; -1 = never used.
+  std::array<std::atomic<std::int64_t>, kSlices> slice_epochs_;
+  mutable std::mutex rotate_mutex_;
+};
+
 /// Point-in-time copy of every registered metric, ready to export.
 /// Keys are series keys (see series_key): plain names for unlabeled
 /// metrics, `name{k="v",...}` for labeled series.
@@ -171,6 +231,19 @@ class Registry {
   /// `histogram("h", {1.0})` ambiguous against the overload above).
   Histogram& histogram(const std::string& name, const Labels& labels,
                        std::vector<double> bounds);
+  /// A histogram series with a rolling window attached. Snapshots
+  /// export it twice: cumulative under `name{labels}` and the last
+  /// ~window_seconds under `name.window{labels}` — so /metrics carries
+  /// both quantile sources side by side. Shares the family's kind and
+  /// boundary checks with plain histogram series (an unlabeled plain
+  /// `name` series may coexist), but one series key must be either
+  /// plain or windowed — re-registering the same key as the other
+  /// flavor throws InvalidArgument, as does a window_seconds mismatch
+  /// within the family.
+  WindowedHistogram& windowed_histogram(const std::string& name,
+                                        const Labels& labels,
+                                        std::vector<double> bounds,
+                                        double window_seconds = 60.0);
 
   /// Attaches a # HELP text to a family (shown on /metrics).
   void describe(const std::string& name, const std::string& text);
@@ -196,6 +269,9 @@ class Registry {
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<WindowedHistogram>> windowed_;
+  /// family -> window length; all windowed series of a family share it.
+  std::map<std::string, double> window_seconds_;
   std::map<std::string, char> kinds_;         ///< family -> kind
   std::map<std::string, std::size_t> series_; ///< family -> series count
   std::map<std::string, std::string> help_;   ///< family -> HELP text

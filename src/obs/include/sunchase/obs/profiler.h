@@ -1,0 +1,217 @@
+// Sampling span-stack profiler: every SpanTimer pushes its name onto a
+// lock-free per-thread SpanStack (a fixed array of atomic string-literal
+// pointers plus an atomic depth), and a background sampler thread walks
+// every registered stack at a fixed interval, folding what it sees into
+// `outer;inner;leaf -> count` aggregates — the collapsed-stack format
+// flamegraph tooling consumes directly. Because the profiler reads the
+// spans the code already declares (serve.request, batch.query,
+// mlc.search, ...) instead of unwinding machine frames, it needs no
+// signals, no ptrace, no frame pointers, and it is safe under TSan: all
+// cross-thread traffic is atomic loads/stores, and a sample that races
+// a push/pop merely lands in the old or new stack — acceptable noise
+// for a statistical profile.
+//
+// The push/pop path runs unconditionally (profiler started or not) so
+// sampling can begin mid-run; it costs one thread-local lookup and
+// three relaxed/release atomics per span — far below the microsecond
+// scale of the spans being profiled.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace sunchase::obs {
+
+/// CPU seconds consumed by the calling thread (CLOCK_THREAD_CPUTIME_ID).
+/// Two calls bracketing a query give its exact CPU cost regardless of
+/// scheduler preemption — the basis for QueryRecord.cpu_ms and the
+/// mlc.cpu_seconds / serve.cpu_seconds metrics. Returns 0.0 where the
+/// clock is unavailable.
+[[nodiscard]] double thread_cpu_seconds() noexcept;
+
+namespace detail {
+
+/// One thread's current span nesting, readable by the sampler thread.
+/// The owning thread pushes/pops string literals; the sampler takes a
+/// point-in-time copy via sample(). Depth counts pushes even past
+/// kMaxDepth (frames beyond it are simply not recorded) so deeply
+/// nested push/pop sequences stay balanced.
+class SpanStack {
+ public:
+  static constexpr std::uint32_t kMaxDepth = 64;
+
+  void push(const char* name) noexcept {
+    const std::uint32_t d = depth_.load(std::memory_order_relaxed);
+    if (d < kMaxDepth) frames_[d].store(name, std::memory_order_relaxed);
+    // Release: a sampler that observes the new depth also observes the
+    // frame stored above.
+    depth_.store(d + 1, std::memory_order_release);
+  }
+
+  void pop() noexcept {
+    const std::uint32_t d = depth_.load(std::memory_order_relaxed);
+    if (d > 0) depth_.store(d - 1, std::memory_order_release);
+  }
+
+  /// Copies up to `max` frames outermost-first into `out`, returning
+  /// the number written (0 = thread currently outside any span). Null
+  /// frames — possible when the sample races a push — are skipped, so
+  /// the result is always a well-formed (if occasionally torn) stack.
+  std::uint32_t sample(const char** out, std::uint32_t max) const noexcept {
+    std::uint32_t d = depth_.load(std::memory_order_acquire);
+    if (d > kMaxDepth) d = kMaxDepth;
+    if (d > max) d = max;
+    std::uint32_t written = 0;
+    for (std::uint32_t i = 0; i < d; ++i) {
+      const char* frame = frames_[i].load(std::memory_order_relaxed);
+      if (frame != nullptr) out[written++] = frame;
+    }
+    return written;
+  }
+
+  [[nodiscard]] std::uint32_t depth() const noexcept {
+    return depth_.load(std::memory_order_acquire);
+  }
+
+  /// Fresh-thread state for a stack recycled off the free list.
+  void reset() noexcept { depth_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::array<std::atomic<const char*>, kMaxDepth> frames_{};
+  std::atomic<std::uint32_t> depth_{0};
+};
+
+}  // namespace detail
+
+/// One folded stack and how many samples landed in it.
+struct ProfileEntry {
+  std::string stack;  ///< outermost-first, ';'-joined span names
+  std::uint64_t count = 0;
+};
+
+/// The calling thread's currently open span names, outermost first.
+/// Span names are string literals with static storage, so the captured
+/// pointers stay valid on any thread — capture this at ThreadPool
+/// submit time and re-install it on the worker with SpanStackScope
+/// (the profiler analog of capturing current_trace() for TraceScope),
+/// so pool-side samples fold under the request that submitted them
+/// (serve.request;batch.query;... instead of a detached batch.query
+/// root).
+[[nodiscard]] std::vector<const char*> current_span_stack();
+
+/// RAII prefix installation on the calling thread's span stack: pushes
+/// the captured frames outermost-first on construction, pops them on
+/// destruction. Spans opened inside the scope nest under the prefix.
+class SpanStackScope {
+ public:
+  explicit SpanStackScope(const std::vector<const char*>& frames);
+  ~SpanStackScope();
+  SpanStackScope(const SpanStackScope&) = delete;
+  SpanStackScope& operator=(const SpanStackScope&) = delete;
+
+ private:
+  detail::SpanStack* stack_;
+  std::size_t pushed_;
+};
+
+/// Process-wide sampling profiler. Threads register a SpanStack on
+/// first span (or explicitly via thread_stack()); start() launches a
+/// sampler thread that walks every registered stack each interval.
+/// Stacks are recycled through a free list when threads exit, so a
+/// churning ThreadPool reuses a bounded set instead of growing the
+/// registry forever — and a registered-but-idle thread samples as
+/// "idle", never as a crash.
+class Profiler {
+ public:
+  struct Options {
+    int interval_ms = 10;  ///< sampling period (clamped to >= 1)
+  };
+
+  static Profiler& global();
+
+  /// Launches the sampler thread. Restarting while running is a no-op
+  /// (the first options win until stop()).
+  void start(Options options);
+  void start() { start(Options{}); }
+  /// Stops and joins the sampler thread; accumulated folds survive.
+  void stop();
+  [[nodiscard]] bool running() const noexcept {
+    return running_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] int interval_ms() const noexcept {
+    return interval_ms_.load(std::memory_order_relaxed);
+  }
+
+  /// The calling thread's span stack, registering (or recycling) one on
+  /// first use. Stable for the thread's lifetime.
+  detail::SpanStack& thread_stack();
+
+  /// Walks every registered stack once and folds what it sees. The
+  /// sampler thread calls this on its interval; tests call it directly
+  /// for deterministic sampling.
+  void sample_once();
+
+  /// Per-thread samples taken / samples that found an empty stack.
+  [[nodiscard]] std::uint64_t samples_total() const noexcept {
+    return samples_total_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t samples_idle() const noexcept {
+    return samples_idle_.load(std::memory_order_relaxed);
+  }
+
+  /// Registered stacks (live + free-listed) — bounded under thread
+  /// churn, which tests assert.
+  [[nodiscard]] std::size_t registered_stacks() const;
+
+  /// Folded stacks sorted by count descending (ties alphabetical);
+  /// n = 0 returns all.
+  [[nodiscard]] std::vector<ProfileEntry> entries(std::size_t n = 0) const;
+
+  /// Collapsed-stack text, one `outer;inner;leaf COUNT` line per fold —
+  /// pipe into flamegraph.pl / speedscope as-is.
+  [[nodiscard]] std::string collapsed() const;
+
+  /// {"running": ..., "interval_ms": ..., "samples_total": ...,
+  ///  "samples_idle": ..., "stacks": [{"stack": ..., "count": ...}]}
+  /// sorted like entries(); every line indented by `indent` spaces.
+  [[nodiscard]] std::string to_json(int indent = 0) const;
+
+  /// Drops accumulated folds and sample counters (registration and the
+  /// running sampler are unaffected).
+  void reset();
+
+  /// Returns a stack to the free list. Called by the thread-exit hook
+  /// thread_stack() installs; not for direct use.
+  void release_stack(std::shared_ptr<detail::SpanStack> stack);
+
+ private:
+  Profiler() = default;
+  void sampler_loop();
+
+  mutable std::mutex mutex_;  ///< guards stacks_ / free_
+  std::vector<std::shared_ptr<detail::SpanStack>> stacks_;
+  std::vector<std::shared_ptr<detail::SpanStack>> free_;
+
+  mutable std::mutex folds_mutex_;
+  std::map<std::string, std::uint64_t> folds_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<int> interval_ms_{10};
+  std::atomic<std::uint64_t> samples_total_{0};
+  std::atomic<std::uint64_t> samples_idle_{0};
+
+  std::mutex sampler_mutex_;  ///< guards sampler_ start/stop + cv waits
+  std::condition_variable sampler_cv_;
+  std::thread sampler_;
+};
+
+}  // namespace sunchase::obs

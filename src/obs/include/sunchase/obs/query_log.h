@@ -49,6 +49,11 @@ struct QueryRecord {
   double kmeans_seconds = 0.0;     ///< bisecting k-means inside selection
   double selection_seconds = 0.0;  ///< whole selection pipeline
   double total_seconds = 0.0;      ///< submit-to-record wall clock
+  /// Thread CPU milliseconds the query actually burned
+  /// (CLOCK_THREAD_CPUTIME_ID delta across search + selection) — the
+  /// resource-accounting companion to the wall-clock fields: wall ≫ cpu
+  /// means the query waited, cpu ≈ wall means it computed.
+  double cpu_ms = 0.0;
 
   // Search effort (MlcStats of the query).
   std::uint64_t labels_created = 0;

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "sunchase/obs/profiler.h"
 #include "sunchase/obs/trace_context.h"
 
 namespace sunchase::obs {
@@ -31,6 +32,7 @@ struct TraceEvent {
   std::uint64_t trace_lo = 0;   ///< request trace id (low 64 bits)
   std::uint64_t span_id = 0;    ///< this span's own id
   std::uint64_t parent_id = 0;  ///< enclosing span (0 = root)
+  int tid = 0;  ///< stamped by ThreadBuffer::record, not by callers
 };
 
 namespace detail {
@@ -45,6 +47,10 @@ class ThreadBuffer {
   static constexpr std::size_t kCapacity = 1 << 16;
 
   int tid() const noexcept { return tid_; }
+  /// New occupant of a recycled buffer: retained events keep the tid
+  /// they were stamped with; only spans recorded from here on carry
+  /// the new one. Called by the owning thread before its first record.
+  void rebind(int tid) noexcept { tid_ = tid; }
   [[nodiscard]] std::vector<TraceEvent> drain_copy() const;
   [[nodiscard]] std::uint64_t dropped() const noexcept;
   void clear();
@@ -92,8 +98,20 @@ class Tracer {
   /// Forgets recorded spans (buffers and thread ids survive).
   void clear();
 
-  /// The calling thread's buffer, registering it on first use.
+  /// The calling thread's buffer, registering it on first use. When a
+  /// thread exits, its buffer (events intact — worker spans survive
+  /// pool join) returns to a free list and the next new thread reuses
+  /// it, so a churning ThreadPool cycles a bounded set of buffers
+  /// instead of registering one per short-lived thread.
   detail::ThreadBuffer& thread_buffer();
+
+  /// Buffers ever created (live + free-listed). Tests assert this stays
+  /// bounded under thread churn.
+  [[nodiscard]] std::size_t buffer_count() const;
+
+  /// Returns a buffer to the free list. Called by the thread-exit hook
+  /// thread_buffer() installs; not for direct use.
+  void release_buffer(std::shared_ptr<detail::ThreadBuffer> buffer);
 
  private:
   Tracer() = default;
@@ -103,6 +121,7 @@ class Tracer {
       std::chrono::steady_clock::now();
   mutable std::mutex mutex_;
   std::vector<std::shared_ptr<detail::ThreadBuffer>> buffers_;
+  std::vector<std::shared_ptr<detail::ThreadBuffer>> free_buffers_;
   int next_tid_ = 1;
 };
 
@@ -113,9 +132,17 @@ class Tracer {
 /// as its parent, installs itself as current for its scope, and records
 /// {trace_id, span_id, parent_id} — so a child span on a ThreadPool
 /// worker (re-installed via TraceScope) still parents to the request.
+///
+/// Every span also pushes its name onto the thread's SpanStack for the
+/// sampling Profiler — unconditionally, even with tracing disabled, so
+/// profiling can start mid-run. That path is a thread-local lookup plus
+/// three relaxed/release atomics; the clock is still only touched when
+/// tracing is on.
 class SpanTimer {
  public:
-  explicit SpanTimer(const char* name) noexcept {
+  explicit SpanTimer(const char* name) noexcept
+      : stack_(&Profiler::global().thread_stack()) {
+    stack_->push(name);
     if (Tracer::global().enabled()) {
       name_ = name;
       parent_ = current_trace();
@@ -126,6 +153,7 @@ class SpanTimer {
     }
   }
   ~SpanTimer() {
+    stack_->pop();
     if (name_ != nullptr) {
       const std::uint64_t end_us = Tracer::global().now_us();
       detail::set_current_trace(parent_);
@@ -138,6 +166,7 @@ class SpanTimer {
   SpanTimer& operator=(const SpanTimer&) = delete;
 
  private:
+  detail::SpanStack* stack_;    ///< this thread's profiler stack
   const char* name_ = nullptr;  ///< null when tracing was disabled
   std::uint64_t start_us_ = 0;
   TraceContext parent_{};  ///< context to restore (and parent span id)

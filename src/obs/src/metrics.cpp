@@ -210,6 +210,92 @@ std::vector<double> latency_bounds() {
           5e-2,   1e-1,   0.25, 0.5,  1.0,    2.5,  5.0,  10.0};
 }
 
+WindowedHistogram::WindowedHistogram(std::vector<double> bounds,
+                                     double window_seconds,
+                                     std::function<double()> clock)
+    : cumulative_(bounds), slice_seconds_(0.0), clock_(std::move(clock)) {
+  if (!(window_seconds > 0.0))
+    throw InvalidArgument("WindowedHistogram: window_seconds must be > 0");
+  slice_seconds_ = window_seconds / static_cast<double>(kSlices);
+  if (!clock_) {
+    const auto origin = std::chrono::steady_clock::now();
+    clock_ = [origin] {
+      return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           origin)
+          .count();
+    };
+  }
+  slices_.reserve(kSlices);
+  for (std::size_t i = 0; i < kSlices; ++i)
+    slices_.push_back(std::make_unique<Histogram>(bounds));
+  for (auto& epoch : slice_epochs_)
+    epoch.store(-1, std::memory_order_relaxed);
+}
+
+std::int64_t WindowedHistogram::epoch_now() const {
+  return static_cast<std::int64_t>(std::floor(clock_() / slice_seconds_));
+}
+
+void WindowedHistogram::observe(double v) {
+  cumulative_.observe(v);
+  const std::int64_t epoch = epoch_now();
+  const auto idx =
+      static_cast<std::size_t>(epoch % static_cast<std::int64_t>(kSlices));
+  if (slice_epochs_[idx].load(std::memory_order_acquire) != epoch) {
+    // First visit to this ring slot in a new epoch: recycle it. The
+    // double-checked lock keeps rotation single-writer; an observe
+    // racing the reset may lose its sample to the recycled slice —
+    // noise a windowed quantile tolerates by design.
+    const std::lock_guard<std::mutex> lock(rotate_mutex_);
+    if (slice_epochs_[idx].load(std::memory_order_relaxed) != epoch) {
+      slices_[idx]->reset();
+      slice_epochs_[idx].store(epoch, std::memory_order_release);
+    }
+  }
+  slices_[idx]->observe(v);
+}
+
+HistogramSnapshot WindowedHistogram::snapshot() const {
+  return cumulative_.snapshot();
+}
+
+HistogramSnapshot WindowedHistogram::window_snapshot() const {
+  const std::int64_t epoch = epoch_now();
+  HistogramSnapshot merged;
+  merged.bounds = cumulative_.bounds();
+  merged.buckets.assign(merged.bounds.size() + 1, 0);
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < kSlices; ++i) {
+    const std::int64_t e = slice_epochs_[i].load(std::memory_order_acquire);
+    // A slot is inside the window while its epoch is one of the last
+    // kSlices epochs; never-used (-1) and expired slots contribute
+    // nothing.
+    if (e < 0 || e + static_cast<std::int64_t>(kSlices) <= epoch) continue;
+    const HistogramSnapshot s = slices_[i]->snapshot();
+    for (std::size_t b = 0; b < merged.buckets.size(); ++b)
+      merged.buckets[b] += s.buckets[b];
+    merged.count += s.count;
+    merged.sum += s.sum;
+    if (s.count > 0) {
+      min = std::min(min, s.min);
+      max = std::max(max, s.max);
+    }
+  }
+  merged.min = merged.count ? min : 0.0;
+  merged.max = merged.count ? max : 0.0;
+  return merged;
+}
+
+void WindowedHistogram::reset() {
+  const std::lock_guard<std::mutex> lock(rotate_mutex_);
+  cumulative_.reset();
+  for (std::size_t i = 0; i < kSlices; ++i) {
+    slices_[i]->reset();
+    slice_epochs_[i].store(-1, std::memory_order_relaxed);
+  }
+}
+
 std::string MetricsSnapshot::to_json(int indent) const {
   const std::string pad(static_cast<std::size_t>(std::max(indent, 0)), ' ');
   std::ostringstream out;
@@ -237,7 +323,9 @@ std::string MetricsSnapshot::to_json(int indent) const {
     out << pad << "      \"count\": " << h.count
         << ", \"sum\": " << format_double(h.sum)
         << ", \"min\": " << format_double(h.min)
-        << ", \"max\": " << format_double(h.max) << ",\n";
+        << ", \"max\": " << format_double(h.max)
+        << ", \"p50\": " << format_double(h.quantile(0.5))
+        << ", \"p99\": " << format_double(h.quantile(0.99)) << ",\n";
     out << pad << "      \"buckets\": [";
     for (std::size_t i = 0; i < h.buckets.size(); ++i) {
       out << (i ? ", " : "") << "{\"le\": "
@@ -402,10 +490,53 @@ Histogram& Registry::histogram(const std::string& name, const Labels& labels,
   }
   if (const auto it = histograms_.find(key); it != histograms_.end())
     return *it->second;
+  if (windowed_.count(key) != 0)
+    throw InvalidArgument("Registry::histogram: '" + key +
+                          "' is already a windowed histogram series");
   if (!admit_series(name))
     key = series_key(name, {{"overflow", "true"}});
   auto& slot = histograms_[key];
   if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+  return *slot;
+}
+
+WindowedHistogram& Registry::windowed_histogram(const std::string& name,
+                                                const Labels& labels,
+                                                std::vector<double> bounds,
+                                                double window_seconds) {
+  std::string key = series_key(name, labels);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  check_kind(name, 'h', "windowed_histogram");
+  // Reserve the exported `.window` family too, so no other metric can
+  // claim the name the window snapshot renders under.
+  check_kind(name + ".window", 'h', "windowed_histogram");
+  if (histograms_.count(key) != 0)
+    throw InvalidArgument("Registry::windowed_histogram: '" + key +
+                          "' is already a plain histogram series");
+  if (const auto it = histogram_bounds_.find(name);
+      it != histogram_bounds_.end()) {
+    if (it->second != bounds)
+      throw InvalidArgument("Registry::histogram: '" + name +
+                            "' re-registered with different boundaries");
+  } else {
+    histogram_bounds_[name] = bounds;
+  }
+  if (const auto it = window_seconds_.find(name);
+      it != window_seconds_.end()) {
+    if (it->second != window_seconds)
+      throw InvalidArgument("Registry::windowed_histogram: '" + name +
+                            "' re-registered with a different window");
+  } else {
+    window_seconds_[name] = window_seconds;
+  }
+  if (const auto it = windowed_.find(key); it != windowed_.end())
+    return *it->second;
+  if (!admit_series(name))
+    key = series_key(name, {{"overflow", "true"}});
+  auto& slot = windowed_[key];
+  if (!slot)
+    slot = std::make_unique<WindowedHistogram>(std::move(bounds),
+                                               window_seconds);
   return *slot;
 }
 
@@ -421,6 +552,11 @@ MetricsSnapshot Registry::snapshot() const {
   for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
   for (const auto& [name, h] : histograms_)
     snap.histograms[name] = h->snapshot();
+  for (const auto& [key, w] : windowed_) {
+    snap.histograms[key] = w->snapshot();
+    const auto [family, labels] = split_series_key(key);
+    snap.histograms[family + ".window" + labels] = w->window_snapshot();
+  }
   snap.help = help_;
   return snap;
 }
@@ -430,6 +566,7 @@ void Registry::reset_values() {
   for (const auto& [name, c] : counters_) c->reset();
   for (const auto& [name, g] : gauges_) g->reset();
   for (const auto& [name, h] : histograms_) h->reset();
+  for (const auto& [name, w] : windowed_) w->reset();
 }
 
 Registry& Registry::global() {

@@ -62,6 +62,7 @@ std::string QueryRecord::to_json() const {
       << ",\"kmeans_seconds\":" << format_double(kmeans_seconds)
       << ",\"selection_seconds\":" << format_double(selection_seconds)
       << ",\"total_seconds\":" << format_double(total_seconds)
+      << ",\"cpu_ms\":" << format_double(cpu_ms)
       << ",\"labels_created\":" << labels_created
       << ",\"labels_dominated\":" << labels_dominated
       << ",\"queue_pops\":" << queue_pops << ",\"pareto_size\":"

@@ -34,6 +34,15 @@ void count_dropped_span() {
         << "clear() more often)";
 }
 
+/// Thread-exit hook: hands the thread's buffer (events intact) back to
+/// the tracer's free list so pool churn recycles a bounded set.
+struct BufferLease {
+  std::shared_ptr<detail::ThreadBuffer> buffer;
+  ~BufferLease() {
+    if (buffer) Tracer::global().release_buffer(std::move(buffer));
+  }
+};
+
 }  // namespace
 
 namespace detail {
@@ -43,6 +52,7 @@ void ThreadBuffer::record(const TraceEvent& event) {
     const std::lock_guard<std::mutex> lock(mutex_);
     if (events_.size() < kCapacity) {
       events_.push_back(event);
+      events_.back().tid = tid_;
       return;
     }
     ++dropped_;
@@ -82,13 +92,33 @@ std::uint64_t Tracer::now_us() const noexcept {
 }
 
 detail::ThreadBuffer& Tracer::thread_buffer() {
-  thread_local std::shared_ptr<detail::ThreadBuffer> tls;
-  if (!tls) {
+  thread_local BufferLease lease;
+  if (!lease.buffer) {
     const std::lock_guard<std::mutex> lock(mutex_);
-    tls = std::make_shared<detail::ThreadBuffer>(next_tid_++);
-    buffers_.push_back(tls);
+    if (!free_buffers_.empty()) {
+      // Reuse a dead thread's buffer: recorded events stay — worker
+      // spans must survive pool join, each stamped with the tid of the
+      // thread that recorded it — while the new occupant gets a fresh
+      // tid, so distinct threads always render as distinct tracks.
+      lease.buffer = std::move(free_buffers_.back());
+      free_buffers_.pop_back();
+      lease.buffer->rebind(next_tid_++);
+    } else {
+      lease.buffer = std::make_shared<detail::ThreadBuffer>(next_tid_++);
+      buffers_.push_back(lease.buffer);
+    }
   }
-  return *tls;
+  return *lease.buffer;
+}
+
+void Tracer::release_buffer(std::shared_ptr<detail::ThreadBuffer> buffer) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  free_buffers_.push_back(std::move(buffer));
+}
+
+std::size_t Tracer::buffer_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return buffers_.size();
 }
 
 std::string Tracer::to_chrome_json(std::uint64_t since_us) const {
@@ -112,7 +142,7 @@ std::string Tracer::to_chrome_json(std::uint64_t since_us) const {
       out << "  {\"name\": \"" << e.name
           << "\", \"cat\": \"sunchase\", \"ph\": \"X\", \"pid\": 1, "
              "\"tid\": "
-          << buffer->tid() << ", \"ts\": " << e.ts_us
+          << e.tid << ", \"ts\": " << e.ts_us
           << ", \"dur\": " << e.dur_us;
       if (e.span_id != 0) {
         out << ", \"args\": {\"span_id\": \"" << hex64(e.span_id) << "\"";

@@ -38,6 +38,13 @@ struct LedgerEntry {
   /// 32-hex trace id of the request that answered the query; lets an
   /// /explain response point back at the original request's trace.
   std::string trace_id;
+  /// Resource accounting stamped when the query was answered: worker
+  /// CPU milliseconds plus the search-effort counters that explain
+  /// them. /explain surfaces these as the "what did this query cost"
+  /// record alongside the energy ledger.
+  double cpu_ms = 0.0;
+  std::uint64_t labels_created = 0;
+  std::uint64_t queue_pops = 0;
 };
 
 /// Thread-safe fixed-capacity ring keyed by a dense monotonic query id.

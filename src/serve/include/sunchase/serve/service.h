@@ -17,6 +17,10 @@
 //                         (?since=<us> polls incrementally)
 //   GET  /debug/queries   last n QueryLog records (?n=, default 32)
 //   GET  /debug/worlds    WorldStore lineage: live versions + pins
+//   GET  /debug/profile   sampling profiler folds as collapsed-stack
+//                         text (flamegraph-ready); ?format=json for a
+//                         structured document, ?reset=1 to drop the
+//                         folds after snapshotting
 //
 // Every query resolves store.current() when picked up; a concurrent
 // /world/publish never blocks or tears an in-flight query (the World
@@ -33,6 +37,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <mutex>
 
@@ -124,10 +129,11 @@ class RouteService {
   HttpResponse handle_explain(std::uint64_t query_id);
   HttpResponse handle_publish(const HttpRequest& request);
   HttpResponse handle_healthz();
-  HttpResponse handle_metrics();
+  HttpResponse handle_metrics(const std::string& target);
   HttpResponse handle_debug_trace(const std::string& target);
   HttpResponse handle_debug_queries(const std::string& target);
   HttpResponse handle_debug_worlds();
+  HttpResponse handle_debug_profile(const std::string& target);
 
   /// Per-request MLC options: service defaults overridden by the
   /// request body's pricing / time_budget / vehicle fields.
@@ -136,6 +142,9 @@ class RouteService {
   core::WorldStore& store_;
   RouteServiceOptions options_;
   QueryLedger ledger_;
+  /// Construction time, the /healthz uptime origin.
+  std::chrono::steady_clock::time_point started_ =
+      std::chrono::steady_clock::now();
   std::mutex publish_mutex_;  ///< serializes /world/publish fold+publish
   std::atomic<bool> draining_{false};
 };

@@ -17,6 +17,7 @@
 #include "sunchase/common/error.h"
 #include "sunchase/common/logging.h"
 #include "sunchase/obs/metrics.h"
+#include "sunchase/obs/profiler.h"
 
 namespace sunchase::serve {
 
@@ -198,6 +199,11 @@ void HttpServer::accept_loop() {
 }
 
 void HttpServer::worker_loop() {
+  // Register this worker's span stack up front: an idle worker samples
+  // as "idle" from its first profiler tick instead of being invisible
+  // until its first request (and sampling a registered-but-spanless
+  // thread must be safe — tests hammer exactly this).
+  obs::Profiler::global().thread_stack();
   for (;;) {
     int conn = -1;
     {
@@ -281,6 +287,7 @@ void HttpServer::serve_connection(int fd) {
 
 HttpResponse HttpServer::process(const HttpRequest& request) {
   const Clock::time_point start = Clock::now();
+  const double cpu_start = obs::thread_cpu_seconds();
   inflight_.add(1.0);
 
   if (options_.test_hooks) {
@@ -312,11 +319,21 @@ HttpResponse HttpServer::process(const HttpRequest& request) {
       {"endpoint", RouteService::route_label(request.target)},
       {"status", std::to_string(response.status)}};
   obs::Registry::global().counter("serve.requests", endpoint_labels).add();
+  // Windowed: /metrics exports both the cumulative series and a
+  // serve.latency_seconds.window sibling holding only the last ~60 s,
+  // so soak-run dashboards see recent p99s instead of since-boot ones.
   obs::Registry::global()
-      .histogram("serve.latency_seconds",
-                 {{"endpoint", RouteService::route_label(request.target)}},
-                 obs::latency_bounds())
+      .windowed_histogram(
+          "serve.latency_seconds",
+          {{"endpoint", RouteService::route_label(request.target)}},
+          obs::latency_bounds())
       .observe(elapsed);
+  // HTTP-worker CPU per endpoint (single-query /plan work runs on this
+  // thread; /batch pool workers account separately via mlc.cpu_seconds).
+  obs::Registry::global()
+      .gauge("serve.cpu_seconds",
+             {{"endpoint", RouteService::route_label(request.target)}})
+      .add(obs::thread_cpu_seconds() - cpu_start);
   log_access(request, response, response.body.size(), elapsed * 1000.0);
   return response;
 }

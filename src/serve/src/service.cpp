@@ -15,6 +15,7 @@
 #include "sunchase/crowd/crowd_map.h"
 #include "sunchase/crowd/world_fold.h"
 #include "sunchase/obs/metrics.h"
+#include "sunchase/obs/profiler.h"
 #include "sunchase/obs/query_log.h"
 #include "sunchase/obs/trace.h"
 #include "sunchase/serve/json.h"
@@ -231,7 +232,7 @@ HttpResponse RouteService::dispatch(const HttpRequest& request) {
     return is_get ? handle_healthz()
                   : error_response(405, "use GET /healthz");
   if (path == "/metrics")
-    return is_get ? handle_metrics()
+    return is_get ? handle_metrics(request.target)
                   : error_response(405, "use GET /metrics");
   if (path == "/plan")
     return is_post ? handle_plan(request)
@@ -253,6 +254,9 @@ HttpResponse RouteService::dispatch(const HttpRequest& request) {
   if (path == "/debug/worlds")
     return is_get ? handle_debug_worlds()
                   : error_response(405, "use GET /debug/worlds");
+  if (path == "/debug/profile")
+    return is_get ? handle_debug_profile(request.target)
+                  : error_response(405, "use GET /debug/profile");
 
   constexpr std::string_view kExplain = "/explain/";
   if (path.size() > kExplain.size() &&
@@ -331,6 +335,9 @@ HttpResponse RouteService::handle_plan(const HttpRequest& request) {
   entry.route = chosen.route.path;
   entry.cost = chosen.route.cost;
   entry.trace_id = obs::current_trace().trace_id_hex();
+  entry.cpu_ms = plan.cpu_seconds * 1000.0;
+  entry.labels_created = plan.search_stats.labels_created;
+  entry.queue_pops = plan.search_stats.queue_pops;
   const std::uint64_t query_id = ledger_.record(std::move(entry));
   counter("serve.plans").add();
 
@@ -358,6 +365,7 @@ HttpResponse RouteService::handle_plan(const HttpRequest& request) {
   out += ",\"queue_pops\":" + std::to_string(plan.search_stats.queue_pops);
   out += ",\"pareto_size\":" + std::to_string(plan.search_stats.pareto_size);
   out += ",\"search_seconds\":" + num(plan.search_stats.search_seconds);
+  out += ",\"cpu_ms\":" + num(plan.cpu_seconds * 1000.0);
   out += "}}";
   return json_response(200, std::move(out));
 }
@@ -432,6 +440,9 @@ HttpResponse RouteService::handle_batch(const HttpRequest& request) {
     entry.route = chosen.route.path;
     entry.cost = chosen.route.cost;
     entry.trace_id = obs::current_trace().trace_id_hex();
+    entry.cpu_ms = qr.cpu_seconds * 1000.0;
+    entry.labels_created = qr.result->stats.labels_created;
+    entry.queue_pops = qr.result->stats.queue_pops;
     const std::uint64_t query_id = ledger_.record(std::move(entry));
 
     rows += ",\"status\":\"ok\"";
@@ -458,6 +469,7 @@ HttpResponse RouteService::handle_batch(const HttpRequest& request) {
   out += ",\"queries_per_second\":" + num(stats.queries_per_second);
   out += ",\"p50_ms\":" + num(stats.latency.quantile(0.5) * 1000.0);
   out += ",\"p95_ms\":" + num(stats.latency.quantile(0.95) * 1000.0);
+  out += ",\"cpu_seconds\":" + num(stats.cpu_seconds);
   out += "},\"results\":" + rows;
   out += "}";
   return json_response(200, std::move(out));
@@ -488,6 +500,10 @@ HttpResponse RouteService::handle_explain(std::uint64_t query_id) {
   out += ",\"time_dependent\":";
   out += entry->time_dependent ? "true" : "false";
   out += ",\"vehicle\":" + std::to_string(entry->vehicle);
+  // What the original answer cost: CPU + the search effort behind it.
+  out += ",\"cost_accounting\":{\"cpu_ms\":" + num(entry->cpu_ms);
+  out += ",\"labels_created\":" + std::to_string(entry->labels_created);
+  out += ",\"queue_pops\":" + std::to_string(entry->queue_pops) + "}";
   out += ",\"conserves\":";
   out += route_ledger.conserves(entry->cost) ? "true" : "false";
   out += ",\"max_deviation\":" + num(route_ledger.max_deviation(entry->cost));
@@ -562,13 +578,46 @@ HttpResponse RouteService::handle_publish(const HttpRequest& request) {
 }
 
 HttpResponse RouteService::handle_healthz() {
+  const double uptime = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - started_)
+                            .count();
   std::string out = "{";
   out += "\"status\":";
   out += draining() ? "\"draining\"" : "\"ok\"";
+  out += ",\"draining\":";
+  out += draining() ? "true" : "false";
   out += ",\"world_version\":" + std::to_string(store_.current()->version());
+  out += ",\"uptime_seconds\":" + num(uptime);
+  // queries_served is the canonical name; queries_recorded stays for
+  // probes written against the older body.
+  out += ",\"queries_served\":" + std::to_string(ledger_.recorded());
   out += ",\"queries_recorded\":" + std::to_string(ledger_.recorded());
   out += "}";
   return json_response(200, std::move(out));
+}
+
+HttpResponse RouteService::handle_debug_profile(const std::string& target) {
+  counter("serve.debug_requests").add();
+  const std::optional<std::string> format = query_param(target, "format");
+  if (format.has_value() && *format != "json" && *format != "collapsed")
+    return error_response(400, "format must be \"json\" or \"collapsed\"");
+  const std::uint64_t reset = uint_param(target, "reset", 0);
+
+  obs::Profiler& profiler = obs::Profiler::global();
+  HttpResponse response;
+  if (format.has_value() && *format == "json") {
+    response = json_response(200, profiler.to_json() + "\n");
+  } else {
+    // Collapsed-stack text (the default): pipe straight into
+    // flamegraph.pl / speedscope.
+    response.status = 200;
+    response.set_header("content-type", "text/plain");
+    response.body = profiler.collapsed();
+  }
+  // Snapshot-then-reset: the response carries the folds that were
+  // dropped, so a poller loses nothing.
+  if (reset != 0) profiler.reset();
+  return response;
 }
 
 HttpResponse RouteService::handle_debug_trace(const std::string& target) {
@@ -631,7 +680,13 @@ HttpResponse RouteService::handle_debug_worlds() {
   return json_response(200, std::move(out));
 }
 
-HttpResponse RouteService::handle_metrics() {
+HttpResponse RouteService::handle_metrics(const std::string& target) {
+  const std::optional<std::string> format = query_param(target, "format");
+  if (format.has_value() && *format == "json")
+    return json_response(200,
+                         obs::Registry::global().snapshot().to_json() + "\n");
+  if (format.has_value() && *format != "prometheus")
+    return error_response(400, "format must be \"prometheus\" or \"json\"");
   HttpResponse response;
   response.status = 200;
   response.set_header("content-type", "text/plain; version=0.0.4");

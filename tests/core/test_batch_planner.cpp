@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <set>
 #include <sstream>
 #include <string>
@@ -305,6 +306,44 @@ TEST(BatchPlanner, QueryLogGetsExactlyOneRecordPerQuery) {
     indices.insert(l.substr(start, l.find(',', start) - start));
   }
   EXPECT_EQ(indices.size(), queries.size());
+}
+
+TEST(BatchPlanner, EveryQueryCarriesPositiveCpuAccounting) {
+  const roadnet::GridCity city{roadnet::GridCityOptions{}};
+  test::RoutingEnv env(city.graph());
+  std::ostringstream sink;
+  obs::QueryLog log(sink);
+  BatchPlannerOptions opt;
+  opt.workers = 4;
+  opt.query_log = &log;
+  const BatchPlanner batch(env.world, opt);
+
+  const BatchResult result = batch.plan_all(grid_queries(city));
+  ASSERT_GT(result.stats.succeeded, 0u);
+  // Batch-level CPU is the sum over workers; each successful query
+  // contributes its own strictly positive worker-thread delta.
+  EXPECT_GT(result.stats.cpu_seconds, 0.0);
+  double summed = 0.0;
+  for (const auto& q : result.queries) {
+    if (!q.ok()) continue;
+    EXPECT_GT(q.cpu_seconds, 0.0);
+    summed += q.cpu_seconds;
+  }
+  EXPECT_DOUBLE_EQ(result.stats.cpu_seconds, summed);
+
+  // Every JSONL record — this is the per-query resource-accounting
+  // contract — carries cpu_ms > 0.
+  std::istringstream in(sink.str());
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    if (line.find("\"status\":\"error\"") != std::string::npos) continue;
+    const auto at = line.find("\"cpu_ms\":");
+    ASSERT_NE(at, std::string::npos) << line;
+    EXPECT_GT(std::strtod(line.c_str() + at + 9, nullptr), 0.0) << line;
+  }
+  EXPECT_EQ(lines, result.queries.size());
 }
 
 TEST(BatchPlanner, FailedQueriesStillProduceAnErrorRecord) {

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <sstream>
 
 #include "core_fixture.h"
@@ -68,6 +69,29 @@ TEST_F(PlannerTest, EveryPlanAppendsOneQueryLogRecord) {
                std::exception);
   EXPECT_EQ(log.record_count(), 2u);
   EXPECT_NE(sink.str().find("\"status\":\"error\""), std::string::npos);
+}
+
+TEST_F(PlannerTest, PlanAccountsThreadCpuTime) {
+  std::ostringstream sink;
+  obs::QueryLog log(sink);
+  PlannerOptions options;
+  options.query_log = &log;
+  const SunChasePlanner planner(env_.world, options);
+
+  const PlanResult plan = planner.plan(city_.node_at(1, 1),
+                                       city_.node_at(8, 8),
+                                       TimeOfDay::hms(10, 0));
+  // The search did real work on this thread, so the
+  // CLOCK_THREAD_CPUTIME_ID delta must be strictly positive — and no
+  // larger than a generous multiple of a small search's budget.
+  EXPECT_GT(plan.cpu_seconds, 0.0);
+  EXPECT_LT(plan.cpu_seconds, 60.0);
+
+  const std::string text = sink.str();
+  const std::string line = text.substr(0, text.find('\n'));
+  const auto at = line.find("\"cpu_ms\":");
+  ASSERT_NE(at, std::string::npos) << line;
+  EXPECT_GT(std::strtod(line.c_str() + at + 9, nullptr), 0.0);
 }
 
 TEST_F(PlannerTest, RecommendedPrefersBetterSolar) {

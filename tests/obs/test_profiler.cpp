@@ -1,0 +1,267 @@
+#include "sunchase/obs/profiler.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "json_check.h"
+#include "sunchase/common/thread_pool.h"
+#include "sunchase/obs/trace.h"
+
+namespace sunchase::obs {
+namespace {
+
+/// The profiler is a process-wide singleton; every test starts from
+/// empty folds and leaves the sampler stopped.
+class ObsProfiler : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Profiler::global().stop();
+    Profiler::global().reset();
+  }
+  void TearDown() override {
+    Profiler::global().stop();
+    Profiler::global().reset();
+  }
+};
+
+std::uint64_t fold_count(const std::string& stack) {
+  for (const ProfileEntry& entry : Profiler::global().entries())
+    if (entry.stack == stack) return entry.count;
+  return 0;
+}
+
+TEST_F(ObsProfiler, ThreadCpuSecondsAdvancesUnderWork) {
+  const double before = thread_cpu_seconds();
+  volatile double sink = 0.0;
+  for (int i = 0; i < 2000000; ++i) sink = sink + 1e-9;
+  const double after = thread_cpu_seconds();
+  EXPECT_GT(after, before);
+}
+
+TEST_F(ObsProfiler, SampleFoldsTheCurrentSpanNesting) {
+  const SpanTimer outer("outer");
+  {
+    const SpanTimer inner("inner");
+    Profiler::global().sample_once();
+  }
+  Profiler::global().sample_once();
+  EXPECT_GE(fold_count("outer;inner"), 1u);
+  EXPECT_GE(fold_count("outer"), 1u);
+}
+
+TEST_F(ObsProfiler, SamplingWorksWithTracingDisabled) {
+  // The span stack is pushed unconditionally: the profiler must see
+  // spans even when the Tracer never records them.
+  ASSERT_FALSE(Tracer::global().enabled());
+  const SpanTimer span("untraced");
+  Profiler::global().sample_once();
+  EXPECT_GE(fold_count("untraced"), 1u);
+}
+
+TEST_F(ObsProfiler, IdleSamplesCountSeparatelyAndInvariantHolds) {
+  // total - idle == sum of fold counts: every per-thread sample either
+  // folded a stack or found the thread outside any span.
+  Profiler::global().thread_stack();  // registered, no span open
+  Profiler::global().sample_once();
+  { const SpanTimer span("busy");
+    Profiler::global().sample_once(); }
+  std::uint64_t folded = 0;
+  for (const ProfileEntry& entry : Profiler::global().entries())
+    folded += entry.count;
+  EXPECT_EQ(Profiler::global().samples_total() -
+                Profiler::global().samples_idle(),
+            folded);
+  EXPECT_GE(Profiler::global().samples_idle(), 1u);
+}
+
+TEST_F(ObsProfiler, RegisteredButSpanlessThreadsSampleAsIdleNotCrash) {
+  // Satellite regression: a thread that registers with the profiler but
+  // never opens a span must sample as idle — never dereference a null
+  // span-stack head — including across ThreadPool churn that recycles
+  // stacks through the free list.
+  for (int round = 0; round < 4; ++round) {
+    common::ThreadPool pool(4);
+    std::vector<std::future<void>> futures;
+    for (int t = 0; t < 8; ++t)
+      futures.push_back(pool.submit([] {
+        Profiler::global().thread_stack();  // register only, no span
+      }));
+    for (auto& f : futures) f.get();
+    Profiler::global().sample_once();
+  }
+  EXPECT_GE(Profiler::global().samples_idle(), 1u);
+}
+
+TEST_F(ObsProfiler, StackRegistrationStaysBoundedUnderThreadChurn) {
+  const std::size_t before = Profiler::global().registered_stacks();
+  for (int round = 0; round < 8; ++round) {
+    common::ThreadPool pool(4);
+    std::vector<std::future<void>> futures;
+    for (int t = 0; t < 4; ++t)
+      futures.push_back(pool.submit([] {
+        const SpanTimer span("churn");
+      }));
+    for (auto& f : futures) f.get();
+  }
+  // 8 rounds x 4 workers would be 32 fresh stacks without recycling;
+  // the free list caps growth at the peak concurrent thread count.
+  EXPECT_LE(Profiler::global().registered_stacks(), before + 8);
+}
+
+TEST_F(ObsProfiler, DeepNestingBeyondMaxDepthStaysBalanced) {
+  constexpr int kDepth = 80;  // > SpanStack::kMaxDepth == 64
+  std::vector<std::unique_ptr<SpanTimer>> spans;
+  for (int i = 0; i < kDepth; ++i)
+    spans.push_back(std::make_unique<SpanTimer>("deep"));
+  Profiler::global().sample_once();
+  spans.clear();  // pops all the way back to empty
+  EXPECT_EQ(Profiler::global().thread_stack().depth(), 0u);
+  // The folded stack records at most kMaxDepth frames.
+  std::string deepest;
+  for (const ProfileEntry& entry : Profiler::global().entries())
+    if (entry.stack.size() > deepest.size()) deepest = entry.stack;
+  std::size_t frames = deepest.empty() ? 0 : 1;
+  for (const char c : deepest)
+    if (c == ';') ++frames;
+  EXPECT_LE(frames, static_cast<std::size_t>(detail::SpanStack::kMaxDepth));
+}
+
+TEST_F(ObsProfiler, SpanStackScopeInstallsAndRemovesPrefix) {
+  const std::vector<const char*> prefix = {"serve.request"};
+  {
+    const SpanStackScope scope(prefix);
+    const SpanTimer span("batch.query");
+    Profiler::global().sample_once();
+  }
+  EXPECT_GE(fold_count("serve.request;batch.query"), 1u);
+  EXPECT_EQ(Profiler::global().thread_stack().depth(), 0u);
+}
+
+TEST_F(ObsProfiler, CurrentSpanStackCapturesOutermostFirst) {
+  const SpanTimer outer("outer");
+  const SpanTimer inner("inner");
+  const std::vector<const char*> frames = current_span_stack();
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_STREQ(frames[0], "outer");
+  EXPECT_STREQ(frames[1], "inner");
+}
+
+TEST_F(ObsProfiler, CollapsedAndJsonExportsAgree) {
+  {
+    const SpanTimer a("alpha");
+    Profiler::global().sample_once();
+    Profiler::global().sample_once();
+  }
+  const std::string collapsed = Profiler::global().collapsed();
+  EXPECT_NE(collapsed.find("alpha 2"), std::string::npos) << collapsed;
+  const std::string json = Profiler::global().to_json();
+  EXPECT_TRUE(test::json_parses(json)) << json;
+  EXPECT_NE(json.find("\"stack\": \"alpha\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"samples_total\""), std::string::npos);
+}
+
+TEST_F(ObsProfiler, ResetDropsFoldsAndCounters) {
+  { const SpanTimer span("gone");
+    Profiler::global().sample_once(); }
+  Profiler::global().reset();
+  EXPECT_TRUE(Profiler::global().entries().empty());
+  EXPECT_EQ(Profiler::global().samples_total(), 0u);
+  EXPECT_EQ(Profiler::global().samples_idle(), 0u);
+}
+
+TEST_F(ObsProfiler, EntriesSortByCountDescendingAndTruncate) {
+  {
+    const SpanTimer hot("hot");
+    Profiler::global().sample_once();
+    Profiler::global().sample_once();
+    Profiler::global().sample_once();
+  }
+  {
+    const SpanTimer cold("cold");
+    Profiler::global().sample_once();
+  }
+  const std::vector<ProfileEntry> all = Profiler::global().entries();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].stack, "hot");
+  EXPECT_EQ(all[1].stack, "cold");
+  EXPECT_EQ(Profiler::global().entries(1).size(), 1u);
+}
+
+TEST_F(ObsProfiler, StartStopRunsTheSamplerThread) {
+  Profiler::global().start(Profiler::Options{1});
+  EXPECT_TRUE(Profiler::global().running());
+  EXPECT_EQ(Profiler::global().interval_ms(), 1);
+  {
+    const SpanTimer span("sampled");
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  Profiler::global().stop();
+  EXPECT_FALSE(Profiler::global().running());
+  EXPECT_GE(fold_count("sampled"), 1u);
+  // Folds survive stop(); a second stop is a no-op.
+  Profiler::global().stop();
+  EXPECT_GE(Profiler::global().samples_total(), 1u);
+}
+
+TEST_F(ObsProfiler, StartClampsNonPositiveIntervals) {
+  Profiler::global().start(Profiler::Options{-5});
+  EXPECT_EQ(Profiler::global().interval_ms(), 1);
+  Profiler::global().stop();
+}
+
+// TSan-facing suite (the sanitize job's -R regex matches "Prof"): the
+// sampler reads span stacks while worker threads push/pop them. Any
+// non-atomic access would trip TSan here.
+TEST_F(ObsProfiler, ProfilerSamplesRacingSpanPushPopAreClean) {
+  Profiler::global().start(Profiler::Options{1});
+  constexpr int kThreads = 4;
+  {
+    common::ThreadPool pool(kThreads);
+    std::vector<std::future<void>> futures;
+    for (int t = 0; t < kThreads; ++t)
+      futures.push_back(pool.submit([] {
+        for (int i = 0; i < 2000; ++i) {
+          const SpanTimer outer("race.outer");
+          const SpanTimer inner("race.inner");
+        }
+      }));
+    for (auto& f : futures) f.get();
+  }
+  Profiler::global().stop();
+  // Every fold the sampler saw is one of the two well-formed stacks —
+  // a torn sample may drop frames but never invents them.
+  for (const ProfileEntry& entry : Profiler::global().entries()) {
+    EXPECT_TRUE(entry.stack == "race.outer" ||
+                entry.stack == "race.outer;race.inner" ||
+                entry.stack == "race.inner")
+        << entry.stack;
+  }
+}
+
+TEST_F(ObsProfiler, SampleOnceRacingRegistrationIsClean) {
+  std::atomic<bool> stop{false};
+  std::thread sampler([&stop] {
+    while (!stop.load()) Profiler::global().sample_once();
+  });
+  for (int round = 0; round < 8; ++round) {
+    common::ThreadPool pool(4);
+    std::vector<std::future<void>> futures;
+    for (int t = 0; t < 8; ++t)
+      futures.push_back(pool.submit([] {
+        const SpanTimer span("register.race");
+      }));
+    for (auto& f : futures) f.get();
+  }
+  stop.store(true);
+  sampler.join();
+  SUCCEED();  // the assertion is TSan finding no data race
+}
+
+}  // namespace
+}  // namespace sunchase::obs

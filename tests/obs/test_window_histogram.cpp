@@ -1,0 +1,205 @@
+#include "sunchase/obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "json_check.h"
+#include "sunchase/common/error.h"
+#include "sunchase/common/thread_pool.h"
+
+namespace sunchase::obs {
+namespace {
+
+/// A clock the test advances by hand: rotation happens exactly when we
+/// say, never because the wall moved.
+struct FakeClock {
+  double now = 0.0;
+  std::function<double()> fn() {
+    return [this] { return now; };
+  }
+};
+
+TEST(ObsWindowHistogram, RejectsBadWindowAndBounds) {
+  EXPECT_THROW(WindowedHistogram({1.0}, 0.0), InvalidArgument);
+  EXPECT_THROW(WindowedHistogram({1.0}, -3.0), InvalidArgument);
+  EXPECT_THROW(WindowedHistogram({2.0, 1.0}, 60.0), InvalidArgument);
+}
+
+TEST(ObsWindowHistogram, EmptyWindowQuantileIsZeroNotNaN) {
+  // Documented policy: an empty window reads as count 0 / quantile 0.0
+  // (never NaN), so dashboards render a flat zero instead of a gap.
+  FakeClock clock;
+  const WindowedHistogram w({0.1, 1.0}, 60.0, clock.fn());
+  const HistogramSnapshot snap = w.window_snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.quantile(0.99), 0.0);
+  EXPECT_FALSE(std::isnan(snap.quantile(0.5)));
+}
+
+TEST(ObsWindowHistogram, WindowEqualsCumulativeWhenWindowCoversUptime) {
+  FakeClock clock;
+  WindowedHistogram w({0.1, 1.0, 10.0}, 60.0, clock.fn());
+  // 30 s of observations — well inside one 60 s window.
+  for (int i = 0; i < 30; ++i) {
+    w.observe(0.05 + 0.03 * i);
+    clock.now += 1.0;
+  }
+  const HistogramSnapshot cumulative = w.snapshot();
+  const HistogramSnapshot window = w.window_snapshot();
+  EXPECT_EQ(window.count, cumulative.count);
+  EXPECT_DOUBLE_EQ(window.sum, cumulative.sum);
+  EXPECT_EQ(window.buckets, cumulative.buckets);
+  EXPECT_DOUBLE_EQ(window.quantile(0.5), cumulative.quantile(0.5));
+}
+
+TEST(ObsWindowHistogram, OldObservationsExpireOutOfTheWindow) {
+  FakeClock clock;
+  WindowedHistogram w({1.0}, 60.0, clock.fn());
+  w.observe(0.5);  // lands in the epoch-0 slice
+  clock.now = 30.0;
+  w.observe(0.5);  // a later slice
+  EXPECT_EQ(w.window_snapshot().count, 2u);
+  // Jump past the window: both slices are now older than 60 s.
+  clock.now = 200.0;
+  EXPECT_EQ(w.window_snapshot().count, 0u);
+  EXPECT_EQ(w.snapshot().count, 2u);  // cumulative never forgets
+  // A fresh observation is alone in the new window.
+  w.observe(0.5);
+  EXPECT_EQ(w.window_snapshot().count, 1u);
+}
+
+TEST(ObsWindowHistogram, SliceRingReusesSlotsAcrossmanyRotations) {
+  FakeClock clock;
+  WindowedHistogram w({1.0}, 60.0, clock.fn());
+  // 40 slice periods (10 s each) of one observation per period: the
+  // 6-slot ring must recycle without double-counting. The effective
+  // window keeps the last 5-6 slices.
+  for (int i = 0; i < 40; ++i) {
+    w.observe(0.5);
+    clock.now += 10.0;
+  }
+  const std::uint64_t window_count = w.window_snapshot().count;
+  EXPECT_GE(window_count, 5u);
+  EXPECT_LE(window_count, 6u);
+  EXPECT_EQ(w.snapshot().count, 40u);
+}
+
+TEST(ObsWindowHistogram, ResetClearsBothViews) {
+  FakeClock clock;
+  WindowedHistogram w({1.0}, 60.0, clock.fn());
+  w.observe(0.5);
+  w.reset();
+  EXPECT_EQ(w.snapshot().count, 0u);
+  EXPECT_EQ(w.window_snapshot().count, 0u);
+}
+
+TEST(ObsWindowHistogram, ConcurrentObserveDuringRotationLosesNothing) {
+  // The fake clock advances mid-flight from a dedicated thread while
+  // workers hammer observe(): every observation must land exactly once
+  // in the cumulative view, and the window view must never exceed it.
+  std::atomic<double> now{0.0};
+  WindowedHistogram w(latency_bounds(), 60.0,
+                      [&now] { return now.load(); });
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  {
+    common::ThreadPool pool(kThreads + 1);
+    std::vector<std::future<void>> futures;
+    futures.push_back(pool.submit([&now] {
+      for (int i = 0; i < 120; ++i) {
+        now.store(static_cast<double>(i));
+        std::this_thread::yield();
+      }
+    }));
+    for (int t = 0; t < kThreads; ++t)
+      futures.push_back(pool.submit([&w] {
+        for (int i = 0; i < kPerThread; ++i)
+          w.observe(0.001 * static_cast<double>(i % 100));
+      }));
+    for (auto& f : futures) f.get();
+  }
+  EXPECT_EQ(w.snapshot().count,
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_LE(w.window_snapshot().count, w.snapshot().count);
+}
+
+TEST(ObsWindowHistogram, RegistrySnapshotEmitsWindowSibling) {
+  Registry reg;
+  WindowedHistogram& w = reg.windowed_histogram(
+      "rpc.latency_seconds", {{"endpoint", "/plan"}}, {0.1, 1.0});
+  w.observe(0.05);
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.histograms.count("rpc.latency_seconds{endpoint=\"/plan\"}"),
+            1u);
+  ASSERT_EQ(
+      snap.histograms.count("rpc.latency_seconds.window{endpoint=\"/plan\"}"),
+      1u);
+  EXPECT_EQ(
+      snap.histograms.at("rpc.latency_seconds.window{endpoint=\"/plan\"}")
+          .count,
+      1u);
+  EXPECT_TRUE(test::json_parses(snap.to_json())) << snap.to_json();
+}
+
+TEST(ObsWindowHistogram, PrometheusRendersBothFamilies) {
+  Registry reg;
+  reg.windowed_histogram("rpc.latency_seconds", {{"endpoint", "/plan"}},
+                         {0.1, 1.0})
+      .observe(0.05);
+  const std::string text = reg.snapshot().to_prometheus();
+  EXPECT_NE(text.find("# TYPE rpc_latency_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE rpc_latency_seconds_window histogram"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find(
+          "rpc_latency_seconds_window_bucket{endpoint=\"/plan\",le=\"0.1\"}"),
+      std::string::npos);
+}
+
+TEST(ObsWindowHistogram, RegistryRejectsCrossKindAndMismatchedRegistration) {
+  Registry reg;
+  reg.windowed_histogram("w.latency", {{"a", "1"}}, {1.0});
+  // Same series as a plain histogram: refused both ways.
+  EXPECT_THROW(reg.histogram("w.latency", Labels{{"a", "1"}}, {1.0}),
+               InvalidArgument);
+  reg.histogram("p.latency", Labels{{"a", "1"}}, {1.0});
+  EXPECT_THROW(reg.windowed_histogram("p.latency", {{"a", "1"}}, {1.0}),
+               InvalidArgument);
+  // Family-level checks: bounds and window must agree across series.
+  EXPECT_THROW(reg.windowed_histogram("w.latency", {{"a", "2"}}, {2.0}),
+               InvalidArgument);
+  EXPECT_THROW(
+      reg.windowed_histogram("w.latency", {{"a", "3"}}, {1.0}, 30.0),
+      InvalidArgument);
+  EXPECT_NO_THROW(reg.windowed_histogram("w.latency", {{"a", "4"}}, {1.0}));
+  // The reserved ".window" sibling name cannot be claimed by anyone.
+  EXPECT_THROW(reg.counter("w.latency.window"), InvalidArgument);
+}
+
+TEST(ObsWindowHistogram, JsonSnapshotCarriesQuantileConvenienceFields) {
+  Registry reg;
+  Histogram& h = reg.histogram("plain.seconds", {0.1, 1.0});
+  for (int i = 0; i < 100; ++i) h.observe(0.05);
+  const std::string json = reg.snapshot().to_json();
+  EXPECT_TRUE(test::json_parses(json)) << json;
+  EXPECT_NE(json.find("\"p50\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos);
+}
+
+TEST(ObsWindowHistogram, ResetValuesClearsWindowedSeries) {
+  Registry reg;
+  WindowedHistogram& w =
+      reg.windowed_histogram("r.seconds", {{"k", "v"}}, {1.0});
+  w.observe(0.5);
+  reg.reset_values();
+  EXPECT_EQ(w.snapshot().count, 0u);
+  EXPECT_EQ(w.window_snapshot().count, 0u);
+}
+
+}  // namespace
+}  // namespace sunchase::obs

@@ -86,6 +86,38 @@ TEST(ServeServer, KeepAliveReusesOneConnection) {
   harness.stop();
 }
 
+TEST(ServeServer, MetricsExposeCumulativeAndWindowLatencyQuantiles) {
+  // The labeled per-endpoint latency series live in HttpServer::process,
+  // so they only exist once a request has crossed a real socket.
+  ServerHarness harness;
+  HttpClient client = harness.client();
+  ASSERT_EQ(client.post("/plan", kPlanBody).status, 200);
+
+  // Prometheus view: the rolling-window family renders alongside the
+  // cumulative one.
+  const HttpResponse prom = client.get("/metrics");
+  ASSERT_EQ(prom.status, 200);
+  EXPECT_NE(prom.body.find("serve_latency_seconds_bucket"),
+            std::string::npos);
+  EXPECT_NE(prom.body.find("serve_latency_seconds_window_bucket"),
+            std::string::npos);
+  EXPECT_NE(prom.body.find("endpoint=\"/plan\""), std::string::npos);
+
+  // JSON view: both keys present, each with quantile convenience fields.
+  const HttpResponse json = client.get("/metrics?format=json");
+  ASSERT_EQ(json.status, 200);
+  EXPECT_NE(
+      json.body.find("serve.latency_seconds{endpoint=\\\"/plan\\\"}"),
+      std::string::npos)
+      << json.body;
+  EXPECT_NE(
+      json.body.find(
+          "serve.latency_seconds.window{endpoint=\\\"/plan\\\"}"),
+      std::string::npos);
+  EXPECT_NE(json.body.find("\"p99\":"), std::string::npos);
+  harness.stop();
+}
+
 TEST(ServeServer, MalformedRequestLineAnswers400AndCloses) {
   ServerHarness harness;
   HttpClient client = harness.client();

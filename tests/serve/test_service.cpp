@@ -11,6 +11,7 @@
 
 #include "sunchase/common/error.h"
 #include "sunchase/core/world_store.h"
+#include "sunchase/obs/profiler.h"
 #include "sunchase/obs/query_log.h"
 #include "sunchase/obs/trace.h"
 #include "sunchase/roadnet/citygen.h"
@@ -68,6 +69,29 @@ TEST_F(ServeServiceTest, HealthzReportsWorldVersionAndDrainState) {
   service_.set_draining(true);
   body = call(make_request("GET", "/healthz?probe=1"), 200);
   EXPECT_EQ(body.string_or("status", ""), "draining");
+  service_.set_draining(false);
+}
+
+TEST_F(ServeServiceTest, HealthzCarriesUptimeQueriesServedAndDrainingFlag) {
+  JsonValue body = call(make_request("GET", "/healthz"), 200);
+  const JsonValue* draining = body.find("draining");
+  ASSERT_NE(draining, nullptr);
+  EXPECT_FALSE(draining->as_bool());
+  EXPECT_GE(body.number_or("uptime_seconds", -1.0), 0.0);
+  EXPECT_DOUBLE_EQ(body.number_or("queries_served", -1.0), 0.0);
+
+  // Serving a plan bumps queries_served; draining flips the flag while
+  // the status string degrades in step.
+  call(make_request("POST", "/plan",
+                    plan_body(city_.node_at(0, 0), city_.node_at(5, 5))),
+       200);
+  body = call(make_request("GET", "/healthz"), 200);
+  EXPECT_DOUBLE_EQ(body.number_or("queries_served", -1.0), 1.0);
+
+  service_.set_draining(true);
+  body = call(make_request("GET", "/healthz"), 200);
+  ASSERT_NE(body.find("draining"), nullptr);
+  EXPECT_TRUE(body.find("draining")->as_bool());
   service_.set_draining(false);
 }
 
@@ -398,6 +422,142 @@ TEST_F(ServeServiceTest, DebugEndpointsRejectWrongMethodsAndBadParams) {
   EXPECT_EQ(
       service_.handle(make_request("GET", "/debug/queries?n=-3")).status,
       400);
+}
+
+TEST_F(ServeServiceTest, DebugProfileServesJsonAndCollapsedAndResets) {
+  obs::Profiler::global().reset();
+  // Deterministic folds: sample a synthetic span directly, no sampler
+  // thread involved.
+  {
+    const obs::SpanTimer span("svc.test");
+    obs::Profiler::global().sample_once();
+  }
+
+  const JsonValue body =
+      call(make_request("GET", "/debug/profile?format=json"), 200);
+  EXPECT_FALSE(body.find("running") == nullptr);
+  EXPECT_GE(body.number_or("samples_total", -1.0), 1.0);
+  EXPECT_GE(body.number_or("interval_ms", 0.0), 1.0);
+  ASSERT_NE(body.find("stacks"), nullptr);
+  EXPECT_TRUE(body.find("stacks")->is_array());
+
+  // Default format is collapsed-stack text.
+  const HttpResponse collapsed =
+      service_.handle(make_request("GET", "/debug/profile"));
+  EXPECT_EQ(collapsed.status, 200);
+  EXPECT_NE(collapsed.body.find("svc.test 1"), std::string::npos)
+      << collapsed.body;
+
+  // ?reset=1 answers with the folds it drops, then starts fresh.
+  const HttpResponse drained =
+      service_.handle(make_request("GET", "/debug/profile?reset=1"));
+  EXPECT_NE(drained.body.find("svc.test"), std::string::npos);
+  const HttpResponse empty =
+      service_.handle(make_request("GET", "/debug/profile"));
+  EXPECT_EQ(empty.body.find("svc.test"), std::string::npos);
+
+  // Guard rails: wrong method 405, unknown format 400.
+  EXPECT_EQ(service_.handle(make_request("POST", "/debug/profile")).status,
+            405);
+  EXPECT_EQ(
+      service_.handle(make_request("GET", "/debug/profile?format=perf"))
+          .status,
+      400);
+  obs::Profiler::global().reset();
+}
+
+TEST_F(ServeServiceTest, DebugProfileCapturesLiveBatchStacksUnderSampler) {
+  // The acceptance path: a live /batch under a running sampler must
+  // eventually fold serve.request;batch.query;... — the worker-pool
+  // spans re-parented under the ingress span via SpanStackScope.
+  obs::Profiler::global().reset();
+  obs::Profiler::global().start(obs::Profiler::Options{1});
+
+  std::string batch = "{\"queries\":[";
+  for (int i = 0; i < 16; ++i) {
+    if (i != 0) batch += ',';
+    batch += plan_body(city_.node_at(0, i % 10),
+                       city_.node_at(9, (i * 3) % 10));
+  }
+  batch += "]}";
+
+  bool found = false;
+  for (int attempt = 0; attempt < 50 && !found; ++attempt) {
+    call(make_request("POST", "/batch", batch), 200);
+    for (const obs::ProfileEntry& entry :
+         obs::Profiler::global().entries())
+      if (entry.stack.rfind("serve.request;batch.query", 0) == 0)
+        found = true;
+  }
+  obs::Profiler::global().stop();
+  obs::Profiler::global().reset();
+  EXPECT_TRUE(found)
+      << "no serve.request;batch.query fold after 50 batches";
+}
+
+TEST_F(ServeServiceTest, PlanResponsesAndLedgerCarryCpuAccounting) {
+  const JsonValue body = call(
+      make_request("POST", "/plan",
+                   plan_body(city_.node_at(1, 1), city_.node_at(8, 8))),
+      200);
+  const JsonValue* stats = body.find("stats");
+  ASSERT_NE(stats, nullptr);
+  EXPECT_GT(stats->number_or("cpu_ms", 0.0), 0.0);
+
+  const auto id =
+      static_cast<std::uint64_t>(body.number_or("query_id", 0.0));
+  const auto entry = service_.ledger().find(id);
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_GT(entry->cpu_ms, 0.0);
+  EXPECT_GT(entry->labels_created, 0u);
+
+  // /explain surfaces the same accounting next to the energy ledger.
+  const JsonValue explain =
+      call(make_request("GET", "/explain/" + std::to_string(id)), 200);
+  const JsonValue* accounting = explain.find("cost_accounting");
+  ASSERT_NE(accounting, nullptr);
+  EXPECT_GT(accounting->number_or("cpu_ms", 0.0), 0.0);
+  EXPECT_GT(accounting->number_or("labels_created", 0.0), 0.0);
+}
+
+TEST_F(ServeServiceTest, BatchResponsesAndLedgerCarryCpuSeconds) {
+  const std::string batch =
+      "{\"queries\":[" +
+      plan_body(city_.node_at(0, 0), city_.node_at(5, 5)) + "," +
+      plan_body(city_.node_at(2, 2), city_.node_at(9, 9)) + "]}";
+  const JsonValue body = call(make_request("POST", "/batch", batch), 200);
+  // Batch-level stats report the summed worker CPU of the request...
+  const JsonValue* stats = body.find("stats");
+  ASSERT_NE(stats, nullptr);
+  EXPECT_GT(stats->number_or("cpu_seconds", 0.0), 0.0);
+  // ...and each answered query's own share lands in its ledger entry.
+  const JsonValue* results = body.find("results");
+  ASSERT_NE(results, nullptr);
+  for (const JsonValue& result : results->as_array()) {
+    const auto id =
+        static_cast<std::uint64_t>(result.number_or("query_id", 0.0));
+    const auto entry = service_.ledger().find(id);
+    ASSERT_TRUE(entry.has_value());
+    EXPECT_GT(entry->cpu_ms, 0.0);
+  }
+}
+
+TEST_F(ServeServiceTest, MetricsSupportsJsonFormatAndRejectsUnknown) {
+  call(make_request("POST", "/plan",
+                    plan_body(city_.node_at(0, 0), city_.node_at(5, 5))),
+       200);
+  const HttpResponse json =
+      service_.handle(make_request("GET", "/metrics?format=json"));
+  EXPECT_EQ(json.status, 200);
+  const JsonValue doc = JsonValue::parse(json.body);
+  EXPECT_NE(doc.find("histograms"), nullptr);
+  EXPECT_NE(json.body.find("\"p99\":"), std::string::npos);
+  // Unknown format answers 400; the labeled window series are asserted
+  // in test_server.cpp, where requests flow through HttpServer (the
+  // layer that owns serve.latency_seconds{endpoint=...}).
+  EXPECT_EQ(service_.handle(make_request("GET", "/metrics?format=xml"))
+                .status,
+            400);
 }
 
 TEST(ServeRouteLabel, MapsTargetsOntoABoundedSet) {

@@ -28,12 +28,65 @@ environment change lands.
 
 import argparse
 import json
+import os
 import shutil
 import sys
 
 
 def is_serve(report):
     return report.get("bench") == "loadgen_serve"
+
+
+def fmt(value, spec="{:.2f}"):
+    """Format an optional numeric cell; '-' for fields the report
+    predates (old baselines have no cpu_seconds / window_p99_ms)."""
+    if value is None:
+        return "-"
+    try:
+        return spec.format(float(value))
+    except (TypeError, ValueError):
+        return "-"
+
+
+def delta_pct(base, cur):
+    """Signed percent change current-vs-baseline, '-' when the baseline
+    row (or field) is missing."""
+    try:
+        base, cur = float(base), float(cur)
+    except (TypeError, ValueError):
+        return "-"
+    if base == 0.0:
+        return "-"
+    return "{:+.1f}%".format((cur - base) / base * 100.0)
+
+
+def render_table(headers, rows):
+    """The rows as aligned plain text (stdout) and as a GitHub markdown
+    table ($GITHUB_STEP_SUMMARY) — one source, two renderings."""
+    widths = [
+        max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows
+        else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    text_lines = [
+        " ".join(str(c).rjust(w) for c, w in zip(row, widths))
+        for row in [headers] + rows
+    ]
+    md_lines = ["| " + " | ".join(str(h) for h in headers) + " |",
+                "|" + "|".join("---:" for _ in headers) + "|"]
+    md_lines += ["| " + " | ".join(str(c) for c in row) + " |"
+                 for row in rows]
+    return "\n".join(text_lines), "\n".join(md_lines)
+
+
+def write_step_summary(markdown):
+    """Append to the GitHub Actions job summary when running in CI; a
+    no-op locally."""
+    path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not path:
+        return
+    with open(path, "a") as f:
+        f.write(markdown + "\n")
 
 
 def peak_qps(report, label):
@@ -116,43 +169,63 @@ def main():
     floor = base_peak * (1.0 - args.tolerance)
 
     if serve:
-        # Serve samples are one concurrency step each.
+        # Serve samples are one concurrency step each. window_p99_ms and
+        # cpu_seconds are newer report fields: '-' cells keep old
+        # baselines comparable instead of KeyError-ing the gate.
         def key(sample):
             return sample["concurrency"]
 
-        print(f"{'concurrency':>12} {'baseline q/s':>14} {'current q/s':>14} "
-              f"{'base p99 ms':>12} {'cur p99 ms':>12}")
+        headers = ["concurrency", "base q/s", "cur q/s", "Δq/s",
+                   "base p99 ms", "cur p99 ms", "Δp99",
+                   "window p99 ms", "cpu s"]
         base_by_key = {key(s): s for s in baseline.get("samples", [])}
+        rows = []
         for sample in current.get("samples", []):
-            base = base_by_key.get(key(sample))
-            base_qps = f"{base['queries_per_second']:14.2f}" if base \
-                else " " * 14
-            base_lat = f"{base['p99_ms']:12.3f}" if base else " " * 12
-            print(f"{sample['concurrency']:>12} {base_qps} "
-                  f"{sample['queries_per_second']:14.2f} {base_lat} "
-                  f"{sample['p99_ms']:12.3f}")
+            base = base_by_key.get(key(sample)) or {}
+            rows.append([
+                sample["concurrency"],
+                fmt(base.get("queries_per_second")),
+                fmt(sample["queries_per_second"]),
+                delta_pct(base.get("queries_per_second"),
+                          sample["queries_per_second"]),
+                fmt(base.get("p99_ms"), "{:.3f}"),
+                fmt(sample["p99_ms"], "{:.3f}"),
+                delta_pct(base.get("p99_ms"), sample["p99_ms"]),
+                fmt(sample.get("window_p99_ms"), "{:.3f}"),
+                fmt(sample.get("cpu_seconds"), "{:.3f}"),
+            ])
     else:
         # Samples are keyed by (pricing, workers); old baselines without
         # a pricing field compare against the "exact" rows of a new run.
         def key(sample):
             return (sample.get("pricing", "exact"), sample["workers"])
 
-        print(f"{'pricing':>8} {'workers':>8} {'baseline q/s':>14} "
-              f"{'current q/s':>14}")
+        headers = ["pricing", "workers", "base q/s", "cur q/s", "Δq/s",
+                   "cpu s"]
         base_by_key = {key(s): s for s in baseline.get("samples", [])}
+        rows = []
         for sample in current.get("samples", []):
-            base = base_by_key.get(key(sample))
-            base_qps = f"{base['queries_per_second']:14.2f}" if base \
-                else " " * 14
-            print(f"{sample.get('pricing', 'exact'):>8} "
-                  f"{sample['workers']:>8} "
-                  f"{base_qps} {sample['queries_per_second']:14.2f}")
+            base = base_by_key.get(key(sample)) or {}
+            rows.append([
+                sample.get("pricing", "exact"),
+                sample["workers"],
+                fmt(base.get("queries_per_second")),
+                fmt(sample["queries_per_second"]),
+                delta_pct(base.get("queries_per_second"),
+                          sample["queries_per_second"]),
+                fmt(sample.get("cpu_seconds"), "{:.3f}"),
+            ])
 
-    print(
+    text_table, md_table = render_table(headers, rows)
+    print(text_table)
+
+    peak_line = (
         f"peak: baseline {base_peak:.2f} q/s, current {cur_peak:.2f} q/s "
         f"({cur_peak / base_peak:.2f}x), floor {floor:.2f} q/s "
         f"(tolerance {args.tolerance:.0%})"
     )
+    print(peak_line)
+    summary_lines = [md_table, "", peak_line]
 
     # Shared-cache memory and snapshot identity, tracked informationally
     # (never gating): one SlotCostCache per (world version, vehicle), so
@@ -174,30 +247,43 @@ def main():
 
     failed = False
     if cur_peak < floor:
-        print(
+        message = (
             f"FAIL: current peak {cur_peak:.2f} q/s is more than "
-            f"{args.tolerance:.0%} below baseline {base_peak:.2f} q/s",
-            file=sys.stderr,
+            f"{args.tolerance:.0%} below baseline {base_peak:.2f} q/s"
         )
+        print(message, file=sys.stderr)
+        summary_lines.append(f"**{message}**")
         failed = True
 
     if serve:
         base_lat = best_p99(baseline, "baseline")
         cur_lat = best_p99(current, "current")
         ceiling = base_lat * (1.0 + args.latency_tolerance)
-        print(
+        p99_line = (
             f"p99: baseline best {base_lat:.3f} ms, current best "
             f"{cur_lat:.3f} ms ({cur_lat / base_lat:.2f}x), ceiling "
             f"{ceiling:.3f} ms (tolerance {args.latency_tolerance:.0%})"
         )
+        print(p99_line)
+        summary_lines.append(p99_line)
         if cur_lat > ceiling:
-            print(
+            message = (
                 f"FAIL: current best p99 {cur_lat:.3f} ms is more than "
                 f"{args.latency_tolerance:.0%} above baseline "
-                f"{base_lat:.3f} ms",
-                file=sys.stderr,
+                f"{base_lat:.3f} ms"
             )
+            print(message, file=sys.stderr)
+            summary_lines.append(f"**{message}**")
             failed = True
+
+    verdict = ("within tolerance of baseline" if not failed
+               else "regression against baseline")
+    name = "serve" if serve else "batch"
+    write_step_summary(
+        f"### bench_compare: {name} — "
+        f"{'OK' if not failed else 'FAIL'}, {verdict}\n\n"
+        + "\n".join(summary_lines)
+    )
 
     if failed:
         return 1

@@ -13,6 +13,21 @@
 //       [--explain-every N]             GET /explain/{id} for every Nth
 //                                       ok plan and check "conserves"
 //                                       (0 disables; default 3)
+//       [--batch-every N]               additionally POST /batch (a small
+//                                       query bundle) for every Nth
+//                                       request, exercising the pool
+//                                       workers the profiler samples
+//                                       (0 disables; default 8)
+//       [--profile-out FILE]            dump the server's /debug/profile
+//                                       collapsed stacks after the run
+//
+// After each step loadgen scrapes GET /metrics?format=json and stamps
+// the step's sample with the rolling-window p99 of
+// serve.latency_seconds.window{endpoint="/plan"} (the server's own
+// last-60s view, next to loadgen's client-side p99) and the step's
+// serve.cpu_seconds delta (worker CPU burned per step). After the last
+// step it scrapes GET /debug/profile and embeds a fold count + whether
+// a serve.request;batch.query;... stack was captured.
 //
 // The query file is the same "FROM_R,FROM_C TO_R,TO_C HH:MM" lattice
 // format the batch CLI reads; loadgen regenerates the grid city with
@@ -38,6 +53,7 @@
 #include <mutex>
 #include <set>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -62,6 +78,8 @@ struct Options {
   std::string out_path = "BENCH_serve.json";
   bool publish_mid_step = false;
   std::size_t explain_every = 3;
+  std::size_t batch_every = 8;
+  std::string profile_out;
 };
 
 int usage() {
@@ -70,7 +88,7 @@ int usage() {
       "usage: loadgen --port N [--host ADDR] [--queries FILE]\n"
       "       [--rows N] [--cols N] [--seed S] [--concurrency 1,2,4]\n"
       "       [--requests-per-step N] [--out FILE] [--publish-mid-step]\n"
-      "       [--explain-every N]\n");
+      "       [--explain-every N] [--batch-every N] [--profile-out FILE]\n");
   return 2;
 }
 
@@ -121,12 +139,48 @@ struct StepResult {
   std::atomic<std::size_t> conservation_failures{0};
   std::atomic<std::size_t> responses{0};           ///< HTTP responses seen
   std::atomic<std::size_t> request_id_missing{0};  ///< echo absent/mismatched
+  std::atomic<std::size_t> batch_requests{0};      ///< POST /batch probes
+  std::atomic<std::size_t> batch_ok{0};
   double wall_seconds = 0.0;
   std::mutex latency_mutex;
   std::vector<double> latencies_ms;  ///< guarded by latency_mutex
   std::mutex version_mutex;
   std::set<std::uint64_t> versions;  ///< guarded by version_mutex
 };
+
+/// One scrape of the server's own telemetry (/metrics?format=json):
+/// the rolling-window p99 for /plan and the cumulative worker CPU,
+/// summed over every serve.cpu_seconds{endpoint=...} series so /batch
+/// worker time counts too. Deltas between scrapes give per-step CPU.
+struct MetricsProbe {
+  bool ok = false;
+  double window_p99_ms = 0.0;
+  double cpu_seconds_total = 0.0;
+};
+
+MetricsProbe scrape_metrics(const Options& opt) {
+  MetricsProbe probe;
+  try {
+    serve::HttpClient client(opt.host, static_cast<std::uint16_t>(opt.port));
+    const serve::HttpResponse response = client.get("/metrics?format=json");
+    if (response.status != 200) return probe;
+    const serve::JsonValue doc = serve::JsonValue::parse(response.body);
+    if (const serve::JsonValue* gauges = doc.find("gauges");
+        gauges != nullptr && gauges->is_object())
+      for (const auto& [key, value] : gauges->as_object())
+        if (key.rfind("serve.cpu_seconds", 0) == 0 && value.is_number())
+          probe.cpu_seconds_total += value.as_number();
+    if (const serve::JsonValue* histograms = doc.find("histograms");
+        histograms != nullptr)
+      if (const serve::JsonValue* window = histograms->find(
+              "serve.latency_seconds.window{endpoint=\"/plan\"}"))
+        probe.window_p99_ms = window->number_or("p99", 0.0) * 1e3;
+    probe.ok = true;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "loadgen: metrics scrape: %s\n", e.what());
+  }
+  return probe;
+}
 
 double percentile(std::vector<double>& sorted, double q) {
   if (sorted.empty()) return 0.0;
@@ -146,6 +200,34 @@ void run_worker(const Options& opt, std::size_t step_index,
     const std::size_t i = next.fetch_add(1);
     if (i >= step.requests) break;
     const std::string& body = bodies[i % bodies.size()];
+    // Every Nth request also pushes a small POST /batch bundle through
+    // the pool workers: that is the request shape whose samples fold to
+    // serve.request;batch.query;mlc.search when the server profiles.
+    // Batch probes keep their own tallies — their latency would skew
+    // the /plan percentiles the report gates on.
+    if (opt.batch_every != 0 && i % opt.batch_every == 0) {
+      std::string bundle = "{\"queries\":[";
+      const std::size_t bundle_size = std::min<std::size_t>(4, bodies.size());
+      for (std::size_t b = 0; b < bundle_size; ++b) {
+        if (b != 0) bundle += ',';
+        bundle += bodies[(i + b) % bodies.size()];
+      }
+      bundle += "]}";
+      step.batch_requests.fetch_add(1);
+      try {
+        const serve::HttpResponse response =
+            client.post("/batch", bundle);
+        if (response.status == 200)
+          step.batch_ok.fetch_add(1);
+        else if (response.status >= 500)
+          step.http_5xx.fetch_add(1);
+        else
+          step.http_4xx.fetch_add(1);
+      } catch (const std::exception& e) {
+        step.transport_errors.fetch_add(1);
+        std::fprintf(stderr, "loadgen: batch probe %zu: %s\n", i, e.what());
+      }
+    }
     // A deterministic synthetic trace per request: the server must echo
     // exactly these 32 hex chars back in x-sunchase-request-id.
     char trace_id[33];
@@ -252,6 +334,11 @@ int main(int argc, char** argv) {
     else if (arg == "--explain-every" && (v = next()))
       opt.explain_every =
           static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+    else if (arg == "--batch-every" && (v = next()))
+      opt.batch_every =
+          static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+    else if (arg == "--profile-out" && (v = next()))
+      opt.profile_out = v;
     else
       return usage();
   }
@@ -262,9 +349,14 @@ int main(int argc, char** argv) {
 
     std::size_t total_requests = 0, total_ok = 0, total_4xx = 0,
                 total_5xx = 0, total_transport = 0, total_conservation = 0,
-                total_request_id_missing = 0;
+                total_request_id_missing = 0, total_batch = 0,
+                total_batch_ok = 0;
     std::set<std::uint64_t> all_versions;
     std::string samples = "[";
+
+    // Baseline scrape: per-step CPU is the delta between consecutive
+    // scrapes of the cumulative serve.cpu_seconds gauges.
+    MetricsProbe previous_probe = scrape_metrics(opt);
 
     for (std::size_t s = 0; s < opt.concurrency.size(); ++s) {
       const std::size_t concurrency = opt.concurrency[s];
@@ -326,25 +418,43 @@ int main(int argc, char** argv) {
                                     step.request_id_missing.load()) /
                     static_cast<double>(responses);
 
-      std::printf("concurrency %zu: %zu requests in %.3f s — %.1f req/s, "
-                  "p50 %.1f ms, p99 %.1f ms (%zu ok, %zu 4xx, %zu 5xx, "
-                  "%zu transport)\n",
-                  concurrency, step.requests, step.wall_seconds, qps, p50,
-                  p99, step.ok.load(), step.http_4xx.load(),
-                  step.http_5xx.load(), step.transport_errors.load());
+      // The server's own view of this step: rolling-window p99 (its
+      // last-60s serve.latency_seconds.window quantile) and the CPU
+      // the step burned (delta of the cumulative cpu_seconds gauges).
+      const MetricsProbe probe = scrape_metrics(opt);
+      const double step_cpu_seconds =
+          (probe.ok && previous_probe.ok)
+              ? std::max(0.0, probe.cpu_seconds_total -
+                                  previous_probe.cpu_seconds_total)
+              : 0.0;
+      if (probe.ok) previous_probe = probe;
 
-      char sample[512];
+      std::printf("concurrency %zu: %zu requests in %.3f s — %.1f req/s, "
+                  "p50 %.1f ms, p99 %.1f ms, window p99 %.1f ms, "
+                  "cpu %.3f s (%zu ok, %zu 4xx, %zu 5xx, %zu transport, "
+                  "%zu/%zu batch)\n",
+                  concurrency, step.requests, step.wall_seconds, qps, p50,
+                  p99, probe.window_p99_ms, step_cpu_seconds, step.ok.load(),
+                  step.http_4xx.load(), step.http_5xx.load(),
+                  step.transport_errors.load(), step.batch_ok.load(),
+                  step.batch_requests.load());
+
+      char sample[768];
       std::snprintf(
           sample, sizeof sample,
           "%s\n    {\"concurrency\": %zu, \"requests\": %zu, \"ok\": %zu, "
           "\"http_4xx\": %zu, \"http_5xx\": %zu, \"transport_errors\": %zu, "
           "\"wall_seconds\": %.6f, \"queries_per_second\": %.3f, "
           "\"p50_ms\": %.3f, \"p99_ms\": %.3f, \"max_ms\": %.3f, "
-          "\"request_id_coverage\": %.4f}",
+          "\"request_id_coverage\": %.4f, \"window_p99_ms\": %.3f, "
+          "\"cpu_seconds\": %.6f, \"batch_requests\": %zu, "
+          "\"batch_ok\": %zu}",
           s == 0 ? "" : ",", concurrency, step.requests, step.ok.load(),
           step.http_4xx.load(), step.http_5xx.load(),
           step.transport_errors.load(), step.wall_seconds, qps, p50, p99,
-          max_ms, request_id_coverage);
+          max_ms, request_id_coverage, probe.window_p99_ms,
+          step_cpu_seconds, step.batch_requests.load(),
+          step.batch_ok.load());
       samples += sample;
 
       total_requests += step.requests;
@@ -354,9 +464,48 @@ int main(int argc, char** argv) {
       total_transport += step.transport_errors.load();
       total_conservation += step.conservation_failures.load();
       total_request_id_missing += step.request_id_missing.load();
+      total_batch += step.batch_requests.load();
+      total_batch_ok += step.batch_ok.load();
       all_versions.insert(step.versions.begin(), step.versions.end());
     }
     samples += "\n  ]";
+
+    // Pull the server's sampling-profiler folds (collapsed-stack text,
+    // one "outer;inner COUNT" line each). Empty when the server was not
+    // started with --profile — the report records that as folds 0
+    // rather than failing, so CI can assert on it explicitly.
+    std::size_t profile_folds = 0;
+    bool profile_has_batch_stack = false;
+    std::string profile_text;
+    try {
+      serve::HttpClient client(opt.host,
+                               static_cast<std::uint16_t>(opt.port));
+      const serve::HttpResponse response = client.get("/debug/profile");
+      if (response.status == 200) profile_text = response.body;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "loadgen: profile scrape: %s\n", e.what());
+    }
+    for (std::size_t pos = 0; pos < profile_text.size();) {
+      const std::size_t eol = profile_text.find('\n', pos);
+      const std::string_view line(profile_text.data() + pos,
+                                  (eol == std::string::npos
+                                       ? profile_text.size()
+                                       : eol) - pos);
+      if (!line.empty()) {
+        ++profile_folds;
+        if (line.rfind("serve.request;batch.query", 0) == 0)
+          profile_has_batch_stack = true;
+      }
+      if (eol == std::string::npos) break;
+      pos = eol + 1;
+    }
+    if (!opt.profile_out.empty()) {
+      std::ofstream prof(opt.profile_out);
+      if (!prof) throw IoError("loadgen: cannot write " + opt.profile_out);
+      prof << profile_text;
+      std::printf("wrote %s (%zu folds)\n", opt.profile_out.c_str(),
+                  profile_folds);
+    }
 
     const std::uint64_t version_min =
         all_versions.empty() ? 0 : *all_versions.begin();
@@ -371,12 +520,17 @@ int main(int argc, char** argv) {
         << "  \"samples\": " << samples << ",\n"
         << "  \"world_version\": {\"min\": " << version_min
         << ", \"max\": " << version_max << "},\n"
+        << "  \"profile\": {\"folds\": " << profile_folds
+        << ", \"has_batch_stack\": "
+        << (profile_has_batch_stack ? "true" : "false") << "},\n"
         << "  \"totals\": {\"requests\": " << total_requests
         << ", \"ok\": " << total_ok << ", \"http_4xx\": " << total_4xx
         << ", \"http_5xx\": " << total_5xx
         << ", \"transport_errors\": " << total_transport
         << ", \"conservation_failures\": " << total_conservation
-        << ", \"request_id_missing\": " << total_request_id_missing << "}\n"
+        << ", \"request_id_missing\": " << total_request_id_missing
+        << ", \"batch_requests\": " << total_batch
+        << ", \"batch_ok\": " << total_batch_ok << "}\n"
         << "}\n";
     std::printf("wrote %s (%zu/%zu ok, world versions %llu..%llu)\n",
                 opt.out_path.c_str(), total_ok, total_requests,
