@@ -1,23 +1,33 @@
-// Microbenchmarks (google-benchmark): cost of the multi-label
-// correcting search vs city size and time budget, the Dijkstra
-// baseline, shading-profile construction, and the selection pipeline.
-// The paper notes the Pareto search is the expensive step its route
-// merging exists to tame.
-#include <benchmark/benchmark.h>
-
+// MLC search-space pruning scaling: corner-to-corner Pareto searches on
+// generated n x n cities (hashed shading, urban traffic), run with the
+// reverse-Dijkstra lower-bound pruning on vs off and swept over the
+// epsilon-dominance merge factor on the largest world. The paper notes
+// the Pareto search is the expensive step its route merging exists to
+// tame; this bench tracks what the budget pruning actually saves
+// (labels created, queue pops, latency) and what an approximate merge
+// costs in Pareto coverage. Writes BENCH_mlc.json for CI trend
+// tracking (tools/bench_compare.py gates on it).
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
 #include <map>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "paper_world.h"
 
-#include "sunchase/core/astar.h"
-#include "sunchase/core/dijkstra.h"
+#include "sunchase/core/mlc.h"
+#include "sunchase/obs/metrics.h"
 
 using namespace sunchase;
 
 namespace {
 
 struct ScalingWorld {
-  explicit ScalingWorld(int n) : city(options_for(n)), proj(city.options().origin) {
+  explicit ScalingWorld(int n)
+      : city(options_for(n)), proj(city.options().origin) {
     core::WorldInit init;
     init.graph = std::make_shared<const roadnet::RoadGraph>(city.graph());
     init.shading = std::make_shared<const shadow::ShadingProfile>(
@@ -56,90 +66,203 @@ ScalingWorld& world_of(int n) {
   return *slot;
 }
 
-void BM_MlcSearch(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  const double factor = static_cast<double>(state.range(1)) / 10.0;
+struct Sample {
+  int n = 0;
+  const char* mode = "pruned";  ///< "pruned" or "unpruned"
+  double epsilon = 0.0;
+  double queries_per_second = 0.0;
+  double search_seconds = 0.0;      ///< mean per query
+  double lower_bound_seconds = 0.0; ///< mean per query (0 unpruned)
+  std::size_t labels_created = 0;
+  std::size_t labels_pruned_bound = 0;
+  std::size_t labels_merged_epsilon = 0;
+  std::size_t queue_pops = 0;
+  std::size_t pareto_size = 0;
+};
+
+/// Best-of-`repeats` search at one configuration; stats come from the
+/// fastest repeat (all repeats produce identical stats — the search is
+/// deterministic — so "best" only picks the least-noisy timing).
+Sample run_config(int n, bool prune, double epsilon, int repeats) {
   ScalingWorld& w = world_of(n);
   core::MlcOptions opt;
-  opt.max_time_factor = factor;
+  opt.max_time_factor = 1.1;
+  opt.prune_with_lower_bounds = prune;
+  opt.epsilon = epsilon;
   const core::MultiLabelCorrecting solver(w.world, opt);
-  std::size_t labels = 0, pareto = 0;
-  for (auto _ : state) {
+  Sample s;
+  s.n = n;
+  s.mode = prune ? "pruned" : "unpruned";
+  s.epsilon = epsilon;
+  double best = -1.0;
+  for (int r = 0; r < repeats; ++r) {
     const auto result = solver.search(w.city.node_at(0, 0),
                                       w.city.node_at(n - 1, n - 1),
                                       TimeOfDay::hms(10, 0));
-    labels = result.stats.labels_created;
-    pareto = result.routes.size();
-    benchmark::DoNotOptimize(result);
+    if (best < 0.0 || result.stats.search_seconds < best) {
+      best = result.stats.search_seconds;
+      s.search_seconds = result.stats.search_seconds;
+      s.lower_bound_seconds = result.stats.lower_bound_seconds;
+      s.labels_created = result.stats.labels_created;
+      s.labels_pruned_bound = result.stats.labels_pruned_bound;
+      s.labels_merged_epsilon = result.stats.labels_merged_epsilon;
+      s.queue_pops = result.stats.queue_pops;
+      s.pareto_size = result.stats.pareto_size;
+    }
   }
-  state.counters["labels"] = static_cast<double>(labels);
-  state.counters["pareto"] = static_cast<double>(pareto);
+  s.queries_per_second = s.search_seconds > 0.0 ? 1.0 / s.search_seconds : 0.0;
+  return s;
 }
-BENCHMARK(BM_MlcSearch)
-    ->ArgsProduct({{6, 8, 10, 12}, {11, 15, 20}})
-    ->Unit(benchmark::kMillisecond);
 
-void BM_DijkstraBaseline(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
+/// Full Pareto frontier (cost vectors only) at one configuration.
+std::vector<core::Criteria> frontier(int n, bool prune, double epsilon) {
   ScalingWorld& w = world_of(n);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(core::detail::shortest_time_path(
-        w.world->graph(), w.world->traffic(), w.city.node_at(0, 0),
-        w.city.node_at(n - 1, n - 1), TimeOfDay::hms(10, 0)));
-  }
-}
-BENCHMARK(BM_DijkstraBaseline)->Arg(6)->Arg(12)->Unit(benchmark::kMicrosecond);
-
-void BM_AStarBaseline(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  ScalingWorld& w = world_of(n);
-  std::size_t settled = 0;
-  for (auto _ : state) {
-    const auto result = core::detail::shortest_time_path_astar(
-        w.world->graph(), w.world->traffic(), w.city.node_at(0, 0),
-        w.city.node_at(n - 1, n - 1), TimeOfDay::hms(10, 0), kmh(17.0));
-    settled = result ? result->nodes_settled : 0;
-    benchmark::DoNotOptimize(result);
-  }
-  state.counters["settled"] = static_cast<double>(settled);
-}
-BENCHMARK(BM_AStarBaseline)->Arg(6)->Arg(12)->Unit(benchmark::kMicrosecond);
-
-void BM_SelectionPipeline(benchmark::State& state) {
-  ScalingWorld& w = world_of(10);
   core::MlcOptions opt;
-  opt.max_time_factor = 1.5;
+  opt.max_time_factor = 1.1;
+  opt.prune_with_lower_bounds = prune;
+  opt.epsilon = epsilon;
   const core::MultiLabelCorrecting solver(w.world, opt);
-  const auto pareto = solver
-                          .search(w.city.node_at(0, 0), w.city.node_at(9, 9),
-                                  TimeOfDay::hms(10, 0))
-                          .routes;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(core::select_representative_routes(
-        pareto, w.world, TimeOfDay::hms(10, 0)));
-  }
-  state.counters["pareto_in"] = static_cast<double>(pareto.size());
+  const auto result = solver.search(w.city.node_at(0, 0),
+                                    w.city.node_at(n - 1, n - 1),
+                                    TimeOfDay::hms(10, 0));
+  std::vector<core::Criteria> costs;
+  costs.reserve(result.routes.size());
+  for (const auto& route : result.routes) costs.push_back(route.cost);
+  return costs;
 }
-BENCHMARK(BM_SelectionPipeline)->Unit(benchmark::kMicrosecond);
 
-void BM_ExactShadingSlot(benchmark::State& state) {
-  // Cost of one 15-minute solar-map refresh (all edges, one sun
-  // position) on the full paper world scene.
-  static const bench::PaperWorld paper;
-  const auto estimator = shadow::make_exact_estimator(
-      paper.graph(), paper.scene(), geo::DayOfYear{196});
-  int slot = 40;
-  for (auto _ : state) {
-    double sum = 0.0;
-    const TimeOfDay t = TimeOfDay::slot_start(slot);
-    for (roadnet::EdgeId e = 0; e < paper.graph().edge_count(); ++e)
-      sum += estimator(e, t);
-    benchmark::DoNotOptimize(sum);
-    slot = 40 + (slot + 1) % 8;  // defeat the per-slot memoization
+/// Coverage error of an approximate frontier vs the exact one: for each
+/// exact point, the smallest factor by which some approximate point is
+/// worse in its worst criterion; the sweep reports the max over exact
+/// points. 0 means every exact point is (weakly) covered.
+double coverage_error(const std::vector<core::Criteria>& exact,
+                      const std::vector<core::Criteria>& approx) {
+  double worst = 0.0;
+  for (const core::Criteria& e : exact) {
+    double best = std::numeric_limits<double>::infinity();
+    for (const core::Criteria& a : approx) {
+      auto ratio = [](double av, double ev) {
+        if (av <= ev) return 0.0;
+        return ev > 1e-12 ? (av - ev) / ev
+                          : std::numeric_limits<double>::infinity();
+      };
+      const double over =
+          std::max({ratio(a.travel_time.value(), e.travel_time.value()),
+                    ratio(a.shaded_time.value(), e.shaded_time.value()),
+                    ratio(a.energy_out.value(), e.energy_out.value())});
+      best = std::min(best, over);
+    }
+    worst = std::max(worst, best);
   }
+  return worst;
 }
-BENCHMARK(BM_ExactShadingSlot)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const int repeats = argc > 1 ? std::atoi(argv[1]) : 3;
+  bench::banner("MLC search-space pruning scaling",
+                "budget pruning + epsilon-dominance on the Pareto search");
+
+  const std::vector<int> sizes = {6, 8, 10, 12};
+  const int largest = sizes.back();
+
+  std::vector<Sample> samples;
+  std::printf("corner-to-corner searches, time budget 1.1x, 10:00, "
+              "best of %d\n\n", repeats);
+  std::printf("%4s %9s %8s %9s %8s %10s %10s %7s\n", "n", "mode",
+              "ms", "lb_ms", "labels", "pruned", "pops", "pareto");
+  for (const int n : sizes) {
+    for (const bool prune : {false, true}) {
+      const Sample s = run_config(n, prune, 0.0, repeats);
+      samples.push_back(s);
+      std::printf("%4d %9s %8.2f %9.3f %8zu %10zu %10zu %7zu\n", s.n,
+                  s.mode, s.search_seconds * 1e3,
+                  s.lower_bound_seconds * 1e3, s.labels_created,
+                  s.labels_pruned_bound, s.queue_pops, s.pareto_size);
+    }
+  }
+
+  // Exactness spot check riding along with the measurement: pruning at
+  // epsilon = 0 must not change the frontier (the tests pin this too,
+  // but a silent regression here would quietly invalidate the bench's
+  // pruned-vs-unpruned comparison).
+  const std::vector<core::Criteria> exact = frontier(largest, false, 0.0);
+  if (frontier(largest, true, 0.0) != exact) {
+    std::fprintf(stderr,
+                 "error: pruned frontier differs from unpruned at n=%d\n",
+                 largest);
+    return 1;
+  }
+
+  // Epsilon sweep on the largest world, pruning on: what the relaxed
+  // merge saves and what Pareto coverage it gives up.
+  struct EpsSample {
+    double epsilon = 0.0;
+    Sample run;
+    double coverage_err = 0.0;
+  };
+  std::vector<EpsSample> sweep;
+  std::printf("\nepsilon sweep (n=%d, pruning on)\n", largest);
+  std::printf("%8s %8s %8s %10s %7s %12s\n", "epsilon", "ms", "labels",
+              "merged", "pareto", "coverage_err");
+  for (const double epsilon : {0.0, 0.01, 0.05, 0.10}) {
+    EpsSample es;
+    es.epsilon = epsilon;
+    es.run = run_config(largest, true, epsilon, repeats);
+    es.coverage_err = coverage_error(exact, frontier(largest, true, epsilon));
+    sweep.push_back(es);
+    std::printf("%8.2f %8.2f %8zu %10zu %7zu %12.4f\n", epsilon,
+                es.run.search_seconds * 1e3, es.run.labels_created,
+                es.run.labels_merged_epsilon, es.run.pareto_size,
+                es.coverage_err);
+  }
+
+  const char* json_path = argc > 2 ? argv[2] : "BENCH_mlc.json";
+  if (std::FILE* f = std::fopen(json_path, "w")) {
+    std::fprintf(f, "{\n  \"bench\": \"perf_mlc_scaling\",\n");
+    std::fprintf(f, "  \"time_budget\": 1.1,\n  \"repeats\": %d,\n",
+                 repeats);
+    std::fprintf(f, "  \"largest_n\": %d,\n  \"samples\": [\n", largest);
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      const Sample& s = samples[i];
+      std::fprintf(f,
+                   "    {\"n\": %d, \"mode\": \"%s\", \"epsilon\": %.4f, "
+                   "\"queries_per_second\": %.3f, "
+                   "\"search_seconds\": %.6f, "
+                   "\"lower_bound_seconds\": %.6f, "
+                   "\"labels_created\": %zu, \"labels_pruned_bound\": %zu, "
+                   "\"labels_merged_epsilon\": %zu, \"queue_pops\": %zu, "
+                   "\"pareto_size\": %zu}%s\n",
+                   s.n, s.mode, s.epsilon, s.queries_per_second,
+                   s.search_seconds, s.lower_bound_seconds,
+                   s.labels_created, s.labels_pruned_bound,
+                   s.labels_merged_epsilon, s.queue_pops, s.pareto_size,
+                   i + 1 < samples.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n  \"epsilon_sweep\": [\n");
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+      const EpsSample& es = sweep[i];
+      std::fprintf(f,
+                   "    {\"epsilon\": %.4f, \"search_seconds\": %.6f, "
+                   "\"labels_created\": %zu, "
+                   "\"labels_merged_epsilon\": %zu, \"pareto_size\": %zu, "
+                   "\"coverage_error\": %.6f}%s\n",
+                   es.epsilon, es.run.search_seconds,
+                   es.run.labels_created, es.run.labels_merged_epsilon,
+                   es.run.pareto_size, es.coverage_err,
+                   i + 1 < sweep.size() ? "," : "");
+    }
+    // Registry snapshot: the mlc.* counter family (created / pruned /
+    // merged / lower-bound build seconds) for CI trend tracking.
+    const std::string metrics =
+        sunchase::obs::Registry::global().snapshot().to_json(2);
+    std::fprintf(f, "  ],\n  \"metrics\":\n%s\n}\n", metrics.c_str());
+    std::fclose(f);
+    std::printf("\nwrote %s\n", json_path);
+  } else {
+    std::fprintf(stderr, "error: cannot write %s\n", json_path);
+    return 1;
+  }
+  return 0;
+}

@@ -39,6 +39,15 @@ inline constexpr double kCriteriaEpsilon = 1e-9;
 /// True when the two vectors are equal within tolerance.
 [[nodiscard]] bool equivalent(const Criteria& a, const Criteria& b) noexcept;
 
+/// Relaxed (epsilon-)dominance for approximate Pareto merging: true when
+/// a.c <= (1 + epsilon) * b.c in every criterion, i.e. `a` is at worst a
+/// factor (1+epsilon) of `b` everywhere. With epsilon = 0 this degrades
+/// to "a <= b componentwise" (weak dominance, no strictness clause) —
+/// callers that need exactness must not route through it at epsilon = 0;
+/// the MLC merge only consults it when epsilon > 0.
+[[nodiscard]] bool epsilon_dominates(const Criteria& a, const Criteria& b,
+                                     double epsilon) noexcept;
+
 /// Lexicographic order (travel time, then shaded time, then energy):
 /// the priority-queue order of the multi-label correcting algorithm
 /// ("extract the minimum label (in lexicographic order)").

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <optional>
+#include <vector>
 
 #include "sunchase/common/time_of_day.h"
 #include "sunchase/core/world_fwd.h"
@@ -34,6 +35,19 @@ namespace detail {
 [[nodiscard]] std::optional<ShortestTimeResult> shortest_time_path(
     const roadnet::RoadGraph& graph, const roadnet::TrafficModel& traffic,
     roadnet::NodeId origin, roadnet::NodeId destination, TimeOfDay departure);
+
+/// Admissible time-to-destination lower bounds for every node: a reverse
+/// Dijkstra from `destination` over the reversed adjacency, with the
+/// static per-edge weight `length / max_speed(edge)` (a lower bound on
+/// the edge's travel time at ANY clock, TrafficModel::min_travel_time).
+/// The search settles the whole reachable component — it must NOT
+/// early-exit, because the caller (MLC budget pruning) consults the
+/// bound at every node a label touches, not at one target. Nodes that
+/// cannot reach `destination` get +infinity (any label there is dead and
+/// prunes immediately). Throws GraphError for an unknown node.
+[[nodiscard]] std::vector<double> time_lower_bounds(
+    const roadnet::RoadGraph& graph, const roadnet::TrafficModel& traffic,
+    roadnet::NodeId destination);
 
 }  // namespace detail
 

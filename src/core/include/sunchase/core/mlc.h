@@ -37,6 +37,21 @@ struct MlcOptions {
   /// Which of the world's vehicles the energy-consumption criterion is
   /// priced for (an index into World's vehicle list).
   std::size_t vehicle = 0;
+  /// When true (default) and a time budget is active, a reverse Dijkstra
+  /// from the destination (static lower-bound edge weights, no early
+  /// exit) is run once per query and any label whose travel time plus
+  /// its node's time-to-destination lower bound exceeds the budget is
+  /// never inserted. Admissible, so the destination Pareto set is
+  /// bit-identical to the plain filter — only the explored frontier
+  /// shrinks. No effect when max_time_factor == 0.
+  bool prune_with_lower_bounds = true;
+  /// Epsilon-dominance merge: a new label is dropped when an existing
+  /// bag label is within a factor (1 + epsilon) of it in EVERY
+  /// criterion. 0 (default) keeps the search exact (the relaxed test is
+  /// never evaluated); > 0 trades Pareto-set completeness for speed with
+  /// a per-merge relative error of at most epsilon (errors can compound
+  /// along a route — measure with the bench sweep, see EXPERIMENTS.md).
+  double epsilon = 0.0;
 };
 
 /// One non-dominated route with its criteria vector.
@@ -51,9 +66,19 @@ struct MlcStats {
   std::size_t labels_dominated = 0;
   std::size_t queue_pops = 0;
   std::size_t pareto_size = 0;
+  /// Expansions rejected because travel time plus the node's
+  /// time-to-destination lower bound exceeded the time budget (counts
+  /// the old plain filter too when lower-bound pruning is off).
+  std::size_t labels_pruned_bound = 0;
+  /// Labels dropped by the relaxed epsilon-dominance merge (0 unless
+  /// options.epsilon > 0).
+  std::size_t labels_merged_epsilon = 0;
   Seconds shortest_travel_time{0.0};
   /// Wall clock of this search (the query log's mlc phase duration).
   double search_seconds = 0.0;
+  /// Wall clock of the reverse-Dijkstra lower-bound build (inside
+  /// search_seconds; 0 when pruning is off or no budget is set).
+  double lower_bound_seconds = 0.0;
 };
 
 struct MlcResult {

@@ -27,6 +27,17 @@ bool equivalent(const Criteria& a, const Criteria& b) noexcept {
          fuzzy_cmp(a.energy_out.value(), b.energy_out.value()) == 0;
 }
 
+bool epsilon_dominates(const Criteria& a, const Criteria& b,
+                       double epsilon) noexcept {
+  const double scale = 1.0 + epsilon;
+  return a.travel_time.value() <=
+             scale * b.travel_time.value() + kCriteriaEpsilon &&
+         a.shaded_time.value() <=
+             scale * b.shaded_time.value() + kCriteriaEpsilon &&
+         a.energy_out.value() <=
+             scale * b.energy_out.value() + kCriteriaEpsilon;
+}
+
 bool lex_less(const Criteria& a, const Criteria& b) noexcept {
   if (const int c = fuzzy_cmp(a.travel_time.value(), b.travel_time.value()))
     return c < 0;

@@ -69,6 +69,40 @@ std::optional<ShortestTimeResult> shortest_time_path(
   return result;
 }
 
+std::vector<double> time_lower_bounds(const roadnet::RoadGraph& graph,
+                                      const roadnet::TrafficModel& traffic,
+                                      roadnet::NodeId destination) {
+  const std::size_t n = graph.node_count();
+  if (destination >= n) throw GraphError("time_lower_bounds: unknown node");
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(n, kInf);
+  std::vector<bool> settled(n, false);
+
+  using QueueItem = std::pair<double, roadnet::NodeId>;  // (bound s, node)
+  std::priority_queue<QueueItem, std::vector<QueueItem>, std::greater<>> queue;
+  dist[destination] = 0.0;
+  queue.emplace(0.0, destination);
+
+  while (!queue.empty()) {
+    const auto [d, u] = queue.top();
+    queue.pop();
+    if (settled[u]) continue;
+    settled[u] = true;
+    for (const roadnet::EdgeId e : graph.in_edges(u)) {
+      const roadnet::NodeId v = graph.edge(e).from;
+      if (settled[v]) continue;
+      const double nd = d + traffic.min_travel_time(graph, e).value();
+      if (nd < dist[v]) {
+        dist[v] = nd;
+        queue.emplace(nd, v);
+      }
+    }
+  }
+
+  return dist;
+}
+
 }  // namespace detail
 
 }  // namespace sunchase::core

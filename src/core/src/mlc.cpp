@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <queue>
 
 #include <utility>
@@ -26,6 +27,9 @@ struct MlcMetrics {
   obs::Counter& queue_pops;
   obs::Counter& queries;
   obs::Counter& label_cap_hits;
+  obs::Counter& labels_pruned_bound;
+  obs::Counter& labels_merged_epsilon;
+  obs::Histogram& lower_bound_latency;
   obs::Histogram& latency;
 
   static const MlcMetrics& get() {
@@ -35,6 +39,9 @@ struct MlcMetrics {
         obs::Registry::global().counter("mlc.queue_pops"),
         obs::Registry::global().counter("mlc.queries"),
         obs::Registry::global().counter("mlc.label_cap_hits"),
+        obs::Registry::global().counter("mlc.labels_pruned_bound"),
+        obs::Registry::global().counter("mlc.labels_merged_epsilon"),
+        obs::Registry::global().histogram("mlc.lower_bound_seconds"),
         obs::Registry::global().histogram("mlc.query_latency_seconds")};
     return metrics;
   }
@@ -69,12 +76,20 @@ MultiLabelCorrecting::MultiLabelCorrecting(WorldPtr world, MlcOptions options)
   static_cast<void>(world_->vehicle(options.vehicle));  // validates the index
   if (options.pricing == PricingMode::SlotQuantized)
     cache_ = &world_->slot_cache(options.vehicle);
+  // Non-finite first: NaN slips through every ordered comparison below
+  // (NaN < 0 is false), and an unchecked NaN/inf poisons time_bound and
+  // silently disables the only prune the search has.
+  if (!std::isfinite(options.max_time_factor))
+    throw InvalidArgument("MultiLabelCorrecting: non-finite time factor");
   if (options.max_time_factor < 0.0)
     throw InvalidArgument("MultiLabelCorrecting: negative time factor");
   if (options.max_time_factor > 0.0 && options.max_time_factor < 1.0)
     throw InvalidArgument(
         "MultiLabelCorrecting: time factor below 1 excludes the shortest "
         "path itself");
+  if (!std::isfinite(options.epsilon) || options.epsilon < 0.0)
+    throw InvalidArgument(
+        "MultiLabelCorrecting: epsilon must be finite and >= 0");
 }
 
 MlcResult MultiLabelCorrecting::search(roadnet::NodeId origin,
@@ -103,6 +118,25 @@ MlcResult MultiLabelCorrecting::search(roadnet::NodeId origin,
           ? shortest->travel_time.value() * options_.max_time_factor
           : 0.0;
 
+  // Time-to-destination lower bounds (the ROADMAP's ellipse pruning):
+  // a reverse Dijkstra with static admissible edge weights, settled over
+  // the whole component so every node a label can touch has a bound.
+  // Admissibility makes the prune exact — a label it kills can only lead
+  // to arrivals past the budget, and domination is downward-closed under
+  // it (a dominating label has <= travel time, so it survives whenever
+  // its victim would). Empty when pruning is off or no budget is set;
+  // lower_bounds[destination] == 0, so in-budget arrivals never prune.
+  std::vector<double> lower_bounds;
+  if (time_bound > 0.0 && options_.prune_with_lower_bounds) {
+    const obs::SpanTimer lb_span("mlc.lower_bounds");
+    const auto lb_start = std::chrono::steady_clock::now();
+    lower_bounds = detail::time_lower_bounds(graph, map.traffic(), destination);
+    result.stats.lower_bound_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      lb_start)
+            .count();
+  }
+
   std::vector<Label> arena;
   arena.reserve(1024);
   std::vector<std::vector<std::uint32_t>> bags(graph.node_count());
@@ -121,6 +155,13 @@ MlcResult MultiLabelCorrecting::search(roadnet::NodeId origin,
     for (const std::uint32_t idx : bag) {
       const Criteria& existing = arena[idx].cost;
       if (equivalent(existing, cost) || dominates(existing, cost)) return;
+      // Relaxed merge: only consulted when epsilon > 0, so the exact
+      // (epsilon = 0) search takes the identical code path above.
+      if (options_.epsilon > 0.0 &&
+          epsilon_dominates(existing, cost, options_.epsilon)) {
+        ++result.stats.labels_merged_epsilon;
+        return;
+      }
     }
     // Remove bag labels the new cost dominates (step 2c of Algorithm 1;
     // queue entries die lazily via the alive flag).
@@ -170,10 +211,19 @@ MlcResult MultiLabelCorrecting::search(roadnet::NodeId origin,
           current.cost +
           (cache_ ? cache_->at(e, slot).criteria
                   : detail::edge_criteria(map, vehicle, e, now));
-      if (time_bound > 0.0 && next.travel_time.value() > time_bound)
-        continue;  // beyond the acceptable arrival time
-      try_insert(graph.edge(e).to, next, e,
-                 static_cast<std::int32_t>(entry.label));
+      const roadnet::NodeId to = graph.edge(e).to;
+      if (time_bound > 0.0) {
+        // With lower bounds: can this label still reach the destination
+        // inside the budget? Without: the plain arrival-time filter
+        // (lb == 0 everywhere, which the bounds subsume since lb >= 0).
+        const double slack =
+            lower_bounds.empty() ? 0.0 : lower_bounds[to];
+        if (next.travel_time.value() + slack > time_bound) {
+          ++result.stats.labels_pruned_bound;
+          continue;  // cannot make the acceptable arrival time
+        }
+      }
+      try_insert(to, next, e, static_cast<std::int32_t>(entry.label));
     }
   }
 
@@ -207,6 +257,10 @@ MlcResult MultiLabelCorrecting::search(roadnet::NodeId origin,
   metrics.labels_dominated.add(result.stats.labels_dominated);
   metrics.queue_pops.add(result.stats.queue_pops);
   metrics.queries.add();
+  metrics.labels_pruned_bound.add(result.stats.labels_pruned_bound);
+  metrics.labels_merged_epsilon.add(result.stats.labels_merged_epsilon);
+  if (result.stats.lower_bound_seconds > 0.0)
+    metrics.lower_bound_latency.observe(result.stats.lower_bound_seconds);
   metrics.latency.observe(result.stats.search_seconds);
   SUNCHASE_LOG(Debug) << "mlc: " << origin << "->" << destination << " @ "
                       << departure.to_string() << ": "

@@ -84,6 +84,9 @@ PlanResult SunChasePlanner::plan(roadnet::NodeId origin,
       record.labels_dominated = search.stats.labels_dominated;
       record.queue_pops = search.stats.queue_pops;
       record.pareto_size = search.stats.pareto_size;
+      record.labels_pruned_bound = search.stats.labels_pruned_bound;
+      record.labels_merged_epsilon = search.stats.labels_merged_epsilon;
+      record.lower_bound_seconds = search.stats.lower_bound_seconds;
       record.candidate_count = plan.candidates.size();
       const RouteMetrics& best = plan.recommended().metrics;
       record.travel_time_s = best.travel_time.value();

@@ -66,7 +66,9 @@ std::string QueryRecord::to_json() const {
       << ",\"labels_created\":" << labels_created
       << ",\"labels_dominated\":" << labels_dominated
       << ",\"queue_pops\":" << queue_pops << ",\"pareto_size\":"
-      << pareto_size;
+      << pareto_size << ",\"labels_pruned_bound\":" << labels_pruned_bound
+      << ",\"labels_merged_epsilon\":" << labels_merged_epsilon
+      << ",\"lower_bound_seconds\":" << format_double(lower_bound_seconds);
   if (status == "ok")
     out << ",\"candidates\":" << candidate_count << ",\"travel_time_s\":"
         << format_double(travel_time_s) << ",\"shaded_time_s\":"

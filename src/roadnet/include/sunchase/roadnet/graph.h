@@ -69,6 +69,12 @@ class RoadGraph {
   /// Outgoing edge ids of a node (a span into the frozen CSR index).
   [[nodiscard]] std::span<const EdgeId> out_edges(NodeId id) const;
 
+  /// Incoming edge ids of a node (a span into the frozen reverse CSR
+  /// index, built eagerly like the forward one). This is the reverse
+  /// adjacency a backward search walks — e.g. the reverse Dijkstra
+  /// that computes time-to-destination lower bounds for MLC pruning.
+  [[nodiscard]] std::span<const EdgeId> in_edges(NodeId id) const;
+
   /// The edge from `u` to `v`, or kInvalidEdge when absent.
   [[nodiscard]] EdgeId find_edge(NodeId u, NodeId v) const;
 
@@ -89,6 +95,9 @@ class RoadGraph {
   // CSR adjacency: offsets_[n]..offsets_[n+1] index into sorted_.
   std::vector<std::uint32_t> offsets_;
   std::vector<EdgeId> sorted_;
+  // Reverse CSR adjacency, keyed by edge .to instead of .from.
+  std::vector<std::uint32_t> in_offsets_;
+  std::vector<EdgeId> in_sorted_;
 };
 
 /// The mutable construction stage: append nodes and edges freely, then

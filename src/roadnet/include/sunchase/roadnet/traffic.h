@@ -25,6 +25,22 @@ class TrafficModel {
   /// segment, time driven by traffic flow and length).
   [[nodiscard]] Seconds travel_time(const RoadGraph& graph, EdgeId edge,
                                     TimeOfDay when) const;
+
+  /// An upper bound on speed(graph, edge, t) over EVERY time of day —
+  /// the admissibility contract behind min_travel_time and the MLC
+  /// lower-bound pruning built on it: returning less than any
+  /// instantaneous speed would make the search prune reachable routes.
+  /// The default samples the 96 slot starts and takes the maximum,
+  /// which is exact for slot-constant models; models whose speed varies
+  /// within a slot must override with a true bound.
+  [[nodiscard]] virtual MetersPerSecond max_speed(const RoadGraph& graph,
+                                                  EdgeId edge) const;
+
+  /// A lower bound on travel_time(graph, edge, t) over every time of
+  /// day: length / max_speed. The static edge weight of the reverse
+  /// Dijkstra that computes time-to-destination lower bounds.
+  [[nodiscard]] Seconds min_travel_time(const RoadGraph& graph,
+                                        EdgeId edge) const;
 };
 
 /// Same speed on every edge at every time. Useful for tests and for
@@ -34,6 +50,8 @@ class UniformTraffic final : public TrafficModel {
   explicit UniformTraffic(MetersPerSecond speed);
   [[nodiscard]] MetersPerSecond speed(const RoadGraph&, EdgeId,
                                       TimeOfDay) const override;
+  [[nodiscard]] MetersPerSecond max_speed(const RoadGraph&,
+                                          EdgeId) const override;
 
  private:
   MetersPerSecond speed_;
@@ -59,6 +77,10 @@ class UrbanTraffic final : public TrafficModel {
   explicit UrbanTraffic(Options options);
   [[nodiscard]] MetersPerSecond speed(const RoadGraph& graph, EdgeId edge,
                                       TimeOfDay when) const override;
+  /// The edge's free-flow speed: congestion_factor is <= 1 everywhere
+  /// (continuous in time, so slot-start sampling would undershoot).
+  [[nodiscard]] MetersPerSecond max_speed(const RoadGraph& graph,
+                                          EdgeId edge) const override;
 
   /// The time-of-day congestion multiplier in (0, 1], exposed for tests.
   [[nodiscard]] double congestion_factor(TimeOfDay when) const noexcept;

@@ -19,6 +19,16 @@ RoadGraph::RoadGraph(std::vector<Node> nodes, std::vector<Edge> edges)
   for (const Edge& e : edges_) ++offsets_[e.from + 1];
   for (std::size_t n = 1; n < offsets_.size(); ++n)
     offsets_[n] += offsets_[n - 1];
+
+  in_sorted_.resize(edges_.size());
+  for (EdgeId e = 0; e < edges_.size(); ++e) in_sorted_[e] = e;
+  std::sort(in_sorted_.begin(), in_sorted_.end(), [this](EdgeId a, EdgeId b) {
+    return edges_[a].to < edges_[b].to;
+  });
+  in_offsets_.assign(nodes_.size() + 1, 0);
+  for (const Edge& e : edges_) ++in_offsets_[e.to + 1];
+  for (std::size_t n = 1; n < in_offsets_.size(); ++n)
+    in_offsets_[n] += in_offsets_[n - 1];
 }
 
 const Node& RoadGraph::node(NodeId id) const {
@@ -34,6 +44,12 @@ const Edge& RoadGraph::edge(EdgeId id) const {
 std::span<const EdgeId> RoadGraph::out_edges(NodeId id) const {
   if (id >= nodes_.size()) throw GraphError("out_edges: id out of range");
   return {sorted_.data() + offsets_[id], offsets_[id + 1] - offsets_[id]};
+}
+
+std::span<const EdgeId> RoadGraph::in_edges(NodeId id) const {
+  if (id >= nodes_.size()) throw GraphError("in_edges: id out of range");
+  return {in_sorted_.data() + in_offsets_[id],
+          in_offsets_[id + 1] - in_offsets_[id]};
 }
 
 EdgeId RoadGraph::find_edge(NodeId u, NodeId v) const {

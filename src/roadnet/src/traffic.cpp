@@ -1,5 +1,6 @@
 #include "sunchase/roadnet/traffic.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "sunchase/common/error.h"
@@ -11,6 +12,21 @@ Seconds TrafficModel::travel_time(const RoadGraph& graph, EdgeId edge,
   return graph.edge(edge).length / speed(graph, edge, when);
 }
 
+MetersPerSecond TrafficModel::max_speed(const RoadGraph& graph,
+                                        EdgeId edge) const {
+  double best = 0.0;
+  for (int slot = 0; slot < TimeOfDay::kSlotsPerDay; ++slot) {
+    const auto when = TimeOfDay::slot_start(slot);
+    best = std::max(best, speed(graph, edge, when).value());
+  }
+  return MetersPerSecond{best};
+}
+
+Seconds TrafficModel::min_travel_time(const RoadGraph& graph,
+                                      EdgeId edge) const {
+  return graph.edge(edge).length / max_speed(graph, edge);
+}
+
 UniformTraffic::UniformTraffic(MetersPerSecond speed) : speed_(speed) {
   if (speed.value() <= 0.0)
     throw InvalidArgument("UniformTraffic: non-positive speed");
@@ -18,6 +34,10 @@ UniformTraffic::UniformTraffic(MetersPerSecond speed) : speed_(speed) {
 
 MetersPerSecond UniformTraffic::speed(const RoadGraph&, EdgeId,
                                       TimeOfDay) const {
+  return speed_;
+}
+
+MetersPerSecond UniformTraffic::max_speed(const RoadGraph&, EdgeId) const {
   return speed_;
 }
 
@@ -42,8 +62,8 @@ double UrbanTraffic::congestion_factor(TimeOfDay when) const noexcept {
                                               : factor;
 }
 
-MetersPerSecond UrbanTraffic::speed(const RoadGraph& graph, EdgeId edge,
-                                    TimeOfDay when) const {
+MetersPerSecond UrbanTraffic::max_speed(const RoadGraph& graph,
+                                        EdgeId edge) const {
   (void)graph.edge(edge);  // range-check the id
   // Stable per-edge hash -> [0,1); mix with the seed (SplitMix64 finalizer).
   std::uint64_t z = options_.seed + 0x9e3779b97f4a7c15ULL * (edge + 1);
@@ -55,7 +75,13 @@ MetersPerSecond UrbanTraffic::speed(const RoadGraph& graph, EdgeId edge,
   const double base = options_.min_speed.value() +
                       u * (options_.max_speed.value() -
                            options_.min_speed.value());
-  return MetersPerSecond{base * congestion_factor(when)};
+  return MetersPerSecond{base};
+}
+
+MetersPerSecond UrbanTraffic::speed(const RoadGraph& graph, EdgeId edge,
+                                    TimeOfDay when) const {
+  return MetersPerSecond{max_speed(graph, edge).value() *
+                         congestion_factor(when)};
 }
 
 }  // namespace sunchase::roadnet

@@ -292,9 +292,26 @@ core::MlcOptions RouteService::mlc_options_from(const JsonValue& body) {
   }
   if (const JsonValue* factor = body.find("time_budget")) {
     mlc.max_time_factor = factor->as_number();
+    // Full validation at the request surface, worded in request terms.
+    // Non-finite first: NaN passes every ordered comparison's false
+    // branch, and "1e999" parses to +inf — either would otherwise ride
+    // into the solver as a budget that never prunes.
+    if (!std::isfinite(mlc.max_time_factor))
+      throw InvalidArgument("time_budget must be a finite number");
     if (mlc.max_time_factor < 0.0)
       throw InvalidArgument("time_budget must be non-negative");
+    if (mlc.max_time_factor > 0.0 && mlc.max_time_factor < 1.0)
+      throw InvalidArgument(
+          "time_budget must be 0 (unbounded) or >= 1 (a multiple of the "
+          "shortest travel time)");
   }
+  if (const JsonValue* epsilon = body.find("epsilon")) {
+    mlc.epsilon = epsilon->as_number();
+    if (!std::isfinite(mlc.epsilon) || mlc.epsilon < 0.0)
+      throw InvalidArgument("epsilon must be a finite number >= 0");
+  }
+  if (const JsonValue* prune = body.find("prune_with_lower_bounds"))
+    mlc.prune_with_lower_bounds = prune->as_bool();
   if (const JsonValue* vehicle = body.find("vehicle")) {
     const double raw = vehicle->as_number();
     if (!(raw >= 0.0) || raw != std::floor(raw))
@@ -364,6 +381,12 @@ HttpResponse RouteService::handle_plan(const HttpRequest& request) {
          std::to_string(plan.search_stats.labels_dominated);
   out += ",\"queue_pops\":" + std::to_string(plan.search_stats.queue_pops);
   out += ",\"pareto_size\":" + std::to_string(plan.search_stats.pareto_size);
+  out += ",\"labels_pruned_bound\":" +
+         std::to_string(plan.search_stats.labels_pruned_bound);
+  out += ",\"labels_merged_epsilon\":" +
+         std::to_string(plan.search_stats.labels_merged_epsilon);
+  out += ",\"lower_bound_seconds\":" +
+         num(plan.search_stats.lower_bound_seconds);
   out += ",\"search_seconds\":" + num(plan.search_stats.search_seconds);
   out += ",\"cpu_ms\":" + num(plan.cpu_seconds * 1000.0);
   out += "}}";

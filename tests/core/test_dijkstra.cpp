@@ -126,5 +126,81 @@ TEST_P(DijkstraGridProperty, PathTimeConsistent) {
 INSTANTIATE_TEST_SUITE_P(Seeds, DijkstraGridProperty,
                          ::testing::Values(1, 7, 42, 99, 1234));
 
+TEST(TimeLowerBounds, DestinationIsZeroAndNeighborsMatchStaticWeights) {
+  test::SquareGraph sq;
+  const roadnet::UniformTraffic traffic(MetersPerSecond{10.0});
+  const auto lb = detail::time_lower_bounds(sq.graph, traffic, 3);
+  ASSERT_EQ(lb.size(), sq.graph.node_count());
+  EXPECT_DOUBLE_EQ(lb[3], 0.0);
+  // Under uniform traffic the "lower bound" IS the travel time, so the
+  // bound to the destination equals Dijkstra's distance exactly.
+  for (roadnet::NodeId n = 0; n < sq.graph.node_count(); ++n) {
+    const auto forward = detail::shortest_time_path(sq.graph, traffic, n, 3,
+                                                    TimeOfDay::hms(10, 0));
+    ASSERT_TRUE(forward.has_value());
+    EXPECT_NEAR(lb[n], forward->travel_time.value(), 1e-9);
+  }
+}
+
+TEST(TimeLowerBounds, AdmissibleUnderUrbanTrafficAtEveryDeparture) {
+  // The whole point of the static bound: at NO departure time — free
+  // flow, rush hour, or the saturated end of day — may the bound
+  // exceed the real time-dependent shortest time from any node.
+  const roadnet::GridCity city{roadnet::GridCityOptions{}};
+  const roadnet::UrbanTraffic traffic{roadnet::UrbanTraffic::Options{}};
+  const roadnet::NodeId dest = city.node_at(9, 9);
+  const auto lb = detail::time_lower_bounds(city.graph(), traffic, dest);
+  for (const TimeOfDay dep :
+       {TimeOfDay::hms(3, 0), TimeOfDay::hms(8, 30), TimeOfDay::hms(17, 15),
+        TimeOfDay::hms(23, 59)}) {
+    for (const roadnet::NodeId n :
+         {city.node_at(0, 0), city.node_at(5, 5), city.node_at(9, 0),
+          city.node_at(2, 7)}) {
+      const auto forward =
+          detail::shortest_time_path(city.graph(), traffic, n, dest, dep);
+      ASSERT_TRUE(forward.has_value());
+      EXPECT_LE(lb[n], forward->travel_time.value() + 1e-9)
+          << "bound from node " << n << " at " << dep.to_string();
+    }
+  }
+}
+
+TEST(TimeLowerBounds, UnreachableNodesGetInfinity) {
+  roadnet::GraphBuilder b;
+  b.add_node({45.50, -73.57});
+  b.add_node({45.51, -73.57});
+  b.add_node({45.52, -73.57});
+  b.add_edge(0, 1);  // node 2 cannot reach anything
+  const roadnet::RoadGraph g = std::move(b).build();
+  const roadnet::UniformTraffic traffic(MetersPerSecond{10.0});
+  const auto lb = detail::time_lower_bounds(g, traffic, 1);
+  EXPECT_TRUE(std::isfinite(lb[0]));
+  EXPECT_DOUBLE_EQ(lb[1], 0.0);
+  EXPECT_TRUE(std::isinf(lb[2]));
+}
+
+TEST(TimeLowerBounds, ReverseSearchRespectsOneWayDirections) {
+  // A one-way edge 0->1: node 0 can reach destination 1 (finite
+  // bound), but destination 0 is unreachable FROM node 1 — a forward
+  // Dijkstra on the reversed adjacency must not confuse the two.
+  roadnet::GraphBuilder b;
+  b.add_node({45.50, -73.57});
+  b.add_node({45.51, -73.57});
+  b.add_edge(0, 1);
+  const roadnet::RoadGraph g = std::move(b).build();
+  const roadnet::UniformTraffic traffic(MetersPerSecond{10.0});
+  const auto to_1 = detail::time_lower_bounds(g, traffic, 1);
+  EXPECT_TRUE(std::isfinite(to_1[0]));
+  const auto to_0 = detail::time_lower_bounds(g, traffic, 0);
+  EXPECT_TRUE(std::isinf(to_0[1]));
+}
+
+TEST(TimeLowerBounds, UnknownDestinationThrows) {
+  test::SquareGraph sq;
+  const roadnet::UniformTraffic traffic(MetersPerSecond{10.0});
+  EXPECT_THROW((void)detail::time_lower_bounds(sq.graph, traffic, 99),
+               GraphError);
+}
+
 }  // namespace
 }  // namespace sunchase::core

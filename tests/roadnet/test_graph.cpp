@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <future>
 #include <utility>
@@ -113,6 +114,28 @@ TEST(RoadGraph, OutEdgesListsExactlyOutgoing) {
   const auto edges = sq.graph.out_edges(0);
   EXPECT_EQ(edges.size(), 2u);  // to node 1 and node 2
   for (const EdgeId e : edges) EXPECT_EQ(sq.graph.edge(e).from, 0u);
+}
+
+TEST(RoadGraph, InEdgesListsExactlyIncoming) {
+  test::SquareGraph sq;
+  for (NodeId n = 0; n < sq.graph.node_count(); ++n) {
+    std::vector<EdgeId> expected;
+    for (EdgeId e = 0; e < sq.graph.edge_count(); ++e)
+      if (sq.graph.edge(e).to == n) expected.push_back(e);
+    const auto actual = sq.graph.in_edges(n);
+    std::vector<EdgeId> got(actual.begin(), actual.end());
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, expected) << "in_edges mismatch at node " << n;
+    for (const EdgeId e : actual) EXPECT_EQ(sq.graph.edge(e).to, n);
+  }
+}
+
+TEST(RoadGraph, InEdgesRangeChecks) {
+  GraphBuilder b;
+  b.add_node({45.5, -73.6});
+  const RoadGraph g = std::move(b).build();
+  EXPECT_TRUE(g.in_edges(0).empty());
+  EXPECT_THROW((void)g.in_edges(7), GraphError);
 }
 
 TEST(RoadGraph, FindEdge) {

@@ -106,6 +106,47 @@ TEST(UrbanTraffic, RejectsBadOptions) {
   EXPECT_THROW(UrbanTraffic{bad}, InvalidArgument);
 }
 
+TEST(MaxSpeed, UpperBoundsSpeedAtEverySampledTime) {
+  // max_speed() feeds the reverse-Dijkstra lower bounds used to prune
+  // the Pareto search: it must dominate speed() at every clock time or
+  // the bounds stop being admissible.
+  const test::SquareGraph sq;
+  const UrbanTraffic urban(UrbanTraffic::Options{});
+  const UniformTraffic uniform(kmh(15.0));
+  for (EdgeId e = 0; e < sq.graph.edge_count(); ++e) {
+    const double urban_cap = urban.max_speed(sq.graph, e).value();
+    const double uniform_cap = uniform.max_speed(sq.graph, e).value();
+    for (int minute = 0; minute < 24 * 60; minute += 7) {
+      const TimeOfDay when = TimeOfDay::hms(minute / 60, minute % 60);
+      EXPECT_GE(urban_cap, urban.speed(sq.graph, e, when).value() - 1e-12);
+      EXPECT_DOUBLE_EQ(uniform_cap,
+                       uniform.speed(sq.graph, e, when).value());
+    }
+  }
+}
+
+TEST(MaxSpeed, UrbanCapIsAttainedAtFreeFlow) {
+  // Around midnight the congestion factor is ~1, so the cap should be
+  // tight (not a loose over-estimate that would weaken pruning).
+  const test::SquareGraph sq;
+  const UrbanTraffic traffic(UrbanTraffic::Options{});
+  const EdgeId e = sq.graph.find_edge(0, 1);
+  EXPECT_NEAR(traffic.max_speed(sq.graph, e).value(),
+              traffic.speed(sq.graph, e, TimeOfDay::hms(0, 0)).value(),
+              traffic.max_speed(sq.graph, e).value() * 1e-6);
+}
+
+TEST(MaxSpeed, MinTravelTimeIsLengthOverCap) {
+  const test::SquareGraph sq;
+  const UniformTraffic traffic(MetersPerSecond{10.0});
+  const EdgeId e = sq.graph.find_edge(0, 1);  // ~100 m
+  EXPECT_NEAR(traffic.min_travel_time(sq.graph, e).value(), 10.0, 0.1);
+  EXPECT_DOUBLE_EQ(
+      traffic.min_travel_time(sq.graph, e).value(),
+      sq.graph.edge(e).length.value() /
+          traffic.max_speed(sq.graph, e).value());
+}
+
 TEST(UrbanTraffic, UnknownEdgeThrows) {
   const test::SquareGraph sq;
   const UrbanTraffic traffic(UrbanTraffic::Options{});

@@ -5,17 +5,24 @@ Usage:
     tools/bench_compare.py BASELINE.json CURRENT.json [--tolerance 0.25]
         [--latency-tolerance 0.50] [--update]
 
-Understands two report schemas, detected from the report itself:
+Understands three report schemas, detected from the report itself:
 
 * perf_batch_scaling (BENCH_batch.json): samples keyed by
   (pricing, workers); gates on peak queries_per_second.
 * loadgen_serve (BENCH_serve.json, ``"bench": "loadgen_serve"``):
   samples keyed by concurrency; gates on peak queries_per_second AND on
   the best p99_ms latency across concurrency steps.
+* perf_mlc_scaling (BENCH_mlc.json, ``"bench": "perf_mlc_scaling"``):
+  samples keyed by (n, mode, epsilon); gates on peak
+  queries_per_second AND on the current report's own pruned-vs-unpruned
+  rows at the largest world — the pruned search must create strictly
+  fewer labels and pop fewer queue entries than the unpruned one, so
+  the lower-bound pruning can never silently stop pruning.
 
 Exits 1 when the current peak falls below ``baseline * (1 - tolerance)``
 or (serve reports) the best p99 rises above
-``baseline * (1 + latency_tolerance)``.
+``baseline * (1 + latency_tolerance)`` or (mlc reports) pruning stopped
+reducing search effort.
 
 The tolerances are deliberately wide (default 25% throughput, 50%
 latency): the committed baseline was recorded on a small dev container
@@ -33,8 +40,15 @@ import shutil
 import sys
 
 
-def is_serve(report):
-    return report.get("bench") == "loadgen_serve"
+def kind(report):
+    """Schema of a report: 'serve', 'mlc' or 'batch' (the unnamed
+    original)."""
+    name = report.get("bench")
+    if name == "loadgen_serve":
+        return "serve"
+    if name == "perf_mlc_scaling":
+        return "mlc"
+    return "batch"
 
 
 def fmt(value, spec="{:.2f}"):
@@ -157,12 +171,13 @@ def main():
     with open(args.current) as f:
         current = json.load(f)
 
-    serve = is_serve(current)
-    if serve != is_serve(baseline):
+    schema = kind(current)
+    if schema != kind(baseline):
         raise SystemExit(
             "error: baseline and current reports are different benchmarks "
-            f"(baseline serve={is_serve(baseline)}, current serve={serve})"
+            f"(baseline {kind(baseline)}, current {schema})"
         )
+    serve = schema == "serve"
 
     base_peak = peak_qps(baseline, "baseline")
     cur_peak = peak_qps(current, "current")
@@ -193,6 +208,33 @@ def main():
                 delta_pct(base.get("p99_ms"), sample["p99_ms"]),
                 fmt(sample.get("window_p99_ms"), "{:.3f}"),
                 fmt(sample.get("cpu_seconds"), "{:.3f}"),
+            ])
+    elif schema == "mlc":
+        # Samples are keyed by (n, mode, epsilon): one pruned and one
+        # unpruned row per city size at epsilon 0.
+        def key(sample):
+            return (sample["n"], sample["mode"], sample.get("epsilon", 0.0))
+
+        headers = ["n", "mode", "base q/s", "cur q/s", "Δq/s",
+                   "base labels", "cur labels", "Δlabels",
+                   "cur pruned", "cur pops"]
+        base_by_key = {key(s): s for s in baseline.get("samples", [])}
+        rows = []
+        for sample in current.get("samples", []):
+            base = base_by_key.get(key(sample)) or {}
+            rows.append([
+                sample["n"],
+                sample["mode"],
+                fmt(base.get("queries_per_second")),
+                fmt(sample["queries_per_second"]),
+                delta_pct(base.get("queries_per_second"),
+                          sample["queries_per_second"]),
+                fmt(base.get("labels_created"), "{:.0f}"),
+                fmt(sample.get("labels_created"), "{:.0f}"),
+                delta_pct(base.get("labels_created"),
+                          sample.get("labels_created")),
+                fmt(sample.get("labels_pruned_bound"), "{:.0f}"),
+                fmt(sample.get("queue_pops"), "{:.0f}"),
             ])
     else:
         # Samples are keyed by (pricing, workers); old baselines without
@@ -276,9 +318,42 @@ def main():
             summary_lines.append(f"**{message}**")
             failed = True
 
+    if schema == "mlc":
+        # Self-gate on the current run (no tolerance — this is a strict
+        # invariant, not a machine-speed comparison): at the largest
+        # world, the pruned search must do strictly less work than the
+        # unpruned one in both labels created and queue pops.
+        largest = max(s["n"] for s in current.get("samples", []))
+        at_largest = {
+            s["mode"]: s
+            for s in current.get("samples", [])
+            if s["n"] == largest and s.get("epsilon", 0.0) == 0.0
+        }
+        pruned, unpruned = at_largest.get("pruned"), at_largest.get("unpruned")
+        if pruned is None or unpruned is None:
+            raise SystemExit(
+                "error: mlc report is missing the pruned or unpruned "
+                f"epsilon=0 sample at its largest world (n={largest})"
+            )
+        for field in ("labels_created", "queue_pops"):
+            p, u = float(pruned[field]), float(unpruned[field])
+            line = (f"pruning (n={largest}): {field} {u:.0f} unpruned -> "
+                    f"{p:.0f} pruned ({(1 - p / u) * 100.0:.1f}% saved)")
+            print(line)
+            summary_lines.append(line)
+            if not p < u:
+                message = (
+                    f"FAIL: pruned search no longer reduces {field} at "
+                    f"n={largest} ({p:.0f} pruned vs {u:.0f} unpruned) — "
+                    "the lower-bound pruning has stopped pruning"
+                )
+                print(message, file=sys.stderr)
+                summary_lines.append(f"**{message}**")
+                failed = True
+
     verdict = ("within tolerance of baseline" if not failed
                else "regression against baseline")
-    name = "serve" if serve else "batch"
+    name = schema
     write_step_summary(
         f"### bench_compare: {name} — "
         f"{'OK' if not failed else 'FAIL'}, {verdict}\n\n"
