@@ -42,7 +42,7 @@
 //   sunchase_cli serve [--port N] [--host ADDR] [--http-workers N]
 //       [--queue-capacity N] [--deadline-s F] [--read-timeout-s F]
 //       [--port-file FILE] [--access-log FILE] [--test-hooks]
-//       [world options]
+//       [--world-dir DIR] [world options]
 //     embeds the engine behind an HTTP/1.1 server (POST /plan, POST
 //     /batch, GET /explain/{id}, GET /metrics, GET /healthz, POST
 //     /world/publish, GET /debug/{trace,queries,worlds}) over a
@@ -52,6 +52,18 @@
 //     --port 0 binds an ephemeral port; --port-file writes the bound
 //     port for scripting. SIGINT/SIGTERM drain gracefully: in-flight
 //     and queued requests finish before exit.
+//     --world-dir DIR makes the store persistent: boot restores the
+//     newest intact snapshot from DIR (skipping torn/corrupt tails)
+//     instead of rebuilding from scratch, and every publish journals
+//     the new version durably before it becomes visible.
+//
+//   sunchase_cli snapshot save FILE [world options]
+//   sunchase_cli snapshot load FILE
+//   sunchase_cli snapshot inspect FILE
+//     save builds the city world and writes it as a versioned,
+//     checksummed binary snapshot; load mmaps one back (zero-copy) and
+//     prints a summary; inspect dumps the section table with per-
+//     section checksum verdicts (exit 5 when any section is corrupt).
 //
 //   sunchase_cli explain [--graph FILE] [--scene FILE]
 //       [--from-node N] [--to-node N] [--time HH:MM] [--ev lv|tesla]
@@ -88,6 +100,7 @@
 #include "sunchase/obs/query_log.h"
 #include "sunchase/obs/trace.h"
 #include "sunchase/core/planner.h"
+#include "sunchase/core/world_codec.h"
 #include "sunchase/core/world_store.h"
 #include "sunchase/exporter/geojson.h"
 #include "sunchase/serve/server.h"
@@ -145,6 +158,10 @@ struct CliOptions {
   std::string port_file;
   std::string access_log;
   bool test_hooks = false;
+  std::string world_dir;  ///< journal directory ("": in-memory only)
+  // snapshot mode
+  std::string snapshot_action;  ///< save|load|inspect ("": not snapshot)
+  std::string snapshot_file;
   // explain mode
   bool explain = false;
   std::string graph_path = "data/demo_downtown.graph";
@@ -192,6 +209,10 @@ int usage(const char* argv0) {
                "[--port-file FILE]\n"
                "         [--access-log FILE] [--test-hooks] "
                "[world options as above]\n"
+               "         [--world-dir DIR (persistent worlds: restore on "
+               "boot, journal publishes)]\n"
+               "       %s snapshot save|load|inspect FILE "
+               "[world options for save]\n"
                "       %s explain [--graph FILE] [--scene FILE] "
                "[--from-node N] [--to-node N]\n"
                "         [--time HH:MM] [--ev lv|tesla] [--panel W] "
@@ -204,7 +225,7 @@ int usage(const char* argv0) {
                "[--profile-out FILE]\n"
                "         [--log-level debug|info|warning|error|off]\n"
                "         [--query-log FILE] [--slow-query-ms N]\n",
-               argv0, argv0, argv0, argv0);
+               argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -261,6 +282,68 @@ core::WorldPtr make_world(const roadnet::RoadGraph& graph,
       opt.ev == "tesla" ? ev::make_tesla_model_s()
                         : ev::make_lv_prototype()));
   return core::World::create(std::move(init));
+}
+
+/// City world per the lattice options — the build path shared by serve
+/// (when nothing is restored from --world-dir) and `snapshot save`.
+core::WorldPtr build_city_world(const CliOptions& opt) {
+  roadnet::GridCityOptions city_options;
+  city_options.rows = opt.rows;
+  city_options.cols = opt.cols;
+  city_options.seed = opt.seed;
+  const roadnet::GridCity city(city_options);
+  const geo::LocalProjection projection(city_options.origin);
+  const shadow::Scene scene =
+      generate_scene(city.graph(), projection, shadow::SceneGenOptions{});
+  return make_world(city.graph(), scene, opt);
+}
+
+/// snapshot mode: save a generated city world to a binary snapshot
+/// file, mmap one back (zero-copy) and summarize it, or dump a file's
+/// section table with per-section checksum verdicts.
+int run_snapshot(const CliOptions& opt) {
+  if (opt.snapshot_action == "inspect") {
+    const core::SnapshotInfo info =
+        core::inspect_world_snapshot(opt.snapshot_file);
+    std::printf("%s: world v%llu, %llu bytes, %zu sections\n",
+                info.path.c_str(),
+                static_cast<unsigned long long>(info.world_version),
+                static_cast<unsigned long long>(info.file_bytes),
+                info.sections.size());
+    std::printf("%-18s %6s %10s %12s %9s %s\n", "section", "aux", "offset",
+                "bytes", "crc32", "ok");
+    for (const core::SnapshotSectionInfo& s : info.sections)
+      std::printf("%-18s %6u %10llu %12llu  %08x %s\n", s.name.c_str(),
+                  s.aux, static_cast<unsigned long long>(s.offset),
+                  static_cast<unsigned long long>(s.bytes), s.crc,
+                  s.crc_ok ? "ok" : "CORRUPT");
+    if (!info.intact) {
+      std::fprintf(stderr, "error: %s has corrupt sections\n",
+                   info.path.c_str());
+      return 5;
+    }
+    return 0;
+  }
+  if (opt.snapshot_action == "load") {
+    const core::WorldPtr world = core::load_world_snapshot(opt.snapshot_file);
+    std::printf("%s: world v%llu — %zu nodes, %zu edges, %zu vehicles, "
+                "%zu warm cache slots\n",
+                opt.snapshot_file.c_str(),
+                static_cast<unsigned long long>(world->version()),
+                world->graph().node_count(), world->graph().edge_count(),
+                world->vehicle_count(), world->slot_cache().filled_slots());
+    return 0;
+  }
+  const core::WorldPtr world = build_city_world(opt);
+  core::save_world_snapshot(*world, opt.snapshot_file);
+  const core::SnapshotInfo info =
+      core::inspect_world_snapshot(opt.snapshot_file);
+  std::printf("wrote %s: world v%llu, %llu bytes, %zu sections\n",
+              opt.snapshot_file.c_str(),
+              static_cast<unsigned long long>(info.world_version),
+              static_cast<unsigned long long>(info.file_bytes),
+              info.sections.size());
+  return 0;
 }
 
 int run_batch(const CliOptions& opt, core::PricingMode pricing,
@@ -329,6 +412,11 @@ extern "C" void handle_stop_signal(int) {
 int run_serve(const CliOptions& opt, core::PricingMode pricing,
               core::WorldPtr world) {
   core::WorldStore store(std::move(world));
+  if (!opt.world_dir.empty()) {
+    core::JournalOptions journal;
+    journal.directory = opt.world_dir;
+    store.enable_journal(std::move(journal));
+  }
   const std::unique_ptr<obs::QueryLog> query_log = open_query_log(opt);
 
   serve::RouteServiceOptions service_options;
@@ -521,6 +609,14 @@ int main(int argc, char** argv) {
   } else if (argc > 1 && std::strcmp(argv[1], "serve") == 0) {
     opt.serve = true;
     first = 2;
+  } else if (argc > 1 && std::strcmp(argv[1], "snapshot") == 0) {
+    if (argc < 4) return usage(argv[0]);
+    opt.snapshot_action = argv[2];
+    opt.snapshot_file = argv[3];
+    if (opt.snapshot_action != "save" && opt.snapshot_action != "load" &&
+        opt.snapshot_action != "inspect")
+      return usage(argv[0]);
+    first = 4;
   }
   for (int i = first; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -612,6 +708,8 @@ int main(int argc, char** argv) {
       opt.access_log = v;
     else if (arg == "--test-hooks")
       opt.test_hooks = true;
+    else if (arg == "--world-dir" && (v = next()))
+      opt.world_dir = v;
     else
       return usage(argv[0]);
   }
@@ -645,6 +743,36 @@ int main(int argc, char** argv) {
       return rc;
     }
 
+    if (!opt.snapshot_action.empty()) return run_snapshot(opt);
+
+    if (opt.serve) {
+      // Boot from the journal when --world-dir holds an intact
+      // snapshot: the text build (city + scene + shading) is skipped
+      // entirely — that is the cold-start win being measured by
+      // bench/perf_coldstart.
+      core::WorldPtr world;
+      if (!opt.world_dir.empty()) {
+        const core::LoadLatestResult latest =
+            core::WorldStore::load_latest(opt.world_dir);
+        for (const std::string& error : latest.errors)
+          std::fprintf(stderr, "warning: %s\n", error.c_str());
+        if (latest.world) {
+          world = latest.world;
+          std::printf("restored world v%llu from %s\n",
+                      static_cast<unsigned long long>(world->version()),
+                      latest.loaded_from.c_str());
+        }
+      }
+      if (!world) world = build_city_world(opt);
+      const int rc = run_serve(opt, pricing, std::move(world));
+      if (!opt.metrics_out.empty())
+        write_metrics_report(opt.metrics_out, "serve");
+      if (!opt.trace_out.empty()) write_trace(opt.trace_out);
+      if (profiling) obs::Profiler::global().stop();
+      if (!opt.profile_out.empty()) write_profile(opt.profile_out);
+      return rc;
+    }
+
     roadnet::GridCityOptions city_options;
     city_options.rows = opt.rows;
     city_options.cols = opt.cols;
@@ -654,16 +782,6 @@ int main(int argc, char** argv) {
     const shadow::Scene scene =
         generate_scene(city.graph(), projection, shadow::SceneGenOptions{});
     const core::WorldPtr world = make_world(city.graph(), scene, opt);
-
-    if (opt.serve) {
-      const int rc = run_serve(opt, pricing, world);
-      if (!opt.metrics_out.empty())
-        write_metrics_report(opt.metrics_out, "serve");
-      if (!opt.trace_out.empty()) write_trace(opt.trace_out);
-      if (profiling) obs::Profiler::global().stop();
-      if (!opt.profile_out.empty()) write_profile(opt.profile_out);
-      return rc;
-    }
 
     if (opt.batch) {
       const int rc = run_batch(opt, pricing, world, city);

@@ -37,4 +37,13 @@ class RoutingError : public Error {
   using Error::Error;
 };
 
+/// A binary world snapshot is unreadable: bad magic, unsupported
+/// format version, foreign endianness, truncation, or a checksum
+/// mismatch. Messages name the file, the section, and the byte offset
+/// so a corrupt journal entry can be located with a hex dump.
+class SnapshotError : public Error {
+ public:
+  using Error::Error;
+};
+
 }  // namespace sunchase

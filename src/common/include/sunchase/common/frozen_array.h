@@ -1,0 +1,59 @@
+// An immutable array that owns its storage either way: built on the
+// heap (a frozen std::vector) or viewed inside a larger mapped region
+// (an mmap'd snapshot section). Readers see one interface — a
+// contiguous span of trivially-copyable elements — and never learn
+// which one they got, so a World can be served from a zero-copy
+// on-disk snapshot with the exact code paths that serve a heap-built
+// one. Copies are cheap (a shared_ptr bump plus a span): the keepalive
+// pointer pins whatever backs the view for as long as any copy lives.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace sunchase::common {
+
+template <typename T>
+class FrozenArray {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "FrozenArray elements must be trivially copyable: mapped "
+                "storage is raw bytes reinterpreted in place");
+
+ public:
+  /// An empty array (no storage, no keepalive).
+  FrozenArray() = default;
+
+  /// Heap path: freezes `values` (moved into shared storage).
+  explicit FrozenArray(std::vector<T> values) {
+    auto owned = std::make_shared<const std::vector<T>>(std::move(values));
+    view_ = std::span<const T>(owned->data(), owned->size());
+    keepalive_ = std::move(owned);
+  }
+
+  /// View path: borrows `view` from storage pinned by `keepalive`
+  /// (e.g. a span into an mmap'd file whose mapping `keepalive` owns).
+  FrozenArray(std::span<const T> view, std::shared_ptr<const void> keepalive)
+      : keepalive_(std::move(keepalive)), view_(view) {}
+
+  [[nodiscard]] const T* data() const noexcept { return view_.data(); }
+  [[nodiscard]] std::size_t size() const noexcept { return view_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return view_.empty(); }
+  [[nodiscard]] const T& operator[](std::size_t i) const noexcept {
+    return view_[i];
+  }
+  [[nodiscard]] const T* begin() const noexcept { return view_.data(); }
+  [[nodiscard]] const T* end() const noexcept {
+    return view_.data() + view_.size();
+  }
+  [[nodiscard]] std::span<const T> span() const noexcept { return view_; }
+
+ private:
+  std::shared_ptr<const void> keepalive_;
+  std::span<const T> view_;
+};
+
+}  // namespace sunchase::common

@@ -14,12 +14,52 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "sunchase/core/world.h"
 
 namespace sunchase::core {
+
+/// Persistence mode for a WorldStore: an append-only journal directory
+/// of `world-<version>.scsnap` snapshots plus an atomically renamed
+/// MANIFEST naming the newest one. With a journal enabled, publish()
+/// persists the new version before swapping it in.
+struct JournalOptions {
+  std::string directory;  ///< created if missing
+  /// Durable publishes: the snapshot is fsync'd before the swap, and a
+  /// persist failure aborts the publish (readers keep the old version,
+  /// the version number is not consumed). Non-durable journaling is
+  /// best-effort: a failed persist is logged and counted, and the
+  /// in-memory publish proceeds.
+  bool durable = true;
+  /// Persist materialized SlotCostCache columns too (bigger files,
+  /// warm-started loads). Off by default: columns refill lazily and
+  /// bit-identically.
+  bool include_slot_cache = false;
+};
+
+/// Journal status for introspection (GET /debug/worlds).
+struct JournalState {
+  bool enabled = false;
+  std::string directory;
+  bool durable = false;
+  bool include_slot_cache = false;
+  std::uint64_t persisted_version = 0;  ///< newest version on disk (0 = none)
+  std::uint64_t persist_failures = 0;   ///< non-durable best-effort failures
+  std::uint64_t snapshots_on_disk = 0;  ///< world-*.scsnap files present
+};
+
+/// Result of WorldStore::load_latest: the newest intact snapshot in a
+/// journal directory, with an account of every corrupt or torn file
+/// that was skipped on the way to it.
+struct LoadLatestResult {
+  WorldPtr world;           ///< nullptr when the directory holds none
+  std::string loaded_from;  ///< path of the snapshot behind `world`
+  std::uint64_t skipped_corrupt = 0;
+  std::vector<std::string> errors;  ///< one message per skipped file
+};
 
 /// One row of WorldStore::lineage(): a published version, whether any
 /// reader still holds its snapshot, and an estimate of how many pins
@@ -59,8 +99,30 @@ class WorldStore {
   /// Builds `next` as a new World with the next version number and
   /// swaps it in atomically. Concurrent publishers are serialized
   /// (versions stay dense and monotonic); readers are never blocked.
-  /// Returns the newly published snapshot.
+  /// With a journal enabled the version is persisted first — see
+  /// JournalOptions::durable for the failure contract. Returns the
+  /// newly published snapshot.
   WorldPtr publish(WorldInit next);
+
+  /// Turns on journaling to `options.directory` (created if missing)
+  /// and persists the current version immediately when the directory
+  /// does not already hold it — so a store adopted from load_latest()
+  /// does not rewrite the snapshot it just mapped. Throws
+  /// common::SnapshotError when the directory cannot be created or the
+  /// initial persist fails.
+  void enable_journal(JournalOptions options);
+
+  /// Journal status (scans the directory for the on-disk count).
+  [[nodiscard]] JournalState journal_state() const;
+
+  /// Boot-time recovery: loads the newest intact snapshot from a
+  /// journal directory, preferring the MANIFEST target, then falling
+  /// back through older `world-<version>.scsnap` files when the newest
+  /// are torn or corrupt (each skip is logged, counted, and reported
+  /// in the result — a damaged tail never aborts the boot). A missing
+  /// or empty directory yields a null world, not an error.
+  [[nodiscard]] static LoadLatestResult load_latest(
+      const std::string& directory);
 
   /// Versions this store ever published remembers (most recent
   /// kLineageCapacity, oldest first), with liveness and pin estimates
@@ -74,11 +136,21 @@ class WorldStore {
   /// Records `world` in the lineage ring (evicting the oldest row).
   void remember(const WorldPtr& world);
 
+  /// Writes `world` to the journal directory and repoints MANIFEST.
+  /// Caller holds publish_mutex_. Throws common::SnapshotError.
+  void persist_locked(const WorldPtr& world);
+
   std::atomic<WorldPtr> current_;
   std::uint64_t next_version_;   ///< guarded by publish_mutex_
-  std::mutex publish_mutex_;     ///< serializes publishers only
+  /// Serializes publishers (and journal persists) only.
+  mutable std::mutex publish_mutex_;
   mutable std::mutex lineage_mutex_;  ///< guards lineage_ only
   std::deque<std::pair<std::uint64_t, std::weak_ptr<const World>>> lineage_;
+  // Journal fields, all guarded by publish_mutex_.
+  bool journal_enabled_ = false;
+  JournalOptions journal_;
+  std::uint64_t journal_persisted_version_ = 0;
+  std::uint64_t journal_persist_failures_ = 0;
 };
 
 }  // namespace sunchase::core

@@ -1,6 +1,9 @@
 #include "sunchase/core/slot_cost_cache.h"
 
 #include <chrono>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "sunchase/common/error.h"
 
@@ -12,7 +15,8 @@ SlotCostCache::SlotCostCache(const solar::SolarInputMap& map,
       vehicle_(vehicle),
       hits_(obs::Registry::global().counter("slotcache.hits")),
       misses_(obs::Registry::global().counter("slotcache.misses")),
-      fill_seconds_(obs::Registry::global().histogram("slotcache.fill_seconds")),
+      fill_seconds_(
+          obs::Registry::global().histogram("slotcache.fill_seconds")),
       bytes_gauge_(obs::Registry::global().gauge("slotcache.bytes")),
       slots_gauge_(obs::Registry::global().gauge("slotcache.filled_slots")) {}
 
@@ -32,8 +36,23 @@ const SlotCostCache::Entry& SlotCostCache::at(roadnet::EdgeId edge,
     std::call_once(column.once, [&] { fill(column, slot); });
   }
   // Edge ids are dense (add_edge hands them out starting at 0), so the
-  // id doubles as the row index; at() rejects a stale id.
-  return column.entries.at(edge);
+  // id doubles as the row index; a stale id is rejected here.
+  if (edge >= column.entries.size())
+    throw InvalidArgument("SlotCostCache::at: edge id " +
+                          std::to_string(edge) + " outside [0, " +
+                          std::to_string(column.entries.size()) + ")");
+  return column.entries[edge];
+}
+
+std::span<const SlotCostCache::Entry> SlotCostCache::column_view(
+    int slot) const {
+  if (slot < 0 || slot >= TimeOfDay::kSlotsPerDay)
+    throw InvalidArgument("SlotCostCache::column_view: slot index " +
+                          std::to_string(slot) + " outside [0, " +
+                          std::to_string(TimeOfDay::kSlotsPerDay) + ")");
+  const Column& column = columns_[static_cast<std::size_t>(slot)];
+  if (!column.ready.load(std::memory_order_acquire)) return {};
+  return column.entries.span();
 }
 
 void SlotCostCache::fill(Column& column, int slot) const {
@@ -41,25 +60,54 @@ void SlotCostCache::fill(Column& column, int slot) const {
   const TimeOfDay when = TimeOfDay::slot_start(slot);
   const auto& graph = map_.graph();
   const std::size_t n = graph.edge_count();
-  column.entries.reserve(n);
+  std::vector<Entry> entries;
+  entries.reserve(n);
   // Bit-identical to edge_criteria(): the same evaluate/speed/consumption
   // calls in the same order, just hoisted out of the search loop.
   for (roadnet::EdgeId e = 0; e < n; ++e) {
     const solar::EdgeSolar es = map_.evaluate(e, when);
     const MetersPerSecond v = map_.traffic().speed(graph, e, when);
-    column.entries.push_back(
+    entries.push_back(
         Entry{Criteria{es.travel_time, es.shaded_time,
                        vehicle_.consumption(graph.edge(e).length, v)},
               es});
   }
+  column.entries = common::FrozenArray<Entry>(std::move(entries));
+  publish_column(
+      column,
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+void SlotCostCache::adopt_column(int slot,
+                                 common::FrozenArray<Entry> entries) const {
+  if (slot < 0 || slot >= TimeOfDay::kSlotsPerDay)
+    throw InvalidArgument("SlotCostCache::adopt_column: slot index " +
+                          std::to_string(slot) + " outside [0, " +
+                          std::to_string(TimeOfDay::kSlotsPerDay) + ")");
+  if (entries.size() != map_.graph().edge_count())
+    throw InvalidArgument("SlotCostCache::adopt_column: column has " +
+                          std::to_string(entries.size()) + " rows for " +
+                          std::to_string(map_.graph().edge_count()) +
+                          " edges");
+  Column& column = columns_[static_cast<std::size_t>(slot)];
+  // Under the same once_flag as fill(): if the column somehow filled
+  // first, the adoption is a no-op rather than a tear.
+  std::call_once(column.once, [&] {
+    column.entries = std::move(entries);
+    publish_column(column, 0.0);
+  });
+}
+
+void SlotCostCache::publish_column(Column& column,
+                                   double fill_seconds) const {
   column.ready.store(true, std::memory_order_release);
   const std::size_t filled =
       filled_.fetch_add(1, std::memory_order_relaxed) + 1;
   slots_gauge_.set(static_cast<double>(filled));
-  bytes_gauge_.set(static_cast<double>(filled * n * sizeof(Entry)));
-  fill_seconds_.observe(
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count());
+  bytes_gauge_.set(static_cast<double>(
+      filled * map_.graph().edge_count() * sizeof(Entry)));
+  fill_seconds_.observe(fill_seconds);
 }
 
 }  // namespace sunchase::core

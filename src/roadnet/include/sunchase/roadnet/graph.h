@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "sunchase/common/frozen_array.h"
 #include "sunchase/common/units.h"
 #include "sunchase/geo/latlon.h"
 
@@ -52,14 +53,41 @@ class GraphBuilder;
 /// const pure read — instances can be shared freely across threads.
 class RoadGraph {
  public:
+  /// The frozen storage of a graph: the node/edge arrays plus both CSR
+  /// indexes, each held as a FrozenArray so they can live on the heap
+  /// (GraphBuilder::build) or alias an mmap'd snapshot section
+  /// (from_parts) behind the same read interface.
+  struct FrozenParts {
+    common::FrozenArray<Node> nodes;
+    common::FrozenArray<Edge> edges;
+    common::FrozenArray<std::uint32_t> out_offsets;  ///< node_count + 1
+    common::FrozenArray<EdgeId> out_sorted;          ///< edge_count
+    common::FrozenArray<std::uint32_t> in_offsets;   ///< node_count + 1
+    common::FrozenArray<EdgeId> in_sorted;           ///< edge_count
+  };
+
   /// An empty graph (no nodes, no edges).
   RoadGraph() = default;
 
+  /// Adopts pre-frozen storage (e.g. views into a mapped snapshot)
+  /// without rebuilding the CSR indexes. Validates the structural
+  /// invariants GraphBuilder guarantees — array sizes agree, offsets
+  /// are monotone and bounded, every sorted entry is a valid edge id
+  /// grouped under the right node, edge endpoints exist — and throws
+  /// GraphError naming the first violated one, so a codec bug (or a
+  /// forged file that passes its checksums) cannot produce a graph
+  /// whose accessors read out of bounds.
+  [[nodiscard]] static RoadGraph from_parts(FrozenParts parts);
+
+  /// This graph's frozen storage (cheap shared views — copying a part
+  /// pins the backing storage, heap or mapping alike).
+  [[nodiscard]] const FrozenParts& parts() const noexcept { return parts_; }
+
   [[nodiscard]] std::size_t node_count() const noexcept {
-    return nodes_.size();
+    return parts_.nodes.size();
   }
   [[nodiscard]] std::size_t edge_count() const noexcept {
-    return edges_.size();
+    return parts_.edges.size();
   }
 
   /// Accessors; throw GraphError on out-of-range ids.
@@ -89,15 +117,11 @@ class RoadGraph {
  private:
   friend class GraphBuilder;
   RoadGraph(std::vector<Node> nodes, std::vector<Edge> edges);
+  explicit RoadGraph(FrozenParts parts) : parts_(std::move(parts)) {}
 
-  std::vector<Node> nodes_;
-  std::vector<Edge> edges_;
-  // CSR adjacency: offsets_[n]..offsets_[n+1] index into sorted_.
-  std::vector<std::uint32_t> offsets_;
-  std::vector<EdgeId> sorted_;
-  // Reverse CSR adjacency, keyed by edge .to instead of .from.
-  std::vector<std::uint32_t> in_offsets_;
-  std::vector<EdgeId> in_sorted_;
+  // CSR adjacency: out_offsets[n]..out_offsets[n+1] index into
+  // out_sorted; the `in_` pair is the reverse index keyed by edge .to.
+  FrozenParts parts_;
 };
 
 /// The mutable construction stage: append nodes and edges freely, then

@@ -18,8 +18,11 @@
 namespace sunchase::roadnet {
 
 /// Parses the text format; throws IoError with a line number on any
-/// malformed input.
-[[nodiscard]] RoadGraph read_graph(std::istream& in);
+/// malformed input. `source` names the input in error messages (the
+/// file path when reading a file; defaults to the bare stream form
+/// "read_graph: line N: ..." when empty).
+[[nodiscard]] RoadGraph read_graph(std::istream& in,
+                                   const std::string& source = {});
 [[nodiscard]] RoadGraph read_graph_file(const std::string& path);
 
 /// Writes the graph in the same format. Two opposite directed edges are

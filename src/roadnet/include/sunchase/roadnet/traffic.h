@@ -53,6 +53,11 @@ class UniformTraffic final : public TrafficModel {
   [[nodiscard]] MetersPerSecond max_speed(const RoadGraph&,
                                           EdgeId) const override;
 
+  /// The single constant speed (snapshot serialization reads it back).
+  [[nodiscard]] MetersPerSecond uniform_speed() const noexcept {
+    return speed_;
+  }
+
  private:
   MetersPerSecond speed_;
 };
@@ -84,6 +89,11 @@ class UrbanTraffic final : public TrafficModel {
 
   /// The time-of-day congestion multiplier in (0, 1], exposed for tests.
   [[nodiscard]] double congestion_factor(TimeOfDay when) const noexcept;
+
+  /// The construction options (snapshot serialization reads them back;
+  /// the model is a pure function of them, so persisting the options
+  /// reproduces the model bit-exactly).
+  [[nodiscard]] const Options& options() const noexcept { return options_; }
 
  private:
   Options options_;

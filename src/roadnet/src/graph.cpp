@@ -8,62 +8,129 @@
 
 namespace sunchase::roadnet {
 
-RoadGraph::RoadGraph(std::vector<Node> nodes, std::vector<Edge> edges)
-    : nodes_(std::move(nodes)), edges_(std::move(edges)) {
-  sorted_.resize(edges_.size());
-  for (EdgeId e = 0; e < edges_.size(); ++e) sorted_[e] = e;
-  std::sort(sorted_.begin(), sorted_.end(), [this](EdgeId a, EdgeId b) {
-    return edges_[a].from < edges_[b].from;
-  });
-  offsets_.assign(nodes_.size() + 1, 0);
-  for (const Edge& e : edges_) ++offsets_[e.from + 1];
-  for (std::size_t n = 1; n < offsets_.size(); ++n)
-    offsets_[n] += offsets_[n - 1];
+RoadGraph::RoadGraph(std::vector<Node> nodes, std::vector<Edge> edges) {
+  std::vector<EdgeId> out_sorted(edges.size());
+  for (EdgeId e = 0; e < edges.size(); ++e) out_sorted[e] = e;
+  std::sort(out_sorted.begin(), out_sorted.end(),
+            [&edges](EdgeId a, EdgeId b) {
+              return edges[a].from < edges[b].from;
+            });
+  std::vector<std::uint32_t> out_offsets(nodes.size() + 1, 0);
+  for (const Edge& e : edges) ++out_offsets[e.from + 1];
+  for (std::size_t n = 1; n < out_offsets.size(); ++n)
+    out_offsets[n] += out_offsets[n - 1];
 
-  in_sorted_.resize(edges_.size());
-  for (EdgeId e = 0; e < edges_.size(); ++e) in_sorted_[e] = e;
-  std::sort(in_sorted_.begin(), in_sorted_.end(), [this](EdgeId a, EdgeId b) {
-    return edges_[a].to < edges_[b].to;
-  });
-  in_offsets_.assign(nodes_.size() + 1, 0);
-  for (const Edge& e : edges_) ++in_offsets_[e.to + 1];
-  for (std::size_t n = 1; n < in_offsets_.size(); ++n)
-    in_offsets_[n] += in_offsets_[n - 1];
+  std::vector<EdgeId> in_sorted(edges.size());
+  for (EdgeId e = 0; e < edges.size(); ++e) in_sorted[e] = e;
+  std::sort(in_sorted.begin(), in_sorted.end(),
+            [&edges](EdgeId a, EdgeId b) {
+              return edges[a].to < edges[b].to;
+            });
+  std::vector<std::uint32_t> in_offsets(nodes.size() + 1, 0);
+  for (const Edge& e : edges) ++in_offsets[e.to + 1];
+  for (std::size_t n = 1; n < in_offsets.size(); ++n)
+    in_offsets[n] += in_offsets[n - 1];
+
+  parts_.nodes = common::FrozenArray<Node>(std::move(nodes));
+  parts_.edges = common::FrozenArray<Edge>(std::move(edges));
+  parts_.out_offsets =
+      common::FrozenArray<std::uint32_t>(std::move(out_offsets));
+  parts_.out_sorted = common::FrozenArray<EdgeId>(std::move(out_sorted));
+  parts_.in_offsets = common::FrozenArray<std::uint32_t>(std::move(in_offsets));
+  parts_.in_sorted = common::FrozenArray<EdgeId>(std::move(in_sorted));
+}
+
+RoadGraph RoadGraph::from_parts(FrozenParts parts) {
+  const std::size_t nodes = parts.nodes.size();
+  const std::size_t edges = parts.edges.size();
+  auto check_index = [&](const char* which,
+                         const common::FrozenArray<std::uint32_t>& offsets,
+                         const common::FrozenArray<EdgeId>& sorted,
+                         bool forward) {
+    const std::string where = std::string("from_parts: ") + which;
+    if (sorted.size() != edges)
+      throw GraphError(where + ": sorted index has " +
+                       std::to_string(sorted.size()) + " entries for " +
+                       std::to_string(edges) + " edges");
+    if (offsets.size() != nodes + 1) {
+      // A default-constructed (fully empty) graph has no offset arrays
+      // at all; anything else must carry node_count + 1 offsets.
+      if (!(nodes == 0 && edges == 0 && offsets.empty()))
+        throw GraphError(where + ": offsets array has " +
+                         std::to_string(offsets.size()) + " entries for " +
+                         std::to_string(nodes) + " nodes");
+      return;
+    }
+    if (offsets[0] != 0)
+      throw GraphError(where + ": offsets do not start at 0");
+    for (std::size_t n = 1; n <= nodes; ++n)
+      if (offsets[n] < offsets[n - 1])
+        throw GraphError(where + ": offsets decrease at node " +
+                         std::to_string(n - 1));
+    if (offsets[nodes] != edges)
+      throw GraphError(where + ": offsets end at " +
+                       std::to_string(offsets[nodes]) + ", expected " +
+                       std::to_string(edges));
+    for (std::size_t n = 0; n < nodes; ++n) {
+      for (std::uint32_t k = offsets[n]; k < offsets[n + 1]; ++k) {
+        const EdgeId e = sorted[k];
+        if (e >= edges)
+          throw GraphError(where + ": sorted entry " + std::to_string(k) +
+                           " names unknown edge " + std::to_string(e));
+        const NodeId endpoint =
+            forward ? parts.edges[e].from : parts.edges[e].to;
+        if (endpoint != n)
+          throw GraphError(where + ": edge " + std::to_string(e) +
+                           " grouped under node " + std::to_string(n) +
+                           " but its endpoint is " + std::to_string(endpoint));
+      }
+    }
+  };
+  for (std::size_t e = 0; e < edges; ++e)
+    if (parts.edges[e].from >= nodes || parts.edges[e].to >= nodes)
+      throw GraphError("from_parts: edge " + std::to_string(e) +
+                       " references unknown node");
+  check_index("out", parts.out_offsets, parts.out_sorted, true);
+  check_index("in", parts.in_offsets, parts.in_sorted, false);
+  return RoadGraph(std::move(parts));
 }
 
 const Node& RoadGraph::node(NodeId id) const {
-  if (id >= nodes_.size()) throw GraphError("node: id out of range");
-  return nodes_[id];
+  if (id >= parts_.nodes.size()) throw GraphError("node: id out of range");
+  return parts_.nodes[id];
 }
 
 const Edge& RoadGraph::edge(EdgeId id) const {
-  if (id >= edges_.size()) throw GraphError("edge: id out of range");
-  return edges_[id];
+  if (id >= parts_.edges.size()) throw GraphError("edge: id out of range");
+  return parts_.edges[id];
 }
 
 std::span<const EdgeId> RoadGraph::out_edges(NodeId id) const {
-  if (id >= nodes_.size()) throw GraphError("out_edges: id out of range");
-  return {sorted_.data() + offsets_[id], offsets_[id + 1] - offsets_[id]};
+  if (id >= parts_.nodes.size())
+    throw GraphError("out_edges: id out of range");
+  return {parts_.out_sorted.data() + parts_.out_offsets[id],
+          parts_.out_offsets[id + 1] - parts_.out_offsets[id]};
 }
 
 std::span<const EdgeId> RoadGraph::in_edges(NodeId id) const {
-  if (id >= nodes_.size()) throw GraphError("in_edges: id out of range");
-  return {in_sorted_.data() + in_offsets_[id],
-          in_offsets_[id + 1] - in_offsets_[id]};
+  if (id >= parts_.nodes.size())
+    throw GraphError("in_edges: id out of range");
+  return {parts_.in_sorted.data() + parts_.in_offsets[id],
+          parts_.in_offsets[id + 1] - parts_.in_offsets[id]};
 }
 
 EdgeId RoadGraph::find_edge(NodeId u, NodeId v) const {
   for (const EdgeId e : out_edges(u))
-    if (edges_[e].to == v) return e;
+    if (parts_.edges[e].to == v) return e;
   return kInvalidEdge;
 }
 
 NodeId RoadGraph::nearest_node(geo::LatLon p) const {
-  if (nodes_.empty()) throw GraphError("nearest_node: empty graph");
+  if (parts_.nodes.empty()) throw GraphError("nearest_node: empty graph");
   NodeId best = 0;
-  Meters best_d = geo::haversine_distance(p, nodes_[0].position);
-  for (NodeId n = 1; n < nodes_.size(); ++n) {
-    const Meters d = geo::haversine_distance(p, nodes_[n].position);
+  Meters best_d = geo::haversine_distance(p, parts_.nodes[0].position);
+  for (NodeId n = 1; n < parts_.nodes.size(); ++n) {
+    const Meters d = geo::haversine_distance(p, parts_.nodes[n].position);
     if (d < best_d) {
       best_d = d;
       best = n;
@@ -74,9 +141,9 @@ NodeId RoadGraph::nearest_node(geo::LatLon p) const {
 
 void RoadGraph::validate() const {
   std::unordered_set<std::uint64_t> seen;
-  seen.reserve(edges_.size());
-  for (const Edge& e : edges_) {
-    if (e.from >= nodes_.size() || e.to >= nodes_.size())
+  seen.reserve(parts_.edges.size());
+  for (const Edge& e : parts_.edges) {
+    if (e.from >= parts_.nodes.size() || e.to >= parts_.nodes.size())
       throw GraphError("validate: edge references unknown node");
     if (e.from == e.to) throw GraphError("validate: self-loop");
     if (e.length.value() <= 0.0)

@@ -9,12 +9,17 @@
 
 namespace sunchase::roadnet {
 
-RoadGraph read_graph(std::istream& in) {
+RoadGraph read_graph(std::istream& in, const std::string& source) {
   GraphBuilder builder;
   std::string line;
   int line_no = 0;
+  // With a source name the message reads
+  // "read_graph: data/demo.graph: line 7: why" — the path plus the
+  // line number locate the bad input directly.
   auto fail = [&](const std::string& why) {
-    throw IoError("read_graph: line " + std::to_string(line_no) + ": " + why);
+    const std::string where = source.empty() ? "" : source + ": ";
+    throw IoError("read_graph: " + where + "line " +
+                  std::to_string(line_no) + ": " + why);
   };
   while (std::getline(in, line)) {
     ++line_no;
@@ -52,7 +57,7 @@ RoadGraph read_graph(std::istream& in) {
 RoadGraph read_graph_file(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw IoError("read_graph_file: cannot open '" + path + "'");
-  return read_graph(in);
+  return read_graph(in, path);
 }
 
 void write_graph(std::ostream& out, const RoadGraph& graph) {

@@ -596,7 +596,14 @@ HttpResponse RouteService::handle_publish(const HttpRequest& request) {
   out += "\"world_version\":" + std::to_string(published->version());
   out += ",\"observations\":" + std::to_string(observation_count);
   out += ",\"coverage\":" + num(coverage);
-  out += "}";
+  const core::JournalState journal = store_.journal_state();
+  out += ",\"journal\":{\"enabled\":";
+  out += journal.enabled ? "true" : "false";
+  if (journal.enabled) {
+    out += ",\"persisted_version\":" +
+           std::to_string(journal.persisted_version);
+  }
+  out += "}}";
   return json_response(200, std::move(out));
 }
 
@@ -699,7 +706,24 @@ HttpResponse RouteService::handle_debug_worlds() {
     out += ",\"pins\":" + std::to_string(row.pins);
     out += "}";
   }
-  out += "]}";
+  out += "]";
+  const core::JournalState journal = store_.journal_state();
+  out += ",\"journal\":{\"enabled\":";
+  out += journal.enabled ? "true" : "false";
+  if (journal.enabled) {
+    out += ",\"directory\":" + json_quote(journal.directory);
+    out += ",\"durable\":";
+    out += journal.durable ? "true" : "false";
+    out += ",\"include_slot_cache\":";
+    out += journal.include_slot_cache ? "true" : "false";
+    out += ",\"persisted_version\":" +
+           std::to_string(journal.persisted_version);
+    out += ",\"persist_failures\":" +
+           std::to_string(journal.persist_failures);
+    out += ",\"snapshots_on_disk\":" +
+           std::to_string(journal.snapshots_on_disk);
+  }
+  out += "}}";
   return json_response(200, std::move(out));
 }
 

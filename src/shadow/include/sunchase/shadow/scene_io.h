@@ -20,8 +20,10 @@
 namespace sunchase::shadow {
 
 /// Parses the scene format; throws IoError (with a line number) on
-/// malformed input, including a missing origin line.
-[[nodiscard]] Scene read_scene(std::istream& in);
+/// malformed input, including a missing origin line. `source` names
+/// the input in error messages (the file path when reading a file).
+[[nodiscard]] Scene read_scene(std::istream& in,
+                               const std::string& source = {});
 [[nodiscard]] Scene read_scene_file(const std::string& path);
 
 /// Writes a scene in the same format; round-trips exactly.

@@ -6,6 +6,7 @@
 #include <span>
 #include <vector>
 
+#include "sunchase/common/frozen_array.h"
 #include "sunchase/common/time_of_day.h"
 #include "sunchase/roadnet/graph.h"
 #include "sunchase/shadow/caster.h"
@@ -41,6 +42,20 @@ class ShadingProfile {
                                       TimeOfDay first, TimeOfDay last,
                                       double utc_offset_hours = -4.0);
 
+  /// Adopts a pre-computed fraction table (e.g. a view into a mapped
+  /// snapshot section) without copying it. Throws InvalidArgument when
+  /// the window is empty or the table size is not
+  /// edge_count x (last - first + 1).
+  static ShadingProfile from_parts(std::size_t edge_count, int first_slot,
+                                   int last_slot,
+                                   common::FrozenArray<float> fractions);
+
+  /// The frozen fraction table (edge-major, edge_count x slot span) —
+  /// the payload a snapshot serializes verbatim.
+  [[nodiscard]] std::span<const float> fractions() const noexcept {
+    return fractions_.span();
+  }
+
   /// Shaded fraction of an edge at `when`; times outside the sampled
   /// window clamp to the nearest sampled slot.
   [[nodiscard]] double shaded_fraction(roadnet::EdgeId edge,
@@ -66,7 +81,9 @@ class ShadingProfile {
   std::size_t edges_ = 0;
   int first_slot_ = 0;
   int last_slot_ = -1;
-  std::vector<float> fractions_;  // edges_ x (last-first+1), edge-major
+  // edges_ x (last-first+1), edge-major; heap-built by compute() or a
+  // zero-copy view into a mapped snapshot (from_parts).
+  common::FrozenArray<float> fractions_;
 
   [[nodiscard]] std::size_t index_of(roadnet::EdgeId edge, int slot) const;
 };

@@ -8,13 +8,15 @@
 
 namespace sunchase::shadow {
 
-Scene read_scene(std::istream& in) {
+Scene read_scene(std::istream& in, const std::string& source) {
   std::optional<Scene> scene;
   double road_half_width = 5.0;
   std::string line;
   int line_no = 0;
+  const std::string where = source.empty() ? "" : source + ": ";
   auto fail = [&](const std::string& why) {
-    throw IoError("read_scene: line " + std::to_string(line_no) + ": " + why);
+    throw IoError("read_scene: " + where + "line " +
+                  std::to_string(line_no) + ": " + why);
   };
   // Buffered until the origin line arrives (roadhalfwidth may precede it).
   std::optional<geo::LatLon> origin;
@@ -70,7 +72,7 @@ Scene read_scene(std::istream& in) {
       fail("unknown directive '" + kind + "'");
     }
   }
-  if (!origin) throw IoError("read_scene: missing origin line");
+  if (!origin) throw IoError("read_scene: " + where + "missing origin line");
   if (!scene) scene.emplace(geo::LocalProjection{*origin}, road_half_width);
   return std::move(*scene);
 }
@@ -78,7 +80,7 @@ Scene read_scene(std::istream& in) {
 Scene read_scene_file(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw IoError("read_scene_file: cannot open '" + path + "'");
-  return read_scene(in);
+  return read_scene(in, path);
 }
 
 void write_scene(std::ostream& out, const Scene& scene) {

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <map>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "sunchase/common/assert.h"
 #include "sunchase/common/error.h"
@@ -41,16 +43,40 @@ ShadingProfile ShadingProfile::compute(const roadnet::RoadGraph& graph,
   profile.first_slot_ = first.slot_index();
   profile.last_slot_ = last.slot_index();
   const int slots = profile.last_slot_ - profile.first_slot_ + 1;
-  profile.fractions_.assign(
+  std::vector<float> fractions(
       profile.edges_ * static_cast<std::size_t>(slots), 0.0f);
   for (int slot = profile.first_slot_; slot <= profile.last_slot_; ++slot) {
     const TimeOfDay when = TimeOfDay::slot_start(slot);
     for (roadnet::EdgeId e = 0; e < profile.edges_; ++e) {
       const double f = estimator(e, when);
       SUNCHASE_ENSURES(f >= 0.0 && f <= 1.0);
-      profile.fractions_[profile.index_of(e, slot)] = static_cast<float>(f);
+      fractions[profile.index_of(e, slot)] = static_cast<float>(f);
     }
   }
+  profile.fractions_ = common::FrozenArray<float>(std::move(fractions));
+  return profile;
+}
+
+ShadingProfile ShadingProfile::from_parts(
+    std::size_t edge_count, int first_slot, int last_slot,
+    common::FrozenArray<float> fractions) {
+  if (last_slot < first_slot || first_slot < 0 ||
+      last_slot >= TimeOfDay::kSlotsPerDay)
+    throw InvalidArgument("ShadingProfile::from_parts: slot window [" +
+                          std::to_string(first_slot) + ", " +
+                          std::to_string(last_slot) + "] is invalid");
+  const std::size_t slots =
+      static_cast<std::size_t>(last_slot - first_slot + 1);
+  if (fractions.size() != edge_count * slots)
+    throw InvalidArgument(
+        "ShadingProfile::from_parts: fraction table has " +
+        std::to_string(fractions.size()) + " entries, expected " +
+        std::to_string(edge_count * slots));
+  ShadingProfile profile;
+  profile.edges_ = edge_count;
+  profile.first_slot_ = first_slot;
+  profile.last_slot_ = last_slot;
+  profile.fractions_ = std::move(fractions);
   return profile;
 }
 

@@ -1,0 +1,20 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over byte
+// ranges — the per-section checksum of the snapshot format. Software
+// slicing-by-eight: fast enough to verify every section eagerly at
+// load without hardware CRC instructions, portable across the
+// toolchains CI builds with.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace sunchase::snapshot {
+
+/// CRC-32 of `bytes`, optionally continuing from a previous value
+/// (pass the prior return value as `seed` to checksum a range in
+/// chunks). The empty range maps to 0.
+[[nodiscard]] std::uint32_t crc32(std::span<const std::byte> bytes,
+                                  std::uint32_t seed = 0) noexcept;
+
+}  // namespace sunchase::snapshot

@@ -1,0 +1,41 @@
+// Read-only memory-mapped file (POSIX mmap, PROT_READ, MAP_SHARED):
+// the zero-copy substrate a snapshot is served from. The mapping is
+// shared page cache — N server processes mapping the same snapshot
+// share one physical copy of the arrays.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string>
+
+namespace sunchase::snapshot {
+
+class MappedFile {
+ public:
+  /// Maps `path` read-only. Throws SnapshotError (naming the path and
+  /// errno) when the file cannot be opened, stat'd, or mapped. An
+  /// empty file maps to an empty span without calling mmap.
+  [[nodiscard]] static std::shared_ptr<const MappedFile> open(
+      const std::string& path);
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  ~MappedFile();
+
+  [[nodiscard]] std::span<const std::byte> bytes() const noexcept {
+    return {static_cast<const std::byte*>(data_), size_};
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  MappedFile(std::string path, const void* data, std::size_t size)
+      : path_(std::move(path)), data_(data), size_(size) {}
+
+  std::string path_;
+  const void* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace sunchase::snapshot

@@ -1,0 +1,120 @@
+// Snapshot reader: maps a `*.scsnap` file and validates it eagerly —
+// magic, format version, endianness, declared size, header and table
+// CRCs, every section's bounds and (by default) checksum — before any
+// payload is handed out. After open() succeeds, typed accessors
+// return FrozenArray views that alias the mapping directly (zero
+// copy); the views keep the mapping alive, so the reader itself can
+// be discarded.
+//
+// Every failure throws common::SnapshotError naming the file, the
+// section, and the byte offset, so a corrupt journal entry can be
+// located without a debugger.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sunchase/common/frozen_array.h"
+#include "sunchase/snapshot/format.h"
+#include "sunchase/snapshot/mapped_file.h"
+
+namespace sunchase::snapshot {
+
+struct ReadOptions {
+  /// Verify every section's CRC during open(). `inspect` turns this
+  /// off to report per-section integrity of a damaged file instead of
+  /// failing on the first bad section; loading a world keeps it on.
+  bool verify_section_checksums = true;
+};
+
+class SnapshotReader {
+ public:
+  /// Maps and validates `path`. Throws SnapshotError on any problem.
+  [[nodiscard]] static SnapshotReader open(const std::string& path,
+                                           const ReadOptions& options = {});
+
+  [[nodiscard]] std::uint64_t world_version() const noexcept {
+    return world_version_;
+  }
+  [[nodiscard]] std::uint64_t file_bytes() const noexcept {
+    return file_->size();
+  }
+  [[nodiscard]] const std::string& path() const noexcept {
+    return file_->path();
+  }
+
+  [[nodiscard]] std::size_t section_count() const noexcept {
+    return table_.size();
+  }
+  [[nodiscard]] const SectionEntry& entry(std::size_t i) const {
+    return table_.at(i);
+  }
+  /// Recomputes section `i`'s CRC against its stored value (used by
+  /// `inspect` when open() skipped eager verification).
+  [[nodiscard]] bool section_crc_ok(std::size_t i) const;
+
+  /// The table entry for (id, aux), or nullptr when absent.
+  [[nodiscard]] const SectionEntry* find(std::uint32_t id,
+                                         std::uint32_t aux = 0) const;
+
+  /// Payload bytes of (id, aux); throws SnapshotError when absent.
+  [[nodiscard]] std::span<const std::byte> bytes(std::uint32_t id,
+                                                 std::uint32_t aux = 0) const;
+
+  /// Payload of (id, aux) viewed as an array of T, keepalive'd to the
+  /// mapping. Throws SnapshotError when absent or when the payload
+  /// size is not a multiple of sizeof(T).
+  template <typename T>
+  [[nodiscard]] common::FrozenArray<T> array(std::uint32_t id,
+                                             std::uint32_t aux = 0) const {
+    const std::span<const std::byte> raw = bytes(id, aux);
+    if (raw.size() % sizeof(T) != 0)
+      throw_section_error(id, aux,
+                          "payload size " + std::to_string(raw.size()) +
+                              " is not a multiple of element size " +
+                              std::to_string(sizeof(T)));
+    return common::FrozenArray<T>(
+        std::span<const T>(reinterpret_cast<const T*>(raw.data()),
+                           raw.size() / sizeof(T)),
+        file_);
+  }
+
+  /// Single-struct section copied out by value (metadata records are
+  /// small; only the big arrays stay zero-copy). Throws SnapshotError
+  /// when absent or when the payload size differs from sizeof(T).
+  template <typename T>
+  [[nodiscard]] T record(std::uint32_t id, std::uint32_t aux = 0) const {
+    const std::span<const std::byte> raw = bytes(id, aux);
+    if (raw.size() != sizeof(T))
+      throw_section_error(id, aux,
+                          "payload size " + std::to_string(raw.size()) +
+                              " does not match record size " +
+                              std::to_string(sizeof(T)));
+    T out;
+    std::memcpy(&out, raw.data(), sizeof(T));
+    return out;
+  }
+
+  /// The mapping, for callers that need their own keepalive handle.
+  [[nodiscard]] std::shared_ptr<const MappedFile> mapping() const noexcept {
+    return file_;
+  }
+
+ private:
+  explicit SnapshotReader(std::shared_ptr<const MappedFile> file)
+      : file_(std::move(file)) {}
+
+  [[noreturn]] void throw_section_error(std::uint32_t id, std::uint32_t aux,
+                                        const std::string& why) const;
+
+  std::shared_ptr<const MappedFile> file_;
+  std::uint64_t world_version_ = 0;
+  std::vector<SectionEntry> table_;  ///< copied out of the mapping
+};
+
+}  // namespace sunchase::snapshot

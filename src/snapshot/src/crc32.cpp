@@ -1,0 +1,62 @@
+#include "sunchase/snapshot/crc32.h"
+
+#include <array>
+
+namespace sunchase::snapshot {
+
+namespace {
+
+constexpr std::uint32_t kPolynomial = 0xEDB88320u;
+
+using Tables = std::array<std::array<std::uint32_t, 256>, 8>;
+
+constexpr Tables make_tables() {
+  Tables t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit)
+      crc = (crc >> 1) ^ ((crc & 1u) ? kPolynomial : 0u);
+    t[0][i] = crc;
+  }
+  for (std::size_t slice = 1; slice < t.size(); ++slice)
+    for (std::uint32_t i = 0; i < 256; ++i)
+      t[slice][i] =
+          (t[slice - 1][i] >> 8) ^ t[0][t[slice - 1][i] & 0xFFu];
+  return t;
+}
+
+constexpr Tables kTables = make_tables();
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::byte> bytes,
+                    std::uint32_t seed) noexcept {
+  std::uint32_t crc = ~seed;
+  const std::byte* p = bytes.data();
+  std::size_t n = bytes.size();
+  // Slicing-by-eight over the aligned bulk; the scalar loop below
+  // handles the (at most 7-byte) tail and short inputs.
+  while (n >= 8) {
+    const std::uint32_t lo =
+        crc ^ (static_cast<std::uint32_t>(p[0]) |
+               (static_cast<std::uint32_t>(p[1]) << 8) |
+               (static_cast<std::uint32_t>(p[2]) << 16) |
+               (static_cast<std::uint32_t>(p[3]) << 24));
+    const std::uint32_t hi = static_cast<std::uint32_t>(p[4]) |
+                             (static_cast<std::uint32_t>(p[5]) << 8) |
+                             (static_cast<std::uint32_t>(p[6]) << 16) |
+                             (static_cast<std::uint32_t>(p[7]) << 24);
+    crc = kTables[7][lo & 0xFFu] ^ kTables[6][(lo >> 8) & 0xFFu] ^
+          kTables[5][(lo >> 16) & 0xFFu] ^ kTables[4][lo >> 24] ^
+          kTables[3][hi & 0xFFu] ^ kTables[2][(hi >> 8) & 0xFFu] ^
+          kTables[1][(hi >> 16) & 0xFFu] ^ kTables[0][hi >> 24];
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0)
+    crc = (crc >> 8) ^
+          kTables[0][(crc ^ static_cast<std::uint32_t>(*p++)) & 0xFFu];
+  return ~crc;
+}
+
+}  // namespace sunchase::snapshot

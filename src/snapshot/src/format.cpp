@@ -1,0 +1,23 @@
+#include "sunchase/snapshot/format.h"
+
+namespace sunchase::snapshot {
+
+std::string section_name(std::uint32_t id) {
+  switch (id) {
+    case kNodes: return "nodes";
+    case kEdges: return "edges";
+    case kOutOffsets: return "out_offsets";
+    case kOutSorted: return "out_sorted";
+    case kInOffsets: return "in_offsets";
+    case kInSorted: return "in_sorted";
+    case kShadingMeta: return "shading_meta";
+    case kShadingFractions: return "shading_fractions";
+    case kTraffic: return "traffic";
+    case kPanel: return "panel";
+    case kVehicles: return "vehicles";
+    case kSlotCacheColumn: return "slot_cache_column";
+    default: return "unknown(" + std::to_string(id) + ")";
+  }
+}
+
+}  // namespace sunchase::snapshot

@@ -1,0 +1,54 @@
+#include "sunchase/snapshot/mapped_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "sunchase/common/error.h"
+
+namespace sunchase::snapshot {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& path, const std::string& what) {
+  throw SnapshotError("snapshot: " + path + ": " + what + ": " +
+                      std::strerror(errno));
+}
+
+}  // namespace
+
+std::shared_ptr<const MappedFile> MappedFile::open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) fail(path, "cannot open");
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    fail(path, "cannot stat");
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+  const void* data = nullptr;
+  if (size > 0) {
+    data = ::mmap(nullptr, size, PROT_READ, MAP_SHARED, fd, 0);
+    if (data == MAP_FAILED) {
+      ::close(fd);
+      fail(path, "cannot mmap");
+    }
+  }
+  // The mapping outlives the descriptor (POSIX: munmap alone tears it
+  // down), so the fd is released here rather than held for the
+  // snapshot's lifetime.
+  ::close(fd);
+  return std::shared_ptr<const MappedFile>(
+      new MappedFile(path, data, size));
+}
+
+MappedFile::~MappedFile() {
+  if (data_ != nullptr && size_ > 0)
+    ::munmap(const_cast<void*>(data_), size_);
+}
+
+}  // namespace sunchase::snapshot

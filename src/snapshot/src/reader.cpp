@@ -1,0 +1,138 @@
+#include "sunchase/snapshot/reader.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "sunchase/common/error.h"
+#include "sunchase/snapshot/crc32.h"
+
+namespace sunchase::snapshot {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& path, const std::string& why) {
+  throw SnapshotError("snapshot: " + path + ": " + why);
+}
+
+std::string hex32(std::uint32_t v) {
+  char buf[11];
+  std::snprintf(buf, sizeof(buf), "0x%08x", v);
+  return buf;
+}
+
+std::string describe(const SectionEntry& e) {
+  return "section " + section_name(e.id) + " (id " + std::to_string(e.id) +
+         ", aux " + std::to_string(e.aux) + ") at offset " +
+         std::to_string(e.offset);
+}
+
+}  // namespace
+
+SnapshotReader SnapshotReader::open(const std::string& path,
+                                    const ReadOptions& options) {
+  SnapshotReader reader(MappedFile::open(path));
+  const std::span<const std::byte> file = reader.file_->bytes();
+
+  if (file.size() < sizeof(FileHeader))
+    fail(path, "truncated header at offset 0: file has " +
+                   std::to_string(file.size()) + " bytes, header needs " +
+                   std::to_string(sizeof(FileHeader)));
+  FileHeader header;
+  std::memcpy(&header, file.data(), sizeof(header));
+
+  if (std::memcmp(header.magic, kMagic, sizeof(kMagic)) != 0)
+    fail(path, "bad magic at offset 0 (not a snapshot file)");
+  // The CRC covers the header with its own crc field zeroed; verify it
+  // before trusting any counted field.
+  FileHeader crc_input = header;
+  crc_input.header_crc = 0;
+  const std::uint32_t computed_header_crc = crc32(
+      {reinterpret_cast<const std::byte*>(&crc_input), sizeof(crc_input)});
+  if (computed_header_crc != header.header_crc)
+    fail(path, "header checksum mismatch at offset 0 (stored " +
+                   hex32(header.header_crc) + ", computed " +
+                   hex32(computed_header_crc) + ")");
+  if (header.format_version != kFormatVersion)
+    fail(path, "unsupported format version " +
+                   std::to_string(header.format_version) + " (reader is " +
+                   std::to_string(kFormatVersion) + ")");
+  if (header.endianness != kEndianTag)
+    fail(path,
+         "endianness mismatch (tag " + hex32(header.endianness) +
+             ", expected " + hex32(kEndianTag) +
+             "): written on a foreign-byte-order machine");
+  if (header.file_bytes != file.size())
+    fail(path, "truncated file: header declares " +
+                   std::to_string(header.file_bytes) + " bytes, file has " +
+                   std::to_string(file.size()));
+
+  const std::uint64_t table_offset = sizeof(FileHeader);
+  const std::uint64_t table_bytes =
+      sizeof(SectionEntry) * static_cast<std::uint64_t>(header.section_count);
+  if (table_offset + table_bytes > file.size())
+    fail(path, "truncated section table at offset " +
+                   std::to_string(table_offset) + ": needs " +
+                   std::to_string(table_bytes) + " bytes");
+  const std::uint32_t computed_table_crc =
+      crc32(file.subspan(table_offset, table_bytes));
+  if (computed_table_crc != header.table_crc)
+    fail(path, "section table checksum mismatch at offset " +
+                   std::to_string(table_offset) + " (stored " +
+                   hex32(header.table_crc) + ", computed " +
+                   hex32(computed_table_crc) + ")");
+
+  reader.world_version_ = header.world_version;
+  reader.table_.resize(header.section_count);
+  if (table_bytes > 0)
+    std::memcpy(reader.table_.data(), file.data() + table_offset,
+                table_bytes);
+
+  for (const SectionEntry& e : reader.table_) {
+    if (e.offset % kSectionAlignment != 0)
+      fail(path, describe(e) + ": offset not " +
+                     std::to_string(kSectionAlignment) + "-byte aligned");
+    if (e.offset > file.size() || e.bytes > file.size() - e.offset)
+      fail(path, describe(e) + ": payload of " + std::to_string(e.bytes) +
+                     " bytes runs past end of file (" +
+                     std::to_string(file.size()) + " bytes)");
+    if (options.verify_section_checksums) {
+      const std::uint32_t computed = crc32(file.subspan(e.offset, e.bytes));
+      if (computed != e.crc)
+        fail(path, describe(e) + ": checksum mismatch (stored " +
+                       hex32(e.crc) + ", computed " + hex32(computed) + ")");
+    }
+  }
+  return reader;
+}
+
+bool SnapshotReader::section_crc_ok(std::size_t i) const {
+  const SectionEntry& e = table_.at(i);
+  return crc32(file_->bytes().subspan(e.offset, e.bytes)) == e.crc;
+}
+
+const SectionEntry* SnapshotReader::find(std::uint32_t id,
+                                         std::uint32_t aux) const {
+  for (const SectionEntry& e : table_)
+    if (e.id == id && e.aux == aux) return &e;
+  return nullptr;
+}
+
+std::span<const std::byte> SnapshotReader::bytes(std::uint32_t id,
+                                                 std::uint32_t aux) const {
+  const SectionEntry* e = find(id, aux);
+  if (e == nullptr)
+    fail(path(), "missing section " + section_name(id) + " (id " +
+                     std::to_string(id) + ", aux " + std::to_string(aux) +
+                     ")");
+  return file_->bytes().subspan(e->offset, e->bytes);
+}
+
+void SnapshotReader::throw_section_error(std::uint32_t id, std::uint32_t aux,
+                                         const std::string& why) const {
+  const SectionEntry* e = find(id, aux);
+  fail(path(), (e != nullptr ? describe(*e)
+                             : "section " + section_name(id)) +
+                   ": " + why);
+}
+
+}  // namespace sunchase::snapshot

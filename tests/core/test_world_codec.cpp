@@ -1,0 +1,230 @@
+// World snapshot codec: a saved world mmap-loaded in a fresh reader
+// must be indistinguishable from the world that was saved — same plan
+// results bit for bit under both pricing modes, warm cache columns
+// riding along zero-copy, and the mmap-backed world surviving the same
+// concurrent batch + publish contract as a heap-built one (the
+// SnapshotCodec suites run under the CI ThreadSanitizer job).
+#include "sunchase/core/world_codec.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <future>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core_fixture.h"
+#include "sunchase/common/error.h"
+#include "sunchase/core/batch_planner.h"
+#include "sunchase/core/world.h"
+#include "sunchase/core/world_store.h"
+#include "sunchase/roadnet/citygen.h"
+
+namespace sunchase::core {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+WorldPtr city_world() {
+  const roadnet::GridCity city{roadnet::GridCityOptions{}};
+  return World::create(test::RoutingEnv::make_init(city.graph()), 3);
+}
+
+std::vector<BatchQuery> city_queries() {
+  const roadnet::GridCity city{roadnet::GridCityOptions{}};
+  std::vector<BatchQuery> queries;
+  for (int i = 0; i < 12; ++i)
+    queries.push_back({city.node_at(i % 4, i % 3),
+                       city.node_at(6 + i % 3, 8),
+                       TimeOfDay::hms(9 + i % 8, 15)});
+  return queries;
+}
+
+/// Flattened (costs, path edges) of every successful query, for
+/// bit-exact comparison across save/load.
+std::vector<double> fingerprint(const WorldPtr& world, PricingMode pricing,
+                                std::size_t workers = 2) {
+  BatchPlannerOptions opt;
+  opt.workers = workers;
+  opt.mlc.max_time_factor = 1.4;
+  opt.mlc.pricing = pricing;
+  const BatchPlanner planner(world, opt);
+  const BatchResult batch = planner.plan_all(city_queries());
+  std::vector<double> fp;
+  for (const BatchQueryResult& q : batch.queries) {
+    if (!q.ok()) continue;
+    for (const ParetoRoute& r : q.result->routes) {
+      fp.push_back(r.cost.travel_time.value());
+      fp.push_back(r.cost.shaded_time.value());
+      fp.push_back(r.cost.energy_out.value());
+      for (const roadnet::EdgeId e : r.path.edges)
+        fp.push_back(static_cast<double>(e));
+    }
+  }
+  return fp;
+}
+
+TEST(SnapshotCodec, RoundTripPreservesTheWorldShape) {
+  const WorldPtr original = city_world();
+  const std::string path = temp_path("codec_shape.scsnap");
+  save_world_snapshot(*original, path);
+  const WorldPtr loaded = load_world_snapshot(path);
+
+  EXPECT_EQ(loaded->version(), original->version());
+  EXPECT_EQ(loaded->graph().node_count(), original->graph().node_count());
+  EXPECT_EQ(loaded->graph().edge_count(), original->graph().edge_count());
+  EXPECT_EQ(loaded->vehicle_count(), original->vehicle_count());
+  for (std::size_t v = 0; v < original->vehicle_count(); ++v)
+    EXPECT_EQ(loaded->vehicle(v).name(), original->vehicle(v).name());
+  EXPECT_EQ(loaded->shading().fractions().size(),
+            original->shading().fractions().size());
+}
+
+TEST(SnapshotCodec, PlanResultsAreBitIdenticalInBothPricingModes) {
+  const WorldPtr original = city_world();
+  const std::string path = temp_path("codec_fingerprint.scsnap");
+  save_world_snapshot(*original, path);
+  const WorldPtr loaded = load_world_snapshot(path);
+
+  EXPECT_EQ(fingerprint(loaded, PricingMode::Exact),
+            fingerprint(original, PricingMode::Exact));
+  EXPECT_EQ(fingerprint(loaded, PricingMode::SlotQuantized),
+            fingerprint(original, PricingMode::SlotQuantized));
+}
+
+TEST(SnapshotCodec, WarmSlotCacheColumnsRideAlong) {
+  const WorldPtr original = city_world();
+  // Slot pricing materializes cache columns; the snapshot carries them.
+  const std::vector<double> warm =
+      fingerprint(original, PricingMode::SlotQuantized);
+  ASSERT_GT(original->slot_cache().filled_slots(), 0u);
+
+  const std::string path = temp_path("codec_warm.scsnap");
+  save_world_snapshot(*original, path);
+  const WorldPtr loaded = load_world_snapshot(path);
+  EXPECT_EQ(loaded->slot_cache().filled_slots(),
+            original->slot_cache().filled_slots());
+  EXPECT_EQ(fingerprint(loaded, PricingMode::SlotQuantized), warm);
+}
+
+TEST(SnapshotCodec, ColdSaveRefillsColumnsBitIdentically) {
+  const WorldPtr original = city_world();
+  const std::vector<double> warm =
+      fingerprint(original, PricingMode::SlotQuantized);
+
+  SaveOptions options;
+  options.include_slot_cache = false;
+  const std::string path = temp_path("codec_cold.scsnap");
+  save_world_snapshot(*original, path, options);
+  const WorldPtr loaded = load_world_snapshot(path);
+  EXPECT_EQ(loaded->slot_cache().filled_slots(), 0u);
+  // Lazy refill on the loaded world reproduces the same columns.
+  EXPECT_EQ(fingerprint(loaded, PricingMode::SlotQuantized), warm);
+}
+
+TEST(SnapshotCodec, UnserializableTrafficModelFailsToSave) {
+  /// Not one of the library's parameterized models — there is nothing
+  /// faithful the codec could persist.
+  class OpaqueTraffic final : public roadnet::TrafficModel {
+   public:
+    [[nodiscard]] MetersPerSecond speed(const roadnet::RoadGraph&,
+                                        roadnet::EdgeId,
+                                        TimeOfDay) const override {
+      return kmh(17.0);
+    }
+  };
+  const roadnet::GridCity city{roadnet::GridCityOptions{}};
+  WorldInit init = test::RoutingEnv::make_init(city.graph());
+  init.traffic = std::make_shared<const OpaqueTraffic>();
+  const WorldPtr world = World::create(std::move(init));
+  EXPECT_THROW(
+      save_world_snapshot(*world, temp_path("codec_opaque.scsnap")),
+      SnapshotError);
+}
+
+TEST(SnapshotCodec, LoadNamesTheDamagedSection) {
+  const WorldPtr original = city_world();
+  const std::string path = temp_path("codec_corrupt.scsnap");
+  save_world_snapshot(*original, path);
+
+  const SnapshotInfo info = inspect_world_snapshot(path);
+  ASSERT_TRUE(info.intact);
+  std::uint64_t fractions_offset = 0;
+  for (const SnapshotSectionInfo& s : info.sections)
+    if (s.name == "shading_fractions") fractions_offset = s.offset;
+  ASSERT_GT(fractions_offset, 0u);
+
+  std::fstream file(path, std::ios::in | std::ios::out | std::ios::binary);
+  file.seekg(static_cast<std::streamoff>(fractions_offset) + 5);
+  char byte = 0;
+  file.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0x02);
+  file.seekp(static_cast<std::streamoff>(fractions_offset) + 5);
+  file.write(&byte, 1);
+  file.close();
+
+  try {
+    (void)load_world_snapshot(path);
+    FAIL() << "corrupt snapshot loaded";
+  } catch (const SnapshotError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(path), std::string::npos) << what;
+    EXPECT_NE(what.find("shading_fractions"), std::string::npos) << what;
+    EXPECT_NE(what.find("checksum mismatch"), std::string::npos) << what;
+  }
+  EXPECT_FALSE(inspect_world_snapshot(path).intact);
+}
+
+TEST(SnapshotCodec, MmapWorldSurvivesEightWorkerBatchDuringPublishes) {
+  const std::string path = temp_path("codec_concurrent.scsnap");
+  {
+    const WorldPtr original = city_world();
+    save_world_snapshot(*original, path);
+  }
+  // A store seeded from the mapping: workers plan on the mmap-backed
+  // arrays while a publisher swaps in fresh heap-built versions.
+  const WorldPtr loaded = load_world_snapshot(path);
+  WorldStore store(loaded);
+
+  BatchPlannerOptions opt;
+  opt.workers = 8;
+  opt.mlc.max_time_factor = 1.4;
+  const BatchPlanner pinned(store.current(), opt);
+  const std::vector<BatchQuery> queries = city_queries();
+
+  auto flatten = [](const BatchResult& batch) {
+    std::vector<double> fp;
+    for (const BatchQueryResult& q : batch.queries) {
+      if (!q.ok()) continue;
+      for (const ParetoRoute& r : q.result->routes) {
+        fp.push_back(r.cost.travel_time.value());
+        fp.push_back(r.cost.energy_out.value());
+      }
+    }
+    return fp;
+  };
+  const std::vector<double> quiet = flatten(pinned.plan_all(queries));
+
+  std::atomic<bool> stop{false};
+  auto writer = std::async(std::launch::async, [&] {
+    int published = 0;
+    while (!stop.load(std::memory_order_relaxed) && published < 16) {
+      (void)store.publish(store.current()->recipe());
+      ++published;
+    }
+    return published;
+  });
+  const std::vector<double> contended = flatten(pinned.plan_all(queries));
+  stop.store(true, std::memory_order_relaxed);
+  EXPECT_GT(writer.get(), 0);
+  EXPECT_EQ(quiet, contended);
+}
+
+}  // namespace
+}  // namespace sunchase::core

@@ -18,6 +18,12 @@ Understands three report schemas, detected from the report itself:
   rows at the largest world — the pruned search must create strictly
   fewer labels and pop fewer queue entries than the unpruned one, so
   the lower-bound pruning can never silently stop pruning.
+* perf_coldstart (BENCH_coldstart.json, ``"bench": "perf_coldstart"``):
+  scalar build/save/load timings; gates on the current run's own
+  speedup ratio — mmap-loading a snapshot must be at least 5x faster
+  than the text build (a same-machine ratio, so no cross-machine
+  tolerance applies) — and on fingerprint_ok (the loaded world produced
+  bit-identical plan results).
 
 Exits 1 when the current peak falls below ``baseline * (1 - tolerance)``
 or (serve reports) the best p99 rises above
@@ -48,6 +54,8 @@ def kind(report):
         return "serve"
     if name == "perf_mlc_scaling":
         return "mlc"
+    if name == "perf_coldstart":
+        return "coldstart"
     return "batch"
 
 
@@ -141,6 +149,71 @@ def best_p99(report, label):
     return best
 
 
+MIN_COLDSTART_SPEEDUP = 5.0
+
+
+def compare_coldstart(baseline, current, args):
+    """The coldstart report is scalars, not samples: render the timing
+    table, then self-gate on the current run's speedup ratio and
+    fingerprint flag (both machine-independent, so no tolerance)."""
+    headers = ["metric", "baseline", "current", "Δ"]
+    rows = []
+    for field, spec in (("build_seconds", "{:.4f}"),
+                        ("save_seconds", "{:.4f}"),
+                        ("load_seconds", "{:.6f}"),
+                        ("speedup", "{:.1f}"),
+                        ("snapshot_bytes", "{:.0f}"),
+                        ("warm_slots", "{:.0f}")):
+        rows.append([field, fmt(baseline.get(field), spec),
+                     fmt(current.get(field), spec),
+                     delta_pct(baseline.get(field), current.get(field))])
+    text_table, md_table = render_table(headers, rows)
+    print(text_table)
+    summary_lines = [md_table, ""]
+
+    if args.update:
+        shutil.copyfile(args.current, args.baseline)
+        print(f"updated {args.baseline} from {args.current}")
+        return 0
+
+    failed = False
+    try:
+        speedup = float(current["speedup"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SystemExit(
+            f"error: coldstart report has no numeric speedup ({exc!r})"
+        )
+    gate_line = (
+        f"speedup: snapshot load is {speedup:.1f}x faster than the text "
+        f"build (gate: >= {MIN_COLDSTART_SPEEDUP:.0f}x)"
+    )
+    print(gate_line)
+    summary_lines.append(gate_line)
+    if speedup < MIN_COLDSTART_SPEEDUP:
+        message = (
+            f"FAIL: snapshot load is only {speedup:.1f}x faster than the "
+            f"text build (gate requires >= {MIN_COLDSTART_SPEEDUP:.0f}x)"
+        )
+        print(message, file=sys.stderr)
+        summary_lines.append(f"**{message}**")
+        failed = True
+    if current.get("fingerprint_ok") is not True:
+        message = ("FAIL: coldstart report does not assert fingerprint_ok — "
+                   "the loaded world's plan results were not bit-identical")
+        print(message, file=sys.stderr)
+        summary_lines.append(f"**{message}**")
+        failed = True
+
+    write_step_summary(
+        "### bench_compare: coldstart — "
+        f"{'OK' if not failed else 'FAIL'}\n\n" + "\n".join(summary_lines)
+    )
+    if failed:
+        return 1
+    print("OK: snapshot boot gate holds")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline", help="committed benchmark report")
@@ -177,6 +250,8 @@ def main():
             "error: baseline and current reports are different benchmarks "
             f"(baseline {kind(baseline)}, current {schema})"
         )
+    if schema == "coldstart":
+        return compare_coldstart(baseline, current, args)
     serve = schema == "serve"
 
     base_peak = peak_qps(baseline, "baseline")
